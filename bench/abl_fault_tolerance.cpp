@@ -1,0 +1,88 @@
+// Ablation A3 — fault-tolerance degree b: storage overhead vs. survival.
+//
+// Section 4 stores each file at 2^b targets and guarantees availability as
+// long as the 2^b holders never fail simultaneously. This ablation crashes
+// an increasing fraction of a live system (without recovery between
+// crashes executing — System recovers after each crash, which is the
+// protocol) and reports files lost and request fault rate per b, plus the
+// storage overhead paid.
+#include "bench_common.hpp"
+
+#include "lesslog/core/system.hpp"
+#include "lesslog/util/rng.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lesslog;
+  const bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
+  const int m = 8;
+  const std::uint32_t nodes = 256;
+  const std::uint32_t files = args.quick ? 32 : 128;
+  const std::vector<double> crash_fractions{0.1, 0.3, 0.5, 0.7};
+
+  std::cout << "== Ablation A3: fault-tolerance degree sweep ==\n"
+            << "m=" << m << ", nodes=" << nodes << ", files=" << files
+            << ", crash storms of 10..70% of nodes, recovery between "
+               "crashes (Section 5.3)\n\n";
+
+  sim::FigureData lost_fig("A3 files lost after crash storm",
+                           "crash fraction", crash_fractions);
+  sim::FigureData copies_fig("A3 storage copies per file (initial)",
+                             "crash fraction", crash_fractions);
+
+  for (const int b : {0, 1, 2, 3}) {
+    std::vector<double> lost;
+    std::vector<double> copies;
+    for (const double frac : crash_fractions) {
+      double lost_total = 0.0;
+      double copies_total = 0.0;
+      for (int seed = 1; seed <= args.seeds; ++seed) {
+        core::System sys(
+            {.m = m, .b = b, .seed = static_cast<std::uint64_t>(seed)});
+        sys.bootstrap(nodes);
+        std::vector<core::FileId> ids;
+        for (std::uint32_t i = 0; i < files; ++i) {
+          ids.push_back(sys.insert_key(
+              std::uint64_t{0xAB1000} * static_cast<std::uint64_t>(seed + 1) +
+              i));
+        }
+        for (const core::FileId f : ids) {
+          copies_total += static_cast<double>(sys.holders(f).size());
+        }
+        util::Rng rng(static_cast<std::uint64_t>(seed) * 77 +
+                      static_cast<std::uint64_t>(b));
+        const auto to_crash =
+            static_cast<std::uint32_t>(frac * static_cast<double>(nodes));
+        std::uint32_t crashed = 0;
+        while (crashed < to_crash) {
+          const auto p =
+              static_cast<std::uint32_t>(rng.bounded(sys.status().capacity()));
+          if (!sys.is_live(core::Pid{p})) continue;
+          sys.fail(core::Pid{p});
+          ++crashed;
+        }
+        lost_total += static_cast<double>(sys.lost_files().size());
+      }
+      lost.push_back(lost_total / args.seeds);
+      copies.push_back(copies_total /
+                       (static_cast<double>(args.seeds) * files));
+    }
+    lost_fig.add_series("b=" + std::to_string(b), std::move(lost));
+    copies_fig.add_series("b=" + std::to_string(b), std::move(copies));
+  }
+
+  bench::emit(lost_fig, args);
+  bench::emit(copies_fig, bench::BenchArgs{args.quick, args.seeds,
+                                           std::nullopt});
+
+  bench::check(lost_fig.dominates("b=1", "b=0"),
+               "b=1 never loses more files than b=0");
+  bench::check(lost_fig.dominates("b=2", "b=1"),
+               "b=2 never loses more files than b=1");
+  bench::check(lost_fig.find("b=3")->values.back() <
+                   lost_fig.find("b=0")->values.back(),
+               "higher degrees survive even a 70% crash storm better");
+  bench::check(copies_fig.find("b=2")->values.front() >
+                   copies_fig.find("b=0")->values.front(),
+               "the survival is paid for with 2^b initial copies");
+  return 0;
+}

@@ -1,0 +1,131 @@
+// Ablation A6 — wire-level request latency and message overhead.
+//
+// Runs the message-driven swarm (encode/decode, per-hop latency with
+// jitter, colocated clients) and reports GETFILE latency percentiles and
+// per-request message counts as the system grows, for b = 0 and b = 2,
+// plus the effect of packet loss with client retries. The direct-call
+// fluid solver cannot see any of this; the protocol layer exists exactly
+// for these numbers.
+#include "bench_common.hpp"
+
+#include "lesslog/proto/swarm.hpp"
+#include "lesslog/util/stats.hpp"
+
+namespace {
+
+using namespace lesslog;
+
+struct Cell {
+  double p50 = 0.0;
+  double p99 = 0.0;
+  double msgs_per_get = 0.0;
+  double fault_pct = 0.0;
+};
+
+Cell run_cell(int m, int b, double drop, int requests, std::uint64_t seed) {
+  proto::Swarm::Config cfg;
+  cfg.m = m;
+  cfg.b = b;
+  cfg.nodes = util::space_size(m);
+  cfg.seed = seed;
+  cfg.net.base_latency = 0.010;
+  cfg.net.jitter = 0.005;
+  cfg.net.drop_probability = drop;
+  cfg.client.timeout = 0.25;
+  cfg.client.max_retries = 5;
+  proto::Swarm swarm(cfg);
+
+  // A catalog of 32 files spread over the space.
+  std::vector<std::pair<core::FileId, core::Pid>> files;
+  util::Rng rng(seed ^ 0xF00DULL);
+  for (std::uint64_t i = 0; i < 32; ++i) {
+    const core::FileId f{0x5EED0000ULL + i};
+    const core::Pid target{
+        static_cast<std::uint32_t>(rng.bounded(util::space_size(m)))};
+    files.emplace_back(f, target);
+    swarm.insert(f, target, core::Pid{0});
+  }
+  swarm.settle();
+
+  const std::int64_t msgs_before = swarm.network().messages_sent();
+  for (int i = 0; i < requests; ++i) {
+    const auto& [f, target] = files[rng.bounded(files.size())];
+    const core::Pid at{
+        static_cast<std::uint32_t>(rng.bounded(util::space_size(m)))};
+    swarm.get(f, target, at);
+  }
+  swarm.settle();
+
+  Cell cell;
+  const std::vector<double> lat = swarm.all_latencies();
+  cell.p50 = 1000.0 * util::percentile(lat, 50.0);
+  cell.p99 = 1000.0 * util::percentile(lat, 99.0);
+  cell.msgs_per_get = static_cast<double>(swarm.network().messages_sent() -
+                                          msgs_before) /
+                      requests;
+  cell.fault_pct = 100.0 * static_cast<double>(swarm.total_faults()) /
+                   requests;
+  return cell;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace lesslog;
+  const bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
+  const int requests = args.quick ? 500 : 4000;
+  const std::vector<int> widths = args.quick ? std::vector<int>{6, 8}
+                                             : std::vector<int>{4, 6, 8, 10};
+
+  std::cout << "== Ablation A6: wire-level GETFILE latency (10 ms links "
+               "+ 0-5 ms jitter) ==\n"
+            << requests << " requests per cell, 32-file catalog\n\n";
+
+  for (const double drop : {0.0, 0.1}) {
+    std::vector<double> xs;
+    for (const int m : widths) xs.push_back(static_cast<double>(m));
+    sim::FigureData fig(
+        "A6 latency/overhead (loss " +
+            std::to_string(static_cast<int>(drop * 100)) + "%)",
+        "m (N = 2^m)", xs);
+    std::vector<double> p50_b0;
+    std::vector<double> p99_b0;
+    std::vector<double> msgs_b0;
+    std::vector<double> p50_b2;
+    std::vector<double> faults;
+    for (const int m : widths) {
+      const Cell b0 = run_cell(m, 0, drop, requests, 42);
+      const Cell b2 = run_cell(m, 2, drop, requests, 42);
+      p50_b0.push_back(b0.p50);
+      p99_b0.push_back(b0.p99);
+      msgs_b0.push_back(b0.msgs_per_get);
+      p50_b2.push_back(b2.p50);
+      faults.push_back(b0.fault_pct);
+    }
+    fig.add_series("p50 ms (b=0)", std::move(p50_b0));
+    fig.add_series("p99 ms (b=0)", std::move(p99_b0));
+    fig.add_series("p50 ms (b=2)", std::move(p50_b2));
+    fig.add_series("msgs/get (b=0)", std::move(msgs_b0));
+    fig.add_series("faults % (b=0)", std::move(faults));
+    bench::emit(fig, args);
+
+    bench::check(fig.roughly_increasing("p50 ms (b=0)", 5.0),
+                 "latency grows ~logarithmically with N");
+    // Worst case per leg: (m+2) messages at 15 ms each; under loss the
+    // client may burn its full retry budget (max_retries x 250 ms timeout)
+    // before the successful leg.
+    const double budget =
+        (static_cast<double>(widths.back()) + 2.0) * 15.0 +
+        (drop > 0.0 ? 5.0 * 250.0 + 100.0 : 0.5);
+    bench::check(fig.find("p99 ms (b=0)")->values.back() < budget,
+                 "p99 bounded by hop latency plus the client retry budget");
+    if (drop == 0.0) {
+      bench::check(fig.find("faults % (b=0)")->values.back() == 0.0,
+                   "no faults on a lossless network");
+    } else {
+      bench::check(fig.find("faults % (b=0)")->values.back() < 2.0,
+                   "client retries mask 10% packet loss (<2% faults)");
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Ablation A8 — how good must access logs be to beat logless placement?
+//
+// The paper's pitch: log analysis costs storage/CPU/I/O, LessLog costs a
+// few bit operations and is only "slightly" worse than log-based
+// placement. This ablation quantifies the break-even: the log-based
+// baseline reads logs that record each request with probability p over a
+// 1-second window (perfect logs = the Figure 5/7 baseline; thin samples
+// scramble the child ranking). Series: replicas to balance vs p, against
+// LessLog's constant logless line, under the locality workload where the
+// two genuinely differ.
+#include "bench_common.hpp"
+
+#include "lesslog/baseline/policy.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lesslog;
+  const bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
+  const std::vector<double> sample_rates{1.0, 0.1, 0.01, 0.001, 0.0001};
+
+  sim::ExperimentConfig base = bench::paper_config();
+  base.workload = sim::WorkloadKind::kLocality;
+  base.total_rate = args.quick ? 8000.0 : 16000.0;
+
+  std::cout << "== Ablation A8: log sampling quality vs replica count ==\n"
+            << "locality workload, " << base.total_rate
+            << " req/s, 1 s log window, seeds=" << args.seeds << "\n\n";
+
+  const double lesslog_replicas =
+      bench::mean_replicas(base, baseline::lesslog_policy(), args.seeds);
+
+  sim::FigureData fig("A8 replicas vs log sample rate", "sample rate",
+                      sample_rates);
+  std::vector<double> sampled;
+  for (const double p : sample_rates) {
+    sampled.push_back(bench::mean_replicas(
+        base, baseline::sampled_log_policy(p), args.seeds));
+  }
+  fig.add_series("sampled-log", std::move(sampled));
+  fig.add_series("lesslog (no logs)",
+                 std::vector<double>(sample_rates.size(), lesslog_replicas));
+  bench::emit(fig, args, /*precision=*/4);
+
+  const sim::Series* logs = fig.find("sampled-log");
+  bench::check(logs->values.front() <= lesslog_replicas * 1.05 + 2.0,
+               "perfect logs match the Figure 7 log-based baseline");
+  bench::check(logs->values.back() >= logs->values.front(),
+               "degrading the log degrades the placement");
+  // The break-even claim: once logs are thin enough, logless placement is
+  // at least as good — the paper's cost argument then wins outright.
+  bench::check(logs->values.back() >= lesslog_replicas * 0.95,
+               "heavily sampled logs are no better than logless LessLog");
+  return 0;
+}

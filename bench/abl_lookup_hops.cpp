@@ -1,0 +1,119 @@
+// Ablation A2 — lookup cost vs. system size: LessLog's binomial tree
+// against Chord's finger-table routing (the related-work lookup the paper
+// cites). Both are O(log N); the ablation quantifies the constants on the
+// same node populations, full and with 30% dead slots.
+#include "bench_common.hpp"
+
+#include "lesslog/baseline/chord.hpp"
+#include "lesslog/baseline/plaxton.hpp"
+#include "lesslog/core/routing.hpp"
+#include "lesslog/util/rng.hpp"
+
+namespace {
+
+using namespace lesslog;
+
+struct HopStats {
+  double lesslog_mean = 0.0;
+  int lesslog_max = 0;
+  double chord_mean = 0.0;
+  int chord_max = 0;
+  double plaxton_mean = 0.0;
+};
+
+HopStats measure(int m, double dead_fraction, std::uint64_t seed,
+                 int trials) {
+  util::Rng rng(seed);
+  const std::uint32_t slots = util::space_size(m);
+  util::StatusWord live(m, slots);
+  const auto dead_count = static_cast<std::uint32_t>(
+      dead_fraction * static_cast<double>(slots));
+  for (std::uint32_t dead : rng.sample_indices(slots, dead_count)) {
+    live.set_dead(dead);
+  }
+  const baseline::ChordRing ring(live);
+  const baseline::PlaxtonMesh mesh(live, /*bits_per_digit=*/2);
+
+  HopStats stats;
+  double lesslog_total = 0.0;
+  double chord_total = 0.0;
+  double plaxton_total = 0.0;
+  int done = 0;
+  while (done < trials) {
+    const auto from = static_cast<std::uint32_t>(rng.bounded(slots));
+    const auto target = static_cast<std::uint32_t>(rng.bounded(slots));
+    if (!live.is_live(from)) continue;
+    ++done;
+    // LessLog: walk to the file holder in the tree of `target`.
+    const core::LookupTree tree(m, core::Pid{target});
+    const auto holder = core::insertion_target(tree, live);
+    const core::RouteResult r = core::route_get(
+        tree, core::Pid{from}, live,
+        [&holder](core::Pid p) { return holder.has_value() && p == *holder; });
+    lesslog_total += r.hops();
+    stats.lesslog_max = std::max(stats.lesslog_max, r.hops());
+    // Chord: finger routing to the successor of the key.
+    const int hops = ring.lookup_hops(from, target);
+    chord_total += hops;
+    stats.chord_max = std::max(stats.chord_max, hops);
+    // Plaxton/Pastry-style prefix routing (base 4).
+    plaxton_total += mesh.lookup_hops(from, target);
+  }
+  stats.lesslog_mean = lesslog_total / trials;
+  stats.chord_mean = chord_total / trials;
+  stats.plaxton_mean = plaxton_total / trials;
+  return stats;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace lesslog;
+  const bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
+  const int trials = args.quick ? 2000 : 20000;
+  const std::vector<int> widths = args.quick
+                                      ? std::vector<int>{6, 10, 14}
+                                      : std::vector<int>{4, 6, 8, 10, 12, 14,
+                                                         16};
+
+  std::cout << "== Ablation A2: lookup hops, LessLog tree vs Chord fingers "
+               "==\n"
+            << "trials per cell = " << trials << "\n\n";
+
+  for (const double dead : {0.0, 0.3}) {
+    std::vector<double> xs;
+    xs.reserve(widths.size());
+    for (int m : widths) xs.push_back(static_cast<double>(m));
+    sim::FigureData fig(
+        "A2 mean lookup hops (" +
+            std::to_string(static_cast<int>(dead * 100)) + "% dead)",
+        "m (N = 2^m)", xs);
+    std::vector<double> ll;
+    std::vector<double> ch;
+    std::vector<double> px;
+    std::vector<double> ll_max;
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const HopStats s = measure(widths[i], dead, 1000 + i, trials);
+      ll.push_back(s.lesslog_mean);
+      ch.push_back(s.chord_mean);
+      px.push_back(s.plaxton_mean);
+      ll_max.push_back(static_cast<double>(s.lesslog_max));
+    }
+    fig.add_series("lesslog mean", std::move(ll));
+    fig.add_series("chord mean", std::move(ch));
+    fig.add_series("plaxton-b4 mean", std::move(px));
+    fig.add_series("lesslog max", std::move(ll_max));
+    bench::emit(fig, args);
+
+    bool bounded = true;
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      bounded = bounded &&
+                fig.find("lesslog max")->values[i] <=
+                    static_cast<double>(widths[i]) + 1.0;
+    }
+    bench::check(bounded, "LessLog lookups never exceed m (+1 stand-in) hops");
+    bench::check(fig.roughly_increasing("lesslog mean", 0.2),
+                 "mean hops grow ~logarithmically with N");
+  }
+  return 0;
+}

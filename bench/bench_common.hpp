@@ -1,0 +1,124 @@
+// Shared scaffolding for the figure-reproduction benches.
+//
+// Every bench binary:
+//   * runs the paper's full-scale parameters by default (m = 10, capacity
+//     100 req/s, request rates 1,000..20,000),
+//   * accepts --quick (coarser sweep for smoke runs), --seeds N (averaging
+//     width), and --csv <path> (mirror the table to CSV),
+//   * prints the parameter block, the per-rate table, an ASCII chart, and
+//     the shape checks corresponding to the paper's claims.
+#pragma once
+
+#include <cstdint>
+#include <iostream>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "lesslog/sim/experiment.hpp"
+#include "lesslog/sim/metrics.hpp"
+#include "lesslog/util/thread_pool.hpp"
+
+namespace lesslog::bench {
+
+struct BenchArgs {
+  bool quick = false;
+  int seeds = 5;
+  std::optional<std::string> csv;
+
+  static BenchArgs parse(int argc, char** argv) {
+    BenchArgs args;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--quick") {
+        args.quick = true;
+      } else if (arg == "--seeds" && i + 1 < argc) {
+        args.seeds = std::stoi(argv[++i]);
+      } else if (arg == "--csv" && i + 1 < argc) {
+        args.csv = argv[++i];
+      } else {
+        std::cerr << "usage: bench [--quick] [--seeds N] [--csv path]\n";
+        std::exit(2);
+      }
+    }
+    return args;
+  }
+};
+
+/// The paper's x axis: 1,000..20,000 requests/s ("incoming requests/1000"
+/// from 1 to 20). --quick keeps every fourth point.
+inline std::vector<double> paper_rates(bool quick) {
+  std::vector<double> rates;
+  for (int k = 1; k <= 20; ++k) {
+    if (!quick || k % 4 == 0) rates.push_back(1000.0 * k);
+  }
+  return rates;
+}
+
+/// The paper's fixed parameters (Section 6): m = 10, b = 0, capacity 100.
+inline sim::ExperimentConfig paper_config() {
+  sim::ExperimentConfig cfg;
+  cfg.m = 10;
+  cfg.b = 0;
+  cfg.capacity = 100.0;
+  return cfg;
+}
+
+/// Replicas-to-balance for one (config, policy) cell averaged over seeds
+/// 1..seeds; cells that end irreducibly overloaded still report their
+/// replica count (the system sheds everything sheddable first).
+inline double mean_replicas(const sim::ExperimentConfig& base,
+                            const sim::PlacementFn& policy, int seeds,
+                            int* unbalanced_cells = nullptr) {
+  double total = 0.0;
+  for (int seed = 1; seed <= seeds; ++seed) {
+    sim::ExperimentConfig cfg = base;
+    cfg.seed = static_cast<std::uint64_t>(seed);
+    const sim::ExperimentResult r =
+        sim::run_replication_experiment(cfg, policy);
+    total += r.replicas_created;
+    if (!r.balanced && unbalanced_cells != nullptr) ++(*unbalanced_cells);
+  }
+  return total / seeds;
+}
+
+/// Fills one series of a figure in parallel over the x axis.
+inline std::vector<double> sweep_series(
+    util::ThreadPool& pool, const std::vector<double>& rates,
+    const sim::ExperimentConfig& base, const sim::PlacementFn& policy,
+    int seeds) {
+  std::vector<double> ys(rates.size(), 0.0);
+  util::parallel_for(pool, rates.size(), [&](std::size_t i) {
+    sim::ExperimentConfig cfg = base;
+    cfg.total_rate = rates[i];
+    ys[i] = mean_replicas(cfg, policy, seeds);
+  });
+  return ys;
+}
+
+inline void print_header(const std::string& title,
+                         const sim::ExperimentConfig& cfg,
+                         const BenchArgs& args) {
+  std::cout << "== " << title << " ==\n"
+            << "m=" << cfg.m << " (" << util::space_size(cfg.m)
+            << " ID slots), b=" << cfg.b << ", capacity=" << cfg.capacity
+            << " req/s, seeds averaged=" << args.seeds << "\n\n";
+}
+
+inline void emit(const sim::FigureData& fig, const BenchArgs& args,
+                 int precision = 1) {
+  util::Table table = fig.to_table();
+  table.set_precision(precision);
+  std::cout << table.render() << "\n" << fig.ascii_chart() << "\n";
+  if (args.csv.has_value()) {
+    fig.write_csv(*args.csv);
+    std::cout << "csv written to " << *args.csv << "\n";
+  }
+}
+
+inline void check(bool ok, const std::string& claim) {
+  std::cout << (ok ? "[shape OK]   " : "[shape FAIL] ") << claim << "\n";
+}
+
+}  // namespace lesslog::bench

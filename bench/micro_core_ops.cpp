@@ -1,0 +1,142 @@
+// Micro-benchmarks (google-benchmark) for the bit-level primitives the
+// paper's pitch rests on: replica placement and routing decisions must be
+// a handful of bitwise operations, not log analysis. These numbers put
+// concrete costs on each primitive.
+#include <benchmark/benchmark.h>
+
+#include "lesslog/baseline/chord.hpp"
+#include "lesslog/core/children_list.hpp"
+#include "lesslog/core/find_live_node.hpp"
+#include "lesslog/core/replication.hpp"
+#include "lesslog/core/routing.hpp"
+#include "lesslog/util/rng.hpp"
+
+namespace {
+
+using namespace lesslog;
+
+util::StatusWord make_live(int m, double dead_fraction, std::uint64_t seed) {
+  util::StatusWord live(m, util::space_size(m));
+  util::Rng rng(seed);
+  const auto dead = static_cast<std::uint32_t>(
+      dead_fraction * static_cast<double>(util::space_size(m)));
+  for (std::uint32_t p : rng.sample_indices(util::space_size(m), dead)) {
+    live.set_dead(p);
+  }
+  return live;
+}
+
+void BM_LeadingOnes(benchmark::State& state) {
+  std::uint32_t v = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(util::leading_ones(v, 10));
+    v = (v + 0x9e37u) & util::mask_of(10);
+  }
+}
+BENCHMARK(BM_LeadingOnes);
+
+void BM_ParentVid(benchmark::State& state) {
+  std::uint32_t v = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(util::set_highest_zero(v | 1u, 10));
+    v = (v + 0x9e37u) & (util::mask_of(10) >> 1);
+  }
+}
+BENCHMARK(BM_ParentVid);
+
+void BM_VidPidConversion(benchmark::State& state) {
+  const core::IdMapper mapper(10, core::Pid{517});
+  std::uint32_t p = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mapper.vid_of(core::Pid{p}));
+    p = (p + 1u) & util::mask_of(10);
+  }
+}
+BENCHMARK(BM_VidPidConversion);
+
+void BM_ChildrenList(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  const core::LookupTree tree(m, core::Pid{1});
+  const util::StatusWord live = make_live(m, 0.0, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::children_list(tree, tree.root(), live));
+  }
+}
+BENCHMARK(BM_ChildrenList)->Arg(6)->Arg(10)->Arg(14);
+
+void BM_ChildrenListDeadNodes(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  const core::LookupTree tree(m, core::Pid{1});
+  const util::StatusWord live = make_live(m, 0.3, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::children_list(tree, tree.root(), live));
+  }
+}
+BENCHMARK(BM_ChildrenListDeadNodes)->Arg(6)->Arg(10)->Arg(14);
+
+void BM_FindLiveNode(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  const core::LookupTree tree(m, core::Pid{1});
+  const util::StatusWord live = make_live(m, 0.3, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::insertion_target(tree, live));
+  }
+}
+BENCHMARK(BM_FindLiveNode)->Arg(6)->Arg(10)->Arg(14);
+
+void BM_RouteGet(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  const core::LookupTree tree(m, core::Pid{3});
+  const util::StatusWord live = make_live(m, 0.1, 4);
+  const auto holder = core::insertion_target(tree, live);
+  const core::HasCopyFn has_copy = [&holder](core::Pid p) {
+    return holder.has_value() && p == *holder;
+  };
+  std::uint32_t k = 0;
+  const std::uint32_t slots = util::space_size(m);
+  for (auto _ : state) {
+    do {
+      k = (k + 1u) & (slots - 1u);
+    } while (!live.is_live(k));
+    benchmark::DoNotOptimize(core::route_get(tree, core::Pid{k}, live,
+                                             has_copy));
+  }
+}
+BENCHMARK(BM_RouteGet)->Arg(6)->Arg(10)->Arg(14);
+
+void BM_ReplicaPlacement(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  const core::LookupTree tree(m, core::Pid{5});
+  const util::StatusWord live = make_live(m, 0.1, 5);
+  util::Rng rng(6);
+  const core::HoldsCopyFn holds = [&tree](core::Pid p) {
+    return p == tree.root();
+  };
+  const auto overloaded = core::insertion_target(tree, live);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::replicate_target(tree, *overloaded, live, holds, rng));
+  }
+}
+BENCHMARK(BM_ReplicaPlacement)->Arg(6)->Arg(10)->Arg(14);
+
+void BM_ChordLookup(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  const util::StatusWord live = make_live(m, 0.1, 7);
+  const baseline::ChordRing ring(live);
+  util::Rng rng(8);
+  const std::uint32_t slots = util::space_size(m);
+  for (auto _ : state) {
+    std::uint32_t from;
+    do {
+      from = static_cast<std::uint32_t>(rng.bounded(slots));
+    } while (!live.is_live(from));
+    const auto key = static_cast<std::uint32_t>(rng.bounded(slots));
+    benchmark::DoNotOptimize(ring.lookup_hops(from, key));
+  }
+}
+BENCHMARK(BM_ChordLookup)->Arg(6)->Arg(10)->Arg(14);
+
+}  // namespace
+
+BENCHMARK_MAIN();

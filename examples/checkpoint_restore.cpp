@@ -1,0 +1,73 @@
+// Checkpoint/restore: snapshot a running system to disk mid-experiment,
+// reload it, and continue — including payload integrity verification
+// across the round trip.
+//
+//   $ ./examples/checkpoint_restore [snapshot-path]
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "lesslog/core/snapshot.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lesslog;
+  using core::Pid;
+
+  const std::string path =
+      argc > 1 ? argv[1] : std::string("/tmp/lesslog_checkpoint.bin");
+
+  // Phase 1: a busy system with payload-carrying files.
+  core::System sys({.m = 6, .b = 1, .seed = 11, .payload_size = 4096});
+  sys.bootstrap(64);
+  std::vector<core::FileId> files;
+  for (std::uint64_t k = 0; k < 24; ++k) {
+    files.push_back(sys.insert_key(0xCAFE000 + k));
+  }
+  for (const core::FileId f : files) {
+    sys.replicate(f, sys.holders(f).front());
+    sys.update(f);
+  }
+  sys.fail(Pid{10});
+  sys.leave(Pid{20});
+  for (const core::FileId f : files) sys.get(f, Pid{1});
+  std::cout << "phase 1: " << sys.live_count() << " nodes, "
+            << files.size() << " files (2 copies+ each, version 1), "
+            << sys.lookup_messages() << " lookup messages so far\n";
+
+  // Checkpoint.
+  {
+    std::ofstream out(path, std::ios::binary);
+    core::save_snapshot(sys, out);
+  }
+  std::ifstream probe(path, std::ios::binary | std::ios::ate);
+  std::cout << "checkpoint written: " << path << " ("
+            << probe.tellg() << " bytes)\n";
+
+  // Phase 2: restore into a fresh process (simulated here by a new
+  // object) and keep operating.
+  std::ifstream in(path, std::ios::binary);
+  core::System restored = core::load_snapshot(in);
+  std::cout << "restored: " << restored.live_count() << " nodes, "
+            << restored.files().size() << " files\n";
+
+  const core::System::IntegrityReport report = restored.verify_integrity();
+  std::cout << "integrity after restore: "
+            << (report.clean() ? "clean" : "VIOLATIONS") << " ("
+            << report.corrupt.size() << " corrupt, " << report.stale.size()
+            << " stale)\n";
+
+  // Continue the run: more churn, more updates, everything still works.
+  restored.join();
+  for (const core::FileId f : files) {
+    restored.update(f);
+    if (!restored.get(f, Pid{2}).ok()) {
+      std::cout << "unexpected fault!\n";
+      return 1;
+    }
+  }
+  std::cout << "phase 2 complete: all " << files.size()
+            << " files served after restore+churn, integrity "
+            << (restored.verify_integrity().clean() ? "clean" : "VIOLATED")
+            << "\n";
+  return 0;
+}

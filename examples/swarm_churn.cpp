@@ -1,0 +1,56 @@
+// Swarm churn: a file-sharing swarm where peers continuously join, leave,
+// and crash while clients keep fetching — the paper's future-work scenario
+// run on the full self-organization protocol (status-word broadcasts,
+// file re-homing, crash recovery).
+//
+//   $ ./examples/swarm_churn
+#include <iomanip>
+#include <iostream>
+
+#include "lesslog/sim/churn.hpp"
+#include "lesslog/util/table.hpp"
+
+int main() {
+  using namespace lesslog;
+
+  std::cout << "P2P swarm under churn: 200 peers, 64 shared files,\n"
+            << "10 simulated minutes of joins/leaves/crashes at rising "
+               "intensity\n\n";
+
+  util::Table table({"events/s", "b", "requests", "faults %", "files lost",
+                     "mean hops", "maint msgs"});
+  table.set_precision(2);
+
+  for (const double events_per_s : {0.25, 1.0, 4.0}) {
+    for (const int b : {0, 2}) {
+      sim::ChurnConfig cfg;
+      cfg.m = 8;
+      cfg.b = b;
+      cfg.initial_nodes = 200;
+      cfg.min_nodes = 64;
+      cfg.files = 64;
+      cfg.duration = 600.0;
+      cfg.request_rate = 120.0;
+      cfg.join_rate = events_per_s / 2.0;
+      cfg.leave_rate = events_per_s / 4.0;
+      cfg.fail_rate = events_per_s / 4.0;
+      cfg.seed = 99;
+      const sim::ChurnResult r = sim::run_churn(cfg);
+      table.add_row({events_per_s, static_cast<std::int64_t>(b), r.requests,
+                     100.0 * r.fault_fraction(),
+                     static_cast<std::int64_t>(r.files_lost), r.mean_hops,
+                     r.maintenance_messages});
+    }
+  }
+  std::cout << table.render() << "\n";
+  std::cout
+      << "Reading the table:\n"
+      << "  * graceful leaves re-home inserted files, so faults stay rare;\n"
+      << "  * crashes with b=0 can lose a file's only copy (faults and\n"
+      << "    'files lost' rise with churn);\n"
+      << "  * b=2 stores each file in 4 independent subtrees and recovers\n"
+      << "    crashed holders from siblings (Section 5.3): zero loss;\n"
+      << "  * maintenance traffic is dominated by the status-word\n"
+      << "    broadcast, one message per live node per event.\n";
+  return 0;
+}

@@ -1,0 +1,70 @@
+// A Plaxton-style prefix-routing mesh (Plaxton/Rajaraman/Richa, SPAA '97 —
+// the scheme underlying Tapestry and Pastry, both cited by the paper).
+//
+// Nodes and keys share a digit representation (base 2^bits_per_digit,
+// most-significant digit first). Each node keeps a routing table indexed
+// by (digit position, digit value): the entry holds a live node that
+// matches the node's own ID on all higher positions and has the given
+// digit at that position (ties resolved to the numerically smallest
+// candidate, a deterministic stand-in for "closest"). A lookup fixes one
+// digit per hop, so paths are at most ceil(m / bits_per_digit) hops.
+//
+// Like ChordRing, this is the static structure: tables are rebuilt per
+// membership snapshot, matching the globally fresh status word LessLog
+// assumes. The root of a key is the live node reached by prefix routing
+// with deterministic surrogate hops when a table entry is empty.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "lesslog/util/status_word.hpp"
+
+namespace lesslog::baseline {
+
+class PlaxtonMesh {
+ public:
+  /// Builds routing tables for every live node. `bits_per_digit` of 1
+  /// gives binary Plaxton (longest paths, smallest tables); Pastry's
+  /// default corresponds to 4.
+  PlaxtonMesh(const util::StatusWord& live, int bits_per_digit = 2);
+
+  [[nodiscard]] int width() const noexcept { return m_; }
+  [[nodiscard]] int digits() const noexcept { return digits_; }
+  [[nodiscard]] int digit_base() const noexcept { return 1 << bits_; }
+
+  /// Digit of `id` at position `pos` (0 = most significant digit).
+  [[nodiscard]] std::uint32_t digit(std::uint32_t id, int pos) const;
+
+  /// The live node that owns `key`: reached by prefix routing from any
+  /// start (the mesh guarantees a unique root per key).
+  [[nodiscard]] std::uint32_t root_of(std::uint32_t key) const;
+
+  /// Node sequence from `from` toward key's root (prefix-fixing hops).
+  [[nodiscard]] std::vector<std::uint32_t> lookup_path(
+      std::uint32_t from, std::uint32_t key) const;
+
+  [[nodiscard]] int lookup_hops(std::uint32_t from, std::uint32_t key) const {
+    return static_cast<int>(lookup_path(from, key).size()) - 1;
+  }
+
+ private:
+  /// Smallest live node whose digits match prefix(key, pos) and whose
+  /// digit at `pos` is `d` — the routing-table entry (node IDs sorted
+  /// numerically make every prefix class a contiguous range, so entries
+  /// resolve with one binary search instead of materialized tables).
+  /// nullopt when the class is empty.
+  [[nodiscard]] std::optional<std::uint32_t> prefix_match(
+      std::uint32_t key, int pos, std::uint32_t d) const;
+
+  /// Length of the common MSB-first digit prefix of a and b.
+  [[nodiscard]] int common_prefix(std::uint32_t a, std::uint32_t b) const;
+
+  int m_;
+  int bits_;
+  int digits_;
+  std::vector<std::uint32_t> nodes_;  // sorted live ids
+};
+
+}  // namespace lesslog::baseline

@@ -1,0 +1,44 @@
+// Replication policies for the figure experiments.
+//
+// All three methods from Section 6 resolve lookups through the same
+// binomial lookup tree; they differ only in where an overloaded node's
+// replica goes:
+//   * LessLog      — bit operations, no access history (the paper's
+//                    contribution; wraps core::replicate_target);
+//   * random       — a uniformly random live node without a copy;
+//   * log-based    — the child forwarding the most requests, derived here
+//                    from the solver's exact flow rates, i.e. a *perfect*
+//                    client-access log (the strongest version of this
+//                    baseline).
+#pragma once
+
+#include "lesslog/sim/experiment.hpp"
+
+namespace lesslog::baseline {
+
+/// The paper's REPLICATEFILE (advanced model, proportional rule included).
+[[nodiscard]] sim::PlacementFn lesslog_policy();
+
+/// Random replication: uniform over live nodes without a copy (excluding
+/// the overloaded node itself).
+[[nodiscard]] sim::PlacementFn random_policy();
+
+/// Log-based replication: the children-list entry of the overloaded node
+/// that forwards the highest request rate toward it. Falls back to the
+/// LessLog structural order when every child flow is zero (the overload is
+/// then the node's own client demand, which no placement can shed — the
+/// structural pick keeps behaviour deterministic).
+[[nodiscard]] sim::PlacementFn logbased_policy();
+
+/// Log-based replication with *imperfect* logs: the exact per-child flows
+/// are observed through a sampled access log — each request is recorded
+/// with probability `sample_rate` over a `window`-second collection period
+/// — so the estimated flow carries noise with standard deviation
+/// sqrt(flow / (sample_rate * window)). sample_rate = 1 with a long window
+/// recovers logbased_policy(); thin samples scramble the child ranking and
+/// degrade the placement. Used by the log-quality ablation to quantify how
+/// good logs must be before they beat LessLog's logless structural choice.
+[[nodiscard]] sim::PlacementFn sampled_log_policy(double sample_rate,
+                                                  double window = 1.0);
+
+}  // namespace lesslog::baseline

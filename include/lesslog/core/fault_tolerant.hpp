@@ -1,0 +1,125 @@
+// Fault-tolerant LessLog (Section 4).
+//
+// The last b of the m VID bits are the *subtree identifier*; the top m-b
+// bits are the *subtree VID*. Fixing the subtree identifier selects one of
+// 2^b independent, identical binomial subtrees, each of which supports all
+// file operations via the same bit arithmetic over subtree VIDs. A file is
+// inserted at one target per subtree (2^b copies), and a get that faults in
+// its own subtree migrates to the next subtree identifier. The system
+// tolerates any failure pattern that leaves, for each file, at least one of
+// its 2^b holders alive.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "lesslog/core/lookup_tree.hpp"
+#include "lesslog/core/routing.hpp"
+#include "lesslog/util/rng.hpp"
+#include "lesslog/util/status_word.hpp"
+
+namespace lesslog::core {
+
+/// Subtree-decomposed view of one lookup tree.
+class SubtreeView {
+ public:
+  /// View of `tree` with the last `b` VID bits reserved for fault
+  /// tolerance. Requires 0 <= b < m.
+  SubtreeView(const LookupTree& tree, int b);
+
+  [[nodiscard]] int fault_bits() const noexcept { return b_; }
+  [[nodiscard]] int subtree_width() const noexcept {
+    return tree_->width() - b_;
+  }
+  [[nodiscard]] std::uint32_t subtree_count() const noexcept {
+    return util::space_size(b_);
+  }
+  [[nodiscard]] const LookupTree& tree() const noexcept { return *tree_; }
+
+  /// Subtree identifier of a node: the low b bits of its VID.
+  [[nodiscard]] std::uint32_t subtree_id(Pid p) const noexcept {
+    return tree_->vid_of(p).value() & (util::space_size(b_) - 1u);
+  }
+
+  /// Subtree VID of a node: the high m-b bits of its VID.
+  [[nodiscard]] std::uint32_t subtree_vid(Pid p) const noexcept {
+    return tree_->vid_of(p).value() >> b_;
+  }
+
+  /// Reassembles a full PID from (subtree VID, subtree id).
+  [[nodiscard]] Pid pid_at(std::uint32_t sub_vid,
+                           std::uint32_t sub_id) const noexcept {
+    return tree_->pid_of(Vid{(sub_vid << b_) | sub_id});
+  }
+
+  /// Root of subtree `sub_id`: subtree VID all-ones.
+  [[nodiscard]] Pid subtree_root(std::uint32_t sub_id) const noexcept {
+    return pid_at(util::mask_of(subtree_width()), sub_id);
+  }
+
+  /// Modified FINDLIVENODE over subtree VIDs: the live node with the
+  /// largest subtree VID in subtree `sub_id`, scanning down from
+  /// `from_sub_vid` inclusive. nullopt if the subtree has no live node.
+  [[nodiscard]] std::optional<Pid> find_live_in_subtree(
+      std::uint32_t sub_id, std::uint32_t from_sub_vid,
+      const util::StatusWord& live) const;
+
+  /// Insertion target of subtree `sub_id`: live node with the largest
+  /// subtree VID (modified FINDLIVENODE started at the subtree root).
+  [[nodiscard]] std::optional<Pid> insertion_target(
+      std::uint32_t sub_id, const util::StatusWord& live) const;
+
+  /// All 2^b insertion targets (one per subtree, omitting empty subtrees) —
+  /// where the fault-tolerant ADVANCEDINSERTFILE stores its copies.
+  [[nodiscard]] std::vector<Pid> insertion_targets(
+      const util::StatusWord& live) const;
+
+  /// First alive ancestor of P(k) *within its own subtree* (parent steps on
+  /// the subtree VID). nullopt when every subtree ancestor is dead.
+  [[nodiscard]] std::optional<Pid> first_alive_subtree_ancestor(
+      Pid k, const util::StatusWord& live) const;
+
+  /// Advanced-model children list of P(k) *within its own subtree*: live
+  /// subtree children, with dead ones replaced by their children,
+  /// recursively, sorted by descending subtree VID.
+  [[nodiscard]] std::vector<Pid> children_list(
+      Pid k, const util::StatusWord& live) const;
+
+  /// True iff some live node of P(k)'s subtree has a larger subtree VID.
+  [[nodiscard]] bool live_vid_above(Pid k, const util::StatusWord& live) const;
+
+  /// REPLICATEFILE within P(k)'s subtree, mirroring the full-tree rules:
+  /// shed into P(k)'s subtree children list when its load provably comes
+  /// from its subtree offspring; otherwise split proportionally between
+  /// P(k)'s list and the (dead) subtree root's list. See
+  /// core::replicate_target for the b = 0 equivalent.
+  [[nodiscard]] std::optional<Pid> replicate_target(
+      Pid k, const util::StatusWord& live,
+      const std::function<bool(Pid)>& holds_copy, util::Rng& rng) const;
+
+  /// Top-down update broadcast within subtree `sub_id`: starts at the live
+  /// subtree root or its stand-in holder, descends through copy-holders.
+  /// Returns the nodes updated and the number of broadcast messages.
+  struct SubtreeUpdate {
+    std::vector<Pid> updated;
+    std::int64_t messages = 0;
+  };
+  [[nodiscard]] SubtreeUpdate propagate_update(
+      std::uint32_t sub_id, const util::StatusWord& live,
+      const std::function<bool(Pid)>& holds_copy) const;
+
+  /// GETFILE in the fault-tolerant model: route inside the requester's own
+  /// subtree first (ancestor walk + stand-in fallback); on a fault, migrate
+  /// to the next subtree identifier (wrapping) and retry at the
+  /// corresponding node, up to all 2^b subtrees. `has_copy` is queried per
+  /// visited node; migrations extend the path.
+  [[nodiscard]] RouteResult route_get(Pid k, const util::StatusWord& live,
+                                      const HasCopyFn& has_copy) const;
+
+ private:
+  const LookupTree* tree_;
+  int b_;
+};
+
+}  // namespace lesslog::core

@@ -1,0 +1,119 @@
+// Per-node file storage.
+//
+// A node stores two categories of copies (the distinction drives the
+// leave/fail protocols of Section 5):
+//   * inserted files — original copies placed by (ADVANCED)INSERTFILE; the
+//     node is the authoritative holder and must re-home them on departure;
+//   * replicated files — copies pushed by REPLICATEFILE to absorb load;
+//     they are discarded on departure and may be pruned by the
+//     counter-based removal mechanism.
+//
+// Each copy carries a version (for update propagation) and replicas carry
+// an access counter (for counter-based removal).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+namespace lesslog::core {
+
+/// Opaque file identifier. Producers derive it from the file's unique name
+/// (see FileId::from_name) or from a synthetic index.
+class FileId {
+ public:
+  constexpr FileId() = default;
+  constexpr explicit FileId(std::uint64_t key) noexcept : key_(key) {}
+
+  [[nodiscard]] constexpr std::uint64_t key() const noexcept { return key_; }
+
+  friend constexpr auto operator<=>(FileId, FileId) = default;
+
+ private:
+  std::uint64_t key_ = 0;
+};
+
+enum class CopyKind : std::uint8_t { kInserted, kReplica };
+
+struct CopyInfo {
+  CopyKind kind = CopyKind::kInserted;
+  std::uint64_t version = 0;
+  /// Requests served by this copy since the counter was last reset; only
+  /// meaningful for replicas (the counter-based removal input).
+  std::uint64_t access_count = 0;
+  /// The stored bytes (may be empty when the deployment runs metadata-only
+  /// experiments). See core/payload.hpp for content generation/integrity.
+  std::vector<std::uint8_t> data;
+};
+
+class FileStore {
+ public:
+  [[nodiscard]] bool has(FileId f) const noexcept {
+    return copies_.contains(f);
+  }
+
+  [[nodiscard]] std::optional<CopyInfo> info(FileId f) const;
+
+  /// Stores an original copy. Overwrites any existing replica entry (a node
+  /// can be promoted from replica-holder to authoritative holder when
+  /// membership changes).
+  void put_inserted(FileId f, std::uint64_t version = 0,
+                    std::vector<std::uint8_t> data = {});
+
+  /// Stores a replica. No-op if an inserted copy is already present.
+  void put_replica(FileId f, std::uint64_t version = 0,
+                   std::vector<std::uint8_t> data = {});
+
+  /// Borrow the stored bytes of f; nullptr when no copy is present.
+  [[nodiscard]] const std::vector<std::uint8_t>* payload(FileId f) const;
+
+  /// Overwrites the stored bytes of f in place (test fault injection and
+  /// payload-carrying updates). Returns false when no copy is present.
+  bool set_payload(FileId f, std::vector<std::uint8_t> data);
+
+  /// Removes any copy of f. Returns true if one existed.
+  bool erase(FileId f);
+
+  /// Applies an update: bump the stored version to `version` (and replace
+  /// the bytes, when provided) if a copy is present. Returns true if a
+  /// copy was present.
+  bool apply_update(FileId f, std::uint64_t version,
+                    std::vector<std::uint8_t> data = {});
+
+  /// Counts one served request against f's copy (counter-based removal).
+  void record_access(FileId f);
+
+  /// Restores an access counter (snapshot load). Returns false when no
+  /// copy is present.
+  bool set_access_count(FileId f, std::uint64_t count);
+
+  /// Resets all access counters (start of a measurement window).
+  void reset_access_counts() noexcept;
+
+  /// Removes replicas whose access counter is strictly below `threshold`;
+  /// inserted copies are never removed. Returns the ids pruned.
+  std::vector<FileId> prune_cold_replicas(std::uint64_t threshold);
+
+  [[nodiscard]] std::vector<FileId> inserted_files() const;
+  [[nodiscard]] std::vector<FileId> replica_files() const;
+  [[nodiscard]] std::size_t size() const noexcept { return copies_.size(); }
+
+ private:
+  struct FileIdHash {
+    std::size_t operator()(FileId f) const noexcept {
+      return std::hash<std::uint64_t>{}(f.key());
+    }
+  };
+  std::unordered_map<FileId, CopyInfo, FileIdHash> copies_;
+};
+
+}  // namespace lesslog::core
+
+template <>
+struct std::hash<lesslog::core::FileId> {
+  std::size_t operator()(lesslog::core::FileId f) const noexcept {
+    return std::hash<std::uint64_t>{}(f.key());
+  }
+};

@@ -1,0 +1,37 @@
+// FINDLIVENODE (Section 3) — locate, starting from a VID, the live node
+// with the most offspring in a given lookup tree.
+//
+// Because the numeric VID order is consistent with the offspring order
+// (Property 3), the algorithm is a downward scan of VIDs: return P(s) if it
+// is alive, else the live node with the largest VID below vid(s). Insertion
+// uses FINDLIVENODE(r, r), which starts at the root and therefore finds the
+// live node with the largest VID in the whole tree.
+#pragma once
+
+#include <optional>
+
+#include "lesslog/core/lookup_tree.hpp"
+#include "lesslog/util/status_word.hpp"
+
+namespace lesslog::core {
+
+/// The paper's FINDLIVENODE(s, r): P(s) if live, otherwise the live PID
+/// with the largest VID strictly below vid(s) in the tree of P(r).
+/// Returns nullopt when no live node qualifies (paper's `return false`).
+[[nodiscard]] std::optional<Pid> find_live_node(const LookupTree& tree, Pid s,
+                                                const util::StatusWord& live);
+
+/// The live node with the largest VID in the whole tree of P(r) — the
+/// insertion target for files whose hash falls on a dead node. Equivalent
+/// to find_live_node(tree, tree.root(), live).
+[[nodiscard]] std::optional<Pid> insertion_target(const LookupTree& tree,
+                                                  const util::StatusWord& live);
+
+/// True iff some live node has a strictly larger VID than P(k) in `tree`.
+/// The replication and join/leave protocols branch on this predicate: when
+/// it is false, P(k) is the node FINDLIVENODE(r, r) resolves to, so it may
+/// be serving requests from the entire system, not just its own offspring.
+[[nodiscard]] bool live_vid_above(const LookupTree& tree, Pid k,
+                                  const util::StatusWord& live);
+
+}  // namespace lesslog::core

@@ -1,0 +1,108 @@
+// Strong identifier types for the two LessLog ID spaces.
+//
+// Every node carries a *physical* identifier (PID), assigned once, and each
+// lookup tree assigns it a *virtual* identifier (VID) — its position in that
+// tree. Confusing the two spaces is the natural bug in this algorithm, so
+// they are distinct types and the only bridge between them is IdMapper,
+// which owns the XOR complement of the tree root (Property 4).
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "lesslog/util/bits.hpp"
+
+namespace lesslog::core {
+
+/// Physical node identifier: stable, unique per node, in [0, 2^m).
+class Pid {
+ public:
+  constexpr Pid() = default;
+  constexpr explicit Pid(std::uint32_t value) noexcept : value_(value) {}
+
+  [[nodiscard]] constexpr std::uint32_t value() const noexcept {
+    return value_;
+  }
+
+  friend constexpr auto operator<=>(Pid, Pid) = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+/// Virtual identifier: a node's position in one particular lookup tree.
+/// The VID bit pattern *is* the tree structure (Properties 1-3).
+class Vid {
+ public:
+  constexpr Vid() = default;
+  constexpr explicit Vid(std::uint32_t value) noexcept : value_(value) {}
+
+  [[nodiscard]] constexpr std::uint32_t value() const noexcept {
+    return value_;
+  }
+
+  friend constexpr auto operator<=>(Vid, Vid) = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+/// MSB-first binary rendering, for diagnostics and the paper's worked
+/// examples ("the VID of the root node is 1111").
+[[nodiscard]] std::string to_string(Pid pid);
+[[nodiscard]] std::string to_binary(Vid vid, int m);
+
+/// Property 4: with the root PID r of a lookup tree known, PID <-> VID
+/// conversion is a XOR with the complement of r. The mapper is a value type;
+/// copying it is two words.
+class IdMapper {
+ public:
+  /// Mapper for the lookup tree rooted at P(root) in an m-bit space.
+  constexpr IdMapper(int m, Pid root) noexcept
+      : m_(m), complement_(util::complement(root.value(), m)) {}
+
+  [[nodiscard]] constexpr int width() const noexcept { return m_; }
+
+  /// The complement k̄ used in the paper's construction.
+  [[nodiscard]] constexpr std::uint32_t complement() const noexcept {
+    return complement_;
+  }
+
+  /// Root of this tree (VID = all ones maps back to the root PID).
+  [[nodiscard]] constexpr Pid root() const noexcept {
+    return Pid{util::mask_of(m_) ^ complement_};
+  }
+
+  [[nodiscard]] constexpr Vid vid_of(Pid pid) const noexcept {
+    return Vid{pid.value() ^ complement_};
+  }
+
+  [[nodiscard]] constexpr Pid pid_of(Vid vid) const noexcept {
+    return Pid{vid.value() ^ complement_};
+  }
+
+  friend constexpr bool operator==(IdMapper, IdMapper) = default;
+
+ private:
+  int m_;
+  std::uint32_t complement_;
+};
+
+}  // namespace lesslog::core
+
+template <>
+struct std::hash<lesslog::core::Pid> {
+  std::size_t operator()(lesslog::core::Pid pid) const noexcept {
+    return std::hash<std::uint32_t>{}(pid.value());
+  }
+};
+
+template <>
+struct std::hash<lesslog::core::Vid> {
+  std::size_t operator()(lesslog::core::Vid vid) const noexcept {
+    return std::hash<std::uint32_t>{}(vid.value());
+  }
+};

@@ -1,0 +1,77 @@
+// The physical lookup tree of a target node P(r).
+//
+// Obtained from the single virtual tree by XOR-ing every VID with the
+// complement of r (Property 4); because XOR with a constant is a bijection,
+// the one virtual tree yields all 2^m physical trees. This class is a thin
+// value type combining the VirtualTree structure with an IdMapper, exposing
+// every structural query directly in PID terms.
+#pragma once
+
+#include <vector>
+
+#include "lesslog/core/ids.hpp"
+#include "lesslog/core/virtual_tree.hpp"
+
+namespace lesslog::core {
+
+class LookupTree {
+ public:
+  /// The lookup tree rooted at P(root) in an m-bit space.
+  LookupTree(int m, Pid root) noexcept
+      : tree_(m), mapper_(m, root) {}
+
+  [[nodiscard]] int width() const noexcept { return tree_.width(); }
+  [[nodiscard]] Pid root() const noexcept { return mapper_.root(); }
+  [[nodiscard]] const VirtualTree& virtual_tree() const noexcept {
+    return tree_;
+  }
+  [[nodiscard]] const IdMapper& mapper() const noexcept { return mapper_; }
+
+  [[nodiscard]] Vid vid_of(Pid pid) const noexcept {
+    return mapper_.vid_of(pid);
+  }
+  [[nodiscard]] Pid pid_of(Vid vid) const noexcept {
+    return mapper_.pid_of(vid);
+  }
+
+  [[nodiscard]] bool is_root(Pid p) const noexcept { return p == root(); }
+
+  /// Parent of P(p) in this tree. Precondition: p is not the root.
+  [[nodiscard]] Pid parent(Pid p) const noexcept {
+    return pid_of(tree_.parent(vid_of(p)));
+  }
+
+  /// Children of P(p), in children-list order (descending VID, i.e. most
+  /// offspring first). For the paper's Figure 2 example, children(P(4)) in
+  /// the tree of P(4) is (P(5), P(6), P(0), P(12)).
+  [[nodiscard]] std::vector<Pid> children(Pid p) const;
+
+  [[nodiscard]] int child_count(Pid p) const noexcept {
+    return tree_.child_count(vid_of(p));
+  }
+
+  [[nodiscard]] std::uint32_t offspring_count(Pid p) const noexcept {
+    return tree_.offspring_count(vid_of(p));
+  }
+
+  [[nodiscard]] std::uint32_t subtree_size(Pid p) const noexcept {
+    return tree_.subtree_size(vid_of(p));
+  }
+
+  [[nodiscard]] int depth(Pid p) const noexcept {
+    return tree_.depth(vid_of(p));
+  }
+
+  [[nodiscard]] bool in_subtree(Pid descendant, Pid ancestor) const noexcept {
+    return tree_.in_subtree(vid_of(descendant), vid_of(ancestor));
+  }
+
+  /// PIDs on the path from P(p) to the root, inclusive on both ends.
+  [[nodiscard]] std::vector<Pid> path_to_root(Pid p) const;
+
+ private:
+  VirtualTree tree_;
+  IdMapper mapper_;
+};
+
+}  // namespace lesslog::core

@@ -1,0 +1,44 @@
+// A LessLog peer: a PID, its local file store, and lightweight service
+// counters. Nodes are passive data holders — protocol logic lives in the
+// free functions (routing, replication, update, membership) and in System,
+// mirroring how the paper separates tree arithmetic from storage.
+#pragma once
+
+#include <cstdint>
+
+#include "lesslog/core/file_store.hpp"
+#include "lesslog/core/ids.hpp"
+
+namespace lesslog::core {
+
+class Node {
+ public:
+  explicit Node(Pid pid) noexcept : pid_(pid) {}
+
+  [[nodiscard]] Pid pid() const noexcept { return pid_; }
+
+  [[nodiscard]] FileStore& store() noexcept { return store_; }
+  [[nodiscard]] const FileStore& store() const noexcept { return store_; }
+
+  /// Served one request locally (a copy was found here).
+  void count_served() noexcept { ++served_; }
+  /// Forwarded one request toward an ancestor.
+  void count_forwarded() noexcept { ++forwarded_; }
+
+  [[nodiscard]] std::uint64_t served() const noexcept { return served_; }
+  [[nodiscard]] std::uint64_t forwarded() const noexcept { return forwarded_; }
+
+  void reset_counters() noexcept {
+    served_ = 0;
+    forwarded_ = 0;
+    store_.reset_access_counts();
+  }
+
+ private:
+  Pid pid_;
+  FileStore store_;
+  std::uint64_t served_ = 0;
+  std::uint64_t forwarded_ = 0;
+};
+
+}  // namespace lesslog::core

@@ -1,0 +1,33 @@
+// File payloads: deterministic synthetic content plus integrity checking.
+//
+// The paper treats files as opaque; a working system moves actual bytes.
+// Payload content is a pure function of (file id, version) — every party
+// can regenerate and verify the canonical bytes, which turns integrity
+// checking after replication/update/recovery into an exact comparison.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lesslog/core/file_store.hpp"
+#include "lesslog/util/crc32.hpp"
+
+namespace lesslog::core {
+
+using Payload = std::vector<std::uint8_t>;
+
+/// Canonical content of (file, version) with the given size. Bytes come
+/// from a SplitMix64 keystream seeded by the pair, so distinct files and
+/// versions differ in essentially every byte.
+[[nodiscard]] Payload make_payload(FileId f, std::uint64_t version,
+                                   std::size_t size);
+
+/// CRC-32 of a payload.
+[[nodiscard]] std::uint32_t payload_checksum(const Payload& payload) noexcept;
+
+/// Verifies that `payload` is exactly the canonical content of
+/// (file, version) — size, bytes, and checksum.
+[[nodiscard]] bool verify_payload(FileId f, std::uint64_t version,
+                                  const Payload& payload);
+
+}  // namespace lesslog::core

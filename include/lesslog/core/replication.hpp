@@ -1,0 +1,67 @@
+// REPLICATEFILE — logless replica placement (Sections 2 & 3).
+//
+// When P(k) is overloaded by requests for a file f with target P(r),
+// LessLog picks the replication target with bit operations only:
+//
+//   * C^r_k(f): the first node in the children list of P(k) (tree of P(r))
+//     that does not yet hold a copy of f. Replicating to the head of the
+//     list — the child with the most offspring — halves P(k)'s load when
+//     requests are evenly distributed.
+//   * Advanced model: if k != r and no live node has a VID above P(k)'s,
+//     then P(k) is the FINDLIVENODE(r, r) stand-in for a dead root and its
+//     load may come from anywhere in the system, not just its offspring.
+//     Lacking access logs, LessLog makes a *proportional* random choice
+//     between the children list of P(k) and the children list of P(r),
+//     weighted by the ratio of P(k)'s offspring to the rest of the nodes.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "lesslog/core/children_list.hpp"
+#include "lesslog/core/lookup_tree.hpp"
+#include "lesslog/util/rng.hpp"
+#include "lesslog/util/status_word.hpp"
+
+namespace lesslog::core {
+
+/// Predicate: does this node already hold a copy of the file?
+using HoldsCopyFn = std::function<bool(Pid)>;
+
+/// Which children list a placement decision drew from (diagnostics/tests).
+enum class PlacementSource : std::uint8_t {
+  kOwnChildren,   ///< children list of the overloaded node P(k)
+  kRootChildren,  ///< children list of the (dead) target P(r)
+};
+
+struct Placement {
+  Pid target;
+  PlacementSource source;
+};
+
+/// C^r_k(f): first live node in the advanced-model children list of P(k)
+/// that does not hold a copy. nullopt when the list is exhausted.
+[[nodiscard]] std::optional<Pid> first_child_without_copy(
+    const LookupTree& tree, Pid k, const util::StatusWord& live,
+    const HoldsCopyFn& holds_copy);
+
+/// Full advanced-model REPLICATEFILE placement for overloaded node P(k).
+///
+/// * k == root, or a live VID above k exists: place via C^r_k(f).
+/// * otherwise: proportional choice between P(k)'s and P(r)'s children
+///   lists, weighted by live offspring of P(k) vs the remaining live nodes;
+///   if the chosen list is exhausted the other list is tried.
+///
+/// `rng` is only consulted for the proportional case. Returns nullopt when
+/// every candidate in both lists already holds a copy (the system cannot
+/// shed further load by replication).
+[[nodiscard]] std::optional<Placement> replicate_target(
+    const LookupTree& tree, Pid k, const util::StatusWord& live,
+    const HoldsCopyFn& holds_copy, util::Rng& rng);
+
+/// Number of *live* strict descendants of P(k) in `tree`. Used for the
+/// proportional weighting. O(subtree size) scan of the VID range.
+[[nodiscard]] std::uint32_t live_offspring_count(const LookupTree& tree, Pid k,
+                                                 const util::StatusWord& live);
+
+}  // namespace lesslog::core

@@ -1,0 +1,63 @@
+// Request routing (the GETFILE walk).
+//
+// A request received at P(k) for a file with target P(r) climbs the lookup
+// tree of P(r) toward the root, stopping at the first node that stores a
+// copy. In the advanced model the parent function FP^r_k returns the first
+// *alive* ancestor, and when the walk fails with a dead root the request is
+// redirected to FINDLIVENODE(r, r) — the live node with the most offspring,
+// which is where ADVANCEDINSERTFILE placed the original copy.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "lesslog/core/find_live_node.hpp"
+#include "lesslog/core/lookup_tree.hpp"
+#include "lesslog/util/status_word.hpp"
+
+namespace lesslog::core {
+
+/// Predicate: does this node currently store a copy of the file being
+/// routed? Callers bind their storage layer here.
+using HasCopyFn = std::function<bool(Pid)>;
+
+/// FP^r_k — the first alive ancestor of P(k) in `tree` (skipping dead
+/// ancestors), or nullopt when every remaining ancestor up to and including
+/// the root is dead. Precondition: k is in the ID space.
+[[nodiscard]] std::optional<Pid> first_alive_ancestor(
+    const LookupTree& tree, Pid k, const util::StatusWord& live);
+
+/// The chain of nodes a request visits starting at P(k): k itself, then
+/// successive first-alive-ancestors, ending at the root if the root is
+/// live, or at the highest live node on the path otherwise.
+[[nodiscard]] std::vector<Pid> ancestor_chain(const LookupTree& tree, Pid k,
+                                              const util::StatusWord& live);
+
+/// Outcome of a full GETFILE route.
+struct RouteResult {
+  /// Nodes visited, in order, starting at the requester. When the walk
+  /// fails at a dead root, the final element is the FINDLIVENODE(r, r)
+  /// fallback target.
+  std::vector<Pid> path;
+  /// Node that served the request, if any copy was found.
+  std::optional<Pid> served_by;
+  /// True when the FINDLIVENODE fallback jump was taken.
+  bool used_fallback = false;
+
+  /// Messages forwarded = path length minus the requester itself.
+  [[nodiscard]] int hops() const noexcept {
+    return static_cast<int>(path.size()) - 1;
+  }
+};
+
+/// Full GETFILE in the advanced model: walk the ancestor chain from P(k),
+/// serving at the first node with a copy; if the chain ends without a copy
+/// and the root is dead, jump to FINDLIVENODE(r, r). `has_copy` is queried
+/// once per visited node. Requests fault (served_by == nullopt) only when
+/// no reachable node stores the file.
+[[nodiscard]] RouteResult route_get(const LookupTree& tree, Pid k,
+                                    const util::StatusWord& live,
+                                    const HasCopyFn& has_copy);
+
+}  // namespace lesslog::core

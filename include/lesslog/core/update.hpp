@@ -1,0 +1,41 @@
+// Top-down update propagation (Sections 2 & 3).
+//
+// An update on f is forwarded to the target P(r) (or, with a dead root, to
+// the live stand-in that holds the original copy). The holder applies the
+// update and broadcasts it down its children list; each recipient that
+// holds a replica applies the update and re-broadcasts to *its* children
+// list, while nodes without a copy discard the message. Dead nodes are
+// bypassed because the advanced children list already splices their
+// children in.
+//
+// The functions here compute the propagation given a copy predicate, report
+// every node updated, and count the broadcast messages — the metric the
+// maintenance-cost ablation reports.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "lesslog/core/lookup_tree.hpp"
+#include "lesslog/util/status_word.hpp"
+
+namespace lesslog::core {
+
+struct UpdateResult {
+  /// Nodes that applied the update, in broadcast order (origin first).
+  std::vector<Pid> updated;
+  /// Broadcast messages sent (one per children-list entry contacted).
+  std::int64_t messages = 0;
+  /// Origin of the broadcast: the live root, or the FINDLIVENODE(r, r)
+  /// stand-in. Invalid (updated empty) when no live node holds the file.
+  Pid origin{};
+};
+
+/// Propagates an update through the tree of P(r). `holds_copy` is the
+/// pre-update copy predicate. The returned list contains every live node
+/// that holds a copy reachable through the holder-connected broadcast.
+[[nodiscard]] UpdateResult propagate_update(
+    const LookupTree& tree, const util::StatusWord& live,
+    const std::function<bool(Pid)>& holds_copy);
+
+}  // namespace lesslog::core

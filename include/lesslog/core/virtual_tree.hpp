@@ -1,0 +1,102 @@
+// The virtual lookup tree (the paper's "template tree").
+//
+// One binomial tree over the full 2^m VID space, shared by every physical
+// lookup tree in the system. Structure (normalized to MSB-first arithmetic;
+// see DESIGN.md §1-2):
+//
+//   * root VID = 2^m - 1 (m continuous 1-bits),
+//   * Property 1: a node with i leading 1-bits has exactly i children, each
+//     obtained by clearing one of those leading 1-bits,
+//   * Property 2: the parent VID sets the highest 0-bit,
+//   * Property 3: subtree size = 2^(leading ones), monotone non-decreasing
+//     in the numeric VID.
+//
+// The class is stateless apart from the width m; every query is O(1) or
+// O(m) bit arithmetic, which is the entire point of the paper — replica
+// placement without logs, from bit operations alone.
+#pragma once
+
+#include <vector>
+
+#include "lesslog/core/ids.hpp"
+
+namespace lesslog::core {
+
+class VirtualTree {
+ public:
+  /// Tree over an m-bit VID space (2^m virtual nodes), 1 <= m <= 30.
+  explicit VirtualTree(int m);
+
+  [[nodiscard]] int width() const noexcept { return m_; }
+  [[nodiscard]] std::uint32_t size() const noexcept {
+    return util::space_size(m_);
+  }
+
+  /// Root VID: all ones.
+  [[nodiscard]] Vid root() const noexcept { return Vid{util::mask_of(m_)}; }
+
+  [[nodiscard]] bool is_root(Vid v) const noexcept { return v == root(); }
+
+  /// True iff v is within the VID space.
+  [[nodiscard]] bool contains(Vid v) const noexcept {
+    return util::fits(v.value(), m_);
+  }
+
+  /// Number of children of v = length of its leading 1-run (Property 1).
+  [[nodiscard]] int child_count(Vid v) const noexcept {
+    return util::leading_ones(v.value(), m_);
+  }
+
+  [[nodiscard]] bool is_leaf(Vid v) const noexcept {
+    return child_count(v) == 0;
+  }
+
+  /// Parent VID: set the highest 0-bit (Property 2). Precondition: !is_root.
+  [[nodiscard]] Vid parent(Vid v) const noexcept {
+    return Vid{util::set_highest_zero(v.value(), m_)};
+  }
+
+  /// Children of v, ordered by *descending* VID — which by Property 3 is
+  /// also descending offspring count, the order the children list uses.
+  /// Child j clears the j-th leading 1-bit counted from the low end of the
+  /// run (so clearing the lowest leading one yields the largest child).
+  [[nodiscard]] std::vector<Vid> children(Vid v) const;
+
+  /// The k-th child in the descending-VID order above, 0 <= k < child_count.
+  [[nodiscard]] Vid child(Vid v, int k) const noexcept;
+
+  /// Subtree size rooted at v, *including* v: 2^(leading ones).
+  [[nodiscard]] std::uint32_t subtree_size(Vid v) const noexcept {
+    return std::uint32_t{1} << child_count(v);
+  }
+
+  /// Offspring (strict descendants) of v: subtree_size - 1. The paper's
+  /// examples: offspring(1110) = 7, offspring(1100) = 3 for m = 4.
+  [[nodiscard]] std::uint32_t offspring_count(Vid v) const noexcept {
+    return subtree_size(v) - 1u;
+  }
+
+  /// Depth of v below the root = number of 0-bits in v. The root has depth
+  /// 0; lookup paths are at most m hops (the O(log N) bound).
+  [[nodiscard]] int depth(Vid v) const noexcept {
+    return m_ - util::popcount(v.value());
+  }
+
+  /// True iff `descendant` lies in the subtree rooted at `ancestor`
+  /// (inclusive). A VID d is under a iff d agrees with a on every bit
+  /// outside a's leading 1-run — equivalently, d can be formed by clearing
+  /// a subset of a's leading ones.
+  [[nodiscard]] bool in_subtree(Vid descendant, Vid ancestor) const noexcept;
+
+  /// Path from v up to (and including) the root: v, parent(v), ..., root.
+  [[nodiscard]] std::vector<Vid> path_to_root(Vid v) const;
+
+  /// Every VID in the subtree rooted at v, in descending VID order
+  /// (therefore root-first). Size = subtree_size(v). O(2^leading_ones).
+  [[nodiscard]] std::vector<Vid> subtree_vids(Vid v) const;
+
+ private:
+  int m_;
+};
+
+}  // namespace lesslog::core

@@ -1,0 +1,101 @@
+// Client-side request tracking: correlation ids, timeouts, retries,
+// subtree migration on definitive misses, and latency accounting.
+//
+// The network is best-effort (messages can be dropped), so the client owns
+// reliability: a get that hears nothing within the timeout is retried up
+// to `max_retries` times; a *negative* reply triggers migration to the
+// next subtree identifier (Section 4) before counting a fault.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "lesslog/proto/peer.hpp"
+
+namespace lesslog::proto {
+
+struct ClientConfig {
+  double timeout = 0.25;  ///< seconds before a retry
+  int max_retries = 2;    ///< per (attempt, subtree) leg
+};
+
+struct GetResult {
+  bool ok = false;
+  std::uint64_t version = 0;
+  double latency = 0.0;  ///< issue -> final reply (simulated seconds)
+  int hops = 0;
+  int retries = 0;
+  int migrations = 0;
+};
+
+class Client {
+ public:
+  using GetCallback = std::function<void(const GetResult&)>;
+
+  /// A client colocated with `home`; installs itself as the peer's reply
+  /// sink.
+  Client(Peer& home, Network& network, ClientConfig cfg = {});
+
+  /// Issues GETFILE for `file` whose target root is `r`; `done` fires
+  /// exactly once.
+  void get(core::FileId file, core::Pid r, GetCallback done);
+
+  /// Sends an insert of `file` to holder `at` (the caller has resolved
+  /// FINDLIVENODE); `done(ok)` fires on ack or after retries expire.
+  void insert(core::FileId file, core::Pid r, core::Pid at,
+              std::function<void(bool)> done);
+
+  [[nodiscard]] std::int64_t requests_issued() const noexcept {
+    return issued_;
+  }
+  [[nodiscard]] std::int64_t faults() const noexcept { return faults_; }
+  [[nodiscard]] const std::vector<double>& latencies() const noexcept {
+    return latencies_;
+  }
+
+ private:
+  struct PendingGet {
+    core::FileId file;
+    core::Pid target;
+    GetCallback done;
+    double issued_at = 0.0;
+    int retries = 0;
+    int migrations = 0;
+    std::uint32_t subtree_attempt = 0;  ///< offset from home subtree id
+    /// Increments on every transmission; timeouts armed for an older
+    /// generation are stale and ignored (migration resets retries, so a
+    /// retry counter alone cannot identify the current leg).
+    int generation = 0;
+  };
+  struct PendingInsert {
+    core::FileId file;
+    core::Pid target;
+    core::Pid at;
+    std::function<void(bool)> done;
+    int retries = 0;
+  };
+
+  void on_reply(const Message& m);
+  void send_get(std::uint64_t id);
+  void arm_get_timeout(std::uint64_t id, int generation);
+  void send_insert(std::uint64_t id);
+  void finish_get(std::uint64_t id, bool ok, std::uint64_t version,
+                  int hops);
+  /// Entry PID for the current subtree attempt: this node's counterpart in
+  /// the migrated subtree (nearest live proxy if the counterpart is dead).
+  [[nodiscard]] std::optional<core::Pid> entry_for(const PendingGet& g) const;
+
+  Peer* home_;
+  Network* network_;
+  ClientConfig cfg_;
+  std::uint64_t next_id_;
+  std::unordered_map<std::uint64_t, PendingGet> gets_;
+  std::unordered_map<std::uint64_t, PendingInsert> inserts_;
+  std::int64_t issued_ = 0;
+  std::int64_t faults_ = 0;
+  std::vector<double> latencies_;
+};
+
+}  // namespace lesslog::proto

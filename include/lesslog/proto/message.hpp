@@ -1,0 +1,62 @@
+// Wire-level protocol messages.
+//
+// The core library implements LessLog's decisions as pure functions; this
+// layer makes the *protocol* concrete: typed messages exchanged between
+// peers over a simulated network, with a compact binary wire format
+// (encode/decode are real and round-trip tested — a deployment over UDP
+// or TCP would ship these bytes).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "lesslog/core/file_store.hpp"
+#include "lesslog/core/ids.hpp"
+
+namespace lesslog::proto {
+
+enum class MsgType : std::uint8_t {
+  kGetRequest = 1,    ///< climb the lookup tree toward a copy
+  kGetReply = 2,      ///< copy found (or definitive miss) -> requester
+  kInsertRequest = 3, ///< store an original copy at the target
+  kInsertAck = 4,
+  kCreateReplica = 5, ///< REPLICATEFILE's CREATEFILE message
+  kUpdatePush = 6,    ///< top-down version push along children lists
+  kStatusAnnounce = 7, ///< join/leave/fail registration broadcast
+  kFilePush = 8,       ///< move/copy an inserted file to its new holder
+  kReclaim = 9,        ///< joiner asks holders to return its files (5.1)
+  kFilePushAck = 10    ///< receipt for a kFilePush (pushes are retried)
+};
+
+/// One protocol message. Fields unused by a given type are zero; `ok`
+/// doubles as the live/dead flag of a status announce.
+struct Message {
+  std::uint64_t request_id = 0;  ///< correlation id (client-assigned)
+  MsgType type = MsgType::kGetRequest;
+  core::Pid from{};      ///< immediate sender
+  core::Pid to{};        ///< immediate receiver
+  core::Pid requester{}; ///< originating client node (for replies)
+  core::Pid subject{};   ///< announced node (status) / target root (routing)
+  core::FileId file{};
+  std::uint64_t version = 0;
+  std::uint8_t hop_count = 0;
+  bool ok = false;
+
+  friend bool operator==(const Message&, const Message&) = default;
+};
+
+/// Serialized size of every message (fixed-width format), in bytes.
+inline constexpr std::size_t kWireSize = 8 + 1 + 4 * 4 + 8 + 8 + 1 + 1;
+
+/// Encodes to the fixed-width little-endian wire format.
+[[nodiscard]] std::vector<std::uint8_t> encode(const Message& m);
+
+/// Decodes a wire buffer; nullopt on wrong size or invalid type tag.
+[[nodiscard]] std::optional<Message> decode(
+    const std::vector<std::uint8_t>& bytes);
+
+/// Human-readable tag for traces ("GET", "REPLY", ...).
+[[nodiscard]] const char* type_name(MsgType t) noexcept;
+
+}  // namespace lesslog::proto

@@ -1,0 +1,88 @@
+// Simulated datagram network.
+//
+// Delivers Messages between peers through the discrete-event engine with
+// configurable one-way latency (base + uniform jitter) and an optional
+// drop probability for fault injection. Accounting (messages, bytes,
+// drops) feeds the latency/overhead benches. Delivery is best-effort and
+// unordered, like UDP — the client layer owns timeouts and retries.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "lesslog/proto/message.hpp"
+#include "lesslog/sim/engine.hpp"
+
+namespace lesslog::proto {
+
+struct NetworkConfig {
+  double base_latency = 0.010;   ///< seconds, one way
+  double jitter = 0.005;         ///< uniform in [0, jitter) added per hop
+  double drop_probability = 0.0; ///< per-message loss
+};
+
+/// Optional geographic model: nodes get uniform coordinates in the unit
+/// square and the one-way latency of a link becomes
+/// base_latency + euclidean_distance * latency_per_unit (+ jitter).
+/// LessLog's routing is proximity-oblivious, so this model is what the
+/// stretch ablation measures against.
+struct Geography {
+  std::uint32_t slots = 0;          ///< ID-space size (coordinate count)
+  std::uint64_t seed = 1;           ///< placement seed
+  double latency_per_unit = 0.060;  ///< seconds across one unit of distance
+};
+
+class Network {
+ public:
+  using Handler = std::function<void(const Message&)>;
+
+  Network(sim::Engine& engine, NetworkConfig cfg);
+
+  /// Registers the receive handler for a PID. One handler per PID; later
+  /// registrations replace earlier ones (a rejoining peer re-registers).
+  void attach(core::Pid pid, Handler handler);
+
+  /// Removes a peer's handler; in-flight messages to it are dropped on
+  /// arrival (counted as undeliverable, like a crashed host).
+  void detach(core::Pid pid);
+
+  /// Sends m to m.to. The message is encoded and decoded across the
+  /// simulated wire, so only what the format carries arrives.
+  void send(const Message& m);
+
+  /// Switches to distance-based link latency (see Geography).
+  void enable_geography(const Geography& geo);
+
+  /// Euclidean distance between two nodes' coordinates. Precondition:
+  /// geography enabled and both PIDs within its slot count.
+  [[nodiscard]] double distance(core::Pid a, core::Pid b) const;
+
+  /// One-way latency of the (a, b) link excluding jitter.
+  [[nodiscard]] double link_latency(core::Pid a, core::Pid b) const;
+
+  [[nodiscard]] std::int64_t messages_sent() const noexcept {
+    return messages_sent_;
+  }
+  [[nodiscard]] std::int64_t bytes_sent() const noexcept {
+    return bytes_sent_;
+  }
+  [[nodiscard]] std::int64_t dropped() const noexcept { return dropped_; }
+  [[nodiscard]] std::int64_t undeliverable() const noexcept {
+    return undeliverable_;
+  }
+  [[nodiscard]] sim::Engine& engine() noexcept { return *engine_; }
+
+ private:
+  sim::Engine* engine_;
+  NetworkConfig cfg_;
+  Geography geo_;
+  std::vector<std::pair<double, double>> coords_;  // empty = flat latency
+  std::vector<Handler> handlers_;  // indexed by PID, empty = detached
+  std::int64_t messages_sent_ = 0;
+  std::int64_t bytes_sent_ = 0;
+  std::int64_t dropped_ = 0;
+  std::int64_t undeliverable_ = 0;
+};
+
+}  // namespace lesslog::proto

@@ -1,0 +1,144 @@
+// A protocol peer: one P2P node as a message-driven actor.
+//
+// Each peer owns its file store and its *local copy* of the status word
+// (kept fresh by kStatusAnnounce broadcasts, exactly the paper's Section 5
+// design) and makes every forwarding decision from local state only:
+//
+//   * kGetRequest — serve if a copy is held, else forward to the first
+//     alive subtree ancestor (FP), else to the subtree's stand-in holder;
+//     a definitive miss sends a negative kGetReply so the requester can
+//     migrate to the next subtree identifier (Section 4) or report a
+//     fault;
+//   * kInsertRequest / kCreateReplica / kUpdatePush — the storage-side
+//     protocol of Sections 2-3, with update pushes pruned at non-holders
+//     and fanned down children lists;
+//   * kStatusAnnounce — membership bookkeeping.
+//
+// Replies (kGetReply, kInsertAck) arriving at a peer are surfaced to the
+// colocated client through the reply sink.
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "lesslog/core/fault_tolerant.hpp"
+#include "lesslog/core/file_store.hpp"
+#include "lesslog/core/lookup_tree.hpp"
+#include "lesslog/proto/network.hpp"
+#include "lesslog/util/status_word.hpp"
+
+namespace lesslog::proto {
+
+class Peer {
+ public:
+  using ReplySink = std::function<void(const Message&)>;
+
+  /// A peer with the given PID in an m-bit ID space with b fault bits.
+  /// `initial_status` seeds the local liveness view (a joining node gets
+  /// it from a neighbor, Section 5.1).
+  Peer(core::Pid pid, int b, util::StatusWord initial_status,
+       Network& network);
+
+  [[nodiscard]] core::Pid pid() const noexcept { return pid_; }
+  [[nodiscard]] int fault_bits() const noexcept { return b_; }
+  [[nodiscard]] core::FileStore& store() noexcept { return store_; }
+  [[nodiscard]] const core::FileStore& store() const noexcept {
+    return store_;
+  }
+  [[nodiscard]] const util::StatusWord& status() const noexcept {
+    return status_;
+  }
+
+  /// Wires this peer's handler into the network.
+  void attach();
+  void detach();
+
+  /// Reinitializes this peer object for a re-join of the same PID: fresh
+  /// status word, empty store, cleared placement memory and in-flight
+  /// pushes, counters zeroed, handler re-attached. Peers are reused across
+  /// membership cycles (never destroyed mid-run) so engine timers that
+  /// captured this object can never dangle.
+  void rejoin(util::StatusWord fresh_status);
+
+  /// Sets where kGetReply / kInsertAck messages are surfaced (the
+  /// colocated client).
+  void set_reply_sink(ReplySink sink) { reply_sink_ = std::move(sink); }
+
+  /// Message entry point (also called directly by tests).
+  void handle(const Message& m);
+
+  /// Section 5.2, the data-motion half of a graceful leave: pushes every
+  /// inserted file to its post-departure holder (computed with this node
+  /// marked dead), discards replicas, and clears the store. The caller
+  /// broadcasts the status change and detaches afterwards. Only correct
+  /// for ψ-named files (target = ψ(file), the paper's naming rule).
+  void graceful_leave();
+
+  /// The file's target root under the paper's naming rule r = ψ(f).
+  [[nodiscard]] core::Pid target_of(core::FileId f) const noexcept;
+
+  /// Requests served from the local store.
+  [[nodiscard]] std::int64_t served() const noexcept { return served_; }
+  /// Requests forwarded toward other peers.
+  [[nodiscard]] std::int64_t forwarded() const noexcept { return forwarded_; }
+
+  /// Measurement-window boundary for the closed-loop controller: zeroes
+  /// the service counters and every copy's access count.
+  void reset_window() noexcept;
+
+  /// Autonomous REPLICATEFILE: picks this peer's locally hottest file (by
+  /// access count since the last window reset, local knowledge only) and
+  /// pushes one replica of it to the LessLog placement, remembering its
+  /// own past placements so successive sheds walk the children list.
+  /// Returns the placement, or nullopt when nothing can be shed.
+  std::optional<core::Pid> shed_hottest();
+
+ private:
+  void on_get(const Message& m);
+  void on_insert(const Message& m);
+  void on_create_replica(const Message& m);
+  void on_update(const Message& m);
+  void on_status(const Message& m);
+  void on_file_push(const Message& m);
+  void on_push_ack(const Message& m);
+  void on_reclaim(const Message& m);
+  /// Section 5.3: after learning of a crash, re-insert files whose holder
+  /// in the crashed node's subtree was lost, pulling from this node's own
+  /// inserted copies. Exactly one sibling holder pushes (deterministic
+  /// designation), so recovery costs one message per lost copy.
+  void recover_after_crash(core::Pid crashed,
+                           const util::StatusWord& before);
+  /// Reliable file transfer: pushes are acked (kFilePushAck) and
+  /// retransmitted on timeout — a lost datagram must not lose a file's
+  /// only authoritative copy during membership data motion.
+  void push_file(core::FileId f, std::uint64_t version, core::Pid to);
+  void transmit_push(std::uint64_t id);
+  void reply_get(const Message& request, bool ok, std::uint64_t version);
+  /// Next hop for a get toward target root `r` within this peer's subtree
+  /// of that tree; nullopt = definitive local miss.
+  [[nodiscard]] std::optional<core::Pid> next_hop(core::Pid r) const;
+
+  core::Pid pid_;
+  int b_;
+  util::StatusWord status_;
+  core::FileStore store_;
+  Network* network_;
+  ReplySink reply_sink_;
+  std::int64_t served_ = 0;
+  std::int64_t forwarded_ = 0;
+  /// Replica placements this peer has made, per file. A peer cannot know
+  /// about copies created elsewhere (logless!), but it is the sole author
+  /// of its own sheds, so tracking them walks the children list correctly.
+  std::unordered_map<core::FileId, std::vector<core::Pid>> placed_;
+  /// In-flight file pushes awaiting acks, keyed by request id.
+  struct PendingPush {
+    Message msg;
+    int retries = 0;
+    int generation = 0;
+  };
+  std::unordered_map<std::uint64_t, PendingPush> pending_pushes_;
+  std::uint64_t next_push_id_;
+};
+
+}  // namespace lesslog::proto

@@ -1,0 +1,136 @@
+// Swarm — a whole message-driven LessLog deployment in one object.
+//
+// Owns the event engine, the network, one Peer per live PID, and one
+// colocated Client per peer. Provides the data-plane operations of the
+// paper as asynchronous protocol exchanges (insert / get / update /
+// replicate / membership announcements) plus helpers to drive the
+// simulation and collect latency statistics.
+//
+// This is the layer the latency/overhead benches and the protocol example
+// run on; the direct-call core::System remains the convenient API for
+// logic-level work (its routing decisions and this layer's are verified
+// against each other in tests/proto/).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "lesslog/core/replication.hpp"
+#include "lesslog/proto/client.hpp"
+#include "lesslog/proto/network.hpp"
+#include "lesslog/proto/peer.hpp"
+
+namespace lesslog::proto {
+
+class Swarm {
+ public:
+  struct Config {
+    int m = 8;
+    int b = 0;
+    std::uint32_t nodes = 0;  ///< live PIDs [0, nodes)
+    std::uint64_t seed = 1;
+    NetworkConfig net;
+    ClientConfig client;
+  };
+
+  explicit Swarm(Config cfg);
+
+  [[nodiscard]] sim::Engine& engine() noexcept { return engine_; }
+  [[nodiscard]] Network& network() noexcept { return network_; }
+  [[nodiscard]] Peer& peer(core::Pid p) { return *peers_[p.value()]; }
+  [[nodiscard]] Client& client(core::Pid p) { return *clients_[p.value()]; }
+  [[nodiscard]] const util::StatusWord& status() const noexcept {
+    return status_;
+  }
+  [[nodiscard]] int width() const noexcept { return cfg_.m; }
+
+  /// Runs the event loop until no event remains (all in-flight protocol
+  /// exchanges, timeouts included, have resolved).
+  void settle();
+
+  /// Inserts a file with target root r: resolves the 2^b per-subtree
+  /// holders from the *issuing node's* status word (the paper's
+  /// ADVANCEDINSERTFILE) and sends one insert per holder. Asynchronous;
+  /// settle() to complete.
+  void insert(core::FileId file, core::Pid r, core::Pid issuer);
+
+  /// Inserts under the paper's naming rule: the FileId is the key and the
+  /// target is r = ψ(key). Membership data motion (graceful leave, crash
+  /// recovery, join reclaim) is only defined for ψ-named files.
+  core::FileId insert_named(std::uint64_t key, core::Pid issuer);
+
+  /// Issues a get from `at`; the result lands in the given callback (and
+  /// in the per-client latency stats).
+  void get(core::FileId file, core::Pid r, core::Pid at,
+           Client::GetCallback done = nullptr);
+
+  /// Sends an update push (new version) into the tree of r from `issuer`:
+  /// one push per subtree stand-in, as Section 4 prescribes.
+  void update(core::FileId file, core::Pid r, std::uint64_t version,
+              core::Pid issuer);
+
+  /// Issues REPLICATEFILE at overloaded holder `overloaded`: computes the
+  /// placement locally (bit operations on its status word + which copies
+  /// it knows of via `holds`) and sends kCreateReplica.
+  std::optional<core::Pid> replicate(core::FileId file, core::Pid r,
+                                     core::Pid overloaded,
+                                     const core::HoldsCopyFn& holds);
+
+  /// Membership with the Section 5 data-motion protocols on the wire:
+  ///   * join — the node comes online, broadcasts its status, and issues a
+  ///     kReclaim sweep so current holders push back the ψ-named files it
+  ///     is now authoritative for;
+  ///   * depart — graceful leave: inserted files are pushed to their
+  ///     post-departure holders before the status broadcast and detach;
+  ///   * crash — the store vanishes; surviving sibling-subtree holders
+  ///     re-insert the lost copies when the failure announcement reaches
+  ///     them (b > 0; with b = 0 unreplicated files are simply lost).
+  core::Pid join(std::optional<core::Pid> requested = std::nullopt);
+  void depart(core::Pid p);
+  void crash(core::Pid p);
+
+  /// Aggregate client stats across all peers.
+  [[nodiscard]] std::int64_t total_faults() const;
+  [[nodiscard]] std::vector<double> all_latencies() const;
+
+  /// Closed-loop overload control: every `window` seconds each live peer
+  /// inspects its own served counters (local knowledge only — no logs
+  /// leave the node); if it served more than capacity*window requests it
+  /// replicates its locally hottest file via the LessLog rule, then
+  /// resets its counters. Runs until `stop_at`. This is the autonomous
+  /// behaviour the paper's REPLICATEFILE loop describes ("we continue
+  /// replicating f ... until P(r) is not overloaded").
+  ///
+  /// `removal_threshold` (requests/s; 0 disables) adds the paper's
+  /// "simple counter-based mechanism to remove replicas that are not
+  /// frequently accessed": a peer whose *replica* served fewer than
+  /// removal_threshold * window requests in the window drops it — a
+  /// purely local decision, no messages.
+  void enable_auto_replication(double capacity, double window,
+                               double stop_at,
+                               double removal_threshold = 0.0);
+
+  /// Replicas created / removed by the closed loop so far.
+  [[nodiscard]] std::int64_t auto_replicas() const noexcept {
+    return auto_replicas_;
+  }
+  [[nodiscard]] std::int64_t auto_removals() const noexcept {
+    return auto_removals_;
+  }
+
+ private:
+  void broadcast_status(core::Pid about, bool live);
+  void auto_replication_tick(double capacity, double window, double stop_at,
+                             double removal_threshold);
+
+  Config cfg_;
+  sim::Engine engine_;
+  Network network_;
+  util::StatusWord status_;
+  std::vector<std::unique_ptr<Peer>> peers_;
+  std::vector<std::unique_ptr<Client>> clients_;
+  std::int64_t auto_replicas_ = 0;
+  std::int64_t auto_removals_ = 0;
+};
+
+}  // namespace lesslog::proto

@@ -1,0 +1,54 @@
+// Message tracing: records every datagram a Swarm's peers receive, with
+// timestamps, as structured records — filterable, printable, and
+// JSONL-exportable. The protocol_trace example renders with it; tests use
+// it to assert exact message sequences.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "lesslog/proto/swarm.hpp"
+
+namespace lesslog::proto {
+
+struct TraceRecord {
+  double time = 0.0;  ///< delivery time (simulated seconds)
+  Message message;
+};
+
+class Trace {
+ public:
+  /// Starts recording every delivery in `swarm` by wrapping each attached
+  /// peer's network handler. Peers that join later are wrapped when
+  /// rearm() is called. The Trace must outlive the recording swarm or be
+  /// detached by destroying the swarm first (handlers keep a pointer).
+  explicit Trace(Swarm& swarm);
+
+  /// Re-wraps handlers after membership changes added peers.
+  void rearm();
+
+  [[nodiscard]] const std::vector<TraceRecord>& records() const noexcept {
+    return records_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
+  void clear() noexcept { records_.clear(); }
+
+  /// Records of one type, in order.
+  [[nodiscard]] std::vector<TraceRecord> of_type(MsgType t) const;
+
+  /// Count of records of one type.
+  [[nodiscard]] std::size_t count(MsgType t) const;
+
+  /// Human-readable line per record ("t=0.010s GET P(8) -> P(0) ...").
+  [[nodiscard]] std::string render() const;
+
+  /// One JSON object per line (numeric fields; type as string tag).
+  void write_jsonl(std::ostream& out) const;
+
+ private:
+  Swarm* swarm_;
+  std::vector<TraceRecord> records_;
+};
+
+}  // namespace lesslog::proto

@@ -1,0 +1,39 @@
+// Placement analytics: given a copy placement on a lookup tree, quantify
+// the structure LessLog's rule produces — who serves whom, how unequal the
+// catchments are, where copies sit in the tree. Benches and tests use this
+// to explain replica counts rather than just report them.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lesslog/sim/load_solver.hpp"
+
+namespace lesslog::sim {
+
+struct PlacementAnalysis {
+  /// Copies analyzed (live holders only).
+  std::size_t copies = 0;
+  /// For each copy (ascending PID): how many live requesters it serves
+  /// under a uniform workload (its *catchment*, including itself).
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> catchments;
+  /// Inequality of catchment sizes: 0 = all copies serve equal shares.
+  double catchment_gini = 0.0;
+  /// Largest catchment as a fraction of live nodes.
+  double max_catchment_fraction = 0.0;
+  /// Tree depth statistics of the copy locations (depth 0 = tree root).
+  double mean_copy_depth = 0.0;
+  int max_copy_depth = 0;
+  /// Rate-unweighted mean hops a requester travels to its serving copy.
+  double mean_hops = 0.0;
+  /// Requesters with no reachable copy (should be 0 when the insertion
+  /// target holds a copy).
+  std::uint32_t uncovered = 0;
+};
+
+/// Analyzes `has_copy` on `tree` under the given liveness. O(N·m).
+[[nodiscard]] PlacementAnalysis analyze_placement(
+    const core::LookupTree& tree, const CopyMap& has_copy,
+    const util::StatusWord& live);
+
+}  // namespace lesslog::sim

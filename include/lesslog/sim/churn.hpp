@@ -1,0 +1,53 @@
+// Churn driver — the paper's stated future work ("obtain performance data
+// in a real-world scenario where nodes dynamically join and leave").
+//
+// Drives a live core::System with Poisson processes for requests, joins,
+// graceful leaves, and crashes, and reports request success rate, lookup
+// cost, and the self-organization maintenance traffic. The minimum live
+// population is floored so the system never empties.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lesslog/core/system.hpp"
+
+namespace lesslog::sim {
+
+struct ChurnConfig {
+  int m = 8;
+  int b = 0;
+  std::uint32_t initial_nodes = 200;
+  std::uint32_t min_nodes = 32;      ///< leaves/fails suspend below this
+  std::uint32_t files = 64;          ///< inserted before churn starts
+  double duration = 600.0;           ///< simulated seconds
+  double request_rate = 200.0;       ///< requests/s (system-wide)
+  double join_rate = 0.5;            ///< joins/s
+  double leave_rate = 0.25;          ///< graceful leaves/s
+  double fail_rate = 0.25;           ///< crashes/s
+  std::uint64_t seed = 7;
+};
+
+struct ChurnResult {
+  std::int64_t requests = 0;
+  std::int64_t faults = 0;
+  std::int64_t joins = 0;
+  std::int64_t leaves = 0;
+  std::int64_t fails = 0;
+  std::int64_t lookup_messages = 0;
+  std::int64_t maintenance_messages = 0;
+  std::uint32_t final_nodes = 0;
+  std::size_t files_lost = 0;
+  double mean_hops = 0.0;
+
+  [[nodiscard]] double fault_fraction() const noexcept {
+    return requests > 0
+               ? static_cast<double>(faults) / static_cast<double>(requests)
+               : 0.0;
+  }
+};
+
+/// Runs one churn scenario to completion. Deterministic given cfg.seed.
+[[nodiscard]] ChurnResult run_churn(const ChurnConfig& cfg);
+
+}  // namespace lesslog::sim

@@ -1,0 +1,45 @@
+// Simulation engine: event queue + seeded randomness + recurring-process
+// helpers. The churn driver and the dynamic examples build on this.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "lesslog/sim/event_queue.hpp"
+#include "lesslog/util/rng.hpp"
+
+namespace lesslog::sim {
+
+class Engine {
+ public:
+  explicit Engine(std::uint64_t seed) : rng_(seed) {}
+
+  [[nodiscard]] EventQueue& queue() noexcept { return queue_; }
+  [[nodiscard]] util::Rng& rng() noexcept { return rng_; }
+  [[nodiscard]] SimTime now() const noexcept { return queue_.now(); }
+
+  void at(SimTime when, EventFn fn) { queue_.schedule(when, std::move(fn)); }
+
+  void after(SimTime delay, EventFn fn) {
+    queue_.schedule(queue_.now() + delay, std::move(fn));
+  }
+
+  /// Starts a Poisson process with the given rate (events/time-unit): `fn`
+  /// fires at exponentially spaced times until `stop_at`. A rate of 0
+  /// schedules nothing.
+  void poisson_process(double rate, SimTime stop_at,
+                       std::function<void()> fn);
+
+  /// Runs until `until`; returns events executed.
+  std::int64_t run_until(SimTime until) { return queue_.run_until(until); }
+
+ private:
+  void schedule_next_arrival(double rate, SimTime stop_at,
+                             std::shared_ptr<std::function<void()>> fn);
+
+  EventQueue queue_;
+  util::Rng rng_;
+};
+
+}  // namespace lesslog::sim

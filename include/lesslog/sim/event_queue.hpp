@@ -1,0 +1,55 @@
+// Discrete-event core: a time-ordered queue of callbacks.
+//
+// Used by the dynamic scenarios (churn, flash crowds) where the fluid
+// solver's steady-state answer is not enough. Events at equal timestamps
+// fire in submission order (a monotone sequence number breaks ties), which
+// keeps runs deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace lesslog::sim {
+
+using SimTime = double;
+using EventFn = std::function<void()>;
+
+class EventQueue {
+ public:
+  /// Schedules `fn` at absolute time `at` (must not precede now()).
+  void schedule(SimTime at, EventFn fn);
+
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+  [[nodiscard]] SimTime next_time() const;
+
+  /// Pops and runs the earliest event; advances now(). Precondition:
+  /// !empty().
+  void step();
+
+  /// Runs events until the queue is empty or the next event is after
+  /// `until`; now() ends at min(until, last event time). Returns the
+  /// number of events executed.
+  std::int64_t run_until(SimTime until);
+
+ private:
+  struct Entry {
+    SimTime at;
+    std::uint64_t seq;
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      return a.at != b.at ? a.at > b.at : a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  SimTime now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace lesslog::sim

@@ -1,0 +1,58 @@
+// Deterministic fluid-flow load model.
+//
+// The paper's metric is the number of replicas required until no node
+// serves more than its capacity. Because GETFILE routing is deterministic
+// given the copy placement and the liveness map, the steady-state served
+// rate of every node is an exact computation: route each live node's
+// request stream along its lookup path and credit the first copy-holder.
+// This replaces the authors' (unreleased) packet simulator with a
+// noise-free equivalent of the same steady-state quantity; the
+// event-driven engine (engine.hpp) covers the scenarios where timing
+// matters.
+#pragma once
+
+#include <vector>
+
+#include "lesslog/core/fault_tolerant.hpp"
+#include "lesslog/core/lookup_tree.hpp"
+#include "lesslog/sim/workload.hpp"
+#include "lesslog/util/status_word.hpp"
+
+namespace lesslog::sim {
+
+/// Copy placement for one file: has_copy[pid] != 0 iff P(pid) stores a
+/// copy. A plain byte vector keeps the solver branch-light.
+using CopyMap = std::vector<char>;
+
+struct LoadReport {
+  /// Requests/second served by each node (requests that terminate there).
+  std::vector<double> served;
+  /// Requests/second each node forwards to its parent (pass-through load).
+  std::vector<double> forwarded;
+  /// Rate of requests that found no copy anywhere (faults).
+  double fault_rate = 0.0;
+  /// Rate-weighted mean hop count of a request.
+  double mean_hops = 0.0;
+  /// Largest served value, and the node carrying it.
+  double max_served = 0.0;
+  std::uint32_t max_served_pid = 0;
+
+  /// Nodes whose served rate strictly exceeds `capacity`, sorted by
+  /// descending load.
+  [[nodiscard]] std::vector<std::uint32_t> overloaded(double capacity) const;
+};
+
+/// Exact steady-state load for one file routed through `tree` (b = 0).
+[[nodiscard]] LoadReport solve_load(const core::LookupTree& tree,
+                                    const CopyMap& has_copy,
+                                    const util::StatusWord& live,
+                                    const Workload& demand);
+
+/// Same, routed through the fault-tolerant subtree view (b > 0; with b = 0
+/// it matches solve_load exactly, which a test asserts).
+[[nodiscard]] LoadReport solve_load(const core::SubtreeView& view,
+                                    const CopyMap& has_copy,
+                                    const util::StatusWord& live,
+                                    const Workload& demand);
+
+}  // namespace lesslog::sim

@@ -1,0 +1,73 @@
+// Figure-series collection and reporting.
+//
+// Each bench reproduces one paper figure as a set of named series over a
+// shared x-axis. FigureData renders the rows the paper plots (aligned
+// table + optional CSV mirror + a coarse ASCII chart) and provides shape
+// checks (dominance, approximate monotonicity) so EXPERIMENTS.md claims are
+// validated by code, not by eyeballing.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lesslog/util/table.hpp"
+
+namespace lesslog::sim {
+
+struct Series {
+  std::string name;
+  std::vector<double> values;  // one per x-axis entry
+};
+
+class FigureData {
+ public:
+  FigureData(std::string title, std::string x_label,
+             std::vector<double> x_values);
+
+  [[nodiscard]] const std::string& title() const noexcept { return title_; }
+  [[nodiscard]] const std::vector<double>& x_values() const noexcept {
+    return xs_;
+  }
+
+  /// Adds a series; must have one value per x entry.
+  void add_series(std::string name, std::vector<double> values);
+
+  [[nodiscard]] const Series& series(std::size_t i) const {
+    return series_[i];
+  }
+  [[nodiscard]] std::size_t series_count() const noexcept {
+    return series_.size();
+  }
+  [[nodiscard]] const Series* find(const std::string& name) const;
+
+  /// Aligned table: one row per x value, one column per series.
+  [[nodiscard]] util::Table to_table() const;
+
+  /// GitHub-flavored Markdown table (used by the report generator).
+  [[nodiscard]] std::string to_markdown(int precision = 1) const;
+
+  /// Coarse ASCII chart (one glyph per series) for quick visual shape
+  /// inspection in terminal output.
+  [[nodiscard]] std::string ascii_chart(int height = 16) const;
+
+  /// Writes the table as CSV.
+  void write_csv(const std::string& path) const;
+
+  /// True iff series `a` <= series `b` at every x (with `slack` as a
+  /// multiplicative tolerance: a <= b * (1 + slack)).
+  [[nodiscard]] bool dominates(const std::string& a, const std::string& b,
+                               double slack = 0.0) const;
+
+  /// True iff the named series never decreases by more than `slack`
+  /// (absolute) between consecutive x values.
+  [[nodiscard]] bool roughly_increasing(const std::string& name,
+                                        double slack = 0.0) const;
+
+ private:
+  std::string title_;
+  std::string x_label_;
+  std::vector<double> xs_;
+  std::vector<Series> series_;
+};
+
+}  // namespace lesslog::sim

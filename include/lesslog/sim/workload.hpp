@@ -1,0 +1,48 @@
+// Client request workloads.
+//
+// The paper's experiments drive the system with a single popular file and a
+// per-node request arrival rate, under two client distributions:
+//   * evenly distributed — every live node receives the same share of the
+//     total request rate (Figures 5 and 6);
+//   * locality model — 80% of the requests are received by 20% of the
+//     nodes, "when a certain region of the P2P system accesses this file
+//     more frequently than the rest" (Figures 7 and 8).
+// A Zipf file-popularity generator supports the multi-file extension
+// experiments.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lesslog/util/rng.hpp"
+#include "lesslog/util/status_word.hpp"
+
+namespace lesslog::sim {
+
+/// Per-node request arrival rates (requests/second), indexed by PID.
+/// Dead nodes always carry rate 0.
+struct Workload {
+  std::vector<double> rate;
+
+  [[nodiscard]] double total() const noexcept;
+  [[nodiscard]] std::size_t size() const noexcept { return rate.size(); }
+};
+
+/// Evenly distributed: total_rate split equally across all live nodes.
+[[nodiscard]] Workload uniform_workload(const util::StatusWord& live,
+                                        double total_rate);
+
+/// Locality model: a random `hot_node_fraction` of the live nodes receives
+/// `hot_request_fraction` of the total rate (split evenly among them); the
+/// remaining nodes split the rest evenly. Paper defaults: 0.2 / 0.8.
+[[nodiscard]] Workload locality_workload(const util::StatusWord& live,
+                                         double total_rate,
+                                         util::Rng& rng,
+                                         double hot_node_fraction = 0.2,
+                                         double hot_request_fraction = 0.8);
+
+/// Zipf(s) popularity weights over `n` files, normalized to sum to 1.
+/// weight[i] ∝ 1/(i+1)^s.
+[[nodiscard]] std::vector<double> zipf_weights(std::size_t n, double s);
+
+}  // namespace lesslog::sim

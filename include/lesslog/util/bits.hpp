@@ -1,0 +1,105 @@
+// Bit-manipulation primitives used throughout the LessLog ID space.
+//
+// All IDs in LessLog are m-bit unsigned values (m <= 30 in this
+// implementation). The binomial lookup-tree structure is defined entirely in
+// terms of runs of leading 1-bits within an m-bit window, so the helpers here
+// all take the window width explicitly rather than operating on the full
+// 32-bit word.
+#pragma once
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+#include <string>
+
+namespace lesslog::util {
+
+/// Maximum supported ID-space width. 2^30 node slots is far beyond the
+/// paper's experiments (m = 10) while keeping every ID in a uint32_t.
+inline constexpr int kMaxIdBits = 30;
+
+/// True iff `m` is a usable ID-space width.
+[[nodiscard]] constexpr bool valid_width(int m) noexcept {
+  return m >= 1 && m <= kMaxIdBits;
+}
+
+/// All-ones mask of the low `m` bits: 2^m - 1.
+[[nodiscard]] constexpr std::uint32_t mask_of(int m) noexcept {
+  return (std::uint32_t{1} << m) - 1u;
+}
+
+/// Number of values representable in `m` bits: 2^m.
+[[nodiscard]] constexpr std::uint32_t space_size(int m) noexcept {
+  return std::uint32_t{1} << m;
+}
+
+/// True iff `v` fits in `m` bits.
+[[nodiscard]] constexpr bool fits(std::uint32_t v, int m) noexcept {
+  return (v & ~mask_of(m)) == 0;
+}
+
+/// Length of the run of 1-bits starting at bit (m-1) and extending downward.
+/// leading_ones(0b1101, 4) == 2; leading_ones(0b0111, 4) == 0;
+/// leading_ones(0b1111, 4) == 4.
+[[nodiscard]] constexpr int leading_ones(std::uint32_t v, int m) noexcept {
+  // Shift the m-bit window to the top of the word, then count leading ones.
+  return std::min(std::countl_one(v << (32 - m)), m);
+}
+
+/// Position (bit index) of the highest 0-bit of `v` within the m-bit window,
+/// or -1 if v is all ones. The LessLog parent rule sets this bit.
+[[nodiscard]] constexpr int highest_zero_bit(std::uint32_t v, int m) noexcept {
+  const int ones = leading_ones(v, m);
+  return ones == m ? -1 : m - 1 - ones;
+}
+
+/// Set the highest 0-bit within the m-bit window (Property 2: parent VID).
+/// Precondition: v is not all-ones.
+[[nodiscard]] constexpr std::uint32_t set_highest_zero(std::uint32_t v,
+                                                       int m) noexcept {
+  return v | (std::uint32_t{1} << highest_zero_bit(v, m));
+}
+
+/// Clear bit `pos` of v.
+[[nodiscard]] constexpr std::uint32_t clear_bit(std::uint32_t v,
+                                                int pos) noexcept {
+  return v & ~(std::uint32_t{1} << pos);
+}
+
+/// Test bit `pos` of v.
+[[nodiscard]] constexpr bool test_bit(std::uint32_t v, int pos) noexcept {
+  return ((v >> pos) & 1u) != 0;
+}
+
+/// Number of set bits.
+[[nodiscard]] constexpr int popcount(std::uint32_t v) noexcept {
+  return std::popcount(v);
+}
+
+/// Bitwise complement within the m-bit window: ~v & mask. This is the
+/// "complement of k" the paper uses to derive physical lookup trees.
+[[nodiscard]] constexpr std::uint32_t complement(std::uint32_t v,
+                                                 int m) noexcept {
+  return ~v & mask_of(m);
+}
+
+/// True iff v is a power of two (exactly one set bit).
+[[nodiscard]] constexpr bool is_pow2(std::uint32_t v) noexcept {
+  return std::has_single_bit(v);
+}
+
+/// Smallest m such that 2^m >= n; used when sizing an ID space for n nodes.
+/// Precondition: 1 <= n <= 2^kMaxIdBits.
+[[nodiscard]] constexpr int width_for(std::uint32_t n) noexcept {
+  return n <= 1 ? 1 : static_cast<int>(std::bit_width(n - 1));
+}
+
+/// Render the low `m` bits of v MSB-first, e.g. to_binary(0b0101, 4) ==
+/// "0101". Used by debug dumps and the structure-figure examples.
+[[nodiscard]] std::string to_binary(std::uint32_t v, int m);
+
+/// Parse an MSB-first binary string ("0101") into a value. Asserts on any
+/// character outside {0,1}.
+[[nodiscard]] std::uint32_t from_binary(const std::string& s);
+
+}  // namespace lesslog::util

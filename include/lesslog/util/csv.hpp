@@ -1,0 +1,31 @@
+// Minimal CSV writer. Benches can mirror their printed tables to CSV files
+// (via --csv <path>) so plots can be regenerated offline.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "lesslog/util/table.hpp"
+
+namespace lesslog::util {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row. Throws
+  /// std::runtime_error if the file cannot be opened.
+  CsvWriter(const std::string& path, const std::vector<std::string>& headers);
+
+  /// Appends one row; must match the header width.
+  void add_row(const std::vector<Cell>& row);
+
+  /// Escape a field per RFC 4180 (quotes around fields containing commas,
+  /// quotes, or newlines). Exposed for tests.
+  [[nodiscard]] static std::string escape(const std::string& field);
+
+ private:
+  std::ofstream out_;
+  std::size_t width_;
+};
+
+}  // namespace lesslog::util

@@ -1,0 +1,50 @@
+// The ψ hash: maps a file's unique identifying string (e.g. its URL) to a
+// target PID in [0, 2^m). The paper only requires ψ to be a fixed hash onto
+// the ID space; we use FNV-1a 64 with an avalanche finisher, folded into the
+// m-bit window, which distributes tiny key sets (the experiments use a
+// single file) as well as large ones.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "lesslog/util/bits.hpp"
+
+namespace lesslog::util {
+
+/// FNV-1a 64-bit over a byte string.
+[[nodiscard]] constexpr std::uint64_t fnv1a64(std::string_view s) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Final avalanche (from MurmurHash3's fmix64) so that low output bits
+/// depend on every input byte even for short keys.
+[[nodiscard]] constexpr std::uint64_t avalanche64(std::uint64_t h) noexcept {
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ULL;
+  h ^= h >> 33;
+  return h;
+}
+
+/// ψ(name, m): target PID of a file in an m-bit ID space.
+[[nodiscard]] constexpr std::uint32_t psi(std::string_view name,
+                                          int m) noexcept {
+  return static_cast<std::uint32_t>(avalanche64(fnv1a64(name))) & mask_of(m);
+}
+
+/// Hash a 64-bit integer key onto the m-bit space (used by synthetic
+/// workloads that name files by index without building strings).
+[[nodiscard]] constexpr std::uint32_t psi_u64(std::uint64_t key,
+                                              int m) noexcept {
+  return static_cast<std::uint32_t>(avalanche64(key ^ 0x9e3779b97f4a7c15ULL)) &
+         mask_of(m);
+}
+
+}  // namespace lesslog::util

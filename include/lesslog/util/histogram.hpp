@@ -1,0 +1,43 @@
+// Fixed-width bucketed histogram with an ASCII renderer; used to report
+// per-node load distributions and hop-count distributions in examples and
+// benches.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lesslog::util {
+
+class Histogram {
+ public:
+  /// Buckets of width `bucket_width` starting at `lo`. Values below `lo` go
+  /// to bucket 0; values beyond the last bucket are clamped to it.
+  Histogram(double lo, double bucket_width, std::size_t bucket_count);
+
+  void add(double x) noexcept;
+  void add_n(double x, std::int64_t n) noexcept;
+
+  [[nodiscard]] std::size_t bucket_count() const noexcept {
+    return counts_.size();
+  }
+  [[nodiscard]] std::int64_t bucket(std::size_t i) const noexcept {
+    return counts_[i];
+  }
+  [[nodiscard]] std::int64_t total() const noexcept { return total_; }
+  [[nodiscard]] double bucket_lo(std::size_t i) const noexcept {
+    return lo_ + static_cast<double>(i) * width_;
+  }
+
+  /// Render bars of at most `max_width` characters per bucket, one bucket
+  /// per line, with count annotations. Empty trailing buckets are elided.
+  [[nodiscard]] std::string render(int max_width = 50) const;
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<std::int64_t> counts_;
+  std::int64_t total_ = 0;
+};
+
+}  // namespace lesslog::util

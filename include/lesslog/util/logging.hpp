@@ -1,0 +1,89 @@
+// Leveled diagnostic logging. Off (Warn) by default so library users and the
+// benches get clean stdout; examples flip to Info/Debug to narrate protocol
+// steps (which is how the quickstart shows routing paths).
+//
+// Messages use "{}" placeholders filled left to right (a minimal subset of
+// std::format, which GCC 12 does not ship). Surplus arguments are appended;
+// surplus placeholders are left verbatim.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace lesslog::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global threshold; messages below it are dropped. Thread-safe (atomic).
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+/// Writes one line to stderr with a level tag. Serialized by a mutex so
+/// concurrent bench cells don't interleave characters.
+void log_line(LogLevel level, std::string_view msg);
+
+namespace detail {
+
+template <typename T>
+void format_into_append(std::ostringstream& out, const T& value) {
+  out << " " << value;
+}
+
+inline void format_into(std::ostringstream& out, std::string_view fmt) {
+  out << fmt;
+}
+
+template <typename First, typename... Rest>
+void format_into(std::ostringstream& out, std::string_view fmt,
+                 const First& first, const Rest&... rest) {
+  const std::size_t pos = fmt.find("{}");
+  if (pos == std::string_view::npos) {
+    out << fmt << " " << first;
+    (format_into_append(out, rest), ...);
+    return;
+  }
+  out << fmt.substr(0, pos) << first;
+  format_into(out, fmt.substr(pos + 2), rest...);
+}
+
+}  // namespace detail
+
+/// Renders "{}" placeholders; exposed for tests.
+template <typename... Args>
+[[nodiscard]] std::string format_message(std::string_view fmt,
+                                         const Args&... args) {
+  std::ostringstream out;
+  detail::format_into(out, fmt, args...);
+  return out.str();
+}
+
+template <typename... Args>
+void log_debug(std::string_view fmt, const Args&... args) {
+  if (log_level() <= LogLevel::kDebug) {
+    log_line(LogLevel::kDebug, format_message(fmt, args...));
+  }
+}
+
+template <typename... Args>
+void log_info(std::string_view fmt, const Args&... args) {
+  if (log_level() <= LogLevel::kInfo) {
+    log_line(LogLevel::kInfo, format_message(fmt, args...));
+  }
+}
+
+template <typename... Args>
+void log_warn(std::string_view fmt, const Args&... args) {
+  if (log_level() <= LogLevel::kWarn) {
+    log_line(LogLevel::kWarn, format_message(fmt, args...));
+  }
+}
+
+template <typename... Args>
+void log_error(std::string_view fmt, const Args&... args) {
+  if (log_level() <= LogLevel::kError) {
+    log_line(LogLevel::kError, format_message(fmt, args...));
+  }
+}
+
+}  // namespace lesslog::util

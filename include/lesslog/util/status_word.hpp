@@ -1,0 +1,66 @@
+// The "status word": a bitmap of node liveness.
+//
+// Section 5 of the paper maintains in each live node a status word where
+// each bit indicates whether the corresponding PID is live. We model it as a
+// compact dynamic bitset over the full 2^m ID space. Algorithms take a
+// `const StatusWord&` view; the membership protocols (join/leave/fail) are
+// the only writers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lesslog/util/bits.hpp"
+
+namespace lesslog::util {
+
+class StatusWord {
+ public:
+  /// Creates a status word for an m-bit ID space with every slot dead.
+  explicit StatusWord(int m);
+
+  /// Creates a status word with slots [0, live_count) live and the rest
+  /// dead — the common bootstrap in tests and experiments.
+  StatusWord(int m, std::uint32_t live_count);
+
+  [[nodiscard]] int width() const noexcept { return m_; }
+  [[nodiscard]] std::uint32_t capacity() const noexcept {
+    return space_size(m_);
+  }
+
+  [[nodiscard]] bool is_live(std::uint32_t pid) const noexcept {
+    return test_bit(words_[pid >> 6], static_cast<int>(pid & 63u));
+  }
+
+  void set_live(std::uint32_t pid) noexcept;
+  void set_dead(std::uint32_t pid) noexcept;
+
+  /// Number of live nodes.
+  [[nodiscard]] std::uint32_t live_count() const noexcept { return live_; }
+  [[nodiscard]] std::uint32_t dead_count() const noexcept {
+    return capacity() - live_;
+  }
+
+  /// All live PIDs in ascending order.
+  [[nodiscard]] std::vector<std::uint32_t> live_pids() const;
+
+  /// All dead PIDs in ascending order.
+  [[nodiscard]] std::vector<std::uint32_t> dead_pids() const;
+
+  /// Lowest dead PID, or capacity() if the space is full. Used by join to
+  /// pick a valid PID.
+  [[nodiscard]] std::uint32_t first_dead() const noexcept;
+
+  friend bool operator==(const StatusWord&, const StatusWord&) = default;
+
+ private:
+  static bool test_bit(std::uint64_t w, int pos) noexcept {
+    return ((w >> pos) & 1u) != 0;
+  }
+
+  int m_;
+  std::uint32_t live_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace lesslog::util

@@ -1,0 +1,45 @@
+// Console table printer for the figure-reproduction benches: aligned
+// columns, a header row, and optional per-column formatting, so every bench
+// prints rows comparable to the paper's plotted series.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace lesslog::util {
+
+/// One table cell: text, integer, or floating point.
+using Cell = std::variant<std::string, std::int64_t, double>;
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Number of columns.
+  [[nodiscard]] std::size_t width() const noexcept { return headers_.size(); }
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Appends a row; must have exactly width() cells.
+  void add_row(std::vector<Cell> row);
+
+  /// Digits after the decimal point for double cells (default 1).
+  void set_precision(int digits) noexcept { precision_ = digits; }
+
+  /// Render with column alignment and a separator rule under the header.
+  [[nodiscard]] std::string render() const;
+
+  /// Convenience: render straight to a stream.
+  friend std::ostream& operator<<(std::ostream& os, const Table& t);
+
+ private:
+  [[nodiscard]] std::string format_cell(const Cell& c) const;
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<Cell>> rows_;
+  int precision_ = 1;
+};
+
+}  // namespace lesslog::util

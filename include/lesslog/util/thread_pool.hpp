@@ -1,0 +1,58 @@
+// A small fixed-size worker pool plus a parallel_for helper.
+//
+// The figure benches sweep many independent (rate × policy × seed) cells;
+// each cell builds its own system and shares no mutable state, so a plain
+// static partition over a handful of threads is the right tool — no work
+// stealing, no futures-per-item allocation churn.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace lesslog::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (defaults to hardware concurrency, at least 1).
+  explicit ThreadPool(unsigned threads = 0);
+
+  /// Drains outstanding work, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] unsigned size() const noexcept {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// Enqueue one task. Tasks must not throw; a throwing task terminates.
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+};
+
+/// Runs body(i) for i in [0, n) across the pool, blocking until all
+/// iterations complete. Iterations are dealt in contiguous chunks to keep
+/// per-task overhead negligible.
+void parallel_for(ThreadPool& pool, std::size_t n,
+                  const std::function<void(std::size_t)>& body);
+
+}  // namespace lesslog::util

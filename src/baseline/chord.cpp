@@ -1,0 +1,84 @@
+#include "lesslog/baseline/chord.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace lesslog::baseline {
+
+ChordRing::ChordRing(const util::StatusWord& live)
+    : m_(live.width()), ring_(util::space_size(live.width())) {
+  nodes_ = live.live_pids();
+  assert(!nodes_.empty() && "Chord ring needs at least one node");
+  node_index_.assign(ring_, 0);
+  for (std::uint32_t i = 0; i < nodes_.size(); ++i) {
+    node_index_[nodes_[i]] = i;
+  }
+  finger_.resize(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    finger_[i].resize(static_cast<std::size_t>(m_));
+    for (int j = 0; j < m_; ++j) {
+      const std::uint32_t start =
+          (nodes_[i] + (std::uint32_t{1} << j)) & (ring_ - 1u);
+      finger_[i][static_cast<std::size_t>(j)] = successor(start);
+    }
+  }
+}
+
+std::uint32_t ChordRing::successor(std::uint32_t id) const {
+  // nodes_ is sorted; the successor is the first element >= id, wrapping
+  // to the smallest node.
+  const auto it = std::lower_bound(nodes_.begin(), nodes_.end(), id);
+  return it != nodes_.end() ? *it : nodes_.front();
+}
+
+bool ChordRing::in_interval(std::uint32_t x, std::uint32_t a, std::uint32_t b,
+                            std::uint32_t ring) noexcept {
+  // Clockwise half-open interval (a, b] on a ring of the given size.
+  const std::uint32_t span = (b - a) & (ring - 1u);
+  const std::uint32_t off = (x - a) & (ring - 1u);
+  if (span == 0) return true;  // full circle
+  return off != 0 && off <= span;
+}
+
+const std::vector<std::uint32_t>& ChordRing::fingers(
+    std::uint32_t node) const {
+  return finger_[node_index_[node]];
+}
+
+std::vector<std::uint32_t> ChordRing::lookup_path(std::uint32_t from,
+                                                  std::uint32_t key) const {
+  assert(from < ring_ && key < ring_);
+  const std::uint32_t responsible = successor(key);
+  std::vector<std::uint32_t> path{from};
+  std::uint32_t current = from;
+  while (current != responsible) {
+    // If the key lies between us and our direct successor, that successor
+    // is responsible: final hop.
+    const std::uint32_t succ = fingers(current)[0];
+    if (in_interval(key, current, succ, ring_)) {
+      path.push_back(succ);
+      break;
+    }
+    // Otherwise forward to the closest finger preceding the key.
+    std::uint32_t next = succ;
+    const std::vector<std::uint32_t>& table = fingers(current);
+    for (std::size_t j = table.size(); j-- > 0;) {
+      const std::uint32_t candidate = table[j];
+      if (candidate != current &&
+          in_interval(candidate, current, (key - 1u) & (ring_ - 1u), ring_)) {
+        next = candidate;
+        break;
+      }
+    }
+    if (next == current) break;  // lone node
+    path.push_back(next);
+    current = next;
+  }
+  return path;
+}
+
+int ChordRing::lookup_hops(std::uint32_t from, std::uint32_t key) const {
+  return static_cast<int>(lookup_path(from, key).size()) - 1;
+}
+
+}  // namespace lesslog::baseline

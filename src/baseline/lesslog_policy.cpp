@@ -1,0 +1,23 @@
+#include "lesslog/baseline/policy.hpp"
+
+#include "lesslog/core/replication.hpp"
+
+namespace lesslog::baseline {
+
+sim::PlacementFn lesslog_policy() {
+  return [](const sim::PlacementContext& ctx) -> std::optional<core::Pid> {
+    const auto holds = [&ctx](core::Pid p) {
+      return ctx.has_copy[p.value()] != 0;
+    };
+    if (ctx.view.fault_bits() == 0) {
+      const std::optional<core::Placement> placement = core::replicate_target(
+          ctx.tree, ctx.overloaded, ctx.live, holds, ctx.rng);
+      if (!placement.has_value()) return std::nullopt;
+      return placement->target;
+    }
+    return ctx.view.replicate_target(ctx.overloaded, ctx.live, holds,
+                                     ctx.rng);
+  };
+}
+
+}  // namespace lesslog::baseline

@@ -1,0 +1,67 @@
+#include "lesslog/baseline/policy.hpp"
+
+#include <cmath>
+
+#include "lesslog/core/children_list.hpp"
+#include "lesslog/core/replication.hpp"
+
+namespace lesslog::baseline {
+
+namespace {
+
+// Shared selection core: rank copyless children-list entries by an
+// observed flow value, falling back to the structural order when nothing
+// measurably forwards.
+std::optional<core::Pid> pick_by_flow(
+    const sim::PlacementContext& ctx,
+    const std::function<double(double)>& observe) {
+  const std::vector<core::Pid> candidates =
+      ctx.view.fault_bits() == 0
+          ? core::children_list(ctx.tree, ctx.overloaded, ctx.live)
+          : ctx.view.children_list(ctx.overloaded, ctx.live);
+
+  std::optional<core::Pid> best;
+  double best_flow = 0.0;
+  for (core::Pid c : candidates) {
+    if (ctx.has_copy[c.value()] != 0) continue;
+    const double flow = observe(ctx.load.forwarded[c.value()]);
+    if (flow > best_flow) {
+      best_flow = flow;
+      best = c;
+    }
+  }
+  if (best.has_value()) return best;
+  for (core::Pid c : candidates) {
+    if (ctx.has_copy[c.value()] == 0) return c;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+sim::PlacementFn sampled_log_policy(double sample_rate, double window) {
+  return [sample_rate,
+          window](const sim::PlacementContext& ctx) -> std::optional<core::Pid> {
+    return pick_by_flow(ctx, [&ctx, sample_rate, window](double flow) {
+      if (flow <= 0.0) return 0.0;
+      // Estimating a rate `flow` from a log that records each request
+      // with probability p over W seconds: the count is ~ Poisson(flow *
+      // p * W), so the rate estimate flow ± sqrt(flow / (p * W)).
+      const double stddev = std::sqrt(flow / (sample_rate * window));
+      return std::max(0.0, ctx.rng.normal(flow, stddev));
+    });
+  };
+}
+
+sim::PlacementFn logbased_policy() {
+  // A children-list entry's forward rate is exactly the flow it sends to
+  // the overloaded node: in the GETFILE walk every request a child cannot
+  // serve goes to its first alive ancestor, which for a children-list
+  // member is ctx.overloaded. The solver's `forwarded` vector therefore
+  // *is* the perfectly analyzed client-access log.
+  return [](const sim::PlacementContext& ctx) -> std::optional<core::Pid> {
+    return pick_by_flow(ctx, [](double flow) { return flow; });
+  };
+}
+
+}  // namespace lesslog::baseline

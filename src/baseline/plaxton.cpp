@@ -1,0 +1,81 @@
+#include "lesslog/baseline/plaxton.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace lesslog::baseline {
+
+PlaxtonMesh::PlaxtonMesh(const util::StatusWord& live, int bits_per_digit)
+    : m_(live.width()),
+      bits_(bits_per_digit),
+      digits_((live.width() + bits_per_digit - 1) / bits_per_digit),
+      nodes_(live.live_pids()) {
+  assert(bits_per_digit >= 1 && bits_per_digit <= 8);
+  assert(!nodes_.empty() && "prefix mesh needs at least one node");
+}
+
+std::uint32_t PlaxtonMesh::digit(std::uint32_t id, int pos) const {
+  assert(pos >= 0 && pos < digits_);
+  // Conceptually ids are padded to digits_*bits_ bits; pad bits are zero.
+  const int shift = (digits_ - 1 - pos) * bits_;
+  return (id >> shift) & ((1u << bits_) - 1u);
+}
+
+int PlaxtonMesh::common_prefix(std::uint32_t a, std::uint32_t b) const {
+  int p = 0;
+  while (p < digits_ && digit(a, p) == digit(b, p)) ++p;
+  return p;
+}
+
+std::optional<std::uint32_t> PlaxtonMesh::prefix_match(
+    std::uint32_t key, int pos, std::uint32_t d) const {
+  // Ids whose first `pos` digits match key's and whose digit at `pos` is
+  // `d` occupy the numeric interval [lo, lo + 2^remaining).
+  const int remaining = (digits_ - 1 - pos) * bits_;
+  const std::uint32_t keep_mask =
+      remaining + bits_ >= 32
+          ? 0u
+          : ~((1u << (remaining + bits_)) - 1u);
+  const std::uint32_t lo = (key & keep_mask) | (d << remaining);
+  const std::uint32_t hi = lo + (1u << remaining) - 1u;
+  const auto it = std::lower_bound(nodes_.begin(), nodes_.end(), lo);
+  if (it == nodes_.end() || *it > hi) return std::nullopt;
+  return *it;
+}
+
+std::uint32_t PlaxtonMesh::root_of(std::uint32_t key) const {
+  return lookup_path(nodes_.front(), key).back();
+}
+
+std::vector<std::uint32_t> PlaxtonMesh::lookup_path(
+    std::uint32_t from, std::uint32_t key) const {
+  std::vector<std::uint32_t> path{from};
+  std::uint32_t cur = from;
+  for (;;) {
+    const int p = common_prefix(cur, key);
+    if (p == digits_) return path;  // exact owner
+    // Try to extend the shared prefix by one digit.
+    const std::optional<std::uint32_t> next =
+        prefix_match(key, p, digit(key, p));
+    if (next.has_value()) {
+      assert(*next != cur);
+      path.push_back(*next);
+      cur = *next;
+      continue;
+    }
+    // No node extends the prefix: the root is the deterministic
+    // representative (smallest id) of the longest-matching class, which
+    // contains cur. At most one final hop.
+    std::optional<std::uint32_t> rep;
+    for (std::uint32_t d = 0; d < (1u << bits_) && !rep.has_value(); ++d) {
+      rep = prefix_match(key, p, d);
+      // Scanning digits ascending finds the smallest id in the class
+      // (ranges are ordered by digit).
+    }
+    assert(rep.has_value());  // cur itself is in the class
+    if (*rep != cur) path.push_back(*rep);
+    return path;
+  }
+}
+
+}  // namespace lesslog::baseline

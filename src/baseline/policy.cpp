@@ -1,0 +1,6 @@
+// The individual policies live in their own translation units; this TU
+// exists so the library has a stable home for shared policy helpers as the
+// set grows.
+#include "lesslog/baseline/policy.hpp"
+
+namespace lesslog::baseline {}

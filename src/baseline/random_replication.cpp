@@ -1,0 +1,22 @@
+#include "lesslog/baseline/policy.hpp"
+
+namespace lesslog::baseline {
+
+sim::PlacementFn random_policy() {
+  return [](const sim::PlacementContext& ctx) -> std::optional<core::Pid> {
+    // Collect the live nodes that could take a copy; uniform choice.
+    std::vector<std::uint32_t> candidates;
+    candidates.reserve(ctx.live.live_count());
+    for (std::uint32_t p = 0; p < ctx.live.capacity(); ++p) {
+      if (ctx.live.is_live(p) && ctx.has_copy[p] == 0 &&
+          p != ctx.overloaded.value()) {
+        candidates.push_back(p);
+      }
+    }
+    if (candidates.empty()) return std::nullopt;
+    const std::uint64_t pick = ctx.rng.bounded(candidates.size());
+    return core::Pid{candidates[pick]};
+  };
+}
+
+}  // namespace lesslog::baseline

@@ -1,0 +1,225 @@
+#include "lesslog/core/fault_tolerant.hpp"
+
+#include <cassert>
+#include <deque>
+#include <unordered_set>
+
+#include "lesslog/core/children_list.hpp"
+
+namespace lesslog::core {
+
+SubtreeView::SubtreeView(const LookupTree& tree, int b)
+    : tree_(&tree), b_(b) {
+  assert(b >= 0 && b < tree.width());
+}
+
+std::optional<Pid> SubtreeView::find_live_in_subtree(
+    std::uint32_t sub_id, std::uint32_t from_sub_vid,
+    const util::StatusWord& live) const {
+  assert(sub_id < subtree_count());
+  assert(from_sub_vid <= util::mask_of(subtree_width()));
+  // Same downward scan as FINDLIVENODE, but over subtree VIDs: Property 3
+  // holds within each subtree because each is itself a binomial tree.
+  for (std::uint32_t sv = from_sub_vid + 1; sv-- > 0;) {
+    const Pid p = pid_at(sv, sub_id);
+    if (live.is_live(p.value())) return p;
+  }
+  return std::nullopt;
+}
+
+std::optional<Pid> SubtreeView::insertion_target(
+    std::uint32_t sub_id, const util::StatusWord& live) const {
+  return find_live_in_subtree(sub_id, util::mask_of(subtree_width()), live);
+}
+
+std::vector<Pid> SubtreeView::insertion_targets(
+    const util::StatusWord& live) const {
+  std::vector<Pid> out;
+  out.reserve(subtree_count());
+  for (std::uint32_t t = 0; t < subtree_count(); ++t) {
+    if (const std::optional<Pid> p = insertion_target(t, live)) {
+      out.push_back(*p);
+    }
+  }
+  return out;
+}
+
+std::optional<Pid> SubtreeView::first_alive_subtree_ancestor(
+    Pid k, const util::StatusWord& live) const {
+  const std::uint32_t sid = subtree_id(k);
+  const VirtualTree sub_tree(subtree_width());
+  Vid sv{subtree_vid(k)};
+  while (!sub_tree.is_root(sv)) {
+    sv = sub_tree.parent(sv);
+    const Pid p = pid_at(sv.value(), sid);
+    if (live.is_live(p.value())) return p;
+  }
+  return std::nullopt;
+}
+
+std::vector<Pid> SubtreeView::children_list(Pid k,
+                                            const util::StatusWord& live) const {
+  const std::uint32_t sid = subtree_id(k);
+  const VirtualTree sub_tree(subtree_width());
+  const auto pid_of = [this, sid](Vid sv) { return pid_at(sv.value(), sid); };
+  const std::vector<Vid> vids =
+      expand_children_list(sub_tree, Vid{subtree_vid(k)}, pid_of, live);
+  std::vector<Pid> out;
+  out.reserve(vids.size());
+  for (Vid sv : vids) out.push_back(pid_at(sv.value(), sid));
+  return out;
+}
+
+bool SubtreeView::live_vid_above(Pid k, const util::StatusWord& live) const {
+  const std::uint32_t sid = subtree_id(k);
+  const std::uint32_t top = util::mask_of(subtree_width());
+  for (std::uint32_t sv = subtree_vid(k) + 1; sv <= top; ++sv) {
+    if (live.is_live(pid_at(sv, sid).value())) return true;
+  }
+  return false;
+}
+
+std::optional<Pid> SubtreeView::replicate_target(
+    Pid k, const util::StatusWord& live,
+    const std::function<bool(Pid)>& holds_copy, util::Rng& rng) const {
+  assert(live.is_live(k.value()));
+  const std::uint32_t sid = subtree_id(k);
+  const Pid sub_root = subtree_root(sid);
+
+  const auto try_list = [&](Pid list_owner) -> std::optional<Pid> {
+    for (Pid child : children_list(list_owner, live)) {
+      if (child != k && !holds_copy(child)) return child;
+    }
+    return std::nullopt;
+  };
+
+  if (k == sub_root || live_vid_above(k, live)) {
+    return try_list(k);
+  }
+  // P(k) is the stand-in for a dead subtree root: proportional choice
+  // between its own list and the subtree root's list, weighted by P(k)'s
+  // live subtree offspring against the rest of the subtree's live nodes.
+  std::uint32_t own = 0;
+  std::uint32_t rest = 0;
+  const VirtualTree sub_tree(subtree_width());
+  const Vid kv{subtree_vid(k)};
+  for (std::uint32_t sv = 0; sv <= util::mask_of(subtree_width()); ++sv) {
+    const Pid p = pid_at(sv, sid);
+    if (p == k || !live.is_live(p.value())) continue;
+    if (sub_tree.in_subtree(Vid{sv}, kv)) {
+      ++own;
+    } else {
+      ++rest;
+    }
+  }
+  const double denom = static_cast<double>(own + rest);
+  const bool pick_own =
+      denom == 0.0 || rng.uniform01() < static_cast<double>(own) / denom;
+  if (pick_own) {
+    if (auto p = try_list(k)) return p;
+    return try_list(sub_root);
+  }
+  if (auto p = try_list(sub_root)) return p;
+  return try_list(k);
+}
+
+SubtreeView::SubtreeUpdate SubtreeView::propagate_update(
+    std::uint32_t sub_id, const util::StatusWord& live,
+    const std::function<bool(Pid)>& holds_copy) const {
+  SubtreeUpdate result;
+  const Pid sub_root = subtree_root(sub_id);
+  Pid origin = sub_root;
+  if (!live.is_live(sub_root.value())) {
+    const std::optional<Pid> holder = insertion_target(sub_id, live);
+    if (!holder.has_value()) return result;  // empty subtree
+    origin = *holder;
+  }
+
+  std::unordered_set<Pid> seen;
+  std::deque<Pid> queue;
+  const auto visit = [&](Pid p) {
+    if (seen.insert(p).second && holds_copy(p)) {
+      result.updated.push_back(p);
+      queue.push_back(p);
+    }
+  };
+  visit(origin);
+  if (!live.is_live(sub_root.value())) {
+    for (Pid child : children_list(sub_root, live)) {
+      ++result.messages;
+      visit(child);
+    }
+  }
+  while (!queue.empty()) {
+    const Pid current = queue.front();
+    queue.pop_front();
+    for (Pid child : children_list(current, live)) {
+      ++result.messages;
+      visit(child);
+    }
+  }
+  return result;
+}
+
+RouteResult SubtreeView::route_get(Pid k, const util::StatusWord& live,
+                                   const HasCopyFn& has_copy) const {
+  assert(live.is_live(k.value()));
+  RouteResult result;
+  result.path.push_back(k);
+
+  std::uint32_t sid = subtree_id(k);
+  const std::uint32_t sv = subtree_vid(k);
+
+  for (std::uint32_t attempt = 0; attempt < subtree_count(); ++attempt) {
+    // Entry point of this attempt: the requester's counterpart in the
+    // current subtree (same subtree VID, migrated subtree identifier).
+    Pid current = pid_at(sv, sid);
+    if (attempt > 0) {
+      // Migration may land on a dead counterpart; descend to the nearest
+      // live proxy via the modified FINDLIVENODE, as all operations inside
+      // a subtree do.
+      if (!live.is_live(current.value())) {
+        const std::optional<Pid> proxy = find_live_in_subtree(sid, sv, live);
+        if (!proxy.has_value()) {
+          sid = (sid + 1u) % subtree_count();
+          continue;  // whole subtree dead; migrate again
+        }
+        current = *proxy;
+      }
+      result.path.push_back(current);
+      result.used_fallback = true;
+    }
+    if (has_copy(current)) {
+      result.served_by = current;
+      return result;
+    }
+    // Ancestor walk within the subtree.
+    Pid walker = current;
+    while (true) {
+      const std::optional<Pid> up = first_alive_subtree_ancestor(walker, live);
+      if (!up.has_value()) break;
+      walker = *up;
+      result.path.push_back(walker);
+      if (has_copy(walker)) {
+        result.served_by = walker;
+        return result;
+      }
+    }
+    // Stand-in fallback inside this subtree (dead subtree root case).
+    if (!live.is_live(subtree_root(sid).value())) {
+      const std::optional<Pid> holder = insertion_target(sid, live);
+      if (holder.has_value() && *holder != walker) {
+        result.path.push_back(*holder);
+        if (has_copy(*holder)) {
+          result.served_by = *holder;
+          return result;
+        }
+      }
+    }
+    // Fault in this subtree: migrate to the next subtree identifier.
+    sid = (sid + 1u) % subtree_count();
+  }
+  return result;  // faulted in every subtree
+}
+
+}  // namespace lesslog::core

@@ -1,0 +1,93 @@
+#include "lesslog/core/file_store.hpp"
+
+namespace lesslog::core {
+
+std::optional<CopyInfo> FileStore::info(FileId f) const {
+  const auto it = copies_.find(f);
+  if (it == copies_.end()) return std::nullopt;
+  return it->second;
+}
+
+void FileStore::put_inserted(FileId f, std::uint64_t version,
+                             std::vector<std::uint8_t> data) {
+  copies_[f] = CopyInfo{CopyKind::kInserted, version, 0, std::move(data)};
+}
+
+void FileStore::put_replica(FileId f, std::uint64_t version,
+                            std::vector<std::uint8_t> data) {
+  auto [it, added] = copies_.try_emplace(
+      f, CopyInfo{CopyKind::kReplica, version, 0, std::move(data)});
+  (void)it;
+  (void)added;
+}
+
+const std::vector<std::uint8_t>* FileStore::payload(FileId f) const {
+  const auto it = copies_.find(f);
+  return it == copies_.end() ? nullptr : &it->second.data;
+}
+
+bool FileStore::set_payload(FileId f, std::vector<std::uint8_t> data) {
+  const auto it = copies_.find(f);
+  if (it == copies_.end()) return false;
+  it->second.data = std::move(data);
+  return true;
+}
+
+bool FileStore::erase(FileId f) { return copies_.erase(f) > 0; }
+
+bool FileStore::apply_update(FileId f, std::uint64_t version,
+                             std::vector<std::uint8_t> data) {
+  const auto it = copies_.find(f);
+  if (it == copies_.end()) return false;
+  it->second.version = version;
+  if (!data.empty()) it->second.data = std::move(data);
+  return true;
+}
+
+void FileStore::record_access(FileId f) {
+  const auto it = copies_.find(f);
+  if (it != copies_.end()) ++it->second.access_count;
+}
+
+bool FileStore::set_access_count(FileId f, std::uint64_t count) {
+  const auto it = copies_.find(f);
+  if (it == copies_.end()) return false;
+  it->second.access_count = count;
+  return true;
+}
+
+void FileStore::reset_access_counts() noexcept {
+  for (auto& [id, info] : copies_) info.access_count = 0;
+}
+
+std::vector<FileId> FileStore::prune_cold_replicas(std::uint64_t threshold) {
+  std::vector<FileId> pruned;
+  for (auto it = copies_.begin(); it != copies_.end();) {
+    if (it->second.kind == CopyKind::kReplica &&
+        it->second.access_count < threshold) {
+      pruned.push_back(it->first);
+      it = copies_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return pruned;
+}
+
+std::vector<FileId> FileStore::inserted_files() const {
+  std::vector<FileId> out;
+  for (const auto& [id, info] : copies_) {
+    if (info.kind == CopyKind::kInserted) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<FileId> FileStore::replica_files() const {
+  std::vector<FileId> out;
+  for (const auto& [id, info] : copies_) {
+    if (info.kind == CopyKind::kReplica) out.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace lesslog::core

@@ -1,0 +1,33 @@
+#include "lesslog/core/find_live_node.hpp"
+
+namespace lesslog::core {
+
+std::optional<Pid> find_live_node(const LookupTree& tree, Pid s,
+                                  const util::StatusWord& live) {
+  if (live.is_live(s.value())) return s;
+  const std::uint32_t start = tree.vid_of(s).value();
+  // Downward VID scan, exactly the paper's pseudocode loop:
+  //   for i <- s.vid - 1 downto 0: p <- r̄ ⊕ i; if P(p) alive return P(p)
+  for (std::uint32_t i = start; i-- > 0;) {
+    const Pid p = tree.pid_of(Vid{i});
+    if (live.is_live(p.value())) return p;
+  }
+  return std::nullopt;
+}
+
+std::optional<Pid> insertion_target(const LookupTree& tree,
+                                    const util::StatusWord& live) {
+  return find_live_node(tree, tree.root(), live);
+}
+
+bool live_vid_above(const LookupTree& tree, Pid k,
+                    const util::StatusWord& live) {
+  const std::uint32_t start = tree.vid_of(k).value();
+  const std::uint32_t top = util::mask_of(tree.width());
+  for (std::uint32_t i = start + 1; i <= top; ++i) {
+    if (live.is_live(tree.pid_of(Vid{i}).value())) return true;
+  }
+  return false;
+}
+
+}  // namespace lesslog::core

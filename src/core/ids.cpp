@@ -1,0 +1,11 @@
+#include "lesslog/core/ids.hpp"
+
+namespace lesslog::core {
+
+std::string to_string(Pid pid) { return "P(" + std::to_string(pid.value()) + ")"; }
+
+std::string to_binary(Vid vid, int m) {
+  return util::to_binary(vid.value(), m);
+}
+
+}  // namespace lesslog::core

@@ -1,0 +1,21 @@
+#include "lesslog/core/lookup_tree.hpp"
+
+namespace lesslog::core {
+
+std::vector<Pid> LookupTree::children(Pid p) const {
+  const std::vector<Vid> vids = tree_.children(vid_of(p));
+  std::vector<Pid> out;
+  out.reserve(vids.size());
+  for (Vid v : vids) out.push_back(pid_of(v));
+  return out;
+}
+
+std::vector<Pid> LookupTree::path_to_root(Pid p) const {
+  const std::vector<Vid> vids = tree_.path_to_root(vid_of(p));
+  std::vector<Pid> out;
+  out.reserve(vids.size());
+  for (Vid v : vids) out.push_back(pid_of(v));
+  return out;
+}
+
+}  // namespace lesslog::core

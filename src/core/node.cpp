@@ -1,0 +1,9 @@
+// Node is header-only today; this TU anchors the type in the library and is
+// the natural home for future out-of-line members.
+#include "lesslog/core/node.hpp"
+
+namespace lesslog::core {
+
+static_assert(sizeof(Node) > 0);
+
+}  // namespace lesslog::core

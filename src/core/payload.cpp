@@ -1,0 +1,29 @@
+#include "lesslog/core/payload.hpp"
+
+#include "lesslog/util/rng.hpp"
+
+namespace lesslog::core {
+
+Payload make_payload(FileId f, std::uint64_t version, std::size_t size) {
+  Payload payload(size);
+  std::uint64_t state = f.key() ^ (version * 0x9e3779b97f4a7c15ULL) ^
+                        0x1e55106b10b5ULL;
+  std::uint64_t word = 0;
+  for (std::size_t i = 0; i < size; ++i) {
+    if (i % 8 == 0) word = util::splitmix64(state);
+    payload[i] = static_cast<std::uint8_t>(word >> (8 * (i % 8)));
+  }
+  return payload;
+}
+
+std::uint32_t payload_checksum(const Payload& payload) noexcept {
+  return util::crc32(std::span<const std::uint8_t>(payload));
+}
+
+bool verify_payload(FileId f, std::uint64_t version, const Payload& payload) {
+  const Payload expected = make_payload(f, version, payload.size());
+  return expected == payload &&
+         payload_checksum(expected) == payload_checksum(payload);
+}
+
+}  // namespace lesslog::core

@@ -1,0 +1,73 @@
+#include "lesslog/core/replication.hpp"
+
+#include <cassert>
+
+#include "lesslog/core/find_live_node.hpp"
+
+namespace lesslog::core {
+
+std::optional<Pid> first_child_without_copy(const LookupTree& tree, Pid k,
+                                            const util::StatusWord& live,
+                                            const HoldsCopyFn& holds_copy) {
+  for (Pid child : children_list(tree, k, live)) {
+    if (!holds_copy(child)) return child;
+  }
+  return std::nullopt;
+}
+
+std::uint32_t live_offspring_count(const LookupTree& tree, Pid k,
+                                   const util::StatusWord& live) {
+  const VirtualTree& vt = tree.virtual_tree();
+  std::uint32_t count = 0;
+  for (Vid v : vt.subtree_vids(tree.vid_of(k))) {
+    const Pid p = tree.pid_of(v);
+    if (p != k && live.is_live(p.value())) ++count;
+  }
+  return count;
+}
+
+std::optional<Placement> replicate_target(const LookupTree& tree, Pid k,
+                                          const util::StatusWord& live,
+                                          const HoldsCopyFn& holds_copy,
+                                          util::Rng& rng) {
+  assert(live.is_live(k.value()) && "only live nodes become overloaded");
+  const bool is_target = tree.is_root(k);
+  if (is_target || live_vid_above(tree, k, live)) {
+    // The overload can only come from P(k)'s own offspring (GETFILE routes
+    // every request upward), so shed into P(k)'s children list.
+    const std::optional<Pid> c =
+        first_child_without_copy(tree, k, live, holds_copy);
+    if (!c.has_value()) return std::nullopt;
+    return Placement{*c, PlacementSource::kOwnChildren};
+  }
+
+  // P(k) is the highest live VID: it stands in for the dead root, so
+  // requests may arrive from the whole system. Split proportionally between
+  // P(k)'s children list and the dead root's children list.
+  const std::uint32_t own = live_offspring_count(tree, k, live);
+  const std::uint32_t total_live = live.live_count();
+  // "the rest nodes": live nodes that are neither P(k) nor its offspring.
+  const std::uint32_t rest = total_live - own - 1u;
+  const double denom = static_cast<double>(own + rest);
+  const bool pick_own =
+      denom == 0.0 ||
+      rng.uniform01() < static_cast<double>(own) / denom;
+
+  const Pid root = tree.root();
+  const auto try_list = [&](Pid list_owner,
+                            PlacementSource source) -> std::optional<Placement> {
+    for (Pid child : children_list(tree, list_owner, live)) {
+      if (child != k && !holds_copy(child)) return Placement{child, source};
+    }
+    return std::nullopt;
+  };
+
+  if (pick_own) {
+    if (auto p = try_list(k, PlacementSource::kOwnChildren)) return p;
+    return try_list(root, PlacementSource::kRootChildren);
+  }
+  if (auto p = try_list(root, PlacementSource::kRootChildren)) return p;
+  return try_list(k, PlacementSource::kOwnChildren);
+}
+
+}  // namespace lesslog::core

@@ -1,0 +1,69 @@
+#include "lesslog/core/routing.hpp"
+
+#include <cassert>
+
+namespace lesslog::core {
+
+std::optional<Pid> first_alive_ancestor(const LookupTree& tree, Pid k,
+                                        const util::StatusWord& live) {
+  const VirtualTree& vt = tree.virtual_tree();
+  Vid v = tree.vid_of(k);
+  while (!vt.is_root(v)) {
+    v = vt.parent(v);
+    const Pid p = tree.pid_of(v);
+    if (live.is_live(p.value())) return p;
+  }
+  return std::nullopt;
+}
+
+std::vector<Pid> ancestor_chain(const LookupTree& tree, Pid k,
+                                const util::StatusWord& live) {
+  std::vector<Pid> chain{k};
+  while (true) {
+    const std::optional<Pid> up = first_alive_ancestor(tree, chain.back(), live);
+    if (!up.has_value()) break;
+    chain.push_back(*up);
+  }
+  return chain;
+}
+
+RouteResult route_get(const LookupTree& tree, Pid k,
+                      const util::StatusWord& live,
+                      const HasCopyFn& has_copy) {
+  assert(live.is_live(k.value()) && "requests originate at live nodes");
+  RouteResult result;
+  result.path.push_back(k);
+  if (has_copy(k)) {
+    result.served_by = k;
+    return result;
+  }
+  Pid current = k;
+  while (true) {
+    const std::optional<Pid> up = first_alive_ancestor(tree, current, live);
+    if (!up.has_value()) break;
+    current = *up;
+    result.path.push_back(current);
+    if (has_copy(current)) {
+      result.served_by = current;
+      return result;
+    }
+  }
+  // The chain is exhausted without finding a copy. If the root is live we
+  // visited it, so the file simply does not exist anywhere on the path and
+  // the target itself lacks it -> fault. With a dead root, the original
+  // copy lives at the FINDLIVENODE(r, r) node; jump there.
+  if (!live.is_live(tree.root().value())) {
+    const std::optional<Pid> holder = insertion_target(tree, live);
+    if (holder.has_value() && *holder != current) {
+      result.used_fallback = true;
+      result.path.push_back(*holder);
+      if (has_copy(*holder)) result.served_by = *holder;
+    } else if (holder.has_value() && has_copy(*holder)) {
+      // Already standing on the holder (it was the top of our chain).
+      result.served_by = *holder;
+    }
+  }
+  return result;
+}
+
+}  // namespace lesslog::core

@@ -1,0 +1,63 @@
+#include "lesslog/core/update.hpp"
+
+#include <deque>
+#include <unordered_set>
+
+#include "lesslog/core/children_list.hpp"
+#include "lesslog/core/find_live_node.hpp"
+
+namespace lesslog::core {
+
+UpdateResult propagate_update(const LookupTree& tree,
+                              const util::StatusWord& live,
+                              const std::function<bool(Pid)>& holds_copy) {
+  UpdateResult result;
+
+  // Find the broadcast origin: the live root, else the stand-in holder.
+  Pid origin{};
+  const Pid root = tree.root();
+  if (live.is_live(root.value())) {
+    origin = root;
+  } else {
+    const std::optional<Pid> holder = insertion_target(tree, live);
+    if (!holder.has_value()) return result;  // empty system
+    origin = *holder;
+  }
+  result.origin = origin;
+  if (!holds_copy(origin)) {
+    // With a dead root the origin's own copy may be absent if the file was
+    // never inserted; nothing to propagate. (A live root always receives
+    // the update first per the paper, so we still broadcast from it.)
+    if (!live.is_live(root.value())) return result;
+  }
+
+  std::unordered_set<Pid> seen;
+  std::deque<Pid> queue;
+  const auto visit = [&](Pid p) {
+    if (seen.insert(p).second && holds_copy(p)) {
+      result.updated.push_back(p);
+      queue.push_back(p);
+    }
+  };
+  visit(origin);
+  // With a dead root, replicas may also hang off the *root's* children list
+  // (the proportional placement rule). The paper's update bypasses the dead
+  // root and forwards to its children list, so seed the broadcast there too.
+  if (!live.is_live(root.value())) {
+    for (Pid child : children_list(tree, root, live)) {
+      ++result.messages;
+      visit(child);
+    }
+  }
+  while (!queue.empty()) {
+    const Pid current = queue.front();
+    queue.pop_front();
+    for (Pid child : children_list(tree, current, live)) {
+      ++result.messages;
+      visit(child);
+    }
+  }
+  return result;
+}
+
+}  // namespace lesslog::core

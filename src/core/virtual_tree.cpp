@@ -1,0 +1,57 @@
+#include "lesslog/core/virtual_tree.hpp"
+
+#include <cassert>
+
+namespace lesslog::core {
+
+VirtualTree::VirtualTree(int m) : m_(m) { assert(util::valid_width(m)); }
+
+std::vector<Vid> VirtualTree::children(Vid v) const {
+  const int count = child_count(v);
+  std::vector<Vid> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (int k = 0; k < count; ++k) out.push_back(child(v, k));
+  return out;
+}
+
+Vid VirtualTree::child(Vid v, int k) const noexcept {
+  const int count = child_count(v);
+  assert(k >= 0 && k < count);
+  // The leading 1-run occupies bits [m-count, m-1]. Clearing the lowest bit
+  // of the run yields the numerically largest child, so the k-th child in
+  // descending order clears bit (m - count + k).
+  return Vid{util::clear_bit(v.value(), m_ - count + k)};
+}
+
+bool VirtualTree::in_subtree(Vid descendant, Vid ancestor) const noexcept {
+  const int run = child_count(ancestor);
+  // Below the leading 1-run the two VIDs must agree; within the run the
+  // descendant may have any bit pattern (each pattern is reachable by
+  // clearing a subset of the run, and there are exactly subtree_size(a)
+  // of them).
+  const std::uint32_t low_mask = util::mask_of(m_) >> run;
+  return (descendant.value() & low_mask) == (ancestor.value() & low_mask);
+}
+
+std::vector<Vid> VirtualTree::path_to_root(Vid v) const {
+  std::vector<Vid> out;
+  out.reserve(static_cast<std::size_t>(depth(v)) + 1u);
+  out.push_back(v);
+  while (!is_root(out.back())) out.push_back(parent(out.back()));
+  return out;
+}
+
+std::vector<Vid> VirtualTree::subtree_vids(Vid v) const {
+  const int run = child_count(v);
+  const std::uint32_t low_part = v.value() & (util::mask_of(m_) >> run);
+  std::vector<Vid> out;
+  out.reserve(subtree_size(v));
+  // Enumerate the 2^run settings of the leading run, high-to-low, so the
+  // result is in descending VID order with v itself first.
+  for (std::uint32_t s = util::space_size(run); s-- > 0;) {
+    out.push_back(Vid{(s << (m_ - run)) | low_part});
+  }
+  return out;
+}
+
+}  // namespace lesslog::core

@@ -1,0 +1,186 @@
+#include "lesslog/proto/client.hpp"
+
+#include <cassert>
+
+namespace lesslog::proto {
+
+Client::Client(Peer& home, Network& network, ClientConfig cfg)
+    : home_(&home), network_(&network), cfg_(cfg),
+      // Stripe request ids by home PID so several clients in one swarm
+      // never collide.
+      next_id_((std::uint64_t{home.pid().value()} << 32) + 1) {
+  home_->set_reply_sink([this](const Message& m) { on_reply(m); });
+}
+
+std::optional<core::Pid> Client::entry_for(const PendingGet& g) const {
+  const util::StatusWord& status = home_->status();
+  const core::LookupTree tree(status.width(), g.target);
+  // Migration changes only the subtree identifier: the entry point is this
+  // node's counterpart in the attempted subtree, or the nearest live proxy
+  // below it. With b = 0 the entry is always the home node itself.
+  const core::SubtreeView view(tree, home_->fault_bits());
+  const std::uint32_t sid =
+      (view.subtree_id(home_->pid()) + g.subtree_attempt) %
+      view.subtree_count();
+  const core::Pid counterpart =
+      view.pid_at(view.subtree_vid(home_->pid()), sid);
+  if (status.is_live(counterpart.value())) return counterpart;
+  return view.find_live_in_subtree(sid, view.subtree_vid(home_->pid()),
+                                   status);
+}
+
+void Client::get(core::FileId file, core::Pid r, GetCallback done) {
+  const std::uint64_t id = next_id_++;
+  PendingGet pending;
+  pending.file = file;
+  pending.target = r;
+  pending.done = std::move(done);
+  pending.issued_at = network_->engine().now();
+  gets_.emplace(id, std::move(pending));
+  ++issued_;
+  send_get(id);
+}
+
+void Client::send_get(std::uint64_t id) {
+  const auto it = gets_.find(id);
+  if (it == gets_.end()) return;
+  PendingGet& g = it->second;
+  const std::optional<core::Pid> entry = entry_for(g);
+  if (!entry.has_value()) {
+    // The attempted subtree has no live node at all: migrate immediately.
+    ++g.migrations;
+    ++g.subtree_attempt;
+    const core::LookupTree tree(home_->status().width(), g.target);
+    const core::SubtreeView view(tree, home_->fault_bits());
+    if (g.subtree_attempt >= view.subtree_count()) {
+      finish_get(id, false, 0, 0);
+      return;
+    }
+    send_get(id);
+    return;
+  }
+  Message m;
+  m.request_id = id;
+  m.type = MsgType::kGetRequest;
+  m.from = home_->pid();
+  m.to = *entry;
+  m.requester = home_->pid();
+  m.subject = g.target;
+  m.file = g.file;
+  ++g.generation;
+  arm_get_timeout(id, g.generation);
+  if (*entry == home_->pid()) {
+    // Colocated: the request starts at this very node (the common case);
+    // hand it to the peer directly rather than paying a datagram.
+    // NOTE: may complete the request synchronously (local copy), so it
+    // must come after the bookkeeping above.
+    home_->handle(m);
+  } else {
+    network_->send(m);
+  }
+}
+
+void Client::arm_get_timeout(std::uint64_t id, int generation) {
+  network_->engine().after(cfg_.timeout, [this, id, generation] {
+    const auto it = gets_.find(id);
+    if (it == gets_.end()) return;  // already completed
+    PendingGet& g = it->second;
+    if (g.generation != generation) return;  // a newer leg is in flight
+    if (g.retries >= cfg_.max_retries) {
+      finish_get(id, false, 0, 0);
+      return;
+    }
+    ++g.retries;
+    send_get(id);
+  });
+}
+
+void Client::finish_get(std::uint64_t id, bool ok, std::uint64_t version,
+                        int hops) {
+  const auto it = gets_.find(id);
+  assert(it != gets_.end());
+  PendingGet g = std::move(it->second);
+  gets_.erase(it);
+  GetResult result;
+  result.ok = ok;
+  result.version = version;
+  result.latency = network_->engine().now() - g.issued_at;
+  result.hops = hops;
+  result.retries = g.retries;
+  result.migrations = g.migrations;
+  if (ok) {
+    latencies_.push_back(result.latency);
+  } else {
+    ++faults_;
+  }
+  if (g.done) g.done(result);
+}
+
+void Client::on_reply(const Message& m) {
+  if (m.type == MsgType::kInsertAck) {
+    const auto it = inserts_.find(m.request_id);
+    if (it == inserts_.end()) return;
+    auto done = std::move(it->second.done);
+    inserts_.erase(it);
+    if (done) done(true);
+    return;
+  }
+  assert(m.type == MsgType::kGetReply);
+  const auto it = gets_.find(m.request_id);
+  if (it == gets_.end()) return;  // late duplicate after completion
+  PendingGet& g = it->second;
+  if (m.ok) {
+    finish_get(m.request_id, true, m.version, m.hop_count);
+    return;
+  }
+  // Definitive miss in that subtree: migrate to the next identifier.
+  ++g.migrations;
+  ++g.subtree_attempt;
+  const core::LookupTree tree(home_->status().width(), g.target);
+  const core::SubtreeView view(tree, home_->fault_bits());
+  if (g.subtree_attempt >= view.subtree_count()) {
+    finish_get(m.request_id, false, 0, m.hop_count);
+    return;
+  }
+  g.retries = 0;
+  send_get(m.request_id);
+}
+
+void Client::insert(core::FileId file, core::Pid r, core::Pid at,
+                    std::function<void(bool)> done) {
+  const std::uint64_t id = next_id_++;
+  PendingInsert pending{file, r, at, std::move(done), 0};
+  inserts_.emplace(id, std::move(pending));
+  send_insert(id);
+}
+
+void Client::send_insert(std::uint64_t id) {
+  const auto it = inserts_.find(id);
+  if (it == inserts_.end()) return;
+  PendingInsert& ins = it->second;
+  Message m;
+  m.request_id = id;
+  m.type = MsgType::kInsertRequest;
+  m.from = home_->pid();
+  m.to = ins.at;
+  m.requester = home_->pid();
+  m.subject = ins.target;
+  m.file = ins.file;
+  network_->send(m);
+  const int expected = ins.retries;
+  network_->engine().after(cfg_.timeout, [this, id, expected] {
+    const auto pending = inserts_.find(id);
+    if (pending == inserts_.end()) return;
+    if (pending->second.retries != expected) return;
+    if (pending->second.retries >= cfg_.max_retries) {
+      auto done = std::move(pending->second.done);
+      inserts_.erase(pending);
+      if (done) done(false);
+      return;
+    }
+    ++pending->second.retries;
+    send_insert(id);
+  });
+}
+
+}  // namespace lesslog::proto

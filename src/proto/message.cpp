@@ -1,0 +1,96 @@
+#include "lesslog/proto/message.hpp"
+
+namespace lesslog::proto {
+
+namespace {
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+std::uint64_t get_u64(const std::vector<std::uint8_t>& in, std::size_t& at) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(in[at++]) << (8 * i);
+  }
+  return v;
+}
+
+std::uint32_t get_u32(const std::vector<std::uint8_t>& in, std::size_t& at) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(in[at++]) << (8 * i);
+  }
+  return v;
+}
+
+bool valid_type(std::uint8_t tag) {
+  return tag >= static_cast<std::uint8_t>(MsgType::kGetRequest) &&
+         tag <= static_cast<std::uint8_t>(MsgType::kFilePushAck);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode(const Message& m) {
+  std::vector<std::uint8_t> out;
+  out.reserve(kWireSize);
+  put_u64(out, m.request_id);
+  out.push_back(static_cast<std::uint8_t>(m.type));
+  put_u32(out, m.from.value());
+  put_u32(out, m.to.value());
+  put_u32(out, m.requester.value());
+  put_u32(out, m.subject.value());
+  put_u64(out, m.file.key());
+  put_u64(out, m.version);
+  out.push_back(m.hop_count);
+  out.push_back(m.ok ? 1 : 0);
+  return out;
+}
+
+std::optional<Message> decode(const std::vector<std::uint8_t>& bytes) {
+  if (bytes.size() != kWireSize) return std::nullopt;
+  std::size_t at = 0;
+  Message m;
+  m.request_id = get_u64(bytes, at);
+  const std::uint8_t tag = bytes[at++];
+  if (!valid_type(tag)) return std::nullopt;
+  m.type = static_cast<MsgType>(tag);
+  m.from = core::Pid{get_u32(bytes, at)};
+  m.to = core::Pid{get_u32(bytes, at)};
+  m.requester = core::Pid{get_u32(bytes, at)};
+  m.subject = core::Pid{get_u32(bytes, at)};
+  m.file = core::FileId{get_u64(bytes, at)};
+  m.version = get_u64(bytes, at);
+  m.hop_count = bytes[at++];
+  // Strict decoding: the flag byte must be exactly 0 or 1 so every
+  // accepted buffer re-encodes byte-identically (fuzz-tested).
+  if (bytes[at] > 1) return std::nullopt;
+  m.ok = bytes[at++] != 0;
+  return m;
+}
+
+const char* type_name(MsgType t) noexcept {
+  switch (t) {
+    case MsgType::kGetRequest: return "GET";
+    case MsgType::kGetReply: return "REPLY";
+    case MsgType::kInsertRequest: return "INSERT";
+    case MsgType::kInsertAck: return "INS_ACK";
+    case MsgType::kCreateReplica: return "CREATE";
+    case MsgType::kUpdatePush: return "UPDATE";
+    case MsgType::kStatusAnnounce: return "STATUS";
+    case MsgType::kFilePush: return "PUSH";
+    case MsgType::kReclaim: return "RECLAIM";
+    case MsgType::kFilePushAck: return "PUSH_ACK";
+  }
+  return "???";
+}
+
+}  // namespace lesslog::proto

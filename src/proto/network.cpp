@@ -1,0 +1,80 @@
+#include "lesslog/proto/network.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "lesslog/util/rng.hpp"
+
+namespace lesslog::proto {
+
+Network::Network(sim::Engine& engine, NetworkConfig cfg)
+    : engine_(&engine), cfg_(cfg) {
+  assert(cfg.base_latency >= 0.0 && cfg.jitter >= 0.0);
+  assert(cfg.drop_probability >= 0.0 && cfg.drop_probability <= 1.0);
+}
+
+void Network::attach(core::Pid pid, Handler handler) {
+  if (handlers_.size() <= pid.value()) {
+    handlers_.resize(pid.value() + 1u);
+  }
+  handlers_[pid.value()] = std::move(handler);
+}
+
+void Network::detach(core::Pid pid) {
+  if (pid.value() < handlers_.size()) {
+    handlers_[pid.value()] = nullptr;
+  }
+}
+
+void Network::enable_geography(const Geography& geo) {
+  assert(geo.slots > 0 && geo.latency_per_unit >= 0.0);
+  geo_ = geo;
+  coords_.resize(geo.slots);
+  util::Rng rng(geo.seed ^ 0x6E06'12A9ULL);
+  for (auto& [x, y] : coords_) {
+    x = rng.uniform01();
+    y = rng.uniform01();
+  }
+}
+
+double Network::distance(core::Pid a, core::Pid b) const {
+  assert(!coords_.empty());
+  assert(a.value() < coords_.size() && b.value() < coords_.size());
+  const auto [ax, ay] = coords_[a.value()];
+  const auto [bx, by] = coords_[b.value()];
+  const double dx = ax - bx;
+  const double dy = ay - by;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+double Network::link_latency(core::Pid a, core::Pid b) const {
+  const double geographic =
+      coords_.empty() ? 0.0 : distance(a, b) * geo_.latency_per_unit;
+  return cfg_.base_latency + geographic;
+}
+
+void Network::send(const Message& m) {
+  ++messages_sent_;
+  const std::vector<std::uint8_t> wire = encode(m);
+  bytes_sent_ += static_cast<std::int64_t>(wire.size());
+  if (cfg_.drop_probability > 0.0 &&
+      engine_->rng().bernoulli(cfg_.drop_probability)) {
+    ++dropped_;
+    return;
+  }
+  const double latency =
+      (coords_.empty() ? cfg_.base_latency : link_latency(m.from, m.to)) +
+      (cfg_.jitter > 0.0 ? engine_->rng().uniform01() * cfg_.jitter : 0.0);
+  engine_->after(latency, [this, wire] {
+    const std::optional<Message> delivered = decode(wire);
+    assert(delivered.has_value() && "wire corruption is not modelled");
+    const std::uint32_t to = delivered->to.value();
+    if (to >= handlers_.size() || !handlers_[to]) {
+      ++undeliverable_;
+      return;
+    }
+    handlers_[to](*delivered);
+  });
+}
+
+}  // namespace lesslog::proto

@@ -1,0 +1,360 @@
+#include "lesslog/proto/peer.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "lesslog/core/children_list.hpp"
+#include "lesslog/core/replication.hpp"
+#include "lesslog/util/hashing.hpp"
+
+namespace lesslog::proto {
+
+namespace {
+// Reliable-push parameters: generous against the default 10-25 ms links.
+constexpr double kPushTimeout = 0.3;
+constexpr int kPushMaxRetries = 5;
+}  // namespace
+
+Peer::Peer(core::Pid pid, int b, util::StatusWord initial_status,
+           Network& network)
+    : pid_(pid), b_(b), status_(std::move(initial_status)),
+      network_(&network),
+      // Stripe push ids per peer so concurrent pushes never collide.
+      next_push_id_((std::uint64_t{0xF11EULL} << 48) |
+                    (std::uint64_t{pid.value()} << 20)) {
+  assert(b_ >= 0 && b_ < status_.width());
+}
+
+void Peer::attach() {
+  network_->attach(pid_, [this](const Message& m) { handle(m); });
+}
+
+void Peer::detach() { network_->detach(pid_); }
+
+void Peer::rejoin(util::StatusWord fresh_status) {
+  status_ = std::move(fresh_status);
+  store_ = core::FileStore{};
+  placed_.clear();
+  pending_pushes_.clear();  // stale push timers see an empty map: no-ops
+  served_ = 0;
+  forwarded_ = 0;
+  attach();
+}
+
+void Peer::handle(const Message& m) {
+  assert(m.to == pid_);
+  switch (m.type) {
+    case MsgType::kGetRequest: on_get(m); return;
+    case MsgType::kInsertRequest: on_insert(m); return;
+    case MsgType::kCreateReplica: on_create_replica(m); return;
+    case MsgType::kUpdatePush: on_update(m); return;
+    case MsgType::kStatusAnnounce: on_status(m); return;
+    case MsgType::kFilePush: on_file_push(m); return;
+    case MsgType::kFilePushAck: on_push_ack(m); return;
+    case MsgType::kReclaim: on_reclaim(m); return;
+    case MsgType::kGetReply:
+    case MsgType::kInsertAck:
+      if (reply_sink_) reply_sink_(m);
+      return;
+  }
+}
+
+core::Pid Peer::target_of(core::FileId f) const noexcept {
+  return core::Pid{util::psi_u64(f.key(), status_.width())};
+}
+
+std::optional<core::Pid> Peer::next_hop(core::Pid r) const {
+  const core::LookupTree tree(status_.width(), r);
+  const core::SubtreeView view(tree, b_);
+  if (const std::optional<core::Pid> up =
+          view.first_alive_subtree_ancestor(pid_, status_)) {
+    return up;
+  }
+  // Every subtree ancestor is dead; the original copy (if any) lives at
+  // the subtree's stand-in holder. Forwarding to ourselves would loop.
+  const std::uint32_t sid = view.subtree_id(pid_);
+  if (!status_.is_live(view.subtree_root(sid).value())) {
+    const std::optional<core::Pid> stand_in =
+        view.insertion_target(sid, status_);
+    if (stand_in.has_value() && *stand_in != pid_) return stand_in;
+  }
+  return std::nullopt;
+}
+
+void Peer::on_get(const Message& m) {
+  if (store_.has(m.file)) {
+    ++served_;
+    store_.record_access(m.file);
+    const auto info = store_.info(m.file);
+    reply_get(m, /*ok=*/true, info->version);
+    return;
+  }
+  // Hop-count fence: forwarding ascends strictly in subtree VID plus at
+  // most one stand-in jump, so anything past m + 1 hops means stale
+  // status words have produced a cycle; fail fast instead of looping.
+  if (m.hop_count > static_cast<std::uint8_t>(status_.width() + 1)) {
+    reply_get(m, /*ok=*/false, 0);
+    return;
+  }
+  const std::optional<core::Pid> next = next_hop(m.subject);
+  if (!next.has_value()) {
+    reply_get(m, /*ok=*/false, 0);
+    return;
+  }
+  ++forwarded_;
+  Message fwd = m;
+  fwd.from = pid_;
+  fwd.to = *next;
+  ++fwd.hop_count;
+  network_->send(fwd);
+}
+
+void Peer::reply_get(const Message& request, bool ok, std::uint64_t version) {
+  Message reply;
+  reply.request_id = request.request_id;
+  reply.type = MsgType::kGetReply;
+  reply.from = pid_;
+  reply.to = request.requester;
+  reply.requester = request.requester;
+  reply.subject = request.subject;
+  reply.file = request.file;
+  reply.version = version;
+  reply.hop_count = request.hop_count;
+  reply.ok = ok;
+  // The requester's client is colocated with its peer: a reply to
+  // ourselves is a local upcall, not a datagram.
+  if (request.requester == pid_) {
+    if (reply_sink_) reply_sink_(reply);
+    return;
+  }
+  network_->send(reply);
+}
+
+void Peer::on_insert(const Message& m) {
+  store_.put_inserted(m.file, m.version);
+  Message ack;
+  ack.request_id = m.request_id;
+  ack.type = MsgType::kInsertAck;
+  ack.from = pid_;
+  ack.to = m.requester;
+  ack.requester = m.requester;
+  ack.file = m.file;
+  ack.ok = true;
+  network_->send(ack);
+}
+
+void Peer::on_create_replica(const Message& m) {
+  store_.put_replica(m.file, m.version);
+}
+
+void Peer::on_update(const Message& m) {
+  // Non-holders prune the broadcast (paper: "Otherwise, the child node
+  // discards the request."). The push's origin always holds the file.
+  if (!store_.apply_update(m.file, m.version)) return;
+  const core::LookupTree tree(status_.width(), m.subject);
+  const core::SubtreeView view(tree, b_);
+  for (const core::Pid child : view.children_list(pid_, status_)) {
+    Message push = m;
+    push.from = pid_;
+    push.to = child;
+    ++push.hop_count;
+    network_->send(push);
+  }
+  // A stand-in for a dead subtree root also covers the replicas hanging
+  // off the dead root's children list (the proportional placements).
+  const std::uint32_t sid = view.subtree_id(pid_);
+  const core::Pid sub_root = view.subtree_root(sid);
+  if (pid_ != sub_root && !status_.is_live(sub_root.value()) &&
+      !view.live_vid_above(pid_, status_)) {
+    for (const core::Pid child : view.children_list(sub_root, status_)) {
+      if (child == pid_) continue;
+      Message push = m;
+      push.from = pid_;
+      push.to = child;
+      ++push.hop_count;
+      network_->send(push);
+    }
+  }
+}
+
+void Peer::on_status(const Message& m) {
+  if (m.ok) {
+    status_.set_live(m.subject.value());
+    return;
+  }
+  const util::StatusWord before = status_;
+  status_.set_dead(m.subject.value());
+  recover_after_crash(m.subject, before);
+}
+
+void Peer::recover_after_crash(core::Pid crashed,
+                               const util::StatusWord& before) {
+  if (b_ == 0) return;  // nothing to pull from without sibling subtrees
+  for (const core::FileId f : store_.inserted_files()) {
+    const core::LookupTree tree(status_.width(), target_of(f));
+    const core::SubtreeView view(tree, b_);
+    const std::uint32_t lost_sid = view.subtree_id(crashed);
+    if (view.insertion_target(lost_sid, before) != crashed) continue;
+    const std::optional<core::Pid> new_holder =
+        view.insertion_target(lost_sid, status_);
+    if (!new_holder.has_value()) continue;  // subtree emptied out
+    // Deterministic designation: the holder of the first non-empty sibling
+    // subtree after the lost one performs the re-insert; every live node
+    // computes the same designation from its status word.
+    std::optional<core::Pid> designated;
+    for (std::uint32_t step = 1; step < view.subtree_count(); ++step) {
+      const std::uint32_t sid =
+          (lost_sid + step) % view.subtree_count();
+      designated = view.insertion_target(sid, status_);
+      if (designated.has_value()) break;
+    }
+    if (designated != pid_) continue;
+    const auto info = store_.info(f);
+    push_file(f, info.has_value() ? info->version : 0, *new_holder);
+  }
+}
+
+void Peer::on_file_push(const Message& m) {
+  // Idempotent store plus an ack so the sender can stop retransmitting.
+  store_.put_inserted(m.file, m.version);
+  Message ack;
+  ack.request_id = m.request_id;
+  ack.type = MsgType::kFilePushAck;
+  ack.from = pid_;
+  ack.to = m.from;
+  ack.requester = m.requester;
+  ack.file = m.file;
+  ack.ok = true;
+  network_->send(ack);
+}
+
+void Peer::on_push_ack(const Message& m) {
+  pending_pushes_.erase(m.request_id);
+}
+
+void Peer::on_reclaim(const Message& m) {
+  // The reclaim may race ahead of the joiner's status announcement;
+  // learning "X is live" from X's own reclaim message is sound.
+  status_.set_live(m.subject.value());
+  for (const core::FileId f : store_.inserted_files()) {
+    const core::LookupTree tree(status_.width(), target_of(f));
+    const core::SubtreeView view(tree, b_);
+    const std::uint32_t my_sid = view.subtree_id(pid_);
+    if (view.subtree_id(m.subject) != my_sid) continue;
+    if (view.insertion_target(my_sid, status_) != m.subject) continue;
+    // The joiner is now this subtree's authoritative holder: move the
+    // inserted copy over (the paper "copies f back to P(k)"; moving keeps
+    // a single authoritative copy per subtree).
+    const auto info = store_.info(f);
+    push_file(f, info.has_value() ? info->version : 0, m.subject);
+    store_.erase(f);
+  }
+}
+
+void Peer::push_file(core::FileId f, std::uint64_t version, core::Pid to) {
+  Message push;
+  push.request_id = next_push_id_++;
+  push.type = MsgType::kFilePush;
+  push.from = pid_;
+  push.to = to;
+  push.requester = pid_;
+  push.subject = target_of(f);
+  push.file = f;
+  push.version = version;
+  push.ok = true;
+  pending_pushes_.emplace(push.request_id, PendingPush{push, 0, 0});
+  transmit_push(push.request_id);
+}
+
+void Peer::transmit_push(std::uint64_t id) {
+  const auto it = pending_pushes_.find(id);
+  if (it == pending_pushes_.end()) return;
+  PendingPush& pending = it->second;
+  network_->send(pending.msg);
+  const int generation = ++pending.generation;
+  network_->engine().after(kPushTimeout, [this, id, generation] {
+    const auto entry = pending_pushes_.find(id);
+    if (entry == pending_pushes_.end()) return;  // acked
+    if (entry->second.generation != generation) return;  // stale timer
+    if (entry->second.retries >= kPushMaxRetries) {
+      // Out of budget: drop the transfer. The next membership event (or
+      // the System-level bookkeeping in tests) re-detects the gap.
+      pending_pushes_.erase(entry);
+      return;
+    }
+    ++entry->second.retries;
+    transmit_push(id);
+  });
+}
+
+void Peer::reset_window() noexcept {
+  served_ = 0;
+  forwarded_ = 0;
+  store_.reset_access_counts();
+}
+
+std::optional<core::Pid> Peer::shed_hottest() {
+  // Locally hottest file since the last window reset.
+  std::optional<core::FileId> hottest;
+  std::uint64_t hottest_count = 0;
+  const auto consider = [&](core::FileId f) {
+    const auto info = store_.info(f);
+    if (info.has_value() && info->access_count > hottest_count) {
+      hottest_count = info->access_count;
+      hottest = f;
+    }
+  };
+  for (const core::FileId f : store_.inserted_files()) consider(f);
+  for (const core::FileId f : store_.replica_files()) consider(f);
+  if (!hottest.has_value()) return std::nullopt;
+
+  const core::LookupTree tree(status_.width(), target_of(*hottest));
+  std::vector<core::Pid>& mine = placed_[*hottest];
+  const core::HoldsCopyFn holds = [this, &mine](core::Pid p) {
+    if (p == pid_) return true;
+    return std::find(mine.begin(), mine.end(), p) != mine.end();
+  };
+
+  std::optional<core::Pid> target;
+  if (b_ == 0) {
+    const std::optional<core::Placement> placement = core::replicate_target(
+        tree, pid_, status_, holds, network_->engine().rng());
+    if (placement.has_value()) target = placement->target;
+  } else {
+    const core::SubtreeView view(tree, b_);
+    target = view.replicate_target(pid_, status_, holds,
+                                   network_->engine().rng());
+  }
+  if (!target.has_value()) return std::nullopt;
+  mine.push_back(*target);
+
+  Message create;
+  create.type = MsgType::kCreateReplica;
+  create.from = pid_;
+  create.to = *target;
+  create.requester = pid_;
+  create.subject = target_of(*hottest);
+  create.file = *hottest;
+  const auto info = store_.info(*hottest);
+  create.version = info.has_value() ? info->version : 0;
+  create.ok = true;
+  network_->send(create);
+  return target;
+}
+
+void Peer::graceful_leave() {
+  util::StatusWord without_me = status_;
+  without_me.set_dead(pid_.value());
+  for (const core::FileId f : store_.inserted_files()) {
+    const core::LookupTree tree(status_.width(), target_of(f));
+    const core::SubtreeView view(tree, b_);
+    const std::optional<core::Pid> new_holder =
+        view.insertion_target(view.subtree_id(pid_), without_me);
+    if (!new_holder.has_value()) continue;  // last node of the subtree
+    const auto info = store_.info(f);
+    push_file(f, info.has_value() ? info->version : 0, *new_holder);
+  }
+  store_ = core::FileStore{};  // replicas are discarded with the node
+}
+
+}  // namespace lesslog::proto

@@ -1,0 +1,221 @@
+#include "lesslog/proto/swarm.hpp"
+
+#include <cassert>
+
+#include "lesslog/core/replication.hpp"
+
+namespace lesslog::proto {
+
+Swarm::Swarm(Config cfg)
+    : cfg_(cfg),
+      engine_(cfg.seed),
+      network_(engine_, cfg.net),
+      status_(cfg.m) {
+  assert(cfg_.nodes <= util::space_size(cfg_.m));
+  for (std::uint32_t p = 0; p < cfg_.nodes; ++p) status_.set_live(p);
+  peers_.resize(util::space_size(cfg_.m));
+  clients_.resize(util::space_size(cfg_.m));
+  for (std::uint32_t p = 0; p < cfg_.nodes; ++p) {
+    peers_[p] = std::make_unique<Peer>(core::Pid{p}, cfg_.b, status_,
+                                       network_);
+    peers_[p]->attach();
+    clients_[p] =
+        std::make_unique<Client>(*peers_[p], network_, cfg_.client);
+  }
+}
+
+void Swarm::settle() {
+  while (!engine_.queue().empty()) engine_.queue().step();
+}
+
+void Swarm::insert(core::FileId file, core::Pid r, core::Pid issuer) {
+  Peer& from = peer(issuer);
+  const core::LookupTree tree(cfg_.m, r);
+  const core::SubtreeView view(tree, cfg_.b);
+  for (const core::Pid holder : view.insertion_targets(from.status())) {
+    client(issuer).insert(file, r, holder, nullptr);
+  }
+}
+
+core::FileId Swarm::insert_named(std::uint64_t key, core::Pid issuer) {
+  const core::FileId file{key};
+  insert(file, peer(issuer).target_of(file), issuer);
+  return file;
+}
+
+void Swarm::get(core::FileId file, core::Pid r, core::Pid at,
+                Client::GetCallback done) {
+  client(at).get(file, r, std::move(done));
+}
+
+void Swarm::update(core::FileId file, core::Pid r, std::uint64_t version,
+                   core::Pid issuer) {
+  Peer& from = peer(issuer);
+  const core::LookupTree tree(cfg_.m, r);
+  const core::SubtreeView view(tree, cfg_.b);
+  for (std::uint32_t t = 0; t < view.subtree_count(); ++t) {
+    const std::optional<core::Pid> origin =
+        view.insertion_target(t, from.status());
+    if (!origin.has_value()) continue;
+    Message push;
+    push.type = MsgType::kUpdatePush;
+    push.from = issuer;
+    push.to = *origin;
+    push.requester = issuer;
+    push.subject = r;
+    push.file = file;
+    push.version = version;
+    network_.send(push);
+  }
+}
+
+std::optional<core::Pid> Swarm::replicate(core::FileId file, core::Pid r,
+                                          core::Pid overloaded,
+                                          const core::HoldsCopyFn& holds) {
+  Peer& at = peer(overloaded);
+  const core::LookupTree tree(cfg_.m, r);
+  std::optional<core::Pid> target;
+  if (cfg_.b == 0) {
+    const std::optional<core::Placement> placement = core::replicate_target(
+        tree, overloaded, at.status(), holds, engine_.rng());
+    if (placement.has_value()) target = placement->target;
+  } else {
+    const core::SubtreeView view(tree, cfg_.b);
+    target = view.replicate_target(overloaded, at.status(), holds,
+                                   engine_.rng());
+  }
+  if (!target.has_value()) return std::nullopt;
+  Message create;
+  create.type = MsgType::kCreateReplica;
+  create.from = overloaded;
+  create.to = *target;
+  create.requester = overloaded;
+  create.subject = r;
+  create.file = file;
+  const auto info = at.store().info(file);
+  create.version = info.has_value() ? info->version : 0;
+  network_.send(create);
+  return target;
+}
+
+core::Pid Swarm::join(std::optional<core::Pid> requested) {
+  const core::Pid p = requested.value_or(core::Pid{status_.first_dead()});
+  assert(!status_.is_live(p.value()));
+  status_.set_live(p.value());
+  // The joiner obtains a fresh status word from a neighbor (modelled as
+  // the swarm's ground truth) and announces itself to everyone. Peer and
+  // Client objects are reused across rejoin cycles: engine timers capture
+  // raw pointers to them, so they must live as long as the swarm.
+  if (peers_[p.value()]) {
+    peers_[p.value()]->rejoin(status_);
+  } else {
+    peers_[p.value()] =
+        std::make_unique<Peer>(p, cfg_.b, status_, network_);
+    peers_[p.value()]->attach();
+    clients_[p.value()] =
+        std::make_unique<Client>(*peers_[p.value()], network_, cfg_.client);
+  }
+  broadcast_status(p, /*live=*/true);
+  // Section 5.1: sweep the swarm for ψ-named files this node is now the
+  // authoritative holder of; current holders push them back.
+  for (std::uint32_t q = 0; q < util::space_size(cfg_.m); ++q) {
+    if (q == p.value() || !status_.is_live(q)) continue;
+    Message reclaim;
+    reclaim.type = MsgType::kReclaim;
+    reclaim.from = p;
+    reclaim.to = core::Pid{q};
+    reclaim.requester = p;
+    reclaim.subject = p;
+    network_.send(reclaim);
+  }
+  return p;
+}
+
+void Swarm::depart(core::Pid p) {
+  assert(status_.is_live(p.value()));
+  // Graceful: push inserted files to their next holders first (5.2)...
+  peers_[p.value()]->graceful_leave();
+  // ...then register the departure and go dark.
+  broadcast_status(p, /*live=*/false);
+  status_.set_dead(p.value());
+  peers_[p.value()]->detach();
+}
+
+void Swarm::crash(core::Pid p) {
+  assert(status_.is_live(p.value()));
+  // The store is lost instantly; the failure is then detected and
+  // announced, which triggers sibling-subtree recovery at the survivors.
+  peers_[p.value()]->detach();
+  status_.set_dead(p.value());
+  broadcast_status(p, /*live=*/false);
+}
+
+void Swarm::broadcast_status(core::Pid about, bool live) {
+  for (std::uint32_t q = 0; q < util::space_size(cfg_.m); ++q) {
+    if (q == about.value() || !status_.is_live(q)) continue;
+    Message announce;
+    announce.type = MsgType::kStatusAnnounce;
+    announce.from = about;
+    announce.to = core::Pid{q};
+    announce.subject = about;
+    announce.ok = live;
+    network_.send(announce);
+  }
+}
+
+void Swarm::enable_auto_replication(double capacity, double window,
+                                    double stop_at,
+                                    double removal_threshold) {
+  assert(capacity > 0.0 && window > 0.0 && removal_threshold >= 0.0);
+  engine_.after(window, [this, capacity, window, stop_at,
+                         removal_threshold] {
+    auto_replication_tick(capacity, window, stop_at, removal_threshold);
+  });
+}
+
+void Swarm::auto_replication_tick(double capacity, double window,
+                                  double stop_at,
+                                  double removal_threshold) {
+  const auto budget = static_cast<std::int64_t>(capacity * window);
+  const auto cold =
+      static_cast<std::uint64_t>(removal_threshold * window);
+  for (std::uint32_t p = 0; p < util::space_size(cfg_.m); ++p) {
+    if (!status_.is_live(p) || !peers_[p]) continue;
+    Peer& peer_ref = *peers_[p];
+    if (peer_ref.served() > budget) {
+      if (peer_ref.shed_hottest().has_value()) ++auto_replicas_;
+    } else if (cold > 0) {
+      // Counter-based removal (Section 6): cold replicas are dropped
+      // locally; the paper's "simple counter-based mechanism". Only
+      // replicas go — inserted copies are authoritative.
+      auto_removals_ += static_cast<std::int64_t>(
+          peer_ref.store().prune_cold_replicas(cold).size());
+    }
+    peer_ref.reset_window();
+  }
+  if (engine_.now() + window <= stop_at) {
+    engine_.after(window, [this, capacity, window, stop_at,
+                           removal_threshold] {
+      auto_replication_tick(capacity, window, stop_at, removal_threshold);
+    });
+  }
+}
+
+std::int64_t Swarm::total_faults() const {
+  std::int64_t total = 0;
+  for (const auto& c : clients_) {
+    if (c) total += c->faults();
+  }
+  return total;
+}
+
+std::vector<double> Swarm::all_latencies() const {
+  std::vector<double> out;
+  for (const auto& c : clients_) {
+    if (!c) continue;
+    out.insert(out.end(), c->latencies().begin(), c->latencies().end());
+  }
+  return out;
+}
+
+}  // namespace lesslog::proto

@@ -1,0 +1,61 @@
+#include "lesslog/sim/analysis.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "lesslog/core/routing.hpp"
+#include "lesslog/util/stats.hpp"
+
+namespace lesslog::sim {
+
+PlacementAnalysis analyze_placement(const core::LookupTree& tree,
+                                    const CopyMap& has_copy,
+                                    const util::StatusWord& live) {
+  PlacementAnalysis out;
+  const core::HasCopyFn copy_fn = [&has_copy](core::Pid p) {
+    return has_copy[p.value()] != 0;
+  };
+
+  std::unordered_map<std::uint32_t, std::uint32_t> catchment;
+  std::int64_t hop_total = 0;
+  std::int64_t served = 0;
+  for (std::uint32_t k = 0; k < live.capacity(); ++k) {
+    if (!live.is_live(k)) continue;
+    const core::RouteResult r =
+        core::route_get(tree, core::Pid{k}, live, copy_fn);
+    if (!r.served_by.has_value()) {
+      ++out.uncovered;
+      continue;
+    }
+    ++catchment[r.served_by->value()];
+    hop_total += r.hops();
+    ++served;
+  }
+
+  std::vector<double> sizes;
+  for (std::uint32_t p = 0; p < live.capacity(); ++p) {
+    if (has_copy[p] == 0 || !live.is_live(p)) continue;
+    ++out.copies;
+    const std::uint32_t size = catchment.contains(p) ? catchment[p] : 0;
+    out.catchments.emplace_back(p, size);
+    sizes.push_back(static_cast<double>(size));
+    const int depth = tree.depth(core::Pid{p});
+    out.mean_copy_depth += depth;
+    out.max_copy_depth = std::max(out.max_copy_depth, depth);
+  }
+  if (out.copies > 0) {
+    out.mean_copy_depth /= static_cast<double>(out.copies);
+  }
+  out.catchment_gini = util::gini(sizes);
+  if (!sizes.empty() && live.live_count() > 0) {
+    out.max_catchment_fraction =
+        *std::max_element(sizes.begin(), sizes.end()) /
+        static_cast<double>(live.live_count());
+  }
+  out.mean_hops =
+      served > 0 ? static_cast<double>(hop_total) / static_cast<double>(served)
+                 : 0.0;
+  return out;
+}
+
+}  // namespace lesslog::sim

@@ -1,0 +1,76 @@
+#include "lesslog/sim/churn.hpp"
+
+#include <cassert>
+
+#include "lesslog/sim/engine.hpp"
+
+namespace lesslog::sim {
+
+ChurnResult run_churn(const ChurnConfig& cfg) {
+  assert(cfg.initial_nodes >= cfg.min_nodes && cfg.min_nodes >= 1);
+  assert(cfg.initial_nodes <= util::space_size(cfg.m));
+
+  core::System sys({.m = cfg.m, .b = cfg.b, .seed = cfg.seed});
+  sys.bootstrap(cfg.initial_nodes);
+
+  std::vector<core::FileId> files;
+  files.reserve(cfg.files);
+  for (std::uint32_t i = 0; i < cfg.files; ++i) {
+    files.push_back(sys.insert_key(0xC0FFEE00ULL + i));
+  }
+
+  Engine engine(cfg.seed ^ 0xD15EA5EULL);
+  ChurnResult result;
+  std::int64_t hop_sum = 0;
+
+  const auto random_live = [&]() -> core::Pid {
+    // Rejection sample a live PID; live population is kept >= min_nodes.
+    for (;;) {
+      const auto p = static_cast<std::uint32_t>(
+          engine.rng().bounded(util::space_size(cfg.m)));
+      if (sys.is_live(core::Pid{p})) return core::Pid{p};
+    }
+  };
+
+  engine.poisson_process(cfg.request_rate, cfg.duration, [&] {
+    const core::FileId f =
+        files[engine.rng().bounded(files.size())];
+    const core::Pid at = random_live();
+    const core::System::GetOutcome got = sys.get(f, at);
+    ++result.requests;
+    hop_sum += got.route.hops();
+    if (!got.ok()) ++result.faults;
+  });
+
+  engine.poisson_process(cfg.join_rate, cfg.duration, [&] {
+    if (sys.live_count() >= sys.status().capacity()) return;
+    sys.join();
+    ++result.joins;
+  });
+
+  engine.poisson_process(cfg.leave_rate, cfg.duration, [&] {
+    if (sys.live_count() <= cfg.min_nodes) return;
+    sys.leave(random_live());
+    ++result.leaves;
+  });
+
+  engine.poisson_process(cfg.fail_rate, cfg.duration, [&] {
+    if (sys.live_count() <= cfg.min_nodes) return;
+    sys.fail(random_live());
+    ++result.fails;
+  });
+
+  engine.run_until(cfg.duration);
+
+  result.lookup_messages = sys.lookup_messages();
+  result.maintenance_messages = sys.maintenance_messages();
+  result.final_nodes = sys.live_count();
+  result.files_lost = sys.lost_files().size();
+  result.mean_hops =
+      result.requests > 0
+          ? static_cast<double>(hop_sum) / static_cast<double>(result.requests)
+          : 0.0;
+  return result;
+}
+
+}  // namespace lesslog::sim

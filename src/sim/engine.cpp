@@ -1,0 +1,23 @@
+#include "lesslog/sim/engine.hpp"
+
+namespace lesslog::sim {
+
+void Engine::poisson_process(double rate, SimTime stop_at,
+                             std::function<void()> fn) {
+  if (rate <= 0.0) return;
+  auto shared = std::make_shared<std::function<void()>>(std::move(fn));
+  schedule_next_arrival(rate, stop_at, std::move(shared));
+}
+
+void Engine::schedule_next_arrival(
+    double rate, SimTime stop_at,
+    std::shared_ptr<std::function<void()>> fn) {
+  const SimTime next = queue_.now() + rng_.exponential(rate);
+  if (next > stop_at) return;
+  queue_.schedule(next, [this, rate, stop_at, fn] {
+    (*fn)();
+    schedule_next_arrival(rate, stop_at, fn);
+  });
+}
+
+}  // namespace lesslog::sim

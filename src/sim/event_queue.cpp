@@ -1,0 +1,38 @@
+#include "lesslog/sim/event_queue.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace lesslog::sim {
+
+void EventQueue::schedule(SimTime at, EventFn fn) {
+  assert(at >= now_ && "cannot schedule into the past");
+  heap_.push(Entry{at, next_seq_++, std::move(fn)});
+}
+
+SimTime EventQueue::next_time() const {
+  assert(!heap_.empty());
+  return heap_.top().at;
+}
+
+void EventQueue::step() {
+  assert(!heap_.empty());
+  // priority_queue::top() is const; the entry is copied out before pop so
+  // the handler may schedule new events freely.
+  Entry e = heap_.top();
+  heap_.pop();
+  now_ = e.at;
+  e.fn();
+}
+
+std::int64_t EventQueue::run_until(SimTime until) {
+  std::int64_t executed = 0;
+  while (!heap_.empty() && heap_.top().at <= until) {
+    step();
+    ++executed;
+  }
+  now_ = std::max(now_, until);
+  return executed;
+}
+
+}  // namespace lesslog::sim

@@ -1,0 +1,166 @@
+#include "lesslog/sim/experiment.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "lesslog/util/stats.hpp"
+
+namespace lesslog::sim {
+
+namespace {
+
+// Owns everything one experiment cell needs. The SubtreeView holds a
+// pointer to the tree, so Setup is neither copyable nor movable — run
+// functions build it in place and keep it on their own stack.
+struct Setup {
+  Setup(const ExperimentConfig& cfg, util::Rng& rng)
+      : live(cfg.m),
+        tree(cfg.m, pick_target(cfg, rng)),
+        view(tree, cfg.b),
+        has_copy(util::space_size(cfg.m), 0) {
+    const std::uint32_t slots = util::space_size(cfg.m);
+    for (std::uint32_t p = 0; p < slots; ++p) live.set_live(p);
+    const auto dead_count = static_cast<std::uint32_t>(
+        std::lround(cfg.dead_fraction * static_cast<double>(slots)));
+    for (std::uint32_t dead : rng.sample_indices(slots, dead_count)) {
+      live.set_dead(dead);
+    }
+    for (core::Pid holder : view.insertion_targets(live)) {
+      has_copy[holder.value()] = 1;
+      ++initial_copies;
+    }
+    demand = cfg.workload == WorkloadKind::kUniform
+                 ? uniform_workload(live, cfg.total_rate)
+                 : locality_workload(live, cfg.total_rate, rng,
+                                     cfg.hot_node_fraction,
+                                     cfg.hot_request_fraction);
+  }
+
+  Setup(const Setup&) = delete;
+  Setup& operator=(const Setup&) = delete;
+
+  // ψ(f) falls uniformly on the ID space; the target may be dead (exactly
+  // the advanced-model stand-in scenario of Section 3). Drawing the target
+  // before the dead set keeps the rng stream layout simple.
+  static core::Pid pick_target(const ExperimentConfig& cfg, util::Rng& rng) {
+    assert(cfg.dead_fraction >= 0.0 && cfg.dead_fraction < 1.0);
+    return core::Pid{
+        static_cast<std::uint32_t>(rng.bounded(util::space_size(cfg.m)))};
+  }
+
+  util::StatusWord live;
+  core::LookupTree tree;
+  core::SubtreeView view;
+  CopyMap has_copy;
+  Workload demand;
+  int initial_copies = 0;
+};
+
+LoadReport solve(const Setup& s, const ExperimentConfig& cfg) {
+  // The two solver entry points are equivalent at b = 0; routing through
+  // the plain tree keeps the common case on the paper's basic algorithm.
+  return cfg.b == 0 ? solve_load(s.tree, s.has_copy, s.live, s.demand)
+                    : solve_load(s.view, s.has_copy, s.live, s.demand);
+}
+
+ExperimentResult finish(const Setup& s, const LoadReport& report,
+                        int replicas, bool balanced, double capacity) {
+  ExperimentResult out;
+  out.replicas_created = replicas;
+  out.balanced = balanced;
+  if (!balanced) {
+    // Unbalanced runs are "irreducible" when every overloaded node already
+    // holds a copy and is overloaded by its own client demand alone.
+    out.irreducible_overload = true;
+    for (const std::uint32_t p : report.overloaded(capacity)) {
+      if (s.has_copy[p] == 0 || s.demand.rate[p] <= capacity) {
+        out.irreducible_overload = false;
+        break;
+      }
+    }
+  }
+  out.final_max_load = report.max_served;
+  out.mean_hops = report.mean_hops;
+  out.fault_rate = report.fault_rate;
+  out.live_nodes = s.live.live_count();
+  std::vector<double> live_loads;
+  live_loads.reserve(out.live_nodes);
+  for (std::uint32_t p = 0; p < s.live.capacity(); ++p) {
+    if (s.live.is_live(p)) live_loads.push_back(report.served[p]);
+  }
+  out.fairness = util::jain_fairness(live_loads);
+  return out;
+}
+
+// One replicate-until-balanced run against an existing setup. Exposed so
+// the removal pass can replay the loop on its own Setup instance.
+ExperimentResult run_on(Setup& s, const ExperimentConfig& cfg,
+                        const PlacementFn& policy, util::Rng& rng) {
+  if (s.initial_copies == 0) {
+    // No live node can hold the file; report the degenerate cell honestly.
+    return finish(s, solve(s, cfg), 0, /*balanced=*/false, cfg.capacity);
+  }
+  int replicas = 0;
+  while (true) {
+    const LoadReport report = solve(s, cfg);
+    const std::vector<std::uint32_t> hot = report.overloaded(cfg.capacity);
+    if (hot.empty()) return finish(s, report, replicas, /*balanced=*/true, cfg.capacity);
+    if (replicas >= cfg.max_replicas) {
+      return finish(s, report, replicas, /*balanced=*/false, cfg.capacity);
+    }
+
+    const PlacementContext ctx{s.tree,     s.view, core::Pid{hot.front()},
+                               s.live,     s.has_copy, report,
+                               s.demand,   rng};
+    const std::optional<core::Pid> placement = policy(ctx);
+    if (!placement.has_value() || s.has_copy[placement->value()] != 0 ||
+        !s.live.is_live(placement->value())) {
+      // The policy gave up or proposed an invalid node; the system cannot
+      // be balanced by further replication.
+      return finish(s, report, replicas, /*balanced=*/false, cfg.capacity);
+    }
+    s.has_copy[placement->value()] = 1;
+    ++replicas;
+  }
+}
+
+}  // namespace
+
+ExperimentResult run_replication_experiment(const ExperimentConfig& cfg,
+                                            const PlacementFn& policy) {
+  util::Rng rng(cfg.seed);
+  Setup s(cfg, rng);
+  return run_on(s, cfg, policy, rng);
+}
+
+RemovalResult run_with_removal(const ExperimentConfig& cfg,
+                               const PlacementFn& policy,
+                               double removal_threshold) {
+  util::Rng rng(cfg.seed);
+  Setup s(cfg, rng);
+  RemovalResult out;
+  out.before = run_on(s, cfg, policy, rng);
+
+  // Counter-based removal: replicas serving below the threshold are
+  // dropped (original inserted copies are never removed).
+  CopyMap inserted(s.has_copy.size(), 0);
+  for (core::Pid holder : s.view.insertion_targets(s.live)) {
+    inserted[holder.value()] = 1;
+  }
+  const LoadReport final_report = solve(s, cfg);
+  int survivors = 0;
+  for (std::uint32_t p = 0; p < s.has_copy.size(); ++p) {
+    if (s.has_copy[p] == 0 || inserted[p] != 0) continue;
+    if (final_report.served[p] < removal_threshold) {
+      s.has_copy[p] = 0;
+    } else {
+      ++survivors;
+    }
+  }
+  out.replicas_after_removal = survivors;
+  const LoadReport after = solve(s, cfg);
+  out.still_balanced = after.overloaded(cfg.capacity).empty();
+  return out;
+}
+
+}  // namespace lesslog::sim

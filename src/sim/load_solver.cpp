@@ -1,0 +1,87 @@
+#include "lesslog/sim/load_solver.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "lesslog/core/routing.hpp"
+
+namespace lesslog::sim {
+
+namespace {
+
+template <typename RouteFn>
+LoadReport solve_generic(std::uint32_t capacity_slots,
+                         [[maybe_unused]] const util::StatusWord& live,
+                         const Workload& demand, const RouteFn& route) {
+  assert(demand.size() == capacity_slots);
+  LoadReport report;
+  report.served.assign(capacity_slots, 0.0);
+  report.forwarded.assign(capacity_slots, 0.0);
+
+  double weighted_hops = 0.0;
+  double total_rate = 0.0;
+  for (std::uint32_t pid = 0; pid < capacity_slots; ++pid) {
+    const double rate = demand.rate[pid];
+    if (rate <= 0.0) continue;
+    assert(live.is_live(pid) && "dead nodes issue no requests");
+    const core::RouteResult r = route(core::Pid{pid});
+    total_rate += rate;
+    weighted_hops += rate * static_cast<double>(r.hops());
+    if (r.served_by.has_value()) {
+      report.served[r.served_by->value()] += rate;
+      // Every node on the path before the server forwards the stream.
+      for (const core::Pid p : r.path) {
+        if (p == *r.served_by) break;
+        report.forwarded[p.value()] += rate;
+      }
+    } else {
+      report.fault_rate += rate;
+      for (const core::Pid p : r.path) report.forwarded[p.value()] += rate;
+    }
+  }
+  report.mean_hops = total_rate > 0.0 ? weighted_hops / total_rate : 0.0;
+
+  const auto max_it =
+      std::max_element(report.served.begin(), report.served.end());
+  if (max_it != report.served.end()) {
+    report.max_served = *max_it;
+    report.max_served_pid = static_cast<std::uint32_t>(
+        std::distance(report.served.begin(), max_it));
+  }
+  return report;
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> LoadReport::overloaded(double capacity) const {
+  std::vector<std::uint32_t> out;
+  for (std::uint32_t pid = 0; pid < served.size(); ++pid) {
+    if (served[pid] > capacity) out.push_back(pid);
+  }
+  std::sort(out.begin(), out.end(), [this](std::uint32_t a, std::uint32_t b) {
+    return served[a] > served[b];
+  });
+  return out;
+}
+
+LoadReport solve_load(const core::LookupTree& tree, const CopyMap& has_copy,
+                      const util::StatusWord& live, const Workload& demand) {
+  const core::HasCopyFn copy_fn = [&has_copy](core::Pid p) {
+    return has_copy[p.value()] != 0;
+  };
+  return solve_generic(
+      live.capacity(), live, demand,
+      [&](core::Pid k) { return core::route_get(tree, k, live, copy_fn); });
+}
+
+LoadReport solve_load(const core::SubtreeView& view, const CopyMap& has_copy,
+                      const util::StatusWord& live, const Workload& demand) {
+  const core::HasCopyFn copy_fn = [&has_copy](core::Pid p) {
+    return has_copy[p.value()] != 0;
+  };
+  return solve_generic(live.capacity(), live, demand, [&](core::Pid k) {
+    return view.route_get(k, live, copy_fn);
+  });
+}
+
+}  // namespace lesslog::sim

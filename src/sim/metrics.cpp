@@ -1,0 +1,129 @@
+#include "lesslog/sim/metrics.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "lesslog/util/csv.hpp"
+
+namespace lesslog::sim {
+
+FigureData::FigureData(std::string title, std::string x_label,
+                       std::vector<double> x_values)
+    : title_(std::move(title)),
+      x_label_(std::move(x_label)),
+      xs_(std::move(x_values)) {
+  assert(!xs_.empty());
+}
+
+void FigureData::add_series(std::string name, std::vector<double> values) {
+  assert(values.size() == xs_.size());
+  series_.push_back(Series{std::move(name), std::move(values)});
+}
+
+const Series* FigureData::find(const std::string& name) const {
+  for (const Series& s : series_) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+util::Table FigureData::to_table() const {
+  std::vector<std::string> headers{x_label_};
+  for (const Series& s : series_) headers.push_back(s.name);
+  util::Table table(std::move(headers));
+  for (std::size_t i = 0; i < xs_.size(); ++i) {
+    std::vector<util::Cell> row;
+    row.emplace_back(xs_[i]);
+    for (const Series& s : series_) row.emplace_back(s.values[i]);
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+std::string FigureData::to_markdown(int precision) const {
+  std::ostringstream out;
+  out << "| " << x_label_;
+  for (const Series& s : series_) out << " | " << s.name;
+  out << " |\n|";
+  for (std::size_t i = 0; i <= series_.size(); ++i) out << "---|";
+  out << "\n";
+  out << std::fixed << std::setprecision(precision);
+  for (std::size_t i = 0; i < xs_.size(); ++i) {
+    out << "| " << xs_[i];
+    for (const Series& s : series_) out << " | " << s.values[i];
+    out << " |\n";
+  }
+  return out.str();
+}
+
+std::string FigureData::ascii_chart(int height) const {
+  assert(height >= 2);
+  static constexpr char kGlyphs[] = "*o+x#@";
+  double peak = 1e-9;
+  for (const Series& s : series_) {
+    for (double v : s.values) peak = std::max(peak, v);
+  }
+  // Rows top-down; each series paints its scaled value per x column.
+  const std::size_t cols = xs_.size();
+  std::vector<std::string> canvas(
+      static_cast<std::size_t>(height), std::string(cols, ' '));
+  for (std::size_t si = 0; si < series_.size(); ++si) {
+    const char glyph = kGlyphs[si % (sizeof(kGlyphs) - 1)];
+    for (std::size_t i = 0; i < cols; ++i) {
+      const double frac = series_[si].values[i] / peak;
+      int row = height - 1 -
+                static_cast<int>(std::lround(frac * (height - 1)));
+      row = std::clamp(row, 0, height - 1);
+      canvas[static_cast<std::size_t>(row)][i] = glyph;
+    }
+  }
+  std::ostringstream out;
+  out << title_ << "  (peak = " << peak << ")\n";
+  for (const std::string& line : canvas) out << "|" << line << "\n";
+  out << "+" << std::string(cols, '-') << "  " << x_label_ << "\n";
+  out << "legend:";
+  for (std::size_t si = 0; si < series_.size(); ++si) {
+    out << "  " << kGlyphs[si % (sizeof(kGlyphs) - 1)] << " = "
+        << series_[si].name;
+  }
+  out << "\n";
+  return out.str();
+}
+
+void FigureData::write_csv(const std::string& path) const {
+  std::vector<std::string> headers{x_label_};
+  for (const Series& s : series_) headers.push_back(s.name);
+  util::CsvWriter csv(path, headers);
+  for (std::size_t i = 0; i < xs_.size(); ++i) {
+    std::vector<util::Cell> row;
+    row.emplace_back(xs_[i]);
+    for (const Series& s : series_) row.emplace_back(s.values[i]);
+    csv.add_row(row);
+  }
+}
+
+bool FigureData::dominates(const std::string& a, const std::string& b,
+                           double slack) const {
+  const Series* sa = find(a);
+  const Series* sb = find(b);
+  assert(sa != nullptr && sb != nullptr);
+  for (std::size_t i = 0; i < xs_.size(); ++i) {
+    if (sa->values[i] > sb->values[i] * (1.0 + slack)) return false;
+  }
+  return true;
+}
+
+bool FigureData::roughly_increasing(const std::string& name,
+                                    double slack) const {
+  const Series* s = find(name);
+  assert(s != nullptr);
+  for (std::size_t i = 1; i < s->values.size(); ++i) {
+    if (s->values[i] + slack < s->values[i - 1]) return false;
+  }
+  return true;
+}
+
+}  // namespace lesslog::sim

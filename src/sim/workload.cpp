@@ -1,0 +1,71 @@
+#include "lesslog/sim/workload.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace lesslog::sim {
+
+double Workload::total() const noexcept {
+  return std::accumulate(rate.begin(), rate.end(), 0.0);
+}
+
+Workload uniform_workload(const util::StatusWord& live, double total_rate) {
+  assert(total_rate >= 0.0);
+  Workload w;
+  w.rate.assign(live.capacity(), 0.0);
+  const std::uint32_t n = live.live_count();
+  if (n == 0) return w;
+  const double per_node = total_rate / static_cast<double>(n);
+  for (std::uint32_t p = 0; p < live.capacity(); ++p) {
+    if (live.is_live(p)) w.rate[p] = per_node;
+  }
+  return w;
+}
+
+Workload locality_workload(const util::StatusWord& live, double total_rate,
+                           util::Rng& rng, double hot_node_fraction,
+                           double hot_request_fraction) {
+  assert(total_rate >= 0.0);
+  assert(hot_node_fraction > 0.0 && hot_node_fraction <= 1.0);
+  assert(hot_request_fraction >= 0.0 && hot_request_fraction <= 1.0);
+  Workload w;
+  w.rate.assign(live.capacity(), 0.0);
+  const std::vector<std::uint32_t> pids = live.live_pids();
+  if (pids.empty()) return w;
+
+  // At least one hot node, never more than all of them.
+  const auto n = static_cast<std::uint32_t>(pids.size());
+  const auto hot_count = std::min(
+      n, std::max(1u, static_cast<std::uint32_t>(
+                          std::lround(hot_node_fraction *
+                                      static_cast<double>(n)))));
+  std::vector<std::uint32_t> order(pids);
+  rng.shuffle(order);
+
+  const double hot_rate =
+      hot_count == n ? total_rate : total_rate * hot_request_fraction;
+  const double cold_rate = total_rate - hot_rate;
+  const double per_hot = hot_rate / static_cast<double>(hot_count);
+  const double per_cold =
+      hot_count == n ? 0.0
+                     : cold_rate / static_cast<double>(n - hot_count);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    w.rate[order[i]] = i < hot_count ? per_hot : per_cold;
+  }
+  return w;
+}
+
+std::vector<double> zipf_weights(std::size_t n, double s) {
+  assert(n > 0);
+  std::vector<double> w(n);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    w[i] = 1.0 / std::pow(static_cast<double>(i + 1), s);
+    sum += w[i];
+  }
+  for (double& x : w) x /= sum;
+  return w;
+}
+
+}  // namespace lesslog::sim

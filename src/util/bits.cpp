@@ -1,0 +1,24 @@
+#include "lesslog/util/bits.hpp"
+
+namespace lesslog::util {
+
+std::string to_binary(std::uint32_t v, int m) {
+  assert(valid_width(m));
+  std::string out(static_cast<std::size_t>(m), '0');
+  for (int i = 0; i < m; ++i) {
+    if (test_bit(v, m - 1 - i)) out[static_cast<std::size_t>(i)] = '1';
+  }
+  return out;
+}
+
+std::uint32_t from_binary(const std::string& s) {
+  assert(!s.empty() && s.size() <= static_cast<std::size_t>(kMaxIdBits));
+  std::uint32_t v = 0;
+  for (char c : s) {
+    assert(c == '0' || c == '1');
+    v = (v << 1) | static_cast<std::uint32_t>(c - '0');
+  }
+  return v;
+}
+
+}  // namespace lesslog::util

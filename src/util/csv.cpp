@@ -1,0 +1,47 @@
+#include "lesslog/util/csv.hpp"
+
+#include <cassert>
+#include <sstream>
+#include <stdexcept>
+
+namespace lesslog::util {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& headers)
+    : out_(path), width_(headers.size()) {
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+  for (std::size_t i = 0; i < headers.size(); ++i) {
+    out_ << (i == 0 ? "" : ",") << escape(headers[i]);
+  }
+  out_ << "\n";
+}
+
+void CsvWriter::add_row(const std::vector<Cell>& row) {
+  assert(row.size() == width_);
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (i != 0) out_ << ",";
+    if (const auto* s = std::get_if<std::string>(&row[i])) {
+      out_ << escape(*s);
+    } else if (const auto* n = std::get_if<std::int64_t>(&row[i])) {
+      out_ << *n;
+    } else {
+      out_ << std::get<double>(row[i]);
+    }
+  }
+  out_ << "\n";
+}
+
+std::string CsvWriter::escape(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace lesslog::util

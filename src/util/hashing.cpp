@@ -1,0 +1,10 @@
+// ψ is fully constexpr; this translation unit exists to give the header a
+// home in the static library and to anchor its symbols for debuggers.
+#include "lesslog/util/hashing.hpp"
+
+namespace lesslog::util {
+
+static_assert(psi("", 10) <= mask_of(10));
+static_assert(psi_u64(0, 4) <= mask_of(4));
+
+}  // namespace lesslog::util

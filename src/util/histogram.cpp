@@ -1,0 +1,45 @@
+#include "lesslog/util/histogram.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+namespace lesslog::util {
+
+Histogram::Histogram(double lo, double bucket_width, std::size_t bucket_count)
+    : lo_(lo), width_(bucket_width), counts_(bucket_count, 0) {
+  assert(bucket_width > 0.0 && bucket_count > 0);
+}
+
+void Histogram::add(double x) noexcept { add_n(x, 1); }
+
+void Histogram::add_n(double x, std::int64_t n) noexcept {
+  const double raw = (x - lo_) / width_;
+  std::size_t idx = 0;
+  if (raw > 0.0) {
+    idx = std::min(static_cast<std::size_t>(raw), counts_.size() - 1);
+  }
+  counts_[idx] += n;
+  total_ += n;
+}
+
+std::string Histogram::render(int max_width) const {
+  std::size_t last = counts_.size();
+  while (last > 1 && counts_[last - 1] == 0) --last;
+  const std::int64_t peak =
+      *std::max_element(counts_.begin(), counts_.begin() + static_cast<std::ptrdiff_t>(last));
+  std::ostringstream out;
+  for (std::size_t i = 0; i < last; ++i) {
+    const double bar_frac =
+        peak > 0 ? static_cast<double>(counts_[i]) / static_cast<double>(peak)
+                 : 0.0;
+    const int bar = static_cast<int>(std::lround(bar_frac * max_width));
+    out << "[" << bucket_lo(i) << ", " << bucket_lo(i + 1) << ") "
+        << std::string(static_cast<std::size_t>(bar), '#') << " " << counts_[i]
+        << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace lesslog::util

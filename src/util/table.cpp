@@ -1,0 +1,66 @@
+#include "lesslog/util/table.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace lesslog::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  assert(!headers_.empty());
+}
+
+void Table::add_row(std::vector<Cell> row) {
+  assert(row.size() == headers_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::format_cell(const Cell& c) const {
+  if (const auto* s = std::get_if<std::string>(&c)) return *s;
+  if (const auto* i = std::get_if<std::int64_t>(&c)) return std::to_string(*i);
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(precision_) << std::get<double>(c);
+  return out.str();
+}
+
+std::string Table::render() const {
+  std::vector<std::vector<std::string>> cells;
+  cells.reserve(rows_.size());
+  std::vector<std::size_t> widths;
+  widths.reserve(headers_.size());
+  for (const auto& h : headers_) widths.push_back(h.size());
+  for (const auto& row : rows_) {
+    std::vector<std::string> formatted;
+    formatted.reserve(row.size());
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      formatted.push_back(format_cell(row[i]));
+      widths[i] = std::max(widths[i], formatted.back().size());
+    }
+    cells.push_back(std::move(formatted));
+  }
+
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      out << (i == 0 ? "" : "  ") << std::setw(static_cast<int>(widths[i]))
+          << row[i];
+    }
+    out << "\n";
+  };
+  emit_row(headers_);
+  std::size_t rule = 0;
+  for (std::size_t i = 0; i < widths.size(); ++i) {
+    rule += widths[i] + (i == 0 ? 0 : 2);
+  }
+  out << std::string(rule, '-') << "\n";
+  for (const auto& row : cells) emit_row(row);
+  return out.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Table& t) {
+  return os << t.render();
+}
+
+}  // namespace lesslog::util

@@ -1,0 +1,117 @@
+#include "lesslog/baseline/chord.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lesslog/util/rng.hpp"
+
+namespace lesslog::baseline {
+namespace {
+
+util::StatusWord all_live(int m) {
+  return util::StatusWord(m, util::space_size(m));
+}
+
+TEST(Chord, SuccessorOnFullRingIsIdentity) {
+  const ChordRing ring(all_live(4));
+  for (std::uint32_t id = 0; id < 16; ++id) {
+    EXPECT_EQ(ring.successor(id), id);
+  }
+}
+
+TEST(Chord, SuccessorWrapsAround) {
+  util::StatusWord live(4);
+  live.set_live(2);
+  live.set_live(9);
+  const ChordRing ring(live);
+  EXPECT_EQ(ring.successor(0), 2u);
+  EXPECT_EQ(ring.successor(2), 2u);
+  EXPECT_EQ(ring.successor(3), 9u);
+  EXPECT_EQ(ring.successor(10), 2u);  // wraps
+  EXPECT_EQ(ring.successor(15), 2u);
+}
+
+TEST(Chord, SingleNodeOwnsEverything) {
+  util::StatusWord live(4);
+  live.set_live(6);
+  const ChordRing ring(live);
+  for (std::uint32_t key = 0; key < 16; ++key) {
+    EXPECT_EQ(ring.successor(key), 6u);
+    EXPECT_EQ(ring.lookup_hops(6, key), 0);
+  }
+}
+
+TEST(Chord, LookupReachesResponsibleNode) {
+  util::StatusWord live = all_live(6);
+  util::Rng rng(1);
+  for (std::uint32_t dead : rng.sample_indices(64, 30)) live.set_dead(dead);
+  const ChordRing ring(live);
+  for (std::uint32_t from = 0; from < 64; ++from) {
+    if (!live.is_live(from)) continue;
+    for (std::uint32_t key = 0; key < 64; key += 7) {
+      const std::vector<std::uint32_t> path = ring.lookup_path(from, key);
+      EXPECT_EQ(path.front(), from);
+      EXPECT_EQ(path.back(), ring.successor(key));
+    }
+  }
+}
+
+TEST(Chord, PathNodesAreLive) {
+  util::StatusWord live = all_live(5);
+  util::Rng rng(2);
+  for (std::uint32_t dead : rng.sample_indices(32, 12)) live.set_dead(dead);
+  const ChordRing ring(live);
+  for (std::uint32_t from = 0; from < 32; ++from) {
+    if (!live.is_live(from)) continue;
+    const std::vector<std::uint32_t> path = ring.lookup_path(from, 13);
+    for (const std::uint32_t hop : path) {
+      EXPECT_TRUE(live.is_live(hop));
+    }
+  }
+}
+
+TEST(Chord, HopsAreLogarithmicallyBounded) {
+  const int m = 10;
+  const ChordRing ring(all_live(m));
+  util::Rng rng(3);
+  int worst = 0;
+  for (int trial = 0; trial < 500; ++trial) {
+    const auto from = static_cast<std::uint32_t>(rng.bounded(1024));
+    const auto key = static_cast<std::uint32_t>(rng.bounded(1024));
+    worst = std::max(worst, ring.lookup_hops(from, key));
+  }
+  // Greedy finger routing halves the distance per hop: <= m hops.
+  EXPECT_LE(worst, m);
+  EXPECT_GT(worst, 1);
+}
+
+TEST(Chord, MeanHopsNearHalfLogN) {
+  const int m = 8;
+  const ChordRing ring(all_live(m));
+  util::Rng rng(4);
+  double total = 0.0;
+  const int trials = 2000;
+  for (int t = 0; t < trials; ++t) {
+    const auto from = static_cast<std::uint32_t>(rng.bounded(256));
+    const auto key = static_cast<std::uint32_t>(rng.bounded(256));
+    total += ring.lookup_hops(from, key);
+  }
+  const double mean = total / trials;
+  // Chord's expected lookup is ~(1/2) log2 N = 4 on a full 256-ring.
+  EXPECT_GT(mean, 2.5);
+  EXPECT_LT(mean, 5.5);
+}
+
+TEST(Chord, HopCountMatchesPathLength) {
+  const ChordRing ring(all_live(6));
+  for (std::uint32_t from = 0; from < 64; from += 5) {
+    for (std::uint32_t key = 0; key < 64; key += 11) {
+      EXPECT_EQ(ring.lookup_hops(from, key),
+                static_cast<int>(ring.lookup_path(from, key).size()) - 1);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lesslog::baseline

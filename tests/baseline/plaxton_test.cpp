@@ -1,0 +1,134 @@
+#include "lesslog/baseline/plaxton.hpp"
+
+#include <gtest/gtest.h>
+
+#include "lesslog/util/rng.hpp"
+
+namespace lesslog::baseline {
+namespace {
+
+util::StatusWord all_live(int m) {
+  return util::StatusWord(m, util::space_size(m));
+}
+
+TEST(Plaxton, DigitExtraction) {
+  const PlaxtonMesh mesh(all_live(4), 2);  // 2 digits of 2 bits
+  EXPECT_EQ(mesh.digits(), 2);
+  EXPECT_EQ(mesh.digit_base(), 4);
+  EXPECT_EQ(mesh.digit(0b1101, 0), 0b11u);
+  EXPECT_EQ(mesh.digit(0b1101, 1), 0b01u);
+}
+
+TEST(Plaxton, PaddedWidthWhenBitsDontDivide) {
+  const PlaxtonMesh mesh(all_live(5), 2);  // ceil(5/2) = 3 digits
+  EXPECT_EQ(mesh.digits(), 3);
+  // id 0b10110 -> padded 6 bits 010110 -> digits 01, 01, 10.
+  EXPECT_EQ(mesh.digit(0b10110, 0), 0b01u);
+  EXPECT_EQ(mesh.digit(0b10110, 1), 0b01u);
+  EXPECT_EQ(mesh.digit(0b10110, 2), 0b10u);
+}
+
+TEST(Plaxton, FullMeshExactOwner) {
+  const PlaxtonMesh mesh(all_live(6), 2);
+  for (std::uint32_t key = 0; key < 64; ++key) {
+    EXPECT_EQ(mesh.root_of(key), key);  // every id live -> exact match
+  }
+}
+
+TEST(Plaxton, LookupReachesRootFromEveryStart) {
+  util::StatusWord live = all_live(6);
+  util::Rng rng(1);
+  for (const std::uint32_t dead : rng.sample_indices(64, 30)) {
+    live.set_dead(dead);
+  }
+  const PlaxtonMesh mesh(live, 2);
+  for (std::uint32_t key = 0; key < 64; key += 5) {
+    const std::uint32_t root = mesh.root_of(key);
+    EXPECT_TRUE(live.is_live(root));
+    for (std::uint32_t from = 0; from < 64; ++from) {
+      if (!live.is_live(from)) continue;
+      const std::vector<std::uint32_t> path = mesh.lookup_path(from, key);
+      EXPECT_EQ(path.front(), from);
+      EXPECT_EQ(path.back(), root) << "key=" << key << " from=" << from;
+      for (const std::uint32_t hop : path) EXPECT_TRUE(live.is_live(hop));
+    }
+  }
+}
+
+TEST(Plaxton, HopsBoundedByDigitsPlusOne) {
+  util::StatusWord live = all_live(10);
+  util::Rng rng(2);
+  for (const std::uint32_t dead : rng.sample_indices(1024, 300)) {
+    live.set_dead(dead);
+  }
+  for (const int bits : {1, 2, 4}) {
+    const PlaxtonMesh mesh(live, bits);
+    for (int trial = 0; trial < 300; ++trial) {
+      std::uint32_t from;
+      do {
+        from = static_cast<std::uint32_t>(rng.bounded(1024));
+      } while (!live.is_live(from));
+      const auto key = static_cast<std::uint32_t>(rng.bounded(1024));
+      EXPECT_LE(mesh.lookup_hops(from, key), mesh.digits() + 1);
+    }
+  }
+}
+
+TEST(Plaxton, LargerDigitsShortenPaths) {
+  const util::StatusWord live = all_live(10);
+  const PlaxtonMesh binary(live, 1);
+  const PlaxtonMesh hex(live, 4);
+  util::Rng rng(3);
+  double binary_total = 0.0;
+  double hex_total = 0.0;
+  const int trials = 1000;
+  for (int t = 0; t < trials; ++t) {
+    const auto from = static_cast<std::uint32_t>(rng.bounded(1024));
+    const auto key = static_cast<std::uint32_t>(rng.bounded(1024));
+    binary_total += binary.lookup_hops(from, key);
+    hex_total += hex.lookup_hops(from, key);
+  }
+  EXPECT_LT(hex_total, binary_total);
+}
+
+TEST(Plaxton, PrefixHopsMonotonicallyExtendMatch) {
+  util::StatusWord live = all_live(8);
+  util::Rng rng(4);
+  for (const std::uint32_t dead : rng.sample_indices(256, 100)) {
+    live.set_dead(dead);
+  }
+  const PlaxtonMesh mesh(live, 2);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::uint32_t from;
+    do {
+      from = static_cast<std::uint32_t>(rng.bounded(256));
+    } while (!live.is_live(from));
+    const auto key = static_cast<std::uint32_t>(rng.bounded(256));
+    const std::vector<std::uint32_t> path = mesh.lookup_path(from, key);
+    // The shared digit prefix never shrinks along the path (the final
+    // representative hop keeps the same length).
+    int prev = -1;
+    for (std::size_t i = 0; i < path.size(); ++i) {
+      int p = 0;
+      while (p < mesh.digits() && mesh.digit(path[i], p) ==
+                                      mesh.digit(key, p)) {
+        ++p;
+      }
+      EXPECT_GE(p, prev) << "hop " << i;
+      prev = p;
+    }
+  }
+}
+
+TEST(Plaxton, SingleNodeOwnsEverything) {
+  util::StatusWord live(4);
+  live.set_live(11);
+  const PlaxtonMesh mesh(live, 2);
+  for (std::uint32_t key = 0; key < 16; ++key) {
+    EXPECT_EQ(mesh.root_of(key), 11u);
+    EXPECT_EQ(mesh.lookup_hops(11, key), 0);
+  }
+}
+
+}  // namespace
+}  // namespace lesslog::baseline

@@ -1,0 +1,259 @@
+#include "lesslog/core/fault_tolerant.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "lesslog/util/rng.hpp"
+
+namespace lesslog::core {
+namespace {
+
+util::StatusWord all_live(int m) {
+  util::StatusWord live(m);
+  for (std::uint32_t p = 0; p < live.capacity(); ++p) live.set_live(p);
+  return live;
+}
+
+HasCopyFn copy_at(const std::set<std::uint32_t>& pids) {
+  return [&pids](Pid p) { return pids.contains(p.value()); };
+}
+
+TEST(SubtreeView, GeometryBasics) {
+  const LookupTree tree(4, Pid{4});
+  const SubtreeView view(tree, 2);
+  EXPECT_EQ(view.fault_bits(), 2);
+  EXPECT_EQ(view.subtree_width(), 2);
+  EXPECT_EQ(view.subtree_count(), 4u);
+}
+
+TEST(SubtreeView, SubtreeIdIsLowVidBits) {
+  // Figure 4: the lookup tree of P(4) (m = 4) with b = 2; each node's
+  // subtree id is the last 2 bits of its VID.
+  const LookupTree tree(4, Pid{4});
+  const SubtreeView view(tree, 2);
+  for (std::uint32_t p = 0; p < 16; ++p) {
+    const std::uint32_t vid = tree.vid_of(Pid{p}).value();
+    EXPECT_EQ(view.subtree_id(Pid{p}), vid & 0b11u);
+    EXPECT_EQ(view.subtree_vid(Pid{p}), vid >> 2);
+    EXPECT_EQ(view.pid_at(vid >> 2, vid & 0b11u), Pid{p});
+  }
+}
+
+TEST(SubtreeView, BZeroDegeneratesToWholeTree) {
+  const LookupTree tree(4, Pid{4});
+  const SubtreeView view(tree, 0);
+  EXPECT_EQ(view.subtree_count(), 1u);
+  for (std::uint32_t p = 0; p < 16; ++p) {
+    EXPECT_EQ(view.subtree_id(Pid{p}), 0u);
+    EXPECT_EQ(view.subtree_vid(Pid{p}), tree.vid_of(Pid{p}).value());
+  }
+  EXPECT_EQ(view.subtree_root(0), Pid{4});
+}
+
+TEST(SubtreeView, SubtreeRootsHaveAllOnesSubtreeVid) {
+  const LookupTree tree(4, Pid{4});
+  const SubtreeView view(tree, 2);
+  for (std::uint32_t t = 0; t < 4; ++t) {
+    const Pid root = view.subtree_root(t);
+    EXPECT_EQ(view.subtree_vid(root), 0b11u);
+    EXPECT_EQ(view.subtree_id(root), t);
+  }
+}
+
+TEST(SubtreeView, SubtreesPartitionTheIdSpace) {
+  const LookupTree tree(5, Pid{9});
+  const SubtreeView view(tree, 2);
+  std::set<std::uint32_t> seen;
+  for (std::uint32_t t = 0; t < view.subtree_count(); ++t) {
+    for (std::uint32_t sv = 0; sv <= util::mask_of(view.subtree_width());
+         ++sv) {
+      EXPECT_TRUE(seen.insert(view.pid_at(sv, t).value()).second);
+    }
+  }
+  EXPECT_EQ(seen.size(), 32u);
+}
+
+TEST(SubtreeView, InsertionTargetsOnePerSubtree) {
+  const LookupTree tree(4, Pid{4});
+  const SubtreeView view(tree, 2);
+  const util::StatusWord live = all_live(4);
+  const std::vector<Pid> targets = view.insertion_targets(live);
+  ASSERT_EQ(targets.size(), 4u);
+  std::set<std::uint32_t> ids;
+  for (const Pid t : targets) {
+    EXPECT_EQ(view.subtree_vid(t), 0b11u);  // live subtree roots
+    ids.insert(view.subtree_id(t));
+  }
+  EXPECT_EQ(ids.size(), 4u);
+}
+
+TEST(SubtreeView, FindLiveInSubtreeScansDownward) {
+  const LookupTree tree(4, Pid{4});
+  const SubtreeView view(tree, 2);
+  util::StatusWord live = all_live(4);
+  const Pid root0 = view.subtree_root(0);
+  live.set_dead(root0.value());
+  const std::optional<Pid> found = view.insertion_target(0, live);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(view.subtree_id(*found), 0u);
+  EXPECT_EQ(view.subtree_vid(*found), 0b10u);
+}
+
+TEST(SubtreeView, EmptySubtreeYieldsNoTarget) {
+  const LookupTree tree(3, Pid{5});
+  const SubtreeView view(tree, 1);
+  util::StatusWord live = all_live(3);
+  for (std::uint32_t sv = 0; sv < 4; ++sv) {
+    live.set_dead(view.pid_at(sv, 0).value());
+  }
+  EXPECT_EQ(view.insertion_target(0, live), std::nullopt);
+  EXPECT_EQ(view.insertion_targets(live).size(), 1u);
+}
+
+TEST(SubtreeView, ChildrenListStaysInSubtree) {
+  const LookupTree tree(5, Pid{18});
+  const SubtreeView view(tree, 2);
+  util::StatusWord live = all_live(5);
+  util::Rng rng(4);
+  for (std::uint32_t dead : rng.sample_indices(32, 8)) live.set_dead(dead);
+  for (std::uint32_t p = 0; p < 32; ++p) {
+    const std::uint32_t sid = view.subtree_id(Pid{p});
+    for (const Pid c : view.children_list(Pid{p}, live)) {
+      EXPECT_EQ(view.subtree_id(c), sid);
+      EXPECT_TRUE(live.is_live(c.value()));
+      EXPECT_LT(view.subtree_vid(c), view.subtree_vid(Pid{p}));
+    }
+  }
+}
+
+TEST(SubtreeView, RouteGetWithinOwnSubtree) {
+  const LookupTree tree(4, Pid{4});
+  const SubtreeView view(tree, 2);
+  const util::StatusWord live = all_live(4);
+  // Copies at all four subtree roots (the FT insertion state).
+  std::set<std::uint32_t> copies;
+  for (const Pid t : view.insertion_targets(live)) copies.insert(t.value());
+
+  for (std::uint32_t k = 0; k < 16; ++k) {
+    const RouteResult r = view.route_get(Pid{k}, live, copy_at(copies));
+    ASSERT_TRUE(r.served_by.has_value()) << "k=" << k;
+    // Served within the requester's own subtree, no migration.
+    EXPECT_EQ(view.subtree_id(*r.served_by), view.subtree_id(Pid{k}));
+    EXPECT_FALSE(r.used_fallback);
+    EXPECT_LE(r.hops(), view.subtree_width());
+  }
+}
+
+TEST(SubtreeView, RouteGetMigratesOnSubtreeFault) {
+  const LookupTree tree(4, Pid{4});
+  const SubtreeView view(tree, 2);
+  const util::StatusWord live = all_live(4);
+  // Copy only in subtree 2; a requester in subtree 0 must migrate.
+  const Pid holder = view.subtree_root(2);
+  const std::set<std::uint32_t> copies{holder.value()};
+  const Pid requester = view.pid_at(0b01, 0);
+  const RouteResult r = view.route_get(requester, live, copy_at(copies));
+  ASSERT_TRUE(r.served_by.has_value());
+  EXPECT_EQ(*r.served_by, holder);
+  EXPECT_TRUE(r.used_fallback);
+}
+
+TEST(SubtreeView, ToleratesFailuresBelowDegree) {
+  // 2^b fault tolerance: kill all but one subtree's holder; every live
+  // requester still reaches a copy.
+  const LookupTree tree(5, Pid{7});
+  const SubtreeView view(tree, 2);
+  util::StatusWord live = all_live(5);
+  std::vector<Pid> targets = view.insertion_targets(live);
+  ASSERT_EQ(targets.size(), 4u);
+  std::set<std::uint32_t> copies;
+  for (const Pid t : targets) copies.insert(t.value());
+  // Fail three of the four holders outright (copies vanish with them).
+  for (std::size_t i = 0; i + 1 < targets.size(); ++i) {
+    live.set_dead(targets[i].value());
+    copies.erase(targets[i].value());
+  }
+  for (std::uint32_t k = 0; k < 32; ++k) {
+    if (!live.is_live(k)) continue;
+    const RouteResult r = view.route_get(Pid{k}, live, copy_at(copies));
+    EXPECT_TRUE(r.served_by.has_value()) << "k=" << k;
+  }
+}
+
+TEST(SubtreeView, FaultsWhenEveryHolderIsGone) {
+  const LookupTree tree(4, Pid{4});
+  const SubtreeView view(tree, 1);
+  const util::StatusWord live = all_live(4);
+  const RouteResult r =
+      view.route_get(Pid{3}, live, copy_at(std::set<std::uint32_t>{}));
+  EXPECT_EQ(r.served_by, std::nullopt);
+}
+
+TEST(SubtreeView, ReplicateTargetStaysInSubtree) {
+  const LookupTree tree(5, Pid{12});
+  const SubtreeView view(tree, 1);
+  const util::StatusWord live = all_live(5);
+  util::Rng rng(2);
+  for (std::uint32_t t = 0; t < 2; ++t) {
+    const Pid holder = view.subtree_root(t);
+    std::set<std::uint32_t> copies{holder.value()};
+    // The subtree root has subtree_width() children; each replication
+    // walks one step down its children list.
+    for (int step = 0; step < view.subtree_width(); ++step) {
+      const std::optional<Pid> next = view.replicate_target(
+          holder, live, copy_at(copies), rng);
+      ASSERT_TRUE(next.has_value());
+      EXPECT_EQ(view.subtree_id(*next), t);
+      EXPECT_FALSE(copies.contains(next->value()));
+      copies.insert(next->value());
+    }
+    // List exhausted: the next overload would surface at a child instead.
+    EXPECT_EQ(view.replicate_target(holder, live, copy_at(copies), rng),
+              std::nullopt);
+  }
+}
+
+TEST(SubtreeView, PropagateUpdatePerSubtree) {
+  const LookupTree tree(4, Pid{4});
+  const SubtreeView view(tree, 2);
+  const util::StatusWord live = all_live(4);
+  std::set<std::uint32_t> copies;
+  for (const Pid t : view.insertion_targets(live)) copies.insert(t.value());
+
+  std::set<std::uint32_t> updated;
+  for (std::uint32_t t = 0; t < view.subtree_count(); ++t) {
+    const SubtreeView::SubtreeUpdate r =
+        view.propagate_update(t, live, copy_at(copies));
+    for (const Pid p : r.updated) updated.insert(p.value());
+  }
+  EXPECT_EQ(updated, copies);
+}
+
+class FaultBitsSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(FaultBitsSweep, EveryRequesterServedWithAllHoldersLive) {
+  const int b = GetParam();
+  const int m = 6;
+  const LookupTree tree(m, Pid{37});
+  const SubtreeView view(tree, b);
+  util::StatusWord live = all_live(m);
+  util::Rng rng(static_cast<std::uint64_t>(b) + 1);
+  for (std::uint32_t dead : rng.sample_indices(64, 20)) live.set_dead(dead);
+
+  std::set<std::uint32_t> copies;
+  for (const Pid t : view.insertion_targets(live)) copies.insert(t.value());
+  ASSERT_FALSE(copies.empty());
+
+  for (std::uint32_t k = 0; k < 64; ++k) {
+    if (!live.is_live(k)) continue;
+    const RouteResult r = view.route_get(Pid{k}, live, copy_at(copies));
+    EXPECT_TRUE(r.served_by.has_value()) << "b=" << b << " k=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, FaultBitsSweep,
+                         ::testing::Values(0, 1, 2, 3, 4));
+
+}  // namespace
+}  // namespace lesslog::core

@@ -1,0 +1,111 @@
+#include "lesslog/core/file_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace lesslog::core {
+namespace {
+
+TEST(FileStore, StartsEmpty) {
+  const FileStore store;
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_FALSE(store.has(FileId{1}));
+  EXPECT_EQ(store.info(FileId{1}), std::nullopt);
+}
+
+TEST(FileStore, InsertedCopyBasics) {
+  FileStore store;
+  store.put_inserted(FileId{7}, 3);
+  ASSERT_TRUE(store.has(FileId{7}));
+  const CopyInfo info = store.info(FileId{7}).value();
+  EXPECT_EQ(info.kind, CopyKind::kInserted);
+  EXPECT_EQ(info.version, 3u);
+  EXPECT_EQ(info.access_count, 0u);
+}
+
+TEST(FileStore, ReplicaDoesNotDowngradeInserted) {
+  FileStore store;
+  store.put_inserted(FileId{1});
+  store.put_replica(FileId{1});
+  EXPECT_EQ(store.info(FileId{1})->kind, CopyKind::kInserted);
+}
+
+TEST(FileStore, InsertedPromotesReplica) {
+  FileStore store;
+  store.put_replica(FileId{1});
+  EXPECT_EQ(store.info(FileId{1})->kind, CopyKind::kReplica);
+  store.put_inserted(FileId{1});
+  EXPECT_EQ(store.info(FileId{1})->kind, CopyKind::kInserted);
+}
+
+TEST(FileStore, EraseReportsPresence) {
+  FileStore store;
+  store.put_replica(FileId{2});
+  EXPECT_TRUE(store.erase(FileId{2}));
+  EXPECT_FALSE(store.erase(FileId{2}));
+  EXPECT_FALSE(store.has(FileId{2}));
+}
+
+TEST(FileStore, ApplyUpdateBumpsVersionOnlyIfPresent) {
+  FileStore store;
+  EXPECT_FALSE(store.apply_update(FileId{3}, 9));
+  store.put_inserted(FileId{3}, 1);
+  EXPECT_TRUE(store.apply_update(FileId{3}, 9));
+  EXPECT_EQ(store.info(FileId{3})->version, 9u);
+}
+
+TEST(FileStore, AccessCountingAndReset) {
+  FileStore store;
+  store.put_replica(FileId{4});
+  store.record_access(FileId{4});
+  store.record_access(FileId{4});
+  store.record_access(FileId{99});  // absent: ignored
+  EXPECT_EQ(store.info(FileId{4})->access_count, 2u);
+  store.reset_access_counts();
+  EXPECT_EQ(store.info(FileId{4})->access_count, 0u);
+}
+
+TEST(FileStore, PruneColdReplicasKeepsHotAndInserted) {
+  FileStore store;
+  store.put_inserted(FileId{1});   // never pruned
+  store.put_replica(FileId{2});    // cold: 0 accesses
+  store.put_replica(FileId{3});    // hot
+  for (int i = 0; i < 5; ++i) store.record_access(FileId{3});
+  const std::vector<FileId> pruned = store.prune_cold_replicas(3);
+  EXPECT_EQ(pruned, std::vector<FileId>{FileId{2}});
+  EXPECT_TRUE(store.has(FileId{1}));
+  EXPECT_FALSE(store.has(FileId{2}));
+  EXPECT_TRUE(store.has(FileId{3}));
+}
+
+TEST(FileStore, PruneThresholdIsStrict) {
+  FileStore store;
+  store.put_replica(FileId{5});
+  store.record_access(FileId{5});
+  // access_count == threshold survives (strictly-below rule).
+  EXPECT_TRUE(store.prune_cold_replicas(1).empty());
+  EXPECT_FALSE(store.prune_cold_replicas(2).empty());
+}
+
+TEST(FileStore, CategorizedListings) {
+  FileStore store;
+  store.put_inserted(FileId{1});
+  store.put_inserted(FileId{2});
+  store.put_replica(FileId{3});
+  std::vector<FileId> ins = store.inserted_files();
+  std::vector<FileId> rep = store.replica_files();
+  std::sort(ins.begin(), ins.end());
+  EXPECT_EQ(ins, (std::vector<FileId>{FileId{1}, FileId{2}}));
+  EXPECT_EQ(rep, std::vector<FileId>{FileId{3}});
+  EXPECT_EQ(store.size(), 3u);
+}
+
+TEST(FileId, OrderingAndHash) {
+  EXPECT_LT(FileId{1}, FileId{2});
+  EXPECT_EQ(FileId{5}, FileId{5});
+  EXPECT_EQ(std::hash<FileId>{}(FileId{5}), std::hash<FileId>{}(FileId{5}));
+}
+
+}  // namespace
+}  // namespace lesslog::core

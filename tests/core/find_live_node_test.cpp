@@ -1,0 +1,137 @@
+#include "lesslog/core/find_live_node.hpp"
+
+#include <gtest/gtest.h>
+
+#include "lesslog/util/rng.hpp"
+
+namespace lesslog::core {
+namespace {
+
+util::StatusWord all_live(int m) {
+  util::StatusWord live(m);
+  for (std::uint32_t p = 0; p < live.capacity(); ++p) live.set_live(p);
+  return live;
+}
+
+TEST(FindLiveNode, ReturnsSelfWhenAlive) {
+  const LookupTree tree(4, Pid{4});
+  const util::StatusWord live = all_live(4);
+  for (std::uint32_t p = 0; p < 16; ++p) {
+    EXPECT_EQ(find_live_node(tree, Pid{p}, live), Pid{p});
+  }
+}
+
+TEST(FindLiveNode, PaperExampleDeadTargetGoesToP6) {
+  // 14-node system, P(4) and P(5) dead, target 4 = ψ(f):
+  // ADVANCEDINSERTFILE inserts f into P(6).
+  const LookupTree tree(4, Pid{4});
+  util::StatusWord live = all_live(4);
+  live.set_dead(4);
+  live.set_dead(5);
+  EXPECT_EQ(insertion_target(tree, live), Pid{6});
+  EXPECT_EQ(find_live_node(tree, Pid{4}, live), Pid{6});
+}
+
+TEST(FindLiveNode, ScansStrictlyDownward) {
+  const LookupTree tree(4, Pid{4});
+  util::StatusWord live = all_live(4);
+  // Kill the three largest VIDs in the tree of P(4): vid 1111 -> P(4),
+  // vid 1110 -> P(5), vid 1101 -> P(6). Next is vid 1100 -> P(7).
+  live.set_dead(4);
+  live.set_dead(5);
+  live.set_dead(6);
+  EXPECT_EQ(insertion_target(tree, live), Pid{7});
+}
+
+TEST(FindLiveNode, NoLiveNodeReturnsNullopt) {
+  const LookupTree tree(3, Pid{2});
+  const util::StatusWord live(3);  // everything dead
+  EXPECT_EQ(find_live_node(tree, Pid{2}, live), std::nullopt);
+  EXPECT_EQ(insertion_target(tree, live), std::nullopt);
+}
+
+TEST(FindLiveNode, StartBelowEveryLiveNodeFails) {
+  const LookupTree tree(4, Pid{4});
+  util::StatusWord live(4);
+  live.set_live(4);  // only the root (vid 1111) is alive
+  // Starting from the smallest VID (vid 0000 -> pid 11), nothing below.
+  const Pid lowest = tree.pid_of(Vid{0});
+  EXPECT_EQ(find_live_node(tree, lowest, live), std::nullopt);
+}
+
+TEST(FindLiveNode, ResultHasMaximalVidBelowStart) {
+  const LookupTree tree(5, Pid{9});
+  util::StatusWord live = all_live(5);
+  util::Rng rng(77);
+  for (std::uint32_t dead : rng.sample_indices(32, 15)) live.set_dead(dead);
+  for (std::uint32_t s = 0; s < 32; ++s) {
+    const std::optional<Pid> found = find_live_node(tree, Pid{s}, live);
+    if (live.is_live(s)) {
+      EXPECT_EQ(found, Pid{s});
+      continue;
+    }
+    if (!found.has_value()) {
+      // Then no live node has a VID below vid(s).
+      for (std::uint32_t v = 0; v < tree.vid_of(Pid{s}).value(); ++v) {
+        EXPECT_FALSE(live.is_live(tree.pid_of(Vid{v}).value()));
+      }
+      continue;
+    }
+    const std::uint32_t fv = tree.vid_of(*found).value();
+    EXPECT_LT(fv, tree.vid_of(Pid{s}).value());
+    EXPECT_TRUE(live.is_live(found->value()));
+    for (std::uint32_t v = fv + 1; v < tree.vid_of(Pid{s}).value(); ++v) {
+      EXPECT_FALSE(live.is_live(tree.pid_of(Vid{v}).value()));
+    }
+  }
+}
+
+TEST(FindLiveNode, InsertionTargetHasMostOffspring) {
+  // Property 3 justifies the scan: the chosen node has the most offspring
+  // among live nodes.
+  const LookupTree tree(5, Pid{20});
+  util::StatusWord live = all_live(5);
+  util::Rng rng(3);
+  for (std::uint32_t dead : rng.sample_indices(32, 10)) live.set_dead(dead);
+  const std::optional<Pid> target = insertion_target(tree, live);
+  ASSERT_TRUE(target.has_value());
+  for (std::uint32_t p = 0; p < 32; ++p) {
+    if (live.is_live(p)) {
+      EXPECT_GE(tree.offspring_count(*target), tree.offspring_count(Pid{p}));
+    }
+  }
+}
+
+TEST(LiveVidAbove, RootHasNothingAbove) {
+  const LookupTree tree(4, Pid{4});
+  const util::StatusWord live = all_live(4);
+  EXPECT_FALSE(live_vid_above(tree, Pid{4}, live));
+  EXPECT_TRUE(live_vid_above(tree, Pid{5}, live));
+  EXPECT_TRUE(live_vid_above(tree, Pid{12}, live));
+}
+
+TEST(LiveVidAbove, StandInDetection) {
+  const LookupTree tree(4, Pid{4});
+  util::StatusWord live = all_live(4);
+  live.set_dead(4);
+  live.set_dead(5);
+  // P(6) (vid 1101) is now the highest live VID.
+  EXPECT_FALSE(live_vid_above(tree, Pid{6}, live));
+  EXPECT_TRUE(live_vid_above(tree, Pid{7}, live));
+}
+
+TEST(LiveVidAbove, ConsistentWithInsertionTarget) {
+  const LookupTree tree(6, Pid{33});
+  util::StatusWord live = all_live(6);
+  util::Rng rng(11);
+  for (std::uint32_t dead : rng.sample_indices(64, 25)) live.set_dead(dead);
+  const std::optional<Pid> target = insertion_target(tree, live);
+  ASSERT_TRUE(target.has_value());
+  for (std::uint32_t p = 0; p < 64; ++p) {
+    if (!live.is_live(p)) continue;
+    EXPECT_EQ(live_vid_above(tree, Pid{p}, live), Pid{p} != *target);
+  }
+}
+
+}  // namespace
+}  // namespace lesslog::core

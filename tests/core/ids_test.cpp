@@ -1,0 +1,84 @@
+#include "lesslog/core/ids.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace lesslog::core {
+namespace {
+
+TEST(Ids, PidValueAndOrdering) {
+  const Pid a{3};
+  const Pid b{7};
+  EXPECT_EQ(a.value(), 3u);
+  EXPECT_LT(a, b);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, Pid{3});
+}
+
+TEST(Ids, VidOrderingMatchesValue) {
+  EXPECT_LT(Vid{0b0111}, Vid{0b1000});
+  EXPECT_EQ(Vid{5}, Vid{5});
+}
+
+TEST(Ids, ToStringForms) {
+  EXPECT_EQ(to_string(Pid{4}), "P(4)");
+  EXPECT_EQ(to_binary(Vid{0b1011}, 4), "1011");
+}
+
+TEST(Ids, HashableInUnorderedContainers) {
+  std::unordered_set<Pid> pids{Pid{1}, Pid{2}, Pid{1}};
+  EXPECT_EQ(pids.size(), 2u);
+  std::unordered_set<Vid> vids{Vid{9}, Vid{9}};
+  EXPECT_EQ(vids.size(), 1u);
+}
+
+TEST(IdMapper, PaperComplementExample) {
+  // Tree of P(4) in a 16-node system: 4̄ = 1011₂ = 11.
+  const IdMapper mapper(4, Pid{4});
+  EXPECT_EQ(mapper.complement(), 0b1011u);
+  EXPECT_EQ(mapper.root(), Pid{4});
+}
+
+TEST(IdMapper, RootMapsToAllOnesVid) {
+  for (std::uint32_t r = 0; r < 16; ++r) {
+    const IdMapper mapper(4, Pid{r});
+    EXPECT_EQ(mapper.vid_of(Pid{r}), Vid{0b1111});
+    EXPECT_EQ(mapper.pid_of(Vid{0b1111}), Pid{r});
+  }
+}
+
+TEST(IdMapper, ConversionIsInvolution) {
+  const IdMapper mapper(5, Pid{19});
+  for (std::uint32_t p = 0; p < 32; ++p) {
+    EXPECT_EQ(mapper.pid_of(mapper.vid_of(Pid{p})), Pid{p});
+    EXPECT_EQ(mapper.vid_of(mapper.pid_of(Vid{p})), Vid{p});
+  }
+}
+
+TEST(IdMapper, PaperFigure2Mapping) {
+  // Figure 2 of the paper: in the tree of P(4), P(8) has VID 0011 and P(0)
+  // has VID 1011.
+  const IdMapper mapper(4, Pid{4});
+  EXPECT_EQ(mapper.vid_of(Pid{8}), Vid{0b0011});
+  EXPECT_EQ(mapper.vid_of(Pid{0}), Vid{0b1011});
+}
+
+class MapperBijectionSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(MapperBijectionSweep, EveryRootYieldsAPermutation) {
+  // "Because of the 1-to-1 and onto characteristics of the XOR operation,
+  // we map one virtual lookup tree to N different physical lookup trees."
+  const IdMapper mapper(4, Pid{GetParam()});
+  std::unordered_set<std::uint32_t> image;
+  for (std::uint32_t v = 0; v < 16; ++v) {
+    image.insert(mapper.pid_of(Vid{v}).value());
+  }
+  EXPECT_EQ(image.size(), 16u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRoots16, MapperBijectionSweep,
+                         ::testing::Range(0u, 16u));
+
+}  // namespace
+}  // namespace lesslog::core

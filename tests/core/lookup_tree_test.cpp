@@ -1,0 +1,115 @@
+#include "lesslog/core/lookup_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace lesslog::core {
+namespace {
+
+TEST(LookupTree, PaperFigure2Children) {
+  // Figure 2: the children list of P(4) in its own 16-node lookup tree is
+  // (P(5), P(6), P(0), P(12)), most offspring first.
+  const LookupTree tree(4, Pid{4});
+  EXPECT_EQ(tree.children(Pid{4}),
+            (std::vector<Pid>{Pid{5}, Pid{6}, Pid{0}, Pid{12}}));
+}
+
+TEST(LookupTree, PaperFigure2RoutingHops) {
+  // "When P(8) receives a request whose target node is P(4), it routes the
+  // request to P(0), which in turn routes the request to P(4)."
+  const LookupTree tree(4, Pid{4});
+  EXPECT_EQ(tree.parent(Pid{8}), Pid{0});
+  EXPECT_EQ(tree.parent(Pid{0}), Pid{4});
+  EXPECT_EQ(tree.path_to_root(Pid{8}),
+            (std::vector<Pid>{Pid{8}, Pid{0}, Pid{4}}));
+}
+
+TEST(LookupTree, RootProperties) {
+  const LookupTree tree(4, Pid{9});
+  EXPECT_EQ(tree.root(), Pid{9});
+  EXPECT_TRUE(tree.is_root(Pid{9}));
+  EXPECT_FALSE(tree.is_root(Pid{0}));
+  EXPECT_EQ(tree.depth(Pid{9}), 0);
+  EXPECT_EQ(tree.offspring_count(Pid{9}), 15u);
+}
+
+TEST(LookupTree, VidPidRoundTrip) {
+  const LookupTree tree(4, Pid{6});
+  for (std::uint32_t p = 0; p < 16; ++p) {
+    EXPECT_EQ(tree.pid_of(tree.vid_of(Pid{p})), Pid{p});
+  }
+}
+
+TEST(LookupTree, SubtreeRelationRespectsPaths) {
+  const LookupTree tree(4, Pid{11});
+  for (std::uint32_t p = 0; p < 16; ++p) {
+    for (const Pid anc : tree.path_to_root(Pid{p})) {
+      EXPECT_TRUE(tree.in_subtree(Pid{p}, anc));
+    }
+  }
+}
+
+TEST(LookupTree, ChildCountAndSubtreeSizeConsistent) {
+  const LookupTree tree(5, Pid{21});
+  for (std::uint32_t p = 0; p < 32; ++p) {
+    EXPECT_EQ(tree.children(Pid{p}).size(),
+              static_cast<std::size_t>(tree.child_count(Pid{p})));
+    EXPECT_EQ(tree.subtree_size(Pid{p}), tree.offspring_count(Pid{p}) + 1u);
+  }
+}
+
+struct TreeCase {
+  int m;
+  std::uint32_t root;
+};
+
+class LookupTreeSweep : public ::testing::TestWithParam<TreeCase> {};
+
+TEST_P(LookupTreeSweep, ContainsEveryNodeExactlyOnce) {
+  const auto [m, root] = GetParam();
+  const LookupTree tree(m, Pid{root});
+  std::set<std::uint32_t> reached;
+  for (std::uint32_t p = 0; p < util::space_size(m); ++p) {
+    reached.insert(p);
+    if (!tree.is_root(Pid{p})) {
+      // Parent chain must strictly ascend in VID and end at the root.
+      const std::vector<Pid> path = tree.path_to_root(Pid{p});
+      EXPECT_EQ(path.back(), Pid{root});
+      EXPECT_LE(path.size(), static_cast<std::size_t>(m) + 1u);
+    }
+  }
+  EXPECT_EQ(reached.size(), util::space_size(m));
+}
+
+TEST_P(LookupTreeSweep, ChildrenSortedByOffspringDescending) {
+  const auto [m, root] = GetParam();
+  const LookupTree tree(m, Pid{root});
+  for (std::uint32_t p = 0; p < util::space_size(m); ++p) {
+    const std::vector<Pid> kids = tree.children(Pid{p});
+    for (std::size_t i = 1; i < kids.size(); ++i) {
+      EXPECT_GE(tree.offspring_count(kids[i - 1]),
+                tree.offspring_count(kids[i]));
+    }
+  }
+}
+
+TEST_P(LookupTreeSweep, EachNonRootNodeIsSomeChild) {
+  const auto [m, root] = GetParam();
+  const LookupTree tree(m, Pid{root});
+  for (std::uint32_t p = 0; p < util::space_size(m); ++p) {
+    if (tree.is_root(Pid{p})) continue;
+    const Pid parent = tree.parent(Pid{p});
+    const std::vector<Pid> kids = tree.children(parent);
+    EXPECT_NE(std::find(kids.begin(), kids.end(), Pid{p}), kids.end());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, LookupTreeSweep,
+    ::testing::Values(TreeCase{3, 0}, TreeCase{3, 7}, TreeCase{4, 4},
+                      TreeCase{4, 15}, TreeCase{5, 17}, TreeCase{6, 42},
+                      TreeCase{8, 200}));
+
+}  // namespace
+}  // namespace lesslog::core

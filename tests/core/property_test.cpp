@@ -1,0 +1,208 @@
+// Exhaustive differential properties over small ID spaces: the optimized
+// bit-arithmetic implementations are validated against brute-force
+// reference computations for every node of every tree (and random liveness
+// patterns), so any bit-level regression trips immediately.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "lesslog/core/children_list.hpp"
+#include "lesslog/core/find_live_node.hpp"
+#include "lesslog/core/replication.hpp"
+#include "lesslog/core/routing.hpp"
+#include "lesslog/util/rng.hpp"
+
+namespace lesslog::core {
+namespace {
+
+struct PropertyCase {
+  int m;
+  std::uint32_t root;
+  std::uint64_t seed;
+  double dead_fraction;
+};
+
+class CoreProperties : public ::testing::TestWithParam<PropertyCase> {
+ protected:
+  void SetUp() override {
+    const auto [m, root, seed, dead] = GetParam();
+    m_ = m;
+    tree_.emplace(m, Pid{root});
+    live_.emplace(m, util::space_size(m));
+    util::Rng rng(seed);
+    const auto dead_count = static_cast<std::uint32_t>(
+        dead * static_cast<double>(util::space_size(m)));
+    for (const std::uint32_t d :
+         rng.sample_indices(util::space_size(m), dead_count)) {
+      live_->set_dead(d);
+    }
+  }
+
+  // Brute force: children of k in the *basic* tree, recursively expanding
+  // dead entries, as the paper defines the advanced children list.
+  std::vector<Pid> brute_children_list(Pid k) const {
+    std::vector<Vid> frontier;
+    const VirtualTree& vt = tree_->virtual_tree();
+    const std::function<void(Vid)> expand = [&](Vid v) {
+      for (const Vid c : vt.children(v)) {
+        if (live_->is_live(tree_->pid_of(c).value())) {
+          frontier.push_back(c);
+        } else {
+          expand(c);
+        }
+      }
+    };
+    expand(tree_->vid_of(k));
+    std::sort(frontier.begin(), frontier.end(),
+              [](Vid a, Vid b) { return a.value() > b.value(); });
+    std::vector<Pid> out;
+    out.reserve(frontier.size());
+    for (const Vid v : frontier) out.push_back(tree_->pid_of(v));
+    return out;
+  }
+
+  int m_ = 0;
+  std::optional<LookupTree> tree_;
+  std::optional<util::StatusWord> live_;
+};
+
+TEST_P(CoreProperties, ChildrenListMatchesBruteForce) {
+  for (std::uint32_t k = 0; k < util::space_size(m_); ++k) {
+    EXPECT_EQ(children_list(*tree_, Pid{k}, *live_),
+              brute_children_list(Pid{k}))
+        << "k=" << k;
+  }
+}
+
+TEST_P(CoreProperties, ChildrenListsPartitionLiveDescendants) {
+  // The children lists of all live nodes + the insertion target's chain
+  // partition the live nodes: every live non-top node appears in exactly
+  // one live node's (or the dead root's) children list.
+  std::map<std::uint32_t, int> appearances;
+  const auto count_list = [&](Pid owner) {
+    for (const Pid c : children_list(*tree_, owner, *live_)) {
+      ++appearances[c.value()];
+    }
+  };
+  for (std::uint32_t k = 0; k < util::space_size(m_); ++k) {
+    if (live_->is_live(k)) count_list(Pid{k});
+  }
+  if (!live_->is_live(tree_->root().value())) count_list(tree_->root());
+
+  const bool root_live = live_->is_live(tree_->root().value());
+  for (std::uint32_t k = 0; k < util::space_size(m_); ++k) {
+    if (!live_->is_live(k)) {
+      EXPECT_EQ(appearances.count(k), 0u);
+      continue;
+    }
+    // Every live node hangs from exactly one children list, except the
+    // top live VID: a live root hangs from nothing, while with a dead
+    // root the top node appears once — in the dead root's own list.
+    const bool is_top = !live_vid_above(*tree_, Pid{k}, *live_);
+    const int expected = is_top ? (root_live ? 0 : 1) : 1;
+    EXPECT_EQ(appearances[k], expected) << "k=" << k;
+  }
+}
+
+TEST_P(CoreProperties, FindLiveNodeMatchesLinearScan) {
+  for (std::uint32_t s = 0; s < util::space_size(m_); ++s) {
+    // Reference: walk every VID downward from vid(s).
+    std::optional<Pid> expected;
+    if (live_->is_live(s)) {
+      expected = Pid{s};
+    } else {
+      for (std::uint32_t v = tree_->vid_of(Pid{s}).value(); v-- > 0;) {
+        const Pid p = tree_->pid_of(Vid{v});
+        if (live_->is_live(p.value())) {
+          expected = p;
+          break;
+        }
+      }
+    }
+    EXPECT_EQ(find_live_node(*tree_, Pid{s}, *live_), expected) << "s=" << s;
+  }
+}
+
+TEST_P(CoreProperties, RoutePathsAreLoopFreeAndMonotone) {
+  const auto holder = insertion_target(*tree_, *live_);
+  if (!holder.has_value()) return;
+  const HasCopyFn has_copy = [&](Pid p) { return p == *holder; };
+  for (std::uint32_t k = 0; k < util::space_size(m_); ++k) {
+    if (!live_->is_live(k)) continue;
+    const RouteResult r = route_get(*tree_, Pid{k}, *live_, has_copy);
+    std::set<std::uint32_t> seen;
+    for (const Pid p : r.path) {
+      EXPECT_TRUE(seen.insert(p.value()).second) << "loop at " << p.value();
+    }
+    // VIDs ascend strictly along the ancestor walk (fallback jump exempt).
+    const std::size_t walk_end =
+        r.used_fallback ? r.path.size() - 1 : r.path.size();
+    for (std::size_t i = 1; i < walk_end; ++i) {
+      EXPECT_GT(tree_->vid_of(r.path[i]).value(),
+                tree_->vid_of(r.path[i - 1]).value());
+    }
+  }
+}
+
+TEST_P(CoreProperties, ReplicaTargetIsAlwaysFreshLiveAndDistinct) {
+  const auto holder = insertion_target(*tree_, *live_);
+  if (!holder.has_value()) return;
+  std::set<std::uint32_t> copies{holder->value()};
+  const HoldsCopyFn holds = [&copies](Pid p) {
+    return copies.contains(p.value());
+  };
+  util::Rng rng(GetParam().seed ^ 0xABCD);
+  // Saturate: replicate from the holder until the policy gives up; every
+  // placement must be live, copyless, and not the overloaded node.
+  for (int step = 0; step < 1 << m_; ++step) {
+    const auto placement =
+        replicate_target(*tree_, *holder, *live_, holds, rng);
+    if (!placement.has_value()) break;
+    EXPECT_TRUE(live_->is_live(placement->target.value()));
+    EXPECT_FALSE(copies.contains(placement->target.value()));
+    EXPECT_NE(placement->target, *holder);
+    copies.insert(placement->target.value());
+  }
+}
+
+TEST_P(CoreProperties, EveryCopySetKeepsRoutingSound) {
+  // For random copy sets containing the insertion target, every live
+  // requester finds *some* copy, never visiting a dead node.
+  const auto holder = insertion_target(*tree_, *live_);
+  if (!holder.has_value()) return;
+  util::Rng rng(GetParam().seed ^ 0x77);
+  for (int trial = 0; trial < 8; ++trial) {
+    std::set<std::uint32_t> copies{holder->value()};
+    for (const std::uint32_t extra : rng.sample_indices(
+             util::space_size(m_),
+             static_cast<std::uint32_t>(rng.bounded(6)))) {
+      if (live_->is_live(extra)) copies.insert(extra);
+    }
+    const HasCopyFn has_copy = [&copies](Pid p) {
+      return copies.contains(p.value());
+    };
+    for (std::uint32_t k = 0; k < util::space_size(m_); ++k) {
+      if (!live_->is_live(k)) continue;
+      const RouteResult r = route_get(*tree_, Pid{k}, *live_, has_copy);
+      ASSERT_TRUE(r.served_by.has_value());
+      EXPECT_TRUE(copies.contains(r.served_by->value()));
+      for (const Pid p : r.path) EXPECT_TRUE(live_->is_live(p.value()));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Exhaustive, CoreProperties,
+    ::testing::Values(PropertyCase{3, 5, 1, 0.0},
+                      PropertyCase{4, 4, 2, 0.0},
+                      PropertyCase{4, 4, 3, 0.2},
+                      PropertyCase{4, 0, 4, 0.4},
+                      PropertyCase{5, 19, 5, 0.0},
+                      PropertyCase{5, 19, 6, 0.3},
+                      PropertyCase{6, 42, 7, 0.25},
+                      PropertyCase{6, 63, 8, 0.5},
+                      PropertyCase{7, 100, 9, 0.3}));
+
+}  // namespace
+}  // namespace lesslog::core

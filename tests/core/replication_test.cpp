@@ -1,0 +1,165 @@
+#include "lesslog/core/replication.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "lesslog/core/find_live_node.hpp"
+
+namespace lesslog::core {
+namespace {
+
+util::StatusWord all_live(int m) {
+  util::StatusWord live(m);
+  for (std::uint32_t p = 0; p < live.capacity(); ++p) live.set_live(p);
+  return live;
+}
+
+HoldsCopyFn copy_at(std::set<std::uint32_t> pids) {
+  return [pids = std::move(pids)](Pid p) { return pids.contains(p.value()); };
+}
+
+TEST(FirstChildWithoutCopy, WalksChildrenListInOrder) {
+  const LookupTree tree(4, Pid{4});
+  const util::StatusWord live = all_live(4);
+  // Children list of P(4): (5, 6, 0, 12).
+  EXPECT_EQ(first_child_without_copy(tree, Pid{4}, live, copy_at({})),
+            Pid{5});
+  EXPECT_EQ(first_child_without_copy(tree, Pid{4}, live, copy_at({5})),
+            Pid{6});
+  EXPECT_EQ(first_child_without_copy(tree, Pid{4}, live, copy_at({5, 6, 0})),
+            Pid{12});
+  EXPECT_EQ(
+      first_child_without_copy(tree, Pid{4}, live, copy_at({5, 6, 0, 12})),
+      std::nullopt);
+}
+
+TEST(LiveOffspringCount, MatchesSubtreeMinusSelf) {
+  const LookupTree tree(4, Pid{4});
+  const util::StatusWord live = all_live(4);
+  EXPECT_EQ(live_offspring_count(tree, Pid{4}, live), 15u);
+  EXPECT_EQ(live_offspring_count(tree, Pid{5}, live), 7u);  // vid 1110
+  EXPECT_EQ(live_offspring_count(tree, Pid{12}, live), 0u);  // vid 0111
+}
+
+TEST(LiveOffspringCount, ExcludesDeadOffspring) {
+  const LookupTree tree(4, Pid{4});
+  util::StatusWord live = all_live(4);
+  live.set_dead(7);  // vid 1100, in P(5)'s subtree
+  live.set_dead(13);
+  EXPECT_EQ(live_offspring_count(tree, Pid{5}, live), 5u);
+}
+
+TEST(ReplicateTarget, RootShedsToLargestChild) {
+  util::Rng rng(1);
+  const LookupTree tree(4, Pid{4});
+  const util::StatusWord live = all_live(4);
+  const std::optional<Placement> p =
+      replicate_target(tree, Pid{4}, live, copy_at({4}), rng);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->target, Pid{5});
+  EXPECT_EQ(p->source, PlacementSource::kOwnChildren);
+}
+
+TEST(ReplicateTarget, SuccessiveReplicationsWalkChildrenList) {
+  util::Rng rng(1);
+  const LookupTree tree(4, Pid{4});
+  const util::StatusWord live = all_live(4);
+  std::set<std::uint32_t> copies{4};
+  const std::vector<Pid> expected{Pid{5}, Pid{6}, Pid{0}, Pid{12}};
+  for (const Pid want : expected) {
+    const std::optional<Placement> p =
+        replicate_target(tree, Pid{4}, live, copy_at(copies), rng);
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(p->target, want);
+    copies.insert(p->target.value());
+  }
+}
+
+TEST(ReplicateTarget, InteriorNodeWithLiveVidAboveUsesOwnList) {
+  util::Rng rng(1);
+  const LookupTree tree(4, Pid{4});
+  const util::StatusWord live = all_live(4);
+  // P(5) has vid 1110; its children list is (7, 1, 13).
+  const std::optional<Placement> p =
+      replicate_target(tree, Pid{5}, live, copy_at({4, 5}), rng);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->source, PlacementSource::kOwnChildren);
+  EXPECT_EQ(p->target, Pid{7});
+}
+
+TEST(ReplicateTarget, StandInUsesProportionalChoice) {
+  // Paper scenario: P(4), P(5) dead; P(6) (vid 1101) is the stand-in. Its
+  // live offspring: vids 1001, 0101, 0001 -> P(2), P(14), P(10), so the
+  // own-list probability is 3/13 ≈ 23% and the dead root's children list
+  // takes the rest.
+  const LookupTree tree(4, Pid{4});
+  util::StatusWord live = all_live(4);
+  live.set_dead(4);
+  live.set_dead(5);
+
+  int own = 0;
+  int root_list = 0;
+  for (std::uint64_t seed = 0; seed < 400; ++seed) {
+    util::Rng rng(seed);
+    const std::optional<Placement> p =
+        replicate_target(tree, Pid{6}, live, copy_at({6}), rng);
+    ASSERT_TRUE(p.has_value());
+    EXPECT_NE(p->target, Pid{6});
+    EXPECT_TRUE(live.is_live(p->target.value()));
+    if (p->source == PlacementSource::kOwnChildren) {
+      ++own;
+    } else {
+      ++root_list;
+    }
+  }
+  // Expected own fraction = 3/13 ≈ 23%; both branches must occur and the
+  // root list must dominate.
+  EXPECT_GT(own, 30);
+  EXPECT_GT(root_list, 230);
+}
+
+TEST(ReplicateTarget, ProportionalFallsBackWhenChosenListFull) {
+  const LookupTree tree(4, Pid{4});
+  util::StatusWord live = all_live(4);
+  live.set_dead(4);
+  live.set_dead(5);
+  // Saturate P(6)'s own children list (vids 1001 -> P(2)? compute: pid =
+  // vid ^ 1011: 1001^1011=0010=2; 0101^1011=1110=14). Fill both.
+  std::set<std::uint32_t> copies{6, 2, 14};
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    util::Rng rng(seed);
+    const std::optional<Placement> p =
+        replicate_target(tree, Pid{6}, live, copy_at(copies), rng);
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(p->source, PlacementSource::kRootChildren);
+  }
+}
+
+TEST(ReplicateTarget, ExhaustedEverywhereReturnsNullopt) {
+  util::Rng rng(1);
+  const LookupTree tree(3, Pid{0});
+  const util::StatusWord live = all_live(3);
+  std::set<std::uint32_t> copies;
+  for (std::uint32_t p = 0; p < 8; ++p) copies.insert(p);
+  EXPECT_EQ(replicate_target(tree, Pid{0}, live, copy_at(copies), rng),
+            std::nullopt);
+}
+
+TEST(ReplicateTarget, HalvesSubtreePopulationServedByRoot) {
+  // Section 2 guarantee: replicating to the head of the children list
+  // splits the root's catchment in half (even distribution => half load).
+  for (const int m : {3, 4, 5, 6, 8}) {
+    const LookupTree tree(m, Pid{1});
+    const util::StatusWord live = all_live(m);
+    util::Rng rng(7);
+    const std::optional<Placement> p =
+        replicate_target(tree, Pid{1}, live, copy_at({1}), rng);
+    ASSERT_TRUE(p.has_value());
+    // The new replica covers the subtree under it: exactly half the space.
+    EXPECT_EQ(tree.subtree_size(p->target), util::space_size(m) / 2);
+  }
+}
+
+}  // namespace
+}  // namespace lesslog::core

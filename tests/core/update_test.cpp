@@ -1,0 +1,129 @@
+#include "lesslog/core/update.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "lesslog/core/find_live_node.hpp"
+#include "lesslog/core/replication.hpp"
+#include "lesslog/util/rng.hpp"
+
+namespace lesslog::core {
+namespace {
+
+util::StatusWord all_live(int m) {
+  util::StatusWord live(m);
+  for (std::uint32_t p = 0; p < live.capacity(); ++p) live.set_live(p);
+  return live;
+}
+
+std::function<bool(Pid)> copy_at(const std::set<std::uint32_t>& pids) {
+  return [&pids](Pid p) { return pids.contains(p.value()); };
+}
+
+TEST(PropagateUpdate, OnlyRootHoldsCopy) {
+  const LookupTree tree(4, Pid{4});
+  const util::StatusWord live = all_live(4);
+  const std::set<std::uint32_t> copies{4};
+  const UpdateResult r = propagate_update(tree, live, copy_at(copies));
+  EXPECT_EQ(r.origin, Pid{4});
+  EXPECT_EQ(r.updated, std::vector<Pid>{Pid{4}});
+  // Root broadcasts to its whole children list even when no child holds a
+  // replica: 4 messages.
+  EXPECT_EQ(r.messages, 4);
+}
+
+TEST(PropagateUpdate, ReachesChainOfReplicas) {
+  const LookupTree tree(4, Pid{4});
+  const util::StatusWord live = all_live(4);
+  // Replicas at P(5) (child of root) and P(7) (child of P(5)).
+  const std::set<std::uint32_t> copies{4, 5, 7};
+  const UpdateResult r = propagate_update(tree, live, copy_at(copies));
+  EXPECT_EQ(std::set<Pid>(r.updated.begin(), r.updated.end()),
+            (std::set<Pid>{Pid{4}, Pid{5}, Pid{7}}));
+}
+
+TEST(PropagateUpdate, NonHolderPrunesBroadcast) {
+  const LookupTree tree(4, Pid{4});
+  const util::StatusWord live = all_live(4);
+  // P(7) holds a copy but its parent P(5) does not: the broadcast stops at
+  // P(5), so P(7) goes stale. (LessLog placements never create this state;
+  // the test pins the paper's pruning semantics.)
+  const std::set<std::uint32_t> copies{4, 7};
+  const UpdateResult r = propagate_update(tree, live, copy_at(copies));
+  EXPECT_EQ(std::set<Pid>(r.updated.begin(), r.updated.end()),
+            (std::set<Pid>{Pid{4}}));
+}
+
+TEST(PropagateUpdate, DeadRootStartsAtStandIn) {
+  const LookupTree tree(4, Pid{4});
+  util::StatusWord live = all_live(4);
+  live.set_dead(4);
+  live.set_dead(5);
+  const std::set<std::uint32_t> copies{6};
+  const UpdateResult r = propagate_update(tree, live, copy_at(copies));
+  EXPECT_EQ(r.origin, Pid{6});
+  EXPECT_EQ(std::set<Pid>(r.updated.begin(), r.updated.end()),
+            (std::set<Pid>{Pid{6}}));
+}
+
+TEST(PropagateUpdate, DeadRootAlsoCoversRootChildrenListReplicas) {
+  // With a dead root, the proportional rule may have placed replicas in
+  // the *root's* children list; the broadcast must reach them too.
+  const LookupTree tree(4, Pid{4});
+  util::StatusWord live = all_live(4);
+  live.set_dead(4);
+  live.set_dead(5);
+  // Stand-in P(6) plus a replica at P(12) (vid 0111, in the dead root's
+  // children list, not under P(6)).
+  const std::set<std::uint32_t> copies{6, 12};
+  const UpdateResult r = propagate_update(tree, live, copy_at(copies));
+  EXPECT_EQ(std::set<Pid>(r.updated.begin(), r.updated.end()),
+            (std::set<Pid>{Pid{6}, Pid{12}}));
+}
+
+TEST(PropagateUpdate, EmptySystem) {
+  const LookupTree tree(3, Pid{0});
+  const util::StatusWord live(3);
+  const UpdateResult r = propagate_update(tree, live, copy_at({}));
+  EXPECT_TRUE(r.updated.empty());
+  EXPECT_EQ(r.messages, 0);
+}
+
+TEST(PropagateUpdate, EveryLessLogPlacementStaysReachable) {
+  // Invariant: replicas created by the LessLog placement rule always form a
+  // holder-connected broadcast tree, so every copy receives every update.
+  for (const std::uint64_t seed : {1ULL, 2ULL, 3ULL, 4ULL, 5ULL}) {
+    util::Rng rng(seed);
+    const int m = 6;
+    const LookupTree tree(m, Pid{static_cast<std::uint32_t>(
+                                 rng.bounded(util::space_size(m)))});
+    util::StatusWord live = all_live(m);
+    for (std::uint32_t dead :
+         rng.sample_indices(util::space_size(m), 16)) {
+      live.set_dead(dead);
+    }
+    const std::optional<Pid> holder = insertion_target(tree, live);
+    if (!holder.has_value()) continue;
+
+    std::set<std::uint32_t> copies{holder->value()};
+    // Grow the placement: repeatedly replicate from a random current
+    // holder, exactly as overload-shedding would.
+    for (int step = 0; step < 20; ++step) {
+      std::vector<std::uint32_t> holder_list(copies.begin(), copies.end());
+      const std::uint32_t from = holder_list[rng.bounded(holder_list.size())];
+      const std::optional<Placement> p = replicate_target(
+          tree, Pid{from}, live, copy_at(copies), rng);
+      if (!p.has_value()) break;
+      copies.insert(p->target.value());
+    }
+
+    const UpdateResult r = propagate_update(tree, live, copy_at(copies));
+    std::set<std::uint32_t> updated;
+    for (const Pid p : r.updated) updated.insert(p.value());
+    EXPECT_EQ(updated, copies) << "seed=" << seed;
+  }
+}
+
+}  // namespace
+}  // namespace lesslog::core

@@ -1,0 +1,197 @@
+#include "lesslog/core/virtual_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace lesslog::core {
+namespace {
+
+TEST(VirtualTree, RootIsAllOnes) {
+  const VirtualTree t(4);
+  EXPECT_EQ(t.root(), Vid{0b1111});
+  EXPECT_TRUE(t.is_root(Vid{0b1111}));
+  EXPECT_FALSE(t.is_root(Vid{0b0111}));
+  EXPECT_EQ(t.size(), 16u);
+}
+
+TEST(VirtualTree, Property1ChildCounts) {
+  // A node has i children iff its leftmost i bits are all 1s.
+  const VirtualTree t(4);
+  EXPECT_EQ(t.child_count(Vid{0b1111}), 4);
+  EXPECT_EQ(t.child_count(Vid{0b1110}), 3);
+  EXPECT_EQ(t.child_count(Vid{0b1100}), 2);
+  EXPECT_EQ(t.child_count(Vid{0b1011}), 1);
+  EXPECT_EQ(t.child_count(Vid{0b0111}), 0);
+  EXPECT_EQ(t.child_count(Vid{0b0000}), 0);
+}
+
+TEST(VirtualTree, Property1ChildrenClearOneLeadingOne) {
+  const VirtualTree t(4);
+  // Children of the root, most-offspring first.
+  EXPECT_EQ(t.children(Vid{0b1111}),
+            (std::vector<Vid>{Vid{0b1110}, Vid{0b1101}, Vid{0b1011},
+                              Vid{0b0111}}));
+  // Paper's example node (written 0111 in the paper's bit order): three
+  // children in the 1110 orientation.
+  EXPECT_EQ(t.children(Vid{0b1110}),
+            (std::vector<Vid>{Vid{0b1100}, Vid{0b1010}, Vid{0b0110}}));
+  EXPECT_TRUE(t.children(Vid{0b0101}).empty());
+}
+
+TEST(VirtualTree, Property2ParentSetsHighestZero) {
+  const VirtualTree t(4);
+  EXPECT_EQ(t.parent(Vid{0b0111}), Vid{0b1111});
+  EXPECT_EQ(t.parent(Vid{0b1110}), Vid{0b1111});
+  EXPECT_EQ(t.parent(Vid{0b0011}), Vid{0b1011});
+  EXPECT_EQ(t.parent(Vid{0b0000}), Vid{0b1000});
+}
+
+TEST(VirtualTree, ParentChildInverse) {
+  const VirtualTree t(5);
+  for (std::uint32_t v = 0; v < t.size(); ++v) {
+    for (const Vid c : t.children(Vid{v})) {
+      EXPECT_EQ(t.parent(c), Vid{v});
+    }
+  }
+}
+
+TEST(VirtualTree, PaperOffspringExample) {
+  // "the nodes of VID 1110 and 1100 have 7 and 3 offspring nodes".
+  const VirtualTree t(4);
+  EXPECT_EQ(t.offspring_count(Vid{0b1110}), 7u);
+  EXPECT_EQ(t.offspring_count(Vid{0b1100}), 3u);
+  EXPECT_EQ(t.offspring_count(t.root()), 15u);
+  EXPECT_EQ(t.offspring_count(Vid{0b0111}), 0u);
+}
+
+TEST(VirtualTree, Property3OffspringMonotoneInVid) {
+  // "The node of VID i has more or the same offspring nodes than the node
+  // of VID j, if i > j."
+  const VirtualTree t(6);
+  for (std::uint32_t v = 1; v < t.size(); ++v) {
+    EXPECT_GE(t.offspring_count(Vid{v}), t.offspring_count(Vid{v - 1}))
+        << "v=" << v;
+  }
+}
+
+TEST(VirtualTree, DepthCountsZeroBits) {
+  const VirtualTree t(4);
+  EXPECT_EQ(t.depth(t.root()), 0);
+  EXPECT_EQ(t.depth(Vid{0b1110}), 1);
+  EXPECT_EQ(t.depth(Vid{0b0101}), 2);
+  EXPECT_EQ(t.depth(Vid{0b0000}), 4);
+}
+
+TEST(VirtualTree, PathToRootBoundedByWidth) {
+  const VirtualTree t(6);
+  for (std::uint32_t v = 0; v < t.size(); ++v) {
+    const std::vector<Vid> path = t.path_to_root(Vid{v});
+    EXPECT_LE(path.size(), 7u);  // at most m hops => m+1 nodes
+    EXPECT_EQ(path.front(), Vid{v});
+    EXPECT_EQ(path.back(), t.root());
+    // Strictly increasing VIDs along the path.
+    for (std::size_t i = 1; i < path.size(); ++i) {
+      EXPECT_GT(path[i].value(), path[i - 1].value());
+    }
+  }
+}
+
+TEST(VirtualTree, InSubtreeBasics) {
+  const VirtualTree t(4);
+  EXPECT_TRUE(t.in_subtree(Vid{0b0000}, t.root()));
+  EXPECT_TRUE(t.in_subtree(Vid{0b1110}, Vid{0b1110}));
+  EXPECT_TRUE(t.in_subtree(Vid{0b0100}, Vid{0b1100}));
+  EXPECT_FALSE(t.in_subtree(Vid{0b0101}, Vid{0b1100}));
+  EXPECT_FALSE(t.in_subtree(Vid{0b1111}, Vid{0b1110}));
+}
+
+TEST(VirtualTree, InSubtreeMatchesPathMembership) {
+  const VirtualTree t(5);
+  for (std::uint32_t a = 0; a < t.size(); ++a) {
+    for (std::uint32_t d = 0; d < t.size(); ++d) {
+      bool on_path = false;
+      for (const Vid p : t.path_to_root(Vid{d})) {
+        if (p == Vid{a}) on_path = true;
+      }
+      EXPECT_EQ(t.in_subtree(Vid{d}, Vid{a}), on_path)
+          << "a=" << a << " d=" << d;
+    }
+  }
+}
+
+TEST(VirtualTree, SubtreeVidsMatchSizeAndMembership) {
+  const VirtualTree t(4);
+  for (std::uint32_t v = 0; v < t.size(); ++v) {
+    const std::vector<Vid> sub = t.subtree_vids(Vid{v});
+    EXPECT_EQ(sub.size(), t.subtree_size(Vid{v}));
+    EXPECT_EQ(sub.front(), Vid{v});  // descending order, self first
+    for (const Vid s : sub) {
+      EXPECT_TRUE(t.in_subtree(s, Vid{v}));
+    }
+    for (std::size_t i = 1; i < sub.size(); ++i) {
+      EXPECT_LT(sub[i].value(), sub[i - 1].value());
+    }
+  }
+}
+
+class VirtualTreeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(VirtualTreeSweep, IsASpanningTree) {
+  // Every VID except the root has exactly one parent; following parents
+  // always terminates at the root; total node count is 2^m.
+  const int m = GetParam();
+  const VirtualTree t(m);
+  std::set<std::uint32_t> seen;
+  for (std::uint32_t v = 0; v < t.size(); ++v) {
+    seen.insert(v);
+    if (!t.is_root(Vid{v})) {
+      const Vid p = t.parent(Vid{v});
+      EXPECT_TRUE(t.contains(p));
+      EXPECT_GT(p.value(), v);
+    }
+  }
+  EXPECT_EQ(seen.size(), t.size());
+}
+
+TEST_P(VirtualTreeSweep, ChildrenPartitionSubtree) {
+  // subtree(v) = {v} ∪ disjoint union of children subtrees.
+  const int m = GetParam();
+  const VirtualTree t(m);
+  for (std::uint32_t v = 0; v < t.size(); ++v) {
+    std::uint32_t total = 1;
+    std::set<std::uint32_t> members{v};
+    for (const Vid c : t.children(Vid{v})) {
+      total += t.subtree_size(c);
+      for (const Vid s : t.subtree_vids(c)) {
+        EXPECT_TRUE(members.insert(s.value()).second)
+            << "overlap at " << s.value();
+      }
+    }
+    EXPECT_EQ(total, t.subtree_size(Vid{v}));
+    EXPECT_EQ(members.size(), t.subtree_size(Vid{v}));
+  }
+}
+
+TEST_P(VirtualTreeSweep, BinomialShape) {
+  // A binomial tree B_m has C(m, k) nodes at depth k.
+  const int m = GetParam();
+  const VirtualTree t(m);
+  std::map<int, std::uint32_t> at_depth;
+  for (std::uint32_t v = 0; v < t.size(); ++v) {
+    ++at_depth[t.depth(Vid{v})];
+  }
+  std::uint64_t binom = 1;  // C(m, 0)
+  for (int k = 0; k <= m; ++k) {
+    EXPECT_EQ(at_depth[k], binom) << "depth " << k;
+    binom = binom * static_cast<std::uint64_t>(m - k) /
+            static_cast<std::uint64_t>(k + 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, VirtualTreeSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 8, 10));
+
+}  // namespace
+}  // namespace lesslog::core

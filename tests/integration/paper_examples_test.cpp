@@ -1,0 +1,167 @@
+// Every worked example in the paper, validated end-to-end through the
+// public API. Section/figure references are to Huang, Huang & Chou,
+// "LessLog" (IPDPS 2004).
+#include <gtest/gtest.h>
+
+#include "lesslog/core/system.hpp"
+#include "lesslog/util/bits.hpp"
+
+namespace lesslog {
+namespace {
+
+using core::FileId;
+using core::Pid;
+using core::Vid;
+
+TEST(PaperFigure1, VirtualTreeOf16Nodes) {
+  // "The VID binomial tree shown in Figure 1 is the unique virtual lookup
+  // tree of a 16-node system. Since m = 4, the VID of the root is 1111."
+  const core::VirtualTree vt(4);
+  EXPECT_EQ(vt.root(), Vid{0b1111});
+  // "The node of VID 0111 has 3 children nodes; the VIDs of the children
+  // are 0011, 0101, 0110" — in our MSB-first normalization the same node
+  // is written 1110 with children 1100, 1010, 0110 (see DESIGN.md §1).
+  const std::vector<Vid> kids = vt.children(Vid{0b1110});
+  EXPECT_EQ(kids.size(), 3u);
+  EXPECT_EQ(kids, (std::vector<Vid>{Vid{0b1100}, Vid{0b1010}, Vid{0b0110}}));
+  // "For the node of VID 0011, we obtain the VID of its parent node by
+  // converting the leftmost 0's bit to 1."
+  EXPECT_EQ(vt.parent(Vid{0b0011}), Vid{0b1011});
+  // "The nodes of VID 1110 and 1100 have 7 and 3 offspring, respectively."
+  EXPECT_EQ(vt.offspring_count(Vid{0b1110}), 7u);
+  EXPECT_EQ(vt.offspring_count(Vid{0b1100}), 3u);
+}
+
+TEST(PaperFigure2, LookupTreeOfP4In16NodeSystem) {
+  // "To construct the physical lookup tree of P(4), we first obtain
+  // 4̄ = 1011. We next do ⊕ each VID in the virtual lookup tree."
+  const core::LookupTree tree(4, Pid{4});
+  EXPECT_EQ(tree.mapper().complement(), 0b1011u);
+  // "the children list of P(4) in Figure 2 is (P(5), P(6), P(0), P(12))"
+  EXPECT_EQ(tree.children(Pid{4}),
+            (std::vector<Pid>{Pid{5}, Pid{6}, Pid{0}, Pid{12}}));
+}
+
+TEST(PaperSection2, GetFileRoutingExample) {
+  // "When P(8) receives a request whose target node is P(4), it routes the
+  // request to P(0), which in turn routes the request to P(4), if there is
+  // no replicated copy found in the forwarding path."
+  core::System sys({.m = 4, .b = 0, .seed = 1});
+  sys.bootstrap(16);
+  const FileId f = sys.insert_at(Pid{4});
+  const auto got = sys.get(f, Pid{8});
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.route.path, (std::vector<Pid>{Pid{8}, Pid{0}, Pid{4}}));
+}
+
+TEST(PaperSection2, ReplicationHalvesLoadGuarantee) {
+  // "each replication is guaranteed to reduce the workload of the
+  // overloaded node by half if requests are evenly distributed."
+  core::System sys({.m = 4, .b = 0, .seed = 1});
+  sys.bootstrap(16);
+  const FileId f = sys.insert_at(Pid{4});
+  // One request from every node: P(4) serves all 16.
+  for (std::uint32_t k = 0; k < 16; ++k) sys.get(f, Pid{k});
+  EXPECT_EQ(sys.node(Pid{4}).served(), 16u);
+
+  sys.reset_counters();
+  ASSERT_EQ(sys.replicate(f, Pid{4}), Pid{5});
+  for (std::uint32_t k = 0; k < 16; ++k) sys.get(f, Pid{k});
+  EXPECT_EQ(sys.node(Pid{4}).served(), 8u);
+  EXPECT_EQ(sys.node(Pid{5}).served(), 8u);
+}
+
+TEST(PaperFigure3, AdvancedModelWithDeadNodes) {
+  // "Figure 3 shows the lookup tree of P(4) in a 14-node system, where
+  // m = 4, P(0) and P(5) are dead nodes."
+  core::System sys({.m = 4, .b = 0, .seed = 1});
+  sys.bootstrap(16);
+  sys.leave(Pid{0});
+  sys.leave(Pid{5});
+  EXPECT_EQ(sys.live_count(), 14u);
+  // "The children list of P(4) shown in Figure 3 is (P(6), P(7), P(1),
+  // P(12), P(13), P(8)), sorted by the VID."
+  const core::LookupTree tree(4, Pid{4});
+  EXPECT_EQ(core::children_list(tree, Pid{4}, sys.status()),
+            (std::vector<Pid>{Pid{6}, Pid{7}, Pid{1}, Pid{12}, Pid{13},
+                              Pid{8}}));
+}
+
+TEST(PaperSection3, AdvancedInsertGoesToP6) {
+  // "let P(4) and P(5) be the dead nodes in a 14-node system ... and let
+  // 4 = ψ(f). The ADVANCEDINSERTFILE inserts f into P(6)."
+  core::System sys({.m = 4, .b = 0, .seed = 1});
+  sys.bootstrap(16);
+  sys.leave(Pid{4});
+  sys.leave(Pid{5});
+  const FileId f = sys.insert_at(Pid{4});
+  EXPECT_EQ(sys.holders(f), std::vector<Pid>{Pid{6}});
+  // "Apparently, every request for f in the system will be forwarded to
+  // P(6)."
+  for (std::uint32_t k = 0; k < 16; ++k) {
+    if (!sys.is_live(Pid{k})) continue;
+    const auto got = sys.get(f, Pid{k});
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(got.route.served_by, Pid{6});
+  }
+}
+
+TEST(PaperSection51, JoinCopiesFileBack) {
+  // "If P(5) is the joining node, f must be copied back to P(5). In this
+  // case, we examine each file in the live node with the largest VID (P(6)
+  // in this example) and copy a file f back to P(k)."
+  core::System sys({.m = 4, .b = 0, .seed = 1});
+  sys.bootstrap(16);
+  sys.leave(Pid{4});
+  sys.leave(Pid{5});
+  const FileId f = sys.insert_at(Pid{4});
+  ASSERT_EQ(sys.holders(f), std::vector<Pid>{Pid{6}});
+  sys.join(Pid{5});
+  EXPECT_EQ(sys.holders(f), std::vector<Pid>{Pid{5}});
+}
+
+TEST(PaperFigure4, SubtreeDecompositionB2) {
+  // "Figure 4 shows the lookup tree of P(4) in a 16-node system where
+  // b = 2 ... there are 4 subtrees totally in this system. The subtree VID
+  // of the root node in each subtree is 11."
+  const core::LookupTree tree(4, Pid{4});
+  const core::SubtreeView view(tree, 2);
+  EXPECT_EQ(view.subtree_count(), 4u);
+  for (std::uint32_t t = 0; t < 4; ++t) {
+    EXPECT_EQ(view.subtree_vid(view.subtree_root(t)), 0b11u);
+  }
+}
+
+TEST(PaperSection4, FaultToleranceDegree2b) {
+  // "A file is stored initially at 2^b target nodes. LessLog guarantees
+  // fault tolerance as long as the 2^b target nodes storing the same file
+  // do not fail simultaneously."
+  core::System sys({.m = 4, .b = 2, .seed = 1});
+  sys.bootstrap(16);
+  const FileId f = sys.insert_at(Pid{4});
+  EXPECT_EQ(sys.holders(f).size(), 4u);
+  // Any single holder crash leaves the file fully available.
+  const Pid victim = sys.holders(f).front();
+  sys.fail(victim);
+  for (std::uint32_t k = 0; k < 16; ++k) {
+    if (!sys.is_live(Pid{k})) continue;
+    EXPECT_TRUE(sys.get(f, Pid{k}).ok());
+  }
+  EXPECT_TRUE(sys.lost_files().empty());
+}
+
+TEST(PaperSection1, LookupBoundedByLogN) {
+  // "The binomial lookup tree bounds the lookup time at O(log N) in an
+  // N-node P2P system."
+  core::System sys({.m = 8, .b = 0, .seed = 1});
+  sys.bootstrap(256);
+  const FileId f = sys.insert("bounded-lookup");
+  for (std::uint32_t k = 0; k < 256; ++k) {
+    const auto got = sys.get(f, Pid{k});
+    ASSERT_TRUE(got.ok());
+    EXPECT_LE(got.route.hops(), 8);
+  }
+}
+
+}  // namespace
+}  // namespace lesslog

@@ -1,0 +1,64 @@
+// Fuzz-style robustness tests for the wire decoder: arbitrary byte
+// buffers must either decode into a message that re-encodes to the same
+// bytes, or be rejected — never crash, never read out of bounds.
+#include <gtest/gtest.h>
+
+#include "lesslog/proto/message.hpp"
+#include "lesslog/util/rng.hpp"
+
+namespace lesslog::proto {
+namespace {
+
+TEST(FuzzDecode, RandomBuffersNeverCrash) {
+  util::Rng rng(0xF022);
+  int accepted = 0;
+  for (int trial = 0; trial < 20000; ++trial) {
+    const std::size_t size = trial % 3 == 0
+                                 ? kWireSize
+                                 : static_cast<std::size_t>(rng.bounded(64));
+    std::vector<std::uint8_t> bytes(size);
+    for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.bounded(256));
+    const std::optional<Message> m = decode(bytes);
+    if (!m.has_value()) continue;
+    ++accepted;
+    // Accepted buffers must round-trip exactly.
+    EXPECT_EQ(encode(*m), bytes);
+  }
+  // Correct-size buffers with a valid type tag (9/256) do get accepted.
+  EXPECT_GT(accepted, 0);
+}
+
+TEST(FuzzDecode, AllSizesUpToTwiceWireSizeAreSafe) {
+  util::Rng rng(0xF023);
+  for (std::size_t size = 0; size <= 2 * kWireSize; ++size) {
+    std::vector<std::uint8_t> bytes(size);
+    for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.bounded(256));
+    const std::optional<Message> m = decode(bytes);
+    if (size != kWireSize) {
+      EXPECT_EQ(m, std::nullopt) << "size " << size;
+    }
+  }
+}
+
+TEST(FuzzDecode, EncodeOfRandomMessagesRoundTrips) {
+  util::Rng rng(0xF024);
+  for (int trial = 0; trial < 5000; ++trial) {
+    Message m;
+    m.request_id = rng();
+    m.type = static_cast<MsgType>(1 + rng.bounded(10));
+    m.from = core::Pid{static_cast<std::uint32_t>(rng())};
+    m.to = core::Pid{static_cast<std::uint32_t>(rng())};
+    m.requester = core::Pid{static_cast<std::uint32_t>(rng())};
+    m.subject = core::Pid{static_cast<std::uint32_t>(rng())};
+    m.file = core::FileId{rng()};
+    m.version = rng();
+    m.hop_count = static_cast<std::uint8_t>(rng.bounded(256));
+    m.ok = rng.bernoulli(0.5);
+    const std::optional<Message> back = decode(encode(m));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, m);
+  }
+}
+
+}  // namespace
+}  // namespace lesslog::proto

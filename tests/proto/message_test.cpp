@@ -1,0 +1,79 @@
+#include "lesslog/proto/message.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lesslog::proto {
+namespace {
+
+Message sample() {
+  Message m;
+  m.request_id = 0xDEADBEEFCAFE0001ULL;
+  m.type = MsgType::kGetRequest;
+  m.from = core::Pid{17};
+  m.to = core::Pid{42};
+  m.requester = core::Pid{17};
+  m.subject = core::Pid{1023};
+  m.file = core::FileId{0x123456789ABCDEFULL};
+  m.version = 7;
+  m.hop_count = 3;
+  m.ok = true;
+  return m;
+}
+
+TEST(Wire, EncodedSizeIsFixed) {
+  EXPECT_EQ(encode(sample()).size(), kWireSize);
+  EXPECT_EQ(encode(Message{}).size(), kWireSize);
+}
+
+TEST(Wire, RoundTripsAllFields) {
+  const Message m = sample();
+  const std::optional<Message> back = decode(encode(m));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, m);
+}
+
+TEST(Wire, RoundTripsEveryType) {
+  for (const MsgType t :
+       {MsgType::kGetRequest, MsgType::kGetReply, MsgType::kInsertRequest,
+        MsgType::kInsertAck, MsgType::kCreateReplica, MsgType::kUpdatePush,
+        MsgType::kStatusAnnounce}) {
+    Message m = sample();
+    m.type = t;
+    const std::optional<Message> back = decode(encode(m));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->type, t);
+  }
+}
+
+TEST(Wire, RejectsWrongSize) {
+  std::vector<std::uint8_t> bytes = encode(sample());
+  bytes.pop_back();
+  EXPECT_EQ(decode(bytes), std::nullopt);
+  bytes.push_back(0);
+  bytes.push_back(0);
+  EXPECT_EQ(decode(bytes), std::nullopt);
+}
+
+TEST(Wire, RejectsInvalidTypeTag) {
+  std::vector<std::uint8_t> bytes = encode(sample());
+  bytes[8] = 0;  // type tag sits after the 8-byte request id
+  EXPECT_EQ(decode(bytes), std::nullopt);
+  bytes[8] = 200;
+  EXPECT_EQ(decode(bytes), std::nullopt);
+}
+
+TEST(Wire, LittleEndianLayout) {
+  Message m;
+  m.request_id = 0x0102030405060708ULL;
+  const std::vector<std::uint8_t> bytes = encode(m);
+  EXPECT_EQ(bytes[0], 0x08);
+  EXPECT_EQ(bytes[7], 0x01);
+}
+
+TEST(Wire, TypeNames) {
+  EXPECT_STREQ(type_name(MsgType::kGetRequest), "GET");
+  EXPECT_STREQ(type_name(MsgType::kStatusAnnounce), "STATUS");
+}
+
+}  // namespace
+}  // namespace lesslog::proto

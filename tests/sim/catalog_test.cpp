@@ -1,0 +1,122 @@
+#include "lesslog/sim/catalog.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "lesslog/baseline/policy.hpp"
+
+namespace lesslog::sim {
+namespace {
+
+CatalogConfig small_cfg() {
+  CatalogConfig cfg;
+  cfg.m = 6;
+  cfg.files = 16;
+  cfg.zipf_s = 0.8;
+  cfg.total_rate = 800.0;
+  cfg.capacity = 40.0;
+  cfg.seed = 5;
+  return cfg;
+}
+
+TEST(Catalog, BalancesSkewedCatalog) {
+  const CatalogResult r =
+      run_catalog_experiment(small_cfg(), baseline::lesslog_policy());
+  EXPECT_TRUE(r.balanced);
+  EXPECT_LE(r.final_max_load, 40.0);
+  EXPECT_EQ(r.live_nodes, 64u);
+  EXPECT_EQ(r.replicas_by_rank.size(), 16u);
+}
+
+TEST(Catalog, ReplicaAccountingConsistent) {
+  const CatalogConfig cfg = small_cfg();
+  const CatalogResult r =
+      run_catalog_experiment(cfg, baseline::lesslog_policy());
+  const int by_rank = std::accumulate(r.replicas_by_rank.begin(),
+                                      r.replicas_by_rank.end(), 0);
+  EXPECT_EQ(by_rank, r.replicas_created);
+  // copies = one inserted per file (b=0) + replicas.
+  EXPECT_EQ(r.total_copies,
+            static_cast<std::int64_t>(cfg.files) + r.replicas_created);
+}
+
+TEST(Catalog, DeterministicPerSeed) {
+  const CatalogResult a =
+      run_catalog_experiment(small_cfg(), baseline::lesslog_policy());
+  const CatalogResult b =
+      run_catalog_experiment(small_cfg(), baseline::lesslog_policy());
+  EXPECT_EQ(a.replicas_created, b.replicas_created);
+  EXPECT_EQ(a.replicas_by_rank, b.replicas_by_rank);
+}
+
+TEST(Catalog, HotterFilesGetMoreReplicas) {
+  CatalogConfig cfg = small_cfg();
+  cfg.zipf_s = 1.2;
+  cfg.total_rate = 1600.0;
+  const CatalogResult r =
+      run_catalog_experiment(cfg, baseline::lesslog_policy());
+  ASSERT_TRUE(r.balanced);
+  // The hottest quartile must hold strictly more replicas than the coldest.
+  int head = 0;
+  int tail = 0;
+  for (std::size_t i = 0; i < 4; ++i) head += r.replicas_by_rank[i];
+  for (std::size_t i = 12; i < 16; ++i) tail += r.replicas_by_rank[i];
+  EXPECT_GT(head, tail);
+}
+
+TEST(Catalog, UniformCatalogSpreadsReplicas) {
+  CatalogConfig cfg = small_cfg();
+  cfg.zipf_s = 0.0;
+  cfg.total_rate = 1600.0;
+  const CatalogResult r =
+      run_catalog_experiment(cfg, baseline::lesslog_policy());
+  ASSERT_TRUE(r.balanced);
+  // No file should dominate: the max per-file count stays near the mean.
+  const int max_rank = *std::max_element(r.replicas_by_rank.begin(),
+                                         r.replicas_by_rank.end());
+  const double mean =
+      static_cast<double>(r.replicas_created) / cfg.files;
+  EXPECT_LE(max_rank, mean * 4.0 + 3.0);
+}
+
+TEST(Catalog, UnderCapacityNeedsNoReplicas) {
+  CatalogConfig cfg = small_cfg();
+  cfg.total_rate = 30.0;
+  const CatalogResult r =
+      run_catalog_experiment(cfg, baseline::lesslog_policy());
+  EXPECT_TRUE(r.balanced);
+  EXPECT_EQ(r.replicas_created, 0);
+}
+
+TEST(Catalog, DeadNodesStillBalance) {
+  CatalogConfig cfg = small_cfg();
+  cfg.dead_fraction = 0.25;
+  const CatalogResult r =
+      run_catalog_experiment(cfg, baseline::lesslog_policy());
+  EXPECT_TRUE(r.balanced);
+  EXPECT_EQ(r.live_nodes, 48u);
+}
+
+TEST(Catalog, FaultTolerantCatalogBalances) {
+  CatalogConfig cfg = small_cfg();
+  cfg.b = 2;
+  const CatalogResult r =
+      run_catalog_experiment(cfg, baseline::lesslog_policy());
+  EXPECT_TRUE(r.balanced);
+  // b=2: four inserted copies per file.
+  EXPECT_GE(r.total_copies,
+            static_cast<std::int64_t>(cfg.files) * 4);
+}
+
+TEST(Catalog, LocalityWorkload) {
+  CatalogConfig cfg = small_cfg();
+  cfg.workload = WorkloadKind::kLocality;
+  cfg.capacity = 60.0;  // hot nodes' own demand needs headroom
+  const CatalogResult r =
+      run_catalog_experiment(cfg, baseline::lesslog_policy());
+  EXPECT_TRUE(r.balanced);
+}
+
+}  // namespace
+}  // namespace lesslog::sim

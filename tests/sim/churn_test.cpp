@@ -1,0 +1,125 @@
+#include "lesslog/sim/churn.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lesslog::sim {
+namespace {
+
+ChurnConfig quick_cfg() {
+  ChurnConfig cfg;
+  cfg.m = 6;
+  cfg.initial_nodes = 48;
+  cfg.min_nodes = 16;
+  cfg.files = 16;
+  cfg.duration = 60.0;
+  cfg.request_rate = 50.0;
+  cfg.join_rate = 0.4;
+  cfg.leave_rate = 0.2;
+  cfg.fail_rate = 0.2;
+  cfg.seed = 3;
+  return cfg;
+}
+
+TEST(Churn, RunsAndServesRequests) {
+  const ChurnResult r = run_churn(quick_cfg());
+  EXPECT_GT(r.requests, 1000);
+  EXPECT_GE(r.final_nodes, 16u);
+  EXPECT_GT(r.joins + r.leaves + r.fails, 0);
+  EXPECT_GT(r.lookup_messages, 0);
+  EXPECT_GT(r.maintenance_messages, 0);
+}
+
+TEST(Churn, DeterministicGivenSeed) {
+  const ChurnResult a = run_churn(quick_cfg());
+  const ChurnResult b = run_churn(quick_cfg());
+  EXPECT_EQ(a.requests, b.requests);
+  EXPECT_EQ(a.faults, b.faults);
+  EXPECT_EQ(a.joins, b.joins);
+  EXPECT_EQ(a.maintenance_messages, b.maintenance_messages);
+}
+
+TEST(Churn, GracefulLeavesAloneLoseNothing) {
+  ChurnConfig cfg = quick_cfg();
+  cfg.fail_rate = 0.0;  // voluntary departures only
+  const ChurnResult r = run_churn(cfg);
+  EXPECT_EQ(r.files_lost, 0u);
+  EXPECT_EQ(r.faults, 0);
+}
+
+TEST(Churn, NoChurnNoMaintenanceAfterSetup) {
+  ChurnConfig cfg = quick_cfg();
+  cfg.join_rate = 0.0;
+  cfg.leave_rate = 0.0;
+  cfg.fail_rate = 0.0;
+  const ChurnResult r = run_churn(cfg);
+  EXPECT_EQ(r.joins, 0);
+  EXPECT_EQ(r.leaves, 0);
+  EXPECT_EQ(r.fails, 0);
+  EXPECT_EQ(r.faults, 0);
+  // Only the insert messages remain.
+  EXPECT_EQ(r.maintenance_messages,
+            static_cast<std::int64_t>(cfg.files));
+}
+
+TEST(Churn, FaultToleranceReducesLossUnderCrashes) {
+  ChurnConfig cfg = quick_cfg();
+  cfg.fail_rate = 1.0;
+  cfg.leave_rate = 0.0;
+  cfg.join_rate = 0.0;
+  cfg.duration = 30.0;
+  cfg.b = 0;
+  const ChurnResult without_ft = run_churn(cfg);
+  cfg.b = 2;
+  const ChurnResult with_ft = run_churn(cfg);
+  EXPECT_LE(with_ft.files_lost, without_ft.files_lost);
+  EXPECT_EQ(with_ft.files_lost, 0u);
+}
+
+TEST(Churn, JoinOnlyGrowsToCapacityAndStops) {
+  ChurnConfig cfg = quick_cfg();
+  cfg.m = 6;
+  cfg.initial_nodes = 60;
+  cfg.join_rate = 2.0;
+  cfg.leave_rate = 0.0;
+  cfg.fail_rate = 0.0;
+  cfg.duration = 120.0;
+  const ChurnResult r = run_churn(cfg);
+  // Joins saturate at the 64-slot capacity; extra arrivals are no-ops.
+  EXPECT_EQ(r.final_nodes, 64u);
+  EXPECT_EQ(r.joins, 4);
+  EXPECT_EQ(r.faults, 0);
+}
+
+TEST(Churn, HighDegreeFaultToleranceUnderMixedChurn) {
+  ChurnConfig cfg = quick_cfg();
+  cfg.b = 3;  // 8 copies per file
+  cfg.fail_rate = 0.5;
+  const ChurnResult r = run_churn(cfg);
+  EXPECT_EQ(r.files_lost, 0u);
+  EXPECT_EQ(r.faults, 0);
+}
+
+TEST(Churn, FaultFractionGrowsWithCrashIntensity) {
+  ChurnConfig base = quick_cfg();
+  base.join_rate = 0.0;
+  base.leave_rate = 0.0;
+  base.duration = 40.0;
+  base.b = 0;
+  ChurnConfig calm = base;
+  calm.fail_rate = 0.1;
+  ChurnConfig storm = base;
+  storm.fail_rate = 2.0;
+  const ChurnResult a = run_churn(calm);
+  const ChurnResult b = run_churn(storm);
+  EXPECT_LE(a.files_lost, b.files_lost);
+  EXPECT_LE(a.fault_fraction(), b.fault_fraction() + 1e-9);
+}
+
+TEST(Churn, MeanHopsWithinLogBound) {
+  const ChurnResult r = run_churn(quick_cfg());
+  EXPECT_GT(r.mean_hops, 0.0);
+  EXPECT_LE(r.mean_hops, 7.0);  // m + 1 with m = 6
+}
+
+}  // namespace
+}  // namespace lesslog::sim

@@ -1,0 +1,67 @@
+#include "lesslog/sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lesslog::sim {
+namespace {
+
+TEST(Engine, AtAndAfterScheduleCorrectly) {
+  Engine e(1);
+  std::vector<double> times;
+  e.at(2.0, [&] { times.push_back(e.now()); });
+  e.after(1.0, [&] { times.push_back(e.now()); });
+  e.run_until(5.0);
+  EXPECT_EQ(times, (std::vector<double>{1.0, 2.0}));
+}
+
+TEST(Engine, PoissonProcessFiresUntilStop) {
+  Engine e(2);
+  int fired = 0;
+  e.poisson_process(10.0, 100.0, [&fired] { ++fired; });
+  e.run_until(100.0);
+  // ~1000 expected arrivals; very loose bounds keep the test robust.
+  EXPECT_GT(fired, 700);
+  EXPECT_LT(fired, 1300);
+}
+
+TEST(Engine, PoissonProcessZeroRateNeverFires) {
+  Engine e(3);
+  int fired = 0;
+  e.poisson_process(0.0, 10.0, [&fired] { ++fired; });
+  e.run_until(10.0);
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Engine, PoissonArrivalsAreDeterministicPerSeed) {
+  const auto run = [](std::uint64_t seed) {
+    Engine e(seed);
+    std::vector<double> times;
+    e.poisson_process(5.0, 10.0, [&] { times.push_back(e.now()); });
+    e.run_until(10.0);
+    return times;
+  };
+  EXPECT_EQ(run(42), run(42));
+  EXPECT_NE(run(42), run(43));
+}
+
+TEST(Engine, MultipleProcessesInterleave) {
+  Engine e(4);
+  int a = 0;
+  int b = 0;
+  e.poisson_process(5.0, 50.0, [&a] { ++a; });
+  e.poisson_process(5.0, 50.0, [&b] { ++b; });
+  e.run_until(50.0);
+  EXPECT_GT(a, 100);
+  EXPECT_GT(b, 100);
+}
+
+TEST(Engine, ArrivalsNeverExceedStopTime) {
+  Engine e(5);
+  double last = 0.0;
+  e.poisson_process(50.0, 7.5, [&] { last = e.now(); });
+  e.run_until(100.0);
+  EXPECT_LE(last, 7.5);
+}
+
+}  // namespace
+}  // namespace lesslog::sim

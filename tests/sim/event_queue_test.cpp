@@ -1,0 +1,89 @@
+#include "lesslog/sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace lesslog::sim {
+namespace {
+
+TEST(EventQueue, StartsEmptyAtTimeZero) {
+  const EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.now(), 0.0);
+}
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(3.0, [&order] { order.push_back(3); });
+  q.schedule(1.0, [&order] { order.push_back(1); });
+  q.schedule(2.0, [&order] { order.push_back(2); });
+  q.run_until(10.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), 10.0);
+}
+
+TEST(EventQueue, TiesBreakInSubmissionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.schedule(1.0, [&order, i] { order.push_back(i); });
+  }
+  q.run_until(1.0);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, StepAdvancesClock) {
+  EventQueue q;
+  q.schedule(2.5, [] {});
+  EXPECT_EQ(q.next_time(), 2.5);
+  q.step();
+  EXPECT_EQ(q.now(), 2.5);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundary) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule(1.0, [&fired] { ++fired; });
+  q.schedule(5.0, [&fired] { ++fired; });
+  EXPECT_EQ(q.run_until(3.0), 1);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(q.now(), 3.0);
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.run_until(5.0), 1);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, InclusiveBoundary) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule(3.0, [&fired] { ++fired; });
+  q.run_until(3.0);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, HandlersMayScheduleMoreEvents) {
+  EventQueue q;
+  std::vector<double> times;
+  std::function<void()> chain = [&] {
+    times.push_back(q.now());
+    if (q.now() < 4.0) q.schedule(q.now() + 1.0, chain);
+  };
+  q.schedule(1.0, chain);
+  q.run_until(100.0);
+  EXPECT_EQ(times, (std::vector<double>{1.0, 2.0, 3.0, 4.0}));
+}
+
+TEST(EventQueue, ClockNeverRewinds) {
+  EventQueue q;
+  q.schedule(5.0, [] {});
+  q.run_until(10.0);
+  EXPECT_EQ(q.now(), 10.0);
+  q.run_until(2.0);  // lower bound: must not rewind
+  EXPECT_EQ(q.now(), 10.0);
+}
+
+}  // namespace
+}  // namespace lesslog::sim

@@ -1,0 +1,150 @@
+#include "lesslog/sim/load_solver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "lesslog/util/rng.hpp"
+
+namespace lesslog::sim {
+namespace {
+
+util::StatusWord all_live(int m) {
+  util::StatusWord live(m);
+  for (std::uint32_t p = 0; p < live.capacity(); ++p) live.set_live(p);
+  return live;
+}
+
+TEST(LoadSolver, SingleCopyAbsorbsEverything) {
+  const core::LookupTree tree(4, core::Pid{4});
+  const util::StatusWord live = all_live(4);
+  CopyMap copies(16, 0);
+  copies[4] = 1;
+  const Workload w = uniform_workload(live, 1600.0);
+  const LoadReport r = solve_load(tree, copies, live, w);
+  EXPECT_NEAR(r.served[4], 1600.0, 1e-9);
+  EXPECT_EQ(r.max_served_pid, 4u);
+  EXPECT_EQ(r.fault_rate, 0.0);
+}
+
+TEST(LoadSolver, ServedMassEqualsDemand) {
+  const core::LookupTree tree(6, core::Pid{17});
+  util::StatusWord live = all_live(6);
+  util::Rng rng(5);
+  for (std::uint32_t dead : rng.sample_indices(64, 20)) live.set_dead(dead);
+  CopyMap copies(64, 0);
+  const auto holder = core::insertion_target(tree, live);
+  ASSERT_TRUE(holder.has_value());
+  copies[holder->value()] = 1;
+  const Workload w = uniform_workload(live, 4400.0);
+  const LoadReport r = solve_load(tree, copies, live, w);
+  const double served_total =
+      std::accumulate(r.served.begin(), r.served.end(), 0.0);
+  EXPECT_NEAR(served_total + r.fault_rate, 4400.0, 1e-6);
+  EXPECT_EQ(r.fault_rate, 0.0);
+}
+
+TEST(LoadSolver, ReplicaHalvesRootLoadUnderEvenDistribution) {
+  // The Section 2 guarantee, measured: replicating to the children-list
+  // head halves the root's served rate.
+  const core::LookupTree tree(4, core::Pid{4});
+  const util::StatusWord live = all_live(4);
+  const Workload w = uniform_workload(live, 1600.0);
+
+  CopyMap copies(16, 0);
+  copies[4] = 1;
+  const double before = solve_load(tree, copies, live, w).served[4];
+  copies[5] = 1;  // head of P(4)'s children list, subtree size 8
+  const LoadReport after = solve_load(tree, copies, live, w);
+  EXPECT_NEAR(after.served[4], before / 2.0, 1e-9);
+  EXPECT_NEAR(after.served[5], before / 2.0, 1e-9);
+}
+
+TEST(LoadSolver, ForwardedCountsPassThroughTraffic) {
+  const core::LookupTree tree(4, core::Pid{4});
+  const util::StatusWord live = all_live(4);
+  CopyMap copies(16, 0);
+  copies[4] = 1;
+  const Workload w = uniform_workload(live, 1600.0);
+  const LoadReport r = solve_load(tree, copies, live, w);
+  // P(5) (vid 1110) forwards its own 100/s plus its 7 offspring's 700/s.
+  EXPECT_NEAR(r.forwarded[5], 800.0, 1e-9);
+  // A leaf of the tree (P(12), vid 0111) forwards only its own demand.
+  EXPECT_NEAR(r.forwarded[12], 100.0, 1e-9);
+  // The root forwards nothing.
+  EXPECT_NEAR(r.forwarded[4], 0.0, 1e-9);
+}
+
+TEST(LoadSolver, MeanHopsMatchesHandComputation) {
+  // m=2, root P(r): depths are 0,1,1,2 -> mean hops 1.0 under uniform.
+  const core::LookupTree tree(2, core::Pid{0});
+  const util::StatusWord live = all_live(2);
+  CopyMap copies(4, 0);
+  copies[0] = 1;
+  const Workload w = uniform_workload(live, 400.0);
+  const LoadReport r = solve_load(tree, copies, live, w);
+  EXPECT_NEAR(r.mean_hops, 1.0, 1e-9);
+}
+
+TEST(LoadSolver, NoCopiesEverythingFaults) {
+  const core::LookupTree tree(4, core::Pid{4});
+  const util::StatusWord live = all_live(4);
+  const CopyMap copies(16, 0);
+  const Workload w = uniform_workload(live, 800.0);
+  const LoadReport r = solve_load(tree, copies, live, w);
+  EXPECT_NEAR(r.fault_rate, 800.0, 1e-9);
+  EXPECT_EQ(r.max_served, 0.0);
+}
+
+TEST(LoadSolver, OverloadedListSortedByLoad) {
+  const core::LookupTree tree(4, core::Pid{4});
+  const util::StatusWord live = all_live(4);
+  CopyMap copies(16, 0);
+  copies[4] = 1;
+  copies[5] = 1;
+  const Workload w = uniform_workload(live, 1600.0);
+  const LoadReport r = solve_load(tree, copies, live, w);
+  const std::vector<std::uint32_t> hot = r.overloaded(100.0);
+  ASSERT_EQ(hot.size(), 2u);
+  EXPECT_GE(r.served[hot[0]], r.served[hot[1]]);
+  EXPECT_TRUE(r.overloaded(10000.0).empty());
+}
+
+TEST(LoadSolver, SubtreeViewAtBZeroMatchesTreeSolver) {
+  const core::LookupTree tree(5, core::Pid{11});
+  const core::SubtreeView view(tree, 0);
+  util::StatusWord live = all_live(5);
+  util::Rng rng(8);
+  for (std::uint32_t dead : rng.sample_indices(32, 10)) live.set_dead(dead);
+  CopyMap copies(32, 0);
+  const auto holder = core::insertion_target(tree, live);
+  ASSERT_TRUE(holder.has_value());
+  copies[holder->value()] = 1;
+  const Workload w = uniform_workload(live, 2200.0);
+
+  const LoadReport a = solve_load(tree, copies, live, w);
+  const LoadReport b = solve_load(view, copies, live, w);
+  for (std::uint32_t p = 0; p < 32; ++p) {
+    EXPECT_NEAR(a.served[p], b.served[p], 1e-9) << "p=" << p;
+  }
+  EXPECT_NEAR(a.mean_hops, b.mean_hops, 1e-9);
+}
+
+TEST(LoadSolver, FaultTolerantCopiesLocalizeLoad) {
+  const core::LookupTree tree(4, core::Pid{4});
+  const core::SubtreeView view(tree, 2);
+  const util::StatusWord live = all_live(4);
+  CopyMap copies(16, 0);
+  for (const core::Pid t : view.insertion_targets(live)) {
+    copies[t.value()] = 1;
+  }
+  const Workload w = uniform_workload(live, 1600.0);
+  const LoadReport r = solve_load(view, copies, live, w);
+  // Four subtrees of 4 nodes each: each holder serves exactly 400/s.
+  for (const core::Pid t : view.insertion_targets(live)) {
+    EXPECT_NEAR(r.served[t.value()], 400.0, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace lesslog::sim

@@ -1,0 +1,81 @@
+#include "lesslog/sim/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace lesslog::sim {
+namespace {
+
+FigureData sample_figure() {
+  FigureData fig("Figure X", "rate", {1.0, 2.0, 3.0});
+  fig.add_series("lesslog", {10.0, 20.0, 30.0});
+  fig.add_series("random", {15.0, 32.0, 50.0});
+  return fig;
+}
+
+TEST(FigureData, StoresSeries) {
+  const FigureData fig = sample_figure();
+  EXPECT_EQ(fig.series_count(), 2u);
+  EXPECT_EQ(fig.series(0).name, "lesslog");
+  ASSERT_NE(fig.find("random"), nullptr);
+  EXPECT_EQ(fig.find("random")->values[2], 50.0);
+  EXPECT_EQ(fig.find("missing"), nullptr);
+}
+
+TEST(FigureData, TableHasRowPerX) {
+  const util::Table t = sample_figure().to_table();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.width(), 3u);  // x + 2 series
+  const std::string out = t.render();
+  EXPECT_NE(out.find("lesslog"), std::string::npos);
+  EXPECT_NE(out.find("random"), std::string::npos);
+}
+
+TEST(FigureData, DominatesDetectsOrdering) {
+  const FigureData fig = sample_figure();
+  EXPECT_TRUE(fig.dominates("lesslog", "random"));
+  EXPECT_FALSE(fig.dominates("random", "lesslog"));
+}
+
+TEST(FigureData, DominatesRespectsSlack) {
+  FigureData fig("f", "x", {1.0, 2.0});
+  fig.add_series("a", {10.0, 11.0});
+  fig.add_series("b", {10.0, 10.0});
+  EXPECT_FALSE(fig.dominates("a", "b"));
+  EXPECT_TRUE(fig.dominates("a", "b", 0.1));  // 11 <= 10 * 1.1
+}
+
+TEST(FigureData, RoughlyIncreasing) {
+  FigureData fig("f", "x", {1.0, 2.0, 3.0});
+  fig.add_series("up", {1.0, 2.0, 3.0});
+  fig.add_series("dip", {1.0, 0.5, 3.0});
+  EXPECT_TRUE(fig.roughly_increasing("up"));
+  EXPECT_FALSE(fig.roughly_increasing("dip"));
+  EXPECT_TRUE(fig.roughly_increasing("dip", 0.6));
+}
+
+TEST(FigureData, AsciiChartMentionsEverySeries) {
+  const std::string chart = sample_figure().ascii_chart();
+  EXPECT_NE(chart.find("lesslog"), std::string::npos);
+  EXPECT_NE(chart.find("random"), std::string::npos);
+  EXPECT_NE(chart.find("Figure X"), std::string::npos);
+}
+
+TEST(FigureData, CsvRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/lesslog_fig_test.csv";
+  sample_figure().write_csv(path);
+  std::ifstream in(path);
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header, "rate,lesslog,random");
+  std::string row;
+  std::getline(in, row);
+  EXPECT_EQ(row, "1,10,15");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace lesslog::sim

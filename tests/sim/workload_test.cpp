@@ -1,0 +1,120 @@
+#include "lesslog/sim/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace lesslog::sim {
+namespace {
+
+util::StatusWord live_n(int m, std::uint32_t n) {
+  return util::StatusWord(m, n);
+}
+
+TEST(UniformWorkload, SplitsEvenly) {
+  const util::StatusWord live = live_n(4, 16);
+  const Workload w = uniform_workload(live, 1600.0);
+  EXPECT_EQ(w.size(), 16u);
+  for (double r : w.rate) EXPECT_DOUBLE_EQ(r, 100.0);
+  EXPECT_NEAR(w.total(), 1600.0, 1e-9);
+}
+
+TEST(UniformWorkload, DeadNodesGetZero) {
+  util::StatusWord live = live_n(4, 16);
+  live.set_dead(3);
+  live.set_dead(7);
+  const Workload w = uniform_workload(live, 1400.0);
+  EXPECT_EQ(w.rate[3], 0.0);
+  EXPECT_EQ(w.rate[7], 0.0);
+  EXPECT_DOUBLE_EQ(w.rate[0], 100.0);
+  EXPECT_NEAR(w.total(), 1400.0, 1e-9);
+}
+
+TEST(UniformWorkload, EmptySystem) {
+  const util::StatusWord live(4);
+  const Workload w = uniform_workload(live, 100.0);
+  EXPECT_EQ(w.total(), 0.0);
+}
+
+TEST(LocalityWorkload, EightyTwentySplit) {
+  const util::StatusWord live = live_n(10, 1000);
+  util::Rng rng(1);
+  const Workload w = locality_workload(live, 10000.0, rng);
+  EXPECT_NEAR(w.total(), 10000.0, 1e-6);
+  // 200 hot nodes at 40/s each, 800 cold at 2.5/s each.
+  std::vector<double> rates;
+  for (std::uint32_t p = 0; p < 1000; ++p) rates.push_back(w.rate[p]);
+  const auto hot =
+      std::count_if(rates.begin(), rates.end(),
+                    [](double r) { return std::abs(r - 40.0) < 1e-9; });
+  const auto cold =
+      std::count_if(rates.begin(), rates.end(),
+                    [](double r) { return std::abs(r - 2.5) < 1e-9; });
+  EXPECT_EQ(hot, 200);
+  EXPECT_EQ(cold, 800);
+}
+
+TEST(LocalityWorkload, HotSetDependsOnSeed) {
+  const util::StatusWord live = live_n(6, 64);
+  util::Rng rng1(1);
+  util::Rng rng2(2);
+  const Workload a = locality_workload(live, 640.0, rng1);
+  const Workload b = locality_workload(live, 640.0, rng2);
+  EXPECT_NE(a.rate, b.rate);
+  util::Rng rng1_again(1);
+  const Workload a_again = locality_workload(live, 640.0, rng1_again);
+  EXPECT_EQ(a.rate, a_again.rate);
+}
+
+TEST(LocalityWorkload, DeadNodesGetZero) {
+  util::StatusWord live = live_n(5, 32);
+  for (std::uint32_t p = 20; p < 32; ++p) live.set_dead(p);
+  util::Rng rng(3);
+  const Workload w = locality_workload(live, 2000.0, rng);
+  for (std::uint32_t p = 20; p < 32; ++p) EXPECT_EQ(w.rate[p], 0.0);
+  EXPECT_NEAR(w.total(), 2000.0, 1e-9);
+}
+
+TEST(LocalityWorkload, AtLeastOneHotNode) {
+  const util::StatusWord live = live_n(3, 3);
+  util::Rng rng(5);
+  // 20% of 3 nodes rounds to 1 hot node.
+  const Workload w = locality_workload(live, 300.0, rng);
+  const auto hottest = *std::max_element(w.rate.begin(), w.rate.end());
+  EXPECT_NEAR(hottest, 240.0, 1e-9);  // 80% of the rate on one node
+}
+
+TEST(LocalityWorkload, FullHotFractionDegeneratesToUniform) {
+  const util::StatusWord live = live_n(4, 16);
+  util::Rng rng(7);
+  const Workload w = locality_workload(live, 1600.0, rng, 1.0, 0.8);
+  for (std::uint32_t p = 0; p < 16; ++p) {
+    EXPECT_NEAR(w.rate[p], 100.0, 1e-9);
+  }
+}
+
+TEST(ZipfWeights, NormalizedAndDecreasing) {
+  const std::vector<double> w = zipf_weights(100, 1.0);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    sum += w[i];
+    if (i > 0) {
+      EXPECT_LT(w[i], w[i - 1]);
+    }
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(ZipfWeights, ExponentZeroIsUniform) {
+  const std::vector<double> w = zipf_weights(10, 0.0);
+  for (double x : w) EXPECT_NEAR(x, 0.1, 1e-12);
+}
+
+TEST(ZipfWeights, HigherSkewConcentratesHead) {
+  const std::vector<double> mild = zipf_weights(50, 0.5);
+  const std::vector<double> steep = zipf_weights(50, 2.0);
+  EXPECT_GT(steep[0], mild[0]);
+}
+
+}  // namespace
+}  // namespace lesslog::sim

@@ -1,0 +1,40 @@
+#include "lesslog/util/crc32.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace lesslog::util {
+namespace {
+
+TEST(Crc32, StandardCheckValue) {
+  // The canonical CRC-32/IEEE check value.
+  EXPECT_EQ(crc32("123456789"), 0xCBF43926u);
+}
+
+TEST(Crc32, KnownVectors) {
+  EXPECT_EQ(crc32(""), 0x00000000u);
+  EXPECT_EQ(crc32("a"), 0xE8B7BE43u);
+  EXPECT_EQ(crc32("abc"), 0x352441C2u);
+  EXPECT_EQ(crc32("hello world"), 0x0D4A1185u);
+}
+
+TEST(Crc32, SensitiveToSingleBitFlips) {
+  std::vector<std::uint8_t> data(64, 0xAB);
+  const std::uint32_t base = crc32(std::span<const std::uint8_t>(data));
+  for (std::size_t i = 0; i < data.size(); i += 7) {
+    std::vector<std::uint8_t> flipped = data;
+    flipped[i] ^= 0x01;
+    EXPECT_NE(crc32(std::span<const std::uint8_t>(flipped)), base)
+        << "flip at " << i;
+  }
+}
+
+TEST(Crc32, ByteSpanMatchesStringOverload) {
+  const std::string s = "LessLog";
+  const std::vector<std::uint8_t> bytes(s.begin(), s.end());
+  EXPECT_EQ(crc32(s), crc32(std::span<const std::uint8_t>(bytes)));
+}
+
+}  // namespace
+}  // namespace lesslog::util

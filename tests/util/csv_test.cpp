@@ -1,0 +1,58 @@
+#include "lesslog/util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace lesslog::util {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+class CsvTest : public ::testing::Test {
+ protected:
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_ = ::testing::TempDir() + "/lesslog_csv_test.csv";
+};
+
+TEST_F(CsvTest, WritesHeaderAndRows) {
+  {
+    CsvWriter csv(path_, {"x", "y"});
+    csv.add_row({std::int64_t{1}, 2.5});
+    csv.add_row({std::int64_t{2}, 5.0});
+  }
+  EXPECT_EQ(slurp(path_), "x,y\n1,2.5\n2,5\n");
+}
+
+TEST_F(CsvTest, EscapesSpecialFields) {
+  {
+    CsvWriter csv(path_, {"name"});
+    csv.add_row({std::string("a,b")});
+    csv.add_row({std::string("quote\"inside")});
+    csv.add_row({std::string("plain")});
+  }
+  EXPECT_EQ(slurp(path_), "name\n\"a,b\"\n\"quote\"\"inside\"\nplain\n");
+}
+
+TEST_F(CsvTest, ThrowsOnBadPath) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir-xyz/file.csv", {"a"}),
+               std::runtime_error);
+}
+
+TEST(CsvEscape, Rules) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("with,comma"), "\"with,comma\"");
+  EXPECT_EQ(CsvWriter::escape("with\"quote"), "\"with\"\"quote\"");
+  EXPECT_EQ(CsvWriter::escape("line\nbreak"), "\"line\nbreak\"");
+  EXPECT_EQ(CsvWriter::escape(""), "");
+}
+
+}  // namespace
+}  // namespace lesslog::util

@@ -1,0 +1,65 @@
+#include "lesslog/util/hashing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace lesslog::util {
+namespace {
+
+TEST(Hashing, Fnv1a64KnownVectors) {
+  // Canonical FNV-1a 64 test vectors.
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(fnv1a64("foobar"), 0x85944171f73967e8ULL);
+}
+
+TEST(Hashing, PsiStaysInSpace) {
+  for (int m : {1, 4, 10, 16}) {
+    for (const char* name : {"", "a", "movies/clip.mpg", "x/y/z", "0"}) {
+      EXPECT_LE(psi(name, m), mask_of(m)) << name << " m=" << m;
+    }
+  }
+}
+
+TEST(Hashing, PsiDeterministic) {
+  EXPECT_EQ(psi("some/file", 10), psi("some/file", 10));
+  EXPECT_EQ(psi_u64(1234, 10), psi_u64(1234, 10));
+}
+
+TEST(Hashing, PsiSensitiveToInput) {
+  // Distinct names should essentially never agree on a 16-bit space for a
+  // handful of keys.
+  std::set<std::uint32_t> targets;
+  for (int i = 0; i < 16; ++i) {
+    targets.insert(psi("file-" + std::to_string(i), 16));
+  }
+  EXPECT_GE(targets.size(), 15u);
+}
+
+TEST(Hashing, PsiU64CoversSpaceRoughlyUniformly) {
+  // Bucket 4096 sequential keys into a 16-slot space; each slot expects
+  // ~256 hits. A grossly skewed hash would fail by an order of magnitude.
+  std::vector<int> hits(16, 0);
+  for (std::uint64_t key = 0; key < 4096; ++key) {
+    ++hits[psi_u64(key, 4)];
+  }
+  for (int h : hits) {
+    EXPECT_GT(h, 128);
+    EXPECT_LT(h, 512);
+  }
+}
+
+TEST(Hashing, AvalancheChangesLowBits) {
+  // Sequential integers must not map to sequential slots.
+  int identical_low_bits = 0;
+  for (std::uint64_t key = 0; key < 64; ++key) {
+    if ((avalanche64(key) & 0xFu) == (key & 0xFu)) ++identical_low_bits;
+  }
+  EXPECT_LT(identical_low_bits, 12);
+}
+
+}  // namespace
+}  // namespace lesslog::util

@@ -1,0 +1,68 @@
+#include "lesslog/util/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lesslog::util {
+namespace {
+
+TEST(Histogram, BucketsValuesByRange) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.0);    // bucket 0
+  h.add(9.99);   // bucket 0
+  h.add(10.0);   // bucket 1
+  h.add(25.0);   // bucket 2
+  h.add(49.0);   // bucket 4
+  EXPECT_EQ(h.bucket(0), 2);
+  EXPECT_EQ(h.bucket(1), 1);
+  EXPECT_EQ(h.bucket(2), 1);
+  EXPECT_EQ(h.bucket(3), 0);
+  EXPECT_EQ(h.bucket(4), 1);
+  EXPECT_EQ(h.total(), 5);
+}
+
+TEST(Histogram, ClampsOutOfRange) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(-5.0);   // below lo -> bucket 0
+  h.add(100.0);  // beyond end -> last bucket
+  EXPECT_EQ(h.bucket(0), 1);
+  EXPECT_EQ(h.bucket(3), 1);
+}
+
+TEST(Histogram, AddN) {
+  Histogram h(0.0, 1.0, 2);
+  h.add_n(0.5, 7);
+  EXPECT_EQ(h.bucket(0), 7);
+  EXPECT_EQ(h.total(), 7);
+}
+
+TEST(Histogram, BucketLo) {
+  Histogram h(100.0, 25.0, 4);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(0), 100.0);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(3), 175.0);
+}
+
+TEST(Histogram, RenderShowsCountsAndBars) {
+  Histogram h(0.0, 1.0, 3);
+  h.add_n(0.5, 4);
+  h.add_n(1.5, 2);
+  const std::string out = h.render(8);
+  EXPECT_NE(out.find("########"), std::string::npos);  // peak bucket full bar
+  EXPECT_NE(out.find(" 4"), std::string::npos);
+  EXPECT_NE(out.find(" 2"), std::string::npos);
+}
+
+TEST(Histogram, RenderElidesEmptyTail) {
+  Histogram h(0.0, 1.0, 10);
+  h.add(0.5);
+  const std::string out = h.render();
+  // Only the first line should appear; 10 lines would mean no eliding.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 1);
+}
+
+TEST(Histogram, RenderEmptyIsSafe) {
+  Histogram h(0.0, 1.0, 3);
+  EXPECT_NO_THROW({ const auto s = h.render(); });
+}
+
+}  // namespace
+}  // namespace lesslog::util

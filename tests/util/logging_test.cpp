@@ -1,0 +1,54 @@
+#include "lesslog/util/logging.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lesslog::util {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_ = log_level(); }
+  void TearDown() override { set_log_level(saved_); }
+  LogLevel saved_ = LogLevel::kWarn;
+};
+
+TEST_F(LoggingTest, LevelRoundTrips) {
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(LogLevel::kOff);
+  EXPECT_EQ(log_level(), LogLevel::kOff);
+}
+
+TEST(FormatMessage, NoPlaceholders) {
+  EXPECT_EQ(format_message("hello"), "hello");
+}
+
+TEST(FormatMessage, FillsPlaceholdersInOrder) {
+  EXPECT_EQ(format_message("{} + {} = {}", 1, 2, 3), "1 + 2 = 3");
+  EXPECT_EQ(format_message("node {} serves {}", 5, "file.mpg"),
+            "node 5 serves file.mpg");
+}
+
+TEST(FormatMessage, SurplusArgumentsAppended) {
+  EXPECT_EQ(format_message("x={}", 1, 2, 3), "x=1 2 3");
+}
+
+TEST(FormatMessage, SurplusPlaceholdersKept) {
+  EXPECT_EQ(format_message("a={} b={}", 7), "a=7 b={}");
+}
+
+TEST(FormatMessage, MixedTypes) {
+  EXPECT_EQ(format_message("{} {} {}", 1.5, true, 'c'), "1.5 1 c");
+}
+
+TEST_F(LoggingTest, SuppressedBelowThresholdDoesNotCrash) {
+  set_log_level(LogLevel::kOff);
+  log_debug("dropped {}", 1);
+  log_info("dropped {}", 2);
+  log_warn("dropped {}", 3);
+  log_error("dropped {}", 4);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace lesslog::util

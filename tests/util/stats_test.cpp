@@ -1,0 +1,112 @@
+#include "lesslog/util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace lesslog::util {
+namespace {
+
+TEST(Accumulator, EmptyIsZero) {
+  const Accumulator acc;
+  EXPECT_EQ(acc.count(), 0);
+  EXPECT_EQ(acc.mean(), 0.0);
+  EXPECT_EQ(acc.variance(), 0.0);
+  EXPECT_EQ(acc.min(), 0.0);
+  EXPECT_EQ(acc.max(), 0.0);
+}
+
+TEST(Accumulator, SingleValue) {
+  Accumulator acc;
+  acc.add(5.0);
+  EXPECT_EQ(acc.count(), 1);
+  EXPECT_EQ(acc.mean(), 5.0);
+  EXPECT_EQ(acc.variance(), 0.0);
+  EXPECT_EQ(acc.min(), 5.0);
+  EXPECT_EQ(acc.max(), 5.0);
+  EXPECT_EQ(acc.sum(), 5.0);
+}
+
+TEST(Accumulator, KnownMoments) {
+  Accumulator acc;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.add(x);
+  EXPECT_EQ(acc.count(), 8);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  // Sample variance of this classic dataset is 32/7.
+  EXPECT_NEAR(acc.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(acc.min(), 2.0);
+  EXPECT_EQ(acc.max(), 9.0);
+}
+
+TEST(Accumulator, MergeMatchesSequential) {
+  Accumulator whole;
+  Accumulator left;
+  Accumulator right;
+  for (int i = 0; i < 50; ++i) {
+    const double x = 0.37 * i - 3.0;
+    whole.add(x);
+    (i < 20 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+  EXPECT_EQ(left.min(), whole.min());
+  EXPECT_EQ(left.max(), whole.max());
+}
+
+TEST(Accumulator, MergeWithEmpty) {
+  Accumulator a;
+  a.add(1.0);
+  a.add(3.0);
+  Accumulator empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2);
+  EXPECT_EQ(a.mean(), 2.0);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2);
+  EXPECT_EQ(empty.mean(), 2.0);
+}
+
+TEST(Percentile, EmptyAndSingle) {
+  EXPECT_EQ(percentile({}, 50.0), 0.0);
+  EXPECT_EQ(percentile({7.0}, 0.0), 7.0);
+  EXPECT_EQ(percentile({7.0}, 100.0), 7.0);
+}
+
+TEST(Percentile, Interpolates) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 25.0), 2.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 12.5), 1.5);
+}
+
+TEST(Percentile, UnsortedInput) {
+  EXPECT_DOUBLE_EQ(percentile({5.0, 1.0, 3.0}, 50.0), 3.0);
+}
+
+TEST(JainFairness, PerfectlyEven) {
+  EXPECT_DOUBLE_EQ(jain_fairness({4.0, 4.0, 4.0, 4.0}), 1.0);
+}
+
+TEST(JainFairness, SingleHotspot) {
+  // One of n nodes carries everything -> index = 1/n.
+  EXPECT_NEAR(jain_fairness({10.0, 0.0, 0.0, 0.0}), 0.25, 1e-12);
+}
+
+TEST(JainFairness, DegenerateInputs) {
+  EXPECT_EQ(jain_fairness({}), 1.0);
+  EXPECT_EQ(jain_fairness({0.0, 0.0}), 1.0);
+}
+
+TEST(JainFairness, MonotoneUnderBalancing) {
+  const double skewed = jain_fairness({9.0, 1.0, 1.0, 1.0});
+  const double better = jain_fairness({5.0, 3.0, 2.0, 2.0});
+  EXPECT_LT(skewed, better);
+  EXPECT_LT(better, 1.0);
+}
+
+}  // namespace
+}  // namespace lesslog::util

@@ -1,0 +1,68 @@
+#include "lesslog/util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace lesslog::util {
+namespace {
+
+TEST(Table, RendersHeaderAndRule) {
+  Table t({"rate", "replicas"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("rate"), std::string::npos);
+  EXPECT_NE(out.find("replicas"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(Table, FormatsCellKinds) {
+  Table t({"a", "b", "c"});
+  t.add_row({std::string("x"), std::int64_t{42}, 3.14159});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("x"), std::string::npos);
+  EXPECT_NE(out.find("42"), std::string::npos);
+  EXPECT_NE(out.find("3.1"), std::string::npos);  // default precision 1
+}
+
+TEST(Table, PrecisionControl) {
+  Table t({"v"});
+  t.set_precision(3);
+  t.add_row({2.0 / 3.0});
+  EXPECT_NE(t.render().find("0.667"), std::string::npos);
+}
+
+TEST(Table, ColumnsAlign) {
+  Table t({"x", "value"});
+  t.add_row({std::int64_t{1}, std::int64_t{10}});
+  t.add_row({std::int64_t{100}, std::int64_t{2000}});
+  std::istringstream in(t.render());
+  std::string header;
+  std::string rule;
+  std::string row1;
+  std::string row2;
+  std::getline(in, header);
+  std::getline(in, rule);
+  std::getline(in, row1);
+  std::getline(in, row2);
+  EXPECT_EQ(row1.size(), row2.size());
+  EXPECT_EQ(header.size(), row1.size());
+}
+
+TEST(Table, RowAndWidthAccounting) {
+  Table t({"a", "b"});
+  EXPECT_EQ(t.width(), 2u);
+  EXPECT_EQ(t.rows(), 0u);
+  t.add_row({std::int64_t{1}, std::int64_t{2}});
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(Table, StreamOperator) {
+  Table t({"only"});
+  t.add_row({std::string("val")});
+  std::ostringstream out;
+  out << t;
+  EXPECT_EQ(out.str(), t.render());
+}
+
+}  // namespace
+}  // namespace lesslog::util

@@ -1,0 +1,86 @@
+#include "lesslog/util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace lesslog::util {
+namespace {
+
+TEST(ThreadPool, DefaultSizeIsPositive) {
+  ThreadPool pool;
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPool, DestructorDrainsOutstandingWork) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&counter] { counter.fetch_add(1); });
+    }
+  }  // destructor joins
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(pool, hits.size(),
+               [&hits](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, ZeroIterations) {
+  ThreadPool pool(2);
+  parallel_for(pool, 0, [](std::size_t) { FAIL() << "must not run"; });
+  SUCCEED();
+}
+
+TEST(ParallelFor, FewerItemsThanThreads) {
+  ThreadPool pool(8);
+  std::atomic<int> counter{0};
+  parallel_for(pool, 3, [&counter](std::size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 3);
+}
+
+TEST(ParallelFor, ComputesCorrectReduction) {
+  ThreadPool pool(4);
+  std::vector<long> squares(512, 0);
+  parallel_for(pool, squares.size(), [&squares](std::size_t i) {
+    squares[i] = static_cast<long>(i) * static_cast<long>(i);
+  });
+  const long total = std::accumulate(squares.begin(), squares.end(), 0L);
+  // Sum of squares 0..511 = n(n+1)(2n+1)/6 with n = 511.
+  EXPECT_EQ(total, 511L * 512L * 1023L / 6L);
+}
+
+TEST(ParallelFor, ReusablePool) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  for (int round = 0; round < 5; ++round) {
+    parallel_for(pool, 20, [&counter](std::size_t) { counter.fetch_add(1); });
+  }
+  EXPECT_EQ(counter.load(), 100);
+}
+
+}  // namespace
+}  // namespace lesslog::util

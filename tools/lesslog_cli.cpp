@@ -1,0 +1,294 @@
+// lesslog_cli — run LessLog experiments and inspect lookup trees from the
+// command line without writing code.
+//
+//   lesslog_cli experiment [--m 10] [--b 0] [--rate 10000] [--capacity 100]
+//                          [--workload uniform|locality] [--dead 0.2]
+//                          [--policy lesslog|random|logbased] [--seed 42]
+//   lesslog_cli catalog    [--m 10] [--files 64] [--zipf 0.8] [--rate 16000]
+//                          [--capacity 100] [--seed 42]
+//   lesslog_cli churn      [--m 8] [--nodes 200] [--files 64] [--b 0]
+//                          [--duration 600] [--requests 200] [--events 1.0]
+//                          [--seed 7]
+//   lesslog_cli tree       --m 4 --root 4 [--dead 0,5] [--route 8]
+//
+// Every subcommand prints a human-readable report; `tree` renders the
+// paper's structures (children lists, routes, stand-ins) for any
+// configuration, which makes it a handy teaching/debugging tool.
+#include <charconv>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "lesslog/baseline/policy.hpp"
+#include "lesslog/core/snapshot.hpp"
+#include "lesslog/core/system.hpp"
+#include "lesslog/sim/catalog.hpp"
+#include "lesslog/sim/churn.hpp"
+#include "lesslog/sim/experiment.hpp"
+#include "lesslog/util/table.hpp"
+
+namespace {
+
+using namespace lesslog;
+
+class Flags {
+ public:
+  Flags(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0 || i + 1 >= argc) {
+        throw std::runtime_error("expected --flag value pairs, got: " + key);
+      }
+      values_[key.substr(2)] = argv[++i];
+    }
+  }
+
+  [[nodiscard]] double get(const std::string& key, double fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::stod(it->second);
+  }
+
+  [[nodiscard]] int get(const std::string& key, int fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::stoi(it->second);
+  }
+
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  [[nodiscard]] bool has(const std::string& key) const {
+    return values_.contains(key);
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+sim::PlacementFn policy_by_name(const std::string& name) {
+  if (name == "lesslog") return baseline::lesslog_policy();
+  if (name == "random") return baseline::random_policy();
+  if (name == "logbased") return baseline::logbased_policy();
+  throw std::runtime_error("unknown policy: " + name);
+}
+
+int cmd_experiment(const Flags& flags) {
+  sim::ExperimentConfig cfg;
+  cfg.m = flags.get("m", 10);
+  cfg.b = flags.get("b", 0);
+  cfg.total_rate = flags.get("rate", 10000.0);
+  cfg.capacity = flags.get("capacity", 100.0);
+  cfg.dead_fraction = flags.get("dead", 0.0);
+  cfg.seed = static_cast<std::uint64_t>(flags.get("seed", 42));
+  const std::string workload = flags.get("workload", std::string("uniform"));
+  cfg.workload = workload == "locality" ? sim::WorkloadKind::kLocality
+                                        : sim::WorkloadKind::kUniform;
+  const std::string policy = flags.get("policy", std::string("lesslog"));
+
+  const sim::ExperimentResult r =
+      sim::run_replication_experiment(cfg, policy_by_name(policy));
+  std::cout << "policy=" << policy << " workload=" << workload
+            << " m=" << cfg.m << " b=" << cfg.b << " rate=" << cfg.total_rate
+            << " capacity=" << cfg.capacity << " dead=" << cfg.dead_fraction
+            << " seed=" << cfg.seed << "\n"
+            << "  replicas created : " << r.replicas_created << "\n"
+            << "  balanced         : " << (r.balanced ? "yes" : "no")
+            << (r.irreducible_overload ? " (irreducible local overload)"
+                                       : "")
+            << "\n"
+            << "  final max load   : " << r.final_max_load << " req/s\n"
+            << "  mean lookup hops : " << r.mean_hops << "\n"
+            << "  Jain fairness    : " << r.fairness << "\n"
+            << "  live nodes       : " << r.live_nodes << "\n";
+  return r.balanced ? 0 : 1;
+}
+
+int cmd_catalog(const Flags& flags) {
+  sim::CatalogConfig cfg;
+  cfg.m = flags.get("m", 10);
+  cfg.b = flags.get("b", 0);
+  cfg.files = static_cast<std::uint32_t>(flags.get("files", 64));
+  cfg.zipf_s = flags.get("zipf", 0.8);
+  cfg.total_rate = flags.get("rate", 16000.0);
+  cfg.capacity = flags.get("capacity", 100.0);
+  cfg.dead_fraction = flags.get("dead", 0.0);
+  cfg.seed = static_cast<std::uint64_t>(flags.get("seed", 42));
+
+  const sim::CatalogResult r =
+      sim::run_catalog_experiment(cfg, baseline::lesslog_policy());
+  std::cout << "catalog: " << cfg.files << " files, zipf " << cfg.zipf_s
+            << ", " << cfg.total_rate << " req/s\n"
+            << "  replicas created : " << r.replicas_created << "\n"
+            << "  balanced         : " << (r.balanced ? "yes" : "no") << "\n"
+            << "  total copies     : " << r.total_copies << "\n"
+            << "  fairness         : " << r.fairness << "\n"
+            << "  hottest 8 files  : ";
+  for (std::size_t i = 0; i < 8 && i < r.replicas_by_rank.size(); ++i) {
+    std::cout << r.replicas_by_rank[i] << " ";
+  }
+  std::cout << "replicas\n";
+  return r.balanced ? 0 : 1;
+}
+
+int cmd_churn(const Flags& flags) {
+  sim::ChurnConfig cfg;
+  cfg.m = flags.get("m", 8);
+  cfg.b = flags.get("b", 0);
+  cfg.initial_nodes = static_cast<std::uint32_t>(flags.get("nodes", 200));
+  cfg.min_nodes = cfg.initial_nodes / 3;
+  cfg.files = static_cast<std::uint32_t>(flags.get("files", 64));
+  cfg.duration = flags.get("duration", 600.0);
+  cfg.request_rate = flags.get("requests", 200.0);
+  const double events = flags.get("events", 1.0);
+  cfg.join_rate = events / 2.0;
+  cfg.leave_rate = events / 4.0;
+  cfg.fail_rate = events / 4.0;
+  cfg.seed = static_cast<std::uint64_t>(flags.get("seed", 7));
+
+  const sim::ChurnResult r = sim::run_churn(cfg);
+  std::cout << "churn: " << cfg.initial_nodes << " nodes, " << cfg.duration
+            << "s, " << events << " membership events/s, b=" << cfg.b << "\n"
+            << "  requests         : " << r.requests << "\n"
+            << "  faults           : " << r.faults << " ("
+            << 100.0 * r.fault_fraction() << "%)\n"
+            << "  joins/leaves/fail: " << r.joins << "/" << r.leaves << "/"
+            << r.fails << "\n"
+            << "  files lost       : " << r.files_lost << "\n"
+            << "  mean hops        : " << r.mean_hops << "\n"
+            << "  maintenance msgs : " << r.maintenance_messages << "\n";
+  return 0;
+}
+
+std::vector<std::uint32_t> parse_list(const std::string& csv) {
+  std::vector<std::uint32_t> out;
+  std::stringstream in(csv);
+  std::string item;
+  while (std::getline(in, item, ',')) {
+    out.push_back(static_cast<std::uint32_t>(std::stoul(item)));
+  }
+  return out;
+}
+
+int cmd_tree(const Flags& flags) {
+  const int m = flags.get("m", 4);
+  const auto root = static_cast<std::uint32_t>(flags.get("root", 0));
+  if (!util::valid_width(m) || !util::fits(root, m)) {
+    throw std::runtime_error("invalid --m/--root");
+  }
+  const core::LookupTree tree(m, core::Pid{root});
+  util::StatusWord live(m, util::space_size(m));
+  if (flags.has("dead")) {
+    for (const std::uint32_t d : parse_list(flags.get("dead", std::string()))) {
+      live.set_dead(d);
+    }
+  }
+
+  std::cout << "lookup tree of P(" << root << "), m=" << m << " ("
+            << live.live_count() << "/" << util::space_size(m)
+            << " nodes live)\n\n";
+  util::Table table({"PID", "VID", "depth", "offspring", "children list"});
+  for (std::uint32_t p = 0; p < util::space_size(m); ++p) {
+    if (!live.is_live(p)) continue;
+    std::ostringstream kids;
+    for (const core::Pid c :
+         core::children_list(tree, core::Pid{p}, live)) {
+      kids << "P(" << c.value() << ") ";
+    }
+    table.add_row({std::string("P(") + std::to_string(p) + ")",
+                   core::to_binary(tree.vid_of(core::Pid{p}), m),
+                   static_cast<std::int64_t>(tree.depth(core::Pid{p})),
+                   static_cast<std::int64_t>(
+                       tree.offspring_count(core::Pid{p})),
+                   kids.str()});
+  }
+  std::cout << table.render();
+
+  const auto holder = core::insertion_target(tree, live);
+  std::cout << "\ninsertion target (FINDLIVENODE(r,r)): "
+            << (holder ? "P(" + std::to_string(holder->value()) + ")"
+                       : std::string("none"))
+            << "\n";
+
+  if (flags.has("route")) {
+    const auto from = static_cast<std::uint32_t>(flags.get("route", 0));
+    const core::RouteResult r = core::route_get(
+        tree, core::Pid{from}, live,
+        [&holder](core::Pid p) { return holder && p == *holder; });
+    std::cout << "route from P(" << from << "):";
+    for (const core::Pid p : r.path) std::cout << " P(" << p.value() << ")";
+    std::cout << "  (" << r.hops() << " hops"
+              << (r.used_fallback ? ", stand-in fallback" : "") << ")\n";
+  }
+  return 0;
+}
+
+int cmd_inspect(const Flags& flags) {
+  const std::string path = flags.get("snapshot", std::string());
+  if (path.empty()) throw std::runtime_error("inspect needs --snapshot");
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  const core::System sys = core::load_snapshot(in);
+
+  std::cout << "snapshot: " << path << "\n"
+            << "  m=" << sys.width() << " (" << util::space_size(sys.width())
+            << " slots), b=" << sys.fault_bits() << ", payload "
+            << sys.config().payload_size << " B/file\n"
+            << "  live nodes : " << sys.live_count() << "\n"
+            << "  files      : " << sys.files().size() << " ("
+            << sys.lost_files().size() << " lost)\n"
+            << "  counters   : " << sys.lookup_messages() << " lookup, "
+            << sys.maintenance_messages() << " maintenance, "
+            << sys.faults() << " faults\n";
+  const core::System::IntegrityReport report = sys.verify_integrity();
+  std::cout << "  integrity  : "
+            << (report.clean() ? "clean" : "VIOLATIONS") << " ("
+            << report.corrupt.size() << " corrupt, " << report.stale.size()
+            << " stale)\n";
+
+  std::size_t copies = 0;
+  std::size_t replicas = 0;
+  for (const core::FileId f : sys.files()) {
+    for (const core::Pid h : sys.holders(f)) {
+      ++copies;
+      const auto info = sys.node(h).store().info(f);
+      if (info.has_value() && info->kind == core::CopyKind::kReplica) {
+        ++replicas;
+      }
+    }
+  }
+  std::cout << "  copies     : " << copies << " total, " << replicas
+            << " replicas\n";
+  return report.clean() ? 0 : 1;
+}
+
+void usage() {
+  std::cerr << "usage: lesslog_cli <experiment|catalog|churn|tree|inspect> "
+               "[--flag value]...\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  try {
+    const Flags flags(argc, argv, 2);
+    if (cmd == "experiment") return cmd_experiment(flags);
+    if (cmd == "catalog") return cmd_catalog(flags);
+    if (cmd == "churn") return cmd_churn(flags);
+    if (cmd == "tree") return cmd_tree(flags);
+    if (cmd == "inspect") return cmd_inspect(flags);
+    usage();
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+}
