@@ -71,8 +71,9 @@ int main(int argc, char** argv) {
   }
 
   bench::emit(lost_fig, args);
-  bench::emit(copies_fig, bench::BenchArgs{args.quick, args.seeds,
-                                           std::nullopt});
+  bench::BenchArgs no_csv_args = args;
+  no_csv_args.csv = std::nullopt;
+  bench::emit(copies_fig, no_csv_args);
 
   bench::check(lost_fig.dominates("b=1", "b=0"),
                "b=1 never loses more files than b=0");

@@ -54,10 +54,11 @@ int main(int argc, char** argv) {
                          static_cast<int>(thresholds[t])) + " req/s",
                      std::move(ys[t]));
     }
-    bench::emit(fig, args.csv.has_value()
-                         ? bench::BenchArgs{args.quick, args.seeds,
-                                            *args.csv + "." + name + ".csv"}
-                         : args);
+    bench::BenchArgs emit_args = args;
+    if (args.csv.has_value()) {
+      emit_args.csv = *args.csv + "." + name + ".csv";
+    }
+    bench::emit(fig, emit_args);
 
     bool monotone = true;
     for (std::size_t i = 0; i < rates.size(); ++i) {

@@ -4,12 +4,19 @@
 //   * runs the paper's full-scale parameters by default (m = 10, capacity
 //     100 req/s, request rates 1,000..20,000),
 //   * accepts --quick (coarser sweep for smoke runs), --seeds N (averaging
-//     width), and --csv <path> (mirror the table to CSV),
+//     width), --csv <path> (mirror the table to CSV), --json <path>
+//     (machine-readable rows with per-solve timings), --m N (ID-space
+//     width override), and --solver scratch|incremental (which load
+//     solver drives the balance loop),
 //   * prints the parameter block, the per-rate table, an ASCII chart, and
 //     the shape checks corresponding to the paper's claims.
 #pragma once
 
+#include <cerrno>
+#include <chrono>
 #include <cstdint>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <mutex>
 #include <optional>
@@ -26,6 +33,32 @@ struct BenchArgs {
   bool quick = false;
   int seeds = 5;
   std::optional<std::string> csv;
+  std::optional<std::string> json;
+  std::optional<int> m;
+  sim::SolverMode solver = sim::SolverMode::kIncremental;
+
+  [[noreturn]] static void usage_exit() {
+    std::cerr << "usage: bench [--quick] [--seeds N] [--csv path] "
+                 "[--json path] [--m N] [--solver scratch|incremental]\n";
+    std::exit(2);
+  }
+
+  /// Strict integer parse for flag values: rejects garbage, trailing
+  /// text, and values outside [1, limit] instead of throwing or silently
+  /// accepting them (std::stoi would throw on "foo" and accept "-3").
+  static int parse_bounded_int(const char* flag, const char* text,
+                               long limit) {
+    char* end = nullptr;
+    errno = 0;
+    const long value = std::strtol(text, &end, 10);
+    if (errno != 0 || end == text || *end != '\0' || value < 1 ||
+        value > limit) {
+      std::cerr << flag << " expects an integer in [1, " << limit
+                << "], got '" << text << "'\n";
+      usage_exit();
+    }
+    return static_cast<int>(value);
+  }
 
   static BenchArgs parse(int argc, char** argv) {
     BenchArgs args;
@@ -34,15 +67,39 @@ struct BenchArgs {
       if (arg == "--quick") {
         args.quick = true;
       } else if (arg == "--seeds" && i + 1 < argc) {
-        args.seeds = std::stoi(argv[++i]);
+        args.seeds = parse_bounded_int("--seeds", argv[++i], 10000);
       } else if (arg == "--csv" && i + 1 < argc) {
         args.csv = argv[++i];
+      } else if (arg == "--json" && i + 1 < argc) {
+        args.json = argv[++i];
+      } else if (arg == "--m" && i + 1 < argc) {
+        args.m = parse_bounded_int("--m", argv[++i], util::kMaxIdBits);
+      } else if (arg == "--solver" && i + 1 < argc) {
+        const std::string mode = argv[++i];
+        if (mode == "scratch") {
+          args.solver = sim::SolverMode::kScratch;
+        } else if (mode == "incremental") {
+          args.solver = sim::SolverMode::kIncremental;
+        } else {
+          std::cerr << "--solver expects 'scratch' or 'incremental', got '"
+                    << mode << "'\n";
+          usage_exit();
+        }
       } else {
-        std::cerr << "usage: bench [--quick] [--seeds N] [--csv path]\n";
-        std::exit(2);
+        usage_exit();
       }
     }
     return args;
+  }
+
+  /// Applies the command-line overrides to a figure's base config.
+  void apply(sim::ExperimentConfig& cfg) const {
+    if (m.has_value()) cfg.m = *m;
+    cfg.solver = solver;
+  }
+
+  [[nodiscard]] const char* solver_name() const {
+    return solver == sim::SolverMode::kScratch ? "scratch" : "incremental";
   }
 };
 
@@ -65,6 +122,47 @@ inline sim::ExperimentConfig paper_config() {
   return cfg;
 }
 
+/// One machine-readable result row: a (figure, rate, policy) cell with
+/// its mean replica count and the wall time per balance-loop iteration
+/// (one load solve plus one placement decision).
+struct SolveRow {
+  std::string bench;
+  int m = 0;
+  double rate = 0.0;
+  std::string policy;
+  double ns_per_solve = 0.0;
+  double replicas = 0.0;
+};
+
+/// Writes the rows as a single JSON document:
+///   {"solver": ..., "seeds": ..., "quick": ..., "wall_ms": ...,
+///    "rows": [{"bench", "m", "rate", "policy", "ns_per_solve",
+///              "replicas"}, ...]}
+inline void write_json(const std::string& path, const BenchArgs& args,
+                       const std::vector<SolveRow>& rows, double wall_ms) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot write json to " << path << "\n";
+    std::exit(2);
+  }
+  out << "{\n"
+      << "  \"solver\": \"" << args.solver_name() << "\",\n"
+      << "  \"seeds\": " << args.seeds << ",\n"
+      << "  \"quick\": " << (args.quick ? "true" : "false") << ",\n"
+      << "  \"wall_ms\": " << wall_ms << ",\n"
+      << "  \"rows\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const SolveRow& r = rows[i];
+    out << "    {\"bench\": \"" << r.bench << "\", \"m\": " << r.m
+        << ", \"rate\": " << r.rate << ", \"policy\": \"" << r.policy
+        << "\", \"ns_per_solve\": " << r.ns_per_solve
+        << ", \"replicas\": " << r.replicas << "}"
+        << (i + 1 < rows.size() ? ",\n" : "\n");
+  }
+  out << "  ]\n}\n";
+  std::cout << "json written to " << path << "\n";
+}
+
 /// Replicas-to-balance for one (config, policy) cell averaged over seeds
 /// 1..seeds; cells that end irreducibly overloaded still report their
 /// replica count (the system sheds everything sheddable first).
@@ -83,6 +181,39 @@ inline double mean_replicas(const sim::ExperimentConfig& base,
   return total / seeds;
 }
 
+/// mean_replicas plus wall-clock accounting: ns_per_solve is the cell's
+/// wall time divided by the number of balance-loop iterations it ran
+/// (replicas_created + 1 solves per seed — the final iteration solves
+/// without placing).
+struct CellTiming {
+  double mean_replicas = 0.0;
+  double ns_per_solve = 0.0;
+};
+
+inline CellTiming mean_replicas_timed(const sim::ExperimentConfig& base,
+                                      const sim::PlacementFn& policy,
+                                      int seeds) {
+  double total = 0.0;
+  std::int64_t solves = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int seed = 1; seed <= seeds; ++seed) {
+    sim::ExperimentConfig cfg = base;
+    cfg.seed = static_cast<std::uint64_t>(seed);
+    const sim::ExperimentResult r =
+        sim::run_replication_experiment(cfg, policy);
+    total += r.replicas_created;
+    solves += r.replicas_created + 1;
+  }
+  const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+  CellTiming out;
+  out.mean_replicas = total / seeds;
+  out.ns_per_solve =
+      solves > 0 ? static_cast<double>(ns) / static_cast<double>(solves) : 0.0;
+  return out;
+}
+
 /// Fills one series of a figure in parallel over the x axis.
 inline std::vector<double> sweep_series(
     util::ThreadPool& pool, const std::vector<double>& rates,
@@ -97,13 +228,34 @@ inline std::vector<double> sweep_series(
   return ys;
 }
 
+/// sweep_series that also appends one timed SolveRow per rate point.
+inline std::vector<double> sweep_series_timed(
+    util::ThreadPool& pool, const std::vector<double>& rates,
+    const sim::ExperimentConfig& base, const sim::PlacementFn& policy,
+    int seeds, const std::string& bench_name, const std::string& policy_name,
+    std::vector<SolveRow>& rows) {
+  std::vector<double> ys(rates.size(), 0.0);
+  std::vector<SolveRow> local(rates.size());
+  util::parallel_for(pool, rates.size(), [&](std::size_t i) {
+    sim::ExperimentConfig cfg = base;
+    cfg.total_rate = rates[i];
+    const CellTiming t = mean_replicas_timed(cfg, policy, seeds);
+    ys[i] = t.mean_replicas;
+    local[i] = SolveRow{bench_name,  cfg.m,           rates[i],
+                        policy_name, t.ns_per_solve, t.mean_replicas};
+  });
+  rows.insert(rows.end(), local.begin(), local.end());
+  return ys;
+}
+
 inline void print_header(const std::string& title,
                          const sim::ExperimentConfig& cfg,
                          const BenchArgs& args) {
   std::cout << "== " << title << " ==\n"
             << "m=" << cfg.m << " (" << util::space_size(cfg.m)
             << " ID slots), b=" << cfg.b << ", capacity=" << cfg.capacity
-            << " req/s, seeds averaged=" << args.seeds << "\n\n";
+            << " req/s, seeds averaged=" << args.seeds
+            << ", solver=" << args.solver_name() << "\n\n";
 }
 
 inline void emit(const sim::FigureData& fig, const BenchArgs& args,

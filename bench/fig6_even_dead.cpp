@@ -18,21 +18,31 @@ int main(int argc, char** argv) {
   const std::vector<double> rates = bench::paper_rates(args.quick);
   sim::ExperimentConfig base = bench::paper_config();
   base.workload = sim::WorkloadKind::kUniform;
+  args.apply(base);
   bench::print_header("Figure 6: LessLog under dead nodes, even distribution",
                       base, args);
 
   util::ThreadPool pool;
+  std::vector<bench::SolveRow> rows;
+  const auto t0 = std::chrono::steady_clock::now();
   sim::FigureData fig("Figure 6 (replicas vs. incoming requests)",
                       "requests/s", rates);
   for (const double dead : {0.1, 0.2, 0.3}) {
     sim::ExperimentConfig cfg = base;
     cfg.dead_fraction = dead;
-    fig.add_series(
-        std::to_string(static_cast<int>(dead * 100)) + "% dead",
-        bench::sweep_series(pool, rates, cfg, baseline::lesslog_policy(),
-                            args.seeds));
+    const std::string label =
+        std::to_string(static_cast<int>(dead * 100)) + "% dead";
+    fig.add_series(label, bench::sweep_series_timed(
+                              pool, rates, cfg, baseline::lesslog_policy(),
+                              args.seeds, "fig6_even_dead",
+                              "lesslog/" + label, rows));
   }
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
   bench::emit(fig, args);
+  if (args.json.has_value()) bench::write_json(*args.json, args, rows, wall_ms);
 
   // Similarity: max/min ratio stays moderate at every rate.
   bool similar = true;

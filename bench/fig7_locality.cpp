@@ -17,22 +17,36 @@ int main(int argc, char** argv) {
   const std::vector<double> rates = bench::paper_rates(args.quick);
   sim::ExperimentConfig base = bench::paper_config();
   base.workload = sim::WorkloadKind::kLocality;
+  args.apply(base);
   bench::print_header("Figure 7: replicas to balance, locality model (80/20)",
                       base, args);
 
   util::ThreadPool pool;
+  std::vector<bench::SolveRow> rows;
+  const auto t0 = std::chrono::steady_clock::now();
   sim::FigureData fig("Figure 7 (replicas vs. incoming requests)",
                       "requests/s", rates);
-  fig.add_series("log-based", bench::sweep_series(
-                                  pool, rates, base,
-                                  baseline::logbased_policy(), args.seeds));
+  fig.add_series("log-based",
+                 bench::sweep_series_timed(pool, rates, base,
+                                           baseline::logbased_policy(),
+                                           args.seeds, "fig7_locality",
+                                           "log-based", rows));
   fig.add_series("lesslog",
-                 bench::sweep_series(pool, rates, base,
-                                     baseline::lesslog_policy(), args.seeds));
+                 bench::sweep_series_timed(pool, rates, base,
+                                           baseline::lesslog_policy(),
+                                           args.seeds, "fig7_locality",
+                                           "lesslog", rows));
   fig.add_series("random",
-                 bench::sweep_series(pool, rates, base,
-                                     baseline::random_policy(), args.seeds));
+                 bench::sweep_series_timed(pool, rates, base,
+                                           baseline::random_policy(),
+                                           args.seeds, "fig7_locality",
+                                           "random", rows));
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
   bench::emit(fig, args);
+  if (args.json.has_value()) bench::write_json(*args.json, args, rows, wall_ms);
 
   bench::check(fig.dominates("lesslog", "random", 0.02),
                "LessLog uses fewer replicas than random at every rate");

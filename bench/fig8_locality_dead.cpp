@@ -16,38 +16,62 @@ int main(int argc, char** argv) {
   const std::vector<double> rates = bench::paper_rates(args.quick);
   sim::ExperimentConfig base = bench::paper_config();
   base.workload = sim::WorkloadKind::kLocality;
+  args.apply(base);
   bench::print_header("Figure 8: LessLog under dead nodes, locality model",
                       base, args);
 
   util::ThreadPool pool;
   sim::FigureData fig("Figure 8 (replicas vs. incoming requests)",
                       "requests/s", rates);
+  std::vector<bench::SolveRow> rows;
+  const auto t0 = std::chrono::steady_clock::now();
   int irreducible = 0;
   std::mutex mu;
   for (const double dead : {0.1, 0.2, 0.3}) {
     sim::ExperimentConfig cfg = base;
     cfg.dead_fraction = dead;
+    const std::string label =
+        std::to_string(static_cast<int>(dead * 100)) + "% dead";
     std::vector<double> ys(rates.size(), 0.0);
+    std::vector<bench::SolveRow> local(rates.size());
     util::parallel_for(pool, rates.size(), [&](std::size_t i) {
       sim::ExperimentConfig cell = cfg;
       cell.total_rate = rates[i];
       double total = 0.0;
+      std::int64_t solves = 0;
       int cell_irreducible = 0;
+      const auto cell_t0 = std::chrono::steady_clock::now();
       for (int seed = 1; seed <= args.seeds; ++seed) {
         cell.seed = static_cast<std::uint64_t>(seed);
         const sim::ExperimentResult r = sim::run_replication_experiment(
             cell, baseline::lesslog_policy());
         total += r.replicas_created;
+        solves += r.replicas_created + 1;
         if (r.irreducible_overload) ++cell_irreducible;
       }
+      const auto cell_ns =
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - cell_t0)
+              .count();
       ys[i] = total / args.seeds;
+      local[i] = bench::SolveRow{
+          "fig8_locality_dead", cell.m, rates[i], "lesslog/" + label,
+          solves > 0
+              ? static_cast<double>(cell_ns) / static_cast<double>(solves)
+              : 0.0,
+          ys[i]};
       std::lock_guard lock(mu);
       irreducible += cell_irreducible;
     });
-    fig.add_series(std::to_string(static_cast<int>(dead * 100)) + "% dead",
-                   std::move(ys));
+    fig.add_series(label, std::move(ys));
+    rows.insert(rows.end(), local.begin(), local.end());
   }
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
   bench::emit(fig, args);
+  if (args.json.has_value()) bench::write_json(*args.json, args, rows, wall_ms);
   std::cout << "cells ending in irreducible local overload: " << irreducible
             << " (hot node's own clients exceed capacity; no placement can "
                "shed that)\n\n";

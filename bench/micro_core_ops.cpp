@@ -2,9 +2,27 @@
 // paper's pitch rests on: replica placement and routing decisions must be
 // a handful of bitwise operations, not log analysis. These numbers put
 // concrete costs on each primitive.
+//
+// Beyond the google-benchmark suite, the binary also:
+//   * differentially checks the incremental load solver against the
+//     from-scratch oracle over a small config grid and exits non-zero on
+//     any mismatch (the perf_smoke ctest runs this),
+//   * times the full balance loop under both solvers and, with
+//     --json <path>, writes the rows in the shared bench JSON schema.
+// --quick caps google-benchmark at --benchmark_min_time=0.01 and shrinks
+// the timing grid so the whole binary stays in smoke-test territory.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
 #include "lesslog/baseline/chord.hpp"
+#include "lesslog/baseline/policy.hpp"
 #include "lesslog/core/children_list.hpp"
 #include "lesslog/core/find_live_node.hpp"
 #include "lesslog/core/replication.hpp"
@@ -104,6 +122,42 @@ void BM_RouteGet(benchmark::State& state) {
 }
 BENCHMARK(BM_RouteGet)->Arg(6)->Arg(10)->Arg(14);
 
+void BM_BuildAncestorTable(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  const core::LookupTree tree(m, core::Pid{3});
+  const util::StatusWord live = make_live(m, 0.1, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::build_ancestor_table(tree, live));
+  }
+}
+BENCHMARK(BM_BuildAncestorTable)->Arg(6)->Arg(10)->Arg(14);
+
+// The allocation-free counterpart of BM_RouteGet: same tree, liveness and
+// copy placement, routed over the precomputed flat table.
+void BM_RouteGetFlat(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  const core::LookupTree tree(m, core::Pid{3});
+  const util::StatusWord live = make_live(m, 0.1, 4);
+  const core::AncestorTable table = core::build_ancestor_table(tree, live);
+  const auto holder = core::insertion_target(tree, live);
+  const std::uint32_t holder_pid =
+      holder.has_value() ? holder->value() : 0xFFFFFFFFu;
+  std::uint32_t k = 0;
+  const std::uint32_t slots = util::space_size(m);
+  for (auto _ : state) {
+    do {
+      k = (k + 1u) & (slots - 1u);
+    } while (!live.is_live(k));
+    int forwards = 0;
+    benchmark::DoNotOptimize(core::route_get(
+        table, core::Pid{k},
+        [holder_pid](core::Pid p) { return p.value() == holder_pid; },
+        [&forwards](core::Pid) { ++forwards; }));
+    benchmark::DoNotOptimize(forwards);
+  }
+}
+BENCHMARK(BM_RouteGetFlat)->Arg(6)->Arg(10)->Arg(14);
+
 void BM_ReplicaPlacement(benchmark::State& state) {
   const int m = static_cast<int>(state.range(0));
   const core::LookupTree tree(m, core::Pid{5});
@@ -137,6 +191,152 @@ void BM_ChordLookup(benchmark::State& state) {
 }
 BENCHMARK(BM_ChordLookup)->Arg(6)->Arg(10)->Arg(14);
 
+void BM_BalanceLoop(benchmark::State& state) {
+  sim::ExperimentConfig cfg;
+  cfg.m = static_cast<int>(state.range(0));
+  cfg.total_rate = 10000.0;
+  cfg.capacity = 100.0;
+  cfg.solver = state.range(1) != 0 ? sim::SolverMode::kIncremental
+                                   : sim::SolverMode::kScratch;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    cfg.seed = seed++;
+    benchmark::DoNotOptimize(
+        sim::run_replication_experiment(cfg, baseline::lesslog_policy()));
+  }
+}
+BENCHMARK(BM_BalanceLoop)
+    ->ArgsProduct({{8, 10}, {0, 1}})
+    ->ArgNames({"m", "incremental"});
+
+bool results_equal(const sim::ExperimentResult& a,
+                   const sim::ExperimentResult& b) {
+  return a.replicas_created == b.replicas_created &&
+         a.balanced == b.balanced &&
+         a.irreducible_overload == b.irreducible_overload &&
+         a.final_max_load == b.final_max_load &&
+         a.mean_hops == b.mean_hops && a.fault_rate == b.fault_rate &&
+         a.fairness == b.fairness && a.live_nodes == b.live_nodes;
+}
+
+// Differential gate: the incremental solver must reproduce the oracle's
+// results bit for bit across workloads, dead fractions and b. Runs before
+// any timing so a regression fails fast (and fails the perf_smoke test).
+bool solvers_agree() {
+  bool ok = true;
+  for (const int b : {0, 2}) {
+    for (const double dead : {0.0, 0.25}) {
+      for (const sim::WorkloadKind wk :
+           {sim::WorkloadKind::kUniform, sim::WorkloadKind::kLocality}) {
+        for (const std::uint64_t seed : {1u, 2u}) {
+          sim::ExperimentConfig cfg;
+          cfg.m = 7;
+          cfg.b = b;
+          cfg.dead_fraction = dead;
+          cfg.total_rate = 6000.0;
+          cfg.capacity = 100.0;
+          cfg.workload = wk;
+          cfg.seed = seed;
+          cfg.solver = sim::SolverMode::kScratch;
+          const sim::ExperimentResult oracle =
+              sim::run_replication_experiment(cfg,
+                                              baseline::lesslog_policy());
+          cfg.solver = sim::SolverMode::kIncremental;
+          const sim::ExperimentResult fast =
+              sim::run_replication_experiment(cfg,
+                                              baseline::lesslog_policy());
+          if (!results_equal(oracle, fast)) {
+            std::cerr << "solver mismatch: b=" << b << " dead=" << dead
+                      << " workload=" << static_cast<int>(wk)
+                      << " seed=" << seed << " (oracle "
+                      << oracle.replicas_created << " replicas / max "
+                      << oracle.final_max_load << ", incremental "
+                      << fast.replicas_created << " replicas / max "
+                      << fast.final_max_load << ")\n";
+            ok = false;
+          }
+        }
+      }
+    }
+  }
+  return ok;
+}
+
+// Times the full replicate-until-balanced loop under both solver modes
+// and reports ns per balance-loop iteration in the shared row schema.
+std::vector<bench::SolveRow> time_balance_loops(bool quick) {
+  std::vector<bench::SolveRow> rows;
+  const std::vector<int> widths = quick ? std::vector<int>{10}
+                                        : std::vector<int>{10, 14};
+  const int seeds = quick ? 1 : 3;
+  for (const int m : widths) {
+    for (const sim::SolverMode mode :
+         {sim::SolverMode::kScratch, sim::SolverMode::kIncremental}) {
+      sim::ExperimentConfig cfg;
+      cfg.m = m;
+      cfg.total_rate = 10000.0;
+      cfg.capacity = 100.0;
+      cfg.solver = mode;
+      const bench::CellTiming t = bench::mean_replicas_timed(
+          cfg, baseline::lesslog_policy(), seeds);
+      const std::string policy =
+          mode == sim::SolverMode::kScratch ? "lesslog/scratch"
+                                            : "lesslog/incremental";
+      rows.push_back(bench::SolveRow{"micro_balance_loop", m, 10000.0,
+                                     policy, t.ns_per_solve,
+                                     t.mean_replicas});
+      std::cout << "balance loop m=" << m << " solver="
+                << (mode == sim::SolverMode::kScratch ? "scratch"
+                                                      : "incremental")
+                << ": " << t.ns_per_solve << " ns/solve, "
+                << t.mean_replicas << " replicas\n";
+    }
+  }
+  return rows;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::optional<std::string> json_path;
+  std::vector<char*> bench_argv;
+  bench_argv.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      quick = true;
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      bench_argv.push_back(argv[i]);
+    }
+  }
+  std::string min_time = "--benchmark_min_time=0.01";
+  if (quick) bench_argv.push_back(min_time.data());
+
+  if (!solvers_agree()) return 1;
+  std::cout << "incremental solver matches the from-scratch oracle on the "
+               "differential grid\n";
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::vector<bench::SolveRow> rows = time_balance_loops(quick);
+  const double wall_ms = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count();
+  if (json_path.has_value()) {
+    bench::BenchArgs meta;
+    meta.quick = quick;
+    meta.seeds = quick ? 1 : 3;
+    bench::write_json(*json_path, meta, rows, wall_ms);
+  }
+
+  int bench_argc = static_cast<int>(bench_argv.size());
+  benchmark::Initialize(&bench_argc, bench_argv.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, bench_argv.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

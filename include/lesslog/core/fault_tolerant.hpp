@@ -80,6 +80,14 @@ class SubtreeView {
   [[nodiscard]] std::optional<Pid> first_alive_subtree_ancestor(
       Pid k, const util::StatusWord& live) const;
 
+  /// Flat within-subtree next-alive-ancestor table: entry p holds
+  /// first_alive_subtree_ancestor(P(p)) for every PID (live or dead), or
+  /// AncestorTable::kNone when all subtree ancestors are dead. The b = 0
+  /// view yields exactly build_ancestor_table(tree, live).next. O(2^m)
+  /// build; liveness changes invalidate the table.
+  [[nodiscard]] std::vector<std::uint32_t> ancestor_table(
+      const util::StatusWord& live) const;
+
   /// Advanced-model children list of P(k) *within its own subtree*: live
   /// subtree children, with dead ones replaced by their children,
   /// recursively, sorted by descending subtree VID.

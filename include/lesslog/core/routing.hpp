@@ -60,4 +60,56 @@ struct RouteResult {
                                     const util::StatusWord& live,
                                     const HasCopyFn& has_copy);
 
+/// Flat next-alive-ancestor table — the allocation-free routing fast path.
+///
+/// For every PID p (live or dead), `next[p]` holds FP^r_p, the first alive
+/// ancestor of P(p) in the tree, or kNone when every ancestor up to and
+/// including the root is dead. Built once per (tree, liveness) pair in
+/// O(2^m); a GETFILE walk over the table is then a pointer-free integer
+/// chase with no per-hop dead-node scans, no heap allocation, and no
+/// std::function indirection. Liveness changes invalidate the table.
+struct AncestorTable {
+  static constexpr std::uint32_t kNone = 0xFFFFFFFFu;
+
+  std::vector<std::uint32_t> next;  ///< pid -> first alive ancestor pid
+  Pid root{0};
+  bool root_live = false;
+  /// FINDLIVENODE(r, r) — where the walk redirects when the root is dead;
+  /// kNone when no live node exists at all.
+  std::uint32_t fallback_holder = kNone;
+};
+
+/// Builds the flat table for `tree` under `live`.
+[[nodiscard]] AncestorTable build_ancestor_table(const LookupTree& tree,
+                                                 const util::StatusWord& live);
+
+/// GETFILE over the flat table; semantically identical to
+/// route_get(tree, k, live, has_copy) for the pair the table was built
+/// from (a test asserts the equivalence), but with a templated copy
+/// predicate and zero allocations. `forward` is invoked once for every
+/// node that passes the request on — exactly the nodes RouteResult counts
+/// before the server, or the whole path on a fault. Returns the serving
+/// node, or nullopt on a fault; on a served route the number of `forward`
+/// calls equals RouteResult::hops().
+template <typename HasCopyT, typename ForwardT>
+[[nodiscard]] std::optional<Pid> route_get(const AncestorTable& table, Pid k,
+                                           const HasCopyT& has_copy,
+                                           ForwardT&& forward) {
+  std::uint32_t cur = k.value();
+  while (true) {
+    if (has_copy(Pid{cur})) return Pid{cur};
+    forward(Pid{cur});
+    const std::uint32_t up = table.next[cur];
+    if (up == AncestorTable::kNone) break;
+    cur = up;
+  }
+  if (!table.root_live && table.fallback_holder != AncestorTable::kNone &&
+      table.fallback_holder != cur) {
+    const Pid holder{table.fallback_holder};
+    if (has_copy(holder)) return holder;
+    forward(holder);
+  }
+  return std::nullopt;
+}
+
 }  // namespace lesslog::core

@@ -21,15 +21,17 @@ namespace lesslog::sim {
 
 /// Everything a replication policy may inspect when asked where to place
 /// the next replica. `overloaded` is the node whose load must drop. For
-/// log-based policies, `load` carries the exact per-node forward rates —
-/// the strongest possible "client-access log".
+/// log-based policies, `load()` yields the exact per-node forward rates —
+/// the strongest possible "client-access log". The report is materialised
+/// on demand: the incremental solver defers re-summing forward rates, so
+/// policies that never read them (LessLog, random) never pay for them.
 struct PlacementContext {
   const core::LookupTree& tree;
   const core::SubtreeView& view;  ///< subtree view (b = 0 in the figures)
   core::Pid overloaded;
   const util::StatusWord& live;
   const CopyMap& has_copy;
-  const LoadReport& load;
+  std::function<const LoadReport&()> load;
   const Workload& demand;
   util::Rng& rng;
 };
@@ -40,6 +42,13 @@ using PlacementFn =
     std::function<std::optional<core::Pid>(const PlacementContext&)>;
 
 enum class WorkloadKind : std::uint8_t { kUniform, kLocality };
+
+/// Which load solver drives the balance loop. Both produce bit-identical
+/// reports (tests/sim/incremental_solver_test.cpp asserts it); kScratch
+/// re-routes every live node on every iteration and is kept as the
+/// oracle, kIncremental updates only the accumulators a new replica
+/// actually changes.
+enum class SolverMode : std::uint8_t { kIncremental, kScratch };
 
 struct ExperimentConfig {
   int m = 10;                    ///< paper: m = 10 (1024-slot space)
@@ -53,6 +62,7 @@ struct ExperimentConfig {
   std::uint64_t seed = 42;
   /// Safety valve; the loop aborts after this many replicas.
   int max_replicas = 1 << 20;
+  SolverMode solver = SolverMode::kIncremental;
 };
 
 struct ExperimentResult {

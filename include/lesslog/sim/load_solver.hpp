@@ -9,8 +9,23 @@
 // noise-free equivalent of the same steady-state quantity; the
 // event-driven engine (engine.hpp) covers the scenarios where timing
 // matters.
+//
+// Two solvers compute the same report:
+//   * solve_load — from-scratch: re-routes every live node per call. Kept
+//     as the trusted oracle; O(2^m * depth) per call with a heap-allocated
+//     RouteResult per routed node.
+//   * IncrementalLoadSolver — precomputes flat next-alive-ancestor tables
+//     once per (tree, liveness, demand) so a route is a pointer-free
+//     integer walk, and updates the report in O(affected subtree) when a
+//     copy is added. Bit-identical to solve_load (every accumulator is
+//     re-summed over its contributor set in the oracle's ascending-PID
+//     order); tests/sim/incremental_solver_test.cpp asserts this across
+//     seeds, dead fractions, workloads and b values.
 #pragma once
 
+#include <cstdint>
+#include <optional>
+#include <utility>
 #include <vector>
 
 #include "lesslog/core/fault_tolerant.hpp"
@@ -40,6 +55,13 @@ struct LoadReport {
   /// Nodes whose served rate strictly exceeds `capacity`, sorted by
   /// descending load.
   [[nodiscard]] std::vector<std::uint32_t> overloaded(double capacity) const;
+
+  /// The single most overloaded node (served > capacity), without building
+  /// or sorting the full list; ties go to the lowest PID. nullopt when no
+  /// node exceeds capacity. The balance loop only ever consumes
+  /// overloaded(capacity).front(), which this replaces.
+  [[nodiscard]] std::optional<std::uint32_t> most_overloaded(
+      double capacity) const;
 };
 
 /// Exact steady-state load for one file routed through `tree` (b = 0).
@@ -54,5 +76,131 @@ struct LoadReport {
                                     const CopyMap& has_copy,
                                     const util::StatusWord& live,
                                     const Workload& demand);
+
+/// Incremental load solver for the replicate-until-balanced loop.
+///
+/// Construction precomputes, once per experiment cell, the flat
+/// within-subtree next-alive-ancestor table (core/routing's AncestorTable
+/// generalized over the 2^b fault-tolerance subtrees), the routing forest
+/// it induces over the live nodes (children in CSR form), and the per-
+/// subtree stand-in holders. reset() then solves a copy map from scratch
+/// as a pure integer walk (no allocation, no std::function), and
+/// add_copy(p) exploits the structure of a placement — a new copy at P(p)
+/// only diverts the request streams that previously forwarded *through*
+/// P(p), all served until now by the first copy above p — instead of
+/// re-routing all 2^m nodes: the captured set is collected from p's
+/// pruned forest subtree, the old server sheds it from its maintained
+/// contributor list with one linear merge, and the copyless ancestors'
+/// forwarded[] entries are merely flagged and re-summed lazily when a
+/// reader (report()/loads()) actually wants them.
+///
+/// Bit-identity with solve_load: every changed accumulator is re-summed
+/// over its contributor set in ascending-PID order, the exact order the
+/// from-scratch solver adds them, so served/forwarded/fault_rate/
+/// mean_hops/max_served match the oracle bit for bit. Configurations the
+/// structured update does not model (faulting or subtree-migrating
+/// streams, which the balance loop never produces because every subtree
+/// keeps its insertion copy) transparently fall back to a full reset and
+/// stay exact.
+class IncrementalLoadSolver {
+ public:
+  /// View-routed solver (any b >= 0). The view, liveness map and demand
+  /// must outlive the solver and stay unchanged; only the copy map may
+  /// change between calls.
+  IncrementalLoadSolver(const core::SubtreeView& view,
+                        const util::StatusWord& live, const Workload& demand);
+
+  /// Tree-routed solver — identical to the b = 0 view.
+  IncrementalLoadSolver(const core::LookupTree& tree,
+                        const util::StatusWord& live, const Workload& demand);
+
+  /// Full solve of `has_copy`, replacing any previous state. The solver
+  /// keeps a reference to the map: callers mutate it (set has_copy[p] = 1)
+  /// and then call add_copy(p).
+  void reset(const CopyMap& has_copy);
+
+  /// Incremental update after the caller set has_copy[pid] = 1 on the map
+  /// passed to reset(). Requires a preceding reset(); pid must be live and
+  /// previously copyless.
+  void add_copy(std::uint32_t pid);
+
+  /// The report for the current copy map (scalar fields refreshed
+  /// lazily). Valid until the next reset()/add_copy() call.
+  [[nodiscard]] const LoadReport& report();
+
+  /// Cheaper sibling of report() for the balance loop: served[] and
+  /// forwarded[] are brought exactly up to date (stale forwarded entries
+  /// are flushed), but the derived scalar fields (max_served, mean_hops,
+  /// fault_rate) are left as report() last computed them. Policies only
+  /// read the per-node vectors, so the loop can skip the O(n) scalar
+  /// pass per iteration.
+  [[nodiscard]] const LoadReport& loads();
+
+  /// The most overloaded node, as LoadReport::most_overloaded, but O(1)
+  /// amortized via an incrementally maintained max tracker instead of a
+  /// full scan or sort per balance-loop iteration.
+  [[nodiscard]] std::optional<std::uint32_t> most_overloaded(double capacity);
+
+  /// False when the current copy map has faulting or migrating streams,
+  /// i.e. add_copy() falls back to full resets. Exposed for tests.
+  [[nodiscard]] bool fast_path() const noexcept { return !exotic_; }
+
+ private:
+  using HeapEntry = std::pair<double, std::uint32_t>;  // (served, pid)
+
+  void reset_internal();
+  [[nodiscard]] std::uint32_t pid_at(std::uint32_t sub_vid,
+                                     std::uint32_t sid) const noexcept;
+  [[nodiscard]] std::uint32_t find_live_scan(std::uint32_t sid,
+                                             std::uint32_t from_sv) const;
+  void collect_pruned(std::uint32_t from,
+                      std::vector<std::pair<std::uint32_t, std::uint32_t>>&
+                          out) const;
+  void shed_captured(std::uint32_t pid);
+  void heap_push(std::uint32_t pid);
+  void prune_heap();
+  void mark_forwarded_stale(std::uint32_t pid);
+  void flush_forwarded();
+
+  // Static structure (fixed tree, liveness and demand).
+  core::SubtreeView view_;
+  const util::StatusWord* live_;
+  const Workload* demand_;
+  std::uint32_t slots_;
+  std::uint32_t subtree_count_;
+  std::vector<std::uint32_t> anchor_;     ///< pid -> within-subtree FP, kNone
+  std::vector<std::uint32_t> sid_of_;     ///< pid -> subtree identifier
+  std::vector<std::uint32_t> svid_of_;    ///< pid -> subtree VID
+  std::vector<std::uint32_t> holder_;     ///< sid -> stand-in holder, kNone
+  std::vector<char> root_live_;           ///< sid -> subtree root alive?
+  std::vector<std::uint32_t> child_start_;  ///< forest children CSR offsets
+  std::vector<std::uint32_t> child_list_;   ///< forest children CSR payload
+
+  // Dynamic state for the current copy map.
+  const CopyMap* copies_ = nullptr;
+  LoadReport report_;
+  std::vector<std::int32_t> hops_;  ///< per-requester hop count
+  std::vector<char> faulted_;       ///< per-requester fault flag
+  bool exotic_ = false;
+  bool scalars_dirty_ = true;
+  // forwarded[] entries invalidated by add_copy but not yet re-summed.
+  // forwarded[q] is a pure function of the current copy map, so the
+  // re-sum can run at read time (report()/loads()) instead of once per
+  // placement — placements then touch the ancestor chain in O(depth)
+  // flag writes rather than one subtree re-sum per copyless ancestor.
+  std::vector<char> fwd_stale_;
+  std::vector<std::uint32_t> fwd_stale_list_;
+  std::vector<HeapEntry> heap_;  ///< lazy max tracker over served[]
+  // Per-holder contributor lists: the requesters each copy currently
+  // serves, in ascending PID order (reset() visits requesters ascending,
+  // so the lists come out sorted for free). A placement then sheds its
+  // captured set from the previous server with one linear merge instead
+  // of a BFS + sort over that server's subtree.
+  std::vector<std::vector<std::uint32_t>> contrib_;
+  // Scratch buffers reused across add_copy calls ((pid, depth) pairs).
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> scratch_a_;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> scratch_b_;
+  std::vector<std::uint32_t> scratch_c_;
+};
 
 }  // namespace lesslog::sim

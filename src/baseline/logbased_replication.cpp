@@ -22,9 +22,10 @@ std::optional<core::Pid> pick_by_flow(
 
   std::optional<core::Pid> best;
   double best_flow = 0.0;
+  const sim::LoadReport& load = ctx.load();
   for (core::Pid c : candidates) {
     if (ctx.has_copy[c.value()] != 0) continue;
-    const double flow = observe(ctx.load.forwarded[c.value()]);
+    const double flow = observe(load.forwarded[c.value()]);
     if (flow > best_flow) {
       best_flow = flow;
       best = c;

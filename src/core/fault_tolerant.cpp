@@ -57,6 +57,27 @@ std::optional<Pid> SubtreeView::first_alive_subtree_ancestor(
   return std::nullopt;
 }
 
+std::vector<std::uint32_t> SubtreeView::ancestor_table(
+    const util::StatusWord& live) const {
+  const int sw = subtree_width();
+  const std::uint32_t top = util::mask_of(sw);
+  std::vector<std::uint32_t> next(util::space_size(tree_->width()),
+                                  AncestorTable::kNone);
+  for (std::uint32_t sid = 0; sid < subtree_count(); ++sid) {
+    // Descending sub-VID order sees every subtree parent before its
+    // children (Property 2), so dead parents reuse their own entries.
+    for (std::uint32_t sv = top; sv-- > 0;) {
+      const std::uint32_t parent_sv = util::set_highest_zero(sv, sw);
+      const Pid parent = pid_at(parent_sv, sid);
+      const Pid self = pid_at(sv, sid);
+      next[self.value()] = live.is_live(parent.value())
+                               ? parent.value()
+                               : next[parent.value()];
+    }
+  }
+  return next;
+}
+
 std::vector<Pid> SubtreeView::children_list(Pid k,
                                             const util::StatusWord& live) const {
   const std::uint32_t sid = subtree_id(k);

@@ -27,6 +27,33 @@ std::vector<Pid> ancestor_chain(const LookupTree& tree, Pid k,
   return chain;
 }
 
+AncestorTable build_ancestor_table(const LookupTree& tree,
+                                   const util::StatusWord& live) {
+  const int m = tree.width();
+  const std::uint32_t slots = util::space_size(m);
+  AncestorTable table;
+  table.next.assign(slots, AncestorTable::kNone);
+  // Parent VIDs are numerically larger than their children (Property 2
+  // sets a bit), so a descending VID scan visits every parent before its
+  // children and the dead-parent case can reuse the parent's own entry.
+  for (std::uint32_t v = slots - 1; v-- > 0;) {
+    const std::uint32_t parent_vid = util::set_highest_zero(v, m);
+    const Pid parent = tree.pid_of(Vid{parent_vid});
+    const Pid self = tree.pid_of(Vid{v});
+    table.next[self.value()] = live.is_live(parent.value())
+                                   ? parent.value()
+                                   : table.next[parent.value()];
+  }
+  table.root = tree.root();
+  table.root_live = live.is_live(table.root.value());
+  if (!table.root_live) {
+    if (const std::optional<Pid> holder = insertion_target(tree, live)) {
+      table.fallback_holder = holder->value();
+    }
+  }
+  return table;
+}
+
 RouteResult route_get(const LookupTree& tree, Pid k,
                       const util::StatusWord& live,
                       const HasCopyFn& has_copy) {

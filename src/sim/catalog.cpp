@@ -110,9 +110,12 @@ CatalogResult run_catalog_experiment(const CatalogConfig& cfg,
     if (hottest_load <= 0.0) break;  // overload not sheddable
 
     FileState& f = *files[hottest];
-    const PlacementContext ctx{f.tree,     f.view, core::Pid{worst},
-                               live,       f.has_copy, f.report,
-                               f.demand,   rng};
+    const PlacementContext ctx{
+        f.tree,     f.view,
+        core::Pid{worst},
+        live,       f.has_copy,
+        [&f]() -> const LoadReport& { return f.report; },
+        f.demand,   rng};
     const std::optional<core::Pid> placement = policy(ctx);
     if (!placement.has_value() || f.has_copy[placement->value()] != 0 ||
         !live.is_live(placement->value())) {

@@ -92,6 +92,87 @@ ExperimentResult finish(const Setup& s, const LoadReport& report,
   return out;
 }
 
+// Validates a policy's proposal; invalid or absent placements end the run
+// unbalanced (the system cannot improve by further replication).
+bool usable_placement(const Setup& s,
+                      const std::optional<core::Pid>& placement) {
+  return placement.has_value() && s.has_copy[placement->value()] == 0 &&
+         s.live.is_live(placement->value());
+}
+
+// The oracle balance loop: a full from-scratch solve per iteration.
+ExperimentResult run_on_scratch(Setup& s, const ExperimentConfig& cfg,
+                                const PlacementFn& policy, util::Rng& rng) {
+  int replicas = 0;
+  while (true) {
+    const LoadReport report = solve(s, cfg);
+    const std::optional<std::uint32_t> hot =
+        report.most_overloaded(cfg.capacity);
+    if (!hot.has_value()) {
+      return finish(s, report, replicas, /*balanced=*/true, cfg.capacity);
+    }
+    if (replicas >= cfg.max_replicas) {
+      return finish(s, report, replicas, /*balanced=*/false, cfg.capacity);
+    }
+
+    const PlacementContext ctx{
+        s.tree,     s.view,
+        core::Pid{*hot},
+        s.live,     s.has_copy,
+        [&report]() -> const LoadReport& { return report; },
+        s.demand,   rng};
+    const std::optional<core::Pid> placement = policy(ctx);
+    if (!usable_placement(s, placement)) {
+      return finish(s, report, replicas, /*balanced=*/false, cfg.capacity);
+    }
+    s.has_copy[placement->value()] = 1;
+    ++replicas;
+  }
+}
+
+// The fast balance loop: one solve at entry, then each replica placement
+// updates only the accumulators it actually changes, and the overload
+// check reads an incrementally maintained max tracker instead of sorting
+// the full served vector. Bit-identical to run_on_scratch.
+ExperimentResult run_on_incremental(Setup& s, const ExperimentConfig& cfg,
+                                    const PlacementFn& policy,
+                                    util::Rng& rng) {
+  // At b = 0 the view routes exactly as the plain tree (asserted by
+  // tests), so the view-based solver covers both cases.
+  IncrementalLoadSolver solver(s.view, s.live, s.demand);
+  solver.reset(s.has_copy);
+  int replicas = 0;
+  while (true) {
+    const std::optional<std::uint32_t> hot =
+        solver.most_overloaded(cfg.capacity);
+    if (!hot.has_value()) {
+      return finish(s, solver.report(), replicas, /*balanced=*/true,
+                    cfg.capacity);
+    }
+    if (replicas >= cfg.max_replicas) {
+      return finish(s, solver.report(), replicas, /*balanced=*/false,
+                    cfg.capacity);
+    }
+
+    // loads() flushes deferred forward-rate sums but skips report()'s
+    // O(n) scalar pass; it only runs if the policy actually reads flows.
+    const PlacementContext ctx{
+        s.tree,     s.view,
+        core::Pid{*hot},
+        s.live,     s.has_copy,
+        [&solver]() -> const LoadReport& { return solver.loads(); },
+        s.demand,   rng};
+    const std::optional<core::Pid> placement = policy(ctx);
+    if (!usable_placement(s, placement)) {
+      return finish(s, solver.report(), replicas, /*balanced=*/false,
+                    cfg.capacity);
+    }
+    s.has_copy[placement->value()] = 1;
+    solver.add_copy(placement->value());
+    ++replicas;
+  }
+}
+
 // One replicate-until-balanced run against an existing setup. Exposed so
 // the removal pass can replay the loop on its own Setup instance.
 ExperimentResult run_on(Setup& s, const ExperimentConfig& cfg,
@@ -100,28 +181,9 @@ ExperimentResult run_on(Setup& s, const ExperimentConfig& cfg,
     // No live node can hold the file; report the degenerate cell honestly.
     return finish(s, solve(s, cfg), 0, /*balanced=*/false, cfg.capacity);
   }
-  int replicas = 0;
-  while (true) {
-    const LoadReport report = solve(s, cfg);
-    const std::vector<std::uint32_t> hot = report.overloaded(cfg.capacity);
-    if (hot.empty()) return finish(s, report, replicas, /*balanced=*/true, cfg.capacity);
-    if (replicas >= cfg.max_replicas) {
-      return finish(s, report, replicas, /*balanced=*/false, cfg.capacity);
-    }
-
-    const PlacementContext ctx{s.tree,     s.view, core::Pid{hot.front()},
-                               s.live,     s.has_copy, report,
-                               s.demand,   rng};
-    const std::optional<core::Pid> placement = policy(ctx);
-    if (!placement.has_value() || s.has_copy[placement->value()] != 0 ||
-        !s.live.is_live(placement->value())) {
-      // The policy gave up or proposed an invalid node; the system cannot
-      // be balanced by further replication.
-      return finish(s, report, replicas, /*balanced=*/false, cfg.capacity);
-    }
-    s.has_copy[placement->value()] = 1;
-    ++replicas;
-  }
+  return cfg.solver == SolverMode::kScratch
+             ? run_on_scratch(s, cfg, policy, rng)
+             : run_on_incremental(s, cfg, policy, rng);
 }
 
 }  // namespace
@@ -147,7 +209,18 @@ RemovalResult run_with_removal(const ExperimentConfig& cfg,
   for (core::Pid holder : s.view.insertion_targets(s.live)) {
     inserted[holder.value()] = 1;
   }
-  const LoadReport final_report = solve(s, cfg);
+  // Bulk removal invalidates incremental state wholesale, so both modes
+  // re-solve; the incremental solver's reset() is the flat-table walk.
+  std::optional<IncrementalLoadSolver> solver;
+  if (cfg.solver != SolverMode::kScratch) {
+    solver.emplace(s.view, s.live, s.demand);
+  }
+  const auto resolve = [&]() -> LoadReport {
+    if (!solver.has_value()) return solve(s, cfg);
+    solver->reset(s.has_copy);
+    return solver->report();
+  };
+  const LoadReport final_report = resolve();
   int survivors = 0;
   for (std::uint32_t p = 0; p < s.has_copy.size(); ++p) {
     if (s.has_copy[p] == 0 || inserted[p] != 0) continue;
@@ -158,8 +231,7 @@ RemovalResult run_with_removal(const ExperimentConfig& cfg,
     }
   }
   out.replicas_after_removal = survivors;
-  const LoadReport after = solve(s, cfg);
-  out.still_balanced = after.overloaded(cfg.capacity).empty();
+  out.still_balanced = !resolve().most_overloaded(cfg.capacity).has_value();
   return out;
 }
 

@@ -2,18 +2,33 @@
 
 #include <algorithm>
 #include <cassert>
+#include <stdexcept>
 
 #include "lesslog/core/routing.hpp"
+#include "lesslog/util/bits.hpp"
 
 namespace lesslog::sim {
 
 namespace {
 
+constexpr std::uint32_t kNone = core::AncestorTable::kNone;
+
+/// Heap ordering for the lazy max tracker: the top is the largest served
+/// value, lowest PID on ties — matching std::max_element over served[],
+/// which returns the first (lowest-PID) maximum.
+bool heap_less(const std::pair<double, std::uint32_t>& a,
+               const std::pair<double, std::uint32_t>& b) {
+  return a.first < b.first || (a.first == b.first && a.second > b.second);
+}
+
 template <typename RouteFn>
 LoadReport solve_generic(std::uint32_t capacity_slots,
                          [[maybe_unused]] const util::StatusWord& live,
                          const Workload& demand, const RouteFn& route) {
-  assert(demand.size() == capacity_slots);
+  if (demand.size() != capacity_slots) {
+    throw std::invalid_argument(
+        "solve_load: workload size does not match the liveness map");
+  }
   LoadReport report;
   report.served.assign(capacity_slots, 0.0);
   report.forwarded.assign(capacity_slots, 0.0);
@@ -64,6 +79,20 @@ std::vector<std::uint32_t> LoadReport::overloaded(double capacity) const {
   return out;
 }
 
+std::optional<std::uint32_t> LoadReport::most_overloaded(
+    double capacity) const {
+  std::optional<std::uint32_t> best;
+  double best_load = capacity;
+  for (std::uint32_t pid = 0; pid < served.size(); ++pid) {
+    // Strict > keeps the first (lowest-PID) maximum on ties.
+    if (served[pid] > best_load) {
+      best = pid;
+      best_load = served[pid];
+    }
+  }
+  return best;
+}
+
 LoadReport solve_load(const core::LookupTree& tree, const CopyMap& has_copy,
                       const util::StatusWord& live, const Workload& demand) {
   const core::HasCopyFn copy_fn = [&has_copy](core::Pid p) {
@@ -82,6 +111,376 @@ LoadReport solve_load(const core::SubtreeView& view, const CopyMap& has_copy,
   return solve_generic(live.capacity(), live, demand, [&](core::Pid k) {
     return view.route_get(k, live, copy_fn);
   });
+}
+
+IncrementalLoadSolver::IncrementalLoadSolver(const core::SubtreeView& view,
+                                             const util::StatusWord& live,
+                                             const Workload& demand)
+    : view_(view),
+      live_(&live),
+      demand_(&demand),
+      slots_(util::space_size(view.tree().width())),
+      subtree_count_(view.subtree_count()) {
+  if (demand.size() != slots_) {
+    throw std::invalid_argument(
+        "IncrementalLoadSolver: workload size does not match the ID space");
+  }
+  anchor_ = view_.ancestor_table(live);
+  sid_of_.resize(slots_);
+  svid_of_.resize(slots_);
+  for (std::uint32_t p = 0; p < slots_; ++p) {
+    sid_of_[p] = view_.subtree_id(core::Pid{p});
+    svid_of_[p] = view_.subtree_vid(core::Pid{p});
+  }
+  const std::uint32_t top = util::mask_of(view_.subtree_width());
+  holder_.assign(subtree_count_, kNone);
+  root_live_.assign(subtree_count_, 0);
+  for (std::uint32_t sid = 0; sid < subtree_count_; ++sid) {
+    root_live_[sid] =
+        live.is_live(view_.subtree_root(sid).value()) ? char{1} : char{0};
+    holder_[sid] = find_live_scan(sid, top);
+  }
+  // Routing forest over the live nodes in CSR form: P(c) is a child of its
+  // within-subtree first-alive-ancestor; live nodes whose subtree
+  // ancestors are all dead are forest roots, grouped by subtree.
+  child_start_.assign(slots_ + 1u, 0);
+  for (std::uint32_t p = 0; p < slots_; ++p) {
+    if (!live.is_live(p)) continue;
+    const std::uint32_t a = anchor_[p];
+    if (a != kNone) ++child_start_[a + 1u];
+  }
+  for (std::uint32_t i = 1; i <= slots_; ++i) {
+    child_start_[i] += child_start_[i - 1u];
+  }
+  child_list_.resize(child_start_[slots_]);
+  std::vector<std::uint32_t> cpos(child_start_.begin(),
+                                  child_start_.end() - 1);
+  for (std::uint32_t p = 0; p < slots_; ++p) {
+    if (!live.is_live(p)) continue;
+    const std::uint32_t a = anchor_[p];
+    if (a != kNone) child_list_[cpos[a]++] = p;
+  }
+  hops_.assign(slots_, 0);
+  faulted_.assign(slots_, 0);
+  fwd_stale_.assign(slots_, 0);
+  contrib_.resize(slots_);
+}
+
+IncrementalLoadSolver::IncrementalLoadSolver(const core::LookupTree& tree,
+                                             const util::StatusWord& live,
+                                             const Workload& demand)
+    : IncrementalLoadSolver(core::SubtreeView(tree, 0), live, demand) {}
+
+std::uint32_t IncrementalLoadSolver::pid_at(std::uint32_t sub_vid,
+                                            std::uint32_t sid) const noexcept {
+  return view_.pid_at(sub_vid, sid).value();
+}
+
+std::uint32_t IncrementalLoadSolver::find_live_scan(
+    std::uint32_t sid, std::uint32_t from_sv) const {
+  for (std::uint32_t sv = from_sv + 1u; sv-- > 0;) {
+    const std::uint32_t p = pid_at(sv, sid);
+    if (live_->is_live(p)) return p;
+  }
+  return kNone;
+}
+
+void IncrementalLoadSolver::reset(const CopyMap& has_copy) {
+  if (has_copy.size() != slots_) {
+    throw std::invalid_argument(
+        "IncrementalLoadSolver: copy map size does not match the ID space");
+  }
+  copies_ = &has_copy;
+  reset_internal();
+}
+
+void IncrementalLoadSolver::reset_internal() {
+  assert(copies_ != nullptr && "reset() must precede solving");
+  const CopyMap& copies = *copies_;
+  report_.served.assign(slots_, 0.0);
+  report_.forwarded.assign(slots_, 0.0);
+  hops_.assign(slots_, 0);
+  faulted_.assign(slots_, 0);
+  exotic_ = false;
+  scalars_dirty_ = true;
+  for (const std::uint32_t q : fwd_stale_list_) fwd_stale_[q] = 0;
+  fwd_stale_list_.clear();
+  for (auto& list : contrib_) list.clear();
+
+  // Mirror of SubtreeView::route_get over the flat tables, accumulator by
+  // accumulator: requesters in ascending PID order; each visited non-
+  // serving node forwards the stream.
+  for (std::uint32_t pid = 0; pid < slots_; ++pid) {
+    const double rate = demand_->rate[pid];
+    if (rate <= 0.0) continue;
+    assert(live_->is_live(pid) && "dead nodes issue no requests");
+    std::uint32_t sid = sid_of_[pid];
+    const std::uint32_t sv = svid_of_[pid];
+    std::int32_t visits = 1;  // the requester itself
+    bool served = false;
+    for (std::uint32_t attempt = 0; attempt < subtree_count_; ++attempt) {
+      std::uint32_t node;
+      if (attempt == 0) {
+        node = pid;
+      } else {
+        // Migration entry: the requester's counterpart in this subtree,
+        // or its live proxy when the counterpart is dead.
+        node = pid_at(sv, sid);
+        if (!live_->is_live(node)) {
+          node = find_live_scan(sid, sv);
+          if (node == kNone) {
+            exotic_ = true;
+            sid = (sid + 1u) % subtree_count_;
+            continue;  // whole subtree dead; migrate again
+          }
+        }
+        ++visits;
+      }
+      // Ancestor walk within the subtree, starting at the entry node.
+      while (true) {
+        if (copies[node] != 0) {
+          report_.served[node] += rate;
+          contrib_[node].push_back(pid);
+          served = true;
+          break;
+        }
+        report_.forwarded[node] += rate;
+        const std::uint32_t up = anchor_[node];
+        if (up == kNone) break;
+        node = up;
+        ++visits;
+      }
+      if (served) break;
+      // Stand-in fallback inside this subtree (dead subtree root case).
+      if (root_live_[sid] == 0) {
+        const std::uint32_t h = holder_[sid];
+        if (h != kNone && h != node) {
+          ++visits;
+          if (copies[h] != 0) {
+            report_.served[h] += rate;
+            contrib_[h].push_back(pid);
+            served = true;
+            break;
+          }
+          report_.forwarded[h] += rate;
+        }
+      }
+      // Fault in this subtree. The structured add_copy update only models
+      // streams served within their own subtree, so any migration or
+      // fault drops to full-reset mode.
+      exotic_ = true;
+      sid = (sid + 1u) % subtree_count_;
+    }
+    hops_[pid] = visits - 1;
+    if (!served) faulted_[pid] = 1;
+  }
+
+  heap_.clear();
+  for (std::uint32_t p = 0; p < slots_; ++p) {
+    if (report_.served[p] > 0.0) heap_.emplace_back(report_.served[p], p);
+  }
+  std::make_heap(heap_.begin(), heap_.end(), &heap_less);
+}
+
+void IncrementalLoadSolver::collect_pruned(
+    std::uint32_t from,
+    std::vector<std::pair<std::uint32_t, std::uint32_t>>& out) const {
+  // Appends (pid, anchor-chain depth below `from`) for every requester
+  // whose stream reaches P(from): the anchor-forest subtree of `from`,
+  // pruned at copy-holding children (their streams terminate there and
+  // never reach `from`). BFS reusing `out` as the queue.
+  const CopyMap& copies = *copies_;
+  std::size_t head = out.size();
+  out.emplace_back(from, 0u);
+  while (head < out.size()) {
+    const auto [n, d] = out[head++];
+    for (std::uint32_t i = child_start_[n]; i < child_start_[n + 1u]; ++i) {
+      const std::uint32_t c = child_list_[i];
+      if (copies[c] != 0) continue;
+      out.emplace_back(c, d + 1u);
+    }
+  }
+}
+
+void IncrementalLoadSolver::shed_captured(std::uint32_t x) {
+  // The freshly captured set (scratch_a_, ascending PID) leaves P(x)'s
+  // contributor list; drop it with one linear merge and re-sum the
+  // remainder in the oracle's ascending-PID order for bit-identity. The
+  // list covers stand-in absorption too: it records who x actually
+  // serves, however their streams arrived.
+  scratch_c_.clear();
+  double sum = 0.0;
+  auto cap = scratch_a_.cbegin();
+  for (const std::uint32_t k : contrib_[x]) {
+    while (cap != scratch_a_.cend() && cap->first < k) ++cap;
+    if (cap != scratch_a_.cend() && cap->first == k) continue;  // captured
+    scratch_c_.push_back(k);
+    sum += demand_->rate[k];
+  }
+  contrib_[x].assign(scratch_c_.begin(), scratch_c_.end());
+  report_.served[x] = sum;
+  heap_push(x);
+}
+
+void IncrementalLoadSolver::heap_push(std::uint32_t pid) {
+  const double v = report_.served[pid];
+  if (v > 0.0) {
+    heap_.emplace_back(v, pid);
+    std::push_heap(heap_.begin(), heap_.end(), &heap_less);
+  }
+}
+
+void IncrementalLoadSolver::prune_heap() {
+  // Entries whose stored value no longer matches served[] are stale
+  // leftovers from before an update; pop until the top is current.
+  while (!heap_.empty() &&
+         heap_.front().first != report_.served[heap_.front().second]) {
+    std::pop_heap(heap_.begin(), heap_.end(), &heap_less);
+    heap_.pop_back();
+  }
+}
+
+void IncrementalLoadSolver::add_copy(std::uint32_t pid) {
+  assert(copies_ != nullptr && "reset() must precede add_copy()");
+  assert((*copies_)[pid] != 0 && "caller sets has_copy[pid] before the call");
+  assert(live_->is_live(pid) && "copies are placed on live nodes");
+  if (exotic_) {
+    // Faulting or migrating streams present: the structured update does
+    // not model them, so stay exact via a full re-solve.
+    reset_internal();
+    return;
+  }
+  const CopyMap& copies = *copies_;
+
+  // 1. Streams now captured by the new copy: everything that previously
+  // forwarded through P(pid). If nothing did, the placement changes no
+  // accumulator at all.
+  scratch_a_.clear();
+  collect_pruned(pid, scratch_a_);
+  std::sort(scratch_a_.begin(), scratch_a_.end());
+  double sum = 0.0;
+  bool any_flow = false;
+  scratch_c_.clear();
+  for (const auto& [k, depth] : scratch_a_) {
+    const double rate = demand_->rate[k];
+    if (rate <= 0.0) continue;
+    any_flow = true;
+    sum += rate;
+    hops_[k] = static_cast<std::int32_t>(depth);
+    scratch_c_.push_back(k);
+  }
+  if (!any_flow) return;
+  scalars_dirty_ = true;
+  contrib_[pid].assign(scratch_c_.begin(), scratch_c_.end());
+  report_.served[pid] = sum;
+  report_.forwarded[pid] = 0.0;
+  fwd_stale_[pid] = 0;  // just computed exactly; cancel any pending flush
+  heap_push(pid);
+
+  // 2. The diverted flow leaves every accumulator on pid's ancestor
+  // chain: copyless ancestors lose pass-through load, and the first
+  // copy-holder above loses served load. Nothing above that changes.
+  // served[] feeds the max tracker, so the holder is re-summed now;
+  // forwarded[] is only read through report()/loads(), so the copyless
+  // ancestors are merely flagged and re-summed lazily at read time
+  // (forwarded[q] depends only on the copy map in force when it is read).
+  const std::uint32_t sid = sid_of_[pid];
+  std::uint32_t node = pid;
+  bool resolved = false;
+  while (true) {
+    const std::uint32_t up = anchor_[node];
+    if (up == kNone) break;
+    node = up;
+    if (copies[node] != 0) {
+      shed_captured(node);
+      resolved = true;
+      break;
+    }
+    mark_forwarded_stale(node);
+  }
+  if (!resolved) {
+    // Chain exhausted without a holder: on the fast path the diverted
+    // flow previously jumped to the stand-in holder of a dead-root
+    // subtree (anything else would have faulted and flagged exotic).
+    const std::uint32_t h = root_live_[sid] == 0 ? holder_[sid] : kNone;
+    if (h != kNone && h != node && copies[h] != 0) {
+      shed_captured(h);
+    } else {
+      reset_internal();  // defensive: not a modeled shape; stay exact
+    }
+  }
+}
+
+void IncrementalLoadSolver::mark_forwarded_stale(std::uint32_t pid) {
+  if (fwd_stale_[pid] != 0) return;
+  fwd_stale_[pid] = 1;
+  fwd_stale_list_.push_back(pid);
+}
+
+void IncrementalLoadSolver::flush_forwarded() {
+  if (fwd_stale_list_.empty()) return;
+  const CopyMap& copies = *copies_;
+  for (const std::uint32_t q : fwd_stale_list_) {
+    if (fwd_stale_[q] == 0) continue;  // gained a copy since flagged
+    fwd_stale_[q] = 0;
+    if (copies[q] != 0) {
+      report_.forwarded[q] = 0.0;  // holders terminate streams
+      continue;
+    }
+    scratch_b_.clear();
+    collect_pruned(q, scratch_b_);
+    std::sort(scratch_b_.begin(), scratch_b_.end());
+    double through = 0.0;
+    for (const auto& [k, depth] : scratch_b_) {
+      const double rate = demand_->rate[k];
+      if (rate <= 0.0) continue;
+      through += rate;
+    }
+    report_.forwarded[q] = through;
+  }
+  fwd_stale_list_.clear();
+}
+
+const LoadReport& IncrementalLoadSolver::loads() {
+  flush_forwarded();
+  return report_;
+}
+
+const LoadReport& IncrementalLoadSolver::report() {
+  flush_forwarded();
+  if (scalars_dirty_) {
+    // One ascending pass, accumulator by accumulator the same sums the
+    // from-scratch solver forms, so the scalars are bit-identical.
+    double total = 0.0;
+    double weighted = 0.0;
+    double fault = 0.0;
+    for (std::uint32_t pid = 0; pid < slots_; ++pid) {
+      const double rate = demand_->rate[pid];
+      if (rate <= 0.0) continue;
+      total += rate;
+      weighted += rate * static_cast<double>(hops_[pid]);
+      if (faulted_[pid] != 0) fault += rate;
+    }
+    report_.fault_rate = fault;
+    report_.mean_hops = total > 0.0 ? weighted / total : 0.0;
+    prune_heap();
+    if (heap_.empty()) {
+      report_.max_served = 0.0;
+      report_.max_served_pid = 0;
+    } else {
+      report_.max_served = heap_.front().first;
+      report_.max_served_pid = heap_.front().second;
+    }
+    scalars_dirty_ = false;
+  }
+  return report_;
+}
+
+std::optional<std::uint32_t> IncrementalLoadSolver::most_overloaded(
+    double capacity) {
+  prune_heap();
+  if (heap_.empty() || heap_.front().first <= capacity) return std::nullopt;
+  return heap_.front().second;
 }
 
 }  // namespace lesslog::sim

@@ -24,8 +24,12 @@ struct Harness {
 
   sim::PlacementContext ctx(Pid overloaded) {
     report = sim::solve_load(tree, has_copy, live, demand);
-    return sim::PlacementContext{tree,   view,   overloaded, live,
-                                 has_copy, report, demand,    rng};
+    return sim::PlacementContext{
+        tree,     view,
+        overloaded,
+        live,     has_copy,
+        [this]() -> const sim::LoadReport& { return report; },
+        demand,   rng};
   }
 
   core::LookupTree tree;

@@ -169,5 +169,81 @@ INSTANTIATE_TEST_SUITE_P(
                       RoutingCase{8, 100, 5, 100}, RoutingCase{8, 0, 6, 200},
                       RoutingCase{10, 512, 7, 300}));
 
+TEST(AncestorTableTest, MatchesFirstAliveAncestorEverywhere) {
+  for (const std::uint64_t seed : {1u, 2u, 3u}) {
+    const int m = 7;
+    const LookupTree tree(m, Pid{static_cast<std::uint32_t>(seed * 17 + 3)});
+    util::StatusWord live = all_live(m);
+    util::Rng rng(seed);
+    for (std::uint32_t dead :
+         rng.sample_indices(util::space_size(m), 40)) {
+      live.set_dead(dead);
+    }
+    const AncestorTable table = build_ancestor_table(tree, live);
+    ASSERT_EQ(table.next.size(), util::space_size(m));
+    for (std::uint32_t p = 0; p < util::space_size(m); ++p) {
+      const std::optional<Pid> expected =
+          first_alive_ancestor(tree, Pid{p}, live);
+      if (expected.has_value()) {
+        EXPECT_EQ(table.next[p], expected->value()) << "p=" << p;
+      } else {
+        EXPECT_EQ(table.next[p], AncestorTable::kNone) << "p=" << p;
+      }
+    }
+    EXPECT_EQ(table.root, tree.root());
+    EXPECT_EQ(table.root_live, live.is_live(tree.root().value()));
+    if (!table.root_live) {
+      const std::optional<Pid> holder = insertion_target(tree, live);
+      ASSERT_TRUE(holder.has_value());
+      EXPECT_EQ(table.fallback_holder, holder->value());
+    }
+  }
+}
+
+TEST(AncestorTableTest, FlatRouteGetMatchesRouteGet) {
+  // The templated table walk must visit the same nodes and serve at the
+  // same holder as route_get, over random liveness and copy placements —
+  // including dead-root fallback and fault cases.
+  for (const std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    const int m = 6;
+    const LookupTree tree(m, Pid{static_cast<std::uint32_t>(seed * 11)});
+    util::StatusWord live = all_live(m);
+    util::Rng rng(seed);
+    for (std::uint32_t dead :
+         rng.sample_indices(util::space_size(m), 20)) {
+      live.set_dead(dead);
+    }
+    std::set<std::uint32_t> copies;
+    for (int c = 0; c < 3; ++c) {
+      const auto p =
+          static_cast<std::uint32_t>(rng.bounded(util::space_size(m)));
+      if (live.is_live(p)) copies.insert(p);
+    }
+    const AncestorTable table = build_ancestor_table(tree, live);
+    const HasCopyFn slow_copy = copy_at(copies);
+    for (std::uint32_t k = 0; k < util::space_size(m); ++k) {
+      if (!live.is_live(k)) continue;
+      const RouteResult slow = route_get(tree, Pid{k}, live, slow_copy);
+      std::vector<Pid> forwards;
+      const std::optional<Pid> fast = route_get(
+          table, Pid{k},
+          [&copies](Pid p) { return copies.contains(p.value()); },
+          [&forwards](Pid p) { forwards.push_back(p); });
+      EXPECT_EQ(fast, slow.served_by) << "seed=" << seed << " k=" << k;
+      if (slow.served_by.has_value()) {
+        // Forward calls are exactly the path nodes before the server.
+        ASSERT_EQ(forwards.size(), slow.path.size() - 1);
+        for (std::size_t i = 0; i < forwards.size(); ++i) {
+          EXPECT_EQ(forwards[i], slow.path[i]) << "seed=" << seed;
+        }
+        EXPECT_EQ(static_cast<int>(forwards.size()), slow.hops());
+      } else {
+        // On a fault every visited node forwarded.
+        EXPECT_EQ(forwards, slow.path) << "seed=" << seed << " k=" << k;
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace lesslog::core
