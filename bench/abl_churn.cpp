@@ -6,12 +6,21 @@
 // crash recovery) with Poisson request/join/leave/crash processes at
 // increasing churn rates and reports request fault fraction, files lost,
 // lookup cost, and maintenance traffic — for b = 0 and b = 2.
+//
+// Every (b, rate, seed) run is an independent simulation, so the full
+// grid runs on the shared thread pool (--threads N). Per-(b, rate)
+// averages sum the per-seed values in ascending seed order — the same
+// order the old sequential loop used — so stdout is byte-identical for
+// every thread count.
+#include <chrono>
+
 #include "bench_common.hpp"
 
 #include "lesslog/sim/churn.hpp"
 
 int main(int argc, char** argv) {
   using namespace lesslog;
+  const auto t0 = std::chrono::steady_clock::now();
   const bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
   const std::vector<double> churn_rates =
       args.quick ? std::vector<double>{0.2, 1.0}
@@ -22,6 +31,57 @@ int main(int argc, char** argv) {
             << "200 req/s; x = membership events/s (half leaves+joins, "
                "half crashes)\n\n";
 
+  // Flatten b x rate x seed into one independent cell list.
+  struct Key {
+    int b;
+    double rate;
+    int seed;
+  };
+  std::vector<Key> keys;
+  for (const int b : {0, 2}) {
+    for (const double rate : churn_rates) {
+      for (int seed = 1; seed <= args.seeds; ++seed) {
+        keys.push_back({b, rate, seed});
+      }
+    }
+  }
+  struct SeedCell {
+    double fault_pct = 0.0;
+    double lost = 0.0;
+    double hops = 0.0;
+    double maint_per_event = 0.0;
+  };
+  const std::vector<SeedCell> cells = bench::run_cells_parallel(
+      args.threads, keys.size(), [&](std::size_t i) {
+        const Key& k = keys[i];
+        sim::ChurnConfig cfg;
+        cfg.m = 8;
+        cfg.b = k.b;
+        cfg.initial_nodes = 200;
+        cfg.min_nodes = 64;
+        cfg.files = 64;
+        cfg.duration = args.quick ? 120.0 : 600.0;
+        cfg.request_rate = 200.0;
+        cfg.join_rate = k.rate / 2.0;
+        cfg.leave_rate = k.rate / 4.0;
+        cfg.fail_rate = k.rate / 4.0;
+        cfg.seed = static_cast<std::uint64_t>(k.seed);
+        const sim::ChurnResult r = sim::run_churn(cfg);
+        SeedCell out;
+        out.fault_pct = 100.0 * r.fault_fraction();
+        out.lost = static_cast<double>(r.files_lost);
+        out.hops = r.mean_hops;
+        const double events =
+            static_cast<double>(r.joins + r.leaves + r.fails);
+        out.maint_per_event =
+            events > 0.0
+                ? static_cast<double>(r.maintenance_messages) / events
+                : 0.0;
+        return out;
+      });
+
+  std::vector<bench::WireRow> rows;
+  std::size_t next = 0;
   for (const int b : {0, 2}) {
     sim::FigureData fig("A5 churn outcomes (b=" + std::to_string(b) + ")",
                         "events/s", churn_rates);
@@ -35,32 +95,23 @@ int main(int argc, char** argv) {
       double hops_total = 0.0;
       double maint = 0.0;
       for (int seed = 1; seed <= args.seeds; ++seed) {
-        sim::ChurnConfig cfg;
-        cfg.m = 8;
-        cfg.b = b;
-        cfg.initial_nodes = 200;
-        cfg.min_nodes = 64;
-        cfg.files = 64;
-        cfg.duration = args.quick ? 120.0 : 600.0;
-        cfg.request_rate = 200.0;
-        cfg.join_rate = rate / 2.0;
-        cfg.leave_rate = rate / 4.0;
-        cfg.fail_rate = rate / 4.0;
-        cfg.seed = static_cast<std::uint64_t>(seed);
-        const sim::ChurnResult r = sim::run_churn(cfg);
-        faults += 100.0 * r.fault_fraction();
-        lost_total += static_cast<double>(r.files_lost);
-        hops_total += r.mean_hops;
-        const double events =
-            static_cast<double>(r.joins + r.leaves + r.fails);
-        maint += events > 0.0
-                     ? static_cast<double>(r.maintenance_messages) / events
-                     : 0.0;
+        const SeedCell& cell = cells[next++];
+        faults += cell.fault_pct;
+        lost_total += cell.lost;
+        hops_total += cell.hops;
+        maint += cell.maint_per_event;
       }
       fault_pct.push_back(faults / args.seeds);
       lost.push_back(lost_total / args.seeds);
       hops.push_back(hops_total / args.seeds);
       maint_per_event.push_back(maint / args.seeds);
+      rows.push_back(bench::WireRow{
+          "abl_churn",
+          "b=" + std::to_string(b) + ",rate=" + std::to_string(rate),
+          {{"fault_pct", fault_pct.back()},
+           {"files_lost", lost.back()},
+           {"mean_hops", hops.back()},
+           {"maint_msgs_per_event", maint_per_event.back()}}});
     }
     fig.add_series("request faults %", std::move(fault_pct));
     fig.add_series("files lost", std::move(lost));
@@ -77,6 +128,13 @@ int main(int argc, char** argv) {
     }
     bench::check(fig.find("mean hops")->values.back() <= 9.0,
                  "lookup cost stays O(log N) under churn");
+  }
+  if (args.json.has_value()) {
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    bench::write_wire_json(*args.json, args, rows, wall_ms);
   }
   return 0;
 }

@@ -6,7 +6,11 @@
 // trade: peers live on a unit square with distance-proportional link
 // latency, and we measure the *stretch* of GETFILE round trips — observed
 // latency over the ideal direct round trip to the serving copy — before
-// and after LessLog replication spreads copies.
+// and after LessLog replication spreads copies. Each replica count is an
+// independent cell run on the shared thread pool (--threads N), gathered
+// in order so stdout is byte-identical for every thread count.
+#include <chrono>
+
 #include "bench_common.hpp"
 
 #include "lesslog/proto/swarm.hpp"
@@ -104,6 +108,7 @@ StretchStats measure_stretch(int m, int replicas_per_file,
 
 int main(int argc, char** argv) {
   using namespace lesslog;
+  const auto t0 = std::chrono::steady_clock::now();
   const bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
   const int m = args.quick ? 6 : 8;
   const int probes = args.quick ? 200 : 1000;
@@ -116,15 +121,26 @@ int main(int argc, char** argv) {
   const std::vector<double> replica_counts{0.0, 2.0, 8.0, 32.0};
   sim::FigureData fig("A10 stretch vs pre-placed replicas/file",
                       "replicas/file", replica_counts);
+  const std::vector<StretchStats> cells = bench::run_cells_parallel(
+      args.threads, replica_counts.size(), [&](std::size_t i) {
+        return measure_stretch(m, static_cast<int>(replica_counts[i]), 7,
+                               probes);
+      });
   std::vector<double> median;
   std::vector<double> p95;
   std::vector<double> lat;
-  for (const double r : replica_counts) {
-    const StretchStats s =
-        measure_stretch(m, static_cast<int>(r), 7, probes);
+  std::vector<bench::WireRow> rows;
+  for (std::size_t i = 0; i < replica_counts.size(); ++i) {
+    const StretchStats& s = cells[i];
     median.push_back(s.mean);
     p95.push_back(s.p95);
     lat.push_back(s.mean_latency_ms);
+    rows.push_back(bench::WireRow{
+        "abl_proximity",
+        "replicas=" + std::to_string(static_cast<int>(replica_counts[i])),
+        {{"median_stretch", s.mean},
+         {"p95_stretch", s.p95},
+         {"mean_latency_ms", s.mean_latency_ms}}});
   }
   fig.add_series("median stretch", std::move(median));
   fig.add_series("p95 stretch", std::move(p95));
@@ -144,5 +160,12 @@ int main(int argc, char** argv) {
                "gets shorter and copies densify. Plaxton-style\nsystems "
                "buy stretch ~1 at the price of the access logging LessLog "
                "avoids.\n";
+  if (args.json.has_value()) {
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    bench::write_wire_json(*args.json, args, rows, wall_ms);
+  }
   return 0;
 }

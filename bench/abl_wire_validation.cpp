@@ -7,6 +7,12 @@
 // its hottest file when its own window counter exceeds capacity). If the
 // fluid substitution is sound, the packet-level run must settle on a
 // replica count of the same magnitude and leave no peer overloaded.
+//
+// Each rate is one independent cell (fluid solve + packet-level run), so
+// the cells run on the shared thread pool (--threads N) and are gathered
+// in rate order — stdout stays byte-identical for every thread count.
+#include <chrono>
+
 #include "bench_common.hpp"
 
 #include "lesslog/baseline/policy.hpp"
@@ -66,6 +72,7 @@ WireCell run_wire(double rate, double capacity, double duration,
 
 int main(int argc, char** argv) {
   using namespace lesslog;
+  const auto t0 = std::chrono::steady_clock::now();
   const bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
   const std::vector<double> rates =
       args.quick ? std::vector<double>{4000.0}
@@ -80,21 +87,40 @@ int main(int argc, char** argv) {
 
   sim::FigureData fig("A9 replicas: fluid prediction vs packet-level run",
                       "requests/s", rates);
+  struct RateCell {
+    double fluid = 0.0;
+    WireCell wire;
+  };
+  const std::vector<RateCell> cells = bench::run_cells_parallel(
+      args.threads, rates.size(), [&](std::size_t i) {
+        RateCell out;
+        sim::ExperimentConfig cfg = bench::paper_config();
+        cfg.total_rate = rates[i];
+        cfg.seed = 1;
+        out.fluid = static_cast<double>(
+            sim::run_replication_experiment(cfg, baseline::lesslog_policy())
+                .replicas_created);
+        out.wire = run_wire(rates[i], capacity, duration, 1);
+        return out;
+      });
   std::vector<double> fluid;
   std::vector<double> wire;
   std::vector<double> worst;
   std::vector<double> faults;
-  for (const double rate : rates) {
-    sim::ExperimentConfig cfg = bench::paper_config();
-    cfg.total_rate = rate;
-    cfg.seed = 1;
-    fluid.push_back(static_cast<double>(
-        sim::run_replication_experiment(cfg, baseline::lesslog_policy())
-            .replicas_created));
-    const WireCell cell = run_wire(rate, capacity, duration, 1);
-    wire.push_back(cell.replicas);
-    worst.push_back(cell.worst_final_window);
-    faults.push_back(static_cast<double>(cell.faults));
+  std::vector<bench::WireRow> rows;
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    const RateCell& cell = cells[i];
+    fluid.push_back(cell.fluid);
+    wire.push_back(cell.wire.replicas);
+    worst.push_back(cell.wire.worst_final_window);
+    faults.push_back(static_cast<double>(cell.wire.faults));
+    rows.push_back(bench::WireRow{
+        "abl_wire_validation",
+        "rate=" + std::to_string(static_cast<int>(rates[i])),
+        {{"fluid_replicas", cell.fluid},
+         {"wire_replicas", static_cast<double>(cell.wire.replicas)},
+         {"worst_final_window", cell.wire.worst_final_window},
+         {"faults", static_cast<double>(cell.wire.faults)}}});
   }
   fig.add_series("fluid replicas", std::move(fluid));
   fig.add_series("wire replicas", std::move(wire));
@@ -122,5 +148,12 @@ int main(int argc, char** argv) {
                    fig.find("faults")->values.begin(),
                    fig.find("faults")->values.end()) == 0.0,
                "no request faults at any rate");
+  if (args.json.has_value()) {
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    bench::write_wire_json(*args.json, args, rows, wall_ms);
+  }
   return 0;
 }

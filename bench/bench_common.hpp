@@ -6,8 +6,9 @@
 //   * accepts --quick (coarser sweep for smoke runs), --seeds N (averaging
 //     width), --csv <path> (mirror the table to CSV), --json <path>
 //     (machine-readable rows with per-solve timings), --m N (ID-space
-//     width override), and --solver scratch|incremental (which load
-//     solver drives the balance loop),
+//     width override), --solver scratch|incremental (which load solver
+//     drives the balance loop), and --threads N (worker threads for
+//     parallel cells; 0 = hardware concurrency),
 //   * prints the parameter block, the per-rate table, an ASCII chart, and
 //     the shape checks corresponding to the paper's claims.
 #pragma once
@@ -32,29 +33,34 @@ namespace lesslog::bench {
 struct BenchArgs {
   bool quick = false;
   int seeds = 5;
+  /// Worker threads for parallel bench cells; 0 means hardware
+  /// concurrency (the ThreadPool default).
+  int threads = 0;
   std::optional<std::string> csv;
   std::optional<std::string> json;
   std::optional<int> m;
   sim::SolverMode solver = sim::SolverMode::kIncremental;
 
   [[noreturn]] static void usage_exit() {
-    std::cerr << "usage: bench [--quick] [--seeds N] [--csv path] "
-                 "[--json path] [--m N] [--solver scratch|incremental]\n";
+    std::cerr << "usage: bench [--quick] [--seeds N] [--threads N] "
+                 "[--csv path] [--json path] [--m N] "
+                 "[--solver scratch|incremental]\n";
     std::exit(2);
   }
 
   /// Strict integer parse for flag values: rejects garbage, trailing
-  /// text, and values outside [1, limit] instead of throwing or silently
-  /// accepting them (std::stoi would throw on "foo" and accept "-3").
+  /// text, and values outside [low, limit] instead of throwing or
+  /// silently accepting them (std::stoi would throw on "foo" and accept
+  /// "-3").
   static int parse_bounded_int(const char* flag, const char* text,
-                               long limit) {
+                               long limit, long low = 1) {
     char* end = nullptr;
     errno = 0;
     const long value = std::strtol(text, &end, 10);
-    if (errno != 0 || end == text || *end != '\0' || value < 1 ||
+    if (errno != 0 || end == text || *end != '\0' || value < low ||
         value > limit) {
-      std::cerr << flag << " expects an integer in [1, " << limit
-                << "], got '" << text << "'\n";
+      std::cerr << flag << " expects an integer in [" << low << ", "
+                << limit << "], got '" << text << "'\n";
       usage_exit();
     }
     return static_cast<int>(value);
@@ -68,6 +74,9 @@ struct BenchArgs {
         args.quick = true;
       } else if (arg == "--seeds" && i + 1 < argc) {
         args.seeds = parse_bounded_int("--seeds", argv[++i], 10000);
+      } else if (arg == "--threads" && i + 1 < argc) {
+        args.threads =
+            parse_bounded_int("--threads", argv[++i], 4096, /*low=*/0);
       } else if (arg == "--csv" && i + 1 < argc) {
         args.csv = argv[++i];
       } else if (arg == "--json" && i + 1 < argc) {
@@ -158,6 +167,58 @@ inline void write_json(const std::string& path, const BenchArgs& args,
         << "\", \"ns_per_solve\": " << r.ns_per_solve
         << ", \"replicas\": " << r.replicas << "}"
         << (i + 1 < rows.size() ? ",\n" : "\n");
+  }
+  out << "  ]\n}\n";
+  std::cout << "json written to " << path << "\n";
+}
+
+/// Runs `n` independent bench cells on a thread pool and returns the
+/// results gathered in cell-index order. Each cell owns its Swarm/Engine,
+/// so cells share nothing; collecting by index makes the output (and any
+/// downstream float summation done in index order) byte-identical for
+/// every --threads value, including 1.
+template <typename Fn>
+auto run_cells_parallel(int threads, std::size_t n, Fn&& fn)
+    -> std::vector<decltype(fn(std::size_t{0}))> {
+  std::vector<decltype(fn(std::size_t{0}))> out(n);
+  util::ThreadPool pool(threads <= 0 ? 0U : static_cast<unsigned>(threads));
+  util::parallel_for(pool, n, [&](std::size_t i) { out[i] = fn(i); });
+  return out;
+}
+
+/// One machine-readable row from a packet-level (wire) bench: a named
+/// cell with its scalar outputs as (name, value) pairs.
+struct WireRow {
+  std::string bench;
+  std::string cell;
+  std::vector<std::pair<std::string, double>> values;
+};
+
+/// Writes wire-bench rows as a single JSON document:
+///   {"bench_family": "wire", "threads": ..., "quick": ..., "wall_ms":
+///    ..., "rows": [{"bench", "cell", <name>: <value>, ...}, ...]}
+inline void write_wire_json(const std::string& path, const BenchArgs& args,
+                            const std::vector<WireRow>& rows,
+                            double wall_ms) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot write json to " << path << "\n";
+    std::exit(2);
+  }
+  out << "{\n"
+      << "  \"bench_family\": \"wire\",\n"
+      << "  \"threads\": " << args.threads << ",\n"
+      << "  \"quick\": " << (args.quick ? "true" : "false") << ",\n"
+      << "  \"wall_ms\": " << wall_ms << ",\n"
+      << "  \"rows\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const WireRow& r = rows[i];
+    out << "    {\"bench\": \"" << r.bench << "\", \"cell\": \"" << r.cell
+        << "\"";
+    for (const auto& [name, value] : r.values) {
+      out << ", \"" << name << "\": " << value;
+    }
+    out << "}" << (i + 1 < rows.size() ? ",\n" : "\n");
   }
   out << "  ]\n}\n";
   std::cout << "json written to " << path << "\n";

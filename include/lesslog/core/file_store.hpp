@@ -50,11 +50,34 @@ struct CopyInfo {
 
 class FileStore {
  public:
+  FileStore() = default;
+  // The lookup index holds pointers into copies_'s nodes. Copying must
+  // re-point them at the new map's nodes; moving keeps node addresses.
+  FileStore(const FileStore& other) : copies_(other.copies_) {
+    rebuild_index();
+  }
+  FileStore& operator=(const FileStore& other) {
+    if (this != &other) {
+      copies_ = other.copies_;
+      rebuild_index();
+    }
+    return *this;
+  }
+  FileStore(FileStore&&) noexcept = default;
+  FileStore& operator=(FileStore&&) noexcept = default;
+  ~FileStore() = default;
+
   [[nodiscard]] bool has(FileId f) const noexcept {
-    return copies_.contains(f);
+    return lookup(f) != nullptr;
   }
 
   [[nodiscard]] std::optional<CopyInfo> info(FileId f) const;
+
+  /// Serves one get from the local copy: counts the access and returns the
+  /// stored version, or nullopt when no copy is present. Equivalent to
+  /// has() + record_access() + info()->version in a single lookup — the
+  /// request hot path calls this once per served get.
+  [[nodiscard]] std::optional<std::uint64_t> serve(FileId f);
 
   /// Stores an original copy. Overwrites any existing replica entry (a node
   /// can be promoted from replica-holder to authoritative holder when
@@ -106,7 +129,45 @@ class FileStore {
       return std::hash<std::uint64_t>{}(f.key());
     }
   };
+
+  /// One slot of the lookup index; empty when `value` is null.
+  struct IndexSlot {
+    std::uint64_t key = 0;
+    CopyInfo* value = nullptr;
+  };
+
+  /// Fibonacci-multiplicative home slot; the index capacity is a power
+  /// of two, so this replaces the hash map's modulo-by-prime division.
+  [[nodiscard]] std::size_t home_slot(std::uint64_t key) const noexcept {
+    return static_cast<std::size_t>((key * 0x9E3779B97F4A7C15ULL) >> 32) &
+           (index_.size() - 1);
+  }
+
+  /// Borrowed pointer to f's copy, or nullptr — the hot-path lookup: a
+  /// multiply and a short linear probe over a flat array, instead of the
+  /// std::unordered_map find (modulo-by-prime plus two dependent pointer
+  /// chases) that showed up on the wire benches' request path.
+  [[nodiscard]] CopyInfo* lookup(FileId f) const noexcept {
+    if (index_.empty()) return nullptr;
+    std::size_t i = home_slot(f.key());
+    while (index_[i].value != nullptr) {
+      if (index_[i].key == f.key()) return index_[i].value;
+      i = (i + 1) & (index_.size() - 1);
+    }
+    return nullptr;
+  }
+
+  void index_put(std::uint64_t key, CopyInfo* value);
+  void index_erase(std::uint64_t key) noexcept;
+  void rebuild_index();
+
+  /// Source of truth, and the only container ever iterated: enumeration
+  /// order (inserted_files(), replica_files(), pruning) is observable by
+  /// the shed/leave protocols, so it must stay exactly the map's.
   std::unordered_map<FileId, CopyInfo, FileIdHash> copies_;
+  /// Flat linear-probe acceleration index over copies_'s nodes (node
+  /// addresses are stable until erase). Never iterated.
+  std::vector<IndexSlot> index_;
 };
 
 }  // namespace lesslog::core

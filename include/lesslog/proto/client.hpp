@@ -9,10 +9,10 @@
 
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
 #include <vector>
 
 #include "lesslog/proto/peer.hpp"
+#include "lesslog/util/seq_window.hpp"
 
 namespace lesslog::proto {
 
@@ -91,8 +91,11 @@ class Client {
   Network* network_;
   ClientConfig cfg_;
   std::uint64_t next_id_;
-  std::unordered_map<std::uint64_t, PendingGet> gets_;
-  std::unordered_map<std::uint64_t, PendingInsert> inserts_;
+  // Pending tables keyed by the strictly increasing request id: a
+  // sliding-window slot map, so the per-reply/per-timeout correlation
+  // lookup is a mask + compare instead of a hash-map walk.
+  util::SeqWindow<PendingGet> gets_;
+  util::SeqWindow<PendingInsert> inserts_;
   std::int64_t issued_ = 0;
   std::int64_t faults_ = 0;
   std::vector<double> latencies_;

@@ -7,8 +7,10 @@
 // or TCP would ship these bytes).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "lesslog/core/file_store.hpp"
@@ -49,12 +51,22 @@ struct Message {
 /// Serialized size of every message (fixed-width format), in bytes.
 inline constexpr std::size_t kWireSize = 8 + 1 + 4 * 4 + 8 + 8 + 1 + 1;
 
-/// Encodes to the fixed-width little-endian wire format.
+/// A message's exact wire image. The simulated network carries one of
+/// these inline inside its delivery event, so the steady-state send →
+/// deliver path never touches the heap.
+using WireBuffer = std::array<std::uint8_t, kWireSize>;
+
+/// Encodes to the fixed-width little-endian wire format into a caller-
+/// owned buffer; writes exactly the bytes encode() would return.
+void encode_into(const Message& m, WireBuffer& out) noexcept;
+
+/// Heap-allocating convenience wrapper around encode_into.
 [[nodiscard]] std::vector<std::uint8_t> encode(const Message& m);
 
 /// Decodes a wire buffer; nullopt on wrong size or invalid type tag.
+/// Accepts any contiguous byte range (WireBuffer, vector, ...).
 [[nodiscard]] std::optional<Message> decode(
-    const std::vector<std::uint8_t>& bytes);
+    std::span<const std::uint8_t> bytes);
 
 /// Human-readable tag for traces ("GET", "REPLY", ...).
 [[nodiscard]] const char* type_name(MsgType t) noexcept;

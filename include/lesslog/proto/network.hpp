@@ -48,7 +48,9 @@ class Network {
   void detach(core::Pid pid);
 
   /// Sends m to m.to. The message is encoded and decoded across the
-  /// simulated wire, so only what the format carries arrives.
+  /// simulated wire, so only what the format carries arrives. The wire
+  /// image travels inline inside the scheduled delivery event, so the
+  /// steady-state per-message path performs no heap allocation.
   void send(const Message& m);
 
   /// Switches to distance-based link latency (see Geography).
@@ -74,6 +76,18 @@ class Network {
   [[nodiscard]] sim::Engine& engine() noexcept { return *engine_; }
 
  private:
+  /// The typed per-message event: carries the encoded bytes by value so
+  /// nothing is heap-captured. Sized (pointer + kWireSize bytes) to fit
+  /// the event queue's inline buffer — static_assert-ed in network.cpp.
+  struct DeliveryEvent {
+    Network* net;
+    WireBuffer wire;
+    void operator()() const { net->deliver(wire); }
+  };
+
+  /// Arrival half of send(): decode and dispatch to the target handler.
+  void deliver(const WireBuffer& wire);
+
   sim::Engine* engine_;
   NetworkConfig cfg_;
   Geography geo_;

@@ -19,10 +19,28 @@ class Engine {
   [[nodiscard]] util::Rng& rng() noexcept { return rng_; }
   [[nodiscard]] SimTime now() const noexcept { return queue_.now(); }
 
-  void at(SimTime when, EventFn fn) { queue_.schedule(when, std::move(fn)); }
+  // at/after/after_fixed forward the callable itself (not a built
+  // EventFn), so raw lambdas take the queue's emplace path: the handler
+  // is constructed directly inside its arena slot with no relocates.
 
-  void after(SimTime delay, EventFn fn) {
-    queue_.schedule(queue_.now() + delay, std::move(fn));
+  template <typename F>
+  void at(SimTime when, F&& fn) {
+    queue_.schedule(when, std::forward<F>(fn));
+  }
+
+  template <typename F>
+  void after(SimTime delay, F&& fn) {
+    queue_.schedule(queue_.now() + delay, std::forward<F>(fn));
+  }
+
+  /// after() for delays drawn from a small set of fixed constants (the
+  /// protocol's retry timeouts): O(1) FIFO-lane scheduling instead of a
+  /// heap insertion, with identical execution order. Do not pass computed
+  /// delays — every distinct value allocates a lane for the queue's
+  /// lifetime.
+  template <typename F>
+  void after_fixed(SimTime delay, F&& fn) {
+    queue_.schedule_after_fixed(delay, std::forward<F>(fn));
   }
 
   /// Starts a Poisson process with the given rate (events/time-unit): `fn`

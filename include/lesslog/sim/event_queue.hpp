@@ -4,25 +4,83 @@
 // solver's steady-state answer is not enough. Events at equal timestamps
 // fire in submission order (a monotone sequence number breaks ties), which
 // keeps runs deterministic.
+//
+// Layout: three priority sources share one strict (time, seq) total
+// order — seq is unique among queued entries, so the global pop order is
+// independent of which structure holds an entry and identical to the old
+// binary priority_queue.
+//   1. A timing wheel of lazily-sorted buckets for near-future events
+//      (the wire path: every message delivery lands base_latency+jitter
+//      ahead of now). Insertion is a push_back; a bucket is sorted once,
+//      when it becomes the drain front.
+//   2. O(1) FIFO lanes for fixed-delay timers (schedule_after_fixed).
+//   3. A flat 4-ary min-heap of 16-byte keys for everything else (far
+//      future, sub-bucket delays) — the fallback that keeps the API
+//      fully general.
+// All three index a chunked arena of InplaceEvent callables with a free
+// list: the POD keys make every sift/sort move a cheap 16-byte copy (the
+// callables never move), chunking keeps slot addresses stable so step()
+// invokes the handler in place (the old queue copied the std::function,
+// re-allocating every captured wire buffer), and the small-buffer
+// InplaceEvent keeps the steady-state schedule/step cycle
+// allocation-free. The 32-bit seq is renumbered (order-preserving) on
+// the ~never-taken wrap, so tie-break behaviour is exact at any length.
 #pragma once
 
+#include <array>
+#include <bit>
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <memory>
 #include <vector>
+
+#include "lesslog/sim/inplace_event.hpp"
 
 namespace lesslog::sim {
 
 using SimTime = double;
-using EventFn = std::function<void()>;
+using EventFn = InplaceEvent;
 
 class EventQueue {
  public:
   /// Schedules `fn` at absolute time `at` (must not precede now()).
+  /// Safe to call from inside a running handler: the executing entry is
+  /// popped off its structure before it is invoked.
   void schedule(SimTime at, EventFn fn);
 
-  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
-  [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+  /// schedule() overload for raw callables: constructs the handler
+  /// directly inside its arena slot (zero InplaceEvent relocates — the
+  /// by-value overload pays two 56-byte moves per call).
+  template <typename F, typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, InplaceEvent> &&
+                                        std::is_invocable_r_v<void, D&>>>
+  void schedule(SimTime at, F&& fn) {
+    push_entry(at, emplace_slot(std::forward<F>(fn)));
+  }
+
+  /// Schedules `fn` at now() + `delay`, where `delay` is drawn from a
+  /// small set of fixed constants (protocol retry timeouts). Because now()
+  /// is monotone, equal-delay events expire in scheduling order, so each
+  /// distinct delay becomes an O(1) FIFO lane instead of a heap
+  /// insertion; step() merges lanes and heap by the same strict
+  /// (time, seq) key, so execution order is identical to schedule().
+  /// Every distinct delay value allocates a lane for the queue's
+  /// lifetime — callers must pass constants, not computed delays.
+  void schedule_after_fixed(SimTime delay, EventFn fn);
+
+  /// schedule_after_fixed() overload for raw callables; see schedule().
+  template <typename F, typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, InplaceEvent> &&
+                                        std::is_invocable_r_v<void, D&>>>
+  void schedule_after_fixed(SimTime delay, F&& fn) {
+    push_lane_entry(delay, emplace_slot(std::forward<F>(fn)));
+  }
+
+  [[nodiscard]] bool empty() const noexcept {
+    return heap_.empty() && lane_count_ == 0 && wheel_count_ == 0;
+  }
+  [[nodiscard]] std::size_t size() const noexcept {
+    return heap_.size() + lane_count_ + wheel_count_;
+  }
   [[nodiscard]] SimTime now() const noexcept { return now_; }
   [[nodiscard]] SimTime next_time() const;
 
@@ -35,21 +93,192 @@ class EventQueue {
   /// number of events executed.
   std::int64_t run_until(SimTime until);
 
+  /// Runs events until the queue is empty (one min-scan per event, like
+  /// run_until but with no bound test). Returns the number executed.
+  std::int64_t run_all();
+
  private:
+  /// Heap key: (time, seq, slot) packed into two words. Simulation times
+  /// are non-negative, so the IEEE-754 bit pattern of `at` is
+  /// order-preserving as an unsigned integer; the full (time, seq)
+  /// comparison is then one branchless 128-bit compare — the sift loops
+  /// compare random timestamps, and a data-dependent branch there
+  /// mispredicts ~half the time.
   struct Entry {
-    SimTime at;
-    std::uint64_t seq;
-    EventFn fn;
-  };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const noexcept {
-      return a.at != b.at ? a.at > b.at : a.seq > b.seq;
+    std::uint64_t time_bits;  ///< bit_cast of `at` (>= +0.0)
+    std::uint64_t seq_slot;   ///< seq << 32 | arena slot
+
+    [[nodiscard]] SimTime at() const noexcept;
+    [[nodiscard]] std::uint32_t seq() const noexcept {
+      return static_cast<std::uint32_t>(seq_slot >> 32);
+    }
+    [[nodiscard]] std::uint32_t slot() const noexcept {
+      return static_cast<std::uint32_t>(seq_slot);
     }
   };
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  static Entry make_entry(SimTime at, std::uint32_t seq,
+                          std::uint32_t slot) noexcept;
+
+  /// Strict (time, seq) order; seq uniqueness makes it total. The slot in
+  /// the low bits never decides: seqs differ first.
+  [[nodiscard]] static bool earlier(const Entry& a, const Entry& b) noexcept {
+#ifdef __SIZEOF_INT128__
+    __extension__ using Key = unsigned __int128;
+    const Key ka = static_cast<Key>(a.time_bits) << 64 | a.seq_slot;
+    const Key kb = static_cast<Key>(b.time_bits) << 64 | b.seq_slot;
+    return ka < kb;
+#else
+    // Bitwise (not short-circuit) so the compare stays branch-free.
+    return (a.time_bits < b.time_bits) |
+           ((a.time_bits == b.time_bits) & (a.seq_slot < b.seq_slot));
+#endif
+  }
+
+  static constexpr std::size_t kChunkShift = 8;  ///< 256 handlers/chunk
+  static constexpr std::size_t kChunkSize = std::size_t{1} << kChunkShift;
+
+  [[nodiscard]] EventFn& slot_ref(std::uint32_t slot) noexcept {
+    return chunks_[slot >> kChunkShift][slot & (kChunkSize - 1)];
+  }
+
+  /// One fixed-delay FIFO: a power-of-two ring of entries whose keys are
+  /// strictly increasing (monotone now() + constant delay, monotone seq),
+  /// so the front is always the lane's minimum.
+  struct Lane {
+    SimTime delay = 0.0;
+    std::vector<Entry> ring;  ///< capacity is a power of two (or empty)
+    std::size_t head = 0;     ///< index of the oldest entry
+    std::size_t count = 0;
+
+    [[nodiscard]] const Entry& front() const noexcept {
+      return ring[head];
+    }
+    [[nodiscard]] const Entry& back() const noexcept {
+      return ring[(head + count - 1) & (ring.size() - 1)];
+    }
+    void push_back(Entry e);
+    Entry pop_front() noexcept {
+      const Entry e = ring[head];
+      head = (head + 1) & (ring.size() - 1);
+      --count;
+      return e;
+    }
+  };
+
+  /// Reserves an arena slot (recycled or fresh). The caller move-assigns
+  /// the handler into slot_ref() directly — taking the EventFn here by
+  /// value would cost one extra 56-byte relocate per schedule.
+  // ---- Timing wheel ------------------------------------------------
+  // Near-future entries (delay in [kWheelMinDelay, kWheelMaxDelay)) go
+  // into a circular array of buckets keyed by floor(time / width). A
+  // bucket fills by push_back (unsorted) and is sorted by the exact
+  // (time, seq) key exactly once — lazily, when the min scan first needs
+  // its front. From that moment new entries can only land in the sorted
+  // drain-front bucket via the rare now+tiny-delay path, which does an
+  // ordered insert, so the front of the drain-front bucket is always the
+  // wheel's global minimum. Aliasing is impossible: live wheel entries
+  // span at most kNumBuckets-1 consecutive bucket numbers (times are
+  // >= now and admission bounds delay below (kNumBuckets-2) * width).
+
+  static constexpr std::size_t kNumBuckets = 32;  ///< power of two
+  /// Buckets per simulated second (nominal width 2 ms). Only
+  /// monotonicity of the time->bucket map matters for correctness.
+  static constexpr double kInvBucketWidth = 500.0;
+  static constexpr SimTime kWheelMinDelay = 2.0 / kInvBucketWidth;
+  static constexpr SimTime kWheelMaxDelay =
+      static_cast<double>(kNumBuckets - 2) / kInvBucketWidth;
+
+  [[nodiscard]] static std::uint64_t bucket_of(SimTime t) noexcept {
+    return static_cast<std::uint64_t>(t * kInvBucketWidth);
+  }
+
+  /// One wheel bucket. Entries [0, head) are already popped; [head, end)
+  /// are live. `sorted` flips when the bucket becomes the drain front.
+  struct Bucket {
+    std::vector<Entry> v;
+    std::size_t head = 0;
+    bool sorted = false;
+  };
+
+  /// Which source holds the global minimum: kWheel, kHeap, or a lane
+  /// index >= 0.
+  static constexpr int kHeap = -1;
+  static constexpr int kWheel = -2;
+
+  /// Reserves an arena slot (recycled or fresh). The caller fills
+  /// slot_ref() itself — taking the EventFn here by value would cost one
+  /// extra 56-byte relocate per schedule.
+  [[nodiscard]] std::uint32_t acquire_slot() {
+    if (!free_slots_.empty()) {
+      const std::uint32_t slot = free_slots_.back();
+      free_slots_.pop_back();
+      return slot;
+    }
+    const std::uint32_t slot = arena_used_++;
+    if ((slot & (kChunkSize - 1)) == 0) {
+      chunks_.push_back(std::make_unique<EventFn[]>(kChunkSize));
+    }
+    return slot;
+  }
+
+  /// Reserves a slot and constructs the callable directly into it.
+  template <typename F>
+  [[nodiscard]] std::uint32_t emplace_slot(F&& fn) {
+    const std::uint32_t slot = acquire_slot();
+    slot_ref(slot).emplace(std::forward<F>(fn));
+    return slot;
+  }
+
+  /// Keys `slot` at absolute time `at` and routes the entry into the
+  /// wheel or the heap.
+  void push_entry(SimTime at, std::uint32_t slot);
+  /// Keys `slot` at now() + `delay` and appends it to `delay`'s lane.
+  void push_lane_entry(SimTime delay, std::uint32_t slot);
+  /// Order-preserving seq compaction; runs once per 2^32 schedules.
+  void renumber();
+  /// First nonempty bucket at or after now(), sorted on first touch.
+  /// Precondition: wheel_count_ > 0. Logically-const lazy sort.
+  [[nodiscard]] Bucket& wheel_front() const noexcept;
+  /// Source holding the earliest entry. Precondition: !empty().
+  [[nodiscard]] int min_source() const noexcept;
+  /// Pops the earliest entry of `source` (repairing that structure).
+  Entry pop_source(int source) noexcept;
+  /// Pops the heap root; sifts down. Precondition: heap non-empty.
+  Entry pop_heap_root() noexcept;
+
+  std::vector<Entry> heap_;  ///< flat 4-ary min-heap of keys
+  std::vector<Lane> lanes_;  ///< one per distinct fixed delay (few)
+  std::size_t lane_count_ = 0;  ///< total entries across lanes_
+  /// The wheel. Mutable: the min scan sorts a bucket in place the first
+  /// time it becomes the drain front (an order-preserving representation
+  /// change, observable-state-const).
+  mutable std::array<Bucket, kNumBuckets> wheel_{};
+  std::size_t wheel_count_ = 0;  ///< total live entries across wheel_
+  /// Memoized drain-front bucket: valid between a min scan and the next
+  /// wheel mutation (cleared by wheel pops and wheel inserts), so the
+  /// scan-then-pop pairs in step()/run_until()/run_all() walk the empty
+  /// leading buckets once, not twice.
+  mutable Bucket* wheel_front_hint_ = nullptr;
+  /// Handler arena. Chunked so addresses are stable across growth: a
+  /// handler is invoked in place while new events (and chunks) arrive.
+  std::vector<std::unique_ptr<EventFn[]>> chunks_;
+  std::vector<std::uint32_t> free_slots_;  ///< recycled arena indices
+  std::uint32_t arena_used_ = 0;           ///< slots handed out ever
   SimTime now_ = 0.0;
-  std::uint64_t next_seq_ = 0;
+  std::uint32_t next_seq_ = 0;
 };
+
+inline SimTime EventQueue::Entry::at() const noexcept {
+  return std::bit_cast<SimTime>(time_bits);
+}
+
+inline EventQueue::Entry EventQueue::make_entry(SimTime at, std::uint32_t seq,
+                                                std::uint32_t slot) noexcept {
+  // +0.0 canonicalizes a -0.0 timestamp, whose sign bit would otherwise
+  // sort it above every positive time.
+  return Entry{std::bit_cast<std::uint64_t>(at + 0.0),
+               std::uint64_t{seq} << 32 | slot};
+}
 
 }  // namespace lesslog::sim

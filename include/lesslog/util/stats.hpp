@@ -41,6 +41,12 @@ class Accumulator {
 /// q in [0, 100]. Returns 0 for an empty sample.
 [[nodiscard]] double percentile(std::vector<double> samples, double q);
 
+/// percentile() for an already ascending-sorted sample: no copy, no
+/// re-sort. Callers that read several quantiles of one large sample sort
+/// once and use this.
+[[nodiscard]] double percentile_sorted(const std::vector<double>& sorted,
+                                       double q);
+
 /// Jain's fairness index of a load vector: (Σx)² / (n·Σx²). 1.0 means
 /// perfectly even; 1/n means one node carries everything. Used to report
 /// how balanced the system is after replication.

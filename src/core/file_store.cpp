@@ -1,58 +1,125 @@
 #include "lesslog/core/file_store.hpp"
 
+#include <cassert>
+
 namespace lesslog::core {
 
+void FileStore::index_put(std::uint64_t key, CopyInfo* value) {
+  // Grow at 50% load; per-node catalogs are small, so rebuilds are rare
+  // and cheap.
+  if (index_.empty() || (copies_.size() + 1) * 2 > index_.size()) {
+    rebuild_index();
+  }
+  std::size_t i = home_slot(key);
+  while (index_[i].value != nullptr) {
+    if (index_[i].key == key) {
+      index_[i].value = value;
+      return;
+    }
+    i = (i + 1) & (index_.size() - 1);
+  }
+  index_[i] = IndexSlot{key, value};
+}
+
+void FileStore::index_erase(std::uint64_t key) noexcept {
+  assert(!index_.empty());
+  const std::size_t mask = index_.size() - 1;
+  std::size_t i = home_slot(key);
+  while (index_[i].key != key || index_[i].value == nullptr) {
+    if (index_[i].value == nullptr) return;  // not present
+    i = (i + 1) & mask;
+  }
+  // Backward-shift deletion keeps probe chains tombstone-free: any entry
+  // further down the cluster whose home slot lies at or before the hole
+  // moves back into it.
+  std::size_t hole = i;
+  std::size_t j = i;
+  for (;;) {
+    j = (j + 1) & mask;
+    if (index_[j].value == nullptr) break;
+    const std::size_t home = home_slot(index_[j].key);
+    if (((j - home) & mask) >= ((j - hole) & mask)) {
+      index_[hole] = index_[j];
+      hole = j;
+    }
+  }
+  index_[hole] = IndexSlot{};
+}
+
+void FileStore::rebuild_index() {
+  std::size_t cap = 16;
+  while (copies_.size() * 2 >= cap) cap *= 2;
+  index_.assign(cap, IndexSlot{});
+  for (auto& [id, info] : copies_) {
+    std::size_t i = home_slot(id.key());
+    while (index_[i].value != nullptr) i = (i + 1) & (cap - 1);
+    index_[i] = IndexSlot{id.key(), &info};
+  }
+}
+
 std::optional<CopyInfo> FileStore::info(FileId f) const {
-  const auto it = copies_.find(f);
-  if (it == copies_.end()) return std::nullopt;
-  return it->second;
+  const CopyInfo* c = lookup(f);
+  if (c == nullptr) return std::nullopt;
+  return *c;
+}
+
+std::optional<std::uint64_t> FileStore::serve(FileId f) {
+  CopyInfo* c = lookup(f);
+  if (c == nullptr) return std::nullopt;
+  ++c->access_count;
+  return c->version;
 }
 
 void FileStore::put_inserted(FileId f, std::uint64_t version,
                              std::vector<std::uint8_t> data) {
-  copies_[f] = CopyInfo{CopyKind::kInserted, version, 0, std::move(data)};
+  const auto [it, added] = copies_.insert_or_assign(
+      f, CopyInfo{CopyKind::kInserted, version, 0, std::move(data)});
+  if (added) index_put(f.key(), &it->second);
 }
 
 void FileStore::put_replica(FileId f, std::uint64_t version,
                             std::vector<std::uint8_t> data) {
-  auto [it, added] = copies_.try_emplace(
+  const auto [it, added] = copies_.try_emplace(
       f, CopyInfo{CopyKind::kReplica, version, 0, std::move(data)});
-  (void)it;
-  (void)added;
+  if (added) index_put(f.key(), &it->second);
 }
 
 const std::vector<std::uint8_t>* FileStore::payload(FileId f) const {
-  const auto it = copies_.find(f);
-  return it == copies_.end() ? nullptr : &it->second.data;
+  const CopyInfo* c = lookup(f);
+  return c == nullptr ? nullptr : &c->data;
 }
 
 bool FileStore::set_payload(FileId f, std::vector<std::uint8_t> data) {
-  const auto it = copies_.find(f);
-  if (it == copies_.end()) return false;
-  it->second.data = std::move(data);
+  CopyInfo* c = lookup(f);
+  if (c == nullptr) return false;
+  c->data = std::move(data);
   return true;
 }
 
-bool FileStore::erase(FileId f) { return copies_.erase(f) > 0; }
+bool FileStore::erase(FileId f) {
+  if (copies_.erase(f) == 0) return false;
+  index_erase(f.key());
+  return true;
+}
 
 bool FileStore::apply_update(FileId f, std::uint64_t version,
                              std::vector<std::uint8_t> data) {
-  const auto it = copies_.find(f);
-  if (it == copies_.end()) return false;
-  it->second.version = version;
-  if (!data.empty()) it->second.data = std::move(data);
+  CopyInfo* c = lookup(f);
+  if (c == nullptr) return false;
+  c->version = version;
+  if (!data.empty()) c->data = std::move(data);
   return true;
 }
 
 void FileStore::record_access(FileId f) {
-  const auto it = copies_.find(f);
-  if (it != copies_.end()) ++it->second.access_count;
+  CopyInfo* c = lookup(f);
+  if (c != nullptr) ++c->access_count;
 }
 
 bool FileStore::set_access_count(FileId f, std::uint64_t count) {
-  const auto it = copies_.find(f);
-  if (it == copies_.end()) return false;
-  it->second.access_count = count;
+  CopyInfo* c = lookup(f);
+  if (c == nullptr) return false;
+  c->access_count = count;
   return true;
 }
 
@@ -66,6 +133,7 @@ std::vector<FileId> FileStore::prune_cold_replicas(std::uint64_t threshold) {
     if (it->second.kind == CopyKind::kReplica &&
         it->second.access_count < threshold) {
       pruned.push_back(it->first);
+      index_erase(it->first.key());
       it = copies_.erase(it);
     } else {
       ++it;

@@ -36,15 +36,15 @@ void Client::get(core::FileId file, core::Pid r, GetCallback done) {
   pending.target = r;
   pending.done = std::move(done);
   pending.issued_at = network_->engine().now();
-  gets_.emplace(id, std::move(pending));
+  gets_.insert(id, std::move(pending));
   ++issued_;
   send_get(id);
 }
 
 void Client::send_get(std::uint64_t id) {
-  const auto it = gets_.find(id);
-  if (it == gets_.end()) return;
-  PendingGet& g = it->second;
+  PendingGet* found = gets_.find(id);
+  if (found == nullptr) return;
+  PendingGet& g = *found;
   const std::optional<core::Pid> entry = entry_for(g);
   if (!entry.has_value()) {
     // The attempted subtree has no live node at all: migrate immediately.
@@ -81,10 +81,10 @@ void Client::send_get(std::uint64_t id) {
 }
 
 void Client::arm_get_timeout(std::uint64_t id, int generation) {
-  network_->engine().after(cfg_.timeout, [this, id, generation] {
-    const auto it = gets_.find(id);
-    if (it == gets_.end()) return;  // already completed
-    PendingGet& g = it->second;
+  network_->engine().after_fixed(cfg_.timeout, [this, id, generation] {
+    PendingGet* found = gets_.find(id);
+    if (found == nullptr) return;  // already completed
+    PendingGet& g = *found;
     if (g.generation != generation) return;  // a newer leg is in flight
     if (g.retries >= cfg_.max_retries) {
       finish_get(id, false, 0, 0);
@@ -97,10 +97,10 @@ void Client::arm_get_timeout(std::uint64_t id, int generation) {
 
 void Client::finish_get(std::uint64_t id, bool ok, std::uint64_t version,
                         int hops) {
-  const auto it = gets_.find(id);
-  assert(it != gets_.end());
-  PendingGet g = std::move(it->second);
-  gets_.erase(it);
+  PendingGet* found = gets_.find(id);
+  assert(found != nullptr);
+  PendingGet g = std::move(*found);
+  gets_.erase(id);
   GetResult result;
   result.ok = ok;
   result.version = version;
@@ -118,17 +118,17 @@ void Client::finish_get(std::uint64_t id, bool ok, std::uint64_t version,
 
 void Client::on_reply(const Message& m) {
   if (m.type == MsgType::kInsertAck) {
-    const auto it = inserts_.find(m.request_id);
-    if (it == inserts_.end()) return;
-    auto done = std::move(it->second.done);
-    inserts_.erase(it);
+    PendingInsert* ins = inserts_.find(m.request_id);
+    if (ins == nullptr) return;
+    auto done = std::move(ins->done);
+    inserts_.erase(m.request_id);
     if (done) done(true);
     return;
   }
   assert(m.type == MsgType::kGetReply);
-  const auto it = gets_.find(m.request_id);
-  if (it == gets_.end()) return;  // late duplicate after completion
-  PendingGet& g = it->second;
+  PendingGet* found = gets_.find(m.request_id);
+  if (found == nullptr) return;  // late duplicate after completion
+  PendingGet& g = *found;
   if (m.ok) {
     finish_get(m.request_id, true, m.version, m.hop_count);
     return;
@@ -150,14 +150,14 @@ void Client::insert(core::FileId file, core::Pid r, core::Pid at,
                     std::function<void(bool)> done) {
   const std::uint64_t id = next_id_++;
   PendingInsert pending{file, r, at, std::move(done), 0};
-  inserts_.emplace(id, std::move(pending));
+  inserts_.insert(id, std::move(pending));
   send_insert(id);
 }
 
 void Client::send_insert(std::uint64_t id) {
-  const auto it = inserts_.find(id);
-  if (it == inserts_.end()) return;
-  PendingInsert& ins = it->second;
+  PendingInsert* found = inserts_.find(id);
+  if (found == nullptr) return;
+  PendingInsert& ins = *found;
   Message m;
   m.request_id = id;
   m.type = MsgType::kInsertRequest;
@@ -168,17 +168,17 @@ void Client::send_insert(std::uint64_t id) {
   m.file = ins.file;
   network_->send(m);
   const int expected = ins.retries;
-  network_->engine().after(cfg_.timeout, [this, id, expected] {
-    const auto pending = inserts_.find(id);
-    if (pending == inserts_.end()) return;
-    if (pending->second.retries != expected) return;
-    if (pending->second.retries >= cfg_.max_retries) {
-      auto done = std::move(pending->second.done);
-      inserts_.erase(pending);
+  network_->engine().after_fixed(cfg_.timeout, [this, id, expected] {
+    PendingInsert* pending = inserts_.find(id);
+    if (pending == nullptr) return;
+    if (pending->retries != expected) return;
+    if (pending->retries >= cfg_.max_retries) {
+      auto done = std::move(pending->done);
+      inserts_.erase(id);
       if (done) done(false);
       return;
     }
-    ++pending->second.retries;
+    ++pending->retries;
     send_insert(id);
   });
 }

@@ -1,35 +1,62 @@
 #include "lesslog/proto/message.hpp"
 
+#include <bit>
+#include <cstring>
+
 namespace lesslog::proto {
 
 namespace {
 
-void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) {
-    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+// The wire format is little-endian; on little-endian hosts the fixed-
+// width fields are plain memcpys (single load/store after inlining), with
+// a portable byte-shift fallback elsewhere.
+
+void put_u64(std::uint8_t* out, std::uint64_t v) noexcept {
+  if constexpr (std::endian::native == std::endian::little) {
+    std::memcpy(out, &v, 8);
+  } else {
+    for (int i = 0; i < 8; ++i) {
+      out[i] = static_cast<std::uint8_t>(v >> (8 * i));
+    }
   }
 }
 
-void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
-  for (int i = 0; i < 4; ++i) {
-    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+void put_u32(std::uint8_t* out, std::uint32_t v) noexcept {
+  if constexpr (std::endian::native == std::endian::little) {
+    std::memcpy(out, &v, 4);
+  } else {
+    for (int i = 0; i < 4; ++i) {
+      out[i] = static_cast<std::uint8_t>(v >> (8 * i));
+    }
   }
 }
 
-std::uint64_t get_u64(const std::vector<std::uint8_t>& in, std::size_t& at) {
-  std::uint64_t v = 0;
-  for (int i = 0; i < 8; ++i) {
-    v |= static_cast<std::uint64_t>(in[at++]) << (8 * i);
+std::uint64_t get_u64(const std::uint8_t* in) noexcept {
+  if constexpr (std::endian::native == std::endian::little) {
+    std::uint64_t v;
+    std::memcpy(&v, in, 8);
+    return v;
+  } else {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(in[i]) << (8 * i);
+    }
+    return v;
   }
-  return v;
 }
 
-std::uint32_t get_u32(const std::vector<std::uint8_t>& in, std::size_t& at) {
-  std::uint32_t v = 0;
-  for (int i = 0; i < 4; ++i) {
-    v |= static_cast<std::uint32_t>(in[at++]) << (8 * i);
+std::uint32_t get_u32(const std::uint8_t* in) noexcept {
+  if constexpr (std::endian::native == std::endian::little) {
+    std::uint32_t v;
+    std::memcpy(&v, in, 4);
+    return v;
+  } else {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(in[i]) << (8 * i);
+    }
+    return v;
   }
-  return v;
 }
 
 bool valid_type(std::uint8_t tag) {
@@ -39,41 +66,59 @@ bool valid_type(std::uint8_t tag) {
 
 }  // namespace
 
-std::vector<std::uint8_t> encode(const Message& m) {
-  std::vector<std::uint8_t> out;
-  out.reserve(kWireSize);
-  put_u64(out, m.request_id);
-  out.push_back(static_cast<std::uint8_t>(m.type));
-  put_u32(out, m.from.value());
-  put_u32(out, m.to.value());
-  put_u32(out, m.requester.value());
-  put_u32(out, m.subject.value());
-  put_u64(out, m.file.key());
-  put_u64(out, m.version);
-  out.push_back(m.hop_count);
-  out.push_back(m.ok ? 1 : 0);
-  return out;
+void encode_into(const Message& m, WireBuffer& out) noexcept {
+  std::uint8_t* p = out.data();
+  put_u64(p, m.request_id);
+  p += 8;
+  *p++ = static_cast<std::uint8_t>(m.type);
+  put_u32(p, m.from.value());
+  p += 4;
+  put_u32(p, m.to.value());
+  p += 4;
+  put_u32(p, m.requester.value());
+  p += 4;
+  put_u32(p, m.subject.value());
+  p += 4;
+  put_u64(p, m.file.key());
+  p += 8;
+  put_u64(p, m.version);
+  p += 8;
+  *p++ = m.hop_count;
+  *p = m.ok ? 1 : 0;
 }
 
-std::optional<Message> decode(const std::vector<std::uint8_t>& bytes) {
+std::vector<std::uint8_t> encode(const Message& m) {
+  WireBuffer buf;
+  encode_into(m, buf);
+  return std::vector<std::uint8_t>(buf.begin(), buf.end());
+}
+
+std::optional<Message> decode(std::span<const std::uint8_t> bytes) {
   if (bytes.size() != kWireSize) return std::nullopt;
-  std::size_t at = 0;
+  const std::uint8_t* p = bytes.data();
   Message m;
-  m.request_id = get_u64(bytes, at);
-  const std::uint8_t tag = bytes[at++];
+  m.request_id = get_u64(p);
+  p += 8;
+  const std::uint8_t tag = *p++;
   if (!valid_type(tag)) return std::nullopt;
   m.type = static_cast<MsgType>(tag);
-  m.from = core::Pid{get_u32(bytes, at)};
-  m.to = core::Pid{get_u32(bytes, at)};
-  m.requester = core::Pid{get_u32(bytes, at)};
-  m.subject = core::Pid{get_u32(bytes, at)};
-  m.file = core::FileId{get_u64(bytes, at)};
-  m.version = get_u64(bytes, at);
-  m.hop_count = bytes[at++];
+  m.from = core::Pid{get_u32(p)};
+  p += 4;
+  m.to = core::Pid{get_u32(p)};
+  p += 4;
+  m.requester = core::Pid{get_u32(p)};
+  p += 4;
+  m.subject = core::Pid{get_u32(p)};
+  p += 4;
+  m.file = core::FileId{get_u64(p)};
+  p += 8;
+  m.version = get_u64(p);
+  p += 8;
+  m.hop_count = *p++;
   // Strict decoding: the flag byte must be exactly 0 or 1 so every
   // accepted buffer re-encodes byte-identically (fuzz-tested).
-  if (bytes[at] > 1) return std::nullopt;
-  m.ok = bytes[at++] != 0;
+  if (*p > 1) return std::nullopt;
+  m.ok = *p != 0;
   return m;
 }
 

@@ -54,9 +54,13 @@ double Network::link_latency(core::Pid a, core::Pid b) const {
 }
 
 void Network::send(const Message& m) {
+  static_assert(sim::InplaceEvent::stored_inline<DeliveryEvent>(),
+                "the per-message delivery event must fit the event "
+                "queue's inline buffer (allocation-free wire path)");
   ++messages_sent_;
-  const std::vector<std::uint8_t> wire = encode(m);
-  bytes_sent_ += static_cast<std::int64_t>(wire.size());
+  DeliveryEvent ev{this, {}};
+  encode_into(m, ev.wire);
+  bytes_sent_ += static_cast<std::int64_t>(kWireSize);
   if (cfg_.drop_probability > 0.0 &&
       engine_->rng().bernoulli(cfg_.drop_probability)) {
     ++dropped_;
@@ -65,16 +69,18 @@ void Network::send(const Message& m) {
   const double latency =
       (coords_.empty() ? cfg_.base_latency : link_latency(m.from, m.to)) +
       (cfg_.jitter > 0.0 ? engine_->rng().uniform01() * cfg_.jitter : 0.0);
-  engine_->after(latency, [this, wire] {
-    const std::optional<Message> delivered = decode(wire);
-    assert(delivered.has_value() && "wire corruption is not modelled");
-    const std::uint32_t to = delivered->to.value();
-    if (to >= handlers_.size() || !handlers_[to]) {
-      ++undeliverable_;
-      return;
-    }
-    handlers_[to](*delivered);
-  });
+  engine_->after(latency, std::move(ev));
+}
+
+void Network::deliver(const WireBuffer& wire) {
+  const std::optional<Message> delivered = decode(wire);
+  assert(delivered.has_value() && "wire corruption is not modelled");
+  const std::uint32_t to = delivered->to.value();
+  if (to >= handlers_.size() || !handlers_[to]) {
+    ++undeliverable_;
+    return;
+  }
+  handlers_[to](*delivered);
 }
 
 }  // namespace lesslog::proto

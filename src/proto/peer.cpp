@@ -82,11 +82,9 @@ std::optional<core::Pid> Peer::next_hop(core::Pid r) const {
 }
 
 void Peer::on_get(const Message& m) {
-  if (store_.has(m.file)) {
+  if (const std::optional<std::uint64_t> version = store_.serve(m.file)) {
     ++served_;
-    store_.record_access(m.file);
-    const auto info = store_.info(m.file);
-    reply_get(m, /*ok=*/true, info->version);
+    reply_get(m, /*ok=*/true, *version);
     return;
   }
   // Hop-count fence: forwarding ascends strictly in subtree VID plus at
@@ -272,7 +270,7 @@ void Peer::transmit_push(std::uint64_t id) {
   PendingPush& pending = it->second;
   network_->send(pending.msg);
   const int generation = ++pending.generation;
-  network_->engine().after(kPushTimeout, [this, id, generation] {
+  network_->engine().after_fixed(kPushTimeout, [this, id, generation] {
     const auto entry = pending_pushes_.find(id);
     if (entry == pending_pushes_.end()) return;  // acked
     if (entry->second.generation != generation) return;  // stale timer

@@ -24,9 +24,7 @@ Swarm::Swarm(Config cfg)
   }
 }
 
-void Swarm::settle() {
-  while (!engine_.queue().empty()) engine_.queue().step();
-}
+void Swarm::settle() { engine_.queue().run_all(); }
 
 void Swarm::insert(core::FileId file, core::Pid r, core::Pid issuer) {
   Peer& from = peer(issuer);

@@ -35,15 +35,20 @@ void Accumulator::merge(const Accumulator& other) noexcept {
   max_ = std::max(max_, other.max_);
 }
 
-double percentile(std::vector<double> samples, double q) {
+double percentile_sorted(const std::vector<double>& sorted, double q) {
   assert(q >= 0.0 && q <= 100.0);
-  if (samples.empty()) return 0.0;
-  std::sort(samples.begin(), samples.end());
-  const double rank = q / 100.0 * static_cast<double>(samples.size() - 1);
+  assert(std::is_sorted(sorted.begin(), sorted.end()));
+  if (sorted.empty()) return 0.0;
+  const double rank = q / 100.0 * static_cast<double>(sorted.size() - 1);
   const auto lo = static_cast<std::size_t>(rank);
-  const std::size_t hi = std::min(lo + 1, samples.size() - 1);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
   const double frac = rank - static_cast<double>(lo);
-  return samples[lo] + frac * (samples[hi] - samples[lo]);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double percentile(std::vector<double> samples, double q) {
+  std::sort(samples.begin(), samples.end());
+  return percentile_sorted(samples, q);
 }
 
 double gini(std::vector<double> xs) {

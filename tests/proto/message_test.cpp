@@ -2,8 +2,19 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <limits>
+
+#include "lesslog/util/rng.hpp"
+
 namespace lesslog::proto {
 namespace {
+
+constexpr MsgType kAllTypes[] = {
+    MsgType::kGetRequest,  MsgType::kGetReply,      MsgType::kInsertRequest,
+    MsgType::kInsertAck,   MsgType::kCreateReplica, MsgType::kUpdatePush,
+    MsgType::kStatusAnnounce, MsgType::kFilePush,   MsgType::kReclaim,
+    MsgType::kFilePushAck};
 
 Message sample() {
   Message m;
@@ -73,6 +84,96 @@ TEST(Wire, LittleEndianLayout) {
 TEST(Wire, TypeNames) {
   EXPECT_STREQ(type_name(MsgType::kGetRequest), "GET");
   EXPECT_STREQ(type_name(MsgType::kStatusAnnounce), "STATUS");
+}
+
+// -- Round-trip property tests for the fixed-buffer wire path ------------
+
+TEST(WireProperty, RandomMessagesRoundTripBitExact) {
+  util::Rng rng(0x20260806ULL);
+  for (int iter = 0; iter < 2000; ++iter) {
+    Message m;
+    m.request_id = rng();
+    m.type = kAllTypes[rng.bounded(std::size(kAllTypes))];
+    m.from = core::Pid{static_cast<std::uint32_t>(rng())};
+    m.to = core::Pid{static_cast<std::uint32_t>(rng())};
+    m.requester = core::Pid{static_cast<std::uint32_t>(rng())};
+    m.subject = core::Pid{static_cast<std::uint32_t>(rng())};
+    m.file = core::FileId{rng()};
+    m.version = rng();
+    m.hop_count = static_cast<std::uint8_t>(rng());
+    m.ok = (rng() & 1) != 0;
+
+    const std::vector<std::uint8_t> bytes = encode(m);
+    const std::optional<Message> back = decode(bytes);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, m);
+    // Re-encoding the decoded message reproduces the exact bytes.
+    EXPECT_EQ(encode(*back), bytes);
+  }
+}
+
+TEST(WireProperty, MaxValueFieldsRoundTrip) {
+  Message m;
+  m.request_id = std::numeric_limits<std::uint64_t>::max();
+  m.type = MsgType::kFilePushAck;
+  m.from = core::Pid{std::numeric_limits<std::uint32_t>::max()};
+  m.to = core::Pid{std::numeric_limits<std::uint32_t>::max()};
+  m.requester = core::Pid{std::numeric_limits<std::uint32_t>::max()};
+  m.subject = core::Pid{std::numeric_limits<std::uint32_t>::max()};
+  m.file = core::FileId{std::numeric_limits<std::uint64_t>::max()};
+  m.version = std::numeric_limits<std::uint64_t>::max();
+  m.hop_count = std::numeric_limits<std::uint8_t>::max();
+  m.ok = true;
+  const std::optional<Message> back = decode(encode(m));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, m);
+}
+
+TEST(WireProperty, EncodeIntoMatchesHeapEncodeByteForByte) {
+  util::Rng rng(0xB17E5ULL);
+  for (int iter = 0; iter < 200; ++iter) {
+    Message m;
+    m.request_id = rng();
+    m.type = kAllTypes[rng.bounded(std::size(kAllTypes))];
+    m.from = core::Pid{static_cast<std::uint32_t>(rng())};
+    m.to = core::Pid{static_cast<std::uint32_t>(rng())};
+    m.requester = core::Pid{static_cast<std::uint32_t>(rng())};
+    m.subject = core::Pid{static_cast<std::uint32_t>(rng())};
+    m.file = core::FileId{rng()};
+    m.version = rng();
+    m.hop_count = static_cast<std::uint8_t>(rng());
+    m.ok = (rng() & 1) != 0;
+
+    WireBuffer buf{};
+    encode_into(m, buf);
+    const std::vector<std::uint8_t> heap = encode(m);
+    ASSERT_EQ(heap.size(), buf.size());
+    EXPECT_TRUE(std::equal(buf.begin(), buf.end(), heap.begin()));
+    // The array form decodes identically to the vector form.
+    EXPECT_EQ(decode(buf), decode(heap));
+  }
+}
+
+TEST(WireProperty, EveryInvalidTypeTagRejected) {
+  std::vector<std::uint8_t> bytes = encode(sample());
+  for (int tag = 0; tag <= 255; ++tag) {
+    bytes[8] = static_cast<std::uint8_t>(tag);
+    const bool valid = tag >= 1 && tag <= 10;
+    EXPECT_EQ(decode(bytes).has_value(), valid) << "tag " << tag;
+  }
+}
+
+TEST(WireProperty, EveryWrongLengthRejected) {
+  const std::vector<std::uint8_t> bytes = encode(sample());
+  for (std::size_t len = 0; len <= kWireSize + 8; ++len) {
+    std::vector<std::uint8_t> trimmed(bytes);
+    trimmed.resize(len, 0);
+    if (len == kWireSize) {
+      EXPECT_TRUE(decode(trimmed).has_value());
+    } else {
+      EXPECT_EQ(decode(trimmed), std::nullopt) << "length " << len;
+    }
+  }
 }
 
 }  // namespace

@@ -2,7 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <utility>
 #include <vector>
+
+#include "lesslog/util/rng.hpp"
 
 namespace lesslog::sim {
 namespace {
@@ -83,6 +88,124 @@ TEST(EventQueue, ClockNeverRewinds) {
   EXPECT_EQ(q.now(), 10.0);
   q.run_until(2.0);  // lower bound: must not rewind
   EXPECT_EQ(q.now(), 10.0);
+}
+
+// -- Ordering guarantees across the wheel / lane / heap sources ----------
+
+// Same-timestamp events pop in schedule order regardless of which
+// internal structure holds them. 0.010 lands in the timing wheel (wire
+// delays), 1.0 in the heap; both must be FIFO within a timestamp.
+TEST(EventQueueOrder, ManySameTimestampEventsAreFifo) {
+  for (const double at : {0.010, 1.0}) {
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 500; ++i) {
+      q.schedule(at, [&order, i] { order.push_back(i); });
+    }
+    q.run_until(at);
+    ASSERT_EQ(order.size(), 500u);
+    EXPECT_TRUE(std::is_sorted(order.begin(), order.end()));
+  }
+}
+
+// A handler scheduling into the wheel bucket that is currently being
+// drained (the sorted front) must keep that bucket ordered: new entries
+// land between the remaining ones by time, after them on ties.
+TEST(EventQueueOrder, ScheduleIntoDrainingWheelBucket) {
+  EventQueue q;
+  std::vector<char> order;
+  q.schedule(0.010, [&order] { order.push_back('b'); });
+  q.schedule(0.0108, [&order] { order.push_back('e'); });
+  // Runs first (short delays stay on the heap) with the wheel non-empty:
+  // the min scan has already sorted the front bucket, so these inserts
+  // take the ordered-insert path into a sorted, partially-drained bucket.
+  q.schedule(0.001, [&order, &q] {
+    order.push_back('a');
+    q.schedule(0.0101, [&order] { order.push_back('c'); });
+    q.schedule(0.0105, [&order] { order.push_back('d'); });
+  });
+  q.run_until(1.0);
+  EXPECT_EQ(order, (std::vector<char>{'a', 'b', 'c', 'd', 'e'}));
+}
+
+// Fixed-delay lane events interleave correctly with wheel and heap
+// events at identical and neighbouring timestamps.
+TEST(EventQueueOrder, FixedLanesInterleaveWithWheelAndHeap) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_after_fixed(0.25, [&order] { order.push_back(3); });  // lane
+  q.schedule(0.010, [&order] { order.push_back(1); });             // wheel
+  q.schedule(0.25, [&order] { order.push_back(4); });   // heap, tie with 3
+  q.schedule(0.010, [&order] { order.push_back(2); });  // wheel, tie with 1
+  q.schedule(5.0, [&order] { order.push_back(5); });    // heap
+  q.run_until(10.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4, 5}));
+}
+
+// Stress: handlers schedule more events mid-step with delays spanning
+// the wheel window, the heap, and fixed lanes. The executed sequence
+// must equal the (time, schedule-order) sort of everything scheduled —
+// the strict total order the simulation's determinism rests on.
+TEST(EventQueueOrder, ScheduleDuringStepStressMatchesTotalOrder) {
+  EventQueue q;
+  util::Rng rng(0xC0FFEEULL);
+  std::vector<std::pair<double, std::uint64_t>> executed;
+  std::uint64_t scheduled = 0;
+  int budget = 4000;
+
+  const auto pick_delay = [&rng]() -> double {
+    switch (rng.bounded(4)) {
+      case 0: return 0.001 + rng.uniform01() * 0.002;  // below the wheel
+      case 1: return 0.004 + rng.uniform01() * 0.055;  // wheel window
+      case 2: return 0.060 + rng.uniform01() * 2.0;    // heap
+      default: return 0.0;                             // immediate tie-land
+    }
+  };
+
+  std::function<void(std::uint64_t)> handler =
+      [&](std::uint64_t seq) {
+        executed.emplace_back(q.now(), seq);
+        while (budget > 0 && rng.bounded(3) == 0) {
+          --budget;
+          const std::uint64_t id = scheduled++;
+          if (rng.bounded(8) == 0) {
+            q.schedule_after_fixed(0.25, [&handler, id] { handler(id); });
+          } else {
+            q.schedule(q.now() + pick_delay(),
+                       [&handler, id] { handler(id); });
+          }
+        }
+      };
+
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t id = scheduled++;
+    q.schedule(rng.uniform01() * 0.5, [&handler, id] { handler(id); });
+  }
+  q.run_until(1e9);
+
+  ASSERT_EQ(executed.size(), scheduled);
+  // (time, schedule seq) must be strictly increasing lexicographically:
+  // time never rewinds and ties always break in schedule order.
+  for (std::size_t i = 1; i < executed.size(); ++i) {
+    const auto& [t0, s0] = executed[i - 1];
+    const auto& [t1, s1] = executed[i];
+    ASSERT_TRUE(t1 > t0 || (t1 == t0 && s1 > s0))
+        << "order violated at pop " << i;
+  }
+}
+
+TEST(EventQueueOrder, RunAllDrainsEverySource) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule(0.010, [&fired] { ++fired; });            // wheel
+  q.schedule(3.0, [&fired] { ++fired; });              // heap
+  q.schedule_after_fixed(0.25, [&fired, &q] {          // lane
+    ++fired;
+    q.schedule(q.now() + 0.020, [&fired] { ++fired; });
+  });
+  EXPECT_EQ(q.run_all(), 4);
+  EXPECT_EQ(fired, 4);
+  EXPECT_TRUE(q.empty());
 }
 
 }  // namespace
