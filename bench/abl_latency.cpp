@@ -29,6 +29,7 @@ struct Cell {
   double p99 = 0.0;
   double msgs_per_get = 0.0;
   double fault_pct = 0.0;
+  obs::Snapshot snap;  ///< the cell swarm's final metric snapshot
 };
 
 proto::Swarm::Config cell_config(int m, int b, double drop,
@@ -86,16 +87,20 @@ Cell run_cell(int m, int b, double drop, int requests, std::uint64_t seed) {
                       requests;
   cell.fault_pct = 100.0 * static_cast<double>(swarm.total_faults()) /
                    requests;
+  cell.snap = swarm.registry().snapshot(swarm.engine().now());
   return cell;
 }
 
 /// One small lossless cell as a pass/fail gate: the wire path must serve
 /// real traffic (peers report served requests) and every encoded packet
 /// must decode and land on an attached handler (zero undeliverable).
-int run_smoke() {
+int run_smoke(const bench::BenchArgs& args) {
   constexpr int kM = 6;
   constexpr int kRequests = 200;
   proto::Swarm swarm(cell_config(kM, 0, /*drop=*/0.0, /*seed=*/42));
+  // Sample the registry through the run so the smoke's --metrics document
+  // carries a time-series alongside the final totals.
+  swarm.enable_metrics_sampling(/*interval=*/0.05, /*stop_at=*/2.0);
   util::Rng rng(42ULL ^ 0xF00DULL);
   const auto files = build_catalog(swarm, kM, rng);
   for (int i = 0; i < kRequests; ++i) {
@@ -115,18 +120,20 @@ int run_smoke() {
   std::cout << "wire smoke: requests=" << kRequests << " served=" << served
             << " undeliverable=" << undeliverable << " faults=" << faults
             << " -> " << (ok ? "PASS" : "FAIL") << "\n";
-  return ok ? 0 : 1;
+  const obs::TimeSeries& series = swarm.metrics_series();
+  const int metrics_rc = bench::emit_metrics(
+      args, "abl_latency", 42, swarm.registry().snapshot(swarm.engine().now()),
+      series.empty() ? nullptr : &series);
+  return (ok && metrics_rc == 0) ? 0 : 1;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace lesslog;
-  for (int i = 1; i < argc; ++i) {
-    if (std::string(argv[i]) == "--smoke") return run_smoke();
-  }
   const auto t0 = std::chrono::steady_clock::now();
   const bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
+  if (args.smoke) return run_smoke(args);
   const int requests = args.quick ? 500 : 4000;
   const std::vector<int> widths = args.quick ? std::vector<int>{6, 8}
                                              : std::vector<int>{4, 6, 8, 10};
@@ -221,5 +228,9 @@ int main(int argc, char** argv) {
             .count();
     bench::write_wire_json(*args.json, args, rows, wall_ms);
   }
-  return 0;
+  // Swarm-wide totals across every cell, merged in cell-index order so
+  // the document is identical for every --threads value.
+  obs::Snapshot merged;
+  for (const Cell& c : cells) merged.merge_from(c.snap);
+  return bench::emit_metrics(args, "abl_latency", 42, merged);
 }

@@ -24,6 +24,7 @@ struct StretchStats {
   double mean = 0.0;
   double p95 = 0.0;
   double mean_latency_ms = 0.0;
+  obs::Snapshot snap;  ///< the cell swarm's final metric snapshot
 };
 
 StretchStats measure_stretch(int m, int replicas_per_file,
@@ -101,6 +102,7 @@ StretchStats measure_stretch(int m, int replicas_per_file,
   out.mean = util::percentile(stretches, 50.0);
   out.p95 = util::percentile(stretches, 95.0);
   out.mean_latency_ms = latency.mean();
+  out.snap = swarm.registry().snapshot(swarm.engine().now());
   return out;
 }
 
@@ -165,7 +167,9 @@ int main(int argc, char** argv) {
         std::chrono::duration<double, std::milli>(
             std::chrono::steady_clock::now() - t0)
             .count();
-    bench::write_wire_json(*args.json, args, rows, wall_ms);
+    bench::write_wire_json(*args.json, args, rows, wall_ms, /*seed=*/7);
   }
-  return 0;
+  obs::Snapshot merged;
+  for (const StretchStats& s : cells) merged.merge_from(s.snap);
+  return bench::emit_metrics(args, "abl_proximity", 7, merged);
 }

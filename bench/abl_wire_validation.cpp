@@ -26,6 +26,7 @@ struct WireCell {
   int replicas = 0;
   double worst_final_window = 0.0;  // served req/s in the last window
   std::int64_t faults = 0;
+  obs::Snapshot snap;  ///< the cell swarm's final metric snapshot
 };
 
 WireCell run_wire(double rate, double capacity, double duration,
@@ -65,6 +66,7 @@ WireCell run_wire(double rate, double capacity, double duration,
   }
   swarm.settle();
   cell.faults = swarm.total_faults();
+  cell.snap = swarm.registry().snapshot(swarm.engine().now());
   return cell;
 }
 
@@ -153,7 +155,9 @@ int main(int argc, char** argv) {
         std::chrono::duration<double, std::milli>(
             std::chrono::steady_clock::now() - t0)
             .count();
-    bench::write_wire_json(*args.json, args, rows, wall_ms);
+    bench::write_wire_json(*args.json, args, rows, wall_ms, /*seed=*/1);
   }
-  return 0;
+  obs::Snapshot merged;
+  for (const RateCell& cell : cells) merged.merge_from(cell.wire.snap);
+  return bench::emit_metrics(args, "abl_wire_validation", 1, merged);
 }

@@ -21,9 +21,12 @@
 #include <iostream>
 #include <mutex>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "bench_schema.hpp"
+#include "lesslog/obs/export.hpp"
 #include "lesslog/sim/experiment.hpp"
 #include "lesslog/sim/metrics.hpp"
 #include "lesslog/util/thread_pool.hpp"
@@ -32,18 +35,26 @@ namespace lesslog::bench {
 
 struct BenchArgs {
   bool quick = false;
+  /// Tiny pass/fail cell instead of the sweep (wire benches only).
+  bool smoke = false;
   int seeds = 5;
   /// Worker threads for parallel bench cells; 0 means hardware
   /// concurrency (the ThreadPool default).
   int threads = 0;
   std::optional<std::string> csv;
   std::optional<std::string> json;
+  /// Observability export: "json" or "csv" ("lesslog.metrics" v1
+  /// documents; json output is validated back before the bench exits).
+  std::optional<std::string> metrics;
+  /// Destination for --metrics; stdout when unset.
+  std::optional<std::string> metrics_out;
   std::optional<int> m;
   sim::SolverMode solver = sim::SolverMode::kIncremental;
 
   [[noreturn]] static void usage_exit() {
-    std::cerr << "usage: bench [--quick] [--seeds N] [--threads N] "
-                 "[--csv path] [--json path] [--m N] "
+    std::cerr << "usage: bench [--quick] [--smoke] [--seeds N] "
+                 "[--threads N] [--csv path] [--json path] "
+                 "[--metrics json|csv] [--metrics-out path] [--m N] "
                  "[--solver scratch|incremental]\n";
     std::exit(2);
   }
@@ -72,6 +83,18 @@ struct BenchArgs {
       const std::string arg = argv[i];
       if (arg == "--quick") {
         args.quick = true;
+      } else if (arg == "--smoke") {
+        args.smoke = true;
+      } else if (arg == "--metrics" && i + 1 < argc) {
+        const std::string format = argv[++i];
+        if (format != "json" && format != "csv") {
+          std::cerr << "--metrics expects 'json' or 'csv', got '" << format
+                    << "'\n";
+          usage_exit();
+        }
+        args.metrics = format;
+      } else if (arg == "--metrics-out" && i + 1 < argc) {
+        args.metrics_out = argv[++i];
       } else if (arg == "--seeds" && i + 1 < argc) {
         args.seeds = parse_bounded_int("--seeds", argv[++i], 10000);
       } else if (arg == "--threads" && i + 1 < argc) {
@@ -143,33 +166,54 @@ struct SolveRow {
   double replicas = 0.0;
 };
 
-/// Writes the rows as a single JSON document:
-///   {"solver": ..., "seeds": ..., "quick": ..., "wall_ms": ...,
-///    "rows": [{"bench", "m", "rate", "policy", "ns_per_solve",
-///              "replicas"}, ...]}
-inline void write_json(const std::string& path, const BenchArgs& args,
-                       const std::vector<SolveRow>& rows, double wall_ms) {
+/// Serializes a document and verifies its own bytes parse back to the
+/// same value — the write path and parse path police each other on every
+/// bench run, not just in the round-trip test.
+inline void write_schema_checked(const std::string& path,
+                                 const JsonSchema& doc) {
+  std::ostringstream body;
+  doc.write(body);
+  const std::optional<JsonSchema> back = JsonSchema::parse(body.str());
+  if (!back || *back != doc) {
+    std::cerr << "internal error: bench json failed its own round-trip\n";
+    std::exit(2);
+  }
   std::ofstream out(path);
   if (!out) {
     std::cerr << "cannot write json to " << path << "\n";
     std::exit(2);
   }
-  out << "{\n"
-      << "  \"solver\": \"" << args.solver_name() << "\",\n"
-      << "  \"seeds\": " << args.seeds << ",\n"
-      << "  \"quick\": " << (args.quick ? "true" : "false") << ",\n"
-      << "  \"wall_ms\": " << wall_ms << ",\n"
-      << "  \"rows\": [\n";
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    const SolveRow& r = rows[i];
-    out << "    {\"bench\": \"" << r.bench << "\", \"m\": " << r.m
-        << ", \"rate\": " << r.rate << ", \"policy\": \"" << r.policy
-        << "\", \"ns_per_solve\": " << r.ns_per_solve
-        << ", \"replicas\": " << r.replicas << "}"
-        << (i + 1 < rows.size() ? ",\n" : "\n");
-  }
-  out << "  ]\n}\n";
+  out << body.str();
   std::cout << "json written to " << path << "\n";
+}
+
+/// Writes solve-family rows as one "lesslog.bench" v1 document (see
+/// bench_schema.hpp for the shape). Solve cells average seeds 1..N, so
+/// the document carries `seeds` and leaves `seed` at 0.
+inline void write_json(const std::string& path, const BenchArgs& args,
+                       const std::vector<SolveRow>& rows, double wall_ms) {
+  JsonSchema doc;
+  doc.bench = rows.empty() ? "solve" : rows.front().bench;
+  doc.family = "solve";
+  doc.seeds = args.seeds;
+  doc.threads = args.threads;
+  doc.quick = args.quick;
+  doc.solver = args.solver_name();
+  doc.wall_ms = wall_ms;
+  for (const SolveRow& r : rows) {
+    SchemaRow row;
+    row.bench = r.bench;
+    row.cell = "m=" + std::to_string(r.m) +
+               ",rate=" + std::to_string(static_cast<long>(r.rate)) +
+               ",policy=" + r.policy;
+    row.tags.emplace_back("policy", r.policy);
+    row.metrics.emplace_back("m", static_cast<double>(r.m));
+    row.metrics.emplace_back("rate", r.rate);
+    row.metrics.emplace_back("ns_per_solve", r.ns_per_solve);
+    row.metrics.emplace_back("replicas", r.replicas);
+    doc.rows.push_back(std::move(row));
+  }
+  write_schema_checked(path, doc);
 }
 
 /// Runs `n` independent bench cells on a thread pool and returns the
@@ -194,34 +238,60 @@ struct WireRow {
   std::vector<std::pair<std::string, double>> values;
 };
 
-/// Writes wire-bench rows as a single JSON document:
-///   {"bench_family": "wire", "threads": ..., "quick": ..., "wall_ms":
-///    ..., "rows": [{"bench", "cell", <name>: <value>, ...}, ...]}
+/// Writes wire-bench rows as one "lesslog.bench" v1 document. Wire cells
+/// run at one fixed base seed, carried in `seed`.
 inline void write_wire_json(const std::string& path, const BenchArgs& args,
                             const std::vector<WireRow>& rows,
-                            double wall_ms) {
-  std::ofstream out(path);
-  if (!out) {
-    std::cerr << "cannot write json to " << path << "\n";
-    std::exit(2);
+                            double wall_ms, std::uint64_t seed = 42) {
+  JsonSchema doc;
+  doc.bench = rows.empty() ? "wire" : rows.front().bench;
+  doc.family = "wire";
+  doc.seed = seed;
+  doc.threads = args.threads;
+  doc.quick = args.quick;
+  doc.wall_ms = wall_ms;
+  for (const WireRow& r : rows) {
+    SchemaRow row;
+    row.bench = r.bench;
+    row.cell = r.cell;
+    row.metrics = r.values;
+    doc.rows.push_back(std::move(row));
   }
-  out << "{\n"
-      << "  \"bench_family\": \"wire\",\n"
-      << "  \"threads\": " << args.threads << ",\n"
-      << "  \"quick\": " << (args.quick ? "true" : "false") << ",\n"
-      << "  \"wall_ms\": " << wall_ms << ",\n"
-      << "  \"rows\": [\n";
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    const WireRow& r = rows[i];
-    out << "    {\"bench\": \"" << r.bench << "\", \"cell\": \"" << r.cell
-        << "\"";
-    for (const auto& [name, value] : r.values) {
-      out << ", \"" << name << "\": " << value;
+  write_schema_checked(path, doc);
+}
+
+/// Emits the --metrics document ("lesslog.metrics" v1) to --metrics-out
+/// (stdout when unset). JSON output is validated back against the schema
+/// before anything is written; a violation is a hard bench failure, which
+/// is what lets a ctest validate the export with a single bench
+/// invocation. Returns 0 on success (shell exit-code convention).
+inline int emit_metrics(const BenchArgs& args, const std::string& source,
+                        std::uint64_t seed, const obs::Snapshot& snapshot,
+                        const obs::TimeSeries* series = nullptr) {
+  if (!args.metrics.has_value()) return 0;
+  std::ostringstream body;
+  if (*args.metrics == "json") {
+    obs::write_metrics_json(body, snapshot, source, seed, series);
+    const std::string error = obs::validate_metrics_json(body.str());
+    if (!error.empty()) {
+      std::cerr << "metrics schema violation: " << error << "\n";
+      return 1;
     }
-    out << "}" << (i + 1 < rows.size() ? ",\n" : "\n");
+  } else {
+    obs::write_metrics_csv(body, snapshot, source, seed, series);
   }
-  out << "  ]\n}\n";
-  std::cout << "json written to " << path << "\n";
+  if (args.metrics_out.has_value()) {
+    std::ofstream out(*args.metrics_out);
+    if (!out) {
+      std::cerr << "cannot write metrics to " << *args.metrics_out << "\n";
+      return 1;
+    }
+    out << body.str();
+    std::cout << "metrics written to " << *args.metrics_out << "\n";
+  } else {
+    std::cout << body.str();
+  }
+  return 0;
 }
 
 /// Replicas-to-balance for one (config, policy) cell averaged over seeds

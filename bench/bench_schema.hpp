@@ -1,0 +1,215 @@
+// The versioned machine-readable bench document ("lesslog.bench" v1).
+//
+// Every bench's --json output — solve-family (figure reproductions over
+// the fluid solver) and wire-family (packet-level swarm runs) alike —
+// goes through this one emitter, so downstream tooling parses a single
+// shape with shared field names:
+//
+//   {
+//     "schema": "lesslog.bench", "version": 1,
+//     "bench": "<binary>", "family": "wire" | "solve",
+//     "seed": N, "seeds": N, "threads": N, "quick": bool,
+//     "solver": "scratch" | "incremental" | "",
+//     "wall_ms": X,
+//     "rows": [
+//       {"bench": "...", "cell": "...",
+//        "tags": {"<name>": "<string>", ...},      // optional
+//        "metrics": {"<name>": X, ...}},
+//       ...
+//     ]
+//   }
+//
+// parse() is the exact inverse of write() (round-trip tested), so benches
+// can validate the very bytes they just wrote.
+#pragma once
+
+#include <iomanip>
+#include <limits>
+#include <optional>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "lesslog/util/minijson.hpp"
+
+namespace lesslog::bench {
+
+inline constexpr std::string_view kBenchSchemaName = "lesslog.bench";
+inline constexpr int kBenchSchemaVersion = 1;
+
+/// One result row: a named cell with optional string tags and its numeric
+/// outputs under "metrics".
+struct SchemaRow {
+  std::string bench;
+  std::string cell;
+  std::vector<std::pair<std::string, std::string>> tags;
+  std::vector<std::pair<std::string, double>> metrics;
+
+  friend bool operator==(const SchemaRow&, const SchemaRow&) = default;
+};
+
+struct JsonSchema {
+  std::string bench;   ///< emitting binary
+  std::string family;  ///< "wire" (packet-level) or "solve" (fluid solver)
+  std::uint64_t seed = 0;  ///< base seed (wire cells), 0 when seeds-swept
+  int seeds = 0;           ///< averaging width (solve cells)
+  int threads = 0;
+  bool quick = false;
+  std::string solver;  ///< solve family only; empty otherwise
+  double wall_ms = 0.0;
+  std::vector<SchemaRow> rows;
+
+  void write(std::ostream& out) const;
+  [[nodiscard]] static std::optional<JsonSchema> parse(std::string_view text);
+
+  friend bool operator==(const JsonSchema&, const JsonSchema&) = default;
+};
+
+namespace schema_detail {
+
+inline void write_escaped(std::ostream& out, std::string_view s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out << '\\';
+    out << c;
+  }
+}
+
+/// Doubles are written with max_digits10 so parse() recovers the exact
+/// value (round-trip identity is what the schema test asserts).
+inline void write_double(std::ostream& out, double v) {
+  std::ostringstream tmp;
+  tmp << std::setprecision(std::numeric_limits<double>::max_digits10) << v;
+  out << tmp.str();
+}
+
+}  // namespace schema_detail
+
+inline void JsonSchema::write(std::ostream& out) const {
+  using schema_detail::write_double;
+  using schema_detail::write_escaped;
+  out << "{\n"
+      << "  \"schema\": \"" << kBenchSchemaName << "\",\n"
+      << "  \"version\": " << kBenchSchemaVersion << ",\n"
+      << "  \"bench\": \"";
+  write_escaped(out, bench);
+  out << "\",\n  \"family\": \"";
+  write_escaped(out, family);
+  out << "\",\n  \"seed\": " << seed << ",\n"
+      << "  \"seeds\": " << seeds << ",\n"
+      << "  \"threads\": " << threads << ",\n"
+      << "  \"quick\": " << (quick ? "true" : "false") << ",\n"
+      << "  \"solver\": \"";
+  write_escaped(out, solver);
+  out << "\",\n  \"wall_ms\": ";
+  write_double(out, wall_ms);
+  out << ",\n  \"rows\": [";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const SchemaRow& r = rows[i];
+    out << (i == 0 ? "\n" : ",\n") << "    {\"bench\": \"";
+    write_escaped(out, r.bench);
+    out << "\", \"cell\": \"";
+    write_escaped(out, r.cell);
+    out << "\"";
+    if (!r.tags.empty()) {
+      out << ", \"tags\": {";
+      for (std::size_t t = 0; t < r.tags.size(); ++t) {
+        out << (t == 0 ? "" : ", ") << "\"";
+        write_escaped(out, r.tags[t].first);
+        out << "\": \"";
+        write_escaped(out, r.tags[t].second);
+        out << "\"";
+      }
+      out << "}";
+    }
+    out << ", \"metrics\": {";
+    for (std::size_t v = 0; v < r.metrics.size(); ++v) {
+      out << (v == 0 ? "" : ", ") << "\"";
+      write_escaped(out, r.metrics[v].first);
+      out << "\": ";
+      write_double(out, r.metrics[v].second);
+    }
+    out << "}}";
+  }
+  out << (rows.empty() ? "" : "\n  ") << "]\n}\n";
+}
+
+inline std::optional<JsonSchema> JsonSchema::parse(std::string_view text) {
+  namespace mj = util::minijson;
+  const std::optional<mj::Value> doc = mj::parse(text);
+  if (!doc || !doc->is_object()) return std::nullopt;
+
+  const auto str = [&](const char* key) -> std::optional<std::string> {
+    const mj::Value* v = doc->find(key);
+    if (v == nullptr || !v->is_string()) return std::nullopt;
+    return v->string;
+  };
+  const auto num = [&](const char* key) -> std::optional<double> {
+    const mj::Value* v = doc->find(key);
+    if (v == nullptr || !v->is_number()) return std::nullopt;
+    return v->number;
+  };
+
+  if (str("schema") != std::string(kBenchSchemaName)) return std::nullopt;
+  if (num("version") != static_cast<double>(kBenchSchemaVersion)) {
+    return std::nullopt;
+  }
+  const mj::Value* quick = doc->find("quick");
+  const mj::Value* rows = doc->find("rows");
+  if (quick == nullptr || !quick->is_bool() || rows == nullptr ||
+      !rows->is_array()) {
+    return std::nullopt;
+  }
+
+  JsonSchema out;
+  const std::optional<std::string> bench = str("bench");
+  const std::optional<std::string> family = str("family");
+  const std::optional<std::string> solver = str("solver");
+  const std::optional<double> seed = num("seed");
+  const std::optional<double> seeds = num("seeds");
+  const std::optional<double> threads = num("threads");
+  const std::optional<double> wall = num("wall_ms");
+  if (!bench || !family || !solver || !seed || !seeds || !threads || !wall) {
+    return std::nullopt;
+  }
+  out.bench = *bench;
+  out.family = *family;
+  out.solver = *solver;
+  out.seed = static_cast<std::uint64_t>(*seed);
+  out.seeds = static_cast<int>(*seeds);
+  out.threads = static_cast<int>(*threads);
+  out.quick = quick->boolean;
+  out.wall_ms = *wall;
+
+  for (const mj::Value& row : rows->array) {
+    if (!row.is_object()) return std::nullopt;
+    SchemaRow r;
+    const mj::Value* rbench = row.find("bench");
+    const mj::Value* rcell = row.find("cell");
+    const mj::Value* rmetrics = row.find("metrics");
+    if (rbench == nullptr || !rbench->is_string() || rcell == nullptr ||
+        !rcell->is_string() || rmetrics == nullptr ||
+        !rmetrics->is_object()) {
+      return std::nullopt;
+    }
+    r.bench = rbench->string;
+    r.cell = rcell->string;
+    if (const mj::Value* rtags = row.find("tags")) {
+      if (!rtags->is_object()) return std::nullopt;
+      for (const auto& [name, value] : rtags->object) {
+        if (!value.is_string()) return std::nullopt;
+        r.tags.emplace_back(name, value.string);
+      }
+    }
+    for (const auto& [name, value] : rmetrics->object) {
+      if (!value.is_number()) return std::nullopt;
+      r.metrics.emplace_back(name, value.number);
+    }
+    out.rows.push_back(std::move(r));
+  }
+  return out;
+}
+
+}  // namespace lesslog::bench

@@ -1,0 +1,50 @@
+// Metrics document export: the shared "lesslog.metrics" v1 schema that
+// benches (--metrics json|csv), the CLI metrics subcommand, and the
+// report generator all emit, plus a validator the ctest smoke checks run
+// against the bytes they just wrote.
+//
+// JSON document shape (schema "lesslog.metrics", version 1):
+//   {
+//     "schema": "lesslog.metrics", "version": 1,
+//     "source": "<bench or tool name>", "seed": N,
+//     "counters": { "name": N, ... },
+//     "gauges": { "name": X, ... },
+//     "histograms": { "name": {"count": N, "mean_ms": X, "p50_ms": X,
+//                              "p90_ms": X, "p99_ms": X}, ... },
+//     "series": [ {"t": X, "<scalar>": X, ...}, ... ]   // optional
+//   }
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "lesslog/obs/metrics.hpp"
+#include "lesslog/obs/sampler.hpp"
+
+namespace lesslog::obs {
+
+inline constexpr std::string_view kMetricsSchemaName = "lesslog.metrics";
+inline constexpr int kMetricsSchemaVersion = 1;
+
+/// Writes one metrics document in the shared JSON schema. `series` may be
+/// null (benches without a sampler omit the section).
+void write_metrics_json(std::ostream& out, const Snapshot& snapshot,
+                        std::string_view source, std::uint64_t seed,
+                        const TimeSeries* series = nullptr);
+
+/// CSV mirror: a `metric,kind,value` row per scalar, histogram stats
+/// flattened to rows; the time-series (if any) follows as a second CSV
+/// block separated by a blank line.
+void write_metrics_csv(std::ostream& out, const Snapshot& snapshot,
+                       std::string_view source, std::uint64_t seed,
+                       const TimeSeries* series = nullptr);
+
+/// Validates that `text` parses as JSON and conforms to the
+/// "lesslog.metrics" v1 schema above (correct schema/version tags,
+/// counters/gauges numeric, histogram stat objects complete, series rows
+/// carrying "t"). Returns an empty string on success, else a one-line
+/// description of the first violation.
+std::string validate_metrics_json(std::string_view text);
+
+}  // namespace lesslog::obs

@@ -1,0 +1,72 @@
+// Periodic registry sampling into a time-series.
+//
+// The sampler is the engine hook of the observability layer: every Δt of
+// simulated time it (optionally) refreshes derived gauges via a
+// user-supplied callback, then appends a registry snapshot to its series.
+// Counters are cumulative, so consumers difference adjacent samples for
+// rates; gauges are instantaneous.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <vector>
+
+#include "lesslog/obs/metrics.hpp"
+#include "lesslog/sim/engine.hpp"
+#include "lesslog/util/table.hpp"
+
+namespace lesslog::obs {
+
+/// An ordered sequence of snapshots at increasing simulated times.
+struct TimeSeries {
+  std::vector<Snapshot> samples;
+
+  [[nodiscard]] std::size_t size() const noexcept { return samples.size(); }
+  [[nodiscard]] bool empty() const noexcept { return samples.empty(); }
+
+  /// Table with one row per sample: time plus the named scalar columns
+  /// (counter or gauge names; histogram names expand to p50/p99 ms).
+  /// Unknown names render as 0.
+  [[nodiscard]] util::Table to_table(
+      const std::vector<std::string>& columns) const;
+
+  /// CSV mirror of every scalar column (time, counters..., gauges...,
+  /// histogram p50/p99/count columns).
+  void write_csv(std::ostream& out) const;
+
+  /// JSON array of sample objects (the "series" section of the metrics
+  /// document schema).
+  void write_json(std::ostream& out, int indent = 0) const;
+};
+
+/// Schedules itself on a sim::Engine and snapshots a registry every
+/// `interval` simulated seconds until `stop_at`. Must outlive the engine
+/// events it schedules (the swarm owns its sampler for exactly this
+/// reason).
+class Sampler {
+ public:
+  /// `pre_sample`, if set, runs right before each snapshot — the place to
+  /// refresh derived gauges (queue depth, live peers, ...).
+  Sampler(sim::Engine& engine, const Registry& registry, double interval,
+          double stop_at, std::function<void()> pre_sample = {});
+
+  /// Schedules the first sample at now() + interval. Idempotent per
+  /// construction (call once).
+  void start();
+
+  [[nodiscard]] const TimeSeries& series() const noexcept { return series_; }
+  [[nodiscard]] double interval() const noexcept { return interval_; }
+
+ private:
+  void tick();
+
+  sim::Engine* engine_;
+  const Registry* registry_;
+  double interval_;
+  double stop_at_;
+  std::function<void()> pre_sample_;
+  TimeSeries series_;
+};
+
+}  // namespace lesslog::obs

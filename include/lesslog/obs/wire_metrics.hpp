@@ -1,0 +1,61 @@
+// Pre-resolved metric cells for the protocol layer.
+//
+// The swarm registers every wire metric once at construction and hands
+// this bundle of raw cell pointers to Network / Peer / Client, so each
+// instrumented event is a single indirect increment — no name lookup on
+// the hot path. Registration order (and therefore snapshot order) is
+// fixed by the constructor.
+#pragma once
+
+#include <array>
+
+#include "lesslog/obs/metrics.hpp"
+#include "lesslog/proto/message.hpp"
+
+namespace lesslog::obs {
+
+struct WireMetrics {
+  /// Wire type tags are 1..10; slot 0 is unused so a MsgType indexes
+  /// directly.
+  static constexpr std::size_t kTypeSlots = 11;
+
+  explicit WireMetrics(Registry& registry);
+
+  [[nodiscard]] Counter& in_for(proto::MsgType t) const noexcept {
+    return *msgs_in[static_cast<std::size_t>(t)];
+  }
+  [[nodiscard]] Counter& out_for(proto::MsgType t) const noexcept {
+    return *msgs_out[static_cast<std::size_t>(t)];
+  }
+
+  // Delivered / sent datagrams by message type ("msgs_in.GET", ...).
+  std::array<Counter*, kTypeSlots> msgs_in{};
+  std::array<Counter*, kTypeSlots> msgs_out{};
+
+  // Network totals.
+  Counter* bytes_out = nullptr;
+  Counter* dropped = nullptr;
+  Counter* undeliverable = nullptr;
+
+  // Peer-side service counters.
+  Counter* served = nullptr;
+  Counter* forwarded = nullptr;
+  Counter* push_retries = nullptr;
+
+  // Client-side reliability counters.
+  Counter* gets_issued = nullptr;
+  Counter* get_retries = nullptr;
+  Counter* get_timeouts = nullptr;
+  Counter* get_migrations = nullptr;
+  Counter* get_faults = nullptr;
+
+  // Sampled gauges (refreshed by the swarm's sampler hook).
+  Gauge* queue_depth = nullptr;
+  Gauge* live_peers = nullptr;
+  Gauge* max_served = nullptr;
+
+  // End-to-end GETFILE latency (successful requests), in seconds.
+  LatencyHistogram* get_latency = nullptr;
+};
+
+}  // namespace lesslog::obs

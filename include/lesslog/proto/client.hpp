@@ -50,6 +50,13 @@ class Client {
   [[nodiscard]] std::int64_t requests_issued() const noexcept {
     return issued_;
   }
+
+  /// Points the reliability accounting at the swarm's pre-resolved metric
+  /// cells (gets / retries / timeouts / migrations / faults / latency).
+  /// Optional; compiled to nothing under -DLESSLOG_NO_METRICS.
+  void set_metrics(const obs::WireMetrics* metrics) noexcept {
+    metrics_ = metrics;
+  }
   [[nodiscard]] std::int64_t faults() const noexcept { return faults_; }
   [[nodiscard]] const std::vector<double>& latencies() const noexcept {
     return latencies_;
@@ -90,6 +97,7 @@ class Client {
   Peer* home_;
   Network* network_;
   ClientConfig cfg_;
+  const obs::WireMetrics* metrics_ = nullptr;
   std::uint64_t next_id_;
   // Pending tables keyed by the strictly increasing request id: a
   // sliding-window slot map, so the per-reply/per-timeout correlation

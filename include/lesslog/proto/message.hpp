@@ -60,15 +60,34 @@ using WireBuffer = std::array<std::uint8_t, kWireSize>;
 /// owned buffer; writes exactly the bytes encode() would return.
 void encode_into(const Message& m, WireBuffer& out) noexcept;
 
-/// Heap-allocating convenience wrapper around encode_into.
-[[nodiscard]] std::vector<std::uint8_t> encode(const Message& m);
+/// Heap-allocating convenience wrapper around encode_into. Kept only as
+/// the property-tested reference for encode_into; new code should encode
+/// into a caller-owned WireBuffer.
+[[nodiscard, deprecated("allocates per call; use encode_into")]]
+std::vector<std::uint8_t> encode(const Message& m);
 
 /// Decodes a wire buffer; nullopt on wrong size or invalid type tag.
 /// Accepts any contiguous byte range (WireBuffer, vector, ...).
 [[nodiscard]] std::optional<Message> decode(
     std::span<const std::uint8_t> bytes);
 
-/// Human-readable tag for traces ("GET", "REPLY", ...).
-[[nodiscard]] const char* type_name(MsgType t) noexcept;
+/// Human-readable tag for traces ("GET", "REPLY", ...). Inline so
+/// header-only consumers (the obs layer names its per-type counters with
+/// it) need no link dependency on the proto library.
+[[nodiscard]] inline const char* type_name(MsgType t) noexcept {
+  switch (t) {
+    case MsgType::kGetRequest: return "GET";
+    case MsgType::kGetReply: return "REPLY";
+    case MsgType::kInsertRequest: return "INSERT";
+    case MsgType::kInsertAck: return "INS_ACK";
+    case MsgType::kCreateReplica: return "CREATE";
+    case MsgType::kUpdatePush: return "UPDATE";
+    case MsgType::kStatusAnnounce: return "STATUS";
+    case MsgType::kFilePush: return "PUSH";
+    case MsgType::kReclaim: return "RECLAIM";
+    case MsgType::kFilePushAck: return "PUSH_ACK";
+  }
+  return "???";
+}
 
 }  // namespace lesslog::proto

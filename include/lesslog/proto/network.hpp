@@ -11,6 +11,7 @@
 #include <functional>
 #include <vector>
 
+#include "lesslog/obs/sink.hpp"
 #include "lesslog/proto/message.hpp"
 #include "lesslog/sim/engine.hpp"
 
@@ -56,6 +57,24 @@ class Network {
   /// Switches to distance-based link latency (see Geography).
   void enable_geography(const Geography& geo);
 
+  /// Registers an observer notified (in registration order) about every
+  /// delivered datagram, at delivery time, before the receiving handler
+  /// runs. The network is the single delivery funnel, so sinks see peers
+  /// that attach at any later time too. The sink must stay alive until
+  /// removed (or the network is destroyed).
+  void add_sink(obs::DeliverySink& sink);
+  void remove_sink(obs::DeliverySink& sink);
+
+  /// Fans a membership event out to every sink (called by the swarm from
+  /// join / depart / crash).
+  void notify_peer_event(double time, core::Pid peer, bool live);
+
+  /// Points the send/deliver accounting at pre-resolved metric cells
+  /// (nullptr detaches). Compiled to nothing under -DLESSLOG_NO_METRICS.
+  void set_metrics(const obs::WireMetrics* metrics) noexcept {
+    metrics_ = metrics;
+  }
+
   /// Euclidean distance between two nodes' coordinates. Precondition:
   /// geography enabled and both PIDs within its slot count.
   [[nodiscard]] double distance(core::Pid a, core::Pid b) const;
@@ -93,6 +112,8 @@ class Network {
   Geography geo_;
   std::vector<std::pair<double, double>> coords_;  // empty = flat latency
   std::vector<Handler> handlers_;  // indexed by PID, empty = detached
+  std::vector<obs::DeliverySink*> sinks_;
+  const obs::WireMetrics* metrics_ = nullptr;
   std::int64_t messages_sent_ = 0;
   std::int64_t bytes_sent_ = 0;
   std::int64_t dropped_ = 0;

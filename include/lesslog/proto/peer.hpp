@@ -65,6 +65,13 @@ class Peer {
   /// colocated client).
   void set_reply_sink(ReplySink sink) { reply_sink_ = std::move(sink); }
 
+  /// Points the service accounting at the swarm's pre-resolved metric
+  /// cells (served / forwarded / push retries). Optional; compiled to
+  /// nothing under -DLESSLOG_NO_METRICS.
+  void set_metrics(const obs::WireMetrics* metrics) noexcept {
+    metrics_ = metrics;
+  }
+
   /// Message entry point (also called directly by tests).
   void handle(const Message& m);
 
@@ -125,6 +132,7 @@ class Peer {
   core::FileStore store_;
   Network* network_;
   ReplySink reply_sink_;
+  const obs::WireMetrics* metrics_ = nullptr;
   std::int64_t served_ = 0;
   std::int64_t forwarded_ = 0;
   /// Replica placements this peer has made, per file. A peer cannot know

@@ -16,6 +16,8 @@
 #include <vector>
 
 #include "lesslog/core/replication.hpp"
+#include "lesslog/obs/sampler.hpp"
+#include "lesslog/obs/sink.hpp"
 #include "lesslog/proto/client.hpp"
 #include "lesslog/proto/network.hpp"
 #include "lesslog/proto/peer.hpp"
@@ -118,6 +120,34 @@ class Swarm {
     return auto_removals_;
   }
 
+  // -- Observability ------------------------------------------------------
+
+  /// The swarm's metric registry. Cells are registered at construction
+  /// (see obs::WireMetrics for the catalog); under -DLESSLOG_NO_METRICS
+  /// the cells exist but stay at zero.
+  [[nodiscard]] obs::Registry& registry() noexcept { return registry_; }
+  [[nodiscard]] const obs::Registry& registry() const noexcept {
+    return registry_;
+  }
+  [[nodiscard]] const obs::WireMetrics& metrics() const noexcept {
+    return metrics_;
+  }
+
+  /// Registers an observer for every delivered datagram plus membership
+  /// events (notified in registration order, before the receiving peer's
+  /// handler). The sink must be removed (or the swarm destroyed) before
+  /// the sink dies. Peers joining later are covered automatically.
+  void add_sink(obs::DeliverySink& sink) { network_.add_sink(sink); }
+  void remove_sink(obs::DeliverySink& sink) { network_.remove_sink(sink); }
+
+  /// Samples the registry every `interval` simulated seconds until
+  /// `stop_at`, refreshing the derived gauges (queue depth, live peers,
+  /// hottest peer's served count) right before each snapshot.
+  void enable_metrics_sampling(double interval, double stop_at);
+
+  /// The sampled time-series (empty until enable_metrics_sampling ran).
+  [[nodiscard]] const obs::TimeSeries& metrics_series() const;
+
  private:
   void broadcast_status(core::Pid about, bool live);
   void auto_replication_tick(double capacity, double window, double stop_at,
@@ -127,6 +157,10 @@ class Swarm {
   sim::Engine engine_;
   Network network_;
   util::StatusWord status_;
+  obs::Registry registry_;
+  obs::WireMetrics metrics_;
+  obs::MetricsSink metrics_sink_;
+  std::unique_ptr<obs::Sampler> sampler_;
   std::vector<std::unique_ptr<Peer>> peers_;
   std::vector<std::unique_ptr<Client>> clients_;
   std::int64_t auto_replicas_ = 0;

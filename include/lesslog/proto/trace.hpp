@@ -2,12 +2,18 @@
 // timestamps, as structured records — filterable, printable, and
 // JSONL-exportable. The protocol_trace example renders with it; tests use
 // it to assert exact message sequences.
+//
+// Trace is an obs::DeliverySink: it registers with the swarm's network
+// (the single delivery funnel), so peers that join after construction are
+// recorded automatically — there is nothing to re-arm and no handler
+// wrapping involved.
 #pragma once
 
 #include <iosfwd>
 #include <string>
 #include <vector>
 
+#include "lesslog/obs/sink.hpp"
 #include "lesslog/proto/swarm.hpp"
 
 namespace lesslog::proto {
@@ -17,16 +23,19 @@ struct TraceRecord {
   Message message;
 };
 
-class Trace {
+class Trace final : public obs::DeliverySink {
  public:
-  /// Starts recording every delivery in `swarm` by wrapping each attached
-  /// peer's network handler. Peers that join later are wrapped when
-  /// rearm() is called. The Trace must outlive the recording swarm or be
-  /// detached by destroying the swarm first (handlers keep a pointer).
+  /// Starts recording every delivery in `swarm`. Destroy the Trace before
+  /// the Swarm (it unregisters itself from the swarm's sink list) —
+  /// declaring it after the Swarm in the same scope does exactly that.
   explicit Trace(Swarm& swarm);
+  ~Trace() override;
 
-  /// Re-wraps handlers after membership changes added peers.
-  void rearm();
+  Trace(const Trace&) = delete;
+  Trace& operator=(const Trace&) = delete;
+
+  /// DeliverySink: appends one record per delivered datagram.
+  void on_deliver(double time, const Message& m) override;
 
   [[nodiscard]] const std::vector<TraceRecord>& records() const noexcept {
     return records_;

@@ -1,0 +1,51 @@
+// Minimal recursive-descent JSON parser for self-validation of the
+// JSON the tools and benches emit. Not a general-purpose library: no
+// \u escapes beyond pass-through, no streaming, object keys keep
+// insertion order (handy for schema checks). Depth-limited to keep the
+// fuzz surface bounded.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace lesslog::util::minijson {
+
+/// A parsed JSON value. Objects are ordered key/value pair lists (JSON
+/// objects are small here; linear find is fine and order is meaningful
+/// for schema checks).
+struct Value {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<Value> array;
+  std::vector<std::pair<std::string, Value>> object;
+
+  [[nodiscard]] bool is_null() const noexcept { return kind == Kind::kNull; }
+  [[nodiscard]] bool is_bool() const noexcept { return kind == Kind::kBool; }
+  [[nodiscard]] bool is_number() const noexcept {
+    return kind == Kind::kNumber;
+  }
+  [[nodiscard]] bool is_string() const noexcept {
+    return kind == Kind::kString;
+  }
+  [[nodiscard]] bool is_array() const noexcept { return kind == Kind::kArray; }
+  [[nodiscard]] bool is_object() const noexcept {
+    return kind == Kind::kObject;
+  }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const Value* find(std::string_view key) const;
+};
+
+/// Parses one JSON document (with optional surrounding whitespace).
+/// Returns nullopt on any syntax error or trailing garbage.
+std::optional<Value> parse(std::string_view text);
+
+}  // namespace lesslog::util::minijson

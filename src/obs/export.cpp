@@ -1,0 +1,179 @@
+#include "lesslog/obs/export.hpp"
+
+#include <ostream>
+#include <string>
+
+#include "lesslog/util/minijson.hpp"
+
+namespace lesslog::obs {
+
+namespace {
+
+void write_json_escaped(std::ostream& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out << "\\\"";
+        break;
+      case '\\':
+        out << "\\\\";
+        break;
+      case '\n':
+        out << "\\n";
+        break;
+      default:
+        out << c;
+    }
+  }
+}
+
+void write_histogram_stats(std::ostream& out, const LatencyHistogram& h) {
+  out << "{\"count\": " << h.total() << ", \"mean_ms\": " << 1000.0 * h.mean()
+      << ", \"p50_ms\": " << 1000.0 * h.percentile(50.0)
+      << ", \"p90_ms\": " << 1000.0 * h.percentile(90.0)
+      << ", \"p99_ms\": " << 1000.0 * h.percentile(99.0) << "}";
+}
+
+}  // namespace
+
+void write_metrics_json(std::ostream& out, const Snapshot& snapshot,
+                        std::string_view source, std::uint64_t seed,
+                        const TimeSeries* series) {
+  out << "{\n";
+  out << "  \"schema\": \"" << kMetricsSchemaName << "\",\n";
+  out << "  \"version\": " << kMetricsSchemaVersion << ",\n";
+  out << "  \"source\": \"";
+  write_json_escaped(out, source);
+  out << "\",\n";
+  out << "  \"seed\": " << seed << ",\n";
+
+  out << "  \"counters\": {";
+  for (std::size_t i = 0; i < snapshot.counters.size(); ++i) {
+    const auto& [name, value] = snapshot.counters[i];
+    out << (i == 0 ? "\n" : ",\n") << "    \"";
+    write_json_escaped(out, name);
+    out << "\": " << value;
+  }
+  out << (snapshot.counters.empty() ? "" : "\n  ") << "},\n";
+
+  out << "  \"gauges\": {";
+  for (std::size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    const auto& [name, value] = snapshot.gauges[i];
+    out << (i == 0 ? "\n" : ",\n") << "    \"";
+    write_json_escaped(out, name);
+    out << "\": " << value;
+  }
+  out << (snapshot.gauges.empty() ? "" : "\n  ") << "},\n";
+
+  out << "  \"histograms\": {";
+  for (std::size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    const auto& [name, hist] = snapshot.histograms[i];
+    out << (i == 0 ? "\n" : ",\n") << "    \"";
+    write_json_escaped(out, name);
+    out << "\": ";
+    write_histogram_stats(out, hist);
+  }
+  out << (snapshot.histograms.empty() ? "" : "\n  ") << "}";
+
+  if (series != nullptr) {
+    out << ",\n  \"series\": ";
+    series->write_json(out, 2);
+  }
+  out << "\n}\n";
+}
+
+void write_metrics_csv(std::ostream& out, const Snapshot& snapshot,
+                       std::string_view source, std::uint64_t seed,
+                       const TimeSeries* series) {
+  out << "# lesslog.metrics v" << kMetricsSchemaVersion << " source="
+      << source << " seed=" << seed << "\n";
+  out << "metric,kind,value\n";
+  for (const auto& [name, value] : snapshot.counters) {
+    out << name << ",counter," << value << "\n";
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    out << name << ",gauge," << value << "\n";
+  }
+  for (const auto& [name, hist] : snapshot.histograms) {
+    out << name << ".count,histogram," << hist.total() << "\n";
+    out << name << ".mean_ms,histogram," << 1000.0 * hist.mean() << "\n";
+    out << name << ".p50_ms,histogram," << 1000.0 * hist.percentile(50.0)
+        << "\n";
+    out << name << ".p90_ms,histogram," << 1000.0 * hist.percentile(90.0)
+        << "\n";
+    out << name << ".p99_ms,histogram," << 1000.0 * hist.percentile(99.0)
+        << "\n";
+  }
+  if (series != nullptr && !series->empty()) {
+    out << "\n";
+    series->write_csv(out);
+  }
+}
+
+std::string validate_metrics_json(std::string_view text) {
+  namespace mj = util::minijson;
+  const std::optional<mj::Value> doc = mj::parse(text);
+  if (!doc) return "not valid JSON";
+  if (!doc->is_object()) return "document is not an object";
+
+  const mj::Value* schema = doc->find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->string != kMetricsSchemaName) {
+    return "missing or wrong \"schema\" tag";
+  }
+  const mj::Value* version = doc->find("version");
+  if (version == nullptr || !version->is_number() ||
+      version->number != static_cast<double>(kMetricsSchemaVersion)) {
+    return "missing or wrong \"version\"";
+  }
+  const mj::Value* source = doc->find("source");
+  if (source == nullptr || !source->is_string() || source->string.empty()) {
+    return "missing \"source\"";
+  }
+  const mj::Value* seed = doc->find("seed");
+  if (seed == nullptr || !seed->is_number()) return "missing \"seed\"";
+
+  const mj::Value* counters = doc->find("counters");
+  if (counters == nullptr || !counters->is_object()) {
+    return "missing \"counters\" object";
+  }
+  for (const auto& [name, value] : counters->object) {
+    if (!value.is_number()) return "counter \"" + name + "\" is not numeric";
+  }
+  const mj::Value* gauges = doc->find("gauges");
+  if (gauges == nullptr || !gauges->is_object()) {
+    return "missing \"gauges\" object";
+  }
+  for (const auto& [name, value] : gauges->object) {
+    if (!value.is_number()) return "gauge \"" + name + "\" is not numeric";
+  }
+  const mj::Value* histograms = doc->find("histograms");
+  if (histograms == nullptr || !histograms->is_object()) {
+    return "missing \"histograms\" object";
+  }
+  for (const auto& [name, stats] : histograms->object) {
+    if (!stats.is_object()) {
+      return "histogram \"" + name + "\" is not an object";
+    }
+    for (const char* field :
+         {"count", "mean_ms", "p50_ms", "p90_ms", "p99_ms"}) {
+      const mj::Value* v = stats.find(field);
+      if (v == nullptr || !v->is_number()) {
+        return "histogram \"" + name + "\" missing numeric \"" + field + "\"";
+      }
+    }
+  }
+  if (const mj::Value* series = doc->find("series")) {
+    if (!series->is_array()) return "\"series\" is not an array";
+    for (const mj::Value& sample : series->array) {
+      if (!sample.is_object()) return "series sample is not an object";
+      const mj::Value* t = sample.find("t");
+      if (t == nullptr || !t->is_number()) {
+        return "series sample missing numeric \"t\"";
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace lesslog::obs

@@ -1,0 +1,117 @@
+#include "lesslog/obs/metrics.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace lesslog::obs {
+
+double LatencyHistogram::percentile(double pct) const noexcept {
+  const std::int64_t n = total();
+  if (n <= 0) return 0.0;
+  const double clamped = std::min(std::max(pct, 0.0), 100.0);
+  // Rank of the pct-th sample, 1-based (nearest-rank definition).
+  const auto rank = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(
+             std::ceil(clamped / 100.0 * static_cast<double>(n))));
+  std::int64_t cum = 0;
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    cum += bucket(i);
+    if (cum >= rank) {
+      return 0.5 * (bucket_lower(i) + bucket_upper(i));
+    }
+  }
+  return 0.5 * (bucket_lower(kBucketCount - 1) + bucket_upper(kBucketCount - 1));
+}
+
+void Snapshot::merge_from(const Snapshot& other) {
+  if (empty()) {
+    const double keep = time;
+    *this = other;
+    time = keep;
+    return;
+  }
+  assert(counters.size() == other.counters.size() &&
+         gauges.size() == other.gauges.size() &&
+         histograms.size() == other.histograms.size() &&
+         "snapshots from differently-shaped registries cannot merge");
+  for (std::size_t i = 0; i < counters.size(); ++i) {
+    assert(counters[i].first == other.counters[i].first);
+    counters[i].second += other.counters[i].second;
+  }
+  for (std::size_t i = 0; i < gauges.size(); ++i) {
+    assert(gauges[i].first == other.gauges[i].first);
+    gauges[i].second += other.gauges[i].second;
+  }
+  for (std::size_t i = 0; i < histograms.size(); ++i) {
+    assert(histograms[i].first == other.histograms[i].first);
+    histograms[i].second.merge(other.histograms[i].second);
+  }
+}
+
+namespace {
+template <typename Pairs>
+auto find_named(const Pairs& pairs, std::string_view name)
+    -> const typename Pairs::value_type::second_type* {
+  for (const auto& [key, value] : pairs) {
+    if (key == name) return &value;
+  }
+  return nullptr;
+}
+}  // namespace
+
+const std::uint64_t* Snapshot::counter(std::string_view name) const {
+  return find_named(counters, name);
+}
+
+const double* Snapshot::gauge(std::string_view name) const {
+  return find_named(gauges, name);
+}
+
+const LatencyHistogram* Snapshot::histogram(std::string_view name) const {
+  return find_named(histograms, name);
+}
+
+namespace {
+template <typename Cell>
+Cell& find_or_create(std::deque<Cell>& cells, std::vector<std::string>& names,
+                     std::string_view name) {
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == name) return cells[i];
+  }
+  names.emplace_back(name);
+  cells.emplace_back();
+  return cells.back();
+}
+}  // namespace
+
+Counter& Registry::counter(std::string_view name) {
+  return find_or_create(counters_, counter_names_, name);
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  return find_or_create(gauges_, gauge_names_, name);
+}
+
+LatencyHistogram& Registry::histogram(std::string_view name) {
+  return find_or_create(histograms_, histogram_names_, name);
+}
+
+Snapshot Registry::snapshot(double time) const {
+  Snapshot out;
+  out.time = time;
+  out.counters.reserve(counter_names_.size());
+  for (std::size_t i = 0; i < counter_names_.size(); ++i) {
+    out.counters.emplace_back(counter_names_[i], counters_[i].value());
+  }
+  out.gauges.reserve(gauge_names_.size());
+  for (std::size_t i = 0; i < gauge_names_.size(); ++i) {
+    out.gauges.emplace_back(gauge_names_[i], gauges_[i].value());
+  }
+  out.histograms.reserve(histogram_names_.size());
+  for (std::size_t i = 0; i < histogram_names_.size(); ++i) {
+    out.histograms.emplace_back(histogram_names_[i], histograms_[i]);
+  }
+  return out;
+}
+
+}  // namespace lesslog::obs

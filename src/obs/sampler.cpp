@@ -1,0 +1,130 @@
+#include "lesslog/obs/sampler.hpp"
+
+#include <cassert>
+#include <ostream>
+#include <sstream>
+
+namespace lesslog::obs {
+
+namespace {
+
+/// Scalar columns of a snapshot, flattened in deterministic order:
+/// counters, gauges, then per-histogram p50/p99/count.
+std::vector<std::string> scalar_names(const Snapshot& s) {
+  std::vector<std::string> names;
+  for (const auto& [name, value] : s.counters) names.push_back(name);
+  for (const auto& [name, value] : s.gauges) names.push_back(name);
+  for (const auto& [name, hist] : s.histograms) {
+    names.push_back(name + ".p50_ms");
+    names.push_back(name + ".p99_ms");
+    names.push_back(name + ".count");
+  }
+  return names;
+}
+
+std::vector<double> scalar_values(const Snapshot& s) {
+  std::vector<double> values;
+  for (const auto& [name, value] : s.counters) {
+    values.push_back(static_cast<double>(value));
+  }
+  for (const auto& [name, value] : s.gauges) values.push_back(value);
+  for (const auto& [name, hist] : s.histograms) {
+    values.push_back(1000.0 * hist.percentile(50.0));
+    values.push_back(1000.0 * hist.percentile(99.0));
+    values.push_back(static_cast<double>(hist.total()));
+  }
+  return values;
+}
+
+/// One named scalar of a snapshot (0 when absent); histogram names
+/// resolve to their p50 in ms.
+double scalar_of(const Snapshot& s, const std::string& column) {
+  if (const std::uint64_t* c = s.counter(column)) {
+    return static_cast<double>(*c);
+  }
+  if (const double* g = s.gauge(column)) return *g;
+  if (const LatencyHistogram* h = s.histogram(column)) {
+    return 1000.0 * h->percentile(50.0);
+  }
+  const std::vector<std::string> names = scalar_names(s);
+  const std::vector<double> values = scalar_values(s);
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == column) return values[i];
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+util::Table TimeSeries::to_table(
+    const std::vector<std::string>& columns) const {
+  std::vector<std::string> headers{"t (s)"};
+  headers.insert(headers.end(), columns.begin(), columns.end());
+  util::Table table(headers);
+  for (const Snapshot& s : samples) {
+    std::vector<util::Cell> row;
+    row.emplace_back(s.time);
+    for (const std::string& column : columns) {
+      row.emplace_back(scalar_of(s, column));
+    }
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+void TimeSeries::write_csv(std::ostream& out) const {
+  if (samples.empty()) return;
+  out << "t";
+  for (const std::string& name : scalar_names(samples.front())) {
+    out << "," << name;
+  }
+  out << "\n";
+  for (const Snapshot& s : samples) {
+    out << s.time;
+    for (const double v : scalar_values(s)) out << "," << v;
+    out << "\n";
+  }
+}
+
+void TimeSeries::write_json(std::ostream& out, int indent) const {
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  out << "[";
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const Snapshot& s = samples[i];
+    out << (i == 0 ? "\n" : ",\n") << pad << "  {\"t\": " << s.time;
+    const std::vector<std::string> names = scalar_names(s);
+    const std::vector<double> values = scalar_values(s);
+    for (std::size_t c = 0; c < names.size(); ++c) {
+      out << ", \"" << names[c] << "\": " << values[c];
+    }
+    out << "}";
+  }
+  if (!samples.empty()) out << "\n" << pad;
+  out << "]";
+}
+
+Sampler::Sampler(sim::Engine& engine, const Registry& registry,
+                 double interval, double stop_at,
+                 std::function<void()> pre_sample)
+    : engine_(&engine),
+      registry_(&registry),
+      interval_(interval),
+      stop_at_(stop_at),
+      pre_sample_(std::move(pre_sample)) {
+  assert(interval_ > 0.0);
+}
+
+void Sampler::start() {
+  if (engine_->now() + interval_ > stop_at_) return;
+  engine_->after(interval_, [this] { tick(); });
+}
+
+void Sampler::tick() {
+  if (pre_sample_) pre_sample_();
+  series_.samples.push_back(registry_->snapshot(engine_->now()));
+  if (engine_->now() + interval_ <= stop_at_) {
+    engine_->after(interval_, [this] { tick(); });
+  }
+}
+
+}  // namespace lesslog::obs

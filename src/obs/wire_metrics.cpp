@@ -1,0 +1,34 @@
+#include "lesslog/obs/wire_metrics.hpp"
+
+#include <string>
+
+namespace lesslog::obs {
+
+WireMetrics::WireMetrics(Registry& registry) {
+  using proto::MsgType;
+  for (std::size_t tag = 1; tag < kTypeSlots; ++tag) {
+    const char* name = proto::type_name(static_cast<MsgType>(tag));
+    msgs_in[tag] = &registry.counter(std::string("msgs_in.") + name);
+  }
+  for (std::size_t tag = 1; tag < kTypeSlots; ++tag) {
+    const char* name = proto::type_name(static_cast<MsgType>(tag));
+    msgs_out[tag] = &registry.counter(std::string("msgs_out.") + name);
+  }
+  bytes_out = &registry.counter("net.bytes_out");
+  dropped = &registry.counter("net.dropped");
+  undeliverable = &registry.counter("net.undeliverable");
+  served = &registry.counter("peer.served");
+  forwarded = &registry.counter("peer.forwarded");
+  push_retries = &registry.counter("peer.push_retries");
+  gets_issued = &registry.counter("client.gets");
+  get_retries = &registry.counter("client.retries");
+  get_timeouts = &registry.counter("client.timeouts");
+  get_migrations = &registry.counter("client.migrations");
+  get_faults = &registry.counter("client.faults");
+  queue_depth = &registry.gauge("engine.queue_depth");
+  live_peers = &registry.gauge("swarm.live_peers");
+  max_served = &registry.gauge("peer.max_served");
+  get_latency = &registry.histogram("client.get_latency");
+}
+
+}  // namespace lesslog::obs

@@ -38,6 +38,7 @@ void Client::get(core::FileId file, core::Pid r, GetCallback done) {
   pending.issued_at = network_->engine().now();
   gets_.insert(id, std::move(pending));
   ++issued_;
+  LESSLOG_METRICS(if (metrics_ != nullptr) metrics_->gets_issued->inc());
   send_get(id);
 }
 
@@ -49,6 +50,8 @@ void Client::send_get(std::uint64_t id) {
   if (!entry.has_value()) {
     // The attempted subtree has no live node at all: migrate immediately.
     ++g.migrations;
+    LESSLOG_METRICS(
+        if (metrics_ != nullptr) metrics_->get_migrations->inc());
     ++g.subtree_attempt;
     const core::LookupTree tree(home_->status().width(), g.target);
     const core::SubtreeView view(tree, home_->fault_bits());
@@ -86,11 +89,13 @@ void Client::arm_get_timeout(std::uint64_t id, int generation) {
     if (found == nullptr) return;  // already completed
     PendingGet& g = *found;
     if (g.generation != generation) return;  // a newer leg is in flight
+    LESSLOG_METRICS(if (metrics_ != nullptr) metrics_->get_timeouts->inc());
     if (g.retries >= cfg_.max_retries) {
       finish_get(id, false, 0, 0);
       return;
     }
     ++g.retries;
+    LESSLOG_METRICS(if (metrics_ != nullptr) metrics_->get_retries->inc());
     send_get(id);
   });
 }
@@ -110,8 +115,12 @@ void Client::finish_get(std::uint64_t id, bool ok, std::uint64_t version,
   result.migrations = g.migrations;
   if (ok) {
     latencies_.push_back(result.latency);
+    LESSLOG_METRICS(if (metrics_ != nullptr) {
+      metrics_->get_latency->add(result.latency);
+    });
   } else {
     ++faults_;
+    LESSLOG_METRICS(if (metrics_ != nullptr) metrics_->get_faults->inc());
   }
   if (g.done) g.done(result);
 }
@@ -135,6 +144,7 @@ void Client::on_reply(const Message& m) {
   }
   // Definitive miss in that subtree: migrate to the next identifier.
   ++g.migrations;
+  LESSLOG_METRICS(if (metrics_ != nullptr) metrics_->get_migrations->inc());
   ++g.subtree_attempt;
   const core::LookupTree tree(home_->status().width(), g.target);
   const core::SubtreeView view(tree, home_->fault_bits());

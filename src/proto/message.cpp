@@ -87,11 +87,16 @@ void encode_into(const Message& m, WireBuffer& out) noexcept {
   *p = m.ok ? 1 : 0;
 }
 
+// Definition of the deprecated wrapper; the warning fires at call sites,
+// not here, but GCC still flags the definition itself — suppress locally.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 std::vector<std::uint8_t> encode(const Message& m) {
   WireBuffer buf;
   encode_into(m, buf);
   return std::vector<std::uint8_t>(buf.begin(), buf.end());
 }
+#pragma GCC diagnostic pop
 
 std::optional<Message> decode(std::span<const std::uint8_t> bytes) {
   if (bytes.size() != kWireSize) return std::nullopt;
@@ -120,22 +125,6 @@ std::optional<Message> decode(std::span<const std::uint8_t> bytes) {
   if (*p > 1) return std::nullopt;
   m.ok = *p != 0;
   return m;
-}
-
-const char* type_name(MsgType t) noexcept {
-  switch (t) {
-    case MsgType::kGetRequest: return "GET";
-    case MsgType::kGetReply: return "REPLY";
-    case MsgType::kInsertRequest: return "INSERT";
-    case MsgType::kInsertAck: return "INS_ACK";
-    case MsgType::kCreateReplica: return "CREATE";
-    case MsgType::kUpdatePush: return "UPDATE";
-    case MsgType::kStatusAnnounce: return "STATUS";
-    case MsgType::kFilePush: return "PUSH";
-    case MsgType::kReclaim: return "RECLAIM";
-    case MsgType::kFilePushAck: return "PUSH_ACK";
-  }
-  return "???";
 }
 
 }  // namespace lesslog::proto

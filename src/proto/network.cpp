@@ -1,5 +1,6 @@
 #include "lesslog/proto/network.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 
@@ -24,6 +25,21 @@ void Network::detach(core::Pid pid) {
   if (pid.value() < handlers_.size()) {
     handlers_[pid.value()] = nullptr;
   }
+}
+
+void Network::add_sink(obs::DeliverySink& sink) {
+  if (std::find(sinks_.begin(), sinks_.end(), &sink) == sinks_.end()) {
+    sinks_.push_back(&sink);
+  }
+}
+
+void Network::remove_sink(obs::DeliverySink& sink) {
+  sinks_.erase(std::remove(sinks_.begin(), sinks_.end(), &sink),
+               sinks_.end());
+}
+
+void Network::notify_peer_event(double time, core::Pid peer, bool live) {
+  for (obs::DeliverySink* sink : sinks_) sink->on_peer(time, peer, live);
 }
 
 void Network::enable_geography(const Geography& geo) {
@@ -61,9 +77,14 @@ void Network::send(const Message& m) {
   DeliveryEvent ev{this, {}};
   encode_into(m, ev.wire);
   bytes_sent_ += static_cast<std::int64_t>(kWireSize);
+  LESSLOG_METRICS(if (metrics_ != nullptr) {
+    metrics_->out_for(m.type).inc();
+    metrics_->bytes_out->add(kWireSize);
+  });
   if (cfg_.drop_probability > 0.0 &&
       engine_->rng().bernoulli(cfg_.drop_probability)) {
     ++dropped_;
+    LESSLOG_METRICS(if (metrics_ != nullptr) metrics_->dropped->inc());
     return;
   }
   const double latency =
@@ -78,7 +99,13 @@ void Network::deliver(const WireBuffer& wire) {
   const std::uint32_t to = delivered->to.value();
   if (to >= handlers_.size() || !handlers_[to]) {
     ++undeliverable_;
+    LESSLOG_METRICS(if (metrics_ != nullptr) metrics_->undeliverable->inc());
     return;
+  }
+  // Sinks observe the datagram at delivery time, before the handler — so
+  // a trace's record order matches the order handlers fired in.
+  for (obs::DeliverySink* sink : sinks_) {
+    sink->on_deliver(engine_->now(), *delivered);
   }
   handlers_[to](*delivered);
 }

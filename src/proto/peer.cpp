@@ -84,6 +84,7 @@ std::optional<core::Pid> Peer::next_hop(core::Pid r) const {
 void Peer::on_get(const Message& m) {
   if (const std::optional<std::uint64_t> version = store_.serve(m.file)) {
     ++served_;
+    LESSLOG_METRICS(if (metrics_ != nullptr) metrics_->served->inc());
     reply_get(m, /*ok=*/true, *version);
     return;
   }
@@ -100,6 +101,7 @@ void Peer::on_get(const Message& m) {
     return;
   }
   ++forwarded_;
+  LESSLOG_METRICS(if (metrics_ != nullptr) metrics_->forwarded->inc());
   Message fwd = m;
   fwd.from = pid_;
   fwd.to = *next;
@@ -281,6 +283,8 @@ void Peer::transmit_push(std::uint64_t id) {
       return;
     }
     ++entry->second.retries;
+    LESSLOG_METRICS(
+        if (metrics_ != nullptr) metrics_->push_retries->inc());
     transmit_push(id);
   });
 }

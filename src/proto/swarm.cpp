@@ -1,5 +1,6 @@
 #include "lesslog/proto/swarm.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 #include "lesslog/core/replication.hpp"
@@ -10,17 +11,25 @@ Swarm::Swarm(Config cfg)
     : cfg_(cfg),
       engine_(cfg.seed),
       network_(engine_, cfg.net),
-      status_(cfg.m) {
+      status_(cfg.m),
+      metrics_(registry_),
+      metrics_sink_(metrics_) {
   assert(cfg_.nodes <= util::space_size(cfg_.m));
+#if LESSLOG_METRICS_ENABLED
+  network_.set_metrics(&metrics_);
+  network_.add_sink(metrics_sink_);
+#endif
   for (std::uint32_t p = 0; p < cfg_.nodes; ++p) status_.set_live(p);
   peers_.resize(util::space_size(cfg_.m));
   clients_.resize(util::space_size(cfg_.m));
   for (std::uint32_t p = 0; p < cfg_.nodes; ++p) {
     peers_[p] = std::make_unique<Peer>(core::Pid{p}, cfg_.b, status_,
                                        network_);
+    peers_[p]->set_metrics(&metrics_);
     peers_[p]->attach();
     clients_[p] =
         std::make_unique<Client>(*peers_[p], network_, cfg_.client);
+    clients_[p]->set_metrics(&metrics_);
   }
 }
 
@@ -109,10 +118,13 @@ core::Pid Swarm::join(std::optional<core::Pid> requested) {
   } else {
     peers_[p.value()] =
         std::make_unique<Peer>(p, cfg_.b, status_, network_);
+    peers_[p.value()]->set_metrics(&metrics_);
     peers_[p.value()]->attach();
     clients_[p.value()] =
         std::make_unique<Client>(*peers_[p.value()], network_, cfg_.client);
+    clients_[p.value()]->set_metrics(&metrics_);
   }
+  network_.notify_peer_event(engine_.now(), p, /*live=*/true);
   broadcast_status(p, /*live=*/true);
   // Section 5.1: sweep the swarm for ψ-named files this node is now the
   // authoritative holder of; current holders push them back.
@@ -137,6 +149,7 @@ void Swarm::depart(core::Pid p) {
   broadcast_status(p, /*live=*/false);
   status_.set_dead(p.value());
   peers_[p.value()]->detach();
+  network_.notify_peer_event(engine_.now(), p, /*live=*/false);
 }
 
 void Swarm::crash(core::Pid p) {
@@ -146,6 +159,7 @@ void Swarm::crash(core::Pid p) {
   peers_[p.value()]->detach();
   status_.set_dead(p.value());
   broadcast_status(p, /*live=*/false);
+  network_.notify_peer_event(engine_.now(), p, /*live=*/false);
 }
 
 void Swarm::broadcast_status(core::Pid about, bool live) {
@@ -197,6 +211,29 @@ void Swarm::auto_replication_tick(double capacity, double window,
       auto_replication_tick(capacity, window, stop_at, removal_threshold);
     });
   }
+}
+
+void Swarm::enable_metrics_sampling(double interval, double stop_at) {
+  assert(!sampler_ && "sampling already enabled");
+  sampler_ = std::make_unique<obs::Sampler>(
+      engine_, registry_, interval, stop_at, [this] {
+        metrics_.queue_depth->set(
+            static_cast<double>(engine_.queue().size()));
+        metrics_.live_peers->set(static_cast<double>(status_.live_count()));
+        std::int64_t hottest = 0;
+        for (std::uint32_t p = 0; p < util::space_size(cfg_.m); ++p) {
+          if (status_.is_live(p) && peers_[p]) {
+            hottest = std::max(hottest, peers_[p]->served());
+          }
+        }
+        metrics_.max_served->set(static_cast<double>(hottest));
+      });
+  sampler_->start();
+}
+
+const obs::TimeSeries& Swarm::metrics_series() const {
+  static const obs::TimeSeries kEmpty{};
+  return sampler_ ? sampler_->series() : kEmpty;
 }
 
 std::int64_t Swarm::total_faults() const {

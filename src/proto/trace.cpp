@@ -6,17 +6,12 @@
 
 namespace lesslog::proto {
 
-Trace::Trace(Swarm& swarm) : swarm_(&swarm) { rearm(); }
+Trace::Trace(Swarm& swarm) : swarm_(&swarm) { swarm_->add_sink(*this); }
 
-void Trace::rearm() {
-  for (std::uint32_t p = 0; p < util::space_size(swarm_->width()); ++p) {
-    if (!swarm_->status().is_live(p)) continue;
-    Peer& peer = swarm_->peer(core::Pid{p});
-    swarm_->network().attach(core::Pid{p}, [this, &peer](const Message& m) {
-      records_.push_back(TraceRecord{swarm_->engine().now(), m});
-      peer.handle(m);
-    });
-  }
+Trace::~Trace() { swarm_->remove_sink(*this); }
+
+void Trace::on_deliver(double time, const Message& m) {
+  records_.push_back(TraceRecord{time, m});
 }
 
 std::vector<TraceRecord> Trace::of_type(MsgType t) const {
@@ -69,14 +64,7 @@ std::string Trace::render() const {
 
 void Trace::write_jsonl(std::ostream& out) const {
   for (const TraceRecord& r : records_) {
-    const Message& m = r.message;
-    out << "{\"t\":" << r.time << ",\"type\":\"" << type_name(m.type)
-        << "\",\"from\":" << m.from.value() << ",\"to\":" << m.to.value()
-        << ",\"requester\":" << m.requester.value()
-        << ",\"subject\":" << m.subject.value()
-        << ",\"file\":" << m.file.key() << ",\"version\":" << m.version
-        << ",\"hops\":" << static_cast<int>(m.hop_count)
-        << ",\"ok\":" << (m.ok ? "true" : "false") << "}\n";
+    obs::write_delivery_jsonl(out, r.time, r.message);
   }
 }
 

@@ -1,0 +1,226 @@
+#include "lesslog/util/minijson.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdlib>
+
+namespace lesslog::util::minijson {
+
+const Value* Value::find(std::string_view key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : object) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+namespace {
+
+constexpr int kMaxDepth = 64;
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  std::optional<Value> run() {
+    std::optional<Value> v = parse_value(0);
+    if (!v) return std::nullopt;
+    skip_ws();
+    if (pos_ != text_.size()) return std::nullopt;
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] bool eat(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] bool eat_word(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  std::optional<Value> parse_value(int depth) {
+    if (depth > kMaxDepth) return std::nullopt;
+    skip_ws();
+    if (pos_ >= text_.size()) return std::nullopt;
+    const char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return parse_object(depth);
+      case '[':
+        return parse_array(depth);
+      case '"':
+        return parse_string_value();
+      case 't':
+        if (!eat_word("true")) return std::nullopt;
+        return make_bool(true);
+      case 'f':
+        if (!eat_word("false")) return std::nullopt;
+        return make_bool(false);
+      case 'n':
+        if (!eat_word("null")) return std::nullopt;
+        return Value{};
+      default:
+        return parse_number();
+    }
+  }
+
+  static Value make_bool(bool b) {
+    Value v;
+    v.kind = Value::Kind::kBool;
+    v.boolean = b;
+    return v;
+  }
+
+  std::optional<Value> parse_object(int depth) {
+    ++pos_;  // '{'
+    Value v;
+    v.kind = Value::Kind::kObject;
+    skip_ws();
+    if (eat('}')) return v;
+    while (true) {
+      skip_ws();
+      std::optional<std::string> key = parse_string();
+      if (!key) return std::nullopt;
+      skip_ws();
+      if (!eat(':')) return std::nullopt;
+      std::optional<Value> member = parse_value(depth + 1);
+      if (!member) return std::nullopt;
+      v.object.emplace_back(std::move(*key), std::move(*member));
+      skip_ws();
+      if (eat(',')) continue;
+      if (eat('}')) return v;
+      return std::nullopt;
+    }
+  }
+
+  std::optional<Value> parse_array(int depth) {
+    ++pos_;  // '['
+    Value v;
+    v.kind = Value::Kind::kArray;
+    skip_ws();
+    if (eat(']')) return v;
+    while (true) {
+      std::optional<Value> element = parse_value(depth + 1);
+      if (!element) return std::nullopt;
+      v.array.push_back(std::move(*element));
+      skip_ws();
+      if (eat(',')) continue;
+      if (eat(']')) return v;
+      return std::nullopt;
+    }
+  }
+
+  std::optional<std::string> parse_string() {
+    if (!eat('"')) return std::nullopt;
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return std::nullopt;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"':
+            out.push_back('"');
+            break;
+          case '\\':
+            out.push_back('\\');
+            break;
+          case '/':
+            out.push_back('/');
+            break;
+          case 'n':
+            out.push_back('\n');
+            break;
+          case 't':
+            out.push_back('\t');
+            break;
+          case 'r':
+            out.push_back('\r');
+            break;
+          case 'b':
+            out.push_back('\b');
+            break;
+          case 'f':
+            out.push_back('\f');
+            break;
+          case 'u': {
+            // Pass \uXXXX through verbatim; the emitters here never
+            // produce it, validation only needs to not reject it.
+            if (pos_ + 4 > text_.size()) return std::nullopt;
+            out.append("\\u");
+            out.append(text_.substr(pos_, 4));
+            pos_ += 4;
+            break;
+          }
+          default:
+            return std::nullopt;
+        }
+        continue;
+      }
+      out.push_back(c);
+    }
+    return std::nullopt;  // unterminated
+  }
+
+  std::optional<Value> parse_string_value() {
+    std::optional<std::string> s = parse_string();
+    if (!s) return std::nullopt;
+    Value v;
+    v.kind = Value::Kind::kString;
+    v.string = std::move(*s);
+    return v;
+  }
+
+  std::optional<Value> parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if ((c >= '0' && c <= '9') || c == '.' || c == 'e' || c == 'E' ||
+          c == '+' || c == '-') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) return std::nullopt;
+    const std::string_view token = text_.substr(start, pos_ - start);
+    double number = 0.0;
+    const auto [ptr, ec] =
+        std::from_chars(token.data(), token.data() + token.size(), number);
+    if (ec != std::errc{} || ptr != token.data() + token.size()) {
+      return std::nullopt;
+    }
+    Value v;
+    v.kind = Value::Kind::kNumber;
+    v.number = number;
+    return v;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::optional<Value> parse(std::string_view text) {
+  return Parser(text).run();
+}
+
+}  // namespace lesslog::util::minijson

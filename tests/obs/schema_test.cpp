@@ -1,0 +1,157 @@
+// The two machine-readable document schemas round-trip and self-validate:
+// "lesslog.bench" v1 (parse() is the exact inverse of write()) and
+// "lesslog.metrics" v1 (the exporter's bytes pass the validator the ctest
+// smoke gates run).
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "bench_schema.hpp"
+#include "lesslog/obs/export.hpp"
+#include "lesslog/obs/sampler.hpp"
+#include "lesslog/util/minijson.hpp"
+
+namespace lesslog {
+namespace {
+
+bench::JsonSchema sample_doc() {
+  bench::JsonSchema doc;
+  doc.bench = "abl_latency";
+  doc.family = "wire";
+  doc.seed = 42;
+  doc.seeds = 0;
+  doc.threads = 4;
+  doc.quick = true;
+  doc.solver = "";
+  doc.wall_ms = 123.4567890123;
+  doc.rows.push_back(bench::SchemaRow{
+      "abl_latency",
+      "m=10,b=0",
+      {{"policy", "lesslog"}},
+      {{"p50_ms", 49.1523}, {"p99_ms", 98.3}, {"msgs_per_get", 4.02}}});
+  doc.rows.push_back(bench::SchemaRow{
+      "abl_latency", "m=10,b=2", {}, {{"p50_ms", 51.25}}});
+  return doc;
+}
+
+TEST(BenchSchemaTest, WriteThenParseIsIdentity) {
+  const bench::JsonSchema doc = sample_doc();
+  std::ostringstream out;
+  doc.write(out);
+  const auto parsed = bench::JsonSchema::parse(out.str());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, doc);
+}
+
+TEST(BenchSchemaTest, DoublesSurviveTheRoundTripExactly) {
+  bench::JsonSchema doc = sample_doc();
+  doc.wall_ms = 0.1 + 0.2;  // classic non-representable sum
+  doc.rows[0].metrics[0].second = 1.0 / 3.0;
+  std::ostringstream out;
+  doc.write(out);
+  const auto parsed = bench::JsonSchema::parse(out.str());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->wall_ms, doc.wall_ms);
+  EXPECT_EQ(parsed->rows[0].metrics[0].second, 1.0 / 3.0);
+}
+
+TEST(BenchSchemaTest, RejectsWrongSchemaTagVersionAndShapes) {
+  const bench::JsonSchema doc = sample_doc();
+  std::ostringstream out;
+  doc.write(out);
+  const std::string good = out.str();
+
+  std::string wrong_tag = good;
+  wrong_tag.replace(wrong_tag.find("lesslog.bench"), 13, "other.schema1");
+  EXPECT_FALSE(bench::JsonSchema::parse(wrong_tag).has_value());
+
+  std::string wrong_version = good;
+  wrong_version.replace(wrong_version.find("\"version\": 1"), 12,
+                        "\"version\": 2");
+  EXPECT_FALSE(bench::JsonSchema::parse(wrong_version).has_value());
+
+  EXPECT_FALSE(bench::JsonSchema::parse("{").has_value());
+  EXPECT_FALSE(bench::JsonSchema::parse("[]").has_value());
+  EXPECT_FALSE(bench::JsonSchema::parse("{\"schema\": 3}").has_value());
+}
+
+TEST(BenchSchemaTest, SolveFamilyDocRoundTripsToo) {
+  bench::JsonSchema doc;
+  doc.bench = "fig5_even_load";
+  doc.family = "solve";
+  doc.seeds = 5;
+  doc.threads = 1;
+  doc.quick = false;
+  doc.solver = "incremental";
+  doc.wall_ms = 88.5;
+  doc.rows.push_back(bench::SchemaRow{
+      "fig5_even_load",
+      "m=10,rate=4000,policy=lesslog",
+      {{"policy", "lesslog"}},
+      {{"m", 10.0}, {"rate", 4000.0}, {"replicas", 12.4}}});
+  std::ostringstream out;
+  doc.write(out);
+  const auto parsed = bench::JsonSchema::parse(out.str());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, doc);
+}
+
+obs::Snapshot metric_snapshot() {
+  obs::Registry reg;
+  reg.counter("client.gets").add(200);
+  reg.counter("peer.served").add(200);
+  reg.gauge("engine.queue_depth").set(3.0);
+  for (int i = 0; i < 50; ++i) {
+    reg.histogram("client.get_latency").add(0.001 * (i + 1));
+  }
+  return reg.snapshot(2.5);
+}
+
+TEST(MetricsSchemaTest, ExporterOutputPassesTheValidator) {
+  std::ostringstream out;
+  obs::write_metrics_json(out, metric_snapshot(), "unit_test", 7);
+  EXPECT_EQ(obs::validate_metrics_json(out.str()), "");
+}
+
+TEST(MetricsSchemaTest, ExporterOutputWithSeriesPassesTheValidator) {
+  obs::TimeSeries series;
+  obs::Registry reg;
+  reg.counter("client.gets").add(10);
+  series.samples.push_back(reg.snapshot(0.5));
+  reg.counter("client.gets").add(10);
+  series.samples.push_back(reg.snapshot(1.0));
+
+  std::ostringstream out;
+  obs::write_metrics_json(out, metric_snapshot(), "unit_test", 7, &series);
+  EXPECT_EQ(obs::validate_metrics_json(out.str()), "");
+
+  const auto doc = util::minijson::parse(out.str());
+  ASSERT_TRUE(doc.has_value());
+  const util::minijson::Value* s = doc->find("series");
+  ASSERT_NE(s, nullptr);
+  ASSERT_TRUE(s->is_array());
+  EXPECT_EQ(s->array.size(), 2u);
+}
+
+TEST(MetricsSchemaTest, ValidatorNamesTheFirstViolation) {
+  EXPECT_NE(obs::validate_metrics_json("not json"), "");
+  EXPECT_NE(obs::validate_metrics_json("{}"), "");
+  std::ostringstream out;
+  obs::write_metrics_json(out, metric_snapshot(), "unit_test", 7);
+  std::string bad = out.str();
+  bad.replace(bad.find("lesslog.metrics"), 15, "lesslog.other12");
+  EXPECT_NE(obs::validate_metrics_json(bad), "");
+}
+
+TEST(MetricsSchemaTest, CsvExportCarriesEveryScalar) {
+  std::ostringstream out;
+  obs::write_metrics_csv(out, metric_snapshot(), "unit_test", 7);
+  const std::string csv = out.str();
+  EXPECT_NE(csv.find("metric,kind,value"), std::string::npos);
+  EXPECT_NE(csv.find("client.gets,counter,200"), std::string::npos);
+  EXPECT_NE(csv.find("engine.queue_depth,gauge,"), std::string::npos);
+  EXPECT_NE(csv.find("client.get_latency"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lesslog

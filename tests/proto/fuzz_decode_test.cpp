@@ -9,6 +9,12 @@
 namespace lesslog::proto {
 namespace {
 
+std::vector<std::uint8_t> wire_bytes(const Message& m) {
+  WireBuffer buf{};
+  encode_into(m, buf);
+  return {buf.begin(), buf.end()};
+}
+
 TEST(FuzzDecode, RandomBuffersNeverCrash) {
   util::Rng rng(0xF022);
   int accepted = 0;
@@ -22,7 +28,7 @@ TEST(FuzzDecode, RandomBuffersNeverCrash) {
     if (!m.has_value()) continue;
     ++accepted;
     // Accepted buffers must round-trip exactly.
-    EXPECT_EQ(encode(*m), bytes);
+    EXPECT_EQ(wire_bytes(*m), bytes);
   }
   // Correct-size buffers with a valid type tag (9/256) do get accepted.
   EXPECT_GT(accepted, 0);
@@ -54,7 +60,7 @@ TEST(FuzzDecode, EncodeOfRandomMessagesRoundTrips) {
     m.version = rng();
     m.hop_count = static_cast<std::uint8_t>(rng.bounded(256));
     m.ok = rng.bernoulli(0.5);
-    const std::optional<Message> back = decode(encode(m));
+    const std::optional<Message> back = decode(wire_bytes(m));
     ASSERT_TRUE(back.has_value());
     EXPECT_EQ(*back, m);
   }

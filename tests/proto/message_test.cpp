@@ -31,14 +31,23 @@ Message sample() {
   return m;
 }
 
+// Test-local stand-in for the deprecated heap encode(): same bytes, via
+// the allocation-free path. The deprecated wrapper itself is exercised
+// only by WireProperty.EncodeIntoMatchesHeapEncodeByteForByte below.
+std::vector<std::uint8_t> wire_bytes(const Message& m) {
+  WireBuffer buf{};
+  encode_into(m, buf);
+  return {buf.begin(), buf.end()};
+}
+
 TEST(Wire, EncodedSizeIsFixed) {
-  EXPECT_EQ(encode(sample()).size(), kWireSize);
-  EXPECT_EQ(encode(Message{}).size(), kWireSize);
+  EXPECT_EQ(wire_bytes(sample()).size(), kWireSize);
+  EXPECT_EQ(wire_bytes(Message{}).size(), kWireSize);
 }
 
 TEST(Wire, RoundTripsAllFields) {
   const Message m = sample();
-  const std::optional<Message> back = decode(encode(m));
+  const std::optional<Message> back = decode(wire_bytes(m));
   ASSERT_TRUE(back.has_value());
   EXPECT_EQ(*back, m);
 }
@@ -50,14 +59,14 @@ TEST(Wire, RoundTripsEveryType) {
         MsgType::kStatusAnnounce}) {
     Message m = sample();
     m.type = t;
-    const std::optional<Message> back = decode(encode(m));
+    const std::optional<Message> back = decode(wire_bytes(m));
     ASSERT_TRUE(back.has_value());
     EXPECT_EQ(back->type, t);
   }
 }
 
 TEST(Wire, RejectsWrongSize) {
-  std::vector<std::uint8_t> bytes = encode(sample());
+  std::vector<std::uint8_t> bytes = wire_bytes(sample());
   bytes.pop_back();
   EXPECT_EQ(decode(bytes), std::nullopt);
   bytes.push_back(0);
@@ -66,7 +75,7 @@ TEST(Wire, RejectsWrongSize) {
 }
 
 TEST(Wire, RejectsInvalidTypeTag) {
-  std::vector<std::uint8_t> bytes = encode(sample());
+  std::vector<std::uint8_t> bytes = wire_bytes(sample());
   bytes[8] = 0;  // type tag sits after the 8-byte request id
   EXPECT_EQ(decode(bytes), std::nullopt);
   bytes[8] = 200;
@@ -76,7 +85,7 @@ TEST(Wire, RejectsInvalidTypeTag) {
 TEST(Wire, LittleEndianLayout) {
   Message m;
   m.request_id = 0x0102030405060708ULL;
-  const std::vector<std::uint8_t> bytes = encode(m);
+  const std::vector<std::uint8_t> bytes = wire_bytes(m);
   EXPECT_EQ(bytes[0], 0x08);
   EXPECT_EQ(bytes[7], 0x01);
 }
@@ -103,12 +112,12 @@ TEST(WireProperty, RandomMessagesRoundTripBitExact) {
     m.hop_count = static_cast<std::uint8_t>(rng());
     m.ok = (rng() & 1) != 0;
 
-    const std::vector<std::uint8_t> bytes = encode(m);
+    const std::vector<std::uint8_t> bytes = wire_bytes(m);
     const std::optional<Message> back = decode(bytes);
     ASSERT_TRUE(back.has_value());
     EXPECT_EQ(*back, m);
     // Re-encoding the decoded message reproduces the exact bytes.
-    EXPECT_EQ(encode(*back), bytes);
+    EXPECT_EQ(wire_bytes(*back), bytes);
   }
 }
 
@@ -124,7 +133,7 @@ TEST(WireProperty, MaxValueFieldsRoundTrip) {
   m.version = std::numeric_limits<std::uint64_t>::max();
   m.hop_count = std::numeric_limits<std::uint8_t>::max();
   m.ok = true;
-  const std::optional<Message> back = decode(encode(m));
+  const std::optional<Message> back = decode(wire_bytes(m));
   ASSERT_TRUE(back.has_value());
   EXPECT_EQ(*back, m);
 }
@@ -146,7 +155,12 @@ TEST(WireProperty, EncodeIntoMatchesHeapEncodeByteForByte) {
 
     WireBuffer buf{};
     encode_into(m, buf);
+    // Intentional use of the deprecated wrapper: this property test is the
+    // reference check that keeps it byte-identical to encode_into.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
     const std::vector<std::uint8_t> heap = encode(m);
+#pragma GCC diagnostic pop
     ASSERT_EQ(heap.size(), buf.size());
     EXPECT_TRUE(std::equal(buf.begin(), buf.end(), heap.begin()));
     // The array form decodes identically to the vector form.
@@ -155,7 +169,7 @@ TEST(WireProperty, EncodeIntoMatchesHeapEncodeByteForByte) {
 }
 
 TEST(WireProperty, EveryInvalidTypeTagRejected) {
-  std::vector<std::uint8_t> bytes = encode(sample());
+  std::vector<std::uint8_t> bytes = wire_bytes(sample());
   for (int tag = 0; tag <= 255; ++tag) {
     bytes[8] = static_cast<std::uint8_t>(tag);
     const bool valid = tag >= 1 && tag <= 10;
@@ -164,7 +178,7 @@ TEST(WireProperty, EveryInvalidTypeTagRejected) {
 }
 
 TEST(WireProperty, EveryWrongLengthRejected) {
-  const std::vector<std::uint8_t> bytes = encode(sample());
+  const std::vector<std::uint8_t> bytes = wire_bytes(sample());
   for (std::size_t len = 0; len <= kWireSize + 8; ++len) {
     std::vector<std::uint8_t> trimmed(bytes);
     trimmed.resize(len, 0);

@@ -7,12 +7,14 @@
 // machine-checked shape claims — the artifact to attach to a reproduction
 // review.
 #include <fstream>
+#include <iomanip>
 #include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "lesslog/baseline/policy.hpp"
+#include "lesslog/proto/swarm.hpp"
 #include "lesslog/sim/catalog.hpp"
 #include "lesslog/sim/experiment.hpp"
 #include "lesslog/sim/metrics.hpp"
@@ -93,6 +95,84 @@ sim::FigureData dead_figure(const std::string& title, sim::WorkloadKind kind,
 
 void claim(std::ostream& out, bool ok, const std::string& text) {
   out << "- " << (ok ? "✅" : "❌") << " " << text << "\n";
+}
+
+/// Runs one sampled packet-level swarm and appends the observability
+/// section: headline wire counters plus the sampled time-series table.
+void wire_observability_section(std::ostream& md, const Options& opt) {
+  const int m = 6;
+  const int requests = opt.quick ? 200 : 500;
+  proto::Swarm::Config cfg;
+  cfg.m = m;
+  cfg.b = 0;
+  cfg.nodes = util::space_size(m);
+  cfg.seed = 42;
+  cfg.net.base_latency = 0.010;
+  cfg.net.jitter = 0.005;
+  proto::Swarm swarm(cfg);
+
+  util::Rng rng(42ULL ^ 0xF00DULL);
+  std::vector<std::pair<core::FileId, core::Pid>> files;
+  for (std::uint64_t i = 0; i < 32; ++i) {
+    const core::FileId f{0x5EED0000ULL + i};
+    const core::Pid target{
+        static_cast<std::uint32_t>(rng.bounded(util::space_size(m)))};
+    files.emplace_back(f, target);
+    swarm.insert(f, target, core::Pid{0});
+  }
+  swarm.settle();
+  // Requests spread over one second so the sampled series shows traffic
+  // moving through the swarm, not a single burst.
+  const double window = 1.0;
+  swarm.enable_metrics_sampling(/*interval=*/0.1,
+                                swarm.engine().now() + window + 1.0);
+  for (int i = 0; i < requests; ++i) {
+    const auto& [f, target] = files[rng.bounded(files.size())];
+    const core::Pid at{
+        static_cast<std::uint32_t>(rng.bounded(util::space_size(m)))};
+    const double delay = window * static_cast<double>(i) / requests;
+    swarm.engine().after_fixed(delay, [&swarm, f = f, target = target, at] {
+      swarm.get(f, target, at);
+    });
+  }
+  swarm.settle();
+
+  const obs::Snapshot snap = swarm.registry().snapshot(swarm.engine().now());
+  md << "## Wire observability — sampled swarm run\n\n"
+     << "One packet-level swarm (m = 6, " << requests
+     << " GETFILE requests), registry sampled every 0.1 s of simulated "
+        "time.\nCounters are cumulative; difference adjacent rows for "
+        "rates.\n\n";
+  const auto counter = [&](const char* name) -> std::uint64_t {
+    const std::uint64_t* v = snap.counter(name);
+    return v != nullptr ? *v : 0;
+  };
+  md << "| counter | value |\n|---|---|\n"
+     << "| GETs issued | " << counter("client.gets") << " |\n"
+     << "| GETs served | " << counter("peer.served") << " |\n"
+     << "| forwards | " << counter("peer.forwarded") << " |\n"
+     << "| wire bytes out | " << counter("net.bytes_out") << " |\n"
+     << "| faults | " << counter("client.faults") << " |\n\n";
+  if (const obs::LatencyHistogram* h = snap.histogram("client.get_latency")) {
+    std::ostringstream lat;
+    lat << std::fixed << std::setprecision(1)
+        << 1000.0 * h->percentile(50.0) << " / "
+        << 1000.0 * h->percentile(99.0);
+    md << "GETFILE latency p50/p99: " << lat.str() << " ms ("
+       << h->total() << " samples, octave-bucket resolution).\n\n";
+  }
+  const obs::TimeSeries& series = swarm.metrics_series();
+  if (!series.empty()) {
+    md << "```\n"
+       << series
+              .to_table({"client.gets", "peer.served", "net.bytes_out",
+                         "engine.queue_depth"})
+              .render()
+       << "```\n\n"
+       << "Regenerate machine-readably: `abl_latency --smoke --metrics "
+          "json`, or any wire\nbench with `--metrics json|csv` "
+          "(schema `lesslog.metrics` v1; see docs/OBSERVABILITY.md).\n\n";
+  }
 }
 
 }  // namespace
@@ -187,7 +267,11 @@ int main(int argc, char** argv) {
     md << "| " << s << " | " << r.replicas_created << " | "
        << static_cast<double>(r.total_copies) / cfg.files << " |\n";
   }
-  md << "\nSee EXPERIMENTS.md for the ablation index (A1–A10) and "
+  md << "\n";
+
+  std::cout << " observability..." << std::flush;
+  wire_observability_section(md, opt);
+  md << "See EXPERIMENTS.md for the ablation index (A1–A10) and "
         "bench/ for every generator.\n";
 
   std::ofstream out(opt.out);
