@@ -1,0 +1,203 @@
+// Ablation A12 — chaos soak: deterministic fault injection with the
+// swarm invariant auditor.
+//
+// Sweeps fault intensity over the chaos driver (burst loss, partitions,
+// corruption, duplication, delay spikes, crash -> restart, churn) and
+// reports audit violations, workload fault fraction, injected-fault
+// volume, and repair traffic per intensity. The headline claim: every
+// cell audits clean — the protocol absorbs the whole schedule.
+//
+// Cells are independent Driver runs, so the intensity x seed grid runs
+// on the shared thread pool (--threads N); results are gathered in cell
+// order, keeping stdout byte-identical for every thread count.
+//
+// --smoke is the ctest gate: a clean run must audit clean, a run with
+// deliberately broken crash recovery must NOT, and the broken run must
+// replay bit-identically from its JSON artifact alone.
+#include <chrono>
+
+#include "bench_common.hpp"
+
+#include "lesslog/chaos/driver.hpp"
+#include "lesslog/chaos/replay.hpp"
+
+namespace {
+
+using namespace lesslog;
+
+chaos::ChaosConfig base_config(bool quick, double intensity,
+                               std::uint64_t seed) {
+  chaos::ChaosConfig cfg;
+  cfg.m = 6;
+  cfg.b = 2;
+  cfg.nodes = 40;
+  cfg.seed = seed;
+  cfg.epochs = quick ? 3 : 5;
+  cfg.epoch_length = quick ? 20.0 : 30.0;
+  cfg.fault_intensity = intensity;
+  cfg.files = quick ? 32 : 48;
+  cfg.get_rate = quick ? 15.0 : 20.0;
+  return cfg;
+}
+
+struct Cell {
+  double violations = 0.0;
+  double fault_pct = 0.0;     ///< workload GETs that came back ok=false
+  double unterminated = 0.0;  ///< issued - completed (must be 0)
+  double injected = 0.0;      ///< total injected faults, all kinds
+  double repair = 0.0;        ///< kFilePush repair transfers
+  double msgs = 0.0;
+};
+
+Cell run_cell(bool quick, double intensity, std::uint64_t seed) {
+  chaos::Driver driver(base_config(quick, intensity, seed));
+  const chaos::Report r = driver.run();
+  Cell cell;
+  cell.violations = static_cast<double>(r.violations.size());
+  cell.fault_pct =
+      r.workload_issued > 0
+          ? 100.0 * static_cast<double>(r.workload_faults) /
+                static_cast<double>(r.workload_issued)
+          : 0.0;
+  cell.unterminated =
+      static_cast<double>(r.workload_issued - r.workload_completed);
+  cell.injected = static_cast<double>(
+      r.injected.burst_dropped + r.injected.partition_dropped +
+      r.injected.duplicated + r.injected.corrupted +
+      r.injected.delay_spikes);
+  cell.repair = static_cast<double>(r.repair_pushes);
+  cell.msgs = static_cast<double>(r.messages_sent);
+  return cell;
+}
+
+/// The ctest gate: healthy chaos audits clean, broken recovery is
+/// caught, and the broken run replays bit-identically from its artifact.
+int run_smoke(const bench::BenchArgs& args) {
+  chaos::ChaosConfig clean_cfg = base_config(/*quick=*/true, 0.6, 1);
+  chaos::Driver clean_driver(clean_cfg);
+  const chaos::Report clean = clean_driver.run();
+  const bool clean_ok = clean.clean() && clean.workload_issued > 0 &&
+                        clean.workload_issued == clean.workload_completed;
+
+  chaos::ChaosConfig broken_cfg = base_config(/*quick=*/true, 0.6, 2);
+  broken_cfg.silent_crashes = true;
+  const chaos::Report broken = chaos::Driver(broken_cfg).run();
+  const bool caught = !broken.clean();
+
+  const std::string artifact = chaos::artifact_to_json(broken);
+  const chaos::Report replayed = chaos::replay(artifact);
+  const bool replay_ok =
+      chaos::same_outcome(broken, replayed) &&
+      artifact == chaos::artifact_to_json(replayed);
+
+  const bool ok = clean_ok && caught && replay_ok;
+  std::cout << "chaos smoke: clean_run=" << (clean_ok ? "clean" : "DIRTY")
+            << " broken_run="
+            << (caught ? "caught(" + std::to_string(broken.violations.size()) +
+                             " violations)"
+                       : "MISSED")
+            << " replay=" << (replay_ok ? "bit-identical" : "DIVERGED")
+            << " -> " << (ok ? "PASS" : "FAIL") << "\n";
+  const int metrics_rc = bench::emit_metrics(
+      args, "abl_chaos", clean_cfg.seed,
+      clean_driver.swarm().registry().snapshot(
+          clean_driver.swarm().engine().now()));
+  return (ok && metrics_rc == 0) ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace lesslog;
+  const auto t0 = std::chrono::steady_clock::now();
+  const bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
+  if (args.smoke) return run_smoke(args);
+  const std::vector<double> intensities =
+      args.quick ? std::vector<double>{0.0, 0.5, 1.0}
+                 : std::vector<double>{0.0, 0.25, 0.5, 0.75, 1.0};
+
+  std::cout << "== Ablation A12: chaos soak (fault injection + invariant "
+               "audit) ==\n"
+            << "m=6, b=2, 40 nodes; per epoch: burst loss, partitions, "
+               "corruption,\nduplication, delay spikes, crash->restart, "
+               "churn; x = fault intensity\n\n";
+
+  // Flatten intensity x seed into one independent cell list.
+  struct Key {
+    double intensity;
+    int seed;
+  };
+  std::vector<Key> keys;
+  for (const double intensity : intensities) {
+    for (int seed = 1; seed <= args.seeds; ++seed) {
+      keys.push_back({intensity, seed});
+    }
+  }
+  const std::vector<Cell> cells = bench::run_cells_parallel(
+      args.threads, keys.size(), [&](std::size_t i) {
+        const Key& k = keys[i];
+        return run_cell(args.quick, k.intensity,
+                        static_cast<std::uint64_t>(k.seed));
+      });
+
+  sim::FigureData fig("A12 chaos soak", "intensity", intensities);
+  std::vector<bench::WireRow> rows;
+  std::vector<double> violations;
+  std::vector<double> fault_pct;
+  std::vector<double> injected;
+  std::vector<double> repair;
+  std::size_t next = 0;
+  double unterminated_total = 0.0;
+  for (const double intensity : intensities) {
+    Cell sum;
+    for (int seed = 1; seed <= args.seeds; ++seed) {
+      const Cell& cell = cells[next++];
+      sum.violations += cell.violations;
+      sum.fault_pct += cell.fault_pct;
+      sum.unterminated += cell.unterminated;
+      sum.injected += cell.injected;
+      sum.repair += cell.repair;
+      sum.msgs += cell.msgs;
+    }
+    unterminated_total += sum.unterminated;
+    violations.push_back(sum.violations);  // total, not mean: must be 0
+    fault_pct.push_back(sum.fault_pct / args.seeds);
+    injected.push_back(sum.injected / args.seeds);
+    repair.push_back(sum.repair / args.seeds);
+    rows.push_back(bench::WireRow{
+        "abl_chaos",
+        "intensity=" + std::to_string(intensity),
+        {{"violations", violations.back()},
+         {"workload_fault_pct", fault_pct.back()},
+         {"injected_faults", injected.back()},
+         {"repair_pushes", repair.back()},
+         {"messages", sum.msgs / args.seeds}}});
+  }
+  fig.add_series("audit violations", std::move(violations));
+  fig.add_series("workload faults %", std::move(fault_pct));
+  fig.add_series("injected faults", std::move(injected));
+  fig.add_series("repair pushes", std::move(repair));
+  bench::emit(fig, args);
+
+  bool all_clean = true;
+  for (const double v : fig.find("audit violations")->values) {
+    all_clean = all_clean && v == 0.0;
+  }
+  bench::check(all_clean,
+               "every intensity audits clean (all invariants hold)");
+  bench::check(unterminated_total == 0.0,
+               "every workload GET terminated (no stuck requests)");
+  bench::check(fig.find("injected faults")->values.front() == 0.0,
+               "intensity 0 injects nothing (clean fast path)");
+  bench::check(fig.find("injected faults")->values.back() > 0.0,
+               "top intensity actually injected faults");
+
+  if (args.json.has_value()) {
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    bench::write_wire_json(*args.json, args, rows, wall_ms, /*seed=*/1);
+  }
+  return 0;
+}

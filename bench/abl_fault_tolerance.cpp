@@ -5,7 +5,10 @@
 // an increasing fraction of a live system (without recovery between
 // crashes executing — System recovers after each crash, which is the
 // protocol) and reports files lost and request fault rate per b, plus the
-// storage overhead paid.
+// storage overhead paid. --json mirrors every (b, fraction) cell to a
+// "lesslog.bench" v1 document.
+#include <chrono>
+
 #include "bench_common.hpp"
 
 #include "lesslog/core/system.hpp"
@@ -13,6 +16,7 @@
 
 int main(int argc, char** argv) {
   using namespace lesslog;
+  const auto t0 = std::chrono::steady_clock::now();
   const bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
   const int m = 8;
   const std::uint32_t nodes = 256;
@@ -29,6 +33,7 @@ int main(int argc, char** argv) {
   sim::FigureData copies_fig("A3 storage copies per file (initial)",
                              "crash fraction", crash_fractions);
 
+  std::vector<bench::WireRow> rows;
   for (const int b : {0, 1, 2, 3}) {
     std::vector<double> lost;
     std::vector<double> copies;
@@ -65,6 +70,11 @@ int main(int argc, char** argv) {
       lost.push_back(lost_total / args.seeds);
       copies.push_back(copies_total /
                        (static_cast<double>(args.seeds) * files));
+      rows.push_back(bench::WireRow{
+          "abl_fault_tolerance",
+          "b=" + std::to_string(b) + ",frac=" + std::to_string(frac),
+          {{"files_lost", lost.back()},
+           {"copies_per_file", copies.back()}}});
     }
     lost_fig.add_series("b=" + std::to_string(b), std::move(lost));
     copies_fig.add_series("b=" + std::to_string(b), std::move(copies));
@@ -85,5 +95,12 @@ int main(int argc, char** argv) {
   bench::check(copies_fig.find("b=2")->values.front() >
                    copies_fig.find("b=0")->values.front(),
                "the survival is paid for with 2^b initial copies");
+  if (args.json.has_value()) {
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    bench::write_wire_json(*args.json, args, rows, wall_ms, /*seed=*/1);
+  }
   return 0;
 }

@@ -1,0 +1,63 @@
+// Swarm invariant auditor.
+//
+// Runs at every quiescent point (epoch end, after heal + repair
+// reannounce + settle) and checks what a correct LessLog deployment must
+// guarantee no matter which faults were injected:
+//
+//   1. counter reconciliation — every datagram handed to send()
+//      terminated as exactly one of delivered / dropped / burst-dropped /
+//      partition-dropped / corrupted / undeliverable (plus duplicated
+//      extra copies): sent + duplicated == sum of terminal outcomes;
+//   2. corruption accounting — every copy corrupted at send was rejected
+//      at decode (injector count == network decode-reject count);
+//   3. workload termination — every GET issued by the chaos workload has
+//      completed (ok or fault; the client may never lose a request);
+//   4. status convergence — after the repair reannounce, every live
+//      peer's local status word equals ground truth;
+//   5. replica availability — for every ψ-named file, a live GET probe
+//      succeeds iff at least one live peer still holds a copy (no file
+//      may fault while a live replica is reachable, and a file with no
+//      live copy must fault, not hang).
+//
+// Violations carry the epoch and a human-readable detail string; the
+// driver packages them (with the config, seed, and executed schedule)
+// into a replay artifact.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lesslog/proto/fault.hpp"
+#include "lesslog/proto/swarm.hpp"
+
+namespace lesslog::chaos {
+
+struct Violation {
+  int epoch = 0;
+  std::string check;   ///< invariant name, e.g. "status_convergence"
+  std::string detail;  ///< what diverged, with numbers
+
+  friend bool operator==(const Violation&, const Violation&) = default;
+};
+
+class Audit {
+ public:
+  /// Runs every check at a quiescent point and appends violations to
+  /// `out`. `injected` must be the cumulative injected-fault totals
+  /// across all plans installed so far (the network's own counters are
+  /// cumulative for its lifetime). `issued` / `completed` are the chaos
+  /// workload's GET ledger. Issues one probe GET per key (then settles),
+  /// so call only at quiescence.
+  static void check(proto::Swarm& swarm,
+                    const std::vector<std::uint64_t>& keys,
+                    const proto::FaultStats& injected, std::int64_t issued,
+                    std::int64_t completed, int epoch,
+                    std::vector<Violation>& out);
+
+  /// True when any live peer's store holds `f` (ground truth scan).
+  [[nodiscard]] static bool live_copy_exists(proto::Swarm& swarm,
+                                             core::FileId f);
+};
+
+}  // namespace lesslog::chaos

@@ -1,0 +1,74 @@
+// The chaos driver: runs a swarm through a deterministic fault schedule
+// and audits every quiescent point.
+//
+// Epoch structure (cfg.epochs times):
+//   1. install this epoch's fault plan (windows all close before the
+//      epoch does) and schedule its membership ops and Poisson GETs;
+//   2. run to the epoch boundary, then settle (drains every in-flight
+//      exchange, retry and timeout — the wire is clean and idle);
+//   3. repair: reannounce ground-truth liveness (the anti-entropy pass a
+//      real deployment's failure detector provides) and settle again;
+//   4. audit (chaos/audit.hpp) — violations are collected, not thrown.
+//
+// Everything — fault windows, op kinds, op targets, workload arrivals —
+// derives from ChaosConfig alone, so Driver(cfg).run() is bit-identical
+// across runs and machines. The returned Report carries the executed
+// schedule for the replay artifact.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "lesslog/chaos/audit.hpp"
+#include "lesslog/chaos/schedule.hpp"
+#include "lesslog/proto/swarm.hpp"
+
+namespace lesslog::chaos {
+
+struct Report {
+  ChaosConfig config;
+  ChaosRecord record;                ///< the schedule as it executed
+  std::vector<Violation> violations; ///< empty on a healthy run
+  proto::FaultStats injected;        ///< cumulative injected faults
+  std::int64_t workload_issued = 0;
+  std::int64_t workload_completed = 0;
+  std::int64_t workload_faults = 0;  ///< completed with ok == false
+  std::int64_t messages_sent = 0;
+  std::int64_t repair_pushes = 0;  ///< kFilePush transfers (repair cost)
+  double sim_time = 0.0;           ///< simulated seconds at the end
+
+  [[nodiscard]] bool clean() const noexcept { return violations.empty(); }
+};
+
+class Driver {
+ public:
+  explicit Driver(ChaosConfig cfg);  ///< validates; builds the swarm
+  ~Driver();
+
+  /// Runs the whole schedule; callable once.
+  Report run();
+
+  [[nodiscard]] proto::Swarm& swarm() noexcept { return *swarm_; }
+
+ private:
+  void insert_catalog();
+  void schedule_epoch_ops(int epoch, double now);
+  void schedule_workload(double now);
+  void issue_get();
+  [[nodiscard]] std::uint32_t random_live_pid();
+
+  ChaosConfig cfg_;
+  util::Rng rng_;  ///< the chaos stream (schedule, op targets, workload)
+  std::unique_ptr<proto::Swarm> swarm_;
+  std::vector<std::uint64_t> keys_;
+  ChaosRecord record_;
+  proto::FaultStats prior_injected_;  ///< plans superseded by a reinstall
+  std::int64_t issued_ = 0;
+  std::int64_t completed_ = 0;
+  std::int64_t faults_ = 0;
+  std::uint32_t min_live_;  ///< membership ops keep this many peers up
+  bool ran_ = false;
+};
+
+}  // namespace lesslog::chaos

@@ -56,6 +56,22 @@ struct WireMetrics {
 
   // End-to-end GETFILE latency (successful requests), in seconds.
   LatencyHistogram* get_latency = nullptr;
+
+  // Delivery outcome totals (appended after get_latency to preserve the
+  // registration order of pre-existing cells).
+  Counter* delivered = nullptr;
+  Counter* corrupted = nullptr;
+
+  // Injected-fault accounting (chaos layer; zero on a clean network).
+  Counter* injected_burst_drops = nullptr;
+  Counter* injected_partition_drops = nullptr;
+  Counter* injected_duplicates = nullptr;
+  Counter* injected_corruptions = nullptr;
+  Counter* injected_delay_spikes = nullptr;
+
+  // Repair traffic: kFilePush transmissions that re-create replicas after
+  // membership changes (join reclaim, depart push, crash recovery).
+  Counter* repair_pushes = nullptr;
 };
 
 }  // namespace lesslog::obs

@@ -19,6 +19,10 @@ namespace lesslog::proto {
 struct ClientConfig {
   double timeout = 0.25;  ///< seconds before a retry
   int max_retries = 2;    ///< per (attempt, subtree) leg
+
+  /// Throws std::invalid_argument on nonsense (timeout not strictly
+  /// positive, negative max_retries). Called by the Client constructor.
+  void validate() const;
 };
 
 struct GetResult {

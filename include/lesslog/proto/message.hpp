@@ -57,14 +57,8 @@ inline constexpr std::size_t kWireSize = 8 + 1 + 4 * 4 + 8 + 8 + 1 + 1;
 using WireBuffer = std::array<std::uint8_t, kWireSize>;
 
 /// Encodes to the fixed-width little-endian wire format into a caller-
-/// owned buffer; writes exactly the bytes encode() would return.
+/// owned buffer — the canonical serializer.
 void encode_into(const Message& m, WireBuffer& out) noexcept;
-
-/// Heap-allocating convenience wrapper around encode_into. Kept only as
-/// the property-tested reference for encode_into; new code should encode
-/// into a caller-owned WireBuffer.
-[[nodiscard, deprecated("allocates per call; use encode_into")]]
-std::vector<std::uint8_t> encode(const Message& m);
 
 /// Decodes a wire buffer; nullopt on wrong size or invalid type tag.
 /// Accepts any contiguous byte range (WireBuffer, vector, ...).

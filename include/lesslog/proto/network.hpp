@@ -9,9 +9,11 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "lesslog/obs/sink.hpp"
+#include "lesslog/proto/fault.hpp"
 #include "lesslog/proto/message.hpp"
 #include "lesslog/sim/engine.hpp"
 
@@ -21,6 +23,11 @@ struct NetworkConfig {
   double base_latency = 0.010;   ///< seconds, one way
   double jitter = 0.005;         ///< uniform in [0, jitter) added per hop
   double drop_probability = 0.0; ///< per-message loss
+
+  /// Throws std::invalid_argument on nonsense (drop_probability outside
+  /// [0, 1], negative or non-finite latency/jitter). Called by the
+  /// Network constructor, so a misconfigured network cannot be built.
+  void validate() const;
 };
 
 /// Optional geographic model: nodes get uniform coordinates in the unit
@@ -57,6 +64,19 @@ class Network {
   /// Switches to distance-based link latency (see Geography).
   void enable_geography(const Geography& geo);
 
+  /// Installs a fault plan (replacing any previous one): validates it,
+  /// creates the injector, and schedules every rule's activation and heal
+  /// through the event engine, so the whole fault schedule replays
+  /// bit-identically from (engine seed, plan). With no plan installed the
+  /// send path is exactly the pre-fault-model code (one null check).
+  void install_fault_plan(const FaultPlan& plan);
+
+  /// The installed injector (nullptr when no plan was installed). The
+  /// chaos auditor reads stats() and reachability from here.
+  [[nodiscard]] const FaultInjector* fault_injector() const noexcept {
+    return injector_.get();
+  }
+
   /// Registers an observer notified (in registration order) about every
   /// delivered datagram, at delivery time, before the receiving handler
   /// runs. The network is the single delivery funnel, so sinks see peers
@@ -92,6 +112,11 @@ class Network {
   [[nodiscard]] std::int64_t undeliverable() const noexcept {
     return undeliverable_;
   }
+  /// Datagrams handed to an attached handler.
+  [[nodiscard]] std::int64_t delivered() const noexcept { return delivered_; }
+  /// Datagrams whose wire image failed to decode on arrival (fault
+  /// injection corrupts in flight; the decode-reject path counts here).
+  [[nodiscard]] std::int64_t corrupted() const noexcept { return corrupted_; }
   [[nodiscard]] sim::Engine& engine() noexcept { return *engine_; }
 
  private:
@@ -107,6 +132,11 @@ class Network {
   /// Arrival half of send(): decode and dispatch to the target handler.
   void deliver(const WireBuffer& wire);
 
+  /// Slow path of send(), entered only when a fault plan is installed:
+  /// runs the datagram through the injector pipeline (partition, dup,
+  /// burst loss, corruption, delay spike) and schedules surviving copies.
+  void send_faulty(const Message& m, DeliveryEvent& ev, double latency);
+
   sim::Engine* engine_;
   NetworkConfig cfg_;
   Geography geo_;
@@ -114,10 +144,13 @@ class Network {
   std::vector<Handler> handlers_;  // indexed by PID, empty = detached
   std::vector<obs::DeliverySink*> sinks_;
   const obs::WireMetrics* metrics_ = nullptr;
+  std::unique_ptr<FaultInjector> injector_;  // null = clean fast path
   std::int64_t messages_sent_ = 0;
   std::int64_t bytes_sent_ = 0;
   std::int64_t dropped_ = 0;
   std::int64_t undeliverable_ = 0;
+  std::int64_t delivered_ = 0;
+  std::int64_t corrupted_ = 0;
 };
 
 }  // namespace lesslog::proto

@@ -91,6 +91,26 @@ class Swarm {
   void depart(core::Pid p);
   void crash(core::Pid p);
 
+  /// Crash recovery, step 2: the crashed node comes back under the same
+  /// PID with an empty store (its disk is gone). A restart is a rejoin —
+  /// status broadcast plus the Section 5.1 kReclaim sweep, so surviving
+  /// holders push the ψ-named files it is authoritative for back to it.
+  /// Precondition: p previously crashed (or departed).
+  void restart(core::Pid p);
+
+  /// Repair broadcast: re-announces the ground-truth liveness of every
+  /// PID to all live peers. Status announcements ride the unreliable
+  /// datagram wire, so a burst window or partition can leave peers with
+  /// stale views; the chaos driver calls this after a heal (the modelled
+  /// equivalent of anti-entropy gossip catching up).
+  void reannounce();
+
+  /// TEST-ONLY failure mode: the node vanishes without any failure
+  /// announcement ever being sent — deliberately breaking the Section 5.3
+  /// recovery contract. Used to prove the chaos auditor catches a broken
+  /// recovery protocol; never part of a correct schedule.
+  void crash_silent(core::Pid p);
+
   /// Aggregate client stats across all peers.
   [[nodiscard]] std::int64_t total_faults() const;
   [[nodiscard]] std::vector<double> all_latencies() const;

@@ -1,0 +1,118 @@
+#include "lesslog/chaos/audit.hpp"
+
+#include "lesslog/util/bits.hpp"
+#include "lesslog/util/hashing.hpp"
+
+namespace lesslog::chaos {
+
+namespace {
+
+void violate(std::vector<Violation>& out, int epoch, const char* check,
+             std::string detail) {
+  out.push_back(Violation{epoch, check, std::move(detail)});
+}
+
+}  // namespace
+
+bool Audit::live_copy_exists(proto::Swarm& swarm, core::FileId f) {
+  const util::StatusWord& truth = swarm.status();
+  for (std::uint32_t p = 0; p < truth.capacity(); ++p) {
+    if (truth.is_live(p) && swarm.peer(core::Pid{p}).store().has(f)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void Audit::check(proto::Swarm& swarm,
+                  const std::vector<std::uint64_t>& keys,
+                  const proto::FaultStats& injected, std::int64_t issued,
+                  std::int64_t completed, int epoch,
+                  std::vector<Violation>& out) {
+  const proto::Network& net = swarm.network();
+
+  // 1. Counter reconciliation at quiescence.
+  const std::int64_t in = net.messages_sent() + injected.duplicated;
+  const std::int64_t terminal = net.delivered() + net.dropped() +
+                                net.undeliverable() + net.corrupted() +
+                                injected.burst_dropped +
+                                injected.partition_dropped;
+  if (in != terminal) {
+    violate(out, epoch, "counter_reconciliation",
+            "sent+dup=" + std::to_string(in) +
+                " != delivered+dropped+undeliverable+corrupted+burst+"
+                "partition=" +
+                std::to_string(terminal));
+  }
+
+  // 2. Corruption accounting: corrupted at send == rejected at decode.
+  if (injected.corrupted != net.corrupted()) {
+    violate(out, epoch, "corruption_accounting",
+            "injected=" + std::to_string(injected.corrupted) +
+                " decode_rejected=" + std::to_string(net.corrupted()));
+  }
+
+  // 3. Workload termination.
+  if (issued != completed) {
+    violate(out, epoch, "workload_termination",
+            "issued=" + std::to_string(issued) +
+                " completed=" + std::to_string(completed));
+  }
+
+  // 4. Status convergence: live peers' local words vs ground truth.
+  const util::StatusWord& truth = swarm.status();
+  for (std::uint32_t p = 0; p < truth.capacity(); ++p) {
+    if (!truth.is_live(p)) continue;
+    if (swarm.peer(core::Pid{p}).status() != truth) {
+      violate(out, epoch, "status_convergence",
+              "peer " + std::to_string(p) +
+                  " status word diverges from ground truth");
+    }
+  }
+
+  // 5. Replica availability, by actually asking: one GET probe per file
+  // from the lowest live PID.
+  if (truth.live_count() == 0) return;
+  std::uint32_t prober = 0;
+  while (!truth.is_live(prober)) ++prober;
+  struct Probe {
+    std::uint64_t key;
+    bool has_live_copy;
+    bool done = false;
+    bool ok = false;
+  };
+  std::vector<Probe> probes;
+  probes.reserve(keys.size());
+  for (const std::uint64_t key : keys) {
+    const core::FileId f{key};
+    probes.push_back(Probe{key, live_copy_exists(swarm, f)});
+    Probe* slot = &probes.back();
+    const core::Pid r = swarm.peer(core::Pid{prober}).target_of(f);
+    swarm.get(f, r, core::Pid{prober},
+              [slot](const proto::GetResult& res) {
+                slot->done = true;
+                slot->ok = res.ok;
+              });
+  }
+  swarm.settle();
+  for (const Probe& probe : probes) {
+    if (!probe.done) {
+      violate(out, epoch, "probe_termination",
+              "GET for key " + std::to_string(probe.key) +
+                  " never completed");
+      continue;
+    }
+    if (probe.has_live_copy && !probe.ok) {
+      violate(out, epoch, "replica_availability",
+              "GET for key " + std::to_string(probe.key) +
+                  " faulted while a live replica exists");
+    }
+    if (!probe.has_live_copy && probe.ok) {
+      violate(out, epoch, "replica_availability",
+              "GET for key " + std::to_string(probe.key) +
+                  " succeeded with no live replica (ghost copy)");
+    }
+  }
+}
+
+}  // namespace lesslog::chaos

@@ -1,0 +1,180 @@
+#include "lesslog/chaos/driver.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "lesslog/util/bits.hpp"
+
+namespace lesslog::chaos {
+
+Driver::Driver(ChaosConfig cfg)
+    : cfg_(cfg), rng_(cfg.seed ^ 0xC0A0'51ABULL) {
+  cfg_.validate();
+  proto::Swarm::Config sc;
+  sc.m = cfg_.m;
+  sc.b = cfg_.b;
+  sc.nodes = cfg_.nodes;
+  sc.seed = cfg_.seed;
+  // Ambient loss stays off: loss is expressed through windowed burst
+  // rules, so the repair phase after each heal runs on a clean wire.
+  sc.net.drop_probability = 0.0;
+  swarm_ = std::make_unique<proto::Swarm>(sc);
+}
+
+Driver::~Driver() = default;
+
+std::uint32_t Driver::random_live_pid() {
+  const std::vector<std::uint32_t> live = swarm_->status().live_pids();
+  assert(!live.empty());
+  return live[rng_.bounded(live.size())];
+}
+
+void Driver::insert_catalog() {
+  for (int i = 0; i < cfg_.files; ++i) {
+    // Distinct deterministic keys; ψ spreads them over the ID space.
+    const std::uint64_t key =
+        (cfg_.seed << 20) + static_cast<std::uint64_t>(i) * 7919u + 1u;
+    keys_.push_back(key);
+    swarm_->insert_named(key, core::Pid{random_live_pid()});
+  }
+  swarm_->settle();
+}
+
+void Driver::issue_get() {
+  if (swarm_->status().live_count() == 0) return;
+  const core::Pid at{random_live_pid()};
+  const core::FileId f{keys_[rng_.bounded(keys_.size())]};
+  ++issued_;
+  swarm_->get(f, swarm_->peer(at).target_of(f), at,
+              [this](const proto::GetResult& res) {
+                ++completed_;
+                if (!res.ok) ++faults_;
+              });
+}
+
+void Driver::schedule_workload(double now) {
+  if (cfg_.get_rate <= 0.0) return;
+  swarm_->engine().poisson_process(cfg_.get_rate, now + cfg_.epoch_length,
+                                   [this] { issue_get(); });
+}
+
+void Driver::schedule_epoch_ops(int /*epoch*/, double now) {
+  const double L = cfg_.epoch_length;
+  sim::Engine& engine = swarm_->engine();
+  const int op_count = 1 + static_cast<int>(rng_.bounded(3));
+  for (int i = 0; i < op_count; ++i) {
+    const double t = now + (0.10 + 0.60 * rng_.uniform01()) * L;
+    // Which op runs is drawn now; which PID it hits is resolved at fire
+    // time from ground truth (both draws replay identically).
+    const std::uint64_t pick = rng_.bounded(4);
+    if (pick <= 1 && cfg_.crashes) {
+      engine.at(t, [this, t, L] {
+        if (swarm_->status().live_count() <= min_live_) return;
+        const core::Pid victim{random_live_pid()};
+        if (cfg_.silent_crashes) {
+          swarm_->crash_silent(victim);
+          record_.ops.push_back(
+              OpRecord{t, OpKind::kSilentCrash, victim.value()});
+          return;  // broken mode: the node never comes back
+        }
+        swarm_->crash(victim);
+        record_.ops.push_back(OpRecord{t, OpKind::kCrash, victim.value()});
+        const double back = t + (0.20 + 0.30 * rng_.uniform01()) * L;
+        swarm_->engine().at(back, [this, back, victim] {
+          if (swarm_->status().is_live(victim.value())) return;
+          swarm_->restart(victim);
+          record_.ops.push_back(
+              OpRecord{back, OpKind::kRestart, victim.value()});
+        });
+      });
+    } else if (pick == 2 && cfg_.churn) {
+      engine.at(t, [this, t] {
+        if (swarm_->status().live_count() <= min_live_) return;
+        const core::Pid leaver{random_live_pid()};
+        swarm_->depart(leaver);
+        record_.ops.push_back(OpRecord{t, OpKind::kDepart, leaver.value()});
+      });
+    } else if (pick == 3 && cfg_.churn) {
+      engine.at(t, [this, t] {
+        if (swarm_->status().dead_count() == 0) return;
+        const core::Pid joined = swarm_->join();
+        record_.ops.push_back(OpRecord{t, OpKind::kJoin, joined.value()});
+      });
+    }
+  }
+}
+
+Report Driver::run() {
+  assert(!ran_ && "a Driver runs its schedule once");
+  ran_ = true;
+  // Keep enough peers alive that every fault-tolerance subtree can stay
+  // populated (and the swarm never empties out under a hostile draw).
+  min_live_ = std::max<std::uint32_t>(4u, (1u << cfg_.b) + 1u);
+
+  Report report;
+  report.config = cfg_;
+  insert_catalog();
+
+  for (int epoch = 0; epoch < cfg_.epochs; ++epoch) {
+    const double now = swarm_->engine().now();
+    const proto::FaultPlan plan =
+        make_epoch_plan(cfg_, rng_, epoch, now);
+    if (!plan.rules.empty()) {
+      // The previous injector (all windows closed, wire drained) is
+      // about to be replaced; bank its totals first.
+      if (const proto::FaultInjector* old =
+              swarm_->network().fault_injector()) {
+        const proto::FaultStats& s = old->stats();
+        prior_injected_.burst_dropped += s.burst_dropped;
+        prior_injected_.partition_dropped += s.partition_dropped;
+        prior_injected_.duplicated += s.duplicated;
+        prior_injected_.corrupted += s.corrupted;
+        prior_injected_.delay_spikes += s.delay_spikes;
+      }
+      swarm_->network().install_fault_plan(plan);
+      for (const proto::FaultRule& r : plan.rules) {
+        record_.rules.push_back(RuleRecord{epoch, r});
+      }
+    }
+    schedule_epoch_ops(epoch, now);
+    schedule_workload(now);
+
+    swarm_->engine().run_until(now + cfg_.epoch_length);
+    swarm_->settle();
+    if (!cfg_.silent_crashes) {
+      // Anti-entropy repair: converge every live peer's liveness view on
+      // the clean post-heal wire. Broken mode skips it — that is the
+      // broken part the auditor must catch.
+      swarm_->reannounce();
+      swarm_->settle();
+    }
+
+    proto::FaultStats injected = prior_injected_;
+    if (const proto::FaultInjector* inj =
+            swarm_->network().fault_injector()) {
+      const proto::FaultStats& s = inj->stats();
+      injected.burst_dropped += s.burst_dropped;
+      injected.partition_dropped += s.partition_dropped;
+      injected.duplicated += s.duplicated;
+      injected.corrupted += s.corrupted;
+      injected.delay_spikes += s.delay_spikes;
+    }
+    Audit::check(*swarm_, keys_, injected, issued_, completed_, epoch,
+                 report.violations);
+    report.injected = injected;
+  }
+
+  report.record = record_;
+  report.workload_issued = issued_;
+  report.workload_completed = completed_;
+  report.workload_faults = faults_;
+  report.messages_sent = swarm_->network().messages_sent();
+#if LESSLOG_METRICS_ENABLED
+  report.repair_pushes = static_cast<std::int64_t>(
+      swarm_->metrics().repair_pushes->value());
+#endif
+  report.sim_time = swarm_->engine().now();
+  return report;
+}
+
+}  // namespace lesslog::chaos

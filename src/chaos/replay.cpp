@@ -1,0 +1,181 @@
+#include "lesslog/chaos/replay.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "lesslog/util/minijson.hpp"
+
+namespace lesslog::chaos {
+
+namespace {
+
+/// Doubles at round-trip precision (%.17g survives text -> double -> text).
+std::string num(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+std::string quoted(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+const char* b(bool v) { return v ? "true" : "false"; }
+
+void emit_rule(std::ostringstream& os, const RuleRecord& rec) {
+  const proto::FaultRule& r = rec.rule;
+  os << "{\"epoch\":" << rec.epoch << ",\"kind\":\""
+     << proto::fault_kind_name(r.kind) << "\",\"start\":" << num(r.start)
+     << ",\"stop\":" << num(r.stop)
+     << ",\"probability\":" << num(r.probability)
+     << ",\"p_good_to_bad\":" << num(r.p_good_to_bad)
+     << ",\"p_bad_to_good\":" << num(r.p_bad_to_good)
+     << ",\"loss_good\":" << num(r.loss_good)
+     << ",\"loss_bad\":" << num(r.loss_bad)
+     << ",\"extra_delay\":" << num(r.extra_delay) << ",\"group\":[";
+  for (std::size_t i = 0; i < r.group.size(); ++i) {
+    if (i != 0) os << ',';
+    os << r.group[i];
+  }
+  os << "]}";
+}
+
+}  // namespace
+
+std::string artifact_to_json(const Report& report) {
+  const ChaosConfig& c = report.config;
+  std::ostringstream os;
+  os << "{\"schema\":\"lesslog.chaos\",\"version\":1,";
+  // seed as a string: JSON numbers are doubles and lose 64-bit integers.
+  os << "\"config\":{\"m\":" << c.m << ",\"b\":" << c.b
+     << ",\"nodes\":" << c.nodes << ",\"seed\":\"" << c.seed << "\""
+     << ",\"epochs\":" << c.epochs
+     << ",\"epoch_length\":" << num(c.epoch_length)
+     << ",\"fault_intensity\":" << num(c.fault_intensity)
+     << ",\"files\":" << c.files << ",\"get_rate\":" << num(c.get_rate)
+     << ",\"bursts\":" << b(c.bursts)
+     << ",\"partitions\":" << b(c.partitions)
+     << ",\"corruption\":" << b(c.corruption)
+     << ",\"duplicates\":" << b(c.duplicates)
+     << ",\"delay_spikes\":" << b(c.delay_spikes)
+     << ",\"crashes\":" << b(c.crashes) << ",\"churn\":" << b(c.churn)
+     << ",\"silent_crashes\":" << b(c.silent_crashes) << "},";
+  os << "\"violations\":[";
+  for (std::size_t i = 0; i < report.violations.size(); ++i) {
+    const Violation& v = report.violations[i];
+    if (i != 0) os << ',';
+    os << "{\"epoch\":" << v.epoch << ",\"check\":" << quoted(v.check)
+       << ",\"detail\":" << quoted(v.detail) << '}';
+  }
+  os << "],";
+  os << "\"schedule\":{\"rules\":[";
+  for (std::size_t i = 0; i < report.record.rules.size(); ++i) {
+    if (i != 0) os << ',';
+    emit_rule(os, report.record.rules[i]);
+  }
+  os << "],\"ops\":[";
+  for (std::size_t i = 0; i < report.record.ops.size(); ++i) {
+    const OpRecord& op = report.record.ops[i];
+    if (i != 0) os << ',';
+    os << "{\"time\":" << num(op.time) << ",\"kind\":\""
+       << op_kind_name(op.kind) << "\",\"pid\":" << op.pid << '}';
+  }
+  os << "]},";
+  os << "\"stats\":{\"burst_dropped\":" << report.injected.burst_dropped
+     << ",\"partition_dropped\":" << report.injected.partition_dropped
+     << ",\"duplicated\":" << report.injected.duplicated
+     << ",\"corrupted\":" << report.injected.corrupted
+     << ",\"delay_spikes\":" << report.injected.delay_spikes
+     << ",\"messages_sent\":" << report.messages_sent
+     << ",\"repair_pushes\":" << report.repair_pushes
+     << ",\"workload_issued\":" << report.workload_issued
+     << ",\"workload_completed\":" << report.workload_completed
+     << ",\"workload_faults\":" << report.workload_faults
+     << ",\"sim_time\":" << num(report.sim_time) << "}}";
+  return os.str();
+}
+
+bool write_artifact(const std::string& path, const Report& report) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << artifact_to_json(report) << '\n';
+  return static_cast<bool>(out);
+}
+
+namespace {
+
+const util::minijson::Value& require(const util::minijson::Value& obj,
+                                     const char* key) {
+  const util::minijson::Value* v = obj.find(key);
+  if (v == nullptr) {
+    throw std::invalid_argument(
+        std::string("chaos artifact: missing key '") + key + "'");
+  }
+  return *v;
+}
+
+}  // namespace
+
+ChaosConfig config_from_artifact(const std::string& json) {
+  const std::optional<util::minijson::Value> doc =
+      util::minijson::parse(json);
+  if (!doc.has_value() || !doc->is_object()) {
+    throw std::invalid_argument("chaos artifact: not a JSON object");
+  }
+  const util::minijson::Value& schema = require(*doc, "schema");
+  if (!schema.is_string() || schema.string != "lesslog.chaos") {
+    throw std::invalid_argument("chaos artifact: wrong schema tag");
+  }
+  const util::minijson::Value& cfg = require(*doc, "config");
+  if (!cfg.is_object()) {
+    throw std::invalid_argument("chaos artifact: config must be an object");
+  }
+  ChaosConfig out;
+  out.m = static_cast<int>(require(cfg, "m").number);
+  out.b = static_cast<int>(require(cfg, "b").number);
+  out.nodes = static_cast<std::uint32_t>(require(cfg, "nodes").number);
+  out.seed = std::stoull(require(cfg, "seed").string);
+  out.epochs = static_cast<int>(require(cfg, "epochs").number);
+  out.epoch_length = require(cfg, "epoch_length").number;
+  out.fault_intensity = require(cfg, "fault_intensity").number;
+  out.files = static_cast<int>(require(cfg, "files").number);
+  out.get_rate = require(cfg, "get_rate").number;
+  out.bursts = require(cfg, "bursts").boolean;
+  out.partitions = require(cfg, "partitions").boolean;
+  out.corruption = require(cfg, "corruption").boolean;
+  out.duplicates = require(cfg, "duplicates").boolean;
+  out.delay_spikes = require(cfg, "delay_spikes").boolean;
+  out.crashes = require(cfg, "crashes").boolean;
+  out.churn = require(cfg, "churn").boolean;
+  out.silent_crashes = require(cfg, "silent_crashes").boolean;
+  out.validate();
+  return out;
+}
+
+Report replay(const std::string& json) {
+  Driver driver(config_from_artifact(json));
+  return driver.run();
+}
+
+bool same_outcome(const Report& a, const Report& b) {
+  return a.violations == b.violations && a.record == b.record &&
+         a.injected == b.injected &&
+         a.workload_issued == b.workload_issued &&
+         a.workload_completed == b.workload_completed &&
+         a.workload_faults == b.workload_faults &&
+         a.messages_sent == b.messages_sent;
+}
+
+}  // namespace lesslog::chaos

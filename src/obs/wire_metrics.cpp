@@ -29,6 +29,14 @@ WireMetrics::WireMetrics(Registry& registry) {
   live_peers = &registry.gauge("swarm.live_peers");
   max_served = &registry.gauge("peer.max_served");
   get_latency = &registry.histogram("client.get_latency");
+  delivered = &registry.counter("net.delivered");
+  corrupted = &registry.counter("net.corrupted");
+  injected_burst_drops = &registry.counter("fault.burst_drops");
+  injected_partition_drops = &registry.counter("fault.partition_drops");
+  injected_duplicates = &registry.counter("fault.duplicates");
+  injected_corruptions = &registry.counter("fault.corruptions");
+  injected_delay_spikes = &registry.counter("fault.delay_spikes");
+  repair_pushes = &registry.counter("peer.repair_pushes");
 }
 
 }  // namespace lesslog::obs

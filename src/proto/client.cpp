@@ -1,14 +1,28 @@
 #include "lesslog/proto/client.hpp"
 
 #include <cassert>
+#include <cmath>
+#include <stdexcept>
 
 namespace lesslog::proto {
+
+void ClientConfig::validate() const {
+  if (std::isnan(timeout) || timeout <= 0.0) {
+    throw std::invalid_argument(
+        "ClientConfig: timeout must be strictly positive");
+  }
+  if (max_retries < 0) {
+    throw std::invalid_argument(
+        "ClientConfig: max_retries must be non-negative");
+  }
+}
 
 Client::Client(Peer& home, Network& network, ClientConfig cfg)
     : home_(&home), network_(&network), cfg_(cfg),
       // Stripe request ids by home PID so several clients in one swarm
       // never collide.
       next_id_((std::uint64_t{home.pid().value()} << 32) + 1) {
+  cfg.validate();
   home_->set_reply_sink([this](const Message& m) { on_reply(m); });
 }
 

@@ -87,17 +87,6 @@ void encode_into(const Message& m, WireBuffer& out) noexcept {
   *p = m.ok ? 1 : 0;
 }
 
-// Definition of the deprecated wrapper; the warning fires at call sites,
-// not here, but GCC still flags the definition itself — suppress locally.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-std::vector<std::uint8_t> encode(const Message& m) {
-  WireBuffer buf;
-  encode_into(m, buf);
-  return std::vector<std::uint8_t>(buf.begin(), buf.end());
-}
-#pragma GCC diagnostic pop
-
 std::optional<Message> decode(std::span<const std::uint8_t> bytes) {
   if (bytes.size() != kWireSize) return std::nullopt;
   const std::uint8_t* p = bytes.data();

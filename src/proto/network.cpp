@@ -3,15 +3,29 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <stdexcept>
 
 #include "lesslog/util/rng.hpp"
 
 namespace lesslog::proto {
 
+void NetworkConfig::validate() const {
+  if (std::isnan(base_latency) || base_latency < 0.0) {
+    throw std::invalid_argument(
+        "NetworkConfig: base_latency must be non-negative");
+  }
+  if (std::isnan(jitter) || jitter < 0.0) {
+    throw std::invalid_argument("NetworkConfig: jitter must be non-negative");
+  }
+  if (!(drop_probability >= 0.0 && drop_probability <= 1.0)) {
+    throw std::invalid_argument(
+        "NetworkConfig: drop_probability must be in [0, 1]");
+  }
+}
+
 Network::Network(sim::Engine& engine, NetworkConfig cfg)
     : engine_(&engine), cfg_(cfg) {
-  assert(cfg.base_latency >= 0.0 && cfg.jitter >= 0.0);
-  assert(cfg.drop_probability >= 0.0 && cfg.drop_probability <= 1.0);
+  cfg.validate();
 }
 
 void Network::attach(core::Pid pid, Handler handler) {
@@ -90,18 +104,96 @@ void Network::send(const Message& m) {
   const double latency =
       (coords_.empty() ? cfg_.base_latency : link_latency(m.from, m.to)) +
       (cfg_.jitter > 0.0 ? engine_->rng().uniform01() * cfg_.jitter : 0.0);
-  engine_->after(latency, std::move(ev));
+  if (injector_ == nullptr) {
+    engine_->after(latency, std::move(ev));
+    return;
+  }
+  send_faulty(m, ev, latency);
+}
+
+void Network::send_faulty(const Message& m, DeliveryEvent& ev,
+                          double latency) {
+  // The injector pipeline. Every datagram handed to send() terminates as
+  // exactly one of: partition_dropped, burst_dropped, corrupted,
+  // undeliverable, or delivered — plus `duplicated` extra copies that
+  // each terminate the same way. That exhaustiveness is what makes the
+  // auditor's counter-reconciliation invariant hold at quiescence.
+  if (injector_->partition_blocks(m.from, m.to)) {
+    LESSLOG_METRICS(if (metrics_ != nullptr) {
+      metrics_->injected_partition_drops->inc();
+    });
+    return;
+  }
+  const int copies = injector_->duplicate() ? 2 : 1;
+  LESSLOG_METRICS(if (copies > 1 && metrics_ != nullptr) {
+    metrics_->injected_duplicates->inc();
+  });
+  for (int c = 0; c < copies; ++c) {
+    if (injector_->burst_drop(m.from, m.to)) {
+      LESSLOG_METRICS(if (metrics_ != nullptr) {
+        metrics_->injected_burst_drops->inc();
+      });
+      continue;
+    }
+    DeliveryEvent copy = ev;
+    if (injector_->corrupt(copy.wire)) {
+      LESSLOG_METRICS(if (metrics_ != nullptr) {
+        metrics_->injected_corruptions->inc();
+      });
+    }
+    const double spike = injector_->delay_spike();
+    LESSLOG_METRICS(if (spike > 0.0 && metrics_ != nullptr) {
+      metrics_->injected_delay_spikes->inc();
+    });
+    // The first copy reuses send()'s latency draw (so an empty plan's
+    // timing would be unchanged); a duplicate gets its own jitter from
+    // the injector's stream to land at a distinct time.
+    const double base =
+        coords_.empty() ? cfg_.base_latency : link_latency(m.from, m.to);
+    const double copy_latency =
+        (c == 0 ? latency : base + injector_->jitter(cfg_.jitter)) + spike;
+    engine_->after(copy_latency, std::move(copy));
+  }
+}
+
+void Network::install_fault_plan(const FaultPlan& plan) {
+  plan.validate();
+  injector_ = std::make_unique<FaultInjector>(plan);
+  FaultInjector* inj = injector_.get();
+  const double now = engine_->now();
+  for (std::size_t i = 0; i < plan.rules.size(); ++i) {
+    const FaultRule& r = plan.rules[i];
+    if (r.start <= now) {
+      inj->activate(i);
+    } else {
+      engine_->at(r.start, [inj, i] { inj->activate(i); });
+    }
+    // Rules healing at infinity never deactivate; scheduling an event at
+    // t = inf would keep the engine from ever draining.
+    if (std::isfinite(r.stop)) {
+      engine_->at(r.stop, [inj, i] { inj->deactivate(i); });
+    }
+  }
 }
 
 void Network::deliver(const WireBuffer& wire) {
   const std::optional<Message> delivered = decode(wire);
-  assert(delivered.has_value() && "wire corruption is not modelled");
+  if (!delivered.has_value()) {
+    // Corrupted in flight: the wire image no longer decodes. Counted and
+    // dropped — the receiver never sees it (the client's timeout/retry
+    // machinery recovers, same as a loss).
+    ++corrupted_;
+    LESSLOG_METRICS(if (metrics_ != nullptr) metrics_->corrupted->inc());
+    return;
+  }
   const std::uint32_t to = delivered->to.value();
   if (to >= handlers_.size() || !handlers_[to]) {
     ++undeliverable_;
     LESSLOG_METRICS(if (metrics_ != nullptr) metrics_->undeliverable->inc());
     return;
   }
+  ++delivered_;
+  LESSLOG_METRICS(if (metrics_ != nullptr) metrics_->delivered->inc());
   // Sinks observe the datagram at delivery time, before the handler — so
   // a trace's record order matches the order handlers fired in.
   for (obs::DeliverySink* sink : sinks_) {

@@ -262,6 +262,9 @@ void Peer::push_file(core::FileId f, std::uint64_t version, core::Pid to) {
   push.file = f;
   push.version = version;
   push.ok = true;
+  // Every kFilePush is membership repair traffic (reclaim, graceful
+  // leave, crash recovery) — the chaos bench reports this as repair cost.
+  LESSLOG_METRICS(if (metrics_ != nullptr) metrics_->repair_pushes->inc());
   pending_pushes_.emplace(push.request_id, PendingPush{push, 0, 0});
   transmit_push(push.request_id);
 }

@@ -162,6 +162,31 @@ void Swarm::crash(core::Pid p) {
   network_.notify_peer_event(engine_.now(), p, /*live=*/false);
 }
 
+void Swarm::restart(core::Pid p) {
+  assert(!status_.is_live(p.value()));
+  join(p);
+}
+
+void Swarm::reannounce() {
+  for (std::uint32_t p = 0; p < util::space_size(cfg_.m); ++p) {
+    // Only PIDs that ever existed matter; a slot that never had a peer
+    // was never announced live to anyone.
+    if (!peers_[p]) continue;
+    broadcast_status(core::Pid{p}, status_.is_live(p));
+  }
+}
+
+void Swarm::crash_silent(core::Pid p) {
+  assert(status_.is_live(p.value()));
+  peers_[p.value()]->detach();
+  status_.set_dead(p.value());
+  network_.notify_peer_event(engine_.now(), p, /*live=*/false);
+  // No broadcast_status: survivors never learn of the failure, so
+  // sibling-subtree recovery never runs. reannounce() deliberately
+  // repairs only liveness views, not lost data — the resulting replica
+  // loss is exactly what chaos::Audit must flag.
+}
+
 void Swarm::broadcast_status(core::Pid about, bool live) {
   for (std::uint32_t q = 0; q < util::space_size(cfg_.m); ++q) {
     if (q == about.value() || !status_.is_live(q)) continue;

@@ -1,0 +1,113 @@
+// Chaos schedule generation: config validation, window bounds, and
+// determinism of the generated plans.
+#include "lesslog/chaos/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace lesslog::chaos {
+namespace {
+
+TEST(ChaosConfig, DefaultsAreValid) {
+  EXPECT_NO_THROW(ChaosConfig{}.validate());
+}
+
+TEST(ChaosConfig, RejectsBadFields) {
+  {
+    ChaosConfig cfg;
+    cfg.b = cfg.m;  // b must leave room for subtrees
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  }
+  {
+    ChaosConfig cfg;
+    cfg.nodes = 1;
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  }
+  {
+    ChaosConfig cfg;
+    cfg.epochs = 0;
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  }
+  {
+    ChaosConfig cfg;
+    cfg.fault_intensity = 1.5;
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  }
+  {
+    ChaosConfig cfg;
+    cfg.epoch_length = 0.0;
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  }
+  {
+    ChaosConfig cfg;
+    cfg.get_rate = -1.0;
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  }
+}
+
+TEST(Schedule, WindowsStayInsideTheEpoch) {
+  ChaosConfig cfg;
+  cfg.fault_intensity = 1.0;
+  util::Rng rng(5);
+  for (int epoch = 0; epoch < 8; ++epoch) {
+    const double now = 100.0 * epoch;
+    const proto::FaultPlan plan = make_epoch_plan(cfg, rng, epoch, now);
+    EXPECT_NO_THROW(plan.validate());
+    for (const proto::FaultRule& r : plan.rules) {
+      EXPECT_GE(r.start, now);
+      EXPECT_LT(r.stop, now + cfg.epoch_length);
+    }
+  }
+}
+
+TEST(Schedule, ZeroIntensityMeansNoRules) {
+  ChaosConfig cfg;
+  cfg.fault_intensity = 0.0;
+  util::Rng rng(5);
+  EXPECT_TRUE(make_epoch_plan(cfg, rng, 0, 0.0).empty());
+}
+
+TEST(Schedule, PartitionsOnlyOnOddEpochs) {
+  ChaosConfig cfg;
+  cfg.bursts = cfg.corruption = cfg.duplicates = cfg.delay_spikes = false;
+  cfg.partitions = true;
+  util::Rng rng(5);
+  const proto::FaultPlan even = make_epoch_plan(cfg, rng, 0, 0.0);
+  EXPECT_TRUE(even.rules.empty());
+  const proto::FaultPlan odd = make_epoch_plan(cfg, rng, 1, 0.0);
+  ASSERT_EQ(odd.rules.size(), 1u);
+  EXPECT_EQ(odd.rules[0].kind, proto::FaultKind::kPartition);
+  EXPECT_FALSE(odd.rules[0].group.empty());
+}
+
+TEST(Schedule, SameSeedSamePlan) {
+  ChaosConfig cfg;
+  util::Rng a(cfg.seed);
+  util::Rng b(cfg.seed);
+  for (int epoch = 0; epoch < 4; ++epoch) {
+    const proto::FaultPlan pa = make_epoch_plan(cfg, a, epoch, 10.0 * epoch);
+    const proto::FaultPlan pb = make_epoch_plan(cfg, b, epoch, 10.0 * epoch);
+    EXPECT_EQ(pa.seed, pb.seed);
+    EXPECT_EQ(pa.rules, pb.rules);
+  }
+}
+
+TEST(Schedule, DistinctEpochsGetDistinctInjectorSeeds) {
+  ChaosConfig cfg;
+  util::Rng rng(cfg.seed);
+  const proto::FaultPlan p0 = make_epoch_plan(cfg, rng, 0, 0.0);
+  const proto::FaultPlan p1 = make_epoch_plan(cfg, rng, 1, 30.0);
+  EXPECT_NE(p0.seed, p1.seed);
+}
+
+TEST(Schedule, OpKindNamesAreStable) {
+  EXPECT_STREQ(op_kind_name(OpKind::kCrash), "crash");
+  EXPECT_STREQ(op_kind_name(OpKind::kRestart), "restart");
+  EXPECT_STREQ(op_kind_name(OpKind::kDepart), "depart");
+  EXPECT_STREQ(op_kind_name(OpKind::kJoin), "join");
+  EXPECT_STREQ(op_kind_name(OpKind::kSilentCrash), "silent_crash");
+}
+
+}  // namespace
+}  // namespace lesslog::chaos

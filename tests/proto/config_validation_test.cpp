@@ -1,0 +1,116 @@
+// Construction-time validation of NetworkConfig and ClientConfig: every
+// rejected field gets its own test, plus proof that constructors call
+// validate() (a misconfigured network/client cannot be built).
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <stdexcept>
+
+#include "lesslog/proto/client.hpp"
+#include "lesslog/proto/network.hpp"
+
+namespace lesslog::proto {
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+TEST(NetworkConfigValidation, DefaultsAreValid) {
+  EXPECT_NO_THROW(NetworkConfig{}.validate());
+}
+
+TEST(NetworkConfigValidation, RejectsNegativeBaseLatency) {
+  NetworkConfig cfg;
+  cfg.base_latency = -0.001;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(NetworkConfigValidation, RejectsNanBaseLatency) {
+  NetworkConfig cfg;
+  cfg.base_latency = kNan;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(NetworkConfigValidation, RejectsNegativeJitter) {
+  NetworkConfig cfg;
+  cfg.jitter = -1.0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(NetworkConfigValidation, RejectsDropProbabilityAboveOne) {
+  NetworkConfig cfg;
+  cfg.drop_probability = 1.001;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(NetworkConfigValidation, RejectsNegativeDropProbability) {
+  NetworkConfig cfg;
+  cfg.drop_probability = -0.2;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(NetworkConfigValidation, RejectsNanDropProbability) {
+  NetworkConfig cfg;
+  cfg.drop_probability = kNan;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(NetworkConfigValidation, BoundaryValuesAreAccepted) {
+  NetworkConfig cfg;
+  cfg.base_latency = 0.0;
+  cfg.jitter = 0.0;
+  cfg.drop_probability = 1.0;
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(NetworkConfigValidation, ConstructorRejectsBadConfig) {
+  sim::Engine engine(1);
+  NetworkConfig cfg;
+  cfg.drop_probability = 2.0;
+  EXPECT_THROW(Network(engine, cfg), std::invalid_argument);
+}
+
+TEST(ClientConfigValidation, DefaultsAreValid) {
+  EXPECT_NO_THROW(ClientConfig{}.validate());
+}
+
+TEST(ClientConfigValidation, RejectsZeroTimeout) {
+  ClientConfig cfg;
+  cfg.timeout = 0.0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(ClientConfigValidation, RejectsNegativeTimeout) {
+  ClientConfig cfg;
+  cfg.timeout = -0.25;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(ClientConfigValidation, RejectsNanTimeout) {
+  ClientConfig cfg;
+  cfg.timeout = kNan;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(ClientConfigValidation, RejectsNegativeMaxRetries) {
+  ClientConfig cfg;
+  cfg.max_retries = -1;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(ClientConfigValidation, ZeroRetriesIsValid) {
+  ClientConfig cfg;
+  cfg.max_retries = 0;
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(ClientConfigValidation, ConstructorRejectsBadConfig) {
+  sim::Engine engine(1);
+  Network net(engine, {});
+  Peer peer(core::Pid{0}, 0, util::StatusWord(4, 1), net);
+  ClientConfig cfg;
+  cfg.timeout = -1.0;
+  EXPECT_THROW(Client(peer, net, cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lesslog::proto

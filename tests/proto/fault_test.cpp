@@ -1,0 +1,303 @@
+// The per-link fault model: plan validation, injector primitives, and
+// the Network's faulted send path (accounting, reproducibility, and the
+// clean fast path when no plan is installed).
+#include "lesslog/proto/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "lesslog/proto/network.hpp"
+
+namespace lesslog::proto {
+namespace {
+
+Message to(std::uint32_t dest, std::uint32_t src = 0) {
+  Message m;
+  m.type = MsgType::kGetRequest;
+  m.from = core::Pid{src};
+  m.to = core::Pid{dest};
+  return m;
+}
+
+TEST(FaultPlan, EmptyPlanIsValid) {
+  FaultPlan plan;
+  EXPECT_TRUE(plan.empty());
+  EXPECT_NO_THROW(plan.validate());
+}
+
+TEST(FaultPlan, RejectsStopBeforeStart) {
+  FaultPlan plan;
+  plan.rules.push_back(FaultRule::corrupt(5.0, 5.0, 0.1));
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+}
+
+TEST(FaultPlan, RejectsNegativeStart) {
+  FaultPlan plan;
+  plan.rules.push_back(FaultRule::duplicate(-1.0, 2.0, 0.1));
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+}
+
+TEST(FaultPlan, RejectsOutOfRangeProbabilities) {
+  FaultPlan plan;
+  plan.rules.push_back(FaultRule::corrupt(0.0, 1.0, 1.5));
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+  plan.rules.clear();
+  plan.rules.push_back(FaultRule::burst_loss(0.0, 1.0, -0.1, 0.5, 1.0));
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+  plan.rules.clear();
+  plan.rules.push_back(FaultRule::burst_loss(0.0, 1.0, 0.1, 0.5, 2.0));
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+}
+
+TEST(FaultPlan, RejectsNonPositiveDelaySpike) {
+  FaultPlan plan;
+  plan.rules.push_back(FaultRule::delay_spike(0.0, 1.0, 0.1, 0.0));
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+}
+
+TEST(FaultPlan, RejectsEmptyPartitionGroup) {
+  FaultPlan plan;
+  plan.rules.push_back(FaultRule::partition(0.0, 1.0, {}));
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+}
+
+TEST(FaultPlan, ErrorNamesTheRuleAndKind) {
+  FaultPlan plan;
+  plan.rules.push_back(FaultRule::duplicate(0.0, 1.0, 0.5));
+  plan.rules.push_back(FaultRule::corrupt(0.0, 1.0, 7.0));
+  try {
+    plan.validate();
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("rule 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("corrupt"), std::string::npos) << what;
+  }
+}
+
+TEST(FaultInjector, PartitionSeparatesGroupFromComplement) {
+  FaultPlan plan;
+  plan.rules.push_back(FaultRule::partition(0.0, 1.0, {0, 1, 2}));
+  FaultInjector inj(plan);
+  inj.activate(0);
+  EXPECT_TRUE(inj.partition_blocks(core::Pid{0}, core::Pid{5}));
+  EXPECT_TRUE(inj.partition_blocks(core::Pid{5}, core::Pid{2}));
+  EXPECT_FALSE(inj.partition_blocks(core::Pid{0}, core::Pid{1}));
+  EXPECT_FALSE(inj.partition_blocks(core::Pid{5}, core::Pid{6}));
+  EXPECT_FALSE(inj.reachable(core::Pid{0}, core::Pid{5}));
+  EXPECT_TRUE(inj.reachable(core::Pid{5}, core::Pid{7}));
+  EXPECT_EQ(inj.stats().partition_dropped, 2);
+  inj.deactivate(0);
+  EXPECT_FALSE(inj.partition_blocks(core::Pid{0}, core::Pid{5}));
+  EXPECT_FALSE(inj.any_active());
+}
+
+TEST(FaultInjector, InactiveRulesDoNothing) {
+  FaultPlan plan;
+  plan.rules.push_back(FaultRule::burst_loss(0.0, 1.0, 1.0, 0.0, 1.0));
+  plan.rules.push_back(FaultRule::duplicate(0.0, 1.0, 1.0));
+  FaultInjector inj(plan);
+  EXPECT_FALSE(inj.any_active());
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(inj.burst_drop(core::Pid{0}, core::Pid{1}));
+    EXPECT_FALSE(inj.duplicate());
+  }
+  EXPECT_EQ(inj.stats(), FaultStats{});
+}
+
+TEST(FaultInjector, GilbertElliottLosesInBadStateOnly) {
+  // p_good_to_bad = 1, p_bad_to_good = 0, loss_good = 0, loss_bad = 1:
+  // the first datagram on a link survives (chain starts Good) and every
+  // later one is lost.
+  FaultPlan plan;
+  plan.rules.push_back(FaultRule::burst_loss(0.0, 1.0, 1.0, 0.0, 1.0));
+  FaultInjector inj(plan);
+  inj.activate(0);
+  EXPECT_FALSE(inj.burst_drop(core::Pid{0}, core::Pid{1}));
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_TRUE(inj.burst_drop(core::Pid{0}, core::Pid{1}));
+  }
+  // The chain is per directed link: the reverse direction starts Good.
+  EXPECT_FALSE(inj.burst_drop(core::Pid{1}, core::Pid{0}));
+  EXPECT_EQ(inj.stats().burst_dropped, 20);
+}
+
+TEST(FaultInjector, HealResetsGilbertElliottChains) {
+  FaultPlan plan;
+  plan.rules.push_back(FaultRule::burst_loss(0.0, 1.0, 1.0, 0.0, 1.0));
+  FaultInjector inj(plan);
+  inj.activate(0);
+  EXPECT_FALSE(inj.burst_drop(core::Pid{0}, core::Pid{1}));  // goes Bad
+  EXPECT_TRUE(inj.burst_drop(core::Pid{0}, core::Pid{1}));
+  inj.deactivate(0);
+  inj.activate(0);  // next window: every chain starts Good again
+  EXPECT_FALSE(inj.burst_drop(core::Pid{0}, core::Pid{1}));
+}
+
+TEST(FaultInjector, CorruptionAlwaysDefeatsDecode) {
+  FaultPlan plan;
+  plan.rules.push_back(FaultRule::corrupt(0.0, 1.0, 1.0));
+  FaultInjector inj(plan);
+  inj.activate(0);
+  for (int i = 0; i < 100; ++i) {
+    WireBuffer wire{};
+    encode_into(to(3), wire);
+    ASSERT_TRUE(inj.corrupt(wire));
+    EXPECT_FALSE(decode(wire).has_value()) << "iteration " << i;
+  }
+  EXPECT_EQ(inj.stats().corrupted, 100);
+}
+
+TEST(FaultInjector, SameSeedSameDecisions) {
+  FaultPlan plan;
+  plan.seed = 99;
+  plan.rules.push_back(FaultRule::burst_loss(0.0, 1.0, 0.3, 0.3, 0.8, 0.1));
+  plan.rules.push_back(FaultRule::duplicate(0.0, 1.0, 0.4));
+  FaultInjector a(plan);
+  FaultInjector b(plan);
+  a.activate(0);
+  a.activate(1);
+  b.activate(0);
+  b.activate(1);
+  for (int i = 0; i < 500; ++i) {
+    const core::Pid from{static_cast<std::uint32_t>(i % 7)};
+    const core::Pid dest{static_cast<std::uint32_t>(i % 5)};
+    EXPECT_EQ(a.burst_drop(from, dest), b.burst_drop(from, dest));
+    EXPECT_EQ(a.duplicate(), b.duplicate());
+  }
+  EXPECT_EQ(a.stats(), b.stats());
+}
+
+// ---- Network integration -------------------------------------------------
+
+TEST(NetworkFaults, NoPlanMeansNoInjector) {
+  sim::Engine engine(1);
+  Network net(engine, {});
+  EXPECT_EQ(net.fault_injector(), nullptr);
+}
+
+TEST(NetworkFaults, PartitionWindowDropsThenHeals) {
+  sim::Engine engine(1);
+  Network net(engine, {.base_latency = 0.01, .jitter = 0.0});
+  int arrived = 0;
+  net.attach(core::Pid{1}, [&](const Message&) { ++arrived; });
+  FaultPlan plan;
+  plan.rules.push_back(FaultRule::partition(1.0, 2.0, {0}));
+  net.install_fault_plan(plan);
+
+  net.send(to(1, 0));  // before the split: delivered
+  engine.run_until(0.5);
+  EXPECT_EQ(arrived, 1);
+
+  engine.at(1.5, [&] { net.send(to(1, 0)); });  // inside: dropped
+  engine.run_until(1.9);
+  EXPECT_EQ(arrived, 1);
+
+  engine.at(2.5, [&] { net.send(to(1, 0)); });  // healed: delivered
+  engine.queue().run_all();
+  EXPECT_EQ(arrived, 2);
+  ASSERT_NE(net.fault_injector(), nullptr);
+  EXPECT_EQ(net.fault_injector()->stats().partition_dropped, 1);
+  EXPECT_FALSE(net.fault_injector()->any_active());
+}
+
+TEST(NetworkFaults, CorruptedDatagramsCountNotDeliver) {
+  sim::Engine engine(1);
+  Network net(engine, {.base_latency = 0.01, .jitter = 0.0});
+  int arrived = 0;
+  net.attach(core::Pid{1}, [&](const Message&) { ++arrived; });
+  FaultPlan plan;
+  plan.rules.push_back(FaultRule::corrupt(0.0, 100.0, 1.0));
+  net.install_fault_plan(plan);
+  for (int i = 0; i < 25; ++i) net.send(to(1, 0));
+  engine.queue().run_all();
+  EXPECT_EQ(arrived, 0);
+  EXPECT_EQ(net.corrupted(), 25);
+  EXPECT_EQ(net.delivered(), 0);
+  EXPECT_EQ(net.fault_injector()->stats().corrupted, 25);
+}
+
+TEST(NetworkFaults, DuplicatesDeliverTwice) {
+  sim::Engine engine(1);
+  Network net(engine, {.base_latency = 0.01, .jitter = 0.005});
+  int arrived = 0;
+  net.attach(core::Pid{1}, [&](const Message&) { ++arrived; });
+  FaultPlan plan;
+  plan.rules.push_back(FaultRule::duplicate(0.0, 100.0, 1.0));
+  net.install_fault_plan(plan);
+  for (int i = 0; i < 10; ++i) net.send(to(1, 0));
+  engine.queue().run_all();
+  EXPECT_EQ(arrived, 20);
+  EXPECT_EQ(net.messages_sent(), 10);
+  EXPECT_EQ(net.delivered(), 20);
+  EXPECT_EQ(net.fault_injector()->stats().duplicated, 10);
+}
+
+TEST(NetworkFaults, DelaySpikeReordersAgainstLaterTraffic) {
+  sim::Engine engine(1);
+  Network net(engine, {.base_latency = 0.01, .jitter = 0.0});
+  std::vector<std::uint64_t> order;
+  net.attach(core::Pid{1},
+             [&](const Message& m) { order.push_back(m.request_id); });
+  FaultPlan plan;
+  // Only the first datagram is inside the spike window.
+  plan.rules.push_back(FaultRule::delay_spike(0.0, 0.001, 1.0, 0.5));
+  net.install_fault_plan(plan);
+  Message first = to(1, 0);
+  first.request_id = 1;
+  net.send(first);
+  engine.at(0.1, [&] {
+    Message second = to(1, 0);
+    second.request_id = 2;
+    net.send(second);
+  });
+  engine.queue().run_all();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 2u);  // the spiked datagram arrives last
+  EXPECT_EQ(order[1], 1u);
+  EXPECT_EQ(net.fault_injector()->stats().delay_spikes, 1);
+}
+
+TEST(NetworkFaults, CountersReconcileUnderMixedFaults) {
+  sim::Engine engine(7);
+  Network net(engine, {.base_latency = 0.01, .jitter = 0.002,
+                       .drop_probability = 0.05});
+  int arrived = 0;
+  net.attach(core::Pid{1}, [&](const Message&) { ++arrived; });
+  // PID 2 stays detached so some datagrams terminate undeliverable.
+  FaultPlan plan;
+  plan.seed = 3;
+  plan.rules.push_back(FaultRule::burst_loss(0.0, 50.0, 0.2, 0.3, 0.9));
+  plan.rules.push_back(FaultRule::duplicate(0.0, 50.0, 0.3));
+  plan.rules.push_back(FaultRule::corrupt(0.0, 50.0, 0.2));
+  plan.rules.push_back(FaultRule::delay_spike(0.0, 50.0, 0.2, 0.3));
+  net.install_fault_plan(plan);
+  util::Rng pick(11);
+  for (int i = 0; i < 2000; ++i) {
+    net.send(to(pick.bernoulli(0.8) ? 1u : 2u, 0));
+  }
+  engine.queue().run_all();
+  const FaultStats& s = net.fault_injector()->stats();
+  EXPECT_EQ(net.messages_sent() + s.duplicated,
+            net.delivered() + net.dropped() + net.undeliverable() +
+                net.corrupted() + s.burst_dropped + s.partition_dropped);
+  EXPECT_EQ(s.corrupted, net.corrupted());
+  EXPECT_EQ(net.delivered(), arrived);
+  EXPECT_GT(s.burst_dropped, 0);
+  EXPECT_GT(s.duplicated, 0);
+  EXPECT_GT(net.corrupted(), 0);
+}
+
+TEST(NetworkFaults, InstallRejectsMalformedPlans) {
+  sim::Engine engine(1);
+  Network net(engine, {});
+  FaultPlan plan;
+  plan.rules.push_back(FaultRule::corrupt(2.0, 1.0, 0.5));
+  EXPECT_THROW(net.install_fault_plan(plan), std::invalid_argument);
+  EXPECT_EQ(net.fault_injector(), nullptr);
+}
+
+}  // namespace
+}  // namespace lesslog::proto

@@ -13,13 +13,19 @@
 //   lesslog_cli metrics    [--m 6] [--requests 200] [--drop 0.0] [--seed 42]
 //                          [--interval 0.05] [--format table|json|csv]
 //                          [--out path]
+//   lesslog_cli chaos      [--m 6] [--b 2] [--nodes 40] [--seed 1]
+//                          [--epochs 5] [--epoch-length 30]
+//                          [--intensity 0.5] [--files 48] [--rate 20]
+//                          [--broken 1] [--artifact path] [--replay path]
 //
 // Every subcommand prints a human-readable report; `tree` renders the
 // paper's structures (children lists, routes, stand-ins) for any
 // configuration, which makes it a handy teaching/debugging tool;
 // `metrics` runs a packet-level swarm with registry sampling on and
 // dumps the full observability document (counters, gauges, latency
-// percentiles, time-series).
+// percentiles, time-series); `chaos` runs the deterministic
+// fault-injection driver (docs/ROBUSTNESS.md) and exits nonzero on any
+// invariant violation — `--replay` re-runs a captured artifact instead.
 #include <charconv>
 #include <fstream>
 #include <iostream>
@@ -28,6 +34,8 @@
 #include <string>
 
 #include "lesslog/baseline/policy.hpp"
+#include "lesslog/chaos/driver.hpp"
+#include "lesslog/chaos/replay.hpp"
 #include "lesslog/core/snapshot.hpp"
 #include "lesslog/core/system.hpp"
 #include "lesslog/obs/export.hpp"
@@ -387,9 +395,81 @@ int cmd_metrics(const Flags& flags) {
   return 0;
 }
 
+void print_chaos_report(const chaos::Report& r) {
+  std::cout << "chaos: m=" << r.config.m << " b=" << r.config.b
+            << " nodes=" << r.config.nodes << " seed=" << r.config.seed
+            << " epochs=" << r.config.epochs
+            << " intensity=" << r.config.fault_intensity
+            << (r.config.silent_crashes ? " (broken recovery)" : "") << "\n"
+            << "  schedule         : " << r.record.rules.size()
+            << " fault rules, " << r.record.ops.size()
+            << " membership ops\n"
+            << "  injected         : burst_drops="
+            << r.injected.burst_dropped
+            << " partition_drops=" << r.injected.partition_dropped
+            << " duplicates=" << r.injected.duplicated
+            << " corruptions=" << r.injected.corrupted
+            << " delay_spikes=" << r.injected.delay_spikes << "\n"
+            << "  workload         : " << r.workload_issued << " GETs, "
+            << r.workload_faults << " faulted, all terminated="
+            << (r.workload_issued == r.workload_completed ? "yes" : "NO")
+            << "\n"
+            << "  wire             : " << r.messages_sent << " messages, "
+            << r.repair_pushes << " repair pushes, "
+            << r.sim_time << " simulated seconds\n"
+            << "  audit            : "
+            << (r.clean() ? "clean"
+                          : std::to_string(r.violations.size()) +
+                                " violation(s)")
+            << "\n";
+  for (const chaos::Violation& v : r.violations) {
+    std::cout << "    [epoch " << v.epoch << "] " << v.check << ": "
+              << v.detail << "\n";
+  }
+}
+
+int cmd_chaos(const Flags& flags) {
+  if (flags.has("replay")) {
+    const std::string path = flags.get("replay", std::string());
+    std::ifstream in(path);
+    if (!in) throw std::runtime_error("cannot read artifact: " + path);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    std::cout << "replaying " << path << "\n";
+    const chaos::Report r = chaos::replay(buf.str());
+    print_chaos_report(r);
+    return r.clean() ? 0 : 1;
+  }
+  chaos::ChaosConfig cfg;
+  cfg.m = flags.get("m", 6);
+  cfg.b = flags.get("b", 2);
+  cfg.nodes = static_cast<std::uint32_t>(flags.get("nodes", 40));
+  cfg.seed = static_cast<std::uint64_t>(flags.get("seed", 1));
+  cfg.epochs = flags.get("epochs", 5);
+  cfg.epoch_length = flags.get("epoch-length", 30.0);
+  cfg.fault_intensity = flags.get("intensity", 0.5);
+  cfg.files = flags.get("files", 48);
+  cfg.get_rate = flags.get("rate", 20.0);
+  cfg.silent_crashes = flags.get("broken", 0) != 0;
+  chaos::Driver driver(cfg);
+  const chaos::Report r = driver.run();
+  print_chaos_report(r);
+  // A violating run always leaves an artifact behind — it IS the bug
+  // report (bit-identical replay via --replay).
+  if (flags.has("artifact") || !r.clean()) {
+    const std::string path =
+        flags.get("artifact", std::string("chaos_artifact.json"));
+    if (!chaos::write_artifact(path, r)) {
+      throw std::runtime_error("cannot write artifact: " + path);
+    }
+    std::cout << "artifact written to " << path << "\n";
+  }
+  return r.clean() ? 0 : 1;
+}
+
 void usage() {
   std::cerr << "usage: lesslog_cli "
-               "<experiment|catalog|churn|tree|inspect|metrics> "
+               "<experiment|catalog|churn|tree|inspect|metrics|chaos> "
                "[--flag value]...\n";
 }
 
@@ -409,6 +489,7 @@ int main(int argc, char** argv) {
     if (cmd == "tree") return cmd_tree(flags);
     if (cmd == "inspect") return cmd_inspect(flags);
     if (cmd == "metrics") return cmd_metrics(flags);
+    if (cmd == "chaos") return cmd_chaos(flags);
     usage();
     return 2;
   } catch (const std::exception& e) {
