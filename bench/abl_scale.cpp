@@ -1,0 +1,194 @@
+// Ablation A8 — sharded-engine scaling: wall-clock of the same swarm
+// workload as the shard count grows.
+//
+// Every cell runs an identical deterministic workload (zero jitter, zero
+// loss, fixed request pattern) on a proto::ShardedSwarm with S engine
+// shards, so the *outcome* of a cell is S-independent by construction —
+// the sweep isolates pure execution cost: window/barrier overhead versus
+// parallel shard execution. speedup is wall(S=1)/wall(S) per m. On a
+// single-core host the expected curve is flat (~1x, barrier overhead
+// visible); the determinism claims are what the ctest gate enforces.
+//
+// --smoke runs one small m in-process at S = 1 and S = 4 and exits
+// nonzero unless the outcomes (every latency bit, message counters,
+// served totals, metric snapshot) are byte-identical — the scale_smoke
+// ctest gate. --shards N restricts the sweep to {1, N}.
+#include <algorithm>
+#include <chrono>
+
+#include "bench_common.hpp"
+
+#include "lesslog/proto/sharded_swarm.hpp"
+#include "lesslog/util/stats.hpp"
+
+namespace {
+
+using namespace lesslog;
+
+proto::ShardedSwarm::Config cell_config(int m, std::size_t shards) {
+  proto::ShardedSwarm::Config cfg;
+  cfg.m = m;
+  cfg.b = 0;
+  cfg.nodes = util::space_size(m);
+  cfg.seed = 42;
+  cfg.shards = shards;
+  cfg.net.base_latency = 0.010;  // the conservative lookahead
+  cfg.net.jitter = 0.0;          // deterministic: no per-hop RNG draw
+  cfg.net.drop_probability = 0.0;
+  cfg.client.timeout = 0.25;  // max path (m+2)*10ms < timeout: no retries
+  return cfg;
+}
+
+struct Cell {
+  double wall_ms = 0.0;
+  std::int64_t events = 0;
+  double p50_ms = 0.0;
+  double msgs_per_get = 0.0;
+  std::vector<double> latencies;
+  std::int64_t sent = 0;
+  std::int64_t served = 0;
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+};
+
+/// Catalog + request mix are drawn from a fixed-seed RNG *outside* the
+/// swarm, so every (m, S) cell at the same m issues the same operations.
+Cell run_cell(int m, std::size_t shards) {
+  proto::ShardedSwarm swarm(cell_config(m, shards));
+  util::Rng rng(42ULL ^ 0x5CA1EULL);
+  const std::uint32_t nodes = util::space_size(m);
+  std::vector<std::pair<core::FileId, core::Pid>> files;
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    const core::FileId f{0x5EED0000ULL + i};
+    const core::Pid target{static_cast<std::uint32_t>(rng.bounded(nodes))};
+    files.emplace_back(f, target);
+    swarm.insert(f, target, core::Pid{0});
+  }
+  swarm.settle();
+
+  const int requests = static_cast<int>(2 * nodes);
+  const std::int64_t msgs_before = swarm.messages_sent();
+  for (int i = 0; i < requests; ++i) {
+    const auto& [f, target] = files[rng.bounded(files.size())];
+    const core::Pid at{static_cast<std::uint32_t>(rng.bounded(nodes))};
+    swarm.get(f, target, at);
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::int64_t events = swarm.settle();
+  const double wall_ms = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count();
+
+  Cell cell;
+  cell.wall_ms = wall_ms;
+  cell.events = events;
+  cell.latencies = swarm.all_latencies();
+  std::vector<double> sorted = cell.latencies;
+  std::sort(sorted.begin(), sorted.end());
+  cell.p50_ms = 1000.0 * util::percentile_sorted(sorted, 50.0);
+  cell.msgs_per_get =
+      static_cast<double>(swarm.messages_sent() - msgs_before) / requests;
+  cell.sent = swarm.messages_sent();
+  for (std::uint32_t p = 0; p < nodes; ++p) {
+    cell.served += swarm.peer(core::Pid{p}).served();
+  }
+  cell.counters = swarm.metrics_snapshot().counters;
+  return cell;
+}
+
+/// The ctest gate: one small m, S = 1 versus S = 4, byte-identical
+/// outcomes. The swarm's parallel windows must not perturb a single
+/// latency bit, message count, or metric cell.
+int run_smoke() {
+  constexpr int kM = 8;
+  const Cell serial = run_cell(kM, 1);
+  const Cell sharded = run_cell(kM, 4);
+  const bool latencies_ok = serial.latencies == sharded.latencies;
+  const bool counters_ok = serial.counters == sharded.counters;
+  const bool ok = latencies_ok && counters_ok &&
+                  serial.sent == sharded.sent &&
+                  serial.served == sharded.served && serial.served > 0 &&
+                  serial.events == sharded.events;
+  std::cout << "scale smoke: m=" << kM << " gets="
+            << serial.latencies.size() << " served=" << serial.served
+            << " events=" << serial.events
+            << " latencies_identical=" << (latencies_ok ? "yes" : "NO")
+            << " snapshots_identical=" << (counters_ok ? "yes" : "NO")
+            << " -> " << (ok ? "PASS" : "FAIL") << "\n";
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace lesslog;
+  const auto t0 = std::chrono::steady_clock::now();
+  const bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
+  if (args.smoke) return run_smoke();
+
+  const std::vector<int> widths =
+      args.quick ? std::vector<int>{10, 12} : std::vector<int>{10, 12, 14, 16};
+  std::vector<std::size_t> shard_counts{1, 2, 4, 8};
+  if (args.shards > 1) {
+    shard_counts = {1, static_cast<std::size_t>(args.shards)};
+  } else if (args.quick) {
+    shard_counts = {1, 2, 4};
+  }
+
+  std::cout << "== Ablation A8: sharded-engine scaling (10 ms lookahead, "
+               "deterministic workload) ==\n"
+            << "2 requests per node, 64-file catalog, seed 42\n\n";
+
+  std::vector<bench::WireRow> rows;
+  for (const int m : widths) {
+    sim::FigureData fig("A8 scale m=" + std::to_string(m), "shards",
+                        [&shard_counts] {
+                          std::vector<double> xs;
+                          for (const std::size_t s : shard_counts) {
+                            xs.push_back(static_cast<double>(s));
+                          }
+                          return xs;
+                        }());
+    std::vector<double> wall;
+    std::vector<double> speedup;
+    double serial_wall = 0.0;
+    bool identical = true;
+    const Cell* base = nullptr;
+    std::vector<Cell> cells;
+    cells.reserve(shard_counts.size());
+    for (const std::size_t s : shard_counts) {
+      cells.push_back(run_cell(m, s));
+      const Cell& cell = cells.back();
+      if (s == shard_counts.front()) {
+        serial_wall = cell.wall_ms;
+        base = &cells.back();
+      } else if (base != nullptr) {
+        identical = identical && cell.latencies == base->latencies &&
+                    cell.counters == base->counters &&
+                    cell.events == base->events;
+      }
+      wall.push_back(cell.wall_ms);
+      speedup.push_back(cell.wall_ms > 0.0 ? serial_wall / cell.wall_ms
+                                           : 0.0);
+      rows.push_back(bench::WireRow{
+          "abl_scale",
+          "m=" + std::to_string(m) + ",S=" + std::to_string(s),
+          {{"wall_ms", cell.wall_ms},
+           {"speedup", speedup.back()},
+           {"events", static_cast<double>(cell.events)},
+           {"p50_ms", cell.p50_ms},
+           {"msgs_per_get", cell.msgs_per_get}}});
+    }
+    fig.add_series("wall ms", std::move(wall));
+    fig.add_series("speedup vs S=1", std::move(speedup));
+    bench::emit(fig, args, /*precision=*/2);
+    bench::check(identical,
+                 "outcome (latencies, events, metrics) is S-independent");
+  }
+  if (args.json.has_value()) {
+    const double wall_ms = std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - t0)
+                               .count();
+    bench::write_wire_json(*args.json, args, rows, wall_ms);
+  }
+  return 0;
+}

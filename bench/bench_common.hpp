@@ -49,13 +49,16 @@ struct BenchArgs {
   /// Destination for --metrics; stdout when unset.
   std::optional<std::string> metrics_out;
   std::optional<int> m;
+  /// Engine shards for the sharded-swarm benches (abl_scale); other
+  /// benches ignore it. 1 = the serial engine.
+  int shards = 1;
   sim::SolverMode solver = sim::SolverMode::kIncremental;
 
   [[noreturn]] static void usage_exit() {
     std::cerr << "usage: bench [--quick] [--smoke] [--seeds N] "
                  "[--threads N] [--csv path] [--json path] "
                  "[--metrics json|csv] [--metrics-out path] [--m N] "
-                 "[--solver scratch|incremental]\n";
+                 "[--shards N] [--solver scratch|incremental]\n";
     std::exit(2);
   }
 
@@ -106,6 +109,8 @@ struct BenchArgs {
         args.json = argv[++i];
       } else if (arg == "--m" && i + 1 < argc) {
         args.m = parse_bounded_int("--m", argv[++i], util::kMaxIdBits);
+      } else if (arg == "--shards" && i + 1 < argc) {
+        args.shards = parse_bounded_int("--shards", argv[++i], 4096);
       } else if (arg == "--solver" && i + 1 < argc) {
         const std::string mode = argv[++i];
         if (mode == "scratch") {

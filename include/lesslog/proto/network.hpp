@@ -45,6 +45,15 @@ class Network {
  public:
   using Handler = std::function<void(const Message&)>;
 
+  /// Cross-shard hook: called with (destination PID, absolute delivery
+  /// time, wire image) right before a delivery event would be scheduled.
+  /// Returning true means the datagram was taken (the destination lives
+  /// on another shard and the image went into a mailbox); false falls
+  /// through to the local engine. With no hook installed the send path
+  /// is exactly the single-engine code (one null check).
+  using ForwardFn =
+      std::function<bool(core::Pid, double, const WireBuffer&)>;
+
   Network(sim::Engine& engine, NetworkConfig cfg);
 
   /// Registers the receive handler for a PID. One handler per PID; later
@@ -63,6 +72,16 @@ class Network {
 
   /// Switches to distance-based link latency (see Geography).
   void enable_geography(const Geography& geo);
+
+  /// Installs (or clears, with nullptr) the cross-shard forwarding hook.
+  /// Installed by proto::ShardedSwarm on every shard network when S > 1.
+  void set_forward(ForwardFn fn) { forward_ = std::move(fn); }
+
+  /// Schedules the arrival half of send() at absolute time `at`: the
+  /// shard router's barrier-drain path hands over datagrams that crossed
+  /// shards. The sender already drew latency (and ran the fault
+  /// pipeline) on its own shard, so arrival is all that remains.
+  void deliver_at(double at, const WireBuffer& wire);
 
   /// Installs a fault plan (replacing any previous one): validates it,
   /// creates the injector, and schedules every rule's activation and heal
@@ -142,6 +161,7 @@ class Network {
   Geography geo_;
   std::vector<std::pair<double, double>> coords_;  // empty = flat latency
   std::vector<Handler> handlers_;  // indexed by PID, empty = detached
+  ForwardFn forward_;  // null = every destination is local (serial mode)
   std::vector<obs::DeliverySink*> sinks_;
   const obs::WireMetrics* metrics_ = nullptr;
   std::unique_ptr<FaultInjector> injector_;  // null = clean fast path

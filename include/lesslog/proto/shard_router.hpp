@@ -1,0 +1,58 @@
+// Cross-shard datagram mailboxes for the sharded swarm.
+//
+// One vector of parcels per ordered (source shard, destination shard)
+// pair. Access is single-producer/single-consumer by construction of the
+// sharded engine's phase structure: during a window only shard `s`'s
+// worker appends to the (s, *) boxes; during the barrier's drain phase
+// only shard `d`'s drain touches the (*, d) boxes. The thread-pool
+// barrier between the phases supplies the happens-before edge, so no
+// atomics or locks are needed — and the drain order (source index
+// ascending, FIFO within a source) is fixed, which is what makes the
+// merged event order deterministic for a given shard count.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lesslog/proto/message.hpp"
+
+namespace lesslog::proto {
+
+class Network;
+
+class ShardRouter {
+ public:
+  /// `pids_per_shard` is the PID-range partition block: PID p lives on
+  /// shard p / pids_per_shard.
+  ShardRouter(std::size_t shards, std::uint32_t pids_per_shard);
+
+  [[nodiscard]] std::size_t shards() const noexcept { return shards_; }
+  [[nodiscard]] std::size_t shard_of(core::Pid p) const noexcept {
+    return p.value() / block_;
+  }
+
+  /// Mailboxes a wire image for delivery at absolute time `deliver_at`.
+  /// Caller context: shard `from`'s worker, inside a window.
+  void post(std::size_t from, std::size_t to, double deliver_at,
+            const WireBuffer& wire);
+
+  /// Schedules every parcel addressed to shard `dest` into `net` (its
+  /// network) and empties those boxes. Caller context: the barrier's
+  /// drain phase, shard `dest`'s drain task.
+  void drain_into(std::size_t dest, Network& net);
+
+  /// True when no parcel is in flight. Only meaningful at a barrier.
+  [[nodiscard]] bool empty() const noexcept;
+
+ private:
+  struct Parcel {
+    double at;
+    WireBuffer wire;
+  };
+
+  std::size_t shards_;
+  std::uint32_t block_;
+  std::vector<std::vector<Parcel>> box_;  ///< box_[from * shards_ + to]
+};
+
+}  // namespace lesslog::proto

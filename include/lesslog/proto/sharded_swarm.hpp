@@ -1,0 +1,153 @@
+// ShardedSwarm — the Swarm's deployment model on a sharded engine.
+//
+// Peers are partitioned across S shards by PID range (PID p lives on
+// shard p / block). Each shard owns a full vertical slice: its own
+// sim::Engine (independent RNG stream), Network, obs::Registry with the
+// standard WireMetrics catalog, and MetricsSink. Intra-shard traffic
+// takes the exact serial Network path; a datagram whose destination
+// lives on another shard is intercepted by the network's forward hook
+// *after* the sender's latency/fault pipeline ran, mailboxed in the
+// ShardRouter, and scheduled into the destination shard's queue at the
+// next window barrier (see sim::ShardedEngine for why the conservative
+// window makes that timestamp still in the destination's future).
+//
+// Determinism: shard execution is sequential within a window, barriers
+// are full synchronizations, and mailboxes drain in fixed order — so a
+// run is a pure function of (seed, S). With S = 1 no hook is installed
+// and construction mirrors proto::Swarm field for field, so results are
+// byte-identical to the serial swarm.
+//
+// The sharded swarm carries the Swarm's data-plane and membership API
+// (insert / get / update / join / depart / crash / restart). The
+// closed-loop controller, sampler, and replicate() helper remain
+// serial-swarm-only features.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "lesslog/obs/sink.hpp"
+#include "lesslog/proto/client.hpp"
+#include "lesslog/proto/network.hpp"
+#include "lesslog/proto/peer.hpp"
+#include "lesslog/proto/shard_router.hpp"
+#include "lesslog/sim/sharded_engine.hpp"
+
+namespace lesslog::proto {
+
+class ShardedSwarm {
+ public:
+  struct Config {
+    int m = 8;
+    int b = 0;
+    std::uint32_t nodes = 0;  ///< live PIDs [0, nodes)
+    std::uint64_t seed = 1;
+    std::size_t shards = 1;
+    NetworkConfig net;
+    ClientConfig client;
+  };
+
+  /// Throws std::invalid_argument when shards exceeds the ID space or
+  /// when shards > 1 with a zero base latency (no conservative lookahead).
+  explicit ShardedSwarm(Config cfg);
+
+  // The forward/drain hooks capture `this`; the object is pinned.
+  ShardedSwarm(const ShardedSwarm&) = delete;
+  ShardedSwarm& operator=(const ShardedSwarm&) = delete;
+
+  [[nodiscard]] std::size_t shards() const noexcept {
+    return shards_.size();
+  }
+  [[nodiscard]] double lookahead() const noexcept {
+    return engines_.lookahead();
+  }
+  [[nodiscard]] std::size_t shard_of(core::Pid p) const noexcept {
+    return router_.shard_of(p);
+  }
+  [[nodiscard]] sim::Engine& engine(std::size_t s) noexcept {
+    return engines_.shard(s);
+  }
+  [[nodiscard]] Network& network(std::size_t s) noexcept {
+    return shards_[s]->network;
+  }
+  [[nodiscard]] Peer& peer(core::Pid p) { return *peers_[p.value()]; }
+  [[nodiscard]] Client& client(core::Pid p) { return *clients_[p.value()]; }
+  [[nodiscard]] const util::StatusWord& status() const noexcept {
+    return status_;
+  }
+  [[nodiscard]] int width() const noexcept { return cfg_.m; }
+
+  /// Runs every shard to quiescence (windowed-parallel for S > 1, the
+  /// plain serial event loop for S = 1). Returns events executed. On
+  /// return all shard clocks agree, so control-plane operations issued
+  /// between settles never schedule into another shard's past.
+  std::int64_t settle();
+
+  // -- Data plane (same semantics as proto::Swarm) -----------------------
+
+  void insert(core::FileId file, core::Pid r, core::Pid issuer);
+  core::FileId insert_named(std::uint64_t key, core::Pid issuer);
+  void get(core::FileId file, core::Pid r, core::Pid at,
+           Client::GetCallback done = nullptr);
+  void update(core::FileId file, core::Pid r, std::uint64_t version,
+              core::Pid issuer);
+
+  // -- Membership (same semantics as proto::Swarm) -----------------------
+
+  core::Pid join(std::optional<core::Pid> requested = std::nullopt);
+  void depart(core::Pid p);
+  void crash(core::Pid p);
+  void restart(core::Pid p);
+  void reannounce();
+  /// TEST-ONLY: vanish without a failure announcement (see Swarm).
+  void crash_silent(core::Pid p);
+
+  // -- Aggregates --------------------------------------------------------
+
+  /// Client stats across all peers, in PID order (shard-independent).
+  [[nodiscard]] std::int64_t total_faults() const;
+  [[nodiscard]] std::vector<double> all_latencies() const;
+
+  /// Network counters summed over shards. Cross-shard datagrams are
+  /// counted once: sent on the source shard, delivered (or lost) on the
+  /// destination shard.
+  [[nodiscard]] std::int64_t messages_sent() const noexcept;
+  [[nodiscard]] std::int64_t bytes_sent() const noexcept;
+  [[nodiscard]] std::int64_t delivered() const noexcept;
+  [[nodiscard]] std::int64_t undeliverable() const noexcept;
+  [[nodiscard]] std::int64_t dropped() const noexcept;
+  [[nodiscard]] std::int64_t corrupted() const noexcept;
+
+  /// Swarm-wide metric snapshot: the S per-shard registries share one
+  /// registration catalog, so their snapshots merge index-for-index
+  /// (obs::Snapshot::merge_from).
+  [[nodiscard]] obs::Snapshot metrics_snapshot(double time = 0.0) const;
+
+ private:
+  /// One shard's vertical slice. Registration order inside `registry`
+  /// matches every other shard's, which is what makes snapshots merge.
+  struct Shard {
+    Network network;
+    obs::Registry registry;
+    obs::WireMetrics metrics;
+    obs::MetricsSink sink;
+    Shard(sim::Engine& engine, const NetworkConfig& net)
+        : network(engine, net), metrics(registry), sink(metrics) {}
+  };
+
+  [[nodiscard]] Shard& home(core::Pid p) {
+    return *shards_[router_.shard_of(p)];
+  }
+  void make_peer(core::Pid p);
+  void broadcast_status(core::Pid about, bool live);
+
+  Config cfg_;
+  util::StatusWord status_;
+  sim::ShardedEngine engines_;
+  ShardRouter router_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::unique_ptr<Peer>> peers_;
+  std::vector<std::unique_ptr<Client>> clients_;
+};
+
+}  // namespace lesslog::proto

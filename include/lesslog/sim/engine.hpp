@@ -52,6 +52,11 @@ class Engine {
   /// Runs until `until`; returns events executed.
   std::int64_t run_until(SimTime until) { return queue_.run_until(until); }
 
+  /// Runs events strictly before `bound`; now() ends at `bound`. The
+  /// conservative-window step of the sharded engine (see
+  /// EventQueue::run_before).
+  std::int64_t run_before(SimTime bound) { return queue_.run_before(bound); }
+
  private:
   void schedule_next_arrival(double rate, SimTime stop_at,
                              std::shared_ptr<std::function<void()>> fn);

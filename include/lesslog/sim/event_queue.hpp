@@ -93,6 +93,16 @@ class EventQueue {
   /// number of events executed.
   std::int64_t run_until(SimTime until);
 
+  /// Runs events strictly before `bound` and advances now() to `bound`
+  /// (even when no event fired). This is the conservative-window
+  /// primitive of the sharded engine: a shard may safely execute every
+  /// event in [now, bound) when no cross-shard message can arrive before
+  /// `bound`, and the barrier then leaves every shard's clock at the same
+  /// window edge. An event at exactly `bound` stays queued — a message
+  /// sent at the window start with the minimum link latency lands exactly
+  /// on the edge and must be merged first. Returns the number executed.
+  std::int64_t run_before(SimTime bound);
+
   /// Runs events until the queue is empty (one min-scan per event, like
   /// run_until but with no bound test). Returns the number executed.
   std::int64_t run_all();

@@ -1,0 +1,87 @@
+// Sharded discrete-event execution: S independent Engines advanced in
+// lockstep time windows on a util::ThreadPool.
+//
+// The model is classic conservative parallel discrete-event simulation
+// (CMB-style with a global window): the simulated system is partitioned
+// into S shards, each owning its own EventQueue and RNG stream, and the
+// only cross-shard interaction is a message whose delivery latency has a
+// known positive lower bound L (the lookahead). Then every event in
+// [T, T + L) — where T is the global minimum next-event time — can be
+// executed without synchronization: a message sent by another shard at
+// time t >= T arrives no earlier than t + L >= T + L, i.e. at or after
+// the window edge. The loop is
+//
+//   repeat:
+//     barrier: drain every shard's inbound mailboxes into its queue
+//     T = min over shards of next-event time   (done: no event anywhere)
+//     parallel: each shard runs run_before(T + L)
+//
+// Determinism: each shard's window execution is sequential and seeded,
+// the barrier is a full synchronization, and the drain hook is required
+// to merge mailboxes in a fixed order (source-shard index, FIFO within a
+// source) — so the result depends only on (seed, S), never on thread
+// scheduling. With S = 1 the loop degenerates to run_all() on the one
+// engine: byte-identical to the serial engine.
+//
+// The mailboxes themselves live with the layer that owns the messages
+// (proto::ShardRouter for the swarm); this class only fixes the phase
+// structure that makes single-producer/single-consumer access safe.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "lesslog/sim/engine.hpp"
+#include "lesslog/util/thread_pool.hpp"
+
+namespace lesslog::sim {
+
+class ShardedEngine {
+ public:
+  /// Barrier hook: drain_fn(s) must schedule every message currently
+  /// mailboxed for shard `s` into shard `s`'s queue, in a fixed order.
+  /// Called inside the barrier (all shard workers quiescent); the hook
+  /// for shard `s` may touch only shard `s`'s engine and the mailboxes
+  /// addressed to `s`.
+  using DrainFn = std::function<void(std::size_t)>;
+
+  /// `lookahead` is the cross-shard latency lower bound; it must be
+  /// strictly positive when shards > 1 (throws std::invalid_argument
+  /// otherwise — a zero-latency link admits no conservative window).
+  ShardedEngine(std::size_t shards, std::uint64_t seed, double lookahead);
+
+  [[nodiscard]] std::size_t shards() const noexcept {
+    return engines_.size();
+  }
+  [[nodiscard]] Engine& shard(std::size_t s) noexcept { return *engines_[s]; }
+  [[nodiscard]] const Engine& shard(std::size_t s) const noexcept {
+    return *engines_[s];
+  }
+  [[nodiscard]] double lookahead() const noexcept { return lookahead_; }
+
+  void set_drain(DrainFn fn) { drain_ = std::move(fn); }
+
+  /// Runs every shard to quiescence (all queues and mailboxes empty).
+  /// Workers execute the windows; the calling thread coordinates the
+  /// barriers. On return every shard's clock sits at the same time (the
+  /// last window edge, or the serial finish time for S = 1). Returns the
+  /// total number of events executed.
+  std::int64_t run_all_windows();
+
+  /// Shard s's engine seed. A single-shard group keeps the group seed
+  /// itself, so S = 1 reproduces the serial engine bit for bit; larger
+  /// groups give every shard an independent SplitMix64-derived stream.
+  [[nodiscard]] static std::uint64_t shard_seed(std::uint64_t seed,
+                                                std::size_t s,
+                                                std::size_t shards) noexcept;
+
+ private:
+  std::vector<std::unique_ptr<Engine>> engines_;
+  std::unique_ptr<util::ThreadPool> pool_;  ///< null when shards == 1
+  DrainFn drain_;
+  double lookahead_;
+};
+
+}  // namespace lesslog::sim

@@ -1,8 +1,8 @@
 // Minimal recursive-descent JSON parser for self-validation of the
-// JSON the tools and benches emit. Not a general-purpose library: no
-// \u escapes beyond pass-through, no streaming, object keys keep
-// insertion order (handy for schema checks). Depth-limited to keep the
-// fuzz surface bounded.
+// JSON the tools and benches emit. Not a general-purpose library: \u
+// escapes are hex-validated but passed through verbatim (not decoded),
+// no streaming, object keys keep insertion order (handy for schema
+// checks). Depth-limited to keep the fuzz surface bounded.
 #pragma once
 
 #include <memory>
@@ -47,5 +47,11 @@ struct Value {
 /// Parses one JSON document (with optional surrounding whitespace).
 /// Returns nullopt on any syntax error or trailing garbage.
 std::optional<Value> parse(std::string_view text);
+
+/// Same, but on failure *error receives a one-line reason with the byte
+/// offset of the deepest failure (e.g. "invalid \u escape: expected 4
+/// hex digits at byte 17"). Cleared on entry; empty after a successful
+/// parse. `error` may be nullptr.
+std::optional<Value> parse(std::string_view text, std::string* error);
 
 }  // namespace lesslog::util::minijson

@@ -129,9 +129,13 @@ const util::minijson::Value& require(const util::minijson::Value& obj,
 }  // namespace
 
 ChaosConfig config_from_artifact(const std::string& json) {
+  std::string parse_error;
   const std::optional<util::minijson::Value> doc =
-      util::minijson::parse(json);
-  if (!doc.has_value() || !doc->is_object()) {
+      util::minijson::parse(json, &parse_error);
+  if (!doc.has_value()) {
+    throw std::invalid_argument("chaos artifact: " + parse_error);
+  }
+  if (!doc->is_object()) {
     throw std::invalid_argument("chaos artifact: not a JSON object");
   }
   const util::minijson::Value& schema = require(*doc, "schema");

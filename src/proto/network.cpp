@@ -105,10 +105,18 @@ void Network::send(const Message& m) {
       (coords_.empty() ? cfg_.base_latency : link_latency(m.from, m.to)) +
       (cfg_.jitter > 0.0 ? engine_->rng().uniform01() * cfg_.jitter : 0.0);
   if (injector_ == nullptr) {
+    if (forward_ != nullptr &&
+        forward_(m.to, engine_->now() + latency, ev.wire)) {
+      return;  // crossed a shard boundary; delivered at the next barrier
+    }
     engine_->after(latency, std::move(ev));
     return;
   }
   send_faulty(m, ev, latency);
+}
+
+void Network::deliver_at(double at, const WireBuffer& wire) {
+  engine_->at(at, DeliveryEvent{this, wire});
 }
 
 void Network::send_faulty(const Message& m, DeliveryEvent& ev,
@@ -152,6 +160,10 @@ void Network::send_faulty(const Message& m, DeliveryEvent& ev,
         coords_.empty() ? cfg_.base_latency : link_latency(m.from, m.to);
     const double copy_latency =
         (c == 0 ? latency : base + injector_->jitter(cfg_.jitter)) + spike;
+    if (forward_ != nullptr &&
+        forward_(m.to, engine_->now() + copy_latency, copy.wire)) {
+      continue;
+    }
     engine_->after(copy_latency, std::move(copy));
   }
 }

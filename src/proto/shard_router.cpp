@@ -1,0 +1,40 @@
+#include "lesslog/proto/shard_router.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "lesslog/proto/network.hpp"
+
+namespace lesslog::proto {
+
+ShardRouter::ShardRouter(std::size_t shards, std::uint32_t pids_per_shard)
+    : shards_(shards), block_(pids_per_shard), box_(shards * shards) {
+  if (shards == 0 || pids_per_shard == 0) {
+    throw std::invalid_argument(
+        "ShardRouter: shards and pids_per_shard must be >= 1");
+  }
+}
+
+void ShardRouter::post(std::size_t from, std::size_t to, double deliver_at,
+                       const WireBuffer& wire) {
+  assert(from < shards_ && to < shards_ && from != to);
+  box_[from * shards_ + to].push_back(Parcel{deliver_at, wire});
+}
+
+void ShardRouter::drain_into(std::size_t dest, Network& net) {
+  assert(dest < shards_);
+  for (std::size_t from = 0; from < shards_; ++from) {
+    std::vector<Parcel>& box = box_[from * shards_ + dest];
+    for (const Parcel& p : box) net.deliver_at(p.at, p.wire);
+    box.clear();
+  }
+}
+
+bool ShardRouter::empty() const noexcept {
+  for (const std::vector<Parcel>& box : box_) {
+    if (!box.empty()) return false;
+  }
+  return true;
+}
+
+}  // namespace lesslog::proto

@@ -1,0 +1,261 @@
+#include "lesslog/proto/sharded_swarm.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "lesslog/core/replication.hpp"
+
+namespace lesslog::proto {
+
+namespace {
+
+/// PID-range partition block: ceil(2^m / S), so shard_of(p) = p / block
+/// maps the whole ID space onto [0, S) with contiguous ranges.
+std::uint32_t block_for(int m, std::size_t shards) {
+  const std::uint32_t space = util::space_size(m);
+  if (shards == 0 || shards > space) {
+    throw std::invalid_argument(
+        "ShardedSwarm: shards must be in [1, 2^m]");
+  }
+  return static_cast<std::uint32_t>(
+      (space + shards - 1) / static_cast<std::uint32_t>(shards));
+}
+
+}  // namespace
+
+ShardedSwarm::ShardedSwarm(Config cfg)
+    : cfg_(cfg),
+      status_(cfg.m),
+      engines_(cfg.shards, cfg.seed, cfg.net.base_latency),
+      router_(cfg.shards, block_for(cfg.m, cfg.shards)) {
+  assert(cfg_.nodes <= util::space_size(cfg_.m));
+  shards_.reserve(cfg_.shards);
+  for (std::size_t s = 0; s < cfg_.shards; ++s) {
+    shards_.push_back(
+        std::make_unique<Shard>(engines_.shard(s), cfg_.net));
+#if LESSLOG_METRICS_ENABLED
+    shards_[s]->network.set_metrics(&shards_[s]->metrics);
+    shards_[s]->network.add_sink(shards_[s]->sink);
+#endif
+  }
+  if (cfg_.shards > 1) {
+    // Cross-shard interception: the sender's shard ran the full latency
+    // and fault pipeline already; only the arrival crosses over.
+    for (std::size_t s = 0; s < cfg_.shards; ++s) {
+      shards_[s]->network.set_forward(
+          [this, s](core::Pid to, double at, const WireBuffer& wire) {
+            const std::size_t dest = router_.shard_of(to);
+            if (dest == s) return false;
+            router_.post(s, dest, at, wire);
+            return true;
+          });
+    }
+    engines_.set_drain([this](std::size_t s) {
+      router_.drain_into(s, shards_[s]->network);
+    });
+  }
+  for (std::uint32_t p = 0; p < cfg_.nodes; ++p) status_.set_live(p);
+  peers_.resize(util::space_size(cfg_.m));
+  clients_.resize(util::space_size(cfg_.m));
+  for (std::uint32_t p = 0; p < cfg_.nodes; ++p) make_peer(core::Pid{p});
+}
+
+void ShardedSwarm::make_peer(core::Pid p) {
+  Shard& sh = home(p);
+  peers_[p.value()] =
+      std::make_unique<Peer>(p, cfg_.b, status_, sh.network);
+  peers_[p.value()]->set_metrics(&sh.metrics);
+  peers_[p.value()]->attach();
+  clients_[p.value()] =
+      std::make_unique<Client>(*peers_[p.value()], sh.network, cfg_.client);
+  clients_[p.value()]->set_metrics(&sh.metrics);
+}
+
+std::int64_t ShardedSwarm::settle() { return engines_.run_all_windows(); }
+
+void ShardedSwarm::insert(core::FileId file, core::Pid r,
+                          core::Pid issuer) {
+  Peer& from = peer(issuer);
+  const core::LookupTree tree(cfg_.m, r);
+  const core::SubtreeView view(tree, cfg_.b);
+  for (const core::Pid holder : view.insertion_targets(from.status())) {
+    client(issuer).insert(file, r, holder, nullptr);
+  }
+}
+
+core::FileId ShardedSwarm::insert_named(std::uint64_t key,
+                                        core::Pid issuer) {
+  const core::FileId file{key};
+  insert(file, peer(issuer).target_of(file), issuer);
+  return file;
+}
+
+void ShardedSwarm::get(core::FileId file, core::Pid r, core::Pid at,
+                       Client::GetCallback done) {
+  client(at).get(file, r, std::move(done));
+}
+
+void ShardedSwarm::update(core::FileId file, core::Pid r,
+                          std::uint64_t version, core::Pid issuer) {
+  Peer& from = peer(issuer);
+  const core::LookupTree tree(cfg_.m, r);
+  const core::SubtreeView view(tree, cfg_.b);
+  for (std::uint32_t t = 0; t < view.subtree_count(); ++t) {
+    const std::optional<core::Pid> origin =
+        view.insertion_target(t, from.status());
+    if (!origin.has_value()) continue;
+    Message push;
+    push.type = MsgType::kUpdatePush;
+    push.from = issuer;
+    push.to = *origin;
+    push.requester = issuer;
+    push.subject = r;
+    push.file = file;
+    push.version = version;
+    home(issuer).network.send(push);
+  }
+}
+
+core::Pid ShardedSwarm::join(std::optional<core::Pid> requested) {
+  const core::Pid p = requested.value_or(core::Pid{status_.first_dead()});
+  assert(!status_.is_live(p.value()));
+  status_.set_live(p.value());
+  if (peers_[p.value()]) {
+    peers_[p.value()]->rejoin(status_);
+  } else {
+    make_peer(p);
+  }
+  Shard& sh = home(p);
+  sh.network.notify_peer_event(engines_.shard(shard_of(p)).now(), p,
+                               /*live=*/true);
+  broadcast_status(p, /*live=*/true);
+  for (std::uint32_t q = 0; q < util::space_size(cfg_.m); ++q) {
+    if (q == p.value() || !status_.is_live(q)) continue;
+    Message reclaim;
+    reclaim.type = MsgType::kReclaim;
+    reclaim.from = p;
+    reclaim.to = core::Pid{q};
+    reclaim.requester = p;
+    reclaim.subject = p;
+    sh.network.send(reclaim);
+  }
+  return p;
+}
+
+void ShardedSwarm::depart(core::Pid p) {
+  assert(status_.is_live(p.value()));
+  peers_[p.value()]->graceful_leave();
+  broadcast_status(p, /*live=*/false);
+  status_.set_dead(p.value());
+  peers_[p.value()]->detach();
+  home(p).network.notify_peer_event(engines_.shard(shard_of(p)).now(), p,
+                                    /*live=*/false);
+}
+
+void ShardedSwarm::crash(core::Pid p) {
+  assert(status_.is_live(p.value()));
+  peers_[p.value()]->detach();
+  status_.set_dead(p.value());
+  broadcast_status(p, /*live=*/false);
+  home(p).network.notify_peer_event(engines_.shard(shard_of(p)).now(), p,
+                                    /*live=*/false);
+}
+
+void ShardedSwarm::restart(core::Pid p) {
+  assert(!status_.is_live(p.value()));
+  join(p);
+}
+
+void ShardedSwarm::reannounce() {
+  for (std::uint32_t p = 0; p < util::space_size(cfg_.m); ++p) {
+    if (!peers_[p]) continue;
+    broadcast_status(core::Pid{p}, status_.is_live(p));
+  }
+}
+
+void ShardedSwarm::crash_silent(core::Pid p) {
+  assert(status_.is_live(p.value()));
+  peers_[p.value()]->detach();
+  status_.set_dead(p.value());
+  home(p).network.notify_peer_event(engines_.shard(shard_of(p)).now(), p,
+                                    /*live=*/false);
+}
+
+void ShardedSwarm::broadcast_status(core::Pid about, bool live) {
+  // Announcements originate at `about`, so they ride its shard's network
+  // (and draw jitter from that shard's RNG stream).
+  Network& net = home(about).network;
+  for (std::uint32_t q = 0; q < util::space_size(cfg_.m); ++q) {
+    if (q == about.value() || !status_.is_live(q)) continue;
+    Message announce;
+    announce.type = MsgType::kStatusAnnounce;
+    announce.from = about;
+    announce.to = core::Pid{q};
+    announce.subject = about;
+    announce.ok = live;
+    net.send(announce);
+  }
+}
+
+std::int64_t ShardedSwarm::total_faults() const {
+  std::int64_t total = 0;
+  for (const auto& c : clients_) {
+    if (c) total += c->faults();
+  }
+  return total;
+}
+
+std::vector<double> ShardedSwarm::all_latencies() const {
+  std::vector<double> out;
+  for (const auto& c : clients_) {
+    if (!c) continue;
+    out.insert(out.end(), c->latencies().begin(), c->latencies().end());
+  }
+  return out;
+}
+
+std::int64_t ShardedSwarm::messages_sent() const noexcept {
+  std::int64_t total = 0;
+  for (const auto& s : shards_) total += s->network.messages_sent();
+  return total;
+}
+
+std::int64_t ShardedSwarm::bytes_sent() const noexcept {
+  std::int64_t total = 0;
+  for (const auto& s : shards_) total += s->network.bytes_sent();
+  return total;
+}
+
+std::int64_t ShardedSwarm::delivered() const noexcept {
+  std::int64_t total = 0;
+  for (const auto& s : shards_) total += s->network.delivered();
+  return total;
+}
+
+std::int64_t ShardedSwarm::undeliverable() const noexcept {
+  std::int64_t total = 0;
+  for (const auto& s : shards_) total += s->network.undeliverable();
+  return total;
+}
+
+std::int64_t ShardedSwarm::dropped() const noexcept {
+  std::int64_t total = 0;
+  for (const auto& s : shards_) total += s->network.dropped();
+  return total;
+}
+
+std::int64_t ShardedSwarm::corrupted() const noexcept {
+  std::int64_t total = 0;
+  for (const auto& s : shards_) total += s->network.corrupted();
+  return total;
+}
+
+obs::Snapshot ShardedSwarm::metrics_snapshot(double time) const {
+  obs::Snapshot merged;
+  for (const auto& s : shards_) {
+    merged.merge_from(s->registry.snapshot(time));
+  }
+  return merged;
+}
+
+}  // namespace lesslog::proto

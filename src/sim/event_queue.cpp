@@ -285,6 +285,32 @@ std::int64_t EventQueue::run_until(SimTime until) {
   return executed;
 }
 
+std::int64_t EventQueue::run_before(SimTime bound) {
+  std::int64_t executed = 0;
+  while (!empty()) {
+    const int source = min_source();
+    SimTime at;
+    if (source == kHeap) {
+      at = heap_.front().at();
+    } else if (source == kWheel) {
+      const Bucket& front = wheel_front();
+      at = front.v[front.head].at();
+    } else {
+      at = lanes_[static_cast<std::size_t>(source)].front().at();
+    }
+    if (at >= bound) break;
+    const Entry top = pop_source(source);
+    now_ = at;
+    EventFn& fn = slot_ref(top.slot());
+    fn();
+    fn = EventFn{};
+    free_slots_.push_back(top.slot());
+    ++executed;
+  }
+  now_ = std::max(now_, bound);
+  return executed;
+}
+
 std::int64_t EventQueue::run_all() {
   std::int64_t executed = 0;
   while (!empty()) {

@@ -1,0 +1,81 @@
+#include "lesslog/sim/sharded_engine.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+#include "lesslog/util/rng.hpp"
+
+namespace lesslog::sim {
+
+std::uint64_t ShardedEngine::shard_seed(std::uint64_t seed, std::size_t s,
+                                        std::size_t shards) noexcept {
+  if (shards == 1) return seed;
+  // One SplitMix64 step over (seed, shard index): streams are
+  // independent across shards and stable across runs and S values.
+  std::uint64_t state =
+      seed ^ (0x9E3779B97F4A7C15ULL * (static_cast<std::uint64_t>(s) + 1));
+  return util::splitmix64(state);
+}
+
+ShardedEngine::ShardedEngine(std::size_t shards, std::uint64_t seed,
+                             double lookahead)
+    : lookahead_(lookahead) {
+  if (shards == 0) {
+    throw std::invalid_argument("ShardedEngine: shards must be >= 1");
+  }
+  if (shards > 1 && !(lookahead > 0.0)) {
+    throw std::invalid_argument(
+        "ShardedEngine: a positive lookahead (minimum cross-shard link "
+        "latency) is required for more than one shard");
+  }
+  engines_.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    engines_.push_back(
+        std::make_unique<Engine>(shard_seed(seed, s, shards)));
+  }
+  if (shards > 1) {
+    pool_ = std::make_unique<util::ThreadPool>(
+        static_cast<unsigned>(shards));
+  }
+}
+
+std::int64_t ShardedEngine::run_all_windows() {
+  const std::size_t n = engines_.size();
+  if (n == 1) {
+    // Serial degenerate case: no windows, no barriers — the exact
+    // pre-sharding run_all() path (and its exact event order).
+    if (drain_) drain_(0);
+    return engines_[0]->queue().run_all();
+  }
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<std::int64_t> executed(n, 0);
+  for (;;) {
+    // Barrier phase 1 — merge: each shard adopts its mailboxed messages.
+    // Runs on the pool too (a drain is per-shard work); the pool's
+    // wait_idle() barrier orders it against both the previous window's
+    // sends and the next window's execution.
+    if (drain_) {
+      util::parallel_for(*pool_, n, [&](std::size_t s) { drain_(s); });
+    }
+    // Global minimum next-event time across shards. After the drain,
+    // every pending message is in some queue, so an empty minimum means
+    // full quiescence.
+    double t = kInf;
+    for (std::size_t s = 0; s < n; ++s) {
+      const EventQueue& q = engines_[s]->queue();
+      if (!q.empty()) t = std::min(t, q.next_time());
+    }
+    if (t == kInf) break;
+    // Barrier phase 2 — window: every event in [t, t + lookahead) is
+    // safe; run_before leaves each shard's clock on the window edge.
+    const double bound = t + lookahead_;
+    util::parallel_for(*pool_, n, [&](std::size_t s) {
+      executed[s] += engines_[s]->run_before(bound);
+    });
+  }
+  std::int64_t total = 0;
+  for (const std::int64_t e : executed) total += e;
+  return total;
+}
+
+}  // namespace lesslog::sim

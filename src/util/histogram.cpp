@@ -15,10 +15,18 @@ Histogram::Histogram(double lo, double bucket_width, std::size_t bucket_count)
 void Histogram::add(double x) noexcept { add_n(x, 1); }
 
 void Histogram::add_n(double x, std::int64_t n) noexcept {
+  // Clamp in double space BEFORE converting: float-to-integer conversion
+  // of a value outside the destination's range is UB, so a sample far
+  // beyond the last bucket (or +inf) must be capped while still a double.
+  // NaN fails both comparisons and lands in bucket 0 with the rest of
+  // the not-above-lo_ samples.
   const double raw = (x - lo_) / width_;
+  const double max_idx = static_cast<double>(counts_.size() - 1);
   std::size_t idx = 0;
-  if (raw > 0.0) {
-    idx = std::min(static_cast<std::size_t>(raw), counts_.size() - 1);
+  if (raw >= max_idx) {
+    idx = counts_.size() - 1;
+  } else if (raw > 0.0) {
+    idx = static_cast<std::size_t>(raw);
   }
   counts_[idx] += n;
   total_ += n;

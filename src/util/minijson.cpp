@@ -20,17 +20,30 @@ constexpr int kMaxDepth = 64;
 
 class Parser {
  public:
-  explicit Parser(std::string_view text) : text_(text) {}
+  explicit Parser(std::string_view text, std::string* error)
+      : text_(text), error_(error) {}
 
   std::optional<Value> run() {
     std::optional<Value> v = parse_value(0);
     if (!v) return std::nullopt;
     skip_ws();
-    if (pos_ != text_.size()) return std::nullopt;
+    if (pos_ != text_.size()) {
+      return fail("trailing characters after document");
+    }
     return v;
   }
 
  private:
+  /// Records the first (deepest) failure with its byte offset, then
+  /// unwinds as std::nullopt. Outer frames propagate without recording,
+  /// so the reported position points at the actual syntax error.
+  std::nullopt_t fail(std::string_view reason) {
+    if (error_ != nullptr && error_->empty()) {
+      *error_ = std::string(reason) + " at byte " + std::to_string(pos_);
+    }
+    return std::nullopt;
+  }
+
   void skip_ws() {
     while (pos_ < text_.size()) {
       const char c = text_[pos_];
@@ -54,9 +67,9 @@ class Parser {
   }
 
   std::optional<Value> parse_value(int depth) {
-    if (depth > kMaxDepth) return std::nullopt;
+    if (depth > kMaxDepth) return fail("nesting too deep");
     skip_ws();
-    if (pos_ >= text_.size()) return std::nullopt;
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
     const char c = text_[pos_];
     switch (c) {
       case '{':
@@ -66,13 +79,13 @@ class Parser {
       case '"':
         return parse_string_value();
       case 't':
-        if (!eat_word("true")) return std::nullopt;
+        if (!eat_word("true")) return fail("invalid literal");
         return make_bool(true);
       case 'f':
-        if (!eat_word("false")) return std::nullopt;
+        if (!eat_word("false")) return fail("invalid literal");
         return make_bool(false);
       case 'n':
-        if (!eat_word("null")) return std::nullopt;
+        if (!eat_word("null")) return fail("invalid literal");
         return Value{};
       default:
         return parse_number();
@@ -95,16 +108,16 @@ class Parser {
     while (true) {
       skip_ws();
       std::optional<std::string> key = parse_string();
-      if (!key) return std::nullopt;
+      if (!key) return fail("expected object key string");
       skip_ws();
-      if (!eat(':')) return std::nullopt;
+      if (!eat(':')) return fail("expected ':' after object key");
       std::optional<Value> member = parse_value(depth + 1);
       if (!member) return std::nullopt;
       v.object.emplace_back(std::move(*key), std::move(*member));
       skip_ws();
       if (eat(',')) continue;
       if (eat('}')) return v;
-      return std::nullopt;
+      return fail("expected ',' or '}' in object");
     }
   }
 
@@ -121,18 +134,23 @@ class Parser {
       skip_ws();
       if (eat(',')) continue;
       if (eat(']')) return v;
-      return std::nullopt;
+      return fail("expected ',' or ']' in array");
     }
   }
 
+  static bool is_hex(char c) noexcept {
+    return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') ||
+           (c >= 'A' && c <= 'F');
+  }
+
   std::optional<std::string> parse_string() {
-    if (!eat('"')) return std::nullopt;
+    if (!eat('"')) return fail("expected '\"'");
     std::string out;
     while (pos_ < text_.size()) {
       const char c = text_[pos_++];
       if (c == '"') return out;
       if (c == '\\') {
-        if (pos_ >= text_.size()) return std::nullopt;
+        if (pos_ >= text_.size()) return fail("unterminated string");
         const char esc = text_[pos_++];
         switch (esc) {
           case '"':
@@ -160,22 +178,32 @@ class Parser {
             out.push_back('\f');
             break;
           case 'u': {
-            // Pass \uXXXX through verbatim; the emitters here never
-            // produce it, validation only needs to not reject it.
-            if (pos_ + 4 > text_.size()) return std::nullopt;
+            // Pass a valid \uXXXX through verbatim (the emitters here
+            // never produce one), but only after checking all four hex
+            // digits: "\uZOOM" is not JSON, and an unvalidated
+            // passthrough used to accept it.
+            if (pos_ + 4 > text_.size()) {
+              return fail("truncated \\u escape");
+            }
+            const std::string_view hex = text_.substr(pos_, 4);
+            for (const char h : hex) {
+              if (!is_hex(h)) {
+                return fail("invalid \\u escape: expected 4 hex digits");
+              }
+            }
             out.append("\\u");
-            out.append(text_.substr(pos_, 4));
+            out.append(hex);
             pos_ += 4;
             break;
           }
           default:
-            return std::nullopt;
+            return fail("invalid escape sequence");
         }
         continue;
       }
       out.push_back(c);
     }
-    return std::nullopt;  // unterminated
+    return fail("unterminated string");
   }
 
   std::optional<Value> parse_string_value() {
@@ -199,13 +227,14 @@ class Parser {
         break;
       }
     }
-    if (pos_ == start) return std::nullopt;
+    if (pos_ == start) return fail("expected a value");
     const std::string_view token = text_.substr(start, pos_ - start);
     double number = 0.0;
     const auto [ptr, ec] =
         std::from_chars(token.data(), token.data() + token.size(), number);
     if (ec != std::errc{} || ptr != token.data() + token.size()) {
-      return std::nullopt;
+      pos_ = start;
+      return fail("invalid number");
     }
     Value v;
     v.kind = Value::Kind::kNumber;
@@ -214,13 +243,19 @@ class Parser {
   }
 
   std::string_view text_;
+  std::string* error_;  // null = caller doesn't want a reason
   std::size_t pos_ = 0;
 };
 
 }  // namespace
 
 std::optional<Value> parse(std::string_view text) {
-  return Parser(text).run();
+  return Parser(text, nullptr).run();
+}
+
+std::optional<Value> parse(std::string_view text, std::string* error) {
+  if (error != nullptr) error->clear();
+  return Parser(text, error).run();
 }
 
 }  // namespace lesslog::util::minijson

@@ -69,6 +69,32 @@ TEST(Replay, MalformedArtifactsAreRejected) {
       std::invalid_argument);
 }
 
+TEST(Replay, ParseFailureMessageNamesTheSyntaxError) {
+  // A corrupt artifact must fail with the parser's diagnosis, not a
+  // generic "not a JSON object".
+  try {
+    (void)config_from_artifact("{\"schema\":\"lesslog.chaos\",");
+    FAIL() << "corrupt artifact accepted";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("chaos artifact: "), std::string::npos) << what;
+    EXPECT_NE(what.find("at byte"), std::string::npos) << what;
+  }
+}
+
+TEST(Replay, InvalidUnicodeEscapeInArtifactIsDiagnosed) {
+  // Regression: \u followed by non-hex used to pass the parser verbatim;
+  // a bit-flipped artifact could sail into config extraction.
+  try {
+    (void)config_from_artifact(
+        "{\"schema\":\"lesslog.chaos\",\"note\":\"\\uZZZZ\"}");
+    FAIL() << "invalid \\u escape accepted";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("\\u escape"), std::string::npos) << what;
+  }
+}
+
 TEST(Replay, ViolatingRunReplaysBitIdentically) {
   // The acceptance property: run broken recovery, capture the artifact,
   // replay from the artifact alone — same schedule, same violations.

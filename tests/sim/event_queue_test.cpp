@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <utility>
 #include <vector>
@@ -192,6 +193,115 @@ TEST(EventQueueOrder, ScheduleDuringStepStressMatchesTotalOrder) {
     ASSERT_TRUE(t1 > t0 || (t1 == t0 && s1 > s0))
         << "order violated at pop " << i;
   }
+}
+
+// -- Timing-wheel admission boundaries -----------------------------------
+//
+// The wheel takes delays in [kWheelMinDelay, kWheelMaxDelay) =
+// [0.004, 0.060) (private constants; values asserted here so a silent
+// retune fails loudly). Events on either side of each boundary route to
+// different structures yet must keep the global (time, schedule-order)
+// total order.
+
+TEST(EventQueueEdge, ExactWheelMinDelayBoundary) {
+  EventQueue q;
+  std::vector<int> order;
+  const double kMin = 0.004;  // == EventQueue's kWheelMinDelay
+  q.schedule(kMin, [&order] { order.push_back(1); });  // wheel (admitted)
+  q.schedule(std::nextafter(kMin, 0.0),
+             [&order] { order.push_back(0); });        // heap (just below)
+  q.schedule(kMin, [&order] { order.push_back(2); });  // wheel, tie with 1
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(q.now(), kMin);
+}
+
+TEST(EventQueueEdge, ExactWheelMaxDelayBoundary) {
+  EventQueue q;
+  std::vector<int> order;
+  const double kMax = 0.060;  // == EventQueue's kWheelMaxDelay
+  q.schedule(kMax, [&order] { order.push_back(1); });  // heap (excluded)
+  q.schedule(std::nextafter(kMax, 0.0),
+             [&order] { order.push_back(0); });        // wheel (just below)
+  q.schedule(kMax, [&order] { order.push_back(2); });  // heap, tie with 1
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+// A handler at the front bucket's drain point schedules an event at the
+// current time: the timestamp maps into the bucket's already-popped
+// [0, head) range, so it must route elsewhere (zero delay -> heap) and
+// still run after the bucket's remaining same-time entries (older
+// schedule seq wins the tie) — never be lost or run early.
+TEST(EventQueueEdge, ScheduleDuringStepAtDrainedFrontBucketTime) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(0.010, [&order, &q] {
+    order.push_back(0);
+    q.schedule(q.now(), [&order] { order.push_back(2); });
+  });
+  q.schedule(0.010, [&order] { order.push_back(1); });
+  q.schedule(0.011, [&order] { order.push_back(3); });
+  EXPECT_EQ(q.run_all(), 4);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+// Delays near the top of the window scheduled from a nonzero clock wrap
+// the 32-bucket ring to an index below the current bucket; in-bucket
+// order after the wrap must still be by (time, seq).
+TEST(EventQueueEdge, WheelWrapAroundKeepsOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(0.031, [&order, &q] {
+    order.push_back(0);
+    q.schedule(q.now() + 0.0599, [&order] { order.push_back(2); });
+    q.schedule(q.now() + 0.0598, [&order] { order.push_back(1); });
+    q.schedule(q.now() + 0.070, [&order] { order.push_back(3); });  // heap
+  });
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+// -- run_before: the sharded engine's window primitive -------------------
+
+TEST(EventQueueRunBefore, ExcludesEventsExactlyAtTheBound) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule(1.0, [&fired] { ++fired; });
+  q.schedule(2.0, [&fired] { ++fired; });
+  // run_until(2.0) would fire both; the window [*, 2.0) takes only the
+  // first — an event on the edge belongs to the next window.
+  EXPECT_EQ(q.run_before(2.0), 1);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(q.now(), 2.0);
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.run_before(std::nextafter(2.0, 3.0)), 1);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueueRunBefore, AdvancesClockEvenWithoutEvents) {
+  EventQueue q;
+  EXPECT_EQ(q.run_before(5.0), 0);
+  EXPECT_EQ(q.now(), 5.0);  // idle shards still land on the window edge
+  q.schedule(10.0, [] {});
+  EXPECT_EQ(q.run_before(7.0), 0);
+  EXPECT_EQ(q.now(), 7.0);
+  EXPECT_EQ(q.run_before(3.0), 0);  // never rewinds
+  EXPECT_EQ(q.now(), 7.0);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueueRunBefore, DrainsEverySourceStrictlyBelowBound) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(0.010, [&order] { order.push_back(0); });  // wheel
+  q.schedule_after_fixed(0.25, [&order] { order.push_back(1); });  // lane
+  q.schedule(0.25, [&order] { order.push_back(2); });  // heap, tie with 1
+  EXPECT_EQ(q.run_before(0.25), 1);  // the 0.25 pair sits on the edge
+  EXPECT_EQ(order, (std::vector<int>{0}));
+  EXPECT_EQ(q.run_before(1.0), 2);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  EXPECT_TRUE(q.empty());
 }
 
 TEST(EventQueueOrder, RunAllDrainsEverySource) {

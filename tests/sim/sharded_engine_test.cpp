@@ -1,0 +1,131 @@
+#include "lesslog/sim/sharded_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace lesslog::sim {
+namespace {
+
+TEST(ShardedEngine, SingleShardKeepsTheGroupSeed) {
+  // The S = 1 byte-identity guarantee starts here: the one shard's RNG
+  // stream must be the serial engine's stream.
+  EXPECT_EQ(ShardedEngine::shard_seed(42, 0, 1), 42u);
+  EXPECT_EQ(ShardedEngine::shard_seed(0, 0, 1), 0u);
+}
+
+TEST(ShardedEngine, MultiShardSeedsAreDistinctAndStable) {
+  std::vector<std::uint64_t> seen;
+  for (std::size_t s = 0; s < 8; ++s) {
+    const std::uint64_t derived = ShardedEngine::shard_seed(42, s, 8);
+    EXPECT_EQ(derived, ShardedEngine::shard_seed(42, s, 8));
+    for (const std::uint64_t prior : seen) EXPECT_NE(derived, prior);
+    seen.push_back(derived);
+  }
+}
+
+TEST(ShardedEngine, RejectsZeroShardsAndZeroLookahead) {
+  EXPECT_THROW(ShardedEngine(0, 1, 0.01), std::invalid_argument);
+  EXPECT_THROW(ShardedEngine(2, 1, 0.0), std::invalid_argument);
+  EXPECT_THROW(ShardedEngine(2, 1, -1.0), std::invalid_argument);
+  EXPECT_NO_THROW(ShardedEngine(1, 1, 0.0));  // serial needs no lookahead
+}
+
+TEST(ShardedEngine, SingleShardRunsLikeTheSerialEngine) {
+  Engine serial(7);
+  std::vector<double> serial_times;
+  for (const double at : {3.0, 1.0, 2.0}) {
+    serial.at(at, [&serial_times, &serial] {
+      serial_times.push_back(serial.now());
+    });
+  }
+  serial.queue().run_all();
+
+  ShardedEngine group(1, 7, 0.0);
+  std::vector<double> sharded_times;
+  Engine& e = group.shard(0);
+  for (const double at : {3.0, 1.0, 2.0}) {
+    e.at(at, [&sharded_times, &e] { sharded_times.push_back(e.now()); });
+  }
+  EXPECT_EQ(group.run_all_windows(), 3);
+  EXPECT_EQ(sharded_times, serial_times);
+  EXPECT_EQ(e.now(), serial.now());
+}
+
+// Two shards ping-pong through toy mailboxes: each event on shard s
+// posts one for the other shard at now + latency, for `rounds` rounds.
+// Exercises the full window loop: windows never execute an event early,
+// the drain hook integrates mailboxes, and the loop terminates.
+TEST(ShardedEngine, TwoShardPingPongRespectsWindows) {
+  constexpr double kLatency = 0.010;
+  constexpr int kRounds = 40;
+  ShardedEngine group(2, 99, kLatency);
+
+  struct Mailbox {
+    std::vector<double> at;  // delivery times posted for this shard
+  };
+  Mailbox boxes[2];
+  std::vector<std::pair<std::size_t, double>> executed;
+  int remaining = kRounds;
+
+  // The event body: record, and post to the peer shard's mailbox.
+  std::function<void(std::size_t)> fire = [&](std::size_t s) {
+    executed.emplace_back(s, group.shard(s).now());
+    if (remaining-- > 0) {
+      boxes[1 - s].at.push_back(group.shard(s).now() + kLatency);
+    }
+  };
+
+  group.set_drain([&](std::size_t s) {
+    for (const double at : boxes[s].at) {
+      group.shard(s).at(at, [&fire, s] { fire(s); });
+    }
+    boxes[s].at.clear();
+  });
+
+  group.shard(0).at(0.0, [&fire] { fire(0); });
+  const std::int64_t total = group.run_all_windows();
+  EXPECT_EQ(total, kRounds + 1);
+  ASSERT_EQ(executed.size(), static_cast<std::size_t>(kRounds + 1));
+  // Alternating shards, each hop exactly one latency later.
+  for (std::size_t i = 0; i < executed.size(); ++i) {
+    EXPECT_EQ(executed[i].first, i % 2);
+    EXPECT_DOUBLE_EQ(executed[i].second,
+                     static_cast<double>(i) * kLatency);
+  }
+  // Clocks agree at the end (control-plane ops after a settle rely on
+  // this).
+  EXPECT_EQ(group.shard(0).now(), group.shard(1).now());
+}
+
+TEST(ShardedEngine, WindowNeverExecutesAnEventBeforeItsSafeTime) {
+  // Shard 1 has a local event far in the future; shard 0's early events
+  // must not drag shard 1's clock past work mailboxed for it.
+  ShardedEngine group(2, 5, 0.010);
+  std::vector<double> shard1_times;
+  bool posted = false;
+
+  group.set_drain([&](std::size_t s) {
+    if (s == 1 && posted) {
+      posted = false;
+      group.shard(1).at(0.015, [&shard1_times, &group] {
+        shard1_times.push_back(group.shard(1).now());
+      });
+    }
+  });
+  group.shard(1).at(1.0, [&shard1_times, &group] {
+    shard1_times.push_back(group.shard(1).now());
+  });
+  group.shard(0).at(0.005, [&posted] { posted = true; });
+
+  group.run_all_windows();
+  // The mailboxed 0.015 event must run before the local 1.0 event even
+  // though it was posted after construction.
+  ASSERT_EQ(shard1_times.size(), 2u);
+  EXPECT_DOUBLE_EQ(shard1_times[0], 0.015);
+  EXPECT_DOUBLE_EQ(shard1_times[1], 1.0);
+}
+
+}  // namespace
+}  // namespace lesslog::sim

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 namespace lesslog::util {
 namespace {
 
@@ -26,6 +29,37 @@ TEST(Histogram, ClampsOutOfRange) {
   h.add(100.0);  // beyond end -> last bucket
   EXPECT_EQ(h.bucket(0), 1);
   EXPECT_EQ(h.bucket(3), 1);
+}
+
+TEST(Histogram, HugeSampleClampsToLastBucket) {
+  // Regression: the old add_n converted (x - lo) / width to size_t
+  // before clamping — UB when the quotient exceeds the integer range.
+  // UBSan flagged it for samples like 1e300; the clamp must happen in
+  // double space.
+  Histogram h(0.0, 1.0, 4);
+  h.add(1e300);
+  h.add(std::numeric_limits<double>::max());
+  h.add(std::numeric_limits<double>::infinity());
+  EXPECT_EQ(h.bucket(3), 3);
+  EXPECT_EQ(h.total(), 3);
+}
+
+TEST(Histogram, ExactLastBucketBoundary) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(3.0);                       // first value of the last bucket
+  h.add(4.0);                       // one past the end -> clamped
+  h.add(std::nextafter(3.0, 0.0));  // just below -> bucket 2
+  EXPECT_EQ(h.bucket(2), 1);
+  EXPECT_EQ(h.bucket(3), 2);
+}
+
+TEST(Histogram, ExtremeNegativeAndNanGoToBucketZero) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(-1e300);
+  h.add(-std::numeric_limits<double>::infinity());
+  h.add(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(h.bucket(0), 3);
+  EXPECT_EQ(h.total(), 3);
 }
 
 TEST(Histogram, AddN) {

@@ -1,0 +1,90 @@
+#include "lesslog/util/minijson.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace lesslog::util::minijson {
+namespace {
+
+// JSON text is assembled with ordinary C++ escapes ("\\u" = backslash-u
+// on the wire) so what the parser sees is unambiguous in the source.
+
+TEST(MiniJson, ValidUnicodeEscapePassesThroughVerbatim) {
+  const auto v = parse("{\"k\":\"a\\u00e9b\"}");
+  ASSERT_TRUE(v.has_value());
+  const Value* k = v->find("k");
+  ASSERT_NE(k, nullptr);
+  EXPECT_EQ(k->string, "a\\u00e9b");
+}
+
+TEST(MiniJson, UnicodeEscapeAcceptsAllHexDigitCases) {
+  EXPECT_TRUE(parse("\"\\u0020\"").has_value());
+  EXPECT_TRUE(parse("\"\\u9fff\"").has_value());
+  EXPECT_TRUE(parse("\"\\uABCD\"").has_value());
+  EXPECT_TRUE(parse("\"\\uaBcD\"").has_value());
+}
+
+TEST(MiniJson, UnicodeEscapeRejectsNonHexDigits) {
+  // Regression: these passed through unvalidated before.
+  EXPECT_FALSE(parse("\"\\uZOOM\"").has_value());
+  EXPECT_FALSE(parse("\"\\u12G4\"").has_value());
+  EXPECT_FALSE(parse("\"\\u 123\"").has_value());
+  EXPECT_FALSE(parse("\"\\u123\"").has_value());  // quote is the 4th char
+}
+
+TEST(MiniJson, UnicodeEscapeRejectsTruncatedInput) {
+  EXPECT_FALSE(parse("\"\\u12").has_value());
+  EXPECT_FALSE(parse("\"\\u").has_value());
+}
+
+TEST(MiniJson, ErrorReportsReasonAndOffset) {
+  std::string error;
+  EXPECT_FALSE(parse("{\"k\":\"\\uXYZW\"}", &error).has_value());
+  EXPECT_NE(error.find("\\u escape"), std::string::npos);
+  EXPECT_NE(error.find("at byte"), std::string::npos);
+}
+
+TEST(MiniJson, ErrorClearedOnSuccess) {
+  std::string error = "stale";
+  EXPECT_TRUE(parse("[1,2,3]", &error).has_value());
+  EXPECT_TRUE(error.empty());
+}
+
+TEST(MiniJson, ErrorPointsAtDeepestFailure) {
+  std::string error;
+  EXPECT_FALSE(parse("{\"a\":[1,2,", &error).has_value());
+  // The failure is inside the array, not a generic outer-object error.
+  EXPECT_NE(error.find("end of input"), std::string::npos);
+}
+
+TEST(MiniJson, ErrorOverloadToleratesNullError) {
+  EXPECT_FALSE(parse("{", nullptr).has_value());
+  EXPECT_TRUE(parse("42", nullptr).has_value());
+}
+
+TEST(MiniJson, ReportsTrailingGarbage) {
+  std::string error;
+  EXPECT_FALSE(parse("true false", &error).has_value());
+  EXPECT_NE(error.find("trailing"), std::string::npos);
+}
+
+TEST(MiniJson, ReportsBadEscapeAndBadLiteral) {
+  std::string error;
+  EXPECT_FALSE(parse("\"\\q\"", &error).has_value());
+  EXPECT_NE(error.find("escape"), std::string::npos);
+  EXPECT_FALSE(parse("trne", &error).has_value());
+  EXPECT_NE(error.find("literal"), std::string::npos);
+}
+
+TEST(MiniJson, StillParsesEmitterOutput) {
+  const auto v = parse(
+      "{\"schema\":\"lesslog.bench\",\"version\":1,"
+      "\"rows\":[{\"cell\":\"m=8\",\"p50_ms\":1.5}]}");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_TRUE(v->is_object());
+  EXPECT_EQ(v->find("schema")->string, "lesslog.bench");
+}
+
+}  // namespace
+}  // namespace lesslog::util::minijson
