@@ -126,7 +126,9 @@ int main(int argc, char** argv) {
   if (args.smoke) return run_smoke();
 
   const std::vector<int> widths =
-      args.quick ? std::vector<int>{10, 12} : std::vector<int>{10, 12, 14, 16};
+      args.m.has_value() ? std::vector<int>{*args.m}
+      : args.quick       ? std::vector<int>{10, 12}
+                         : std::vector<int>{10, 12, 14, 16};
   std::vector<std::size_t> shard_counts{1, 2, 4, 8};
   if (args.shards > 1) {
     shard_counts = {1, static_cast<std::size_t>(args.shards)};

@@ -53,12 +53,16 @@ struct BenchArgs {
   /// benches ignore it. 1 = the serial engine.
   int shards = 1;
   sim::SolverMode solver = sim::SolverMode::kIncremental;
+  /// Wall-time regression gate (milliseconds) on the bench's timed
+  /// region; exceeded = nonzero exit. See enforce_wall_gate().
+  std::optional<int> max_wall_ms;
 
   [[noreturn]] static void usage_exit() {
     std::cerr << "usage: bench [--quick] [--smoke] [--seeds N] "
                  "[--threads N] [--csv path] [--json path] "
                  "[--metrics json|csv] [--metrics-out path] [--m N] "
-                 "[--shards N] [--solver scratch|incremental]\n";
+                 "[--shards N] [--solver scratch|incremental] "
+                 "[--max-wall-ms N]\n";
     std::exit(2);
   }
 
@@ -111,6 +115,9 @@ struct BenchArgs {
         args.m = parse_bounded_int("--m", argv[++i], util::kMaxIdBits);
       } else if (arg == "--shards" && i + 1 < argc) {
         args.shards = parse_bounded_int("--shards", argv[++i], 4096);
+      } else if (arg == "--max-wall-ms" && i + 1 < argc) {
+        args.max_wall_ms =
+            parse_bounded_int("--max-wall-ms", argv[++i], 100000000);
       } else if (arg == "--solver" && i + 1 < argc) {
         const std::string mode = argv[++i];
         if (mode == "scratch") {
@@ -407,6 +414,22 @@ inline void emit(const sim::FigureData& fig, const BenchArgs& args,
 
 inline void check(bool ok, const std::string& claim) {
   std::cout << (ok ? "[shape OK]   " : "[shape FAIL] ") << claim << "\n";
+}
+
+/// Enforces --max-wall-ms over the bench's timed region; the return value
+/// is the process exit code (0 pass, 1 fail). Thresholds are set an order
+/// of magnitude above an expected run, so the gate trips on structural
+/// regressions (a solver silently falling back to scratch, an O(n) path
+/// going quadratic) while staying deaf to machine noise. No-op when the
+/// flag is absent.
+[[nodiscard]] inline int enforce_wall_gate(const BenchArgs& args,
+                                           double wall_ms) {
+  if (!args.max_wall_ms.has_value()) return 0;
+  const bool ok = wall_ms <= static_cast<double>(*args.max_wall_ms);
+  std::cout << (ok ? "[wall OK]    " : "[wall FAIL]  ") << wall_ms
+            << " ms against the " << *args.max_wall_ms
+            << " ms --max-wall-ms gate\n";
+  return ok ? 0 : 1;
 }
 
 }  // namespace lesslog::bench

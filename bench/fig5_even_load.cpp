@@ -61,5 +61,5 @@ int main(int argc, char** argv) {
                "LessLog stays within ~1.8x of log-based (\"slightly more\")");
   bench::check(fig.roughly_increasing("lesslog", 2.0),
                "replica demand grows with the request rate");
-  return 0;
+  return bench::enforce_wall_gate(args, wall_ms);
 }

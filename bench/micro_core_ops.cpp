@@ -18,12 +18,14 @@
 #include <iostream>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "lesslog/baseline/chord.hpp"
 #include "lesslog/baseline/policy.hpp"
 #include "lesslog/core/children_list.hpp"
+#include "lesslog/core/file_store.hpp"
 #include "lesslog/core/find_live_node.hpp"
 #include "lesslog/core/replication.hpp"
 #include "lesslog/core/routing.hpp"
@@ -94,13 +96,56 @@ BENCHMARK(BM_ChildrenListDeadNodes)->Arg(6)->Arg(10)->Arg(14);
 
 void BM_FindLiveNode(benchmark::State& state) {
   const int m = static_cast<int>(state.range(0));
+  const double dead = static_cast<double>(state.range(1)) / 100.0;
   const core::LookupTree tree(m, core::Pid{1});
-  const util::StatusWord live = make_live(m, 0.3, 3);
+  const util::StatusWord live = make_live(m, dead, 3);
   for (auto _ : state) {
     benchmark::DoNotOptimize(core::insertion_target(tree, live));
   }
 }
-BENCHMARK(BM_FindLiveNode)->Arg(6)->Arg(10)->Arg(14);
+BENCHMARK(BM_FindLiveNode)
+    ->ArgsProduct({{6, 10, 14}, {30, 99}})
+    ->ArgNames({"m", "dead_pct"});
+
+/// The paper's FINDLIVENODE loop verbatim: probe one liveness bit per VID,
+/// descending. The reference the packed bit-scan in find_live_node.cpp is
+/// measured against (same tree, same liveness, same answer).
+std::optional<core::Pid> find_live_tree_walk(const core::LookupTree& tree,
+                                             core::Pid s,
+                                             const util::StatusWord& live) {
+  if (live.is_live(s.value())) return s;
+  const std::uint32_t limit = tree.vid_of(s).value();
+  for (std::uint32_t v = limit; v-- > 0;) {
+    const core::Pid p = tree.pid_of(core::Vid{v});
+    if (live.is_live(p.value())) return p;
+  }
+  return std::nullopt;
+}
+
+// Same scenario as BM_FindLiveNode, resolved by the per-VID walk instead
+// of the word-at-a-time scan. The regimes split: with most nodes live the
+// walk terminates after ~1/(1-dead) probes and beats the scan's fixed
+// permute cost; with sparse liveness (dead_pct=99, the churn/recovery
+// case FINDLIVENODE exists for) the walk degenerates to hundreds of
+// probes while the scan skips 64 dead VIDs per word fetch.
+void BM_FindLiveNodeTreeWalk(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  const double dead = static_cast<double>(state.range(1)) / 100.0;
+  const core::LookupTree tree(m, core::Pid{1});
+  const util::StatusWord live = make_live(m, dead, 3);
+  if (find_live_tree_walk(tree, tree.root(), live) !=
+      core::insertion_target(tree, live)) {
+    state.SkipWithError("tree walk disagrees with the bit-scan");
+    return;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        find_live_tree_walk(tree, tree.root(), live));
+  }
+}
+BENCHMARK(BM_FindLiveNodeTreeWalk)
+    ->ArgsProduct({{6, 10, 14}, {30, 99}})
+    ->ArgNames({"m", "dead_pct"});
 
 void BM_RouteGet(benchmark::State& state) {
   const int m = static_cast<int>(state.range(0));
@@ -173,6 +218,65 @@ void BM_ReplicaPlacement(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ReplicaPlacement)->Arg(6)->Arg(10)->Arg(14);
+
+/// PID-striped synthetic file keys, the same shape the swarm mints
+/// (client request ids stripe the high bits by home PID). `n` distinct
+/// present keys; absent probes use a disjoint stripe.
+std::vector<core::FileId> striped_keys(std::size_t n, std::uint64_t stripe) {
+  std::vector<core::FileId> keys;
+  keys.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    keys.emplace_back((stripe << 32) + i);
+  }
+  return keys;
+}
+
+// FileStore's serve() on the slab-plus-flat-index layout, alternating a
+// present and an absent key — the swarm's request hot path is mostly
+// misses while a get forwards through intermediate nodes.
+void BM_FileStoreServeArena(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  core::FileStore store;
+  for (const core::FileId f : striped_keys(n, 3)) store.put_inserted(f, 1);
+  const std::vector<core::FileId> hit = striped_keys(n, 3);
+  const std::vector<core::FileId> miss = striped_keys(n, 9);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.serve(hit[i % n]));
+    benchmark::DoNotOptimize(store.serve(miss[i % n]));
+    ++i;
+  }
+}
+BENCHMARK(BM_FileStoreServeArena)->Arg(4)->Arg(64)->Arg(1024);
+
+// The same serve() workload against the std::unordered_map layout the
+// store replaced: one heap node per copy, pointer-chased buckets. The gap
+// to BM_FileStoreServeArena is the arena's contribution in isolation.
+void BM_FileStoreServeMap(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::unordered_map<core::FileId, core::CopyInfo> store;
+  for (const core::FileId f : striped_keys(n, 3)) {
+    core::CopyInfo info;
+    info.version = 1;
+    store.emplace(f, std::move(info));
+  }
+  const std::vector<core::FileId> hit = striped_keys(n, 3);
+  const std::vector<core::FileId> miss = striped_keys(n, 9);
+  const auto serve =
+      [&store](core::FileId f) -> std::optional<std::uint64_t> {
+    const auto it = store.find(f);
+    if (it == store.end()) return std::nullopt;
+    ++it->second.access_count;
+    return it->second.version;
+  };
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(serve(hit[i % n]));
+    benchmark::DoNotOptimize(serve(miss[i % n]));
+    ++i;
+  }
+}
+BENCHMARK(BM_FileStoreServeMap)->Arg(4)->Arg(64)->Arg(1024);
 
 void BM_ChordLookup(benchmark::State& state) {
   const int m = static_cast<int>(state.range(0));

@@ -10,13 +10,23 @@
 //
 // Each copy carries a version (for update propagation) and replicas carry
 // an access counter (for counter-based removal).
+//
+// Storage layout: copies live in a contiguous slab (std::vector) with a
+// LIFO freelist of vacated slots, found through a flat open-addressing
+// index mapping key -> slab slot. An insert is a slot reuse or push_back —
+// no per-copy heap node — and a lookup is a multiply plus a short linear
+// probe landing in contiguous memory. Enumeration (inserted_files(),
+// replica_files(), pruning, counter resets) walks the slab in slot order,
+// which is deterministic for a given operation history: insertion order,
+// with erased slots reused most-recently-freed-first.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <optional>
-#include <unordered_map>
 #include <vector>
+
+#include "lesslog/util/hashing.hpp"
 
 namespace lesslog::core {
 
@@ -51,24 +61,16 @@ struct CopyInfo {
 class FileStore {
  public:
   FileStore() = default;
-  // The lookup index holds pointers into copies_'s nodes. Copying must
-  // re-point them at the new map's nodes; moving keeps node addresses.
-  FileStore(const FileStore& other) : copies_(other.copies_) {
-    rebuild_index();
-  }
-  FileStore& operator=(const FileStore& other) {
-    if (this != &other) {
-      copies_ = other.copies_;
-      rebuild_index();
-    }
-    return *this;
-  }
+  // The slab holds values and the index holds slot numbers, so the
+  // compiler-generated copy/move are correct as-is.
+  FileStore(const FileStore&) = default;
+  FileStore& operator=(const FileStore&) = default;
   FileStore(FileStore&&) noexcept = default;
   FileStore& operator=(FileStore&&) noexcept = default;
   ~FileStore() = default;
 
   [[nodiscard]] bool has(FileId f) const noexcept {
-    return lookup(f) != nullptr;
+    return slot_of(f.key()) != kNoSlot;
   }
 
   [[nodiscard]] std::optional<CopyInfo> info(FileId f) const;
@@ -89,7 +91,8 @@ class FileStore {
   void put_replica(FileId f, std::uint64_t version = 0,
                    std::vector<std::uint8_t> data = {});
 
-  /// Borrow the stored bytes of f; nullptr when no copy is present.
+  /// Borrow the stored bytes of f; nullptr when no copy is present. The
+  /// pointer is invalidated by the next mutating call (the slab may move).
   [[nodiscard]] const std::vector<std::uint8_t>* payload(FileId f) const;
 
   /// Overwrites the stored bytes of f in place (test fault injection and
@@ -121,53 +124,80 @@ class FileStore {
 
   [[nodiscard]] std::vector<FileId> inserted_files() const;
   [[nodiscard]] std::vector<FileId> replica_files() const;
-  [[nodiscard]] std::size_t size() const noexcept { return copies_.size(); }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+  /// Largest displacement of any occupied index slot from its home slot —
+  /// the probe-clustering diagnostic. A well-mixed probe hash keeps this
+  /// small at the 50% load ceiling; an unmixed hash over strided keys (the
+  /// client's PID-striped request ids) collapses every key onto a handful
+  /// of home slots and this grows linearly. Exposed for the clustering
+  /// regression test and the micro benches.
+  [[nodiscard]] std::size_t worst_probe_length() const noexcept;
 
  private:
-  struct FileIdHash {
-    std::size_t operator()(FileId f) const noexcept {
-      return std::hash<std::uint64_t>{}(f.key());
-    }
+  /// Sentinel for "index slot empty" / "no slab slot".
+  static constexpr std::uint32_t kNoSlot = 0xFFFF'FFFFu;
+
+  /// One slab cell: the stored copy plus its key. `occupied` is false for
+  /// freelist cells awaiting reuse.
+  struct Entry {
+    FileId id;
+    bool occupied = false;
+    CopyInfo info;
   };
 
-  /// One slot of the lookup index; empty when `value` is null.
+  /// One slot of the lookup index; empty when `slot` is kNoSlot.
   struct IndexSlot {
     std::uint64_t key = 0;
-    CopyInfo* value = nullptr;
+    std::uint32_t slot = kNoSlot;
   };
 
-  /// Fibonacci-multiplicative home slot; the index capacity is a power
-  /// of two, so this replaces the hash map's modulo-by-prime division.
+  /// Open-addressing probe hash: SplitMix64 avalanche of the key, masked
+  /// to the power-of-two capacity. The mix matters: FileIds are minted as
+  /// PID-striped sequential integers, and masking them unmixed would drop
+  /// every key of one client onto the same home slot.
   [[nodiscard]] std::size_t home_slot(std::uint64_t key) const noexcept {
-    return static_cast<std::size_t>((key * 0x9E3779B97F4A7C15ULL) >> 32) &
+    return static_cast<std::size_t>(util::splitmix64_mix(key)) &
            (index_.size() - 1);
   }
 
-  /// Borrowed pointer to f's copy, or nullptr — the hot-path lookup: a
-  /// multiply and a short linear probe over a flat array, instead of the
-  /// std::unordered_map find (modulo-by-prime plus two dependent pointer
-  /// chases) that showed up on the wire benches' request path.
-  [[nodiscard]] CopyInfo* lookup(FileId f) const noexcept {
-    if (index_.empty()) return nullptr;
-    std::size_t i = home_slot(f.key());
-    while (index_[i].value != nullptr) {
-      if (index_[i].key == f.key()) return index_[i].value;
+  /// Slab slot holding f, or kNoSlot — the hot-path lookup: a multiply and
+  /// a short linear probe over a flat array into a contiguous slab.
+  [[nodiscard]] std::uint32_t slot_of(std::uint64_t key) const noexcept {
+    if (index_.empty()) return kNoSlot;
+    std::size_t i = home_slot(key);
+    while (index_[i].slot != kNoSlot) {
+      if (index_[i].key == key) return index_[i].slot;
       i = (i + 1) & (index_.size() - 1);
     }
-    return nullptr;
+    return kNoSlot;
   }
 
-  void index_put(std::uint64_t key, CopyInfo* value);
+  [[nodiscard]] CopyInfo* lookup(FileId f) const noexcept {
+    const std::uint32_t s = slot_of(f.key());
+    if (s == kNoSlot) return nullptr;
+    return const_cast<CopyInfo*>(&slab_[s].info);
+  }
+
+  /// Reserve a slab cell: most-recently-freed slot, else a fresh push_back.
+  [[nodiscard]] std::uint32_t acquire_cell();
+
+  void index_put(std::uint64_t key, std::uint32_t slot);
   void index_erase(std::uint64_t key) noexcept;
   void rebuild_index();
+  void release_cell(std::uint32_t s) noexcept;
 
-  /// Source of truth, and the only container ever iterated: enumeration
-  /// order (inserted_files(), replica_files(), pruning) is observable by
-  /// the shed/leave protocols, so it must stay exactly the map's.
-  std::unordered_map<FileId, CopyInfo, FileIdHash> copies_;
-  /// Flat linear-probe acceleration index over copies_'s nodes (node
-  /// addresses are stable until erase). Never iterated.
+  /// Flat linear-probe index: key -> slab slot. Never iterated for
+  /// enumeration; backward-shift deletion keeps probe chains tight.
+  /// Declared first: the hot-path lookup (most often a miss against an
+  /// empty or tiny store while a get forwards through) reads only this
+  /// header, so it sits in the owning Peer's first cache lines.
   std::vector<IndexSlot> index_;
+  /// The copy arena. Iterated in slot order by every enumeration.
+  std::vector<Entry> slab_;
+  /// Vacated slab slots, reused LIFO.
+  std::vector<std::uint32_t> free_;
+  std::size_t size_ = 0;
 };
 
 }  // namespace lesslog::core

@@ -92,8 +92,11 @@ class Client {
   void send_get(std::uint64_t id);
   void arm_get_timeout(std::uint64_t id, int generation);
   void send_insert(std::uint64_t id);
-  void finish_get(std::uint64_t id, bool ok, std::uint64_t version,
-                  int hops);
+  /// Completes a pending get. `found` is the caller's already-resolved
+  /// window slot for `id` (every caller has just looked it up — passing
+  /// it through avoids a second find on the reply hot path).
+  void finish_get(std::uint64_t id, PendingGet* found, bool ok,
+                  std::uint64_t version, int hops);
   /// Entry PID for the current subtree attempt: this node's counterpart in
   /// the migrated subtree (nearest live proxy if the counterpart is dead).
   [[nodiscard]] std::optional<core::Pid> entry_for(const PendingGet& g) const;

@@ -159,6 +159,12 @@ class FaultInjector {
   /// Gilbert–Elliott chain states: one map per rule (indexed like
   /// plan_.rules), keyed by the directed link (from << 30 | to; PIDs fit
   /// kMaxIdBits = 30 bits). true = Bad; chains start Good lazily.
+  /// Deliberately still an unordered_map on the otherwise map-free
+  /// per-datagram path: it is only consulted while a burst-loss rule is
+  /// *active* (the chaos soak; the clean fast path never reaches the
+  /// injector), the key space is quadratic in the PID space so a flat
+  /// table is infeasible, and only links that carried traffic during a
+  /// burst ever materialize a chain.
   std::vector<std::unordered_map<std::uint64_t, bool>> link_state_;
   FaultStats stats_;
 };

@@ -45,6 +45,11 @@ class Network {
  public:
   using Handler = std::function<void(const Message&)>;
 
+  /// Bare receive handler: `ctx` is whatever the owner registered (for a
+  /// peer, the Peer itself). The hot-path form of Handler — one indirect
+  /// call, no type-erasure trampoline.
+  using RawHandler = void (*)(void* ctx, const Message&);
+
   /// Cross-shard hook: called with (destination PID, absolute delivery
   /// time, wire image) right before a delivery event would be scheduled.
   /// Returning true means the datagram was taken (the destination lives
@@ -59,6 +64,12 @@ class Network {
   /// Registers the receive handler for a PID. One handler per PID; later
   /// registrations replace earlier ones (a rejoining peer re-registers).
   void attach(core::Pid pid, Handler handler);
+
+  /// Raw-handler form of attach(): registers a bare (context, function
+  /// pointer) pair. Same one-handler-per-PID replace semantics; this is
+  /// what peers use, so the per-delivery dispatch is a 16-byte table slot
+  /// and a single indirect call.
+  void attach_raw(core::Pid pid, void* ctx, RawHandler fn);
 
   /// Removes a peer's handler; in-flight messages to it are dropped on
   /// arrival (counted as undeliverable, like a crashed host).
@@ -82,6 +93,14 @@ class Network {
   /// shards. The sender already drew latency (and ran the fault
   /// pipeline) on its own shard, so arrival is all that remains.
   void deliver_at(double at, const WireBuffer& wire);
+
+  /// Batch form of deliver_at(): schedules arrivals (times[i], wires[i])
+  /// for i in [0, n) as one contiguous run through the event queue's
+  /// batch-admission path — the shard router hands over a whole
+  /// (source, destination) mailbox per call. Index order is preserved,
+  /// so the merged event order matches n deliver_at() calls exactly.
+  void deliver_batch(const double* times, const WireBuffer* wires,
+                     std::size_t n);
 
   /// Installs a fault plan (replacing any previous one): validates it,
   /// creates the injector, and schedules every rule's activation and heal
@@ -156,11 +175,23 @@ class Network {
   /// burst loss, corruption, delay spike) and schedules surviving copies.
   void send_faulty(const Message& m, DeliveryEvent& ev, double latency);
 
+  /// One dispatch-table slot: fn == nullptr means detached. Half the size
+  /// of a std::function and invoked without its trampoline.
+  struct HandlerSlot {
+    void* ctx = nullptr;
+    RawHandler fn = nullptr;
+  };
+
   sim::Engine* engine_;
   NetworkConfig cfg_;
   Geography geo_;
   std::vector<std::pair<double, double>> coords_;  // empty = flat latency
-  std::vector<Handler> handlers_;  // indexed by PID, empty = detached
+  std::vector<HandlerSlot> handlers_;  // indexed by PID
+  /// Heap boxes backing std::function handlers registered through the
+  /// general attach() (tests, ad-hoc observers): the slot's ctx points at
+  /// the box and fn is a stateless shim that invokes it. unique_ptr keeps
+  /// the address stable across table growth.
+  std::vector<std::unique_ptr<Handler>> boxed_;
   ForwardFn forward_;  // null = every destination is local (serial mode)
   std::vector<obs::DeliverySink*> sinks_;
   const obs::WireMetrics* metrics_ = nullptr;

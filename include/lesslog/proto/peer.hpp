@@ -26,6 +26,7 @@
 #include "lesslog/core/file_store.hpp"
 #include "lesslog/core/lookup_tree.hpp"
 #include "lesslog/proto/network.hpp"
+#include "lesslog/util/seq_window.hpp"
 #include "lesslog/util/status_word.hpp"
 
 namespace lesslog::proto {
@@ -40,6 +41,13 @@ class Peer {
   Peer(core::Pid pid, int b, util::StatusWord initial_status,
        Network& network);
 
+  /// Same, seeding the liveness view from a copy-on-write handle. Swarm
+  /// construction hands every peer one shared snapshot instead of 2^m
+  /// distinct 2^m-bit copies; a peer's view silently diverges onto its own
+  /// copy the first time a membership announcement mutates it.
+  Peer(core::Pid pid, int b, util::CowStatus initial_status,
+       Network& network);
+
   [[nodiscard]] core::Pid pid() const noexcept { return pid_; }
   [[nodiscard]] int fault_bits() const noexcept { return b_; }
   [[nodiscard]] core::FileStore& store() noexcept { return store_; }
@@ -47,7 +55,7 @@ class Peer {
     return store_;
   }
   [[nodiscard]] const util::StatusWord& status() const noexcept {
-    return status_;
+    return status_.read();
   }
 
   /// Wires this peer's handler into the network.
@@ -126,26 +134,36 @@ class Peer {
   /// of that tree; nullopt = definitive local miss.
   [[nodiscard]] std::optional<core::Pid> next_hop(core::Pid r) const;
 
+  // Hot-first member order: a forwarded get reads pid_/b_/status_,
+  // probes store_'s index, then touches network_/metrics_ and one
+  // counter. Laying those out contiguously keeps a hop through a random
+  // (cache-cold) peer to the first line or two of the object; the cold
+  // tail (reply sink, shed memory, in-flight pushes) never loads on the
+  // forwarding path.
   core::Pid pid_;
   int b_;
-  util::StatusWord status_;
-  core::FileStore store_;
+  util::CowStatus status_;
   Network* network_;
-  ReplySink reply_sink_;
   const obs::WireMetrics* metrics_ = nullptr;
   std::int64_t served_ = 0;
   std::int64_t forwarded_ = 0;
+  core::FileStore store_;
+  ReplySink reply_sink_;
   /// Replica placements this peer has made, per file. A peer cannot know
   /// about copies created elsewhere (logless!), but it is the sole author
   /// of its own sheds, so tracking them walks the children list correctly.
+  /// Deliberately still an unordered_map: touched once per shed decision
+  /// (the controller's window cadence), never per delivered message.
   std::unordered_map<core::FileId, std::vector<core::Pid>> placed_;
-  /// In-flight file pushes awaiting acks, keyed by request id.
+  /// In-flight file pushes awaiting acks, keyed by request id. Push ids
+  /// come from next_push_id_, strictly increasing per peer, so the
+  /// sliding-window slot map replaces a hash map on the ack/timeout path.
   struct PendingPush {
     Message msg;
     int retries = 0;
     int generation = 0;
   };
-  std::unordered_map<std::uint64_t, PendingPush> pending_pushes_;
+  util::SeqWindow<PendingPush> pending_pushes_;
   std::uint64_t next_push_id_;
 };
 

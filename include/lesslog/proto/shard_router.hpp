@@ -1,14 +1,18 @@
 // Cross-shard datagram mailboxes for the sharded swarm.
 //
-// One vector of parcels per ordered (source shard, destination shard)
-// pair. Access is single-producer/single-consumer by construction of the
-// sharded engine's phase structure: during a window only shard `s`'s
-// worker appends to the (s, *) boxes; during the barrier's drain phase
-// only shard `d`'s drain touches the (*, d) boxes. The thread-pool
-// barrier between the phases supplies the happens-before edge, so no
-// atomics or locks are needed — and the drain order (source index
-// ascending, FIFO within a source) is fixed, which is what makes the
-// merged event order deterministic for a given shard count.
+// One mailbox per ordered (source shard, destination shard) pair, stored
+// as parallel arrays (delivery times | wire images) so a drain hands the
+// destination network a whole box in one deliver_batch() call — the
+// event queue admits the run with batched bookkeeping instead of one
+// wheel/heap operation per parcel. Access is single-producer/
+// single-consumer by construction of the sharded engine's phase
+// structure: during a window only shard `s`'s worker appends to the
+// (s, *) boxes; during the barrier's drain phase only shard `d`'s drain
+// touches the (*, d) boxes. The thread-pool barrier between the phases
+// supplies the happens-before edge, so no atomics or locks are needed —
+// and the drain order (source index ascending, FIFO within a source) is
+// fixed, which is what makes the merged event order deterministic for a
+// given shard count.
 #pragma once
 
 #include <cstdint>
@@ -45,14 +49,15 @@ class ShardRouter {
   [[nodiscard]] bool empty() const noexcept;
 
  private:
-  struct Parcel {
-    double at;
-    WireBuffer wire;
+  /// One mailbox, SoA: parcel i is (at[i], wire[i]), FIFO in post order.
+  struct Box {
+    std::vector<double> at;
+    std::vector<WireBuffer> wire;
   };
 
   std::size_t shards_;
   std::uint32_t block_;
-  std::vector<std::vector<Parcel>> box_;  ///< box_[from * shards_ + to]
+  std::vector<Box> box_;  ///< box_[from * shards_ + to]
 };
 
 }  // namespace lesslog::proto

@@ -138,7 +138,7 @@ class ShardedSwarm {
   [[nodiscard]] Shard& home(core::Pid p) {
     return *shards_[router_.shard_of(p)];
   }
-  void make_peer(core::Pid p);
+  void make_peer(core::Pid p, util::CowStatus view);
   void broadcast_status(core::Pid about, bool live);
 
   Config cfg_;

@@ -27,9 +27,12 @@
 // the ~never-taken wrap, so tie-break behaviour is exact at any length.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <bit>
+#include <cassert>
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <vector>
 
@@ -73,6 +76,57 @@ class EventQueue {
                                         std::is_invocable_r_v<void, D&>>>
   void schedule_after_fixed(SimTime delay, F&& fn) {
     push_lane_entry(delay, emplace_slot(std::forward<F>(fn)));
+  }
+
+  /// Admits a contiguous run of `n` events in index order. Execution is
+  /// byte-identical to n schedule() calls — seqs are assigned
+  /// sequentially, so the (time, seq) pop order cannot tell the two
+  /// apart — but the admission bookkeeping is paid per run instead of
+  /// per event: the drain-front memo is invalidated once, and
+  /// consecutive events landing in the same wheel bucket (the common
+  /// case: a run shares one delivery window) reuse the bucket lookup.
+  /// This is the sharded engine's mailbox-drain primitive — a cross-shard
+  /// box holds a whole window's datagrams for one destination shard.
+  /// `time(i)` returns event i's absolute time (must not precede now());
+  /// `emit(i, fn)` constructs handler i into its arena slot.
+  template <typename TimeFn, typename EmitFn>
+  void schedule_batch(std::size_t n, TimeFn&& time, EmitFn&& emit) {
+    if (n == 0) return;
+    wheel_front_hint_ = nullptr;  // any insert may create an earlier front
+    Bucket* run_bucket = nullptr;
+    std::uint64_t run_bnum = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const SimTime at = time(i);
+      assert(at >= now_ && "cannot schedule into the past");
+      const std::uint32_t slot = acquire_slot();
+      emit(i, slot_ref(slot));
+      if (next_seq_ == std::numeric_limits<std::uint32_t>::max()) {
+        renumber();            // folds the wheel into the heap…
+        run_bucket = nullptr;  // …so the cached bucket's contents moved
+      }
+      const Entry e = make_entry(at, next_seq_++, slot);
+      const SimTime delay = at - now_;
+      if (delay >= kWheelMinDelay && delay < kWheelMaxDelay) {
+        const std::uint64_t bnum = bucket_of(at);
+        Bucket* b = (run_bucket != nullptr && bnum == run_bnum)
+                        ? run_bucket
+                        : &wheel_[bnum & (kNumBuckets - 1)];
+        run_bucket = b;
+        run_bnum = bnum;
+        if (!b->sorted) {
+          b->v.push_back(e);
+        } else {
+          // Sorted = the drain front being consumed; see push_entry().
+          auto pos = std::upper_bound(
+              b->v.begin() + static_cast<std::ptrdiff_t>(b->head), b->v.end(),
+              e, [](const Entry& a, const Entry& x) { return earlier(a, x); });
+          b->v.insert(pos, e);
+        }
+        ++wheel_count_;
+        continue;
+      }
+      push_heap_entry(e);
+    }
   }
 
   [[nodiscard]] bool empty() const noexcept {
@@ -243,6 +297,8 @@ class EventQueue {
   /// Keys `slot` at absolute time `at` and routes the entry into the
   /// wheel or the heap.
   void push_entry(SimTime at, std::uint32_t slot);
+  /// Appends `e` to the 4-ary heap and sifts it up.
+  void push_heap_entry(Entry e);
   /// Keys `slot` at now() + `delay` and appends it to `delay`'s lane.
   void push_lane_entry(SimTime delay, std::uint32_t slot);
   /// Order-preserving seq compaction; runs once per 2^32 schedules.

@@ -34,6 +34,11 @@ struct PlacementContext {
   std::function<const LoadReport&()> load;
   const Workload& demand;
   util::Rng& rng;
+  /// Packed mirror of has_copy, when the harness maintains one (the
+  /// figure and catalog loops do). Lets candidate enumeration word-scan
+  /// `live & ~copy` instead of walking 2^m bytes; policies must fall back
+  /// to has_copy when null.
+  const CopyBits* copy_bits = nullptr;
 };
 
 /// Returns the PID to replicate to, or nullopt when the policy cannot

@@ -39,6 +39,37 @@ namespace lesslog::sim {
 /// copy. A plain byte vector keeps the solver branch-light.
 using CopyMap = std::vector<char>;
 
+/// Packed one-bit-per-PID mirror of a CopyMap (word i bit j covers PID
+/// 64*i + j, the same layout as util::StatusWord). The placement hot path
+/// word-scans `live & ~copy` — 64 candidates per load — instead of
+/// testing 2^m bytes; the experiment harnesses keep the mirror in sync
+/// with the byte map they hand the solver.
+class CopyBits {
+ public:
+  CopyBits() = default;
+  explicit CopyBits(std::size_t slots) { reset(slots); }
+
+  void reset(std::size_t slots) { words_.assign((slots + 63) / 64, 0); }
+  void set(std::uint32_t p) noexcept {
+    words_[p >> 6] |= std::uint64_t{1} << (p & 63u);
+  }
+  void clear(std::uint32_t p) noexcept {
+    words_[p >> 6] &= ~(std::uint64_t{1} << (p & 63u));
+  }
+  [[nodiscard]] bool test(std::uint32_t p) const noexcept {
+    return (words_[p >> 6] >> (p & 63u)) & 1u;
+  }
+  [[nodiscard]] const std::uint64_t* words() const noexcept {
+    return words_.data();
+  }
+  [[nodiscard]] std::size_t word_count() const noexcept {
+    return words_.size();
+  }
+
+ private:
+  std::vector<std::uint64_t> words_;
+};
+
 struct LoadReport {
   /// Requests/second served by each node (requests that terminate there).
   std::vector<double> served;
@@ -196,7 +227,26 @@ class IncrementalLoadSolver {
   // so the lists come out sorted for free). A placement then sheds its
   // captured set from the previous server with one linear merge instead
   // of a BFS + sort over that server's subtree.
-  std::vector<std::vector<std::uint32_t>> contrib_;
+  //
+  // Stored as spans into one contiguous pool instead of 2^m separate
+  // vectors: reset() drops every list with two counters, a shed's merge
+  // walks one cache-line run, and a replacement either shrinks in place
+  // (sheds always shrink) or appends to the pool tail, compacting when
+  // dead tail bytes outgrow the live ones.
+  struct ContribSpan {
+    std::uint32_t off = 0;
+    std::uint32_t len = 0;
+  };
+  void contrib_replace(std::uint32_t pid, const std::uint32_t* data,
+                       std::uint32_t n);
+  void contrib_compact();
+  std::vector<ContribSpan> contrib_span_;
+  std::vector<std::uint32_t> contrib_buf_;
+  std::uint64_t contrib_live_ = 0;  ///< sum of span lengths
+  // (holder, requester) pairs captured while reset() routes; counting-
+  // sorted into the CSR spans afterwards (stable, so each holder's list
+  // stays in ascending requester order).
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> contrib_pairs_;
   // Scratch buffers reused across add_copy calls ((pid, depth) pairs).
   std::vector<std::pair<std::uint32_t, std::uint32_t>> scratch_a_;
   std::vector<std::pair<std::uint32_t, std::uint32_t>> scratch_b_;

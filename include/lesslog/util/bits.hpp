@@ -94,6 +94,100 @@ inline constexpr int kMaxIdBits = 30;
   return n <= 1 ? 1 : static_cast<int>(std::bit_width(n - 1));
 }
 
+// --- 64-bit word helpers for the packed liveness bitmaps -------------------
+//
+// StatusWord stores liveness as one bit per PID in 64-bit words. FINDLIVENODE
+// scans *VIDs*, and VID v maps to PID v ^ c (Property 4). Writing
+// v = 64*wv + j, the XOR splits cleanly across the word boundary:
+//
+//   (v ^ c) / 64 = wv ^ (c / 64)      and      (v ^ c) % 64 = j ^ (c % 64)
+//
+// so the VID-order view of the bitmap is a word-index permutation combined
+// with a *within-word* bit permutation by XOR with c % 64. The helpers below
+// make that view scannable: xor_permute64 realigns one word into VID bit
+// order, and top_set_bit64 finds the largest qualifying VID in it.
+
+/// Count of trailing zero bits; 64 when w == 0.
+[[nodiscard]] constexpr int ctz64(std::uint64_t w) noexcept {
+  return std::countr_zero(w);
+}
+
+/// Count of leading zero bits; 64 when w == 0.
+[[nodiscard]] constexpr int clz64(std::uint64_t w) noexcept {
+  return std::countl_zero(w);
+}
+
+/// Index of the highest set bit. Precondition: w != 0.
+[[nodiscard]] constexpr int top_set_bit64(std::uint64_t w) noexcept {
+  return 63 - std::countl_zero(w);
+}
+
+/// Number of set bits.
+[[nodiscard]] constexpr int popcount64(std::uint64_t w) noexcept {
+  return std::popcount(w);
+}
+
+/// Permute the bits of `w` so that bit j of the result is bit (j ^ c) of
+/// `w`, for 0 <= c < 64. An XOR permutation factors into at most six
+/// delta-swaps (one per set bit of c), each a pair of masked shifts — no
+/// loop over the 64 bits.
+[[nodiscard]] constexpr std::uint64_t xor_permute64(std::uint64_t w,
+                                                    std::uint32_t c) noexcept {
+  if (c & 1u) {
+    w = ((w >> 1) & 0x5555'5555'5555'5555ULL) |
+        ((w & 0x5555'5555'5555'5555ULL) << 1);
+  }
+  if (c & 2u) {
+    w = ((w >> 2) & 0x3333'3333'3333'3333ULL) |
+        ((w & 0x3333'3333'3333'3333ULL) << 2);
+  }
+  if (c & 4u) {
+    w = ((w >> 4) & 0x0F0F'0F0F'0F0F'0F0FULL) |
+        ((w & 0x0F0F'0F0F'0F0F'0F0FULL) << 4);
+  }
+  if (c & 8u) {
+    w = ((w >> 8) & 0x00FF'00FF'00FF'00FFULL) |
+        ((w & 0x00FF'00FF'00FF'00FFULL) << 8);
+  }
+  if (c & 16u) {
+    w = ((w >> 16) & 0x0000'FFFF'0000'FFFFULL) |
+        ((w & 0x0000'FFFF'0000'FFFFULL) << 16);
+  }
+  if (c & 32u) w = (w >> 32) | (w << 32);
+  return w;
+}
+
+/// Mask of the low `n` bits of a 64-bit word, 0 <= n <= 64.
+[[nodiscard]] constexpr std::uint64_t low_mask64(int n) noexcept {
+  return n >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << n) - 1u;
+}
+
+/// Repeating stride mask: bits j with j % 2^b == offset, for 0 <= b <= 6
+/// and offset < 2^b. Selects one fault-tolerant subtree's VIDs out of a
+/// packed word (the subtree identifier is the low b VID bits).
+[[nodiscard]] constexpr std::uint64_t stride_mask64(
+    int b, std::uint32_t offset) noexcept {
+  constexpr std::uint64_t kPattern[7] = {
+      ~std::uint64_t{0},           // b=0: every bit
+      0x5555'5555'5555'5555ULL,    // b=1: every 2nd
+      0x1111'1111'1111'1111ULL,    // b=2: every 4th
+      0x0101'0101'0101'0101ULL,    // b=3: every 8th
+      0x0001'0001'0001'0001ULL,    // b=4: every 16th
+      0x0000'0001'0000'0001ULL,    // b=5: every 32nd
+      0x0000'0000'0000'0001ULL,    // b=6: every 64th
+  };
+  return kPattern[b] << offset;
+}
+
+/// Index of the k-th (0-based, from the LSB) set bit of `w`.
+/// Precondition: k < popcount(w). The candidate-selection step of the
+/// random placement policy: the k-th live copy-free node in ascending PID
+/// order within one word.
+[[nodiscard]] constexpr int select_bit64(std::uint64_t w, int k) noexcept {
+  for (; k > 0; --k) w &= w - 1;  // clear the k lowest set bits
+  return std::countr_zero(w);
+}
+
 /// Render the low `m` bits of v MSB-first, e.g. to_binary(0b0101, 4) ==
 /// "0101". Used by debug dumps and the structure-figure examples.
 [[nodiscard]] std::string to_binary(std::uint32_t v, int m);

@@ -33,6 +33,18 @@ namespace lesslog::util {
   return h;
 }
 
+/// Stateless SplitMix64 finalizer: the output of one SplitMix64 step whose
+/// state landed on `x`. A full-avalanche 64→64 mix (every output bit
+/// depends on every input bit), used as the probe hash of open-addressing
+/// tables keyed by sequential integer IDs — identity hashing (std::hash on
+/// uint64_t) would map consecutive keys to consecutive slots and cluster.
+[[nodiscard]] constexpr std::uint64_t splitmix64_mix(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
 /// ψ(name, m): target PID of a file in an m-bit ID space.
 [[nodiscard]] constexpr std::uint32_t psi(std::string_view name,
                                           int m) noexcept {

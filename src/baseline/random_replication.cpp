@@ -1,15 +1,50 @@
 #include "lesslog/baseline/policy.hpp"
 
+#include "lesslog/util/bits.hpp"
+
 namespace lesslog::baseline {
 
 sim::PlacementFn random_policy() {
   return [](const sim::PlacementContext& ctx) -> std::optional<core::Pid> {
-    // Collect the live nodes that could take a copy; uniform choice.
+    // Uniform choice over the live nodes that could take a copy. The
+    // candidate set is `live & ~copy` minus the overloaded node itself,
+    // in ascending PID order either way.
+    const std::uint32_t over = ctx.overloaded.value();
+    if (ctx.copy_bits != nullptr) {
+      // Packed scan: count candidates word by word, draw the pick, then
+      // select the pick-th set bit — identical to materialising the
+      // ascending candidate list and indexing it.
+      const std::uint64_t* live_w = ctx.live.words();
+      const std::uint64_t* copy_w = ctx.copy_bits->words();
+      const std::size_t nw = ctx.live.word_count();
+      const std::size_t over_w = over >> 6;
+      const std::uint64_t over_bit = std::uint64_t{1} << (over & 63u);
+      std::uint64_t count = 0;
+      for (std::size_t i = 0; i < nw; ++i) {
+        std::uint64_t w = live_w[i] & ~copy_w[i];
+        if (i == over_w) w &= ~over_bit;
+        count += static_cast<std::uint64_t>(util::popcount64(w));
+      }
+      if (count == 0) return std::nullopt;
+      std::uint64_t pick = ctx.rng.bounded(count);
+      for (std::size_t i = 0; i < nw; ++i) {
+        std::uint64_t w = live_w[i] & ~copy_w[i];
+        if (i == over_w) w &= ~over_bit;
+        const auto c = static_cast<std::uint64_t>(util::popcount64(w));
+        if (pick < c) {
+          return core::Pid{static_cast<std::uint32_t>(
+              (i << 6) + static_cast<std::size_t>(util::select_bit64(
+                             w, static_cast<int>(pick))))};
+        }
+        pick -= c;
+      }
+      return std::nullopt;  // unreachable: pick < count
+    }
+    // Byte-map fallback for contexts without a packed mirror.
     std::vector<std::uint32_t> candidates;
     candidates.reserve(ctx.live.live_count());
     for (std::uint32_t p = 0; p < ctx.live.capacity(); ++p) {
-      if (ctx.live.is_live(p) && ctx.has_copy[p] == 0 &&
-          p != ctx.overloaded.value()) {
+      if (ctx.live.is_live(p) && ctx.has_copy[p] == 0 && p != over) {
         candidates.push_back(p);
       }
     }

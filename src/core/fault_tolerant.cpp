@@ -19,12 +19,40 @@ std::optional<Pid> SubtreeView::find_live_in_subtree(
   assert(sub_id < subtree_count());
   assert(from_sub_vid <= util::mask_of(subtree_width()));
   // Same downward scan as FINDLIVENODE, but over subtree VIDs: Property 3
-  // holds within each subtree because each is itself a binomial tree.
-  for (std::uint32_t sv = from_sub_vid + 1; sv-- > 0;) {
-    const Pid p = pid_at(sv, sub_id);
-    if (live.is_live(p.value())) return p;
+  // holds within each subtree because each is itself a binomial tree. The
+  // subtree's VIDs are (sv << b) | sub_id — a stride-2^b lattice through
+  // the full VID space — so for b <= 6 the packed word scan of
+  // find_live_node applies with an extra repeating stride mask selecting
+  // this subtree's bit positions (see stride_mask64).
+  if (b_ > 6) {
+    // Subtree VIDs sit >= 64 bits apart: a word scan degenerates to one
+    // probe per word, no better than the direct loop.
+    for (std::uint32_t sv = from_sub_vid + 1; sv-- > 0;) {
+      const Pid p = pid_at(sv, sub_id);
+      if (live.is_live(p.value())) return p;
+    }
+    return std::nullopt;
   }
-  return std::nullopt;
+  const std::uint32_t c = tree_->mapper().complement();
+  const std::uint32_t ch = c >> 6;
+  const std::uint32_t cl = c & 63u;
+  const std::uint64_t* words = live.words();
+  const std::uint64_t stride = util::stride_mask64(b_, sub_id);
+  const std::uint32_t limit_vid = (from_sub_vid << b_) | sub_id;
+  std::uint32_t wv = limit_vid >> 6;
+  std::uint64_t mask =
+      stride & util::low_mask64(static_cast<int>(limit_vid & 63u) + 1);
+  for (;;) {
+    const std::uint64_t w = util::xor_permute64(words[wv ^ ch], cl) & mask;
+    if (w != 0) {
+      const std::uint32_t v =
+          (wv << 6) | static_cast<std::uint32_t>(util::top_set_bit64(w));
+      return Pid{v ^ c};
+    }
+    if (wv == 0) return std::nullopt;
+    --wv;
+    mask = stride;
+  }
 }
 
 std::optional<Pid> SubtreeView::insertion_target(
@@ -94,10 +122,33 @@ std::vector<Pid> SubtreeView::children_list(Pid k,
 bool SubtreeView::live_vid_above(Pid k, const util::StatusWord& live) const {
   const std::uint32_t sid = subtree_id(k);
   const std::uint32_t top = util::mask_of(subtree_width());
-  for (std::uint32_t sv = subtree_vid(k) + 1; sv <= top; ++sv) {
-    if (live.is_live(pid_at(sv, sid).value())) return true;
+  const std::uint32_t from = subtree_vid(k);
+  if (from >= top) return false;
+  if (b_ > 6) {
+    for (std::uint32_t sv = from + 1; sv <= top; ++sv) {
+      if (live.is_live(pid_at(sv, sid).value())) return true;
+    }
+    return false;
   }
-  return false;
+  // Existence scan over the subtree's stride lattice, upward from the VID
+  // just above P(k)'s; see find_live_in_subtree for the layout argument.
+  const std::uint32_t c = tree_->mapper().complement();
+  const std::uint32_t ch = c >> 6;
+  const std::uint32_t cl = c & 63u;
+  const std::uint64_t* words = live.words();
+  const std::uint64_t stride = util::stride_mask64(b_, sid);
+  const std::uint32_t start_vid = (from << b_) | sid;
+  const std::uint32_t top_vid = (top << b_) | sid;
+  const std::uint32_t top_w = top_vid >> 6;
+  std::uint32_t wv = start_vid >> 6;
+  std::uint64_t mask =
+      stride & ~util::low_mask64(static_cast<int>(start_vid & 63u) + 1);
+  for (;;) {
+    if ((util::xor_permute64(words[wv ^ ch], cl) & mask) != 0) return true;
+    if (wv == top_w) return false;
+    ++wv;
+    mask = stride;
+  }
 }
 
 std::optional<Pid> SubtreeView::replicate_target(

@@ -4,29 +4,46 @@
 
 namespace lesslog::core {
 
-void FileStore::index_put(std::uint64_t key, CopyInfo* value) {
+std::uint32_t FileStore::acquire_cell() {
+  if (!free_.empty()) {
+    const std::uint32_t s = free_.back();
+    free_.pop_back();
+    return s;
+  }
+  slab_.emplace_back();
+  return static_cast<std::uint32_t>(slab_.size() - 1);
+}
+
+void FileStore::release_cell(std::uint32_t s) noexcept {
+  Entry& e = slab_[s];
+  e.occupied = false;
+  e.info = CopyInfo{};  // drop the payload bytes now, not at reuse time
+  free_.push_back(s);
+}
+
+void FileStore::index_put(std::uint64_t key, std::uint32_t slot) {
   // Grow at 50% load; per-node catalogs are small, so rebuilds are rare
   // and cheap.
-  if (index_.empty() || (copies_.size() + 1) * 2 > index_.size()) {
+  if (index_.empty() || (size_ + 1) * 2 > index_.size()) {
     rebuild_index();
   }
   std::size_t i = home_slot(key);
-  while (index_[i].value != nullptr) {
+  while (index_[i].slot != kNoSlot) {
     if (index_[i].key == key) {
-      index_[i].value = value;
+      index_[i].slot = slot;
       return;
     }
     i = (i + 1) & (index_.size() - 1);
   }
-  index_[i] = IndexSlot{key, value};
+  index_[i] = IndexSlot{key, slot};
 }
 
 void FileStore::index_erase(std::uint64_t key) noexcept {
   assert(!index_.empty());
   const std::size_t mask = index_.size() - 1;
   std::size_t i = home_slot(key);
-  while (index_[i].key != key || index_[i].value == nullptr) {
-    if (index_[i].value == nullptr) return;  // not present
+  while (index_[i].key != key || index_[i].slot == kNoSlot) {
+    if (index_[i].slot == kNoSlot) return;  // not present
     i = (i + 1) & mask;
   }
   // Backward-shift deletion keeps probe chains tombstone-free: any entry
@@ -36,7 +53,7 @@ void FileStore::index_erase(std::uint64_t key) noexcept {
   std::size_t j = i;
   for (;;) {
     j = (j + 1) & mask;
-    if (index_[j].value == nullptr) break;
+    if (index_[j].slot == kNoSlot) break;
     const std::size_t home = home_slot(index_[j].key);
     if (((j - home) & mask) >= ((j - hole) & mask)) {
       index_[hole] = index_[j];
@@ -48,13 +65,25 @@ void FileStore::index_erase(std::uint64_t key) noexcept {
 
 void FileStore::rebuild_index() {
   std::size_t cap = 16;
-  while (copies_.size() * 2 >= cap) cap *= 2;
+  while (size_ * 2 >= cap) cap *= 2;
   index_.assign(cap, IndexSlot{});
-  for (auto& [id, info] : copies_) {
-    std::size_t i = home_slot(id.key());
-    while (index_[i].value != nullptr) i = (i + 1) & (cap - 1);
-    index_[i] = IndexSlot{id.key(), &info};
+  for (std::uint32_t s = 0; s < slab_.size(); ++s) {
+    if (!slab_[s].occupied) continue;
+    std::size_t i = home_slot(slab_[s].id.key());
+    while (index_[i].slot != kNoSlot) i = (i + 1) & (cap - 1);
+    index_[i] = IndexSlot{slab_[s].id.key(), s};
   }
+}
+
+std::size_t FileStore::worst_probe_length() const noexcept {
+  std::size_t worst = 0;
+  const std::size_t mask = index_.empty() ? 0 : index_.size() - 1;
+  for (std::size_t i = 0; i < index_.size(); ++i) {
+    if (index_[i].slot == kNoSlot) continue;
+    const std::size_t displacement = (i - home_slot(index_[i].key)) & mask;
+    if (displacement > worst) worst = displacement;
+  }
+  return worst;
 }
 
 std::optional<CopyInfo> FileStore::info(FileId f) const {
@@ -72,16 +101,27 @@ std::optional<std::uint64_t> FileStore::serve(FileId f) {
 
 void FileStore::put_inserted(FileId f, std::uint64_t version,
                              std::vector<std::uint8_t> data) {
-  const auto [it, added] = copies_.insert_or_assign(
-      f, CopyInfo{CopyKind::kInserted, version, 0, std::move(data)});
-  if (added) index_put(f.key(), &it->second);
+  if (CopyInfo* c = lookup(f)) {
+    *c = CopyInfo{CopyKind::kInserted, version, 0, std::move(data)};
+    return;
+  }
+  const std::uint32_t s = acquire_cell();
+  slab_[s].id = f;
+  slab_[s].occupied = true;
+  slab_[s].info = CopyInfo{CopyKind::kInserted, version, 0, std::move(data)};
+  ++size_;
+  index_put(f.key(), s);
 }
 
 void FileStore::put_replica(FileId f, std::uint64_t version,
                             std::vector<std::uint8_t> data) {
-  const auto [it, added] = copies_.try_emplace(
-      f, CopyInfo{CopyKind::kReplica, version, 0, std::move(data)});
-  if (added) index_put(f.key(), &it->second);
+  if (lookup(f) != nullptr) return;
+  const std::uint32_t s = acquire_cell();
+  slab_[s].id = f;
+  slab_[s].occupied = true;
+  slab_[s].info = CopyInfo{CopyKind::kReplica, version, 0, std::move(data)};
+  ++size_;
+  index_put(f.key(), s);
 }
 
 const std::vector<std::uint8_t>* FileStore::payload(FileId f) const {
@@ -97,8 +137,11 @@ bool FileStore::set_payload(FileId f, std::vector<std::uint8_t> data) {
 }
 
 bool FileStore::erase(FileId f) {
-  if (copies_.erase(f) == 0) return false;
+  const std::uint32_t s = slot_of(f.key());
+  if (s == kNoSlot) return false;
   index_erase(f.key());
+  release_cell(s);
+  --size_;
   return true;
 }
 
@@ -124,36 +167,39 @@ bool FileStore::set_access_count(FileId f, std::uint64_t count) {
 }
 
 void FileStore::reset_access_counts() noexcept {
-  for (auto& [id, info] : copies_) info.access_count = 0;
+  for (Entry& e : slab_) {
+    if (e.occupied) e.info.access_count = 0;
+  }
 }
 
 std::vector<FileId> FileStore::prune_cold_replicas(std::uint64_t threshold) {
   std::vector<FileId> pruned;
-  for (auto it = copies_.begin(); it != copies_.end();) {
-    if (it->second.kind == CopyKind::kReplica &&
-        it->second.access_count < threshold) {
-      pruned.push_back(it->first);
-      index_erase(it->first.key());
-      it = copies_.erase(it);
-    } else {
-      ++it;
+  for (std::uint32_t s = 0; s < slab_.size(); ++s) {
+    Entry& e = slab_[s];
+    if (!e.occupied || e.info.kind != CopyKind::kReplica ||
+        e.info.access_count >= threshold) {
+      continue;
     }
+    pruned.push_back(e.id);
+    index_erase(e.id.key());
+    release_cell(s);
+    --size_;
   }
   return pruned;
 }
 
 std::vector<FileId> FileStore::inserted_files() const {
   std::vector<FileId> out;
-  for (const auto& [id, info] : copies_) {
-    if (info.kind == CopyKind::kInserted) out.push_back(id);
+  for (const Entry& e : slab_) {
+    if (e.occupied && e.info.kind == CopyKind::kInserted) out.push_back(e.id);
   }
   return out;
 }
 
 std::vector<FileId> FileStore::replica_files() const {
   std::vector<FileId> out;
-  for (const auto& [id, info] : copies_) {
-    if (info.kind == CopyKind::kReplica) out.push_back(id);
+  for (const Entry& e : slab_) {
+    if (e.occupied && e.info.kind == CopyKind::kReplica) out.push_back(e.id);
   }
   return out;
 }

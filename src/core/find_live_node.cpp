@@ -2,17 +2,45 @@
 
 namespace lesslog::core {
 
+// FINDLIVENODE as a packed bit-scan.
+//
+// The paper's loop — for i <- vid(s)-1 downto 0: p <- r̄ ⊕ i; if P(p) alive
+// return P(p) — probes one liveness bit per VID. The StatusWord already
+// stores those bits packed 64 per word in *PID* order, and the PID↔VID map
+// is a XOR with the root complement c (Property 4), which factors across
+// the 64-bit word boundary:
+//
+//   pid = vid ^ c   ⇒   word(pid) = word(vid) ^ (c >> 6)
+//                       bit(pid)  = bit(vid)  ^ (c & 63)
+//
+// So the VID-descending scan visits whole 64-VID blocks at a time: fetch
+// the PID word at the XOR-permuted index, realign its bits into VID order
+// with xor_permute64 (≤ 6 masked shifts), mask off VIDs at or above the
+// start, and take the highest surviving set bit. One word lookup replaces
+// up to 64 probes; a mostly-live system resolves in the first word.
+
 std::optional<Pid> find_live_node(const LookupTree& tree, Pid s,
                                   const util::StatusWord& live) {
   if (live.is_live(s.value())) return s;
-  const std::uint32_t start = tree.vid_of(s).value();
-  // Downward VID scan, exactly the paper's pseudocode loop:
-  //   for i <- s.vid - 1 downto 0: p <- r̄ ⊕ i; if P(p) alive return P(p)
-  for (std::uint32_t i = start; i-- > 0;) {
-    const Pid p = tree.pid_of(Vid{i});
-    if (live.is_live(p.value())) return p;
+  const std::uint32_t limit = tree.vid_of(s).value();  // exclusive bound
+  if (limit == 0) return std::nullopt;
+  const std::uint32_t c = tree.mapper().complement();
+  const std::uint32_t ch = c >> 6;
+  const std::uint32_t cl = c & 63u;
+  const std::uint64_t* words = live.words();
+  std::uint32_t wv = (limit - 1u) >> 6;
+  std::uint64_t mask = util::low_mask64(static_cast<int>((limit - 1u) & 63u) + 1);
+  for (;;) {
+    const std::uint64_t w = util::xor_permute64(words[wv ^ ch], cl) & mask;
+    if (w != 0) {
+      const std::uint32_t v =
+          (wv << 6) | static_cast<std::uint32_t>(util::top_set_bit64(w));
+      return Pid{v ^ c};
+    }
+    if (wv == 0) return std::nullopt;
+    --wv;
+    mask = ~std::uint64_t{0};
   }
-  return std::nullopt;
 }
 
 std::optional<Pid> insertion_target(const LookupTree& tree,
@@ -24,8 +52,24 @@ bool live_vid_above(const LookupTree& tree, Pid k,
                     const util::StatusWord& live) {
   const std::uint32_t start = tree.vid_of(k).value();
   const std::uint32_t top = util::mask_of(tree.width());
-  for (std::uint32_t i = start + 1; i <= top; ++i) {
-    if (live.is_live(tree.pid_of(Vid{i}).value())) return true;
+  if (start >= top) return false;
+  const std::uint32_t c = tree.mapper().complement();
+  const std::uint32_t ch = c >> 6;
+  const std::uint32_t cl = c & 63u;
+  const std::uint64_t* words = live.words();
+  const std::uint32_t top_w = top >> 6;
+  std::uint32_t wv = start >> 6;
+  // Partial first word: only VIDs strictly above `start`. (For m < 6 the
+  // mask reaches past capacity, but those stored bits are always zero.)
+  const std::uint64_t first =
+      util::xor_permute64(words[wv ^ ch], cl) &
+      ~util::low_mask64(static_cast<int>(start & 63u) + 1);
+  if (first != 0) return true;
+  // Full words need no realignment — a XOR permutation cannot create or
+  // destroy set bits, so "any live VID in this block" is just w != 0.
+  while (wv != top_w) {
+    ++wv;
+    if (words[wv ^ ch] != 0) return true;
   }
   return false;
 }

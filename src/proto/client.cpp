@@ -70,7 +70,7 @@ void Client::send_get(std::uint64_t id) {
     const core::LookupTree tree(home_->status().width(), g.target);
     const core::SubtreeView view(tree, home_->fault_bits());
     if (g.subtree_attempt >= view.subtree_count()) {
-      finish_get(id, false, 0, 0);
+      finish_get(id, found, false, 0, 0);
       return;
     }
     send_get(id);
@@ -105,7 +105,7 @@ void Client::arm_get_timeout(std::uint64_t id, int generation) {
     if (g.generation != generation) return;  // a newer leg is in flight
     LESSLOG_METRICS(if (metrics_ != nullptr) metrics_->get_timeouts->inc());
     if (g.retries >= cfg_.max_retries) {
-      finish_get(id, false, 0, 0);
+      finish_get(id, found, false, 0, 0);
       return;
     }
     ++g.retries;
@@ -114,10 +114,9 @@ void Client::arm_get_timeout(std::uint64_t id, int generation) {
   });
 }
 
-void Client::finish_get(std::uint64_t id, bool ok, std::uint64_t version,
-                        int hops) {
-  PendingGet* found = gets_.find(id);
-  assert(found != nullptr);
+void Client::finish_get(std::uint64_t id, PendingGet* found, bool ok,
+                        std::uint64_t version, int hops) {
+  assert(found != nullptr && found == gets_.find(id));
   PendingGet g = std::move(*found);
   gets_.erase(id);
   GetResult result;
@@ -153,7 +152,7 @@ void Client::on_reply(const Message& m) {
   if (found == nullptr) return;  // late duplicate after completion
   PendingGet& g = *found;
   if (m.ok) {
-    finish_get(m.request_id, true, m.version, m.hop_count);
+    finish_get(m.request_id, found, true, m.version, m.hop_count);
     return;
   }
   // Definitive miss in that subtree: migrate to the next identifier.
@@ -163,7 +162,7 @@ void Client::on_reply(const Message& m) {
   const core::LookupTree tree(home_->status().width(), g.target);
   const core::SubtreeView view(tree, home_->fault_bits());
   if (g.subtree_attempt >= view.subtree_count()) {
-    finish_get(m.request_id, false, 0, m.hop_count);
+    finish_get(m.request_id, found, false, 0, m.hop_count);
     return;
   }
   g.retries = 0;

@@ -29,15 +29,33 @@ Network::Network(sim::Engine& engine, NetworkConfig cfg)
 }
 
 void Network::attach(core::Pid pid, Handler handler) {
+  if (!handler) {  // a null std::function was always undeliverable
+    detach(pid);
+    return;
+  }
+  if (boxed_.size() <= pid.value()) {
+    boxed_.resize(pid.value() + 1u);
+  }
+  boxed_[pid.value()] = std::make_unique<Handler>(std::move(handler));
+  attach_raw(pid, boxed_[pid.value()].get(),
+             [](void* ctx, const Message& m) {
+               (*static_cast<Handler*>(ctx))(m);
+             });
+}
+
+void Network::attach_raw(core::Pid pid, void* ctx, RawHandler fn) {
   if (handlers_.size() <= pid.value()) {
     handlers_.resize(pid.value() + 1u);
   }
-  handlers_[pid.value()] = std::move(handler);
+  handlers_[pid.value()] = HandlerSlot{ctx, fn};
 }
 
 void Network::detach(core::Pid pid) {
   if (pid.value() < handlers_.size()) {
-    handlers_[pid.value()] = nullptr;
+    handlers_[pid.value()] = HandlerSlot{};
+  }
+  if (pid.value() < boxed_.size()) {
+    boxed_[pid.value()].reset();
   }
 }
 
@@ -109,7 +127,15 @@ void Network::send(const Message& m) {
         forward_(m.to, engine_->now() + latency, ev.wire)) {
       return;  // crossed a shard boundary; delivered at the next barrier
     }
-    engine_->after(latency, std::move(ev));
+    if (cfg_.jitter == 0.0 && coords_.empty()) {
+      // Deterministic flat-latency link: every delivery shares the one
+      // constant delay, so the O(1) FIFO lane replaces a wheel insertion
+      // (and its lazy bucket sort). Same (time, seq) key either way —
+      // execution order is identical, only admission cost changes.
+      engine_->after_fixed(cfg_.base_latency, std::move(ev));
+    } else {
+      engine_->after(latency, std::move(ev));
+    }
     return;
   }
   send_faulty(m, ev, latency);
@@ -117,6 +143,15 @@ void Network::send(const Message& m) {
 
 void Network::deliver_at(double at, const WireBuffer& wire) {
   engine_->at(at, DeliveryEvent{this, wire});
+}
+
+void Network::deliver_batch(const double* times, const WireBuffer* wires,
+                            std::size_t n) {
+  engine_->queue().schedule_batch(
+      n, [times](std::size_t i) { return times[i]; },
+      [this, wires](std::size_t i, sim::EventFn& slot) {
+        slot.emplace(DeliveryEvent{this, wires[i]});
+      });
 }
 
 void Network::send_faulty(const Message& m, DeliveryEvent& ev,
@@ -199,7 +234,7 @@ void Network::deliver(const WireBuffer& wire) {
     return;
   }
   const std::uint32_t to = delivered->to.value();
-  if (to >= handlers_.size() || !handlers_[to]) {
+  if (to >= handlers_.size() || handlers_[to].fn == nullptr) {
     ++undeliverable_;
     LESSLOG_METRICS(if (metrics_ != nullptr) metrics_->undeliverable->inc());
     return;
@@ -211,7 +246,8 @@ void Network::deliver(const WireBuffer& wire) {
   for (obs::DeliverySink* sink : sinks_) {
     sink->on_deliver(engine_->now(), *delivered);
   }
-  handlers_[to](*delivered);
+  const HandlerSlot h = handlers_[to];
+  h.fn(h.ctx, *delivered);
 }
 
 }  // namespace lesslog::proto

@@ -17,22 +17,30 @@ constexpr int kPushMaxRetries = 5;
 
 Peer::Peer(core::Pid pid, int b, util::StatusWord initial_status,
            Network& network)
+    : Peer(pid, b, util::CowStatus(std::move(initial_status)), network) {}
+
+Peer::Peer(core::Pid pid, int b, util::CowStatus initial_status,
+           Network& network)
     : pid_(pid), b_(b), status_(std::move(initial_status)),
       network_(&network),
       // Stripe push ids per peer so concurrent pushes never collide.
       next_push_id_((std::uint64_t{0xF11EULL} << 48) |
                     (std::uint64_t{pid.value()} << 20)) {
-  assert(b_ >= 0 && b_ < status_.width());
+  assert(b_ >= 0 && b_ < status().width());
 }
 
 void Peer::attach() {
-  network_->attach(pid_, [this](const Message& m) { handle(m); });
+  // Raw registration: the dispatch slot is (this, shim) — per delivery
+  // the network makes one indirect call straight into handle().
+  network_->attach_raw(pid_, this, [](void* ctx, const Message& m) {
+    static_cast<Peer*>(ctx)->handle(m);
+  });
 }
 
 void Peer::detach() { network_->detach(pid_); }
 
 void Peer::rejoin(util::StatusWord fresh_status) {
-  status_ = std::move(fresh_status);
+  status_.assign(std::move(fresh_status));
   store_ = core::FileStore{};
   placed_.clear();
   pending_pushes_.clear();  // stale push timers see an empty map: no-ops
@@ -60,22 +68,23 @@ void Peer::handle(const Message& m) {
 }
 
 core::Pid Peer::target_of(core::FileId f) const noexcept {
-  return core::Pid{util::psi_u64(f.key(), status_.width())};
+  return core::Pid{util::psi_u64(f.key(), status().width())};
 }
 
 std::optional<core::Pid> Peer::next_hop(core::Pid r) const {
-  const core::LookupTree tree(status_.width(), r);
+  const util::StatusWord& st = status();
+  const core::LookupTree tree(st.width(), r);
   const core::SubtreeView view(tree, b_);
   if (const std::optional<core::Pid> up =
-          view.first_alive_subtree_ancestor(pid_, status_)) {
+          view.first_alive_subtree_ancestor(pid_, st)) {
     return up;
   }
   // Every subtree ancestor is dead; the original copy (if any) lives at
   // the subtree's stand-in holder. Forwarding to ourselves would loop.
   const std::uint32_t sid = view.subtree_id(pid_);
-  if (!status_.is_live(view.subtree_root(sid).value())) {
+  if (!st.is_live(view.subtree_root(sid).value())) {
     const std::optional<core::Pid> stand_in =
-        view.insertion_target(sid, status_);
+        view.insertion_target(sid, st);
     if (stand_in.has_value() && *stand_in != pid_) return stand_in;
   }
   return std::nullopt;
@@ -91,7 +100,7 @@ void Peer::on_get(const Message& m) {
   // Hop-count fence: forwarding ascends strictly in subtree VID plus at
   // most one stand-in jump, so anything past m + 1 hops means stale
   // status words have produced a cycle; fail fast instead of looping.
-  if (m.hop_count > static_cast<std::uint8_t>(status_.width() + 1)) {
+  if (m.hop_count > static_cast<std::uint8_t>(status().width() + 1)) {
     reply_get(m, /*ok=*/false, 0);
     return;
   }
@@ -151,9 +160,10 @@ void Peer::on_update(const Message& m) {
   // Non-holders prune the broadcast (paper: "Otherwise, the child node
   // discards the request."). The push's origin always holds the file.
   if (!store_.apply_update(m.file, m.version)) return;
-  const core::LookupTree tree(status_.width(), m.subject);
+  const util::StatusWord& st = status();
+  const core::LookupTree tree(st.width(), m.subject);
   const core::SubtreeView view(tree, b_);
-  for (const core::Pid child : view.children_list(pid_, status_)) {
+  for (const core::Pid child : view.children_list(pid_, st)) {
     Message push = m;
     push.from = pid_;
     push.to = child;
@@ -164,9 +174,9 @@ void Peer::on_update(const Message& m) {
   // off the dead root's children list (the proportional placements).
   const std::uint32_t sid = view.subtree_id(pid_);
   const core::Pid sub_root = view.subtree_root(sid);
-  if (pid_ != sub_root && !status_.is_live(sub_root.value()) &&
-      !view.live_vid_above(pid_, status_)) {
-    for (const core::Pid child : view.children_list(sub_root, status_)) {
+  if (pid_ != sub_root && !st.is_live(sub_root.value()) &&
+      !view.live_vid_above(pid_, st)) {
+    for (const core::Pid child : view.children_list(sub_root, st)) {
       if (child == pid_) continue;
       Message push = m;
       push.from = pid_;
@@ -178,25 +188,35 @@ void Peer::on_update(const Message& m) {
 }
 
 void Peer::on_status(const Message& m) {
+  // Check-before-mutate: a redundant announcement (bit already in the
+  // desired state) must not clone a shared snapshot — at scale most peers
+  // never diverge from the swarm-wide construction snapshot at all.
   if (m.ok) {
-    status_.set_live(m.subject.value());
+    if (!status().is_live(m.subject.value())) {
+      status_.mutate().set_live(m.subject.value());
+    }
     return;
   }
-  const util::StatusWord before = status_;
-  status_.set_dead(m.subject.value());
-  recover_after_crash(m.subject, before);
+  // snapshot() is O(1): it aliases the current bits, and mutate() below
+  // copies-on-write precisely because the snapshot still references them.
+  const util::CowStatus before = status_.snapshot();
+  if (status().is_live(m.subject.value())) {
+    status_.mutate().set_dead(m.subject.value());
+  }
+  recover_after_crash(m.subject, before.read());
 }
 
 void Peer::recover_after_crash(core::Pid crashed,
                                const util::StatusWord& before) {
   if (b_ == 0) return;  // nothing to pull from without sibling subtrees
+  const util::StatusWord& st = status();
   for (const core::FileId f : store_.inserted_files()) {
-    const core::LookupTree tree(status_.width(), target_of(f));
+    const core::LookupTree tree(st.width(), target_of(f));
     const core::SubtreeView view(tree, b_);
     const std::uint32_t lost_sid = view.subtree_id(crashed);
     if (view.insertion_target(lost_sid, before) != crashed) continue;
     const std::optional<core::Pid> new_holder =
-        view.insertion_target(lost_sid, status_);
+        view.insertion_target(lost_sid, st);
     if (!new_holder.has_value()) continue;  // subtree emptied out
     // Deterministic designation: the holder of the first non-empty sibling
     // subtree after the lost one performs the re-insert; every live node
@@ -205,7 +225,7 @@ void Peer::recover_after_crash(core::Pid crashed,
     for (std::uint32_t step = 1; step < view.subtree_count(); ++step) {
       const std::uint32_t sid =
           (lost_sid + step) % view.subtree_count();
-      designated = view.insertion_target(sid, status_);
+      designated = view.insertion_target(sid, st);
       if (designated.has_value()) break;
     }
     if (designated != pid_) continue;
@@ -235,13 +255,16 @@ void Peer::on_push_ack(const Message& m) {
 void Peer::on_reclaim(const Message& m) {
   // The reclaim may race ahead of the joiner's status announcement;
   // learning "X is live" from X's own reclaim message is sound.
-  status_.set_live(m.subject.value());
+  if (!status().is_live(m.subject.value())) {
+    status_.mutate().set_live(m.subject.value());
+  }
+  const util::StatusWord& st = status();
   for (const core::FileId f : store_.inserted_files()) {
-    const core::LookupTree tree(status_.width(), target_of(f));
+    const core::LookupTree tree(st.width(), target_of(f));
     const core::SubtreeView view(tree, b_);
     const std::uint32_t my_sid = view.subtree_id(pid_);
     if (view.subtree_id(m.subject) != my_sid) continue;
-    if (view.insertion_target(my_sid, status_) != m.subject) continue;
+    if (view.insertion_target(my_sid, st) != m.subject) continue;
     // The joiner is now this subtree's authoritative holder: move the
     // inserted copy over (the paper "copies f back to P(k)"; moving keeps
     // a single authoritative copy per subtree).
@@ -265,27 +288,26 @@ void Peer::push_file(core::FileId f, std::uint64_t version, core::Pid to) {
   // Every kFilePush is membership repair traffic (reclaim, graceful
   // leave, crash recovery) — the chaos bench reports this as repair cost.
   LESSLOG_METRICS(if (metrics_ != nullptr) metrics_->repair_pushes->inc());
-  pending_pushes_.emplace(push.request_id, PendingPush{push, 0, 0});
+  pending_pushes_.insert(push.request_id, PendingPush{push, 0, 0});
   transmit_push(push.request_id);
 }
 
 void Peer::transmit_push(std::uint64_t id) {
-  const auto it = pending_pushes_.find(id);
-  if (it == pending_pushes_.end()) return;
-  PendingPush& pending = it->second;
-  network_->send(pending.msg);
-  const int generation = ++pending.generation;
+  PendingPush* pending = pending_pushes_.find(id);
+  if (pending == nullptr) return;
+  network_->send(pending->msg);
+  const int generation = ++pending->generation;
   network_->engine().after_fixed(kPushTimeout, [this, id, generation] {
-    const auto entry = pending_pushes_.find(id);
-    if (entry == pending_pushes_.end()) return;  // acked
-    if (entry->second.generation != generation) return;  // stale timer
-    if (entry->second.retries >= kPushMaxRetries) {
+    PendingPush* entry = pending_pushes_.find(id);
+    if (entry == nullptr) return;  // acked
+    if (entry->generation != generation) return;  // stale timer
+    if (entry->retries >= kPushMaxRetries) {
       // Out of budget: drop the transfer. The next membership event (or
       // the System-level bookkeeping in tests) re-detects the gap.
-      pending_pushes_.erase(entry);
+      pending_pushes_.erase(id);
       return;
     }
-    ++entry->second.retries;
+    ++entry->retries;
     LESSLOG_METRICS(
         if (metrics_ != nullptr) metrics_->push_retries->inc());
     transmit_push(id);
@@ -313,7 +335,8 @@ std::optional<core::Pid> Peer::shed_hottest() {
   for (const core::FileId f : store_.replica_files()) consider(f);
   if (!hottest.has_value()) return std::nullopt;
 
-  const core::LookupTree tree(status_.width(), target_of(*hottest));
+  const util::StatusWord& st = status();
+  const core::LookupTree tree(st.width(), target_of(*hottest));
   std::vector<core::Pid>& mine = placed_[*hottest];
   const core::HoldsCopyFn holds = [this, &mine](core::Pid p) {
     if (p == pid_) return true;
@@ -323,11 +346,11 @@ std::optional<core::Pid> Peer::shed_hottest() {
   std::optional<core::Pid> target;
   if (b_ == 0) {
     const std::optional<core::Placement> placement = core::replicate_target(
-        tree, pid_, status_, holds, network_->engine().rng());
+        tree, pid_, st, holds, network_->engine().rng());
     if (placement.has_value()) target = placement->target;
   } else {
     const core::SubtreeView view(tree, b_);
-    target = view.replicate_target(pid_, status_, holds,
+    target = view.replicate_target(pid_, st, holds,
                                    network_->engine().rng());
   }
   if (!target.has_value()) return std::nullopt;
@@ -348,10 +371,10 @@ std::optional<core::Pid> Peer::shed_hottest() {
 }
 
 void Peer::graceful_leave() {
-  util::StatusWord without_me = status_;
+  util::StatusWord without_me = status();
   without_me.set_dead(pid_.value());
   for (const core::FileId f : store_.inserted_files()) {
-    const core::LookupTree tree(status_.width(), target_of(f));
+    const core::LookupTree tree(without_me.width(), target_of(f));
     const core::SubtreeView view(tree, b_);
     const std::optional<core::Pid> new_holder =
         view.insertion_target(view.subtree_id(pid_), without_me);

@@ -18,21 +18,24 @@ ShardRouter::ShardRouter(std::size_t shards, std::uint32_t pids_per_shard)
 void ShardRouter::post(std::size_t from, std::size_t to, double deliver_at,
                        const WireBuffer& wire) {
   assert(from < shards_ && to < shards_ && from != to);
-  box_[from * shards_ + to].push_back(Parcel{deliver_at, wire});
+  Box& box = box_[from * shards_ + to];
+  box.at.push_back(deliver_at);
+  box.wire.push_back(wire);
 }
 
 void ShardRouter::drain_into(std::size_t dest, Network& net) {
   assert(dest < shards_);
   for (std::size_t from = 0; from < shards_; ++from) {
-    std::vector<Parcel>& box = box_[from * shards_ + dest];
-    for (const Parcel& p : box) net.deliver_at(p.at, p.wire);
-    box.clear();
+    Box& box = box_[from * shards_ + dest];
+    net.deliver_batch(box.at.data(), box.wire.data(), box.at.size());
+    box.at.clear();
+    box.wire.clear();
   }
 }
 
 bool ShardRouter::empty() const noexcept {
-  for (const std::vector<Parcel>& box : box_) {
-    if (!box.empty()) return false;
+  for (const Box& box : box_) {
+    if (!box.at.empty()) return false;
   }
   return true;
 }

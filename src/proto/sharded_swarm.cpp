@@ -57,13 +57,19 @@ ShardedSwarm::ShardedSwarm(Config cfg)
   for (std::uint32_t p = 0; p < cfg_.nodes; ++p) status_.set_live(p);
   peers_.resize(util::space_size(cfg_.m));
   clients_.resize(util::space_size(cfg_.m));
-  for (std::uint32_t p = 0; p < cfg_.nodes; ++p) make_peer(core::Pid{p});
+  // One shared copy-on-write snapshot for the whole construction batch:
+  // at m=16 this replaces 2^16 distinct 8 KiB status words (512 MiB) with
+  // a single word that peers alias until their views diverge.
+  const auto initial_view = std::make_shared<util::StatusWord>(status_);
+  for (std::uint32_t p = 0; p < cfg_.nodes; ++p) {
+    make_peer(core::Pid{p}, util::CowStatus(initial_view));
+  }
 }
 
-void ShardedSwarm::make_peer(core::Pid p) {
+void ShardedSwarm::make_peer(core::Pid p, util::CowStatus view) {
   Shard& sh = home(p);
   peers_[p.value()] =
-      std::make_unique<Peer>(p, cfg_.b, status_, sh.network);
+      std::make_unique<Peer>(p, cfg_.b, std::move(view), sh.network);
   peers_[p.value()]->set_metrics(&sh.metrics);
   peers_[p.value()]->attach();
   clients_[p.value()] =
@@ -123,7 +129,7 @@ core::Pid ShardedSwarm::join(std::optional<core::Pid> requested) {
   if (peers_[p.value()]) {
     peers_[p.value()]->rejoin(status_);
   } else {
-    make_peer(p);
+    make_peer(p, util::CowStatus(status_));
   }
   Shard& sh = home(p);
   sh.network.notify_peer_event(engines_.shard(shard_of(p)).now(), p,

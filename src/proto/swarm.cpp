@@ -22,8 +22,13 @@ Swarm::Swarm(Config cfg)
   for (std::uint32_t p = 0; p < cfg_.nodes; ++p) status_.set_live(p);
   peers_.resize(util::space_size(cfg_.m));
   clients_.resize(util::space_size(cfg_.m));
+  // All peers start from the same view, so hand every one of them the same
+  // copy-on-write snapshot instead of 2^m distinct 2^m-bit words; a peer
+  // only materializes its own copy if its view ever diverges.
+  const auto initial_view = std::make_shared<util::StatusWord>(status_);
   for (std::uint32_t p = 0; p < cfg_.nodes; ++p) {
-    peers_[p] = std::make_unique<Peer>(core::Pid{p}, cfg_.b, status_,
+    peers_[p] = std::make_unique<Peer>(core::Pid{p}, cfg_.b,
+                                       util::CowStatus(initial_view),
                                        network_);
     peers_[p]->set_metrics(&metrics_);
     peers_[p]->attach();

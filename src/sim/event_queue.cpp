@@ -85,6 +85,10 @@ void EventQueue::push_entry(SimTime at, std::uint32_t slot) {
     ++wheel_count_;
     return;
   }
+  push_heap_entry(e);
+}
+
+void EventQueue::push_heap_entry(Entry e) {
   heap_.push_back(e);
   std::size_t hole = heap_.size() - 1;
   // Steady-state fast path: most new events land after their parent (the

@@ -17,7 +17,8 @@ struct Setup {
       : live(cfg.m),
         tree(cfg.m, pick_target(cfg, rng)),
         view(tree, cfg.b),
-        has_copy(util::space_size(cfg.m), 0) {
+        has_copy(util::space_size(cfg.m), 0),
+        copy_bits(util::space_size(cfg.m)) {
     const std::uint32_t slots = util::space_size(cfg.m);
     for (std::uint32_t p = 0; p < slots; ++p) live.set_live(p);
     const auto dead_count = static_cast<std::uint32_t>(
@@ -27,6 +28,7 @@ struct Setup {
     }
     for (core::Pid holder : view.insertion_targets(live)) {
       has_copy[holder.value()] = 1;
+      copy_bits.set(holder.value());
       ++initial_copies;
     }
     demand = cfg.workload == WorkloadKind::kUniform
@@ -48,10 +50,17 @@ struct Setup {
         static_cast<std::uint32_t>(rng.bounded(util::space_size(cfg.m)))};
   }
 
+  /// Marks a placement in both copy-map representations.
+  void place_copy(std::uint32_t p) {
+    has_copy[p] = 1;
+    copy_bits.set(p);
+  }
+
   util::StatusWord live;
   core::LookupTree tree;
   core::SubtreeView view;
   CopyMap has_copy;
+  CopyBits copy_bits;  ///< packed mirror of has_copy
   Workload demand;
   int initial_copies = 0;
 };
@@ -120,12 +129,13 @@ ExperimentResult run_on_scratch(Setup& s, const ExperimentConfig& cfg,
         core::Pid{*hot},
         s.live,     s.has_copy,
         [&report]() -> const LoadReport& { return report; },
-        s.demand,   rng};
+        s.demand,   rng,
+        &s.copy_bits};
     const std::optional<core::Pid> placement = policy(ctx);
     if (!usable_placement(s, placement)) {
       return finish(s, report, replicas, /*balanced=*/false, cfg.capacity);
     }
-    s.has_copy[placement->value()] = 1;
+    s.place_copy(placement->value());
     ++replicas;
   }
 }
@@ -161,13 +171,14 @@ ExperimentResult run_on_incremental(Setup& s, const ExperimentConfig& cfg,
         core::Pid{*hot},
         s.live,     s.has_copy,
         [&solver]() -> const LoadReport& { return solver.loads(); },
-        s.demand,   rng};
+        s.demand,   rng,
+        &s.copy_bits};
     const std::optional<core::Pid> placement = policy(ctx);
     if (!usable_placement(s, placement)) {
       return finish(s, solver.report(), replicas, /*balanced=*/false,
                     cfg.capacity);
     }
-    s.has_copy[placement->value()] = 1;
+    s.place_copy(placement->value());
     solver.add_copy(placement->value());
     ++replicas;
   }
@@ -226,6 +237,7 @@ RemovalResult run_with_removal(const ExperimentConfig& cfg,
     if (s.has_copy[p] == 0 || inserted[p] != 0) continue;
     if (final_report.served[p] < removal_threshold) {
       s.has_copy[p] = 0;
+      s.copy_bits.clear(p);
     } else {
       ++survivors;
     }

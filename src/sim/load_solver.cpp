@@ -163,7 +163,7 @@ IncrementalLoadSolver::IncrementalLoadSolver(const core::SubtreeView& view,
   hops_.assign(slots_, 0);
   faulted_.assign(slots_, 0);
   fwd_stale_.assign(slots_, 0);
-  contrib_.resize(slots_);
+  contrib_span_.resize(slots_);
 }
 
 IncrementalLoadSolver::IncrementalLoadSolver(const core::LookupTree& tree,
@@ -205,7 +205,7 @@ void IncrementalLoadSolver::reset_internal() {
   scalars_dirty_ = true;
   for (const std::uint32_t q : fwd_stale_list_) fwd_stale_[q] = 0;
   fwd_stale_list_.clear();
-  for (auto& list : contrib_) list.clear();
+  contrib_pairs_.clear();
 
   // Mirror of SubtreeView::route_get over the flat tables, accumulator by
   // accumulator: requesters in ascending PID order; each visited non-
@@ -240,7 +240,7 @@ void IncrementalLoadSolver::reset_internal() {
       while (true) {
         if (copies[node] != 0) {
           report_.served[node] += rate;
-          contrib_[node].push_back(pid);
+          contrib_pairs_.emplace_back(node, pid);
           served = true;
           break;
         }
@@ -258,7 +258,7 @@ void IncrementalLoadSolver::reset_internal() {
           ++visits;
           if (copies[h] != 0) {
             report_.served[h] += rate;
-            contrib_[h].push_back(pid);
+            contrib_pairs_.emplace_back(h, pid);
             served = true;
             break;
           }
@@ -274,6 +274,23 @@ void IncrementalLoadSolver::reset_internal() {
     hops_[pid] = visits - 1;
     if (!served) faulted_[pid] = 1;
   }
+
+  // Counting-sort the captured (holder, requester) pairs into the CSR
+  // pool. The sort is stable and the pairs arrive in ascending requester
+  // order, so each holder's span stays ascending — the oracle's order.
+  for (auto& s : contrib_span_) s = ContribSpan{};
+  for (const auto& [h, k] : contrib_pairs_) ++contrib_span_[h].len;
+  std::uint32_t off = 0;
+  for (auto& s : contrib_span_) {
+    s.off = off;
+    off += s.len;
+    s.len = 0;
+  }
+  contrib_buf_.resize(off);
+  for (const auto& [h, k] : contrib_pairs_) {
+    contrib_buf_[contrib_span_[h].off + contrib_span_[h].len++] = k;
+  }
+  contrib_live_ = off;
 
   heap_.clear();
   for (std::uint32_t p = 0; p < slots_; ++p) {
@@ -311,15 +328,47 @@ void IncrementalLoadSolver::shed_captured(std::uint32_t x) {
   scratch_c_.clear();
   double sum = 0.0;
   auto cap = scratch_a_.cbegin();
-  for (const std::uint32_t k : contrib_[x]) {
+  const ContribSpan sp = contrib_span_[x];
+  for (std::uint32_t i = 0; i < sp.len; ++i) {
+    const std::uint32_t k = contrib_buf_[sp.off + i];
     while (cap != scratch_a_.cend() && cap->first < k) ++cap;
     if (cap != scratch_a_.cend() && cap->first == k) continue;  // captured
     scratch_c_.push_back(k);
     sum += demand_->rate[k];
   }
-  contrib_[x].assign(scratch_c_.begin(), scratch_c_.end());
+  contrib_replace(x, scratch_c_.data(),
+                  static_cast<std::uint32_t>(scratch_c_.size()));
   report_.served[x] = sum;
   heap_push(x);
+}
+
+void IncrementalLoadSolver::contrib_replace(std::uint32_t pid,
+                                            const std::uint32_t* data,
+                                            std::uint32_t n) {
+  ContribSpan& sp = contrib_span_[pid];
+  contrib_live_ += n;
+  contrib_live_ -= sp.len;
+  if (n <= sp.len) {  // sheds always shrink: reuse the span in place
+    std::copy(data, data + n, contrib_buf_.begin() + sp.off);
+    sp.len = n;
+    return;
+  }
+  sp.off = static_cast<std::uint32_t>(contrib_buf_.size());
+  sp.len = n;
+  contrib_buf_.insert(contrib_buf_.end(), data, data + n);
+  if (contrib_buf_.size() > 2 * contrib_live_ + 1024) contrib_compact();
+}
+
+void IncrementalLoadSolver::contrib_compact() {
+  std::vector<std::uint32_t> fresh;
+  fresh.reserve(contrib_live_);
+  for (ContribSpan& sp : contrib_span_) {
+    const auto off = static_cast<std::uint32_t>(fresh.size());
+    fresh.insert(fresh.end(), contrib_buf_.begin() + sp.off,
+                 contrib_buf_.begin() + sp.off + sp.len);
+    sp.off = off;
+  }
+  contrib_buf_ = std::move(fresh);
 }
 
 void IncrementalLoadSolver::heap_push(std::uint32_t pid) {
@@ -371,7 +420,8 @@ void IncrementalLoadSolver::add_copy(std::uint32_t pid) {
   }
   if (!any_flow) return;
   scalars_dirty_ = true;
-  contrib_[pid].assign(scratch_c_.begin(), scratch_c_.end());
+  contrib_replace(pid, scratch_c_.data(),
+                  static_cast<std::uint32_t>(scratch_c_.size()));
   report_.served[pid] = sum;
   report_.forwarded[pid] = 0.0;
   fwd_stale_[pid] = 0;  // just computed exactly; cancel any pending flush

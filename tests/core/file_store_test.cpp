@@ -107,5 +107,81 @@ TEST(FileId, OrderingAndHash) {
   EXPECT_EQ(std::hash<FileId>{}(FileId{5}), std::hash<FileId>{}(FileId{5}));
 }
 
+TEST(FileStore, EnumerationFollowsSlabOrder) {
+  // Slot order: insertion order, with erased slots reused LIFO. This is
+  // the deterministic enumeration contract the shed/leave protocols see.
+  FileStore store;
+  store.put_inserted(FileId{10});  // slot 0
+  store.put_replica(FileId{20});   // slot 1
+  store.put_inserted(FileId{30});  // slot 2
+  store.put_replica(FileId{40});   // slot 3
+  EXPECT_EQ(store.inserted_files(),
+            (std::vector<FileId>{FileId{10}, FileId{30}}));
+  EXPECT_EQ(store.replica_files(),
+            (std::vector<FileId>{FileId{20}, FileId{40}}));
+  store.erase(FileId{20});         // frees slot 1
+  store.put_replica(FileId{50});   // reuses slot 1
+  EXPECT_EQ(store.replica_files(),
+            (std::vector<FileId>{FileId{50}, FileId{40}}));
+}
+
+TEST(FileStore, CopyIsIndependentAndEqualShaped) {
+  FileStore a;
+  for (std::uint64_t k = 0; k < 100; ++k) {
+    a.put_replica(FileId{k}, k, std::vector<std::uint8_t>(8, 0xAB));
+  }
+  a.erase(FileId{7});
+  FileStore b = a;
+  EXPECT_EQ(b.size(), a.size());
+  EXPECT_EQ(b.replica_files(), a.replica_files());
+  b.erase(FileId{3});
+  EXPECT_TRUE(a.has(FileId{3}));
+  EXPECT_FALSE(b.has(FileId{3}));
+  EXPECT_EQ(*a.payload(FileId{4}), std::vector<std::uint8_t>(8, 0xAB));
+}
+
+TEST(FileStore, ChurnedStoreStaysConsistent) {
+  // Interleave puts and erases so freelist reuse and index backward-shift
+  // deletion both run, then cross-check against a reference map shape.
+  FileStore store;
+  std::vector<std::uint64_t> present;
+  std::uint64_t next = 1;
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 7; ++i) {
+      store.put_replica(FileId{next}, next);
+      present.push_back(next);
+      ++next;
+    }
+    for (int i = 0; i < 3; ++i) {
+      const std::uint64_t victim = present[present.size() / 2];
+      EXPECT_TRUE(store.erase(FileId{victim}));
+      present.erase(present.begin() +
+                    static_cast<std::ptrdiff_t>(present.size() / 2));
+    }
+  }
+  EXPECT_EQ(store.size(), present.size());
+  for (std::uint64_t k : present) {
+    ASSERT_TRUE(store.has(FileId{k})) << k;
+    EXPECT_EQ(store.info(FileId{k})->version, k);
+  }
+  EXPECT_FALSE(store.has(FileId{next}));
+}
+
+TEST(FileStore, ProbeHashResistsStridedKeyClustering) {
+  // FileIds are minted PID-striped (pid << 32 | seq), so unmixed keys all
+  // share their low bits and an identity probe hash would collapse them
+  // onto a handful of home slots, degrading lookups to linear scans. The
+  // SplitMix64 probe hash must keep the worst probe chain short at the
+  // 50% load ceiling.
+  for (const std::uint64_t stride :
+       {std::uint64_t{1} << 32, std::uint64_t{1} << 20, std::uint64_t{4096}}) {
+    FileStore store;
+    for (std::uint64_t i = 0; i < 2048; ++i) {
+      store.put_replica(FileId{i * stride});
+    }
+    EXPECT_LE(store.worst_probe_length(), 24u) << "stride=" << stride;
+  }
+}
+
 }  // namespace
 }  // namespace lesslog::core

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <optional>
+#include <vector>
+
+#include "lesslog/core/fault_tolerant.hpp"
 #include "lesslog/util/rng.hpp"
 
 namespace lesslog::core {
@@ -130,6 +134,177 @@ TEST(LiveVidAbove, ConsistentWithInsertionTarget) {
   for (std::uint32_t p = 0; p < 64; ++p) {
     if (!live.is_live(p)) continue;
     EXPECT_EQ(live_vid_above(tree, Pid{p}, live), Pid{p} != *target);
+  }
+}
+
+// --- Bit-scan vs. reference-walker equivalence -----------------------------
+//
+// find_live_node and friends are implemented as packed word scans over the
+// StatusWord (see src/core/find_live_node.cpp). These tests pin them against
+// the paper's literal one-VID-at-a-time loops, exhaustively for small m and
+// randomized across word boundaries for m > 6.
+
+std::optional<Pid> walker_find_live_node(const LookupTree& tree, Pid s,
+                                         const util::StatusWord& live) {
+  if (live.is_live(s.value())) return s;
+  for (std::uint32_t i = tree.vid_of(s).value(); i-- > 0;) {
+    const Pid p = tree.pid_of(Vid{i});
+    if (live.is_live(p.value())) return p;
+  }
+  return std::nullopt;
+}
+
+bool walker_live_vid_above(const LookupTree& tree, Pid k,
+                           const util::StatusWord& live) {
+  const std::uint32_t top = util::mask_of(tree.width());
+  for (std::uint32_t i = tree.vid_of(k).value() + 1; i <= top; ++i) {
+    if (live.is_live(tree.pid_of(Vid{i}).value())) return true;
+  }
+  return false;
+}
+
+std::optional<Pid> walker_find_live_in_subtree(const SubtreeView& view,
+                                               std::uint32_t sub_id,
+                                               std::uint32_t from_sub_vid,
+                                               const util::StatusWord& live) {
+  for (std::uint32_t sv = from_sub_vid + 1; sv-- > 0;) {
+    const Pid p = view.pid_at(sv, sub_id);
+    if (live.is_live(p.value())) return p;
+  }
+  return std::nullopt;
+}
+
+bool walker_subtree_live_vid_above(const SubtreeView& view, Pid k,
+                                   const util::StatusWord& live) {
+  const std::uint32_t sid = view.subtree_id(k);
+  const std::uint32_t top = util::mask_of(view.subtree_width());
+  for (std::uint32_t sv = view.subtree_vid(k) + 1; sv <= top; ++sv) {
+    if (live.is_live(view.pid_at(sv, sid).value())) return true;
+  }
+  return false;
+}
+
+void check_all_queries(int m, const util::StatusWord& live) {
+  const std::uint32_t n = util::space_size(m);
+  for (std::uint32_t r = 0; r < n; ++r) {
+    const LookupTree tree(m, Pid{r});
+    for (std::uint32_t s = 0; s < n; ++s) {
+      ASSERT_EQ(find_live_node(tree, Pid{s}, live),
+                walker_find_live_node(tree, Pid{s}, live))
+          << "m=" << m << " root=" << r << " start=" << s;
+      ASSERT_EQ(live_vid_above(tree, Pid{s}, live),
+                walker_live_vid_above(tree, Pid{s}, live))
+          << "m=" << m << " root=" << r << " start=" << s;
+    }
+  }
+}
+
+TEST(FindLiveNodeBitScan, ExhaustiveSmallSpaces) {
+  // Every liveness pattern, every root, every start, for m <= 3.
+  for (int m = 1; m <= 3; ++m) {
+    const std::uint32_t n = util::space_size(m);
+    for (std::uint32_t pattern = 0; pattern < (1u << n); ++pattern) {
+      util::StatusWord live(m);
+      for (std::uint32_t p = 0; p < n; ++p) {
+        if ((pattern >> p) & 1u) live.set_live(p);
+      }
+      check_all_queries(m, live);
+    }
+  }
+}
+
+TEST(FindLiveNodeBitScan, RandomizedAcrossWordBoundaries) {
+  // m in 4..9 spans the interesting sizes: sub-word (m < 6), exactly one
+  // word (m = 6), and multi-word where the XOR word-permutation matters.
+  util::Rng rng(0xB17);
+  for (int m = 4; m <= 9; ++m) {
+    const std::uint32_t n = util::space_size(m);
+    for (int density = 0; density <= 4; ++density) {
+      util::StatusWord live(m);
+      const std::uint32_t live_n =
+          static_cast<std::uint32_t>(rng.bounded(n + 1));
+      for (std::uint32_t p : rng.sample_indices(n, live_n)) live.set_live(p);
+      if (m <= 6) {
+        check_all_queries(m, live);
+        continue;
+      }
+      // Too big for all roots x starts: sample roots, check every start.
+      for (int i = 0; i < 8; ++i) {
+        const LookupTree tree(
+            m, Pid{static_cast<std::uint32_t>(rng.bounded(n))});
+        for (std::uint32_t s = 0; s < n; ++s) {
+          ASSERT_EQ(find_live_node(tree, Pid{s}, live),
+                    walker_find_live_node(tree, Pid{s}, live));
+          ASSERT_EQ(live_vid_above(tree, Pid{s}, live),
+                    walker_live_vid_above(tree, Pid{s}, live));
+        }
+      }
+    }
+  }
+}
+
+TEST(FindLiveNodeBitScan, SubtreeScansMatchWalkerAllFaultBits) {
+  // Every b including b > 6 (the scalar fallback) on an m = 8 space.
+  util::Rng rng(0x5B7);
+  const int m = 8;
+  const std::uint32_t n = util::space_size(m);
+  for (int b = 0; b < m; ++b) {
+    for (int round = 0; round < 3; ++round) {
+      util::StatusWord live(m);
+      const std::uint32_t live_n =
+          static_cast<std::uint32_t>(rng.bounded(n + 1));
+      for (std::uint32_t p : rng.sample_indices(n, live_n)) live.set_live(p);
+      const LookupTree tree(m,
+                            Pid{static_cast<std::uint32_t>(rng.bounded(n))});
+      const SubtreeView view(tree, b);
+      const std::uint32_t sub_top = util::mask_of(view.subtree_width());
+      for (std::uint32_t sid = 0; sid < view.subtree_count(); ++sid) {
+        for (std::uint32_t sv = 0; sv <= sub_top; ++sv) {
+          ASSERT_EQ(view.find_live_in_subtree(sid, sv, live),
+                    walker_find_live_in_subtree(view, sid, sv, live))
+              << "b=" << b << " sid=" << sid << " sv=" << sv;
+        }
+      }
+      for (std::uint32_t p = 0; p < n; ++p) {
+        ASSERT_EQ(view.live_vid_above(Pid{p}, live),
+                  walker_subtree_live_vid_above(view, Pid{p}, live))
+            << "b=" << b << " p=" << p;
+      }
+    }
+  }
+}
+
+TEST(FindLiveNodeBitScan, ChurnFlipsStayConsistent) {
+  // Crash / restart / depart / join each flip one bit in the packed
+  // bitmap. Drive a random churn sequence, cross-check the bitmap against
+  // a plain membership list after every flip, and spot-check the scans.
+  util::Rng rng(0xC0FFEE);
+  const int m = 7;
+  const std::uint32_t n = util::space_size(m);
+  util::StatusWord live(m, n / 2);
+  std::vector<bool> membership(n, false);
+  for (std::uint32_t p = 0; p < n / 2; ++p) membership[p] = true;
+  const LookupTree tree(m, Pid{37});
+  for (int step = 0; step < 500; ++step) {
+    const std::uint32_t p = static_cast<std::uint32_t>(rng.bounded(n));
+    if (membership[p]) {
+      live.set_dead(p);  // crash or graceful depart
+      membership[p] = false;
+    } else {
+      live.set_live(p);  // restart or fresh join
+      membership[p] = true;
+    }
+    std::uint32_t count = 0;
+    for (std::uint32_t q = 0; q < n; ++q) {
+      ASSERT_EQ(live.is_live(q), membership[q]) << "after flipping " << p;
+      if (membership[q]) ++count;
+    }
+    ASSERT_EQ(live.live_count(), count);
+    const Pid s{static_cast<std::uint32_t>(rng.bounded(n))};
+    ASSERT_EQ(find_live_node(tree, s, live),
+              walker_find_live_node(tree, s, live));
+    ASSERT_EQ(live_vid_above(tree, s, live),
+              walker_live_vid_above(tree, s, live));
   }
 }
 

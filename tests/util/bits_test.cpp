@@ -146,5 +146,72 @@ TEST_P(LeadingOnesSweep, ParentIncreasesValue) {
 INSTANTIATE_TEST_SUITE_P(Widths, LeadingOnesSweep,
                          ::testing::Values(1, 2, 3, 4, 6, 8, 10));
 
+TEST(Bits64, CtzClzTopBit) {
+  EXPECT_EQ(ctz64(0), 64);
+  EXPECT_EQ(clz64(0), 64);
+  EXPECT_EQ(ctz64(1), 0);
+  EXPECT_EQ(clz64(1), 63);
+  EXPECT_EQ(ctz64(std::uint64_t{1} << 63), 63);
+  EXPECT_EQ(clz64(std::uint64_t{1} << 63), 0);
+  EXPECT_EQ(top_set_bit64(1), 0);
+  EXPECT_EQ(top_set_bit64(0b1010'0000), 7);
+  EXPECT_EQ(top_set_bit64(~std::uint64_t{0}), 63);
+  EXPECT_EQ(popcount64(0xF0F0'F0F0'F0F0'F0F0ULL), 32);
+}
+
+TEST(Bits64, XorPermuteMatchesBitwiseDefinition) {
+  // bit j of xor_permute64(w, c) must equal bit (j ^ c) of w, for every c.
+  std::uint64_t w = 0x0123'4567'89AB'CDEFULL;
+  for (std::uint32_t c = 0; c < 64; ++c) {
+    const std::uint64_t perm = xor_permute64(w, c);
+    for (int j = 0; j < 64; ++j) {
+      ASSERT_EQ((perm >> j) & 1u, (w >> (j ^ static_cast<int>(c))) & 1u)
+          << "c=" << c << " j=" << j;
+    }
+  }
+}
+
+TEST(Bits64, XorPermuteIsAnInvolution) {
+  const std::uint64_t w = 0xDEAD'BEEF'CAFE'F00DULL;
+  for (std::uint32_t c = 0; c < 64; ++c) {
+    EXPECT_EQ(xor_permute64(xor_permute64(w, c), c), w);
+    EXPECT_EQ(popcount64(xor_permute64(w, c)), popcount64(w));
+  }
+}
+
+TEST(Bits64, LowMask) {
+  EXPECT_EQ(low_mask64(0), 0u);
+  EXPECT_EQ(low_mask64(1), 1u);
+  EXPECT_EQ(low_mask64(8), 0xFFu);
+  EXPECT_EQ(low_mask64(63), ~std::uint64_t{0} >> 1);
+  EXPECT_EQ(low_mask64(64), ~std::uint64_t{0});
+}
+
+TEST(Bits64, StrideMaskSelectsResidueClass) {
+  for (int b = 0; b <= 6; ++b) {
+    const std::uint32_t period = 1u << b;
+    for (std::uint32_t offset = 0; offset < period; ++offset) {
+      const std::uint64_t mask = stride_mask64(b, offset);
+      for (int j = 0; j < 64; ++j) {
+        const bool expect = (static_cast<std::uint32_t>(j) % period) == offset;
+        ASSERT_EQ(((mask >> j) & 1u) != 0, expect)
+            << "b=" << b << " offset=" << offset << " j=" << j;
+      }
+    }
+  }
+}
+
+TEST(Bits64, SelectBit) {
+  const std::uint64_t w = 0b1011'0100'1000'0001ULL;
+  // Set bits, LSB first: 0, 7, 10, 12, 13, 15.
+  EXPECT_EQ(select_bit64(w, 0), 0);
+  EXPECT_EQ(select_bit64(w, 1), 7);
+  EXPECT_EQ(select_bit64(w, 2), 10);
+  EXPECT_EQ(select_bit64(w, 3), 12);
+  EXPECT_EQ(select_bit64(w, 4), 13);
+  EXPECT_EQ(select_bit64(w, 5), 15);
+  EXPECT_EQ(select_bit64(~std::uint64_t{0}, 63), 63);
+}
+
 }  // namespace
 }  // namespace lesslog::util

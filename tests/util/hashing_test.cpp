@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "lesslog/util/rng.hpp"
+
 #include <set>
 #include <string>
 #include <vector>
@@ -59,6 +61,32 @@ TEST(Hashing, AvalancheChangesLowBits) {
     if ((avalanche64(key) & 0xFu) == (key & 0xFu)) ++identical_low_bits;
   }
   EXPECT_LT(identical_low_bits, 12);
+}
+
+TEST(Hashing, SplitMix64MixMatchesStatefulReference) {
+  // splitmix64_mix(x) is one SplitMix64 step whose pre-call state is x, so
+  // chaining it from any seed must reproduce the stateful generator.
+  EXPECT_EQ(splitmix64_mix(0), 0xE220A8397B1DCDAFULL);  // reference vector
+  for (std::uint64_t seed : {std::uint64_t{0}, std::uint64_t{42},
+                             std::uint64_t{0xDEADBEEF}, ~std::uint64_t{0}}) {
+    std::uint64_t state = seed;
+    std::uint64_t x = seed;
+    for (int i = 0; i < 4; ++i) {
+      EXPECT_EQ(splitmix64_mix(x), splitmix64(state)) << "seed=" << seed;
+      x += 0x9e3779b97f4a7c15ULL;
+    }
+  }
+}
+
+TEST(Hashing, SplitMix64MixScattersSequentialKeys) {
+  // Sequential integer keys (how workloads mint FileIds) must not map to
+  // sequential or colliding low bits — the probe-hash property the
+  // FileStore index depends on.
+  std::set<std::uint64_t> low_bits;
+  for (std::uint64_t key = 0; key < 512; ++key) {
+    low_bits.insert(splitmix64_mix(key) & 0xFFFFu);
+  }
+  EXPECT_GT(low_bits.size(), 500u);  // ~birthday-level collisions at most
 }
 
 }  // namespace

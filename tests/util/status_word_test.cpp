@@ -102,5 +102,65 @@ TEST_P(StatusWordWidthSweep, CountsConsistent) {
 INSTANTIATE_TEST_SUITE_P(Widths, StatusWordWidthSweep,
                          ::testing::Values(1, 2, 6, 7, 10, 12));
 
+TEST(StatusWord, WordsExposePackedBits) {
+  StatusWord sw(8);
+  sw.set_live(0);
+  sw.set_live(63);
+  sw.set_live(64);
+  sw.set_live(200);
+  ASSERT_EQ(sw.word_count(), 4u);
+  EXPECT_EQ(sw.words()[0], (std::uint64_t{1} << 63) | 1u);
+  EXPECT_EQ(sw.words()[1], 1u);
+  EXPECT_EQ(sw.words()[2], 0u);
+  EXPECT_EQ(sw.words()[3], std::uint64_t{1} << (200 - 192));
+  sw.set_dead(63);
+  EXPECT_EQ(sw.words()[0], 1u);
+}
+
+TEST(StatusWord, SubWordWidthKeepsHighBitsZero) {
+  StatusWord sw(3);
+  for (std::uint32_t p = 0; p < 8; ++p) sw.set_live(p);
+  ASSERT_EQ(sw.word_count(), 1u);
+  EXPECT_EQ(sw.words()[0], 0xFFu);
+}
+
+TEST(CowStatus, SharedSnapshotAliasesUntilMutation) {
+  auto base = std::make_shared<StatusWord>(6, 40u);
+  CowStatus a{std::shared_ptr<StatusWord>(base)};
+  CowStatus b{std::shared_ptr<StatusWord>(base)};
+  EXPECT_EQ(&a.read(), base.get());
+  EXPECT_EQ(&b.read(), base.get());
+  a.mutate().set_dead(7);
+  EXPECT_NE(&a.read(), base.get());  // a diverged onto its own copy
+  EXPECT_EQ(&b.read(), base.get());  // b still aliases the snapshot
+  EXPECT_FALSE(a.read().is_live(7));
+  EXPECT_TRUE(b.read().is_live(7));
+  EXPECT_EQ(base->live_count(), 40u);
+}
+
+TEST(CowStatus, UniqueOwnerMutatesInPlace) {
+  CowStatus a{StatusWord(5, 10u)};
+  const StatusWord* before = &a.read();
+  a.mutate().set_live(20);
+  EXPECT_EQ(&a.read(), before);  // no other owner: no clone
+  EXPECT_TRUE(a.read().is_live(20));
+}
+
+TEST(CowStatus, SnapshotPreservesOldBitsAcrossMutation) {
+  CowStatus a{StatusWord(5, 10u)};
+  const CowStatus before = a.snapshot();
+  a.mutate().set_dead(3);
+  EXPECT_TRUE(before.read().is_live(3));
+  EXPECT_FALSE(a.read().is_live(3));
+}
+
+TEST(CowStatus, AssignReplacesContents) {
+  auto base = std::make_shared<StatusWord>(4, 16u);
+  CowStatus a{std::shared_ptr<StatusWord>(base)};
+  a.assign(StatusWord(4, 2u));
+  EXPECT_EQ(a.read().live_count(), 2u);
+  EXPECT_EQ(base->live_count(), 16u);
+}
+
 }  // namespace
 }  // namespace lesslog::util
