@@ -26,7 +26,7 @@ namespace {
 using namespace lesslog;
 
 chaos::ChaosConfig base_config(bool quick, double intensity,
-                               std::uint64_t seed) {
+                               std::uint64_t seed, std::size_t shards) {
   chaos::ChaosConfig cfg;
   cfg.m = 6;
   cfg.b = 2;
@@ -37,6 +37,7 @@ chaos::ChaosConfig base_config(bool quick, double intensity,
   cfg.fault_intensity = intensity;
   cfg.files = quick ? 32 : 48;
   cfg.get_rate = quick ? 15.0 : 20.0;
+  cfg.shards = shards;
   return cfg;
 }
 
@@ -49,8 +50,9 @@ struct Cell {
   double msgs = 0.0;
 };
 
-Cell run_cell(bool quick, double intensity, std::uint64_t seed) {
-  chaos::Driver driver(base_config(quick, intensity, seed));
+Cell run_cell(bool quick, double intensity, std::uint64_t seed,
+              std::size_t shards) {
+  chaos::Driver driver(base_config(quick, intensity, seed, shards));
   const chaos::Report r = driver.run();
   Cell cell;
   cell.violations = static_cast<double>(r.violations.size());
@@ -70,16 +72,52 @@ Cell run_cell(bool quick, double intensity, std::uint64_t seed) {
   return cell;
 }
 
+/// The sharded ctest gate (--smoke --shards N): the full chaos schedule
+/// against a ShardedSwarm must audit clean, replay bit-identically from
+/// its artifact (which carries the shard count), and reproduce the same
+/// outcome on an independent second run — the parallel engine is a pure
+/// function of the config.
+int run_sharded_smoke(const bench::BenchArgs& args) {
+  chaos::ChaosConfig cfg = base_config(
+      /*quick=*/true, 0.6, 1, static_cast<std::size_t>(args.shards));
+  chaos::Driver driver(cfg);
+  const chaos::Report first = driver.run();
+  const bool clean_ok = first.clean() && first.workload_issued > 0 &&
+                        first.workload_issued == first.workload_completed;
+
+  const chaos::Report second = chaos::Driver(cfg).run();
+  const bool repeat_ok = chaos::same_outcome(first, second);
+
+  const std::string artifact = chaos::artifact_to_json(first);
+  const chaos::Report replayed = chaos::replay(artifact);
+  const bool replay_ok = chaos::same_outcome(first, replayed) &&
+                         artifact == chaos::artifact_to_json(replayed);
+
+  const bool ok = clean_ok && repeat_ok && replay_ok;
+  std::cout << "sharded chaos smoke (S=" << args.shards
+            << "): clean_run=" << (clean_ok ? "clean" : "DIRTY")
+            << " rerun=" << (repeat_ok ? "bit-identical" : "DIVERGED")
+            << " replay=" << (replay_ok ? "bit-identical" : "DIVERGED")
+            << " -> " << (ok ? "PASS" : "FAIL") << "\n";
+  const int metrics_rc = bench::emit_metrics(
+      args, "abl_chaos", cfg.seed,
+      driver.sharded()->metrics_snapshot(first.sim_time));
+  return (ok && metrics_rc == 0) ? 0 : 1;
+}
+
 /// The ctest gate: healthy chaos audits clean, broken recovery is
 /// caught, and the broken run replays bit-identically from its artifact.
 int run_smoke(const bench::BenchArgs& args) {
-  chaos::ChaosConfig clean_cfg = base_config(/*quick=*/true, 0.6, 1);
+  if (args.shards > 1) return run_sharded_smoke(args);
+  chaos::ChaosConfig clean_cfg =
+      base_config(/*quick=*/true, 0.6, 1, /*shards=*/1);
   chaos::Driver clean_driver(clean_cfg);
   const chaos::Report clean = clean_driver.run();
   const bool clean_ok = clean.clean() && clean.workload_issued > 0 &&
                         clean.workload_issued == clean.workload_completed;
 
-  chaos::ChaosConfig broken_cfg = base_config(/*quick=*/true, 0.6, 2);
+  chaos::ChaosConfig broken_cfg =
+      base_config(/*quick=*/true, 0.6, 2, /*shards=*/1);
   broken_cfg.silent_crashes = true;
   const chaos::Report broken = chaos::Driver(broken_cfg).run();
   const bool caught = !broken.clean();
@@ -118,7 +156,8 @@ int main(int argc, char** argv) {
 
   std::cout << "== Ablation A12: chaos soak (fault injection + invariant "
                "audit) ==\n"
-            << "m=6, b=2, 40 nodes; per epoch: burst loss, partitions, "
+            << "m=6, b=2, 40 nodes, shards=" << args.shards
+            << "; per epoch: burst loss, partitions, "
                "corruption,\nduplication, delay spikes, crash->restart, "
                "churn; x = fault intensity\n\n";
 
@@ -137,7 +176,8 @@ int main(int argc, char** argv) {
       args.threads, keys.size(), [&](std::size_t i) {
         const Key& k = keys[i];
         return run_cell(args.quick, k.intensity,
-                        static_cast<std::uint64_t>(k.seed));
+                        static_cast<std::uint64_t>(k.seed),
+                        static_cast<std::size_t>(args.shards));
       });
 
   sim::FigureData fig("A12 chaos soak", "intensity", intensities);

@@ -7,12 +7,89 @@
 // protocol) and reports files lost and request fault rate per b, plus the
 // storage overhead paid. --json mirrors every (b, fraction) cell to a
 // "lesslog.bench" v1 document.
+//
+// --shards N (N > 1) runs the same storm through the full message-level
+// ShardedSwarm instead of the abstract core::System: crashes are real
+// failure announcements on the wire, recovery is the protocol's own
+// repair traffic, and "lost" means no live peer's store holds the file
+// at quiescence. The b-dominance shape claims must hold in both models.
 #include <chrono>
 
 #include "bench_common.hpp"
 
 #include "lesslog/core/system.hpp"
+#include "lesslog/proto/sharded_swarm.hpp"
 #include "lesslog/util/rng.hpp"
+
+namespace {
+
+using namespace lesslog;
+
+struct StormCell {
+  double lost = 0.0;
+  double copies = 0.0;  ///< summed holder count over all files, at insert
+};
+
+/// One (b, fraction, seed) storm on the sharded swarm. Mirrors the
+/// core::System cell: same key schedule, same crash-victim stream, a
+/// settle after every crash so recovery executes between failures.
+StormCell run_swarm_cell(int m, std::uint32_t nodes, std::uint32_t files,
+                         int b, double frac, std::uint64_t seed,
+                         std::size_t shards) {
+  proto::ShardedSwarm::Config sc;
+  sc.m = m;
+  sc.b = b;
+  sc.nodes = nodes;
+  sc.seed = seed;
+  sc.shards = shards;
+  sc.net.drop_probability = 0.0;
+  proto::ShardedSwarm sw(sc);
+  util::Rng rng(static_cast<std::uint64_t>(seed) * 77 +
+                static_cast<std::uint64_t>(b));
+  std::vector<core::FileId> ids;
+  for (std::uint32_t i = 0; i < files; ++i) {
+    const std::uint64_t key =
+        std::uint64_t{0xAB1000} * (seed + 1) + i;
+    const core::Pid issuer{
+        static_cast<std::uint32_t>(rng.bounded(nodes))};
+    ids.push_back(sw.insert_named(key, issuer));
+  }
+  sw.settle();
+
+  const auto live_holders = [&sw](core::FileId f) {
+    std::uint32_t count = 0;
+    const util::StatusWord& truth = sw.status();
+    for (std::uint32_t p = 0; p < truth.capacity(); ++p) {
+      if (truth.is_live(p) && sw.peer(core::Pid{p}).store().has(f)) {
+        ++count;
+      }
+    }
+    return count;
+  };
+
+  StormCell cell;
+  for (const core::FileId f : ids) {
+    cell.copies += static_cast<double>(live_holders(f));
+  }
+
+  const auto to_crash =
+      static_cast<std::uint32_t>(frac * static_cast<double>(nodes));
+  std::uint32_t crashed = 0;
+  while (crashed < to_crash) {
+    const auto p = static_cast<std::uint32_t>(
+        rng.bounded(sw.status().capacity()));
+    if (!sw.status().is_live(p)) continue;
+    sw.crash(core::Pid{p});
+    sw.settle();  // recovery between crashes, as the protocol specifies
+    ++crashed;
+  }
+  for (const core::FileId f : ids) {
+    if (live_holders(f) == 0) cell.lost += 1.0;
+  }
+  return cell;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace lesslog;
@@ -23,10 +100,15 @@ int main(int argc, char** argv) {
   const std::uint32_t files = args.quick ? 32 : 128;
   const std::vector<double> crash_fractions{0.1, 0.3, 0.5, 0.7};
 
+  const auto shards = static_cast<std::size_t>(args.shards);
   std::cout << "== Ablation A3: fault-tolerance degree sweep ==\n"
             << "m=" << m << ", nodes=" << nodes << ", files=" << files
             << ", crash storms of 10..70% of nodes, recovery between "
-               "crashes (Section 5.3)\n\n";
+               "crashes (Section 5.3)";
+  if (shards > 1) {
+    std::cout << "; message-level ShardedSwarm, S=" << shards;
+  }
+  std::cout << "\n\n";
 
   sim::FigureData lost_fig("A3 files lost after crash storm",
                            "crash fraction", crash_fractions);
@@ -41,6 +123,14 @@ int main(int argc, char** argv) {
       double lost_total = 0.0;
       double copies_total = 0.0;
       for (int seed = 1; seed <= args.seeds; ++seed) {
+        if (shards > 1) {
+          const StormCell cell =
+              run_swarm_cell(m, nodes, files, b, frac,
+                             static_cast<std::uint64_t>(seed), shards);
+          lost_total += cell.lost;
+          copies_total += cell.copies;
+          continue;
+        }
         core::System sys(
             {.m = m, .b = b, .seed = static_cast<std::uint64_t>(seed)});
         sys.bootstrap(nodes);

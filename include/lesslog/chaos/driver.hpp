@@ -14,6 +14,13 @@
 // derives from ChaosConfig alone, so Driver(cfg).run() is bit-identical
 // across runs and machines. The returned Report carries the executed
 // schedule for the replay artifact.
+//
+// cfg.shards > 1 runs the same schedule shape against a ShardedSwarm
+// (run_sharded): membership ops and GET arrivals are pre-materialized
+// into a top-level timeline, applied between run_until() barriers, so no
+// control-plane mutation ever executes on a shard worker. Per-epoch
+// plans are installed on every shard's network; workload completions are
+// tallied in per-shard cells (each written only by its shard's worker).
 #pragma once
 
 #include <cstdint>
@@ -22,6 +29,7 @@
 
 #include "lesslog/chaos/audit.hpp"
 #include "lesslog/chaos/schedule.hpp"
+#include "lesslog/proto/sharded_swarm.hpp"
 #include "lesslog/proto/swarm.hpp"
 
 namespace lesslog::chaos {
@@ -49,18 +57,46 @@ class Driver {
   /// Runs the whole schedule; callable once.
   Report run();
 
+  /// The serial swarm under test (cfg.shards == 1 only).
   [[nodiscard]] proto::Swarm& swarm() noexcept { return *swarm_; }
+  /// The sharded swarm under test; null when cfg.shards == 1.
+  [[nodiscard]] proto::ShardedSwarm* sharded() noexcept {
+    return sharded_.get();
+  }
 
  private:
+  // -- serial path (cfg.shards == 1; byte-identical to the pre-sharding
+  // driver, which the replay gates pin) ---------------------------------
+  Report run_serial();
   void insert_catalog();
   void schedule_epoch_ops(int epoch, double now);
   void schedule_workload(double now);
   void issue_get();
   [[nodiscard]] std::uint32_t random_live_pid();
 
+  // -- sharded path (cfg.shards > 1) ------------------------------------
+  Report run_sharded();
+  [[nodiscard]] std::uint32_t sharded_random_live_pid();
+  [[nodiscard]] double sharded_now() const;  ///< max over shard clocks
+  void sharded_issue_get();
+  [[nodiscard]] std::int64_t sharded_completed() const;
+  [[nodiscard]] std::int64_t sharded_faults() const;
+  void bank_sharded_injected();
+  [[nodiscard]] proto::FaultStats sharded_injected() const;
+
+  /// Workload completion tallies for the sharded run: cell s is written
+  /// only by shard s's worker (a GET's callback fires on the issuing
+  /// client's home shard), summed between settles.
+  struct ShardTally {
+    std::int64_t completed = 0;
+    std::int64_t faults = 0;
+  };
+
   ChaosConfig cfg_;
   util::Rng rng_;  ///< the chaos stream (schedule, op targets, workload)
   std::unique_ptr<proto::Swarm> swarm_;
+  std::unique_ptr<proto::ShardedSwarm> sharded_;
+  std::vector<ShardTally> tally_;
   std::vector<std::uint64_t> keys_;
   ChaosRecord record_;
   proto::FaultStats prior_injected_;  ///< plans superseded by a reinstall

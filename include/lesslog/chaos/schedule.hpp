@@ -31,6 +31,14 @@ struct ChaosConfig {
   double fault_intensity = 0.5;  ///< scales every fault probability, [0, 1]
   int files = 48;                ///< ψ-named catalog size
   double get_rate = 20.0;        ///< Poisson GETs/sec during an epoch
+  /// Engine shards for the swarm under test. 1 = the serial proto::Swarm
+  /// (the original driver, byte-identical to before this knob existed);
+  /// > 1 = proto::ShardedSwarm with a pre-materialized top-level op
+  /// timeline (see Driver::run_sharded). Each shard count is its own
+  /// determinism domain: runs replay bit-identically at the same S, but
+  /// S = 2 and the serial driver draw the chaos stream in different
+  /// orders.
+  std::size_t shards = 1;
 
   // Fault-class toggles (the intensity sweep flips these off to isolate
   // classes).

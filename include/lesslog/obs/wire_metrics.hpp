@@ -72,6 +72,15 @@ struct WireMetrics {
   // Repair traffic: kFilePush transmissions that re-create replicas after
   // membership changes (join reclaim, depart push, crash recovery).
   Counter* repair_pushes = nullptr;
+
+  // Shard-boundary accounting (appended last to preserve registration
+  // order): datagrams that left via the cross-shard forward hook vs.
+  // those the hook declined (destination on the sender's own shard).
+  // Both stay zero when no hook is installed (serial swarm, S = 1), so
+  // single-shard snapshots remain byte-identical to serial ones. The
+  // cross-shard message fraction is cross / (cross + intra).
+  Counter* cross_shard_msgs = nullptr;
+  Counter* intra_shard_msgs = nullptr;
 };
 
 }  // namespace lesslog::obs

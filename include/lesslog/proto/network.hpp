@@ -30,16 +30,34 @@ struct NetworkConfig {
   void validate() const;
 };
 
-/// Optional geographic model: nodes get uniform coordinates in the unit
-/// square and the one-way latency of a link becomes
+/// Optional geographic model: nodes get coordinates in the unit square
+/// and the one-way latency of a link becomes
 /// base_latency + euclidean_distance * latency_per_unit (+ jitter).
 /// LessLog's routing is proximity-oblivious, so this model is what the
 /// stretch ablation measures against.
+///
+/// With clusters == 0 (the default) every slot draws an independent
+/// uniform position — the original model, bit-identical draws. With
+/// clusters == k > 0 the ID space splits into k PID-contiguous blocks;
+/// block i's nodes land in a square blob of half-width cluster_radius
+/// around center i, and the k centers sit evenly spaced on a circle of
+/// radius 0.35 about (0.5, 0.5) — deterministically separated, so a
+/// range-sharded swarm whose shards align with the blocks gets a
+/// strictly positive pairwise distance floor (the adaptive lookahead's
+/// fuel).
 struct Geography {
   std::uint32_t slots = 0;          ///< ID-space size (coordinate count)
   std::uint64_t seed = 1;           ///< placement seed
   double latency_per_unit = 0.060;  ///< seconds across one unit of distance
+  std::uint32_t clusters = 0;       ///< 0 = uniform; k = PID-block blobs
+  double cluster_radius = 0.05;     ///< blob half-width (clusters > 0)
 };
+
+/// The coordinate table a Network with this Geography uses — exposed so
+/// the sharded swarm can derive pairwise latency floors from the same
+/// placement without building a Network first (single source of truth).
+[[nodiscard]] std::vector<std::pair<double, double>> make_coordinates(
+    const Geography& geo);
 
 class Network {
  public:

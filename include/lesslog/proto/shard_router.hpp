@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "lesslog/proto/message.hpp"
+#include "lesslog/proto/shard_map.hpp"
 
 namespace lesslog::proto {
 
@@ -26,13 +27,14 @@ class Network;
 
 class ShardRouter {
  public:
-  /// `pids_per_shard` is the PID-range partition block: PID p lives on
-  /// shard p / pids_per_shard.
-  ShardRouter(std::size_t shards, std::uint32_t pids_per_shard);
+  /// `map` is the PID -> shard policy (see shard_map.hpp); its shard
+  /// count fixes the mailbox grid.
+  explicit ShardRouter(const ShardMap& map);
 
   [[nodiscard]] std::size_t shards() const noexcept { return shards_; }
+  [[nodiscard]] const ShardMap& map() const noexcept { return map_; }
   [[nodiscard]] std::size_t shard_of(core::Pid p) const noexcept {
-    return p.value() / block_;
+    return map_.shard_of(p);
   }
 
   /// Mailboxes a wire image for delivery at absolute time `deliver_at`.
@@ -56,7 +58,7 @@ class ShardRouter {
   };
 
   std::size_t shards_;
-  std::uint32_t block_;
+  ShardMap map_;
   std::vector<Box> box_;  ///< box_[from * shards_ + to]
 };
 

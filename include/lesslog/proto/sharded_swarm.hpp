@@ -1,35 +1,54 @@
 // ShardedSwarm — the Swarm's deployment model on a sharded engine.
 //
-// Peers are partitioned across S shards by PID range (PID p lives on
-// shard p / block). Each shard owns a full vertical slice: its own
-// sim::Engine (independent RNG stream), Network, obs::Registry with the
-// standard WireMetrics catalog, and MetricsSink. Intra-shard traffic
-// takes the exact serial Network path; a datagram whose destination
-// lives on another shard is intercepted by the network's forward hook
-// *after* the sender's latency/fault pipeline ran, mailboxed in the
-// ShardRouter, and scheduled into the destination shard's queue at the
-// next window barrier (see sim::ShardedEngine for why the conservative
-// window makes that timestamp still in the destination's future).
+// Peers are partitioned across S shards by a ShardMap policy (contiguous
+// PID ranges, or the XOR-subtree locality map — see shard_map.hpp). Each
+// shard owns a full vertical slice: its own sim::Engine (independent RNG
+// stream), Network, obs::Registry with the standard WireMetrics catalog,
+// and MetricsSink. Intra-shard traffic takes the exact serial Network
+// path; a datagram whose destination lives on another shard is
+// intercepted by the network's forward hook *after* the sender's
+// latency/fault pipeline ran, mailboxed in the ShardRouter, and
+// scheduled into the destination shard's queue at the next window
+// barrier (see sim::ShardedEngine for why the conservative window makes
+// that timestamp still in the destination's future).
+//
+// The cross-shard lookahead is adaptive and per-shard-pair: the
+// constructor computes L(i, j) = base_latency + latency_per_unit * a
+// conservative lower bound on the distance between shard i's and shard
+// j's coordinate regions (a coarse occupancy grid over the geographic
+// placement; just base_latency without geography) and installs the
+// matrix into the engine. A clustered geography with range sharding
+// therefore runs wider windows than the global base-latency bound; it
+// also makes base_latency == 0 schedulable when geography alone keeps
+// every pairwise floor positive (the constructor rejects only the
+// genuinely-unschedulable zero-floor case).
 //
 // Determinism: shard execution is sequential within a window, barriers
 // are full synchronizations, and mailboxes drain in fixed order — so a
-// run is a pure function of (seed, S). With S = 1 no hook is installed
-// and construction mirrors proto::Swarm field for field, so results are
-// byte-identical to the serial swarm.
+// run is a pure function of (seed, S, map). With S = 1 no hook is
+// installed and construction mirrors proto::Swarm field for field, so
+// results are byte-identical to the serial swarm.
 //
-// The sharded swarm carries the Swarm's data-plane and membership API
-// (insert / get / update / join / depart / crash / restart). The
-// closed-loop controller, sampler, and replicate() helper remain
-// serial-swarm-only features.
+// Feature parity: the sharded swarm carries the Swarm's data-plane and
+// membership API (insert / get / update / join / depart / crash /
+// restart) plus the serial swarm's replicate() helper, the closed-loop
+// auto-replication controller (per-shard ticks over shard-local peers),
+// and metrics sampling (one obs::Sampler per shard; series and
+// snapshots merge index-for-index across the shards' identically-shaped
+// registries).
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <vector>
 
+#include "lesslog/core/replication.hpp"
+#include "lesslog/obs/sampler.hpp"
 #include "lesslog/obs/sink.hpp"
 #include "lesslog/proto/client.hpp"
 #include "lesslog/proto/network.hpp"
 #include "lesslog/proto/peer.hpp"
+#include "lesslog/proto/shard_map.hpp"
 #include "lesslog/proto/shard_router.hpp"
 #include "lesslog/sim/sharded_engine.hpp"
 
@@ -43,12 +62,20 @@ class ShardedSwarm {
     std::uint32_t nodes = 0;  ///< live PIDs [0, nodes)
     std::uint64_t seed = 1;
     std::size_t shards = 1;
+    ShardMap::Kind shard_map = ShardMap::Kind::kRange;
     NetworkConfig net;
     ClientConfig client;
+    /// Geographic latency model applied to every shard's network (slots
+    /// defaulted to 2^m when 0). Also feeds the pairwise lookahead
+    /// floors.
+    std::optional<Geography> geo;
   };
 
-  /// Throws std::invalid_argument when shards exceeds the ID space or
-  /// when shards > 1 with a zero base latency (no conservative lookahead).
+  /// Throws std::invalid_argument when shards exceeds the ID space, or
+  /// when shards > 1 and the pairwise cross-shard latency floor is not
+  /// strictly positive for every pair (base_latency == 0 with no
+  /// geographic separation between shard regions) — the adaptive
+  /// lookahead has no conservative window to schedule then.
   explicit ShardedSwarm(Config cfg);
 
   // The forward/drain hooks capture `this`; the object is pinned.
@@ -61,6 +88,14 @@ class ShardedSwarm {
   [[nodiscard]] double lookahead() const noexcept {
     return engines_.lookahead();
   }
+  /// The installed cross-shard latency lower bound from shard i to j.
+  [[nodiscard]] double pair_lookahead(std::size_t i,
+                                      std::size_t j) const noexcept {
+    return engines_.pair_lookahead(i, j);
+  }
+  [[nodiscard]] const ShardMap& map() const noexcept {
+    return router_.map();
+  }
   [[nodiscard]] std::size_t shard_of(core::Pid p) const noexcept {
     return router_.shard_of(p);
   }
@@ -69,6 +104,9 @@ class ShardedSwarm {
   }
   [[nodiscard]] Network& network(std::size_t s) noexcept {
     return shards_[s]->network;
+  }
+  [[nodiscard]] const obs::WireMetrics& metrics(std::size_t s) const {
+    return shards_[s]->metrics;
   }
   [[nodiscard]] Peer& peer(core::Pid p) { return *peers_[p.value()]; }
   [[nodiscard]] Client& client(core::Pid p) { return *clients_[p.value()]; }
@@ -83,6 +121,13 @@ class ShardedSwarm {
   /// between settles never schedule into another shard's past.
   std::int64_t settle();
 
+  /// Runs every event strictly before simulated time `t`, then aligns
+  /// every shard's clock at exactly `t` (sim::ShardedEngine::
+  /// run_until_windows). This is the sharded chaos driver's seam: it
+  /// applies membership ops and workload arrivals at deterministic
+  /// top-level points between segments.
+  std::int64_t run_until(double t);
+
   // -- Data plane (same semantics as proto::Swarm) -----------------------
 
   void insert(core::FileId file, core::Pid r, core::Pid issuer);
@@ -91,6 +136,15 @@ class ShardedSwarm {
            Client::GetCallback done = nullptr);
   void update(core::FileId file, core::Pid r, std::uint64_t version,
               core::Pid issuer);
+
+  /// Issues REPLICATEFILE at overloaded holder `overloaded` (same
+  /// semantics as proto::Swarm::replicate): the placement is computed
+  /// from the holder's own status word, drawing randomness from the
+  /// holder's *shard* engine, and kCreateReplica rides the holder's
+  /// shard network. Call between settles (top level).
+  std::optional<core::Pid> replicate(core::FileId file, core::Pid r,
+                                     core::Pid overloaded,
+                                     const core::HoldsCopyFn& holds);
 
   // -- Membership (same semantics as proto::Swarm) -----------------------
 
@@ -101,6 +155,23 @@ class ShardedSwarm {
   void reannounce();
   /// TEST-ONLY: vanish without a failure announcement (see Swarm).
   void crash_silent(core::Pid p);
+
+  // -- Closed-loop replication (same semantics as proto::Swarm) ----------
+
+  /// The serial swarm's autonomous overload controller, sharded: every
+  /// `window` seconds each shard's engine runs one tick over the peers
+  /// that live on that shard (shard-local counters, stores, and RNG — no
+  /// cross-shard reads during windows, so the parallel run stays
+  /// race-free and deterministic). With S = 1 the single tick scans all
+  /// peers in PID order, matching the serial controller event for event.
+  void enable_auto_replication(double capacity, double window,
+                               double stop_at,
+                               double removal_threshold = 0.0);
+
+  /// Replicas created / removed by the closed loop so far (summed over
+  /// shards; read at quiescence).
+  [[nodiscard]] std::int64_t auto_replicas() const noexcept;
+  [[nodiscard]] std::int64_t auto_removals() const noexcept;
 
   // -- Aggregates --------------------------------------------------------
 
@@ -118,10 +189,32 @@ class ShardedSwarm {
   [[nodiscard]] std::int64_t dropped() const noexcept;
   [[nodiscard]] std::int64_t corrupted() const noexcept;
 
+  /// Fraction of forward-hook-inspected datagrams that crossed a shard
+  /// boundary: cross / (cross + intra) over the per-shard WireMetrics
+  /// counters. 0.0 for S = 1 (no hook) and under LESSLOG_NO_METRICS.
+  [[nodiscard]] double cross_shard_fraction() const noexcept;
+
   /// Swarm-wide metric snapshot: the S per-shard registries share one
   /// registration catalog, so their snapshots merge index-for-index
   /// (obs::Snapshot::merge_from).
   [[nodiscard]] obs::Snapshot metrics_snapshot(double time = 0.0) const;
+
+  // -- Observability (same semantics as proto::Swarm) --------------------
+
+  /// Samples every shard's registry each `interval` simulated seconds
+  /// until `stop_at` (one obs::Sampler per shard engine, ticking at the
+  /// same simulated times). Derived gauges are refreshed shard-locally:
+  /// queue_depth is the shard's own queue (merged: fleet total),
+  /// live_peers is set by shard 0 from ground truth, and max_served is
+  /// the shard's own hottest peer (merged: sum of per-shard maxima — an
+  /// upper bound on the global max for S > 1, exact for S = 1).
+  void enable_metrics_sampling(double interval, double stop_at);
+
+  /// The swarm-wide sampled series: sample k of every shard merged
+  /// index-for-index (rebuilt on call; read at quiescence). Empty until
+  /// enable_metrics_sampling ran. With S = 1 this is byte-identical to
+  /// the serial swarm's series.
+  [[nodiscard]] const obs::TimeSeries& metrics_series();
 
  private:
   /// One shard's vertical slice. Registration order inside `registry`
@@ -135,11 +228,26 @@ class ShardedSwarm {
         : network(engine, net), metrics(registry), sink(metrics) {}
   };
 
+  /// Everything the constructor derives before engines exist: the map,
+  /// the normalized geography, and the pairwise lookahead matrix (whose
+  /// minimum seeds the engine; computing it throws the precise
+  /// unschedulable-config rejection).
+  struct Plan {
+    ShardMap map;
+    std::optional<Geography> geo;
+    std::vector<double> pair;  ///< S x S row-major L(i, j)
+    double floor = 0.0;        ///< min off-diagonal entry
+  };
+  [[nodiscard]] static Plan make_plan(const Config& cfg);
+  ShardedSwarm(Config cfg, Plan plan);
+
   [[nodiscard]] Shard& home(core::Pid p) {
     return *shards_[router_.shard_of(p)];
   }
   void make_peer(core::Pid p, util::CowStatus view);
   void broadcast_status(core::Pid about, bool live);
+  void auto_replication_tick(std::size_t s, double capacity, double window,
+                             double stop_at, double removal_threshold);
 
   Config cfg_;
   util::StatusWord status_;
@@ -148,6 +256,12 @@ class ShardedSwarm {
   std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<std::unique_ptr<Peer>> peers_;
   std::vector<std::unique_ptr<Client>> clients_;
+  /// Per-shard controller tallies: cell s is written only by shard s's
+  /// worker (inside its tick), summed at quiescence.
+  std::vector<std::int64_t> auto_replicas_by_shard_;
+  std::vector<std::int64_t> auto_removals_by_shard_;
+  std::vector<std::unique_ptr<obs::Sampler>> samplers_;
+  obs::TimeSeries merged_series_;  ///< metrics_series() scratch
 };
 
 }  // namespace lesslog::proto

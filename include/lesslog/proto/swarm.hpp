@@ -115,6 +115,28 @@ class Swarm {
   [[nodiscard]] std::int64_t total_faults() const;
   [[nodiscard]] std::vector<double> all_latencies() const;
 
+  /// Network counter aggregates, named identically on ShardedSwarm (which
+  /// sums them over shards) — the shared surface that lets the chaos
+  /// auditor and benches drive either deployment through one template.
+  [[nodiscard]] std::int64_t messages_sent() const noexcept {
+    return network_.messages_sent();
+  }
+  [[nodiscard]] std::int64_t bytes_sent() const noexcept {
+    return network_.bytes_sent();
+  }
+  [[nodiscard]] std::int64_t delivered() const noexcept {
+    return network_.delivered();
+  }
+  [[nodiscard]] std::int64_t undeliverable() const noexcept {
+    return network_.undeliverable();
+  }
+  [[nodiscard]] std::int64_t dropped() const noexcept {
+    return network_.dropped();
+  }
+  [[nodiscard]] std::int64_t corrupted() const noexcept {
+    return network_.corrupted();
+  }
+
   /// Closed-loop overload control: every `window` seconds each live peer
   /// inspects its own served counters (local knowledge only — no logs
   /// leave the node); if it served more than capacity*window requests it

@@ -4,17 +4,27 @@
 // The model is classic conservative parallel discrete-event simulation
 // (CMB-style with a global window): the simulated system is partitioned
 // into S shards, each owning its own EventQueue and RNG stream, and the
-// only cross-shard interaction is a message whose delivery latency has a
-// known positive lower bound L (the lookahead). Then every event in
-// [T, T + L) — where T is the global minimum next-event time — can be
-// executed without synchronization: a message sent by another shard at
-// time t >= T arrives no earlier than t + L >= T + L, i.e. at or after
-// the window edge. The loop is
+// only cross-shard interaction is a message whose delivery latency from
+// shard i to shard j has a known positive lower bound L(i, j) (the
+// per-pair lookahead). Let T_i be shard i's next-event time and
+// rowmin_i = min over j != i of L(i, j). Every event strictly before
+//
+//   B = min over *populated* shards i (T_i finite) of T_i + rowmin_i
+//
+// can be executed without synchronization: shard i executes nothing
+// before T_i, so any message it sends departs at t >= T_i and arrives at
+// t + L(i, j) >= T_i + rowmin_i >= B — at or after the window edge. A
+// shard with an empty queue executes nothing and therefore sends
+// nothing, which is why it does not constrain the bound. With a uniform
+// matrix L(i, j) = L this reduces exactly to the classic global bound
+// T + L (min_i(T_i + L) = T + L), so the adaptive window is a strict
+// generalization with an identical event schedule on uniform configs.
+// The loop is
 //
 //   repeat:
 //     barrier: drain every shard's inbound mailboxes into its queue
-//     T = min over shards of next-event time   (done: no event anywhere)
-//     parallel: each shard runs run_before(T + L)
+//     B = adaptive bound above            (done: no event anywhere)
+//     parallel: each shard runs run_before(B)
 //
 // Determinism: each shard's window execution is sequential and seeded,
 // the barrier is a full synchronization, and the drain hook is required
@@ -47,9 +57,12 @@ class ShardedEngine {
   /// addressed to `s`.
   using DrainFn = std::function<void(std::size_t)>;
 
-  /// `lookahead` is the cross-shard latency lower bound; it must be
-  /// strictly positive when shards > 1 (throws std::invalid_argument
-  /// otherwise — a zero-latency link admits no conservative window).
+  /// `lookahead` is the uniform cross-shard latency lower bound; it must
+  /// be strictly positive when shards > 1 (throws std::invalid_argument
+  /// naming the pairwise-floor requirement otherwise — a zero-latency
+  /// cross-shard link admits no conservative window). A topology with
+  /// wider pairwise bounds can raise them afterwards via
+  /// set_pair_lookahead().
   ShardedEngine(std::size_t shards, std::uint64_t seed, double lookahead);
 
   [[nodiscard]] std::size_t shards() const noexcept {
@@ -59,7 +72,22 @@ class ShardedEngine {
   [[nodiscard]] const Engine& shard(std::size_t s) const noexcept {
     return *engines_[s];
   }
+  /// The global lookahead floor: the minimum off-diagonal entry of the
+  /// pair matrix (the scalar bound itself until set_pair_lookahead ran).
   [[nodiscard]] double lookahead() const noexcept { return lookahead_; }
+
+  /// The installed cross-shard latency lower bound from shard i to j.
+  [[nodiscard]] double pair_lookahead(std::size_t i,
+                                      std::size_t j) const noexcept {
+    return pair_[i * engines_.size() + j];
+  }
+
+  /// Installs the per-shard-pair latency lower bounds (S x S, row-major;
+  /// the diagonal is ignored). Every off-diagonal entry must be strictly
+  /// positive when S > 1 (throws std::invalid_argument otherwise). Call
+  /// before any events run; the window bound becomes the adaptive
+  /// per-pair form described above.
+  void set_pair_lookahead(const std::vector<double>& matrix);
 
   void set_drain(DrainFn fn) { drain_ = std::move(fn); }
 
@@ -70,6 +98,17 @@ class ShardedEngine {
   /// total number of events executed.
   std::int64_t run_all_windows();
 
+  /// Windowed-parallel analogue of Engine::run_before(t): executes every
+  /// event strictly before `t` (windows are clipped at `t`), then
+  /// advances every shard's clock to exactly `t`. On return all clocks
+  /// agree at `t` and no event before `t` remains in any queue; events
+  /// at or after `t` (including mailboxed cross-shard arrivals, which
+  /// the window safety argument places at or after the last bound) stay
+  /// pending. This is what lets a driver interleave top-level control
+  /// actions at deterministic times with sharded execution. Returns
+  /// events executed.
+  std::int64_t run_until_windows(double t);
+
   /// Shard s's engine seed. A single-shard group keeps the group seed
   /// itself, so S = 1 reproduces the serial engine bit for bit; larger
   /// groups give every shard an independent SplitMix64-derived stream.
@@ -78,10 +117,16 @@ class ShardedEngine {
                                                 std::size_t shards) noexcept;
 
  private:
+  /// The adaptive window bound B (infinity at quiescence). Call only at
+  /// a barrier, after the drain.
+  [[nodiscard]] double window_bound() const noexcept;
+
   std::vector<std::unique_ptr<Engine>> engines_;
   std::unique_ptr<util::ThreadPool> pool_;  ///< null when shards == 1
   DrainFn drain_;
-  double lookahead_;
+  double lookahead_;            ///< min off-diagonal pair bound
+  std::vector<double> pair_;    ///< S x S row-major pair bounds
+  std::vector<double> rowmin_;  ///< min over j != i of pair_[i][j]
 };
 
 }  // namespace lesslog::sim

@@ -1,5 +1,6 @@
 #include "lesslog/chaos/audit.hpp"
 
+#include "lesslog/proto/sharded_swarm.hpp"
 #include "lesslog/util/bits.hpp"
 #include "lesslog/util/hashing.hpp"
 
@@ -14,7 +15,8 @@ void violate(std::vector<Violation>& out, int epoch, const char* check,
 
 }  // namespace
 
-bool Audit::live_copy_exists(proto::Swarm& swarm, core::FileId f) {
+template <typename AnySwarm>
+bool Audit::live_copy_exists(AnySwarm& swarm, core::FileId f) {
   const util::StatusWord& truth = swarm.status();
   for (std::uint32_t p = 0; p < truth.capacity(); ++p) {
     if (truth.is_live(p) && swarm.peer(core::Pid{p}).store().has(f)) {
@@ -24,17 +26,19 @@ bool Audit::live_copy_exists(proto::Swarm& swarm, core::FileId f) {
   return false;
 }
 
-void Audit::check(proto::Swarm& swarm,
+template <typename AnySwarm>
+void Audit::check(AnySwarm& swarm,
                   const std::vector<std::uint64_t>& keys,
                   const proto::FaultStats& injected, std::int64_t issued,
                   std::int64_t completed, int epoch,
                   std::vector<Violation>& out) {
-  const proto::Network& net = swarm.network();
-
-  // 1. Counter reconciliation at quiescence.
-  const std::int64_t in = net.messages_sent() + injected.duplicated;
-  const std::int64_t terminal = net.delivered() + net.dropped() +
-                                net.undeliverable() + net.corrupted() +
+  // 1. Counter reconciliation at quiescence (aggregate accessors: one
+  // network's counters, or the sum over shards — cross-shard datagrams
+  // are counted once on each side of the boundary, so the identity holds
+  // for any shard count).
+  const std::int64_t in = swarm.messages_sent() + injected.duplicated;
+  const std::int64_t terminal = swarm.delivered() + swarm.dropped() +
+                                swarm.undeliverable() + swarm.corrupted() +
                                 injected.burst_dropped +
                                 injected.partition_dropped;
   if (in != terminal) {
@@ -46,10 +50,10 @@ void Audit::check(proto::Swarm& swarm,
   }
 
   // 2. Corruption accounting: corrupted at send == rejected at decode.
-  if (injected.corrupted != net.corrupted()) {
+  if (injected.corrupted != swarm.corrupted()) {
     violate(out, epoch, "corruption_accounting",
             "injected=" + std::to_string(injected.corrupted) +
-                " decode_rejected=" + std::to_string(net.corrupted()));
+                " decode_rejected=" + std::to_string(swarm.corrupted()));
   }
 
   // 3. Workload termination.
@@ -114,5 +118,18 @@ void Audit::check(proto::Swarm& swarm,
     }
   }
 }
+
+template bool Audit::live_copy_exists<proto::Swarm>(proto::Swarm&,
+                                                    core::FileId);
+template bool Audit::live_copy_exists<proto::ShardedSwarm>(
+    proto::ShardedSwarm&, core::FileId);
+template void Audit::check<proto::Swarm>(
+    proto::Swarm&, const std::vector<std::uint64_t>&,
+    const proto::FaultStats&, std::int64_t, std::int64_t, int,
+    std::vector<Violation>&);
+template void Audit::check<proto::ShardedSwarm>(
+    proto::ShardedSwarm&, const std::vector<std::uint64_t>&,
+    const proto::FaultStats&, std::int64_t, std::int64_t, int,
+    std::vector<Violation>&);
 
 }  // namespace lesslog::chaos

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <queue>
 
 #include "lesslog/util/bits.hpp"
 
@@ -10,6 +11,21 @@ namespace lesslog::chaos {
 Driver::Driver(ChaosConfig cfg)
     : cfg_(cfg), rng_(cfg.seed ^ 0xC0A0'51ABULL) {
   cfg_.validate();
+  if (cfg_.shards > 1) {
+    proto::ShardedSwarm::Config sc;
+    sc.m = cfg_.m;
+    sc.b = cfg_.b;
+    sc.nodes = cfg_.nodes;
+    sc.seed = cfg_.seed;
+    sc.shards = cfg_.shards;
+    // Ambient loss stays off for the same reason as the serial path;
+    // the default base_latency keeps every pairwise lookahead floor
+    // positive, so the windowed-parallel schedule always exists.
+    sc.net.drop_probability = 0.0;
+    sharded_ = std::make_unique<proto::ShardedSwarm>(sc);
+    tally_.resize(cfg_.shards);
+    return;
+  }
   proto::Swarm::Config sc;
   sc.m = cfg_.m;
   sc.b = cfg_.b;
@@ -22,6 +38,20 @@ Driver::Driver(ChaosConfig cfg)
 }
 
 Driver::~Driver() = default;
+
+Report Driver::run() {
+  assert(!ran_ && "a Driver runs its schedule once");
+  ran_ = true;
+  // Keep enough peers alive that every fault-tolerance subtree can stay
+  // populated (and the swarm never empties out under a hostile draw).
+  min_live_ = std::max<std::uint32_t>(4u, (1u << cfg_.b) + 1u);
+  return cfg_.shards > 1 ? run_sharded() : run_serial();
+}
+
+// ---------------------------------------------------------------------------
+// Serial path. This is the original driver body, untouched: the replay
+// gates pin its byte-for-byte output at shards == 1.
+// ---------------------------------------------------------------------------
 
 std::uint32_t Driver::random_live_pid() {
   const std::vector<std::uint32_t> live = swarm_->status().live_pids();
@@ -104,13 +134,7 @@ void Driver::schedule_epoch_ops(int /*epoch*/, double now) {
   }
 }
 
-Report Driver::run() {
-  assert(!ran_ && "a Driver runs its schedule once");
-  ran_ = true;
-  // Keep enough peers alive that every fault-tolerance subtree can stay
-  // populated (and the swarm never empties out under a hostile draw).
-  min_live_ = std::max<std::uint32_t>(4u, (1u << cfg_.b) + 1u);
-
+Report Driver::run_serial() {
   Report report;
   report.config = cfg_;
   insert_catalog();
@@ -174,6 +198,265 @@ Report Driver::run() {
       swarm_->metrics().repair_pushes->value());
 #endif
   report.sim_time = swarm_->engine().now();
+  return report;
+}
+
+// ---------------------------------------------------------------------------
+// Sharded path. Same schedule SHAPE, different determinism domain: every
+// chaos-stream draw happens at the top level (never inside a shard
+// worker), and the swarm advances between draws through run_until()
+// barriers. Membership ops and GET arrivals are pre-materialized into a
+// (time, seq)-ordered timeline per epoch; a crash's restart is pushed
+// into the same timeline when the crash fires, so it survives epoch
+// boundaries just like the serial engine.at() chain does.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// One top-level action in the sharded run. Kinds other than kRestart
+/// resolve their target PID at apply time (mirroring the serial driver's
+/// fire-time resolution); a restart remembers its crash's victim.
+struct TimelineItem {
+  double t = 0.0;
+  std::uint64_t seq = 0;  ///< push order: total tie-break at equal t
+  enum class Kind : std::uint8_t {
+    kCrash,
+    kDepart,
+    kJoin,
+    kRestart,
+    kGet
+  } kind = Kind::kGet;
+  std::uint32_t pid = 0;  ///< kRestart only
+};
+
+struct TimelineLater {
+  bool operator()(const TimelineItem& a, const TimelineItem& b) const {
+    if (a.t != b.t) return a.t > b.t;
+    return a.seq > b.seq;
+  }
+};
+
+using Timeline = std::priority_queue<TimelineItem, std::vector<TimelineItem>,
+                                     TimelineLater>;
+
+}  // namespace
+
+double Driver::sharded_now() const {
+  // Shard clocks agree after run_until(); settle() may leave them at
+  // different quiescence points, so the fleet's "now" is the max — any
+  // later top-level schedule point is in every shard's future.
+  double now = 0.0;
+  for (std::size_t s = 0; s < cfg_.shards; ++s) {
+    now = std::max(now, sharded_->engine(s).now());
+  }
+  return now;
+}
+
+std::uint32_t Driver::sharded_random_live_pid() {
+  const std::vector<std::uint32_t> live = sharded_->status().live_pids();
+  assert(!live.empty());
+  return live[rng_.bounded(live.size())];
+}
+
+void Driver::sharded_issue_get() {
+  if (sharded_->status().live_count() == 0) return;
+  const core::Pid at{sharded_random_live_pid()};
+  const core::FileId f{keys_[rng_.bounded(keys_.size())]};
+  ++issued_;
+  // The callback fires on the issuing client's home shard, so cell
+  // `shard_of(at)` has exactly one writer during the window.
+  ShardTally* cell = &tally_[sharded_->shard_of(at)];
+  sharded_->get(f, sharded_->peer(at).target_of(f), at,
+                [cell](const proto::GetResult& res) {
+                  ++cell->completed;
+                  if (!res.ok) ++cell->faults;
+                });
+}
+
+std::int64_t Driver::sharded_completed() const {
+  std::int64_t sum = 0;
+  for (const ShardTally& cell : tally_) sum += cell.completed;
+  return sum;
+}
+
+std::int64_t Driver::sharded_faults() const {
+  std::int64_t sum = 0;
+  for (const ShardTally& cell : tally_) sum += cell.faults;
+  return sum;
+}
+
+void Driver::bank_sharded_injected() {
+  for (std::size_t s = 0; s < cfg_.shards; ++s) {
+    if (const proto::FaultInjector* old =
+            sharded_->network(s).fault_injector()) {
+      const proto::FaultStats& st = old->stats();
+      prior_injected_.burst_dropped += st.burst_dropped;
+      prior_injected_.partition_dropped += st.partition_dropped;
+      prior_injected_.duplicated += st.duplicated;
+      prior_injected_.corrupted += st.corrupted;
+      prior_injected_.delay_spikes += st.delay_spikes;
+    }
+  }
+}
+
+proto::FaultStats Driver::sharded_injected() const {
+  proto::FaultStats injected = prior_injected_;
+  for (std::size_t s = 0; s < cfg_.shards; ++s) {
+    if (const proto::FaultInjector* inj =
+            sharded_->network(s).fault_injector()) {
+      const proto::FaultStats& st = inj->stats();
+      injected.burst_dropped += st.burst_dropped;
+      injected.partition_dropped += st.partition_dropped;
+      injected.duplicated += st.duplicated;
+      injected.corrupted += st.corrupted;
+      injected.delay_spikes += st.delay_spikes;
+    }
+  }
+  return injected;
+}
+
+Report Driver::run_sharded() {
+  proto::ShardedSwarm& sw = *sharded_;
+  Report report;
+  report.config = cfg_;
+
+  for (int i = 0; i < cfg_.files; ++i) {
+    const std::uint64_t key =
+        (cfg_.seed << 20) + static_cast<std::uint64_t>(i) * 7919u + 1u;
+    keys_.push_back(key);
+    sw.insert_named(key, core::Pid{sharded_random_live_pid()});
+  }
+  sw.settle();
+
+  const double L = cfg_.epoch_length;
+  Timeline timeline;
+  std::uint64_t seq = 0;
+
+  for (int epoch = 0; epoch < cfg_.epochs; ++epoch) {
+    const double now = sharded_now();
+    const double epoch_end = now + L;
+    const proto::FaultPlan plan = make_epoch_plan(cfg_, rng_, epoch, now);
+    if (!plan.rules.empty()) {
+      // Every shard network runs the same plan: windows are wall-clock
+      // intervals and partition groups are PID sets, so each side of a
+      // cross-shard edge applies the same rule. Each shard's injector
+      // draws its own stream from the shared plan seed — banked and
+      // summed exactly like the serial single injector.
+      bank_sharded_injected();
+      for (std::size_t s = 0; s < cfg_.shards; ++s) {
+        sw.network(s).install_fault_plan(plan);
+      }
+      for (const proto::FaultRule& r : plan.rules) {
+        record_.rules.push_back(RuleRecord{epoch, r});
+      }
+    }
+
+    // Pre-materialize this epoch's membership ops (same draw order as
+    // the serial scheduler: t then pick, per op, whether enabled or not).
+    const int op_count = 1 + static_cast<int>(rng_.bounded(3));
+    for (int i = 0; i < op_count; ++i) {
+      const double t = now + (0.10 + 0.60 * rng_.uniform01()) * L;
+      const std::uint64_t pick = rng_.bounded(4);
+      if (pick <= 1 && cfg_.crashes) {
+        timeline.push({t, seq++, TimelineItem::Kind::kCrash, 0});
+      } else if (pick == 2 && cfg_.churn) {
+        timeline.push({t, seq++, TimelineItem::Kind::kDepart, 0});
+      } else if (pick == 3 && cfg_.churn) {
+        timeline.push({t, seq++, TimelineItem::Kind::kJoin, 0});
+      }
+    }
+    // Poisson GET arrivals, pre-drawn from the chaos stream (the serial
+    // driver uses the engine's rng here; the sharded domain has S engine
+    // streams, so arrivals come from the one top-level stream instead).
+    if (cfg_.get_rate > 0.0) {
+      double t = now + rng_.exponential(cfg_.get_rate);
+      while (t < epoch_end) {
+        timeline.push({t, seq++, TimelineItem::Kind::kGet, 0});
+        t += rng_.exponential(cfg_.get_rate);
+      }
+    }
+
+    // Apply the timeline. run_until(t) is the barrier seam: all shard
+    // clocks align at t, so a top-level mutation here never schedules
+    // into any shard's past. Items carried over from a previous epoch
+    // (late restarts) may predate this epoch's start; clamp forward —
+    // the run never moves backwards.
+    double aligned = now;
+    while (!timeline.empty() && timeline.top().t < epoch_end) {
+      const TimelineItem item = timeline.top();
+      timeline.pop();
+      const double at = std::max(item.t, aligned);
+      sw.run_until(at);
+      aligned = at;
+      switch (item.kind) {
+        case TimelineItem::Kind::kCrash: {
+          if (sw.status().live_count() <= min_live_) break;
+          const core::Pid victim{sharded_random_live_pid()};
+          if (cfg_.silent_crashes) {
+            sw.crash_silent(victim);
+            record_.ops.push_back(
+                OpRecord{at, OpKind::kSilentCrash, victim.value()});
+            break;  // broken mode: the node never comes back
+          }
+          sw.crash(victim);
+          record_.ops.push_back(OpRecord{at, OpKind::kCrash, victim.value()});
+          const double back = at + (0.20 + 0.30 * rng_.uniform01()) * L;
+          timeline.push(
+              {back, seq++, TimelineItem::Kind::kRestart, victim.value()});
+          break;
+        }
+        case TimelineItem::Kind::kRestart: {
+          if (sw.status().is_live(item.pid)) break;
+          sw.restart(core::Pid{item.pid});
+          record_.ops.push_back(OpRecord{at, OpKind::kRestart, item.pid});
+          break;
+        }
+        case TimelineItem::Kind::kDepart: {
+          if (sw.status().live_count() <= min_live_) break;
+          const core::Pid leaver{sharded_random_live_pid()};
+          sw.depart(leaver);
+          record_.ops.push_back(
+              OpRecord{at, OpKind::kDepart, leaver.value()});
+          break;
+        }
+        case TimelineItem::Kind::kJoin: {
+          if (sw.status().dead_count() == 0) break;
+          const core::Pid joined = sw.join();
+          record_.ops.push_back(OpRecord{at, OpKind::kJoin, joined.value()});
+          break;
+        }
+        case TimelineItem::Kind::kGet:
+          sharded_issue_get();
+          break;
+      }
+    }
+
+    sw.run_until(epoch_end);
+    sw.settle();
+    if (!cfg_.silent_crashes) {
+      sw.reannounce();
+      sw.settle();
+    }
+
+    completed_ = sharded_completed();
+    const proto::FaultStats injected = sharded_injected();
+    Audit::check(sw, keys_, injected, issued_, completed_, epoch,
+                 report.violations);
+    report.injected = injected;
+  }
+
+  report.record = record_;
+  report.workload_issued = issued_;
+  report.workload_completed = sharded_completed();
+  report.workload_faults = sharded_faults();
+  report.messages_sent = sw.messages_sent();
+#if LESSLOG_METRICS_ENABLED
+  for (std::size_t s = 0; s < cfg_.shards; ++s) {
+    report.repair_pushes += static_cast<std::int64_t>(
+        sw.metrics(s).repair_pushes->value());
+  }
+#endif
+  report.sim_time = sharded_now();
   return report;
 }
 

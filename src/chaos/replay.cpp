@@ -65,7 +65,7 @@ std::string artifact_to_json(const Report& report) {
      << ",\"epoch_length\":" << num(c.epoch_length)
      << ",\"fault_intensity\":" << num(c.fault_intensity)
      << ",\"files\":" << c.files << ",\"get_rate\":" << num(c.get_rate)
-     << ",\"bursts\":" << b(c.bursts)
+     << ",\"shards\":" << c.shards << ",\"bursts\":" << b(c.bursts)
      << ",\"partitions\":" << b(c.partitions)
      << ",\"corruption\":" << b(c.corruption)
      << ",\"duplicates\":" << b(c.duplicates)
@@ -156,6 +156,10 @@ ChaosConfig config_from_artifact(const std::string& json) {
   out.fault_intensity = require(cfg, "fault_intensity").number;
   out.files = static_cast<int>(require(cfg, "files").number);
   out.get_rate = require(cfg, "get_rate").number;
+  // Absent in pre-sharding artifacts; those replay on the serial swarm.
+  if (const util::minijson::Value* shards = cfg.find("shards")) {
+    out.shards = static_cast<std::size_t>(shards->number);
+  }
   out.bursts = require(cfg, "bursts").boolean;
   out.partitions = require(cfg, "partitions").boolean;
   out.corruption = require(cfg, "corruption").boolean;

@@ -35,6 +35,9 @@ void ChaosConfig::validate() const {
     throw std::invalid_argument(
         "ChaosConfig: get_rate must be non-negative");
   }
+  if (shards < 1 || shards > util::space_size(m)) {
+    throw std::invalid_argument("ChaosConfig: shards must be in [1, 2^m]");
+  }
 }
 
 const char* op_kind_name(OpKind k) noexcept {

@@ -37,6 +37,8 @@ WireMetrics::WireMetrics(Registry& registry) {
   injected_corruptions = &registry.counter("fault.corruptions");
   injected_delay_spikes = &registry.counter("fault.delay_spikes");
   repair_pushes = &registry.counter("peer.repair_pushes");
+  cross_shard_msgs = &registry.counter("net.cross_shard_msgs");
+  intra_shard_msgs = &registry.counter("net.intra_shard_msgs");
 }
 
 }  // namespace lesslog::obs

@@ -74,15 +74,42 @@ void Network::notify_peer_event(double time, core::Pid peer, bool live) {
   for (obs::DeliverySink* sink : sinks_) sink->on_peer(time, peer, live);
 }
 
+std::vector<std::pair<double, double>> make_coordinates(
+    const Geography& geo) {
+  std::vector<std::pair<double, double>> coords(geo.slots);
+  util::Rng rng(geo.seed ^ 0x6E06'12A9ULL);
+  if (geo.clusters == 0) {
+    for (auto& [x, y] : coords) {
+      x = rng.uniform01();
+      y = rng.uniform01();
+    }
+    return coords;
+  }
+  // Clustered placement: PID-contiguous blocks around evenly spaced
+  // centers. Two uniform draws per slot either way, and the uniform
+  // branch above is untouched — clusters == 0 stays bit-identical to
+  // the pre-cluster model.
+  const std::uint32_t k = geo.clusters;
+  const double two_pi = 2.0 * 3.14159265358979323846;
+  std::vector<std::pair<double, double>> centers(k);
+  for (std::uint32_t c = 0; c < k; ++c) {
+    const double a = two_pi * static_cast<double>(c) /
+                     static_cast<double>(k);
+    centers[c] = {0.5 + 0.35 * std::cos(a), 0.5 + 0.35 * std::sin(a)};
+  }
+  const std::uint32_t block = (geo.slots + k - 1u) / k;
+  for (std::uint32_t p = 0; p < geo.slots; ++p) {
+    const auto [cx, cy] = centers[std::min(p / block, k - 1u)];
+    coords[p] = {cx + (rng.uniform01() - 0.5) * 2.0 * geo.cluster_radius,
+                 cy + (rng.uniform01() - 0.5) * 2.0 * geo.cluster_radius};
+  }
+  return coords;
+}
+
 void Network::enable_geography(const Geography& geo) {
   assert(geo.slots > 0 && geo.latency_per_unit >= 0.0);
   geo_ = geo;
-  coords_.resize(geo.slots);
-  util::Rng rng(geo.seed ^ 0x6E06'12A9ULL);
-  for (auto& [x, y] : coords_) {
-    x = rng.uniform01();
-    y = rng.uniform01();
-  }
+  coords_ = make_coordinates(geo);
 }
 
 double Network::distance(core::Pid a, core::Pid b) const {
@@ -123,9 +150,16 @@ void Network::send(const Message& m) {
       (coords_.empty() ? cfg_.base_latency : link_latency(m.from, m.to)) +
       (cfg_.jitter > 0.0 ? engine_->rng().uniform01() * cfg_.jitter : 0.0);
   if (injector_ == nullptr) {
-    if (forward_ != nullptr &&
-        forward_(m.to, engine_->now() + latency, ev.wire)) {
-      return;  // crossed a shard boundary; delivered at the next barrier
+    if (forward_ != nullptr) {
+      // Shard-boundary accounting only when a hook is installed (S > 1),
+      // so serial and single-shard snapshots stay byte-identical.
+      if (forward_(m.to, engine_->now() + latency, ev.wire)) {
+        LESSLOG_METRICS(
+            if (metrics_ != nullptr) metrics_->cross_shard_msgs->inc());
+        return;  // crossed a shard boundary; delivered at the next barrier
+      }
+      LESSLOG_METRICS(
+          if (metrics_ != nullptr) metrics_->intra_shard_msgs->inc());
     }
     if (cfg_.jitter == 0.0 && coords_.empty()) {
       // Deterministic flat-latency link: every delivery shares the one
@@ -195,9 +229,14 @@ void Network::send_faulty(const Message& m, DeliveryEvent& ev,
         coords_.empty() ? cfg_.base_latency : link_latency(m.from, m.to);
     const double copy_latency =
         (c == 0 ? latency : base + injector_->jitter(cfg_.jitter)) + spike;
-    if (forward_ != nullptr &&
-        forward_(m.to, engine_->now() + copy_latency, copy.wire)) {
-      continue;
+    if (forward_ != nullptr) {
+      if (forward_(m.to, engine_->now() + copy_latency, copy.wire)) {
+        LESSLOG_METRICS(
+            if (metrics_ != nullptr) metrics_->cross_shard_msgs->inc());
+        continue;
+      }
+      LESSLOG_METRICS(
+          if (metrics_ != nullptr) metrics_->intra_shard_msgs->inc());
     }
     engine_->after(copy_latency, std::move(copy));
   }

@@ -7,11 +7,10 @@
 
 namespace lesslog::proto {
 
-ShardRouter::ShardRouter(std::size_t shards, std::uint32_t pids_per_shard)
-    : shards_(shards), block_(pids_per_shard), box_(shards * shards) {
-  if (shards == 0 || pids_per_shard == 0) {
-    throw std::invalid_argument(
-        "ShardRouter: shards and pids_per_shard must be >= 1");
+ShardRouter::ShardRouter(const ShardMap& map)
+    : shards_(map.shards()), map_(map), box_(shards_ * shards_) {
+  if (shards_ == 0) {
+    throw std::invalid_argument("ShardRouter: shards must be >= 1");
   }
 }
 

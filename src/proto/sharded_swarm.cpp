@@ -1,6 +1,8 @@
 #include "lesslog/proto/sharded_swarm.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <stdexcept>
 
 #include "lesslog/core/replication.hpp"
@@ -9,26 +11,117 @@ namespace lesslog::proto {
 
 namespace {
 
-/// PID-range partition block: ceil(2^m / S), so shard_of(p) = p / block
-/// maps the whole ID space onto [0, S) with contiguous ranges.
-std::uint32_t block_for(int m, std::size_t shards) {
-  const std::uint32_t space = util::space_size(m);
-  if (shards == 0 || shards > space) {
-    throw std::invalid_argument(
-        "ShardedSwarm: shards must be in [1, 2^m]");
-  }
-  return static_cast<std::uint32_t>(
-      (space + shards - 1) / static_cast<std::uint32_t>(shards));
+/// Occupancy-grid resolution for the pairwise distance floors. Coarser
+/// cells only loosen the bound (still conservative); 32 x 32 keeps the
+/// worst-case cell-pair scan trivial while resolving blobs a few
+/// percent of the unit square wide.
+constexpr int kGrid = 32;
+
+/// Conservative lower bound on the distance between any point of cell a
+/// and any point of cell b: shrink the axis gaps by one full cell (the
+/// points may sit anywhere inside), so touching or adjacent cells bound
+/// to zero.
+double cell_pair_floor(int ax, int ay, int bx, int by) {
+  const double dx =
+      static_cast<double>(std::max(0, std::abs(ax - bx) - 1)) / kGrid;
+  const double dy =
+      static_cast<double>(std::max(0, std::abs(ay - by) - 1)) / kGrid;
+  return std::sqrt(dx * dx + dy * dy);
 }
 
 }  // namespace
 
+ShardedSwarm::Plan ShardedSwarm::make_plan(const Config& cfg) {
+  const std::uint32_t space = util::space_size(cfg.m);
+  if (cfg.shards == 0 || cfg.shards > space) {
+    throw std::invalid_argument("ShardedSwarm: shards must be in [1, 2^m]");
+  }
+  Plan plan;
+  plan.map = ShardMap(cfg.shard_map, cfg.m, cfg.shards);
+  plan.geo = cfg.geo;
+  if (plan.geo.has_value() && plan.geo->slots == 0) {
+    plan.geo->slots = space;
+  }
+  const std::size_t n = cfg.shards;
+  const double base = cfg.net.base_latency;
+  plan.pair.assign(n * n, base);
+  if (n > 1 && plan.geo.has_value() && plan.geo->latency_per_unit > 0.0) {
+    // Distance floor between shard regions, over a coarse occupancy
+    // grid. Every slot counts (not just the initially-live ones): any
+    // PID can join later and send, so the bound must cover the whole
+    // partition.
+    assert(plan.geo->slots >= space &&
+           "geography must cover the whole ID space");
+    const auto coords = make_coordinates(*plan.geo);
+    std::vector<std::vector<std::uint16_t>> cells(n);
+    {
+      std::vector<std::vector<bool>> occupied(
+          n, std::vector<bool>(kGrid * kGrid, false));
+      for (std::uint32_t p = 0; p < space; ++p) {
+        const auto [x, y] = coords[p];
+        const int cx = std::clamp(static_cast<int>(x * kGrid), 0, kGrid - 1);
+        const int cy = std::clamp(static_cast<int>(y * kGrid), 0, kGrid - 1);
+        occupied[plan.map.shard_of(core::Pid{p})]
+                [static_cast<std::size_t>(cy * kGrid + cx)] = true;
+      }
+      for (std::size_t s = 0; s < n; ++s) {
+        for (std::uint32_t c = 0; c < kGrid * kGrid; ++c) {
+          if (occupied[s][c]) {
+            cells[s].push_back(static_cast<std::uint16_t>(c));
+          }
+        }
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        double dist = std::numeric_limits<double>::infinity();
+        for (const std::uint16_t a : cells[i]) {
+          const int ax = a % kGrid;
+          const int ay = a / kGrid;
+          for (const std::uint16_t b : cells[j]) {
+            dist = std::min(
+                dist, cell_pair_floor(ax, ay, b % kGrid, b / kGrid));
+          }
+          if (dist == 0.0) break;  // can't get lower; skip the rest
+        }
+        const double bound = base + plan.geo->latency_per_unit * dist;
+        plan.pair[i * n + j] = bound;
+        plan.pair[j * n + i] = bound;
+      }
+    }
+  }
+  plan.floor = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i != j) plan.floor = std::min(plan.floor, plan.pair[i * n + j]);
+    }
+  }
+  if (n == 1) plan.floor = base;
+  if (n > 1 && !(plan.floor > 0.0)) {
+    throw std::invalid_argument(
+        "ShardedSwarm: shards > 1 requires a strictly positive pairwise "
+        "cross-shard latency floor (the adaptive lookahead): set "
+        "base_latency > 0, or give the shards geographically disjoint "
+        "regions (clustered geography under the range map); with this "
+        "configuration some shard pair's latency lower bound is zero, so "
+        "no conservative parallel window exists");
+  }
+  return plan;
+}
+
 ShardedSwarm::ShardedSwarm(Config cfg)
+    : ShardedSwarm(cfg, make_plan(cfg)) {}
+
+ShardedSwarm::ShardedSwarm(Config cfg, Plan plan)
     : cfg_(cfg),
       status_(cfg.m),
-      engines_(cfg.shards, cfg.seed, cfg.net.base_latency),
-      router_(cfg.shards, block_for(cfg.m, cfg.shards)) {
+      engines_(cfg.shards, cfg.seed,
+               cfg.shards > 1 ? plan.floor : cfg.net.base_latency),
+      router_(plan.map) {
   assert(cfg_.nodes <= util::space_size(cfg_.m));
+  if (cfg_.shards > 1) {
+    engines_.set_pair_lookahead(plan.pair);
+  }
   shards_.reserve(cfg_.shards);
   for (std::size_t s = 0; s < cfg_.shards; ++s) {
     shards_.push_back(
@@ -37,6 +130,9 @@ ShardedSwarm::ShardedSwarm(Config cfg)
     shards_[s]->network.set_metrics(&shards_[s]->metrics);
     shards_[s]->network.add_sink(shards_[s]->sink);
 #endif
+    if (plan.geo.has_value()) {
+      shards_[s]->network.enable_geography(*plan.geo);
+    }
   }
   if (cfg_.shards > 1) {
     // Cross-shard interception: the sender's shard ran the full latency
@@ -57,6 +153,8 @@ ShardedSwarm::ShardedSwarm(Config cfg)
   for (std::uint32_t p = 0; p < cfg_.nodes; ++p) status_.set_live(p);
   peers_.resize(util::space_size(cfg_.m));
   clients_.resize(util::space_size(cfg_.m));
+  auto_replicas_by_shard_.assign(cfg_.shards, 0);
+  auto_removals_by_shard_.assign(cfg_.shards, 0);
   // One shared copy-on-write snapshot for the whole construction batch:
   // at m=16 this replaces 2^16 distinct 8 KiB status words (512 MiB) with
   // a single word that peers alias until their views diverge.
@@ -78,6 +176,10 @@ void ShardedSwarm::make_peer(core::Pid p, util::CowStatus view) {
 }
 
 std::int64_t ShardedSwarm::settle() { return engines_.run_all_windows(); }
+
+std::int64_t ShardedSwarm::run_until(double t) {
+  return engines_.run_until_windows(t);
+}
 
 void ShardedSwarm::insert(core::FileId file, core::Pid r,
                           core::Pid issuer) {
@@ -120,6 +222,38 @@ void ShardedSwarm::update(core::FileId file, core::Pid r,
     push.version = version;
     home(issuer).network.send(push);
   }
+}
+
+std::optional<core::Pid> ShardedSwarm::replicate(
+    core::FileId file, core::Pid r, core::Pid overloaded,
+    const core::HoldsCopyFn& holds) {
+  // Mirrors Swarm::replicate, with the holder's shard supplying both the
+  // randomness and the wire — so with S = 1 the draw sequence and the
+  // send are byte-identical to the serial helper.
+  Peer& at = peer(overloaded);
+  const core::LookupTree tree(cfg_.m, r);
+  util::Rng& rng = engines_.shard(shard_of(overloaded)).rng();
+  std::optional<core::Pid> target;
+  if (cfg_.b == 0) {
+    const std::optional<core::Placement> placement =
+        core::replicate_target(tree, overloaded, at.status(), holds, rng);
+    if (placement.has_value()) target = placement->target;
+  } else {
+    const core::SubtreeView view(tree, cfg_.b);
+    target = view.replicate_target(overloaded, at.status(), holds, rng);
+  }
+  if (!target.has_value()) return std::nullopt;
+  Message create;
+  create.type = MsgType::kCreateReplica;
+  create.from = overloaded;
+  create.to = *target;
+  create.requester = overloaded;
+  create.subject = r;
+  create.file = file;
+  const auto info = at.store().info(file);
+  create.version = info.has_value() ? info->version : 0;
+  home(overloaded).network.send(create);
+  return target;
 }
 
 core::Pid ShardedSwarm::join(std::optional<core::Pid> requested) {
@@ -203,6 +337,117 @@ void ShardedSwarm::broadcast_status(core::Pid about, bool live) {
   }
 }
 
+void ShardedSwarm::enable_auto_replication(double capacity, double window,
+                                           double stop_at,
+                                           double removal_threshold) {
+  assert(capacity > 0.0 && window > 0.0 && removal_threshold >= 0.0);
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    engines_.shard(s).after(
+        window, [this, s, capacity, window, stop_at, removal_threshold] {
+          auto_replication_tick(s, capacity, window, stop_at,
+                                removal_threshold);
+        });
+  }
+}
+
+void ShardedSwarm::auto_replication_tick(std::size_t s, double capacity,
+                                         double window, double stop_at,
+                                         double removal_threshold) {
+  // One shard's slice of the serial controller tick: runs on shard s's
+  // engine and touches only shard-local peers (their counters, stores,
+  // networks) plus the read-only ground-truth status word — so S ticks
+  // can run concurrently inside a window without a race. PID order
+  // within the shard matches the serial scan, making S = 1 identical to
+  // Swarm::auto_replication_tick.
+  const auto budget = static_cast<std::int64_t>(capacity * window);
+  const auto cold =
+      static_cast<std::uint64_t>(removal_threshold * window);
+  for (std::uint32_t p = 0; p < util::space_size(cfg_.m); ++p) {
+    if (router_.shard_of(core::Pid{p}) != s) continue;
+    if (!status_.is_live(p) || !peers_[p]) continue;
+    Peer& peer_ref = *peers_[p];
+    if (peer_ref.served() > budget) {
+      if (peer_ref.shed_hottest().has_value()) {
+        ++auto_replicas_by_shard_[s];
+      }
+    } else if (cold > 0) {
+      auto_removals_by_shard_[s] += static_cast<std::int64_t>(
+          peer_ref.store().prune_cold_replicas(cold).size());
+    }
+    peer_ref.reset_window();
+  }
+  if (engines_.shard(s).now() + window <= stop_at) {
+    engines_.shard(s).after(
+        window, [this, s, capacity, window, stop_at, removal_threshold] {
+          auto_replication_tick(s, capacity, window, stop_at,
+                                removal_threshold);
+        });
+  }
+}
+
+std::int64_t ShardedSwarm::auto_replicas() const noexcept {
+  std::int64_t total = 0;
+  for (const std::int64_t v : auto_replicas_by_shard_) total += v;
+  return total;
+}
+
+std::int64_t ShardedSwarm::auto_removals() const noexcept {
+  std::int64_t total = 0;
+  for (const std::int64_t v : auto_removals_by_shard_) total += v;
+  return total;
+}
+
+void ShardedSwarm::enable_metrics_sampling(double interval,
+                                           double stop_at) {
+  assert(samplers_.empty() && "sampling already enabled");
+  samplers_.reserve(shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    samplers_.push_back(std::make_unique<obs::Sampler>(
+        engines_.shard(s), shards_[s]->registry, interval, stop_at,
+        [this, s] {
+          // Shard-local gauge refresh (runs on shard s's worker):
+          // queue_depth is this shard's queue; live_peers comes from the
+          // read-only ground truth and is set by shard 0 alone (merged
+          // gauges sum); max_served is this shard's hottest peer.
+          Shard& sh = *shards_[s];
+          sh.metrics.queue_depth->set(
+              static_cast<double>(engines_.shard(s).queue().size()));
+          if (s == 0) {
+            sh.metrics.live_peers->set(
+                static_cast<double>(status_.live_count()));
+          }
+          std::int64_t hottest = 0;
+          for (std::uint32_t p = 0; p < util::space_size(cfg_.m); ++p) {
+            if (router_.shard_of(core::Pid{p}) != s) continue;
+            if (status_.is_live(p) && peers_[p]) {
+              hottest = std::max(hottest, peers_[p]->served());
+            }
+          }
+          sh.metrics.max_served->set(static_cast<double>(hottest));
+        }));
+    samplers_.back()->start();
+  }
+}
+
+const obs::TimeSeries& ShardedSwarm::metrics_series() {
+  merged_series_.samples.clear();
+  if (samplers_.empty()) return merged_series_;
+  const std::size_t count = samplers_[0]->series().size();
+  merged_series_.samples.reserve(count);
+  for (std::size_t k = 0; k < count; ++k) {
+    // Sample k of shard 0 (keeps its capture time) absorbs sample k of
+    // every other shard — all samplers tick at the same simulated
+    // times, so index k is one swarm-wide instant.
+    obs::Snapshot merged = samplers_[0]->series().samples[k];
+    for (std::size_t s = 1; s < samplers_.size(); ++s) {
+      assert(samplers_[s]->series().size() == count);
+      merged.merge_from(samplers_[s]->series().samples[k]);
+    }
+    merged_series_.samples.push_back(std::move(merged));
+  }
+  return merged_series_;
+}
+
 std::int64_t ShardedSwarm::total_faults() const {
   std::int64_t total = 0;
   for (const auto& c : clients_) {
@@ -256,8 +501,23 @@ std::int64_t ShardedSwarm::corrupted() const noexcept {
   return total;
 }
 
+double ShardedSwarm::cross_shard_fraction() const noexcept {
+#if LESSLOG_METRICS_ENABLED
+  double cross = 0.0;
+  double intra = 0.0;
+  for (const auto& s : shards_) {
+    cross += static_cast<double>(s->metrics.cross_shard_msgs->value());
+    intra += static_cast<double>(s->metrics.intra_shard_msgs->value());
+  }
+  return cross + intra > 0.0 ? cross / (cross + intra) : 0.0;
+#else
+  return 0.0;
+#endif
+}
+
 obs::Snapshot ShardedSwarm::metrics_snapshot(double time) const {
   obs::Snapshot merged;
+  merged.time = time;
   for (const auto& s : shards_) {
     merged.merge_from(s->registry.snapshot(time));
   }

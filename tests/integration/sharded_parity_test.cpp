@@ -1,0 +1,213 @@
+// Feature parity: ShardedSwarm carries the serial swarm's replicate()
+// helper, closed-loop auto-replication controller, and metrics sampling.
+// Pinned properties:
+//   1. at S = 1 each of the three is byte-identical to proto::Swarm
+//      (same RNG stream, same event order, same sampled series);
+//   2. at S ∈ {2, 4, 8} a run with the controller and sampler enabled is
+//      bit-reproducible across repeated runs (fresh thread pools).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "lesslog/proto/sharded_swarm.hpp"
+#include "lesslog/proto/swarm.hpp"
+
+namespace lesslog::proto {
+namespace {
+
+constexpr int kM = 8;
+constexpr std::uint32_t kNodes = 64;
+
+Swarm::Config serial_cfg(std::uint64_t seed) {
+  Swarm::Config cfg;
+  cfg.m = kM;
+  cfg.b = 1;
+  cfg.nodes = kNodes;
+  cfg.seed = seed;
+  return cfg;
+}
+
+ShardedSwarm::Config sharded_cfg(std::uint64_t seed, std::size_t shards) {
+  ShardedSwarm::Config cfg;
+  cfg.m = kM;
+  cfg.b = 1;
+  cfg.nodes = kNodes;
+  cfg.seed = seed;
+  cfg.shards = shards;
+  return cfg;
+}
+
+TEST(ShardedParity, ReplicateMatchesSerialAtOneShard) {
+  // replicate() draws placement randomness from the overloaded holder's
+  // home engine; at S = 1 that is the serial engine's stream, so the
+  // chosen stand-in must match exactly, replica chain and all.
+  const auto drive = [](auto& swarm) {
+    std::vector<std::uint32_t> placed;
+    const core::FileId f = swarm.insert_named(0x507F11E, core::Pid{1});
+    const core::Pid target = swarm.peer(core::Pid{1}).target_of(f);
+    swarm.settle();
+    std::vector<std::uint32_t> copies{target.value()};
+    for (int step = 0; step < 5; ++step) {
+      const auto r = swarm.replicate(
+          f, target, core::Pid{copies.back()}, [&copies](core::Pid p) {
+            for (const std::uint32_t c : copies) {
+              if (c == p.value()) return true;
+            }
+            return false;
+          });
+      swarm.settle();
+      if (!r.has_value()) break;
+      copies.push_back(r->value());
+      placed.push_back(r->value());
+    }
+    return placed;
+  };
+
+  Swarm serial(serial_cfg(13));
+  ShardedSwarm sharded(sharded_cfg(13, 1));
+  EXPECT_EQ(drive(sharded), drive(serial));
+}
+
+/// Saturates one ψ target with direct GETs, then lets the closed loop
+/// run three windows. Deterministic load (no engine-RNG draws), so the
+/// serial and S = 1 sharded controllers see identical served counters.
+template <typename AnySwarm>
+void drive_controller(AnySwarm& swarm) {
+  const core::FileId f = swarm.insert_named(0xB007, core::Pid{0});
+  const core::Pid target = swarm.peer(core::Pid{0}).target_of(f);
+  swarm.settle();
+  for (int i = 0; i < 300; ++i) {
+    swarm.get(f, target, core::Pid{static_cast<std::uint32_t>(i) % kNodes});
+  }
+  swarm.settle();
+  swarm.enable_auto_replication(/*capacity=*/50.0, /*window=*/1.0,
+                                /*stop_at=*/swarm.engine_now() + 3.5);
+  swarm.run_to(swarm.engine_now() + 4.0);
+  swarm.settle();
+}
+
+TEST(ShardedParity, ControllerMatchesSerialAtOneShard) {
+  struct SerialView {
+    Swarm swarm;
+    explicit SerialView(const Swarm::Config& cfg) : swarm(cfg) {}
+    // Adapters so drive_controller treats both swarms uniformly.
+    auto insert_named(std::uint64_t k, core::Pid p) {
+      return swarm.insert_named(k, p);
+    }
+    auto& peer(core::Pid p) { return swarm.peer(p); }
+    void settle() { swarm.settle(); }
+    void get(core::FileId f, core::Pid r, core::Pid at) {
+      swarm.get(f, r, at);
+    }
+    void enable_auto_replication(double c, double w, double s) {
+      swarm.enable_auto_replication(c, w, s);
+    }
+    [[nodiscard]] double engine_now() { return swarm.engine().now(); }
+    void run_to(double t) { swarm.engine().run_until(t); }
+  };
+  struct ShardedView {
+    ShardedSwarm swarm;
+    explicit ShardedView(ShardedSwarm::Config cfg)
+        : swarm(std::move(cfg)) {}
+    auto insert_named(std::uint64_t k, core::Pid p) {
+      return swarm.insert_named(k, p);
+    }
+    auto& peer(core::Pid p) { return swarm.peer(p); }
+    void settle() { swarm.settle(); }
+    void get(core::FileId f, core::Pid r, core::Pid at) {
+      swarm.get(f, r, at);
+    }
+    void enable_auto_replication(double c, double w, double s) {
+      swarm.enable_auto_replication(c, w, s);
+    }
+    [[nodiscard]] double engine_now() { return swarm.engine(0).now(); }
+    void run_to(double t) { swarm.run_until(t); }
+  };
+
+  SerialView serial(serial_cfg(29));
+  drive_controller(serial);
+  ShardedView sharded(sharded_cfg(29, 1));
+  drive_controller(sharded);
+
+  EXPECT_GT(serial.swarm.auto_replicas(), 0);
+  EXPECT_EQ(sharded.swarm.auto_replicas(), serial.swarm.auto_replicas());
+  EXPECT_EQ(sharded.swarm.auto_removals(), serial.swarm.auto_removals());
+  EXPECT_EQ(sharded.swarm.messages_sent(),
+            serial.swarm.network().messages_sent());
+  EXPECT_EQ(sharded.swarm.all_latencies(), serial.swarm.all_latencies());
+}
+
+TEST(ShardedParity, SampledSeriesMatchesSerialAtOneShard) {
+  const auto workload = [](auto& swarm, double stop) {
+    const core::FileId f = swarm.insert_named(0x5A17, core::Pid{2});
+    const core::Pid target = swarm.peer(core::Pid{2}).target_of(f);
+    swarm.settle();
+    swarm.enable_metrics_sampling(/*interval=*/0.25, stop);
+    for (int i = 0; i < 64; ++i) {
+      swarm.get(f, target,
+                core::Pid{static_cast<std::uint32_t>(i * 5) % kNodes});
+    }
+    swarm.settle();
+  };
+
+  Swarm serial(serial_cfg(31));
+  workload(serial, 2.0);
+  const obs::TimeSeries& a = serial.metrics_series();
+
+  ShardedSwarm sharded(sharded_cfg(31, 1));
+  workload(sharded, 2.0);
+  const obs::TimeSeries& b = sharded.metrics_series();
+
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_GT(a.size(), 0u);
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    EXPECT_EQ(a.samples[k].time, b.samples[k].time) << "sample " << k;
+    EXPECT_EQ(a.samples[k].counters, b.samples[k].counters)
+        << "sample " << k;
+    EXPECT_EQ(a.samples[k].gauges, b.samples[k].gauges) << "sample " << k;
+  }
+}
+
+TEST(ShardedParity, ControllerAndSamplerRepeatExactlyAcrossShardCounts) {
+  const auto run_once = [](std::size_t shards) {
+    ShardedSwarm swarm(sharded_cfg(77, shards));
+    const core::FileId f = swarm.insert_named(0xB007, core::Pid{0});
+    const core::Pid target = swarm.peer(core::Pid{0}).target_of(f);
+    swarm.settle();
+    swarm.enable_metrics_sampling(/*interval=*/0.5,
+                                  swarm.engine(0).now() + 4.0);
+    for (int i = 0; i < 300; ++i) {
+      swarm.get(f, target,
+                core::Pid{static_cast<std::uint32_t>(i) % kNodes});
+    }
+    swarm.settle();
+    swarm.enable_auto_replication(/*capacity=*/50.0, /*window=*/1.0,
+                                  swarm.engine(0).now() + 3.5);
+    swarm.run_until(swarm.engine(0).now() + 4.0);
+    swarm.settle();
+
+    struct Fingerprint {
+      std::int64_t replicas;
+      std::int64_t removals;
+      std::int64_t sent;
+      std::vector<double> latencies;
+      std::vector<std::pair<std::string, std::uint64_t>> counters;
+      bool operator==(const Fingerprint&) const = default;
+    };
+    Fingerprint fp;
+    fp.replicas = swarm.auto_replicas();
+    fp.removals = swarm.auto_removals();
+    fp.sent = swarm.messages_sent();
+    fp.latencies = swarm.all_latencies();
+    fp.counters = swarm.metrics_snapshot().counters;
+    return fp;
+  };
+
+  for (const std::size_t shards :
+       {std::size_t{2}, std::size_t{4}, std::size_t{8}}) {
+    EXPECT_TRUE(run_once(shards) == run_once(shards)) << "S = " << shards;
+  }
+}
+
+}  // namespace
+}  // namespace lesslog::proto

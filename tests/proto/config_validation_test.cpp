@@ -8,6 +8,7 @@
 
 #include "lesslog/proto/client.hpp"
 #include "lesslog/proto/network.hpp"
+#include "lesslog/proto/sharded_swarm.hpp"
 
 namespace lesslog::proto {
 namespace {
@@ -110,6 +111,79 @@ TEST(ClientConfigValidation, ConstructorRejectsBadConfig) {
   ClientConfig cfg;
   cfg.timeout = -1.0;
   EXPECT_THROW(Client(peer, net, cfg), std::invalid_argument);
+}
+
+// -- ShardedSwarm: the adaptive-lookahead schedulability rejection --------
+
+ShardedSwarm::Config sharded_base() {
+  ShardedSwarm::Config cfg;
+  cfg.m = 8;
+  cfg.nodes = 64;
+  cfg.shards = 4;
+  return cfg;
+}
+
+TEST(ShardedSwarmValidation, RejectsShardsBeyondTheIdSpace) {
+  ShardedSwarm::Config cfg = sharded_base();
+  cfg.m = 3;
+  cfg.nodes = 8;
+  cfg.shards = 9;  // 2^3 == 8 < 9
+  EXPECT_THROW(ShardedSwarm{cfg}, std::invalid_argument);
+}
+
+TEST(ShardedSwarmValidation, RejectsZeroFloorAndNamesTheRequirement) {
+  // base_latency == 0, no geography: every pairwise cross-shard latency
+  // lower bound is zero, so no conservative window exists. The message
+  // must say which knob to turn, not just "invalid".
+  ShardedSwarm::Config cfg = sharded_base();
+  cfg.net.base_latency = 0.0;
+  try {
+    ShardedSwarm swarm(cfg);
+    FAIL() << "zero-floor multi-shard config must not construct";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("pairwise cross-shard latency floor"),
+              std::string::npos)
+        << what;
+    EXPECT_NE(what.find("adaptive lookahead"), std::string::npos) << what;
+    EXPECT_NE(what.find("base_latency"), std::string::npos) << what;
+  }
+}
+
+TEST(ShardedSwarmValidation, ZeroBaseConstructsWithDisjointGeography) {
+  // The relaxation the adaptive per-pair lookahead buys: base_latency
+  // may be zero when clustered geography under the range map gives every
+  // shard its own region, because the pairwise distance floors are then
+  // strictly positive and become the windows.
+  ShardedSwarm::Config cfg = sharded_base();
+  cfg.net.base_latency = 0.0;
+  cfg.geo = Geography{.seed = 5, .clusters = 4, .cluster_radius = 0.02};
+  ASSERT_NO_THROW(ShardedSwarm{cfg});
+  ShardedSwarm swarm(cfg);
+  for (std::size_t i = 0; i < swarm.shards(); ++i) {
+    for (std::size_t j = 0; j < swarm.shards(); ++j) {
+      if (i == j) continue;
+      EXPECT_GT(swarm.pair_lookahead(i, j), 0.0) << i << "," << j;
+    }
+  }
+}
+
+TEST(ShardedSwarmValidation, ZeroBaseStillRejectedUnderTheSubtreeMap) {
+  // The subtree map interleaves the ID space, so clustered geography
+  // gives shard regions that overlap everywhere: the floor collapses to
+  // base_latency, and zero stays genuinely unschedulable.
+  ShardedSwarm::Config cfg = sharded_base();
+  cfg.net.base_latency = 0.0;
+  cfg.shard_map = ShardMap::Kind::kSubtree;
+  cfg.geo = Geography{.seed = 5, .clusters = 4, .cluster_radius = 0.02};
+  EXPECT_THROW(ShardedSwarm{cfg}, std::invalid_argument);
+}
+
+TEST(ShardedSwarmValidation, SingleShardNeedsNoFloor) {
+  ShardedSwarm::Config cfg = sharded_base();
+  cfg.shards = 1;
+  cfg.net.base_latency = 0.0;
+  EXPECT_NO_THROW(ShardedSwarm{cfg});
 }
 
 }  // namespace

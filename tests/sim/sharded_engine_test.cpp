@@ -99,6 +99,107 @@ TEST(ShardedEngine, TwoShardPingPongRespectsWindows) {
   EXPECT_EQ(group.shard(0).now(), group.shard(1).now());
 }
 
+TEST(ShardedEngine, PairLookaheadValidatesShapeAndPositivity) {
+  ShardedEngine group(2, 1, 0.010);
+  EXPECT_THROW(group.set_pair_lookahead({0.01, 0.01}),
+               std::invalid_argument);  // not S x S
+  EXPECT_THROW(group.set_pair_lookahead({0.0, 0.0, 0.01, 0.0}),
+               std::invalid_argument);  // zero off-diagonal
+  EXPECT_NO_THROW(group.set_pair_lookahead({0.0, 0.02, 0.03, 0.0}));
+  EXPECT_DOUBLE_EQ(group.pair_lookahead(0, 1), 0.02);
+  EXPECT_DOUBLE_EQ(group.pair_lookahead(1, 0), 0.03);
+  // The scalar floor is the minimum off-diagonal entry.
+  EXPECT_DOUBLE_EQ(group.lookahead(), 0.02);
+}
+
+TEST(ShardedEngine, UniformPairMatrixMatchesScalarLookahead) {
+  // A uniform matrix must degenerate to the legacy scalar schedule: the
+  // ping-pong executes the same events at the same times either way.
+  constexpr double kLatency = 0.010;
+  const auto run_pingpong = [&](bool install_matrix) {
+    ShardedEngine group(2, 99, kLatency);
+    if (install_matrix) {
+      group.set_pair_lookahead({0.0, kLatency, kLatency, 0.0});
+    }
+    std::vector<double> box[2];
+    std::vector<std::pair<std::size_t, double>> executed;
+    int remaining = 20;
+    std::function<void(std::size_t)> fire = [&](std::size_t s) {
+      executed.emplace_back(s, group.shard(s).now());
+      if (remaining-- > 0) {
+        box[1 - s].push_back(group.shard(s).now() + kLatency);
+      }
+    };
+    group.set_drain([&](std::size_t s) {
+      for (const double at : box[s]) {
+        group.shard(s).at(at, [&fire, s] { fire(s); });
+      }
+      box[s].clear();
+    });
+    group.shard(0).at(0.0, [&fire] { fire(0); });
+    group.run_all_windows();
+    return executed;
+  };
+  EXPECT_EQ(run_pingpong(false), run_pingpong(true));
+}
+
+TEST(ShardedEngine, AsymmetricPairBoundsStillDeliverInOrder) {
+  // Shard 0 -> 1 is slow (wide window), 1 -> 0 fast (narrow): the
+  // adaptive per-pair window must respect the *narrow* bound on the way
+  // back, never executing shard 0's local event before the reply lands.
+  // Each shard records only its own execution times (shard workers run
+  // concurrently inside a window; per-shard order is what is pinned).
+  ShardedEngine group(2, 3, 0.010);
+  group.set_pair_lookahead({0.0, 0.500, 0.010, 0.0});
+  std::vector<double> order[2];
+  std::vector<double> box[2];
+  group.set_drain([&](std::size_t s) {
+    for (const double at : box[s]) {
+      if (s == 1) {
+        group.shard(1).at(at, [&] {
+          order[1].push_back(group.shard(1).now());
+          box[0].push_back(group.shard(1).now() + 0.010);
+        });
+      } else {
+        group.shard(0).at(at, [&] {
+          order[0].push_back(group.shard(0).now());
+        });
+      }
+    }
+    box[s].clear();
+  });
+  group.shard(0).at(0.0, [&] {
+    order[0].push_back(group.shard(0).now());
+    box[1].push_back(group.shard(0).now() + 0.500);
+  });
+  // A shard-0 event between the request's departure and the reply's
+  // arrival: must execute at its own time, before the reply.
+  group.shard(0).at(0.505, [&] {
+    order[0].push_back(group.shard(0).now());
+  });
+  group.run_all_windows();
+  EXPECT_EQ(order[0], (std::vector<double>{0.0, 0.505, 0.510}));
+  EXPECT_EQ(order[1], (std::vector<double>{0.500}));
+}
+
+TEST(ShardedEngine, RunUntilWindowsAlignsEveryClockExactly) {
+  ShardedEngine group(4, 11, 0.010);
+  int fired = 0;
+  group.shard(0).at(0.5, [&fired] { ++fired; });
+  group.shard(2).at(1.5, [&fired] { ++fired; });
+  group.shard(3).at(2.0, [&fired] { ++fired; });  // AT the cut: stays
+
+  EXPECT_EQ(group.run_until_windows(2.0), 2);
+  EXPECT_EQ(fired, 2);
+  for (std::size_t s = 0; s < 4; ++s) {
+    EXPECT_DOUBLE_EQ(group.shard(s).now(), 2.0) << "shard " << s;
+  }
+  // The event at the cut runs in the next segment, never twice.
+  EXPECT_EQ(group.run_until_windows(3.0), 1);
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(group.run_until_windows(3.0), 0);
+}
+
 TEST(ShardedEngine, WindowNeverExecutesAnEventBeforeItsSafeTime) {
   // Shard 1 has a local event far in the future; shard 0's early events
   // must not drag shard 1's clock past work mailboxed for it.
