@@ -35,7 +35,7 @@ int main(int argc, char** argv) {
     const core::LookupTree tree(m, target);
     util::StatusWord live(m, slots);
     const sim::Workload uniform =
-        sim::uniform_workload(live, 100.0 * slots);
+        sim::uniform_workload(util::BorrowedView(live), 100.0 * slots);
 
     // LessLog: replicate to the children-list head.
     sim::CopyMap copies(slots, 0);

@@ -31,8 +31,8 @@ HopStats measure(int m, double dead_fraction, std::uint64_t seed,
   for (std::uint32_t dead : rng.sample_indices(slots, dead_count)) {
     live.set_dead(dead);
   }
-  const baseline::ChordRing ring(live);
-  const baseline::PlaxtonMesh mesh(live, /*bits_per_digit=*/2);
+  const baseline::ChordRing ring(util::BorrowedView{live});
+  const baseline::PlaxtonMesh mesh(util::BorrowedView{live}, /*bits_per_digit=*/2);
 
   HopStats stats;
   double lesslog_total = 0.0;

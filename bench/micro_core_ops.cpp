@@ -281,7 +281,7 @@ BENCHMARK(BM_FileStoreServeMap)->Arg(4)->Arg(64)->Arg(1024);
 void BM_ChordLookup(benchmark::State& state) {
   const int m = static_cast<int>(state.range(0));
   const util::StatusWord live = make_live(m, 0.1, 7);
-  const baseline::ChordRing ring(live);
+  const baseline::ChordRing ring(util::BorrowedView{live});
   util::Rng rng(8);
   const std::uint32_t slots = util::space_size(m);
   for (auto _ : state) {

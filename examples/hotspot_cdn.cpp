@@ -57,7 +57,7 @@ int main() {
     const core::LookupTree tree(cfg.m, core::Pid{512});
     sim::CopyMap one_copy(util::space_size(cfg.m), 0);
     one_copy[512] = 1;
-    const sim::Workload demand = sim::uniform_workload(live, cfg.total_rate);
+    const sim::Workload demand = sim::uniform_workload(util::BorrowedView(live), cfg.total_rate);
     const sim::LoadReport hot = sim::solve_load(tree, one_copy, live, demand);
     std::cout << "before replication, max load = " << hot.max_served
               << " req/s at P(" << hot.max_served_pid << ") — "

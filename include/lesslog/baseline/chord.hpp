@@ -14,13 +14,23 @@
 #include <optional>
 #include <vector>
 
+#include "lesslog/util/liveness_view.hpp"
 #include "lesslog/util/status_word.hpp"
 
 namespace lesslog::baseline {
 
 class ChordRing {
  public:
-  /// Builds finger tables for every live node in `live` on a 2^m ring.
+  /// Builds finger tables for every live node in `view` on a 2^m ring.
+  /// The view is only read during construction; the ring keeps its own
+  /// sorted copy of the live set (tables are per-snapshot, matching the
+  /// globally fresh membership LessLog assumes).
+  explicit ChordRing(const util::LivenessView& view);
+
+  /// Legacy entry point over a bare status word.
+  [[deprecated(
+      "pass a util::LivenessView (wrap a plain StatusWord in "
+      "util::BorrowedView)")]]
   explicit ChordRing(const util::StatusWord& live);
 
   [[nodiscard]] int width() const noexcept { return m_; }

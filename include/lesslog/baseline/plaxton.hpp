@@ -19,6 +19,7 @@
 #include <optional>
 #include <vector>
 
+#include "lesslog/util/liveness_view.hpp"
 #include "lesslog/util/status_word.hpp"
 
 namespace lesslog::baseline {
@@ -27,8 +28,16 @@ class PlaxtonMesh {
  public:
   /// Builds routing tables for every live node. `bits_per_digit` of 1
   /// gives binary Plaxton (longest paths, smallest tables); Pastry's
-  /// default corresponds to 4.
-  PlaxtonMesh(const util::StatusWord& live, int bits_per_digit = 2);
+  /// default corresponds to 4. The view is only read during
+  /// construction; the mesh keeps its own sorted copy of the live set.
+  explicit PlaxtonMesh(const util::LivenessView& view,
+                       int bits_per_digit = 2);
+
+  /// Legacy entry point over a bare status word.
+  [[deprecated(
+      "pass a util::LivenessView (wrap a plain StatusWord in "
+      "util::BorrowedView)")]]
+  explicit PlaxtonMesh(const util::StatusWord& live, int bits_per_digit = 2);
 
   [[nodiscard]] int width() const noexcept { return m_; }
   [[nodiscard]] int digits() const noexcept { return digits_; }

@@ -41,6 +41,23 @@ struct Violation {
   friend bool operator==(const Violation&, const Violation&) = default;
 };
 
+/// One epoch of SWIM detector accounting, gathered by the driver between
+/// its epoch barriers (deltas of the runtime's monotonic tallies).
+struct SwimEpochStats {
+  bool converged = true;   ///< every live agent's belief == ground truth
+  int rounds = 0;          ///< extra protocol periods the epoch needed
+  int round_cap = 0;       ///< the configured convergence cap
+  /// No fault rules installed and no membership op executed this epoch —
+  /// the wire was clean, so any suspicion at all is a detector bug.
+  bool clean_epoch = false;
+  std::int64_t suspects = 0;        ///< suspicion verdicts this epoch
+  std::int64_t false_suspects = 0;  ///< ... raised on a live node
+  std::int64_t false_confirms = 0;  ///< confirms issued on a live node
+  /// Per-crash detection latency (crash -> first true confirm anywhere),
+  /// for crashes whose detection completed this epoch.
+  std::vector<double> detection_latency;
+};
+
 class Audit {
  public:
   /// Runs every check at a quiescent point and appends violations to
@@ -65,6 +82,20 @@ class Audit {
   template <typename AnySwarm>
   [[nodiscard]] static bool live_copy_exists(AnySwarm& swarm,
                                              core::FileId f);
+
+  /// SWIM-mode invariants, run at the same quiescent point as check():
+  ///   6. detection convergence — the post-epoch detection window reached
+  ///      ground-truth agreement within the round cap (every crash was
+  ///      confirmed and every false belief refuted);
+  ///   7. clean-wire suspicion — an epoch with no fault windows and no
+  ///      membership ops must raise zero suspicions (probes and acks flow
+  ///      unhindered, so any suspicion is a detector bug, not a network
+  ///      condition).
+  /// False suspicion under loss/partition windows is expected SWIM
+  /// behavior (that is what the refutation machinery is for) and is
+  /// reported as a rate by the bench, not flagged here.
+  static void check_swim(const SwimEpochStats& stats, int epoch,
+                         std::vector<Violation>& out);
 };
 
 }  // namespace lesslog::chaos

@@ -24,11 +24,13 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <vector>
 
 #include "lesslog/chaos/audit.hpp"
 #include "lesslog/chaos/schedule.hpp"
+#include "lesslog/membership/swim.hpp"
 #include "lesslog/proto/sharded_swarm.hpp"
 #include "lesslog/proto/swarm.hpp"
 
@@ -45,6 +47,13 @@ struct Report {
   std::int64_t messages_sent = 0;
   std::int64_t repair_pushes = 0;  ///< kFilePush transfers (repair cost)
   double sim_time = 0.0;           ///< simulated seconds at the end
+
+  // SWIM mode only (config.swim): detector accounting. swim_epochs has
+  // one entry per epoch; detection_latency one entry per crash whose
+  // first true confirm happened before its restart.
+  std::vector<SwimEpochStats> swim_epochs;
+  std::vector<double> detection_latency;
+  membership::SwimRuntime::Tally swim;  ///< final cumulative tallies
 
   [[nodiscard]] bool clean() const noexcept { return violations.empty(); }
 };
@@ -74,8 +83,13 @@ class Driver {
   void issue_get();
   [[nodiscard]] std::uint32_t random_live_pid();
 
-  // -- sharded path (cfg.shards > 1) ------------------------------------
+  // -- sharded path (cfg.shards > 1, and every SWIM run: swim mode pins
+  // the pre-materialized timeline so the chaos stream draws in the same
+  // order at any shard count) -------------------------------------------
   Report run_sharded();
+  void swim_setup();                ///< build + wire the SwimRuntime
+  void swim_attach(core::Pid p);    ///< (re)attach a joiner's agent
+  void swim_drain_confirms();       ///< barrier-only: fold confirm events
   [[nodiscard]] std::uint32_t sharded_random_live_pid();
   [[nodiscard]] double sharded_now() const;  ///< max over shard clocks
   void sharded_issue_get();
@@ -96,6 +110,18 @@ class Driver {
   util::Rng rng_;  ///< the chaos stream (schedule, op targets, workload)
   std::unique_ptr<proto::Swarm> swarm_;
   std::unique_ptr<proto::ShardedSwarm> sharded_;
+  std::unique_ptr<membership::SwimRuntime> swim_;  ///< cfg.swim only
+  /// A crash awaiting detection: when it happened, and the earliest true
+  /// confirm's latency seen so far (negative until one arrives). Folded
+  /// in only at top-level barriers (swim_drain_confirms) and finalized at
+  /// the epoch's convergence point — or forfeited by a restart that
+  /// outruns detection.
+  struct CrashSample {
+    double crash_time = 0.0;
+    double latency = -1.0;
+  };
+  std::map<std::uint32_t, CrashSample> swim_crash_time_;
+  std::vector<double> swim_detect_latency_;
   std::vector<ShardTally> tally_;
   std::vector<std::uint64_t> keys_;
   ChaosRecord record_;

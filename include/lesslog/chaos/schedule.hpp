@@ -55,6 +55,32 @@ struct ChaosConfig {
   /// Section 5 membership contract so the auditor has something to catch.
   bool silent_crashes = false;
 
+  /// SWIM membership mode (the membership library): crashes go
+  /// unannounced and the per-epoch ground-truth reannounce is replaced by
+  /// the failure detector's own convergence — after each epoch settles,
+  /// the driver runs extra protocol periods until every live agent's
+  /// belief matches ground truth (capped by swim_convergence_rounds).
+  /// Always runs on the sharded driver path, even at shards == 1, so the
+  /// chaos stream draws in the same order for every shard count.
+  bool swim = false;
+  double swim_period = 1.0;          ///< protocol period T (sim seconds)
+  double swim_direct_timeout = 0.25; ///< direct-ack wait before proxies
+  int swim_proxies = 3;              ///< k indirect probes per missed ack
+  int swim_suspect_periods = 3;      ///< suspect -> confirmed dead
+  int swim_gossip_repeats = 4;       ///< piggyback retransmissions
+  /// Post-epoch period cap. Healing a partition's false confirms needs
+  /// roughly two dead-reclaim rotation sweeps of the ID space (the second
+  /// clears re-poisoning by stale dead gossip still in flight after the
+  /// first direct contact); compound-fault epochs have been observed
+  /// needing ~74 periods at the default geometry, so 128 leaves headroom.
+  int swim_convergence_rounds = 128;
+
+  /// Per-hop uniform latency jitter passed to the swarm's network. The
+  /// default matches NetworkConfig's, keeping oracle runs byte-identical;
+  /// abl_membership zeroes it so delivery times (and therefore detection
+  /// measurements) are identical across shard counts.
+  double net_jitter = 0.005;
+
   void validate() const;  ///< throws std::invalid_argument
 };
 

@@ -16,6 +16,7 @@
 
 #include "lesslog/core/lookup_tree.hpp"
 #include "lesslog/core/routing.hpp"
+#include "lesslog/util/liveness_view.hpp"
 #include "lesslog/util/rng.hpp"
 #include "lesslog/util/status_word.hpp"
 
@@ -124,6 +125,51 @@ class SubtreeView {
   /// visited node; migrations extend the path.
   [[nodiscard]] RouteResult route_get(Pid k, const util::StatusWord& live,
                                       const HasCopyFn& has_copy) const;
+
+  // LivenessView seam: every subtree walk, computed from a local belief
+  // instead of the ground-truth word. Inline delegations — bit-identical
+  // to the StatusWord forms for the same bitmap.
+
+  [[nodiscard]] std::optional<Pid> find_live_in_subtree(
+      std::uint32_t sub_id, std::uint32_t from_sub_vid,
+      const util::LivenessView& view) const {
+    return find_live_in_subtree(sub_id, from_sub_vid, view.word());
+  }
+
+  [[nodiscard]] std::optional<Pid> insertion_target(
+      std::uint32_t sub_id, const util::LivenessView& view) const {
+    return insertion_target(sub_id, view.word());
+  }
+
+  [[nodiscard]] std::vector<Pid> insertion_targets(
+      const util::LivenessView& view) const {
+    return insertion_targets(view.word());
+  }
+
+  [[nodiscard]] std::optional<Pid> first_alive_subtree_ancestor(
+      Pid k, const util::LivenessView& view) const {
+    return first_alive_subtree_ancestor(k, view.word());
+  }
+
+  [[nodiscard]] std::vector<std::uint32_t> ancestor_table(
+      const util::LivenessView& view) const {
+    return ancestor_table(view.word());
+  }
+
+  [[nodiscard]] std::vector<Pid> children_list(
+      Pid k, const util::LivenessView& view) const {
+    return children_list(k, view.word());
+  }
+
+  [[nodiscard]] bool live_vid_above(Pid k,
+                                    const util::LivenessView& view) const {
+    return live_vid_above(k, view.word());
+  }
+
+  [[nodiscard]] RouteResult route_get(Pid k, const util::LivenessView& view,
+                                      const HasCopyFn& has_copy) const {
+    return route_get(k, view.word(), has_copy);
+  }
 
  private:
   const LookupTree* tree_;

@@ -11,6 +11,7 @@
 #include <optional>
 
 #include "lesslog/core/lookup_tree.hpp"
+#include "lesslog/util/liveness_view.hpp"
 #include "lesslog/util/status_word.hpp"
 
 namespace lesslog::core {
@@ -33,5 +34,25 @@ namespace lesslog::core {
 /// be serving requests from the entire system, not just its own offspring.
 [[nodiscard]] bool live_vid_above(const LookupTree& tree, Pid k,
                                   const util::StatusWord& live);
+
+// LivenessView seam: the same decisions computed from a node's local,
+// possibly stale belief instead of a caller-supplied ground-truth word.
+// The scan itself guarantees only view-believed-live nodes are returned
+// (the stale-view property tests pin this).
+
+[[nodiscard]] inline std::optional<Pid> find_live_node(
+    const LookupTree& tree, Pid s, const util::LivenessView& view) {
+  return find_live_node(tree, s, view.word());
+}
+
+[[nodiscard]] inline std::optional<Pid> insertion_target(
+    const LookupTree& tree, const util::LivenessView& view) {
+  return insertion_target(tree, view.word());
+}
+
+[[nodiscard]] inline bool live_vid_above(const LookupTree& tree, Pid k,
+                                         const util::LivenessView& view) {
+  return live_vid_above(tree, k, view.word());
+}
 
 }  // namespace lesslog::core

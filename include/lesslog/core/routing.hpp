@@ -14,6 +14,7 @@
 
 #include "lesslog/core/find_live_node.hpp"
 #include "lesslog/core/lookup_tree.hpp"
+#include "lesslog/util/liveness_view.hpp"
 #include "lesslog/util/status_word.hpp"
 
 namespace lesslog::core {
@@ -82,6 +83,31 @@ struct AncestorTable {
 /// Builds the flat table for `tree` under `live`.
 [[nodiscard]] AncestorTable build_ancestor_table(const LookupTree& tree,
                                                  const util::StatusWord& live);
+
+// LivenessView seam: routing under a node's local belief. A walk over a
+// stale view can visit nodes that are actually dead (the simulator's wire
+// layer then drops the hop); it never visits a node the view believes dead.
+
+[[nodiscard]] inline std::optional<Pid> first_alive_ancestor(
+    const LookupTree& tree, Pid k, const util::LivenessView& view) {
+  return first_alive_ancestor(tree, k, view.word());
+}
+
+[[nodiscard]] inline std::vector<Pid> ancestor_chain(
+    const LookupTree& tree, Pid k, const util::LivenessView& view) {
+  return ancestor_chain(tree, k, view.word());
+}
+
+[[nodiscard]] inline RouteResult route_get(const LookupTree& tree, Pid k,
+                                           const util::LivenessView& view,
+                                           const HasCopyFn& has_copy) {
+  return route_get(tree, k, view.word(), has_copy);
+}
+
+[[nodiscard]] inline AncestorTable build_ancestor_table(
+    const LookupTree& tree, const util::LivenessView& view) {
+  return build_ancestor_table(tree, view.word());
+}
 
 /// GETFILE over the flat table; semantically identical to
 /// route_get(tree, k, live, has_copy) for the pair the table was built

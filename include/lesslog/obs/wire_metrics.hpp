@@ -15,9 +15,12 @@
 namespace lesslog::obs {
 
 struct WireMetrics {
-  /// Wire type tags are 1..10; slot 0 is unused so a MsgType indexes
-  /// directly.
-  static constexpr std::size_t kTypeSlots = 11;
+  /// Wire type tags are 1..13; slot 0 is unused so a MsgType indexes
+  /// directly. Tags 1..10 predate the SWIM messages and keep their
+  /// original registration (and therefore snapshot-merge) positions; the
+  /// SWIM slots 11..13 are registered at the very end of the catalog.
+  static constexpr std::size_t kTypeSlots = 14;
+  static constexpr std::size_t kLegacyTypeSlots = 11;
 
   explicit WireMetrics(Registry& registry);
 
@@ -81,6 +84,15 @@ struct WireMetrics {
   // cross-shard message fraction is cross / (cross + intra).
   Counter* cross_shard_msgs = nullptr;
   Counter* intra_shard_msgs = nullptr;
+
+  // SWIM membership accounting (appended last — including the msgs_in/out
+  // slots for the three SWIM wire types — so pre-membership snapshots keep
+  // their registration order and single-shard merges stay byte-identical).
+  Counter* swim_suspects = nullptr;      ///< suspicion verdicts reached
+  Counter* swim_confirms = nullptr;      ///< suspects declared dead
+  Counter* swim_refutations = nullptr;   ///< suspicions killed by alive(inc+1)
+  Counter* swim_incarnation_bumps = nullptr;  ///< self-refutation bumps
+  Counter* swim_gossip_bytes = nullptr;  ///< piggyback payload bytes carried
 };
 
 }  // namespace lesslog::obs

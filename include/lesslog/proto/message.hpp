@@ -28,7 +28,12 @@ enum class MsgType : std::uint8_t {
   kStatusAnnounce = 7, ///< join/leave/fail registration broadcast
   kFilePush = 8,       ///< move/copy an inserted file to its new holder
   kReclaim = 9,        ///< joiner asks holders to return its files (5.1)
-  kFilePushAck = 10    ///< receipt for a kFilePush (pushes are retried)
+  kFilePushAck = 10,   ///< receipt for a kFilePush (pushes are retried)
+  // SWIM failure detection (membership library). All three carry one
+  // piggybacked gossip update packed into the file/version fields.
+  kPing = 11,          ///< direct probe
+  kPingAck = 12,       ///< probe answer (direct or relayed by a proxy)
+  kPingReq = 13        ///< indirect probe through a proxy (requester=origin)
 };
 
 /// One protocol message. Fields unused by a given type are zero; `ok`
@@ -80,6 +85,9 @@ void encode_into(const Message& m, WireBuffer& out) noexcept;
     case MsgType::kFilePush: return "PUSH";
     case MsgType::kReclaim: return "RECLAIM";
     case MsgType::kFilePushAck: return "PUSH_ACK";
+    case MsgType::kPing: return "PING";
+    case MsgType::kPingAck: return "PING_ACK";
+    case MsgType::kPingReq: return "PING_REQ";
   }
   return "???";
 }

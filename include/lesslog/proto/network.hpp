@@ -23,6 +23,17 @@ struct NetworkConfig {
   double base_latency = 0.010;   ///< seconds, one way
   double jitter = 0.005;         ///< uniform in [0, jitter) added per hop
   double drop_probability = 0.0; ///< per-message loss
+  /// Deterministic per-link latency spread: link (a, b) gains a fixed
+  /// extra delay in [0, link_stagger), a pure hash of the ordered pair —
+  /// no RNG stream is consumed. With jitter == 0 every link would share
+  /// one constant latency and concurrent fan-outs (SWIM's ping-req) land
+  /// at a single destination at the *same* timestamp; the tie order then
+  /// depends on queue seq assignment, which differs between a serial run
+  /// and a sharded drain. A per-link stagger makes arrival times on
+  /// distinct links distinct by construction, so the delivery order is a
+  /// pure function of time — identical at any shard count. The SWIM
+  /// chaos driver enables this; everything else defaults to 0 (off).
+  double link_stagger = 0.0;
 
   /// Throws std::invalid_argument on nonsense (drop_probability outside
   /// [0, 1], negative or non-finite latency/jitter). Called by the
@@ -157,6 +168,10 @@ class Network {
 
   /// One-way latency of the (a, b) link excluding jitter.
   [[nodiscard]] double link_latency(core::Pid a, core::Pid b) const;
+
+  /// The deterministic per-link extra delay (see NetworkConfig::
+  /// link_stagger); 0 when the knob is off.
+  [[nodiscard]] double link_stagger(core::Pid a, core::Pid b) const noexcept;
 
   [[nodiscard]] std::int64_t messages_sent() const noexcept {
     return messages_sent_;

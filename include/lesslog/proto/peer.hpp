@@ -1,8 +1,10 @@
 // A protocol peer: one P2P node as a message-driven actor.
 //
-// Each peer owns its file store and its *local copy* of the status word
-// (kept fresh by kStatusAnnounce broadcasts, exactly the paper's Section 5
-// design) and makes every forwarding decision from local state only:
+// Each peer owns its file store and its *local liveness belief* — a
+// util::MutableLivenessView, by default the built-in OracleView kept fresh
+// by kStatusAnnounce broadcasts (the paper's Section 5 design), optionally
+// replaced by a membership-library SwimView driven by the failure
+// detector. Every forwarding decision is made from local state only:
 //
 //   * kGetRequest — serve if a copy is held, else forward to the first
 //     alive subtree ancestor (FP), else to the subtree's stand-in holder;
@@ -26,6 +28,7 @@
 #include "lesslog/core/file_store.hpp"
 #include "lesslog/core/lookup_tree.hpp"
 #include "lesslog/proto/network.hpp"
+#include "lesslog/util/liveness_view.hpp"
 #include "lesslog/util/seq_window.hpp"
 #include "lesslog/util/status_word.hpp"
 
@@ -54,9 +57,37 @@ class Peer {
   [[nodiscard]] const core::FileStore& store() const noexcept {
     return store_;
   }
+  /// The liveness bitmap this peer currently believes — i.e. its installed
+  /// view's word. Arbitrarily stale relative to ground truth by design.
   [[nodiscard]] const util::StatusWord& status() const noexcept {
-    return status_.read();
+    return view_->word();
   }
+
+  /// The peer's liveness belief as a view. Const access only — but the
+  /// mutable-view type, so callers can take an O(1) belief snapshot.
+  [[nodiscard]] const util::MutableLivenessView& liveness() const noexcept {
+    return *view_;
+  }
+
+  /// The network this peer sends through. Colocated components (the SWIM
+  /// membership agent) share the peer's network rather than holding their
+  /// own reference, so a rejoined peer and its agent can never disagree.
+  [[nodiscard]] Network& network() const noexcept { return *network_; }
+
+  /// Installs an external liveness belief (e.g. a membership::SwimView).
+  /// The view must outlive the peer or be replaced before destruction;
+  /// nullptr restores the built-in OracleView. The external view should be
+  /// seeded from the current belief by the caller if continuity matters.
+  void set_liveness_view(util::MutableLivenessView* view) noexcept {
+    view_ = view != nullptr ? view : &oracle_;
+  }
+
+  /// Belief updates from membership traffic. learn_dead snapshots the
+  /// prior belief and runs Section 5.3 crash recovery against it — this is
+  /// the single entry point both the announcement path and the SWIM
+  /// confirm path use, so recovery behavior is mode-independent.
+  void learn_live(core::Pid subject);
+  void learn_dead(core::Pid subject);
 
   /// Wires this peer's handler into the network.
   void attach();
@@ -66,8 +97,16 @@ class Peer {
   /// status word, empty store, cleared placement memory and in-flight
   /// pushes, counters zeroed, handler re-attached. Peers are reused across
   /// membership cycles (never destroyed mid-run) so engine timers that
-  /// captured this object can never dangle.
-  void rejoin(util::StatusWord fresh_status);
+  /// captured this object can never dangle. Takes a copy-on-write handle:
+  /// the swarm shares one snapshot instead of copying a 2^m-bit word per
+  /// rejoin.
+  void rejoin(util::CowStatus fresh_status);
+
+  [[deprecated("pass a util::CowStatus handle; a by-value StatusWord "
+               "copies the whole bitmap")]]
+  void rejoin(util::StatusWord fresh_status) {
+    rejoin(util::CowStatus(std::move(fresh_status)));
+  }
 
   /// Sets where kGetReply / kInsertAck messages are surfaced (the
   /// colocated client).
@@ -78,6 +117,16 @@ class Peer {
   /// nothing under -DLESSLOG_NO_METRICS.
   void set_metrics(const obs::WireMetrics* metrics) noexcept {
     metrics_ = metrics;
+  }
+
+  /// Routes SWIM traffic (kPing / kPingAck / kPingReq) to the membership
+  /// runtime colocated with this peer. Unset, such messages are dropped —
+  /// an oracle-mode peer never receives them in the first place. The same
+  /// (ctx, fn) raw-slot shape as Network::attach_raw: one indirect call,
+  /// no std::function on the probe path.
+  void set_membership_hook(void* ctx, Network::RawHandler fn) noexcept {
+    membership_ctx_ = ctx;
+    membership_fn_ = fn;
   }
 
   /// Message entry point (also called directly by tests).
@@ -134,15 +183,17 @@ class Peer {
   /// of that tree; nullopt = definitive local miss.
   [[nodiscard]] std::optional<core::Pid> next_hop(core::Pid r) const;
 
-  // Hot-first member order: a forwarded get reads pid_/b_/status_,
-  // probes store_'s index, then touches network_/metrics_ and one
-  // counter. Laying those out contiguously keeps a hop through a random
+  // Hot-first member order: a forwarded get reads pid_/b_/view_, probes
+  // store_'s index, then touches network_/metrics_ and one counter.
+  // Laying those out contiguously keeps a hop through a random
   // (cache-cold) peer to the first line or two of the object; the cold
   // tail (reply sink, shed memory, in-flight pushes) never loads on the
-  // forwarding path.
+  // forwarding path. The OracleView lives inline so oracle mode stays
+  // allocation-free; view_ points at it unless a SwimView is installed.
   core::Pid pid_;
   int b_;
-  util::CowStatus status_;
+  util::MutableLivenessView* view_;
+  util::OracleView oracle_;
   Network* network_;
   const obs::WireMetrics* metrics_ = nullptr;
   std::int64_t served_ = 0;
@@ -165,6 +216,9 @@ class Peer {
   };
   util::SeqWindow<PendingPush> pending_pushes_;
   std::uint64_t next_push_id_;
+  /// Cold: SWIM traffic relay into the colocated membership runtime.
+  void* membership_ctx_ = nullptr;
+  Network::RawHandler membership_fn_ = nullptr;
 };
 
 }  // namespace lesslog::proto

@@ -102,6 +102,14 @@ class ShardedSwarm {
   [[nodiscard]] sim::Engine& engine(std::size_t s) noexcept {
     return engines_.shard(s);
   }
+  /// Latest time any shard executed an event — unlike the shard clocks
+  /// (which settle() leaves on a layout-dependent window edge), this is
+  /// determined by the executed event set alone. The SWIM chaos driver
+  /// anchors its epoch timeline here so the anchor is identical at any
+  /// shard count.
+  [[nodiscard]] double quiesce_time() const noexcept {
+    return engines_.quiesce_time();
+  }
   [[nodiscard]] Network& network(std::size_t s) noexcept {
     return shards_[s]->network;
   }
@@ -111,7 +119,7 @@ class ShardedSwarm {
   [[nodiscard]] Peer& peer(core::Pid p) { return *peers_[p.value()]; }
   [[nodiscard]] Client& client(core::Pid p) { return *clients_[p.value()]; }
   [[nodiscard]] const util::StatusWord& status() const noexcept {
-    return status_;
+    return status_.read();
   }
   [[nodiscard]] int width() const noexcept { return cfg_.m; }
 
@@ -153,6 +161,9 @@ class ShardedSwarm {
   void crash(core::Pid p);
   void restart(core::Pid p);
   void reannounce();
+  /// SWIM-mode failure: go dark without a broadcast; the failure
+  /// detector closes the loop (see Swarm::crash_unannounced).
+  void crash_unannounced(core::Pid p);
   /// TEST-ONLY: vanish without a failure announcement (see Swarm).
   void crash_silent(core::Pid p);
 
@@ -250,7 +261,8 @@ class ShardedSwarm {
                              double stop_at, double removal_threshold);
 
   Config cfg_;
-  util::StatusWord status_;
+  /// Ground-truth liveness as a copy-on-write handle (see Swarm::status_).
+  util::CowStatus status_;
   sim::ShardedEngine engines_;
   ShardRouter router_;
   std::vector<std::unique_ptr<Shard>> shards_;

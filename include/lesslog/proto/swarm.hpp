@@ -42,7 +42,7 @@ class Swarm {
   [[nodiscard]] Peer& peer(core::Pid p) { return *peers_[p.value()]; }
   [[nodiscard]] Client& client(core::Pid p) { return *clients_[p.value()]; }
   [[nodiscard]] const util::StatusWord& status() const noexcept {
-    return status_;
+    return status_.read();
   }
   [[nodiscard]] int width() const noexcept { return cfg_.m; }
 
@@ -104,6 +104,14 @@ class Swarm {
   /// stale views; the chaos driver calls this after a heal (the modelled
   /// equivalent of anti-entropy gossip catching up).
   void reannounce();
+
+  /// SWIM-mode failure: the node goes dark with no ground-truth status
+  /// broadcast — *detecting* the crash (and announcing it, which triggers
+  /// Section 5.3 recovery) is the membership protocol's job. Mechanically
+  /// identical to crash_silent; the two exist separately because their
+  /// contracts differ: this one expects a failure detector to close the
+  /// loop, crash_silent expects the auditor to flag the resulting hole.
+  void crash_unannounced(core::Pid p);
 
   /// TEST-ONLY failure mode: the node vanishes without any failure
   /// announcement ever being sent — deliberately breaking the Section 5.3
@@ -198,7 +206,10 @@ class Swarm {
   Config cfg_;
   sim::Engine engine_;
   Network network_;
-  util::StatusWord status_;
+  /// Ground-truth liveness as a copy-on-write handle: construction and
+  /// every rejoin hand peers an O(1) snapshot of it instead of a 2^m-bit
+  /// copy; truth mutations clone once while snapshots are outstanding.
+  util::CowStatus status_;
   obs::Registry registry_;
   obs::WireMetrics metrics_;
   obs::MetricsSink metrics_sink_;

@@ -138,6 +138,14 @@ class EventQueue {
   [[nodiscard]] SimTime now() const noexcept { return now_; }
   [[nodiscard]] SimTime next_time() const;
 
+  /// Time of the last event that actually fired. Unlike now() — which
+  /// run_before() leaves on the (layout-dependent) window edge — this is
+  /// a property of the executed event set alone, so a sharded run's
+  /// max-over-shards last_fired() is identical at any shard count when
+  /// the event sets are. The sharded SWIM driver anchors its epoch
+  /// timeline here for exactly that reason.
+  [[nodiscard]] SimTime last_fired() const noexcept { return last_fired_; }
+
   /// Pops and runs the earliest event; advances now(). Precondition:
   /// !empty().
   void step();
@@ -160,6 +168,18 @@ class EventQueue {
   /// Runs events until the queue is empty (one min-scan per event, like
   /// run_until but with no bound test). Returns the number executed.
   std::int64_t run_all();
+
+  /// Moves the clock to `t` — in either direction — at quiescence.
+  /// Precondition: the queue is empty (with no event pending, now() is
+  /// just a number; nothing observes the move). The sharded engine uses
+  /// this after run_all_windows() to park every shard's clock on the
+  /// fleet-wide quiesce time instead of the last window edge: the edge
+  /// depends on the window sequence (and hence the shard count), while
+  /// the quiesce time is a property of the executed event set alone.
+  void reset_clock(SimTime t) noexcept {
+    assert(empty() && "reset_clock requires a quiescent queue");
+    now_ = t;
+  }
 
  private:
   /// Heap key: (time, seq, slot) packed into two words. Simulation times
@@ -332,6 +352,7 @@ class EventQueue {
   std::vector<std::uint32_t> free_slots_;  ///< recycled arena indices
   std::uint32_t arena_used_ = 0;           ///< slots handed out ever
   SimTime now_ = 0.0;
+  SimTime last_fired_ = 0.0;  ///< time of the last executed event
   std::uint32_t next_seq_ = 0;
 };
 

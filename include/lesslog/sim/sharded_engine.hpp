@@ -38,6 +38,7 @@
 // structure that makes single-producer/single-consumer access safe.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -108,6 +109,20 @@ class ShardedEngine {
   /// actions at deterministic times with sharded execution. Returns
   /// events executed.
   std::int64_t run_until_windows(double t);
+
+  /// The latest time any shard actually executed an event. After
+  /// run_all_windows() the shard *clocks* rest on the last window edge,
+  /// which depends on the window sequence and hence on the shard count;
+  /// this quantity is a property of the executed event set alone, so it
+  /// is identical at any shard count whenever the event sets are. The
+  /// SWIM chaos driver anchors its epoch timeline here.
+  [[nodiscard]] double quiesce_time() const noexcept {
+    double t = 0.0;
+    for (const auto& e : engines_) {
+      t = std::max(t, e->queue().last_fired());
+    }
+    return t;
+  }
 
   /// Shard s's engine seed. A single-shard group keeps the group seed
   /// itself, so S = 1 reproduces the serial engine bit for bit; larger

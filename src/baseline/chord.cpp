@@ -5,9 +5,9 @@
 
 namespace lesslog::baseline {
 
-ChordRing::ChordRing(const util::StatusWord& live)
-    : m_(live.width()), ring_(util::space_size(live.width())) {
-  nodes_ = live.live_pids();
+ChordRing::ChordRing(const util::LivenessView& view)
+    : m_(view.width()), ring_(util::space_size(view.width())) {
+  nodes_ = view.word().live_pids();
   assert(!nodes_.empty() && "Chord ring needs at least one node");
   node_index_.assign(ring_, 0);
   for (std::uint32_t i = 0; i < nodes_.size(); ++i) {
@@ -23,6 +23,18 @@ ChordRing::ChordRing(const util::StatusWord& live)
     }
   }
 }
+
+// The deprecated bridge delegates through a non-owning view; the
+// temporary only has to outlive the delegated constructor body.
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+ChordRing::ChordRing(const util::StatusWord& live)
+    : ChordRing(util::BorrowedView(live)) {}
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
 std::uint32_t ChordRing::successor(std::uint32_t id) const {
   // nodes_ is sorted; the successor is the first element >= id, wrapping

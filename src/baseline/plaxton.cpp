@@ -5,14 +5,25 @@
 
 namespace lesslog::baseline {
 
-PlaxtonMesh::PlaxtonMesh(const util::StatusWord& live, int bits_per_digit)
-    : m_(live.width()),
+PlaxtonMesh::PlaxtonMesh(const util::LivenessView& view, int bits_per_digit)
+    : m_(view.width()),
       bits_(bits_per_digit),
-      digits_((live.width() + bits_per_digit - 1) / bits_per_digit),
-      nodes_(live.live_pids()) {
+      digits_((view.width() + bits_per_digit - 1) / bits_per_digit),
+      nodes_(view.word().live_pids()) {
   assert(bits_per_digit >= 1 && bits_per_digit <= 8);
   assert(!nodes_.empty() && "prefix mesh needs at least one node");
 }
+
+// Deprecated bridge: wrap the word in a non-owning view and delegate.
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+PlaxtonMesh::PlaxtonMesh(const util::StatusWord& live, int bits_per_digit)
+    : PlaxtonMesh(util::BorrowedView(live), bits_per_digit) {}
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
 std::uint32_t PlaxtonMesh::digit(std::uint32_t id, int pos) const {
   assert(pos >= 0 && pos < digits_);

@@ -119,6 +119,25 @@ void Audit::check(AnySwarm& swarm,
   }
 }
 
+void Audit::check_swim(const SwimEpochStats& stats, int epoch,
+                       std::vector<Violation>& out) {
+  // 6. Detection convergence within the round cap.
+  if (!stats.converged) {
+    violate(out, epoch, "detection_convergence",
+            "detector beliefs still diverge from ground truth after " +
+                std::to_string(stats.rounds) + "/" +
+                std::to_string(stats.round_cap) + " extra periods");
+  }
+  // 7. Clean-wire suspicion: with no fault windows and no membership ops
+  // this epoch, every probe must have been answered in time.
+  if (stats.clean_epoch && stats.suspects > 0) {
+    violate(out, epoch, "swim_false_suspicion",
+            std::to_string(stats.suspects) +
+                " suspicion(s) raised on a fault-free epoch (" +
+                std::to_string(stats.false_suspects) + " on live nodes)");
+  }
+}
+
 template bool Audit::live_copy_exists<proto::Swarm>(proto::Swarm&,
                                                     core::FileId);
 template bool Audit::live_copy_exists<proto::ShardedSwarm>(

@@ -11,7 +11,11 @@ namespace lesslog::chaos {
 Driver::Driver(ChaosConfig cfg)
     : cfg_(cfg), rng_(cfg.seed ^ 0xC0A0'51ABULL) {
   cfg_.validate();
-  if (cfg_.shards > 1) {
+  // SWIM mode always runs the sharded driver (even at shards == 1): the
+  // pre-materialized timeline draws the chaos stream in the same order
+  // for every shard count, which is what makes abl_membership's curves
+  // shard-count-invariant.
+  if (cfg_.shards > 1 || cfg_.swim) {
     proto::ShardedSwarm::Config sc;
     sc.m = cfg_.m;
     sc.b = cfg_.b;
@@ -22,8 +26,21 @@ Driver::Driver(ChaosConfig cfg)
     // the default base_latency keeps every pairwise lookahead floor
     // positive, so the windowed-parallel schedule always exists.
     sc.net.drop_probability = 0.0;
+    sc.net.jitter = cfg_.net_jitter;
+    // SWIM runs spread each link's latency by a small deterministic
+    // per-pair stagger. abl_membership zeroes net_jitter (jitter draws
+    // come from per-shard RNG streams, which would make the trace depend
+    // on the layout); without *any* spread every delivery shares one
+    // constant latency, so a ping-req fan-out lands at its target as a
+    // timestamp tie whose resolution differs between the serial queue
+    // and a sharded mailbox drain. The stagger keeps arrival times on
+    // distinct links distinct, making delivery order a pure function of
+    // time — the last ingredient of shard-count invariance. It only ever
+    // *adds* latency, so the pairwise lookahead floor stays valid.
+    if (cfg_.swim) sc.net.link_stagger = 0.002;
     sharded_ = std::make_unique<proto::ShardedSwarm>(sc);
     tally_.resize(cfg_.shards);
+    if (cfg_.swim) swim_setup();
     return;
   }
   proto::Swarm::Config sc;
@@ -34,6 +51,7 @@ Driver::Driver(ChaosConfig cfg)
   // Ambient loss stays off: loss is expressed through windowed burst
   // rules, so the repair phase after each heal runs on a clean wire.
   sc.net.drop_probability = 0.0;
+  sc.net.jitter = cfg_.net_jitter;
   swarm_ = std::make_unique<proto::Swarm>(sc);
 }
 
@@ -45,7 +63,52 @@ Report Driver::run() {
   // Keep enough peers alive that every fault-tolerance subtree can stay
   // populated (and the swarm never empties out under a hostile draw).
   min_live_ = std::max<std::uint32_t>(4u, (1u << cfg_.b) + 1u);
-  return cfg_.shards > 1 ? run_sharded() : run_serial();
+  return sharded_ != nullptr ? run_sharded() : run_serial();
+}
+
+void Driver::swim_setup() {
+  membership::SwimConfig mc;
+  mc.period = cfg_.swim_period;
+  mc.direct_timeout = cfg_.swim_direct_timeout;
+  mc.proxies = cfg_.swim_proxies;
+  mc.suspect_periods = cfg_.swim_suspect_periods;
+  mc.gossip_repeats = cfg_.swim_gossip_repeats;
+  mc.seed = cfg_.seed;
+  swim_ = std::make_unique<membership::SwimRuntime>(mc, cfg_.m);
+  for (std::size_t s = 0; s < cfg_.shards; ++s) {
+    sharded_->network(s).add_sink(*swim_);
+  }
+  swim_->set_truth_provider([this] { return &sharded_->status(); });
+  for (std::uint32_t p = 0; p < util::space_size(cfg_.m); ++p) {
+    if (sharded_->status().is_live(p)) swim_attach(core::Pid{p});
+  }
+}
+
+void Driver::swim_drain_confirms() {
+  // Detection latency = crash -> earliest TRUE confirm anywhere. A false
+  // confirm (partition casualty) never closes a crash's measurement. The
+  // sim-time minimum is what makes the curves shard-count invariant: a
+  // "first callback wins" hook would record thread arrival order.
+  for (const membership::ConfirmEvent& ev : swim_->drain_confirms()) {
+#ifdef LESSLOG_SWIM_DEBUG
+    std::fprintf(stderr, "DBG confirm t=%.9f subj=%u by=%u false=%d\n",
+                 ev.time, ev.subject, ev.by, (int)ev.false_confirm);
+#endif
+    if (ev.false_confirm) continue;
+    const auto it = swim_crash_time_.find(ev.subject);
+    if (it == swim_crash_time_.end()) continue;
+    const double lat = ev.time - it->second.crash_time;
+    if (lat < 0.0) continue;
+    if (it->second.latency < 0.0 || lat < it->second.latency) {
+      it->second.latency = lat;
+    }
+  }
+}
+
+void Driver::swim_attach(core::Pid p) {
+  const std::size_t s = sharded_->shard_of(p);
+  swim_->attach_peer(sharded_->peer(p), sharded_->engine(s),
+                     &sharded_->metrics(s));
 }
 
 // ---------------------------------------------------------------------------
@@ -333,8 +396,24 @@ Report Driver::run_sharded() {
   std::uint64_t seq = 0;
 
   for (int epoch = 0; epoch < cfg_.epochs; ++epoch) {
-    const double now = sharded_now();
+    // Epoch anchor. Oracle mode keeps the clock-based anchor (pinned by
+    // the sharded replay gates). SWIM mode anchors on quiesce_time() —
+    // the last *executed* event — because settle() parks the shard
+    // clocks on the final window edge, which depends on the window
+    // sequence and hence the shard count; every op time, fault window
+    // and tick horizon derives from this anchor, so a layout-dependent
+    // anchor would skew the whole detection trace. Every scheduled
+    // offset below (>= 0.05 * L) dwarfs the clocks' sub-second edge
+    // overshoot, so anchoring slightly behind a clock is safe: the next
+    // run_until() realigns all clocks at the op time.
+    const double now = swim_ ? sharded_->quiesce_time() : sharded_now();
     const double epoch_end = now + L;
+    // Per-epoch detector baselines (deltas feed the SWIM audit checks).
+    const membership::SwimRuntime::Tally tally_base =
+        swim_ ? swim_->tally() : membership::SwimRuntime::Tally{};
+    const std::size_t ops_base = record_.ops.size();
+    const std::size_t latency_base = swim_detect_latency_.size();
+    if (swim_) swim_->arm(epoch_end);
     const proto::FaultPlan plan = make_epoch_plan(cfg_, rng_, epoch, now);
     if (!plan.rules.empty()) {
       // Every shard network runs the same plan: windows are wall-clock
@@ -398,7 +477,13 @@ Report Driver::run_sharded() {
                 OpRecord{at, OpKind::kSilentCrash, victim.value()});
             break;  // broken mode: the node never comes back
           }
-          sw.crash(victim);
+          if (swim_) {
+            // No oracle announcement: the fleet must *detect* this.
+            sw.crash_unannounced(victim);
+            swim_crash_time_[victim.value()] = CrashSample{at, -1.0};
+          } else {
+            sw.crash(victim);
+          }
           record_.ops.push_back(OpRecord{at, OpKind::kCrash, victim.value()});
           const double back = at + (0.20 + 0.30 * rng_.uniform01()) * L;
           timeline.push(
@@ -407,7 +492,22 @@ Report Driver::run_sharded() {
         }
         case TimelineItem::Kind::kRestart: {
           if (sw.status().is_live(item.pid)) break;
+          // Close the crash's measurement: finalize the earliest confirm
+          // seen so far, or forfeit the sample entirely if the restart
+          // outran detection (the node was never confirmed dead during
+          // its downtime).
+          if (swim_) {
+            swim_drain_confirms();
+            const auto it = swim_crash_time_.find(item.pid);
+            if (it != swim_crash_time_.end()) {
+              if (it->second.latency >= 0.0) {
+                swim_detect_latency_.push_back(it->second.latency);
+              }
+              swim_crash_time_.erase(it);
+            }
+          }
           sw.restart(core::Pid{item.pid});
+          if (swim_) swim_attach(core::Pid{item.pid});
           record_.ops.push_back(OpRecord{at, OpKind::kRestart, item.pid});
           break;
         }
@@ -422,6 +522,7 @@ Report Driver::run_sharded() {
         case TimelineItem::Kind::kJoin: {
           if (sw.status().dead_count() == 0) break;
           const core::Pid joined = sw.join();
+          if (swim_) swim_attach(joined);
           record_.ops.push_back(OpRecord{at, OpKind::kJoin, joined.value()});
           break;
         }
@@ -433,7 +534,75 @@ Report Driver::run_sharded() {
 
     sw.run_until(epoch_end);
     sw.settle();
-    if (!cfg_.silent_crashes) {
+    if (swim_) {
+      // Detection convergence replaces the oracle reannounce: extend the
+      // detector's horizon one protocol period at a time until every live
+      // agent's belief equals ground truth (suspects confirmed, false
+      // beliefs refuted), bounded by the configured round cap.
+      SwimEpochStats stats;
+      stats.round_cap = cfg_.swim_convergence_rounds;
+      while (!swim_->converged(sw.status()) &&
+             stats.rounds < stats.round_cap) {
+        const double t = sharded_->quiesce_time() + cfg_.swim_period;
+        swim_->arm(t);
+        sw.run_until(t);
+        sw.settle();
+        ++stats.rounds;
+      }
+      stats.converged = swim_->converged(sw.status());
+#ifdef LESSLOG_SWIM_DEBUG
+      {
+        const membership::SwimRuntime::Tally d = swim_->tally();
+        std::fprintf(stderr,
+                     "DBG epoch=%d rounds=%d pings=%lld acks=%lld preq=%lld "
+                     "susp=%lld conf=%lld ref=%lld gb=%lld\n",
+                     epoch, stats.rounds, (long long)d.pings,
+                     (long long)d.acks, (long long)d.ping_reqs,
+                     (long long)d.suspects, (long long)d.confirms,
+                     (long long)d.refutations, (long long)d.gossip_bytes);
+      }
+      if (!stats.converged) {
+        const util::StatusWord& truth = sw.status();
+        for (std::uint32_t p = 0; p < util::space_size(cfg_.m); ++p) {
+          membership::SwimAgent* a = swim_->agent(core::Pid{p});
+          if (a == nullptr || !a->enabled()) continue;
+          const util::StatusWord& w = a->view().word();
+          for (std::uint32_t q = 0; q < util::space_size(cfg_.m); ++q) {
+            if (w.is_live(q) != truth.is_live(q)) {
+              std::fprintf(stderr, "DBG epoch=%d agent=%u bit=%u truth=%s\n",
+                           epoch, p, q,
+                           truth.is_live(q) ? "live" : "dead");
+            }
+          }
+        }
+      }
+#endif
+      // Fold this epoch's confirms and close out detected crashes: once
+      // the detector has converged, a crash's earliest confirm is final
+      // (any later confirm of the same death has a later timestamp).
+      swim_drain_confirms();
+      for (auto it = swim_crash_time_.begin();
+           it != swim_crash_time_.end();) {
+        if (it->second.latency >= 0.0) {
+          swim_detect_latency_.push_back(it->second.latency);
+          it = swim_crash_time_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      const membership::SwimRuntime::Tally tly = swim_->tally();
+      stats.clean_epoch =
+          plan.rules.empty() && record_.ops.size() == ops_base;
+      stats.suspects = tly.suspects - tally_base.suspects;
+      stats.false_suspects = tly.false_suspects - tally_base.false_suspects;
+      stats.false_confirms = tly.false_confirms - tally_base.false_confirms;
+      stats.detection_latency.assign(
+          swim_detect_latency_.begin() +
+              static_cast<std::ptrdiff_t>(latency_base),
+          swim_detect_latency_.end());
+      Audit::check_swim(stats, epoch, report.violations);
+      report.swim_epochs.push_back(std::move(stats));
+    } else if (!cfg_.silent_crashes) {
       sw.reannounce();
       sw.settle();
     }
@@ -456,7 +625,11 @@ Report Driver::run_sharded() {
         sw.metrics(s).repair_pushes->value());
   }
 #endif
-  report.sim_time = sharded_now();
+  report.sim_time = swim_ ? sharded_->quiesce_time() : sharded_now();
+  if (swim_) {
+    report.swim = swim_->tally();
+    report.detection_latency = swim_detect_latency_;
+  }
   return report;
 }
 

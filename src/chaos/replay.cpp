@@ -71,7 +71,15 @@ std::string artifact_to_json(const Report& report) {
      << ",\"duplicates\":" << b(c.duplicates)
      << ",\"delay_spikes\":" << b(c.delay_spikes)
      << ",\"crashes\":" << b(c.crashes) << ",\"churn\":" << b(c.churn)
-     << ",\"silent_crashes\":" << b(c.silent_crashes) << "},";
+     << ",\"silent_crashes\":" << b(c.silent_crashes)
+     << ",\"swim\":" << b(c.swim)
+     << ",\"swim_period\":" << num(c.swim_period)
+     << ",\"swim_direct_timeout\":" << num(c.swim_direct_timeout)
+     << ",\"swim_proxies\":" << c.swim_proxies
+     << ",\"swim_suspect_periods\":" << c.swim_suspect_periods
+     << ",\"swim_gossip_repeats\":" << c.swim_gossip_repeats
+     << ",\"swim_convergence_rounds\":" << c.swim_convergence_rounds
+     << ",\"net_jitter\":" << num(c.net_jitter) << "},";
   os << "\"violations\":[";
   for (std::size_t i = 0; i < report.violations.size(); ++i) {
     const Violation& v = report.violations[i];
@@ -103,7 +111,26 @@ std::string artifact_to_json(const Report& report) {
      << ",\"workload_issued\":" << report.workload_issued
      << ",\"workload_completed\":" << report.workload_completed
      << ",\"workload_faults\":" << report.workload_faults
-     << ",\"sim_time\":" << num(report.sim_time) << "}}";
+     << ",\"sim_time\":" << num(report.sim_time);
+  if (c.swim) {
+    os << ",\"swim\":{\"pings\":" << report.swim.pings
+       << ",\"ping_reqs\":" << report.swim.ping_reqs
+       << ",\"acks\":" << report.swim.acks
+       << ",\"suspects\":" << report.swim.suspects
+       << ",\"confirms\":" << report.swim.confirms
+       << ",\"false_suspects\":" << report.swim.false_suspects
+       << ",\"false_confirms\":" << report.swim.false_confirms
+       << ",\"refutations\":" << report.swim.refutations
+       << ",\"incarnation_bumps\":" << report.swim.incarnation_bumps
+       << ",\"gossip_bytes\":" << report.swim.gossip_bytes
+       << ",\"detection_latency\":[";
+    for (std::size_t i = 0; i < report.detection_latency.size(); ++i) {
+      if (i != 0) os << ',';
+      os << num(report.detection_latency[i]);
+    }
+    os << "]}";
+  }
+  os << "}}";
   return os.str();
 }
 
@@ -168,6 +195,32 @@ ChaosConfig config_from_artifact(const std::string& json) {
   out.crashes = require(cfg, "crashes").boolean;
   out.churn = require(cfg, "churn").boolean;
   out.silent_crashes = require(cfg, "silent_crashes").boolean;
+  // SWIM keys are absent in pre-membership artifacts; those replay in
+  // oracle mode with the default tunables.
+  if (const util::minijson::Value* v = cfg.find("swim")) {
+    out.swim = v->boolean;
+  }
+  if (const util::minijson::Value* v = cfg.find("swim_period")) {
+    out.swim_period = v->number;
+  }
+  if (const util::minijson::Value* v = cfg.find("swim_direct_timeout")) {
+    out.swim_direct_timeout = v->number;
+  }
+  if (const util::minijson::Value* v = cfg.find("swim_proxies")) {
+    out.swim_proxies = static_cast<int>(v->number);
+  }
+  if (const util::minijson::Value* v = cfg.find("swim_suspect_periods")) {
+    out.swim_suspect_periods = static_cast<int>(v->number);
+  }
+  if (const util::minijson::Value* v = cfg.find("swim_gossip_repeats")) {
+    out.swim_gossip_repeats = static_cast<int>(v->number);
+  }
+  if (const util::minijson::Value* v = cfg.find("swim_convergence_rounds")) {
+    out.swim_convergence_rounds = static_cast<int>(v->number);
+  }
+  if (const util::minijson::Value* v = cfg.find("net_jitter")) {
+    out.net_jitter = v->number;
+  }
   out.validate();
   return out;
 }
@@ -183,7 +236,10 @@ bool same_outcome(const Report& a, const Report& b) {
          a.workload_issued == b.workload_issued &&
          a.workload_completed == b.workload_completed &&
          a.workload_faults == b.workload_faults &&
-         a.messages_sent == b.messages_sent;
+         a.messages_sent == b.messages_sent &&
+         // Oracle runs leave both at their zero defaults; SWIM runs must
+         // reproduce the detector's whole ledger, not just the workload's.
+         a.swim == b.swim && a.detection_latency == b.detection_latency;
 }
 
 }  // namespace lesslog::chaos

@@ -28,15 +28,44 @@ void ChaosConfig::validate() const {
     throw std::invalid_argument(
         "ChaosConfig: fault_intensity must be in [0, 1]");
   }
-  if (files < 1) {
-    throw std::invalid_argument("ChaosConfig: files must be positive");
+  // files == 0 is the membership-only configuration (abl_membership):
+  // with no catalog there is no placement or repair traffic, so nothing
+  // in the run consumes a shard-seeded engine RNG stream and the whole
+  // detection trace is identical for every shard count.
+  if (files < 0) {
+    throw std::invalid_argument("ChaosConfig: files must be non-negative");
   }
   if (std::isnan(get_rate) || get_rate < 0.0) {
     throw std::invalid_argument(
         "ChaosConfig: get_rate must be non-negative");
   }
+  if (get_rate > 0.0 && files < 1) {
+    throw std::invalid_argument(
+        "ChaosConfig: a GET workload (get_rate > 0) needs files >= 1");
+  }
   if (shards < 1 || shards > util::space_size(m)) {
     throw std::invalid_argument("ChaosConfig: shards must be in [1, 2^m]");
+  }
+  if (swim && silent_crashes) {
+    throw std::invalid_argument(
+        "ChaosConfig: swim and silent_crashes are exclusive (SWIM's whole "
+        "point is detecting unannounced crashes)");
+  }
+  if (std::isnan(swim_period) || swim_period <= 0.0) {
+    throw std::invalid_argument("ChaosConfig: swim_period must be positive");
+  }
+  if (std::isnan(swim_direct_timeout) || swim_direct_timeout <= 0.0 ||
+      swim_direct_timeout >= swim_period) {
+    throw std::invalid_argument(
+        "ChaosConfig: swim_direct_timeout must be in (0, swim_period)");
+  }
+  if (swim_proxies < 0 || swim_suspect_periods < 1 ||
+      swim_gossip_repeats < 1 || swim_convergence_rounds < 1) {
+    throw std::invalid_argument("ChaosConfig: bad SWIM tunables");
+  }
+  if (std::isnan(net_jitter) || net_jitter < 0.0) {
+    throw std::invalid_argument(
+        "ChaosConfig: net_jitter must be non-negative");
   }
 }
 

@@ -6,11 +6,11 @@ namespace lesslog::obs {
 
 WireMetrics::WireMetrics(Registry& registry) {
   using proto::MsgType;
-  for (std::size_t tag = 1; tag < kTypeSlots; ++tag) {
+  for (std::size_t tag = 1; tag < kLegacyTypeSlots; ++tag) {
     const char* name = proto::type_name(static_cast<MsgType>(tag));
     msgs_in[tag] = &registry.counter(std::string("msgs_in.") + name);
   }
-  for (std::size_t tag = 1; tag < kTypeSlots; ++tag) {
+  for (std::size_t tag = 1; tag < kLegacyTypeSlots; ++tag) {
     const char* name = proto::type_name(static_cast<MsgType>(tag));
     msgs_out[tag] = &registry.counter(std::string("msgs_out.") + name);
   }
@@ -39,6 +39,22 @@ WireMetrics::WireMetrics(Registry& registry) {
   repair_pushes = &registry.counter("peer.repair_pushes");
   cross_shard_msgs = &registry.counter("net.cross_shard_msgs");
   intra_shard_msgs = &registry.counter("net.intra_shard_msgs");
+  // SWIM additions — every new cell after every pre-existing one, so the
+  // first N snapshot indices are unchanged and existing merge consumers
+  // (per-shard registries, replay artifacts) keep their alignment.
+  for (std::size_t tag = kLegacyTypeSlots; tag < kTypeSlots; ++tag) {
+    const char* name = proto::type_name(static_cast<MsgType>(tag));
+    msgs_in[tag] = &registry.counter(std::string("msgs_in.") + name);
+  }
+  for (std::size_t tag = kLegacyTypeSlots; tag < kTypeSlots; ++tag) {
+    const char* name = proto::type_name(static_cast<MsgType>(tag));
+    msgs_out[tag] = &registry.counter(std::string("msgs_out.") + name);
+  }
+  swim_suspects = &registry.counter("swim.suspects");
+  swim_confirms = &registry.counter("swim.confirms");
+  swim_refutations = &registry.counter("swim.refutations");
+  swim_incarnation_bumps = &registry.counter("swim.incarnation_bumps");
+  swim_gossip_bytes = &registry.counter("swim.gossip_bytes");
 }
 
 }  // namespace lesslog::obs

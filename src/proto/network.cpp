@@ -21,6 +21,10 @@ void NetworkConfig::validate() const {
     throw std::invalid_argument(
         "NetworkConfig: drop_probability must be in [0, 1]");
   }
+  if (std::isnan(link_stagger) || link_stagger < 0.0) {
+    throw std::invalid_argument(
+        "NetworkConfig: link_stagger must be non-negative");
+  }
 }
 
 Network::Network(sim::Engine& engine, NetworkConfig cfg)
@@ -128,6 +132,18 @@ double Network::link_latency(core::Pid a, core::Pid b) const {
   return cfg_.base_latency + geographic;
 }
 
+double Network::link_stagger(core::Pid a, core::Pid b) const noexcept {
+  if (cfg_.link_stagger == 0.0) return 0.0;
+  // SplitMix64 finalizer over the ordered pair: a fixed, well-mixed
+  // fraction per directed link, consuming no RNG stream.
+  std::uint64_t x = (std::uint64_t{a.value()} << 32) | b.value();
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  return cfg_.link_stagger * (static_cast<double>(x >> 11) * 0x1.0p-53);
+}
+
 void Network::send(const Message& m) {
   static_assert(sim::InplaceEvent::stored_inline<DeliveryEvent>(),
                 "the per-message delivery event must fit the event "
@@ -148,6 +164,7 @@ void Network::send(const Message& m) {
   }
   const double latency =
       (coords_.empty() ? cfg_.base_latency : link_latency(m.from, m.to)) +
+      link_stagger(m.from, m.to) +
       (cfg_.jitter > 0.0 ? engine_->rng().uniform01() * cfg_.jitter : 0.0);
   if (injector_ == nullptr) {
     if (forward_ != nullptr) {
@@ -161,7 +178,7 @@ void Network::send(const Message& m) {
       LESSLOG_METRICS(
           if (metrics_ != nullptr) metrics_->intra_shard_msgs->inc());
     }
-    if (cfg_.jitter == 0.0 && coords_.empty()) {
+    if (cfg_.jitter == 0.0 && coords_.empty() && cfg_.link_stagger == 0.0) {
       // Deterministic flat-latency link: every delivery shares the one
       // constant delay, so the O(1) FIFO lane replaces a wheel insertion
       // (and its lazy bucket sort). Same (time, seq) key either way —
@@ -226,7 +243,8 @@ void Network::send_faulty(const Message& m, DeliveryEvent& ev,
     // timing would be unchanged); a duplicate gets its own jitter from
     // the injector's stream to land at a distinct time.
     const double base =
-        coords_.empty() ? cfg_.base_latency : link_latency(m.from, m.to);
+        (coords_.empty() ? cfg_.base_latency : link_latency(m.from, m.to)) +
+        link_stagger(m.from, m.to);
     const double copy_latency =
         (c == 0 ? latency : base + injector_->jitter(cfg_.jitter)) + spike;
     if (forward_ != nullptr) {

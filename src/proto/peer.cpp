@@ -21,8 +21,8 @@ Peer::Peer(core::Pid pid, int b, util::StatusWord initial_status,
 
 Peer::Peer(core::Pid pid, int b, util::CowStatus initial_status,
            Network& network)
-    : pid_(pid), b_(b), status_(std::move(initial_status)),
-      network_(&network),
+    : pid_(pid), b_(b), view_(&oracle_),
+      oracle_(std::move(initial_status)), network_(&network),
       // Stripe push ids per peer so concurrent pushes never collide.
       next_push_id_((std::uint64_t{0xF11EULL} << 48) |
                     (std::uint64_t{pid.value()} << 20)) {
@@ -39,8 +39,8 @@ void Peer::attach() {
 
 void Peer::detach() { network_->detach(pid_); }
 
-void Peer::rejoin(util::StatusWord fresh_status) {
-  status_.assign(std::move(fresh_status));
+void Peer::rejoin(util::CowStatus fresh_status) {
+  view_->reset(std::move(fresh_status));
   store_ = core::FileStore{};
   placed_.clear();
   pending_pushes_.clear();  // stale push timers see an empty map: no-ops
@@ -63,6 +63,13 @@ void Peer::handle(const Message& m) {
     case MsgType::kGetReply:
     case MsgType::kInsertAck:
       if (reply_sink_) reply_sink_(m);
+      return;
+    case MsgType::kPing:
+    case MsgType::kPingAck:
+    case MsgType::kPingReq:
+      // SWIM probe traffic belongs to the colocated membership runtime;
+      // without one (oracle mode) the datagram is silently dropped.
+      if (membership_fn_ != nullptr) membership_fn_(membership_ctx_, m);
       return;
   }
 }
@@ -188,22 +195,30 @@ void Peer::on_update(const Message& m) {
 }
 
 void Peer::on_status(const Message& m) {
-  // Check-before-mutate: a redundant announcement (bit already in the
-  // desired state) must not clone a shared snapshot — at scale most peers
-  // never diverge from the swarm-wide construction snapshot at all.
   if (m.ok) {
-    if (!status().is_live(m.subject.value())) {
-      status_.mutate().set_live(m.subject.value());
-    }
-    return;
+    learn_live(m.subject);
+  } else {
+    learn_dead(m.subject);
   }
-  // snapshot() is O(1): it aliases the current bits, and mutate() below
-  // copies-on-write precisely because the snapshot still references them.
-  const util::CowStatus before = status_.snapshot();
-  if (status().is_live(m.subject.value())) {
-    status_.mutate().set_dead(m.subject.value());
-  }
-  recover_after_crash(m.subject, before.read());
+}
+
+void Peer::learn_live(core::Pid subject) {
+  // believe_live is a check-before-mutate no-op when the bit is already
+  // set: a redundant announcement must not clone a shared snapshot — at
+  // scale most peers never diverge from the swarm-wide construction
+  // snapshot at all.
+  view_->believe_live(subject.value());
+}
+
+void Peer::learn_dead(core::Pid subject) {
+  // snapshot() is O(1): it aliases the current bits, and the mutation
+  // below copies-on-write precisely because the snapshot references them.
+  // Recovery runs even for a redundant death notice — re-running against
+  // an unchanged word finds nothing to push, and keeping the call
+  // unconditional pins the pre-seam message schedule bit for bit.
+  const util::CowStatus before = view_->snapshot();
+  view_->believe_dead(subject.value());
+  recover_after_crash(subject, before.read());
 }
 
 void Peer::recover_after_crash(core::Pid crashed,
@@ -255,9 +270,7 @@ void Peer::on_push_ack(const Message& m) {
 void Peer::on_reclaim(const Message& m) {
   // The reclaim may race ahead of the joiner's status announcement;
   // learning "X is live" from X's own reclaim message is sound.
-  if (!status().is_live(m.subject.value())) {
-    status_.mutate().set_live(m.subject.value());
-  }
+  learn_live(m.subject);
   const util::StatusWord& st = status();
   for (const core::FileId f : store_.inserted_files()) {
     const core::LookupTree tree(st.width(), target_of(f));

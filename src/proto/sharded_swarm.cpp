@@ -114,7 +114,7 @@ ShardedSwarm::ShardedSwarm(Config cfg)
 
 ShardedSwarm::ShardedSwarm(Config cfg, Plan plan)
     : cfg_(cfg),
-      status_(cfg.m),
+      status_(util::StatusWord(cfg.m)),
       engines_(cfg.shards, cfg.seed,
                cfg.shards > 1 ? plan.floor : cfg.net.base_latency),
       router_(plan.map) {
@@ -150,7 +150,9 @@ ShardedSwarm::ShardedSwarm(Config cfg, Plan plan)
       router_.drain_into(s, shards_[s]->network);
     });
   }
-  for (std::uint32_t p = 0; p < cfg_.nodes; ++p) status_.set_live(p);
+  for (std::uint32_t p = 0; p < cfg_.nodes; ++p) {
+    status_.mutate().set_live(p);  // sole owner here: never clones
+  }
   peers_.resize(util::space_size(cfg_.m));
   clients_.resize(util::space_size(cfg_.m));
   auto_replicas_by_shard_.assign(cfg_.shards, 0);
@@ -158,9 +160,8 @@ ShardedSwarm::ShardedSwarm(Config cfg, Plan plan)
   // One shared copy-on-write snapshot for the whole construction batch:
   // at m=16 this replaces 2^16 distinct 8 KiB status words (512 MiB) with
   // a single word that peers alias until their views diverge.
-  const auto initial_view = std::make_shared<util::StatusWord>(status_);
   for (std::uint32_t p = 0; p < cfg_.nodes; ++p) {
-    make_peer(core::Pid{p}, util::CowStatus(initial_view));
+    make_peer(core::Pid{p}, status_.snapshot());
   }
 }
 
@@ -257,20 +258,21 @@ std::optional<core::Pid> ShardedSwarm::replicate(
 }
 
 core::Pid ShardedSwarm::join(std::optional<core::Pid> requested) {
-  const core::Pid p = requested.value_or(core::Pid{status_.first_dead()});
-  assert(!status_.is_live(p.value()));
-  status_.set_live(p.value());
+  const core::Pid p =
+      requested.value_or(core::Pid{status_.read().first_dead()});
+  assert(!status_.read().is_live(p.value()));
+  status_.mutate().set_live(p.value());
   if (peers_[p.value()]) {
-    peers_[p.value()]->rejoin(status_);
+    peers_[p.value()]->rejoin(status_.snapshot());
   } else {
-    make_peer(p, util::CowStatus(status_));
+    make_peer(p, status_.snapshot());
   }
   Shard& sh = home(p);
   sh.network.notify_peer_event(engines_.shard(shard_of(p)).now(), p,
                                /*live=*/true);
   broadcast_status(p, /*live=*/true);
   for (std::uint32_t q = 0; q < util::space_size(cfg_.m); ++q) {
-    if (q == p.value() || !status_.is_live(q)) continue;
+    if (q == p.value() || !status_.read().is_live(q)) continue;
     Message reclaim;
     reclaim.type = MsgType::kReclaim;
     reclaim.from = p;
@@ -283,50 +285,52 @@ core::Pid ShardedSwarm::join(std::optional<core::Pid> requested) {
 }
 
 void ShardedSwarm::depart(core::Pid p) {
-  assert(status_.is_live(p.value()));
+  assert(status_.read().is_live(p.value()));
   peers_[p.value()]->graceful_leave();
   broadcast_status(p, /*live=*/false);
-  status_.set_dead(p.value());
+  status_.mutate().set_dead(p.value());
   peers_[p.value()]->detach();
   home(p).network.notify_peer_event(engines_.shard(shard_of(p)).now(), p,
                                     /*live=*/false);
 }
 
 void ShardedSwarm::crash(core::Pid p) {
-  assert(status_.is_live(p.value()));
+  assert(status_.read().is_live(p.value()));
   peers_[p.value()]->detach();
-  status_.set_dead(p.value());
+  status_.mutate().set_dead(p.value());
   broadcast_status(p, /*live=*/false);
   home(p).network.notify_peer_event(engines_.shard(shard_of(p)).now(), p,
                                     /*live=*/false);
 }
 
 void ShardedSwarm::restart(core::Pid p) {
-  assert(!status_.is_live(p.value()));
+  assert(!status_.read().is_live(p.value()));
   join(p);
 }
 
 void ShardedSwarm::reannounce() {
   for (std::uint32_t p = 0; p < util::space_size(cfg_.m); ++p) {
     if (!peers_[p]) continue;
-    broadcast_status(core::Pid{p}, status_.is_live(p));
+    broadcast_status(core::Pid{p}, status_.read().is_live(p));
   }
 }
 
-void ShardedSwarm::crash_silent(core::Pid p) {
-  assert(status_.is_live(p.value()));
+void ShardedSwarm::crash_unannounced(core::Pid p) {
+  assert(status_.read().is_live(p.value()));
   peers_[p.value()]->detach();
-  status_.set_dead(p.value());
+  status_.mutate().set_dead(p.value());
   home(p).network.notify_peer_event(engines_.shard(shard_of(p)).now(), p,
                                     /*live=*/false);
 }
+
+void ShardedSwarm::crash_silent(core::Pid p) { crash_unannounced(p); }
 
 void ShardedSwarm::broadcast_status(core::Pid about, bool live) {
   // Announcements originate at `about`, so they ride its shard's network
   // (and draw jitter from that shard's RNG stream).
   Network& net = home(about).network;
   for (std::uint32_t q = 0; q < util::space_size(cfg_.m); ++q) {
-    if (q == about.value() || !status_.is_live(q)) continue;
+    if (q == about.value() || !status_.read().is_live(q)) continue;
     Message announce;
     announce.type = MsgType::kStatusAnnounce;
     announce.from = about;
@@ -364,7 +368,7 @@ void ShardedSwarm::auto_replication_tick(std::size_t s, double capacity,
       static_cast<std::uint64_t>(removal_threshold * window);
   for (std::uint32_t p = 0; p < util::space_size(cfg_.m); ++p) {
     if (router_.shard_of(core::Pid{p}) != s) continue;
-    if (!status_.is_live(p) || !peers_[p]) continue;
+    if (!status_.read().is_live(p) || !peers_[p]) continue;
     Peer& peer_ref = *peers_[p];
     if (peer_ref.served() > budget) {
       if (peer_ref.shed_hottest().has_value()) {
@@ -414,12 +418,12 @@ void ShardedSwarm::enable_metrics_sampling(double interval,
               static_cast<double>(engines_.shard(s).queue().size()));
           if (s == 0) {
             sh.metrics.live_peers->set(
-                static_cast<double>(status_.live_count()));
+                static_cast<double>(status_.read().live_count()));
           }
           std::int64_t hottest = 0;
           for (std::uint32_t p = 0; p < util::space_size(cfg_.m); ++p) {
             if (router_.shard_of(core::Pid{p}) != s) continue;
-            if (status_.is_live(p) && peers_[p]) {
+            if (status_.read().is_live(p) && peers_[p]) {
               hottest = std::max(hottest, peers_[p]->served());
             }
           }

@@ -11,7 +11,7 @@ Swarm::Swarm(Config cfg)
     : cfg_(cfg),
       engine_(cfg.seed),
       network_(engine_, cfg.net),
-      status_(cfg.m),
+      status_(util::StatusWord(cfg.m)),
       metrics_(registry_),
       metrics_sink_(metrics_) {
   assert(cfg_.nodes <= util::space_size(cfg_.m));
@@ -19,17 +19,17 @@ Swarm::Swarm(Config cfg)
   network_.set_metrics(&metrics_);
   network_.add_sink(metrics_sink_);
 #endif
-  for (std::uint32_t p = 0; p < cfg_.nodes; ++p) status_.set_live(p);
+  for (std::uint32_t p = 0; p < cfg_.nodes; ++p) {
+    status_.mutate().set_live(p);  // sole owner here: never clones
+  }
   peers_.resize(util::space_size(cfg_.m));
   clients_.resize(util::space_size(cfg_.m));
-  // All peers start from the same view, so hand every one of them the same
-  // copy-on-write snapshot instead of 2^m distinct 2^m-bit words; a peer
-  // only materializes its own copy if its view ever diverges.
-  const auto initial_view = std::make_shared<util::StatusWord>(status_);
+  // All peers start from the same view, so hand every one of them an O(1)
+  // snapshot of the truth instead of 2^m distinct 2^m-bit words; the first
+  // truth mutation (or a peer's view diverging) copies-on-write once.
   for (std::uint32_t p = 0; p < cfg_.nodes; ++p) {
     peers_[p] = std::make_unique<Peer>(core::Pid{p}, cfg_.b,
-                                       util::CowStatus(initial_view),
-                                       network_);
+                                       status_.snapshot(), network_);
     peers_[p]->set_metrics(&metrics_);
     peers_[p]->attach();
     clients_[p] =
@@ -111,18 +111,20 @@ std::optional<core::Pid> Swarm::replicate(core::FileId file, core::Pid r,
 }
 
 core::Pid Swarm::join(std::optional<core::Pid> requested) {
-  const core::Pid p = requested.value_or(core::Pid{status_.first_dead()});
-  assert(!status_.is_live(p.value()));
-  status_.set_live(p.value());
+  const core::Pid p =
+      requested.value_or(core::Pid{status_.read().first_dead()});
+  assert(!status_.read().is_live(p.value()));
+  status_.mutate().set_live(p.value());
   // The joiner obtains a fresh status word from a neighbor (modelled as
-  // the swarm's ground truth) and announces itself to everyone. Peer and
-  // Client objects are reused across rejoin cycles: engine timers capture
-  // raw pointers to them, so they must live as long as the swarm.
+  // an O(1) snapshot of the swarm's ground truth) and announces itself to
+  // everyone. Peer and Client objects are reused across rejoin cycles:
+  // engine timers capture raw pointers to them, so they must live as long
+  // as the swarm.
   if (peers_[p.value()]) {
-    peers_[p.value()]->rejoin(status_);
+    peers_[p.value()]->rejoin(status_.snapshot());
   } else {
     peers_[p.value()] =
-        std::make_unique<Peer>(p, cfg_.b, status_, network_);
+        std::make_unique<Peer>(p, cfg_.b, status_.snapshot(), network_);
     peers_[p.value()]->set_metrics(&metrics_);
     peers_[p.value()]->attach();
     clients_[p.value()] =
@@ -134,7 +136,7 @@ core::Pid Swarm::join(std::optional<core::Pid> requested) {
   // Section 5.1: sweep the swarm for ψ-named files this node is now the
   // authoritative holder of; current holders push them back.
   for (std::uint32_t q = 0; q < util::space_size(cfg_.m); ++q) {
-    if (q == p.value() || !status_.is_live(q)) continue;
+    if (q == p.value() || !status_.read().is_live(q)) continue;
     Message reclaim;
     reclaim.type = MsgType::kReclaim;
     reclaim.from = p;
@@ -147,28 +149,28 @@ core::Pid Swarm::join(std::optional<core::Pid> requested) {
 }
 
 void Swarm::depart(core::Pid p) {
-  assert(status_.is_live(p.value()));
+  assert(status_.read().is_live(p.value()));
   // Graceful: push inserted files to their next holders first (5.2)...
   peers_[p.value()]->graceful_leave();
   // ...then register the departure and go dark.
   broadcast_status(p, /*live=*/false);
-  status_.set_dead(p.value());
+  status_.mutate().set_dead(p.value());
   peers_[p.value()]->detach();
   network_.notify_peer_event(engine_.now(), p, /*live=*/false);
 }
 
 void Swarm::crash(core::Pid p) {
-  assert(status_.is_live(p.value()));
+  assert(status_.read().is_live(p.value()));
   // The store is lost instantly; the failure is then detected and
   // announced, which triggers sibling-subtree recovery at the survivors.
   peers_[p.value()]->detach();
-  status_.set_dead(p.value());
+  status_.mutate().set_dead(p.value());
   broadcast_status(p, /*live=*/false);
   network_.notify_peer_event(engine_.now(), p, /*live=*/false);
 }
 
 void Swarm::restart(core::Pid p) {
-  assert(!status_.is_live(p.value()));
+  assert(!status_.read().is_live(p.value()));
   join(p);
 }
 
@@ -177,24 +179,32 @@ void Swarm::reannounce() {
     // Only PIDs that ever existed matter; a slot that never had a peer
     // was never announced live to anyone.
     if (!peers_[p]) continue;
-    broadcast_status(core::Pid{p}, status_.is_live(p));
+    broadcast_status(core::Pid{p}, status_.read().is_live(p));
   }
 }
 
-void Swarm::crash_silent(core::Pid p) {
-  assert(status_.is_live(p.value()));
+void Swarm::crash_unannounced(core::Pid p) {
+  assert(status_.read().is_live(p.value()));
   peers_[p.value()]->detach();
-  status_.set_dead(p.value());
+  status_.mutate().set_dead(p.value());
   network_.notify_peer_event(engine_.now(), p, /*live=*/false);
-  // No broadcast_status: survivors never learn of the failure, so
-  // sibling-subtree recovery never runs. reannounce() deliberately
-  // repairs only liveness views, not lost data — the resulting replica
-  // loss is exactly what chaos::Audit must flag.
+  // No broadcast_status: in SWIM mode the failure detector discovers the
+  // silence, gossips the suspicion, and the eventual confirm triggers the
+  // survivors' Section 5.3 recovery through Peer::learn_dead.
+}
+
+void Swarm::crash_silent(core::Pid p) {
+  // Same mechanics as crash_unannounced, but nothing will ever close the
+  // loop: survivors never learn of the failure, sibling-subtree recovery
+  // never runs, and reannounce() deliberately repairs only liveness
+  // views, not lost data — the resulting replica loss is exactly what
+  // chaos::Audit must flag.
+  crash_unannounced(p);
 }
 
 void Swarm::broadcast_status(core::Pid about, bool live) {
   for (std::uint32_t q = 0; q < util::space_size(cfg_.m); ++q) {
-    if (q == about.value() || !status_.is_live(q)) continue;
+    if (q == about.value() || !status_.read().is_live(q)) continue;
     Message announce;
     announce.type = MsgType::kStatusAnnounce;
     announce.from = about;
@@ -222,7 +232,7 @@ void Swarm::auto_replication_tick(double capacity, double window,
   const auto cold =
       static_cast<std::uint64_t>(removal_threshold * window);
   for (std::uint32_t p = 0; p < util::space_size(cfg_.m); ++p) {
-    if (!status_.is_live(p) || !peers_[p]) continue;
+    if (!status_.read().is_live(p) || !peers_[p]) continue;
     Peer& peer_ref = *peers_[p];
     if (peer_ref.served() > budget) {
       if (peer_ref.shed_hottest().has_value()) ++auto_replicas_;
@@ -249,10 +259,11 @@ void Swarm::enable_metrics_sampling(double interval, double stop_at) {
       engine_, registry_, interval, stop_at, [this] {
         metrics_.queue_depth->set(
             static_cast<double>(engine_.queue().size()));
-        metrics_.live_peers->set(static_cast<double>(status_.live_count()));
+        metrics_.live_peers->set(
+            static_cast<double>(status_.read().live_count()));
         std::int64_t hottest = 0;
         for (std::uint32_t p = 0; p < util::space_size(cfg_.m); ++p) {
-          if (status_.is_live(p) && peers_[p]) {
+          if (status_.read().is_live(p) && peers_[p]) {
             hottest = std::max(hottest, peers_[p]->served());
           }
         }

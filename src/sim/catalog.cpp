@@ -50,8 +50,8 @@ CatalogResult run_catalog_experiment(const CatalogConfig& cfg,
   // Per-node total request rate, split over the catalog by Zipf weight.
   const Workload node_rates =
       cfg.workload == WorkloadKind::kUniform
-          ? uniform_workload(live, cfg.total_rate)
-          : locality_workload(live, cfg.total_rate, rng,
+          ? uniform_workload(util::BorrowedView(live), cfg.total_rate)
+          : locality_workload(util::BorrowedView(live), cfg.total_rate, rng,
                               cfg.hot_node_fraction,
                               cfg.hot_request_fraction);
   const std::vector<double> weights = zipf_weights(cfg.files, cfg.zipf_s);

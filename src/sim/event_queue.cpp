@@ -255,6 +255,7 @@ void EventQueue::step() {
   // after it returns).
   const Entry top = pop_source(min_source());
   now_ = top.at();
+  last_fired_ = now_;
   EventFn& fn = slot_ref(top.slot());
   fn();
   fn = EventFn{};  // destroy the handler; the storage stays in the arena
@@ -279,6 +280,7 @@ std::int64_t EventQueue::run_until(SimTime until) {
     if (at > until) break;
     const Entry top = pop_source(source);
     now_ = at;
+    last_fired_ = at;
     EventFn& fn = slot_ref(top.slot());
     fn();
     fn = EventFn{};
@@ -305,6 +307,7 @@ std::int64_t EventQueue::run_before(SimTime bound) {
     if (at >= bound) break;
     const Entry top = pop_source(source);
     now_ = at;
+    last_fired_ = at;
     EventFn& fn = slot_ref(top.slot());
     fn();
     fn = EventFn{};
@@ -320,6 +323,7 @@ std::int64_t EventQueue::run_all() {
   while (!empty()) {
     const Entry top = pop_source(min_source());
     now_ = top.at();
+    last_fired_ = now_;
     EventFn& fn = slot_ref(top.slot());
     fn();
     fn = EventFn{};

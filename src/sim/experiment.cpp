@@ -32,8 +32,8 @@ struct Setup {
       ++initial_copies;
     }
     demand = cfg.workload == WorkloadKind::kUniform
-                 ? uniform_workload(live, cfg.total_rate)
-                 : locality_workload(live, cfg.total_rate, rng,
+                 ? uniform_workload(util::BorrowedView(live), cfg.total_rate)
+                 : locality_workload(util::BorrowedView(live), cfg.total_rate, rng,
                                      cfg.hot_node_fraction,
                                      cfg.hot_request_fraction);
   }

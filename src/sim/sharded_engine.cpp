@@ -118,6 +118,14 @@ std::int64_t ShardedEngine::run_all_windows() {
       executed[s] += engines_[s]->run_before(bound);
     });
   }
+  // Quiescent: park every clock on the fleet-wide last-fired time. The
+  // loop leaves each clock on its final window edge, which depends on
+  // the window sequence (and hence on S); the quiesce time depends only
+  // on the executed events — and it is exactly where the serial
+  // degenerate case's run_all() leaves the one clock, so settle-then-
+  // read-clock behaves identically at any shard count.
+  const double q = quiesce_time();
+  for (auto& e : engines_) e->queue().reset_clock(q);
   std::int64_t total = 0;
   for (const std::int64_t e : executed) total += e;
   return total;

@@ -10,8 +10,9 @@ double Workload::total() const noexcept {
   return std::accumulate(rate.begin(), rate.end(), 0.0);
 }
 
-Workload uniform_workload(const util::StatusWord& live, double total_rate) {
+Workload uniform_workload(const util::LivenessView& view, double total_rate) {
   assert(total_rate >= 0.0);
+  const util::StatusWord& live = view.word();
   Workload w;
   w.rate.assign(live.capacity(), 0.0);
   const std::uint32_t n = live.live_count();
@@ -23,10 +24,11 @@ Workload uniform_workload(const util::StatusWord& live, double total_rate) {
   return w;
 }
 
-Workload locality_workload(const util::StatusWord& live, double total_rate,
+Workload locality_workload(const util::LivenessView& view, double total_rate,
                            util::Rng& rng, double hot_node_fraction,
                            double hot_request_fraction) {
   assert(total_rate >= 0.0);
+  const util::StatusWord& live = view.word();
   assert(hot_node_fraction > 0.0 && hot_node_fraction <= 1.0);
   assert(hot_request_fraction >= 0.0 && hot_request_fraction <= 1.0);
   Workload w;
@@ -55,6 +57,25 @@ Workload locality_workload(const util::StatusWord& live, double total_rate,
   }
   return w;
 }
+
+// Deprecated bridges: wrap the bare word in a non-owning view.
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+Workload uniform_workload(const util::StatusWord& live, double total_rate) {
+  return uniform_workload(util::BorrowedView(live), total_rate);
+}
+
+Workload locality_workload(const util::StatusWord& live, double total_rate,
+                           util::Rng& rng, double hot_node_fraction,
+                           double hot_request_fraction) {
+  return locality_workload(util::BorrowedView(live), total_rate, rng,
+                           hot_node_fraction, hot_request_fraction);
+}
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
 std::vector<double> zipf_weights(std::size_t n, double s) {
   assert(n > 0);

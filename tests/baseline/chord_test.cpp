@@ -14,7 +14,7 @@ util::StatusWord all_live(int m) {
 }
 
 TEST(Chord, SuccessorOnFullRingIsIdentity) {
-  const ChordRing ring(all_live(4));
+  const ChordRing ring(util::BorrowedView{all_live(4)});
   for (std::uint32_t id = 0; id < 16; ++id) {
     EXPECT_EQ(ring.successor(id), id);
   }
@@ -24,7 +24,7 @@ TEST(Chord, SuccessorWrapsAround) {
   util::StatusWord live(4);
   live.set_live(2);
   live.set_live(9);
-  const ChordRing ring(live);
+  const ChordRing ring(util::BorrowedView{live});
   EXPECT_EQ(ring.successor(0), 2u);
   EXPECT_EQ(ring.successor(2), 2u);
   EXPECT_EQ(ring.successor(3), 9u);
@@ -35,7 +35,7 @@ TEST(Chord, SuccessorWrapsAround) {
 TEST(Chord, SingleNodeOwnsEverything) {
   util::StatusWord live(4);
   live.set_live(6);
-  const ChordRing ring(live);
+  const ChordRing ring(util::BorrowedView{live});
   for (std::uint32_t key = 0; key < 16; ++key) {
     EXPECT_EQ(ring.successor(key), 6u);
     EXPECT_EQ(ring.lookup_hops(6, key), 0);
@@ -46,7 +46,7 @@ TEST(Chord, LookupReachesResponsibleNode) {
   util::StatusWord live = all_live(6);
   util::Rng rng(1);
   for (std::uint32_t dead : rng.sample_indices(64, 30)) live.set_dead(dead);
-  const ChordRing ring(live);
+  const ChordRing ring(util::BorrowedView{live});
   for (std::uint32_t from = 0; from < 64; ++from) {
     if (!live.is_live(from)) continue;
     for (std::uint32_t key = 0; key < 64; key += 7) {
@@ -61,7 +61,7 @@ TEST(Chord, PathNodesAreLive) {
   util::StatusWord live = all_live(5);
   util::Rng rng(2);
   for (std::uint32_t dead : rng.sample_indices(32, 12)) live.set_dead(dead);
-  const ChordRing ring(live);
+  const ChordRing ring(util::BorrowedView{live});
   for (std::uint32_t from = 0; from < 32; ++from) {
     if (!live.is_live(from)) continue;
     const std::vector<std::uint32_t> path = ring.lookup_path(from, 13);
@@ -73,7 +73,7 @@ TEST(Chord, PathNodesAreLive) {
 
 TEST(Chord, HopsAreLogarithmicallyBounded) {
   const int m = 10;
-  const ChordRing ring(all_live(m));
+  const ChordRing ring(util::BorrowedView{all_live(m)});
   util::Rng rng(3);
   int worst = 0;
   for (int trial = 0; trial < 500; ++trial) {
@@ -88,7 +88,7 @@ TEST(Chord, HopsAreLogarithmicallyBounded) {
 
 TEST(Chord, MeanHopsNearHalfLogN) {
   const int m = 8;
-  const ChordRing ring(all_live(m));
+  const ChordRing ring(util::BorrowedView{all_live(m)});
   util::Rng rng(4);
   double total = 0.0;
   const int trials = 2000;
@@ -104,7 +104,7 @@ TEST(Chord, MeanHopsNearHalfLogN) {
 }
 
 TEST(Chord, HopCountMatchesPathLength) {
-  const ChordRing ring(all_live(6));
+  const ChordRing ring(util::BorrowedView{all_live(6)});
   for (std::uint32_t from = 0; from < 64; from += 5) {
     for (std::uint32_t key = 0; key < 64; key += 11) {
       EXPECT_EQ(ring.lookup_hops(from, key),

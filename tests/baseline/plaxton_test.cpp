@@ -12,7 +12,7 @@ util::StatusWord all_live(int m) {
 }
 
 TEST(Plaxton, DigitExtraction) {
-  const PlaxtonMesh mesh(all_live(4), 2);  // 2 digits of 2 bits
+  const PlaxtonMesh mesh(util::BorrowedView{all_live(4)}, 2);  // 2 digits of 2 bits
   EXPECT_EQ(mesh.digits(), 2);
   EXPECT_EQ(mesh.digit_base(), 4);
   EXPECT_EQ(mesh.digit(0b1101, 0), 0b11u);
@@ -20,7 +20,7 @@ TEST(Plaxton, DigitExtraction) {
 }
 
 TEST(Plaxton, PaddedWidthWhenBitsDontDivide) {
-  const PlaxtonMesh mesh(all_live(5), 2);  // ceil(5/2) = 3 digits
+  const PlaxtonMesh mesh(util::BorrowedView{all_live(5)}, 2);  // ceil(5/2) = 3 digits
   EXPECT_EQ(mesh.digits(), 3);
   // id 0b10110 -> padded 6 bits 010110 -> digits 01, 01, 10.
   EXPECT_EQ(mesh.digit(0b10110, 0), 0b01u);
@@ -29,7 +29,7 @@ TEST(Plaxton, PaddedWidthWhenBitsDontDivide) {
 }
 
 TEST(Plaxton, FullMeshExactOwner) {
-  const PlaxtonMesh mesh(all_live(6), 2);
+  const PlaxtonMesh mesh(util::BorrowedView{all_live(6)}, 2);
   for (std::uint32_t key = 0; key < 64; ++key) {
     EXPECT_EQ(mesh.root_of(key), key);  // every id live -> exact match
   }
@@ -41,7 +41,7 @@ TEST(Plaxton, LookupReachesRootFromEveryStart) {
   for (const std::uint32_t dead : rng.sample_indices(64, 30)) {
     live.set_dead(dead);
   }
-  const PlaxtonMesh mesh(live, 2);
+  const PlaxtonMesh mesh(util::BorrowedView{live}, 2);
   for (std::uint32_t key = 0; key < 64; key += 5) {
     const std::uint32_t root = mesh.root_of(key);
     EXPECT_TRUE(live.is_live(root));
@@ -62,7 +62,7 @@ TEST(Plaxton, HopsBoundedByDigitsPlusOne) {
     live.set_dead(dead);
   }
   for (const int bits : {1, 2, 4}) {
-    const PlaxtonMesh mesh(live, bits);
+    const PlaxtonMesh mesh(util::BorrowedView{live}, bits);
     for (int trial = 0; trial < 300; ++trial) {
       std::uint32_t from;
       do {
@@ -76,8 +76,8 @@ TEST(Plaxton, HopsBoundedByDigitsPlusOne) {
 
 TEST(Plaxton, LargerDigitsShortenPaths) {
   const util::StatusWord live = all_live(10);
-  const PlaxtonMesh binary(live, 1);
-  const PlaxtonMesh hex(live, 4);
+  const PlaxtonMesh binary(util::BorrowedView{live}, 1);
+  const PlaxtonMesh hex(util::BorrowedView{live}, 4);
   util::Rng rng(3);
   double binary_total = 0.0;
   double hex_total = 0.0;
@@ -97,7 +97,7 @@ TEST(Plaxton, PrefixHopsMonotonicallyExtendMatch) {
   for (const std::uint32_t dead : rng.sample_indices(256, 100)) {
     live.set_dead(dead);
   }
-  const PlaxtonMesh mesh(live, 2);
+  const PlaxtonMesh mesh(util::BorrowedView{live}, 2);
   for (int trial = 0; trial < 200; ++trial) {
     std::uint32_t from;
     do {
@@ -123,7 +123,7 @@ TEST(Plaxton, PrefixHopsMonotonicallyExtendMatch) {
 TEST(Plaxton, SingleNodeOwnsEverything) {
   util::StatusWord live(4);
   live.set_live(11);
-  const PlaxtonMesh mesh(live, 2);
+  const PlaxtonMesh mesh(util::BorrowedView{live}, 2);
   for (std::uint32_t key = 0; key < 16; ++key) {
     EXPECT_EQ(mesh.root_of(key), 11u);
     EXPECT_EQ(mesh.lookup_hops(11, key), 0);

@@ -17,7 +17,7 @@ struct Harness {
         view(tree, 0),
         live(m, util::space_size(m)),
         has_copy(util::space_size(m), 0),
-        demand(sim::uniform_workload(live, rate)),
+        demand(sim::uniform_workload(util::BorrowedView(live), rate)),
         rng(17) {
     has_copy[root] = 1;
   }

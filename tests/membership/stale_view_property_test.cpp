@@ -1,0 +1,155 @@
+// Stale-view property tests for the LivenessView seam — the membership
+// contract behind the paper's availability claim (Section 5 maintains a
+// local, possibly stale status word per node; availability is conditioned
+// on that view having no false negatives).
+//
+//  1. Safety under arbitrary staleness: FINDLIVENODE consulted through a
+//     view never returns a node the view believes dead, no matter how far
+//     the view and ground truth have diverged (the two words are drawn
+//     independently here — the adversarial worst case).
+//  2. Availability with no false negatives: when every truly dead node is
+//     believed dead (the view may additionally suspect live nodes — false
+//     positives are allowed), every node FINDLIVENODE returns is truly
+//     alive, and the insertion target exists whenever the view believes
+//     anyone is alive: a request entering at the root is always served by
+//     a live node.
+//  3. Seam equivalence: OracleView, BorrowedView, and the raw StatusWord
+//     entry point make bit-identical decisions from the same bits.
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "lesslog/core/find_live_node.hpp"
+#include "lesslog/core/lookup_tree.hpp"
+#include "lesslog/membership/swim.hpp"
+#include "lesslog/util/liveness_view.hpp"
+#include "lesslog/util/rng.hpp"
+
+namespace lesslog::core {
+namespace {
+
+util::StatusWord random_word(int m, double dead_fraction, util::Rng& rng) {
+  util::StatusWord word(m, util::space_size(m));
+  const auto dead_count = static_cast<std::uint32_t>(
+      dead_fraction * static_cast<double>(util::space_size(m)));
+  for (const std::uint32_t d :
+       rng.sample_indices(util::space_size(m), dead_count)) {
+    word.set_dead(d);
+  }
+  return word;
+}
+
+TEST(StaleViewProperty, NeverReturnsViewBelievedDeadNode) {
+  util::Rng rng(41);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int m = 3 + static_cast<int>(rng.bounded(4));  // 3..6
+    const std::uint32_t slots = util::space_size(m);
+    const LookupTree tree(m, Pid{static_cast<std::uint32_t>(
+                                 rng.bounded(slots))});
+    // Ground truth and belief drawn independently: the view can be
+    // arbitrarily stale in both directions (believes dead nodes alive,
+    // believes live nodes dead).
+    const util::StatusWord view_word =
+        random_word(m, rng.uniform01(), rng);
+    const util::BorrowedView view{view_word};
+    for (std::uint32_t s = 0; s < slots; ++s) {
+      const std::optional<Pid> found = find_live_node(tree, Pid{s}, view);
+      if (found.has_value()) {
+        EXPECT_TRUE(view.is_live(found->value()))
+            << "m=" << m << " s=" << s << " -> " << found->value();
+      }
+    }
+    const std::optional<Pid> target = insertion_target(tree, view);
+    if (target.has_value()) {
+      EXPECT_TRUE(view.is_live(target->value()));
+    } else {
+      EXPECT_EQ(view.live_count(), 0u);
+    }
+  }
+}
+
+TEST(StaleViewProperty, NoFalseNegativesImpliesAvailability) {
+  util::Rng rng(42);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int m = 3 + static_cast<int>(rng.bounded(4));
+    const std::uint32_t slots = util::space_size(m);
+    const LookupTree tree(m, Pid{static_cast<std::uint32_t>(
+                                 rng.bounded(slots))});
+    const util::StatusWord truth = random_word(m, 0.4 * rng.uniform01(),
+                                               rng);
+    // No false negatives: start from ground truth, then additionally
+    // suspect some live nodes (false positives only), so
+    // believed-live ⊆ truly-live.
+    util::StatusWord view_word = truth;
+    for (std::uint32_t p = 0; p < slots; ++p) {
+      if (view_word.is_live(p) && rng.bernoulli(0.2)) {
+        view_word.set_dead(p);
+      }
+    }
+    const util::BorrowedView view{view_word};
+    for (std::uint32_t s = 0; s < slots; ++s) {
+      const std::optional<Pid> found = find_live_node(tree, Pid{s}, view);
+      if (found.has_value()) {
+        EXPECT_TRUE(truth.is_live(found->value()))
+            << "view returned a truly dead node";
+        EXPECT_TRUE(view.is_live(found->value()));
+      }
+    }
+    // Availability: a request entering at the root resolves to a truly
+    // live node whenever the view believes anyone is alive.
+    const std::optional<Pid> target = insertion_target(tree, view);
+    if (view.live_count() > 0) {
+      ASSERT_TRUE(target.has_value());
+      EXPECT_TRUE(truth.is_live(target->value()));
+    } else {
+      EXPECT_FALSE(target.has_value());
+    }
+  }
+}
+
+TEST(StaleViewProperty, ViewImplementationsAgreeBitForBit) {
+  util::Rng rng(43);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int m = 3 + static_cast<int>(rng.bounded(4));
+    const std::uint32_t slots = util::space_size(m);
+    const LookupTree tree(m, Pid{static_cast<std::uint32_t>(
+                                 rng.bounded(slots))});
+    const util::StatusWord word = random_word(m, rng.uniform01(), rng);
+    const util::BorrowedView borrowed{word};
+    util::OracleView oracle{util::CowStatus(word)};
+    membership::SwimView swim{util::CowStatus(word)};
+    for (std::uint32_t s = 0; s < slots; ++s) {
+      const std::optional<Pid> raw = find_live_node(tree, Pid{s}, word);
+      EXPECT_EQ(raw, find_live_node(tree, Pid{s}, borrowed));
+      EXPECT_EQ(raw, find_live_node(tree, Pid{s}, oracle));
+      EXPECT_EQ(raw, find_live_node(tree, Pid{s}, swim));
+      EXPECT_EQ(live_vid_above(tree, Pid{s}, word),
+                live_vid_above(tree, Pid{s}, borrowed));
+    }
+    EXPECT_EQ(insertion_target(tree, word),
+              insertion_target(tree, oracle));
+  }
+}
+
+TEST(StaleViewProperty, BeliefUpdatesSteerTheScan) {
+  // A MutableLivenessView drives FINDLIVENODE directly: suspecting the
+  // current target makes the scan skip it; refuting the suspicion brings
+  // it back. This is the Peer-side loop (detector verdict -> belief ->
+  // routing) in miniature.
+  const int m = 5;
+  const LookupTree tree(m, Pid{7});
+  membership::SwimView view{
+      util::CowStatus(util::StatusWord(m, util::space_size(m)))};
+  const std::optional<Pid> first = insertion_target(tree, view);
+  ASSERT_TRUE(first.has_value());
+  view.believe_dead(first->value());
+  const std::optional<Pid> second = insertion_target(tree, view);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_NE(*first, *second);
+  EXPECT_TRUE(view.is_live(second->value()));
+  view.believe_live(first->value());
+  EXPECT_EQ(insertion_target(tree, view), first);
+}
+
+}  // namespace
+}  // namespace lesslog::core

@@ -30,7 +30,7 @@ TEST(FuzzDecode, RandomBuffersNeverCrash) {
     // Accepted buffers must round-trip exactly.
     EXPECT_EQ(wire_bytes(*m), bytes);
   }
-  // Correct-size buffers with a valid type tag (9/256) do get accepted.
+  // Correct-size buffers with a valid type tag (13/256) do get accepted.
   EXPECT_GT(accepted, 0);
 }
 
@@ -51,7 +51,7 @@ TEST(FuzzDecode, EncodeOfRandomMessagesRoundTrips) {
   for (int trial = 0; trial < 5000; ++trial) {
     Message m;
     m.request_id = rng();
-    m.type = static_cast<MsgType>(1 + rng.bounded(10));
+    m.type = static_cast<MsgType>(1 + rng.bounded(13));
     m.from = core::Pid{static_cast<std::uint32_t>(rng())};
     m.to = core::Pid{static_cast<std::uint32_t>(rng())};
     m.requester = core::Pid{static_cast<std::uint32_t>(rng())};

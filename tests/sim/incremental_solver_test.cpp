@@ -39,8 +39,8 @@ struct Cell {
       has_copy[holder.value()] = 1;
     }
     demand = wk == sim::WorkloadKind::kUniform
-                 ? sim::uniform_workload(live, 6000.0)
-                 : sim::locality_workload(live, 6000.0, rng);
+                 ? sim::uniform_workload(util::BorrowedView(live), 6000.0)
+                 : sim::locality_workload(util::BorrowedView(live), 6000.0, rng);
   }
 
   static util::StatusWord make_live(int m, double dead_fraction,

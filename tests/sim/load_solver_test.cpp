@@ -20,7 +20,7 @@ TEST(LoadSolver, SingleCopyAbsorbsEverything) {
   const util::StatusWord live = all_live(4);
   CopyMap copies(16, 0);
   copies[4] = 1;
-  const Workload w = uniform_workload(live, 1600.0);
+  const Workload w = uniform_workload(util::BorrowedView(live), 1600.0);
   const LoadReport r = solve_load(tree, copies, live, w);
   EXPECT_NEAR(r.served[4], 1600.0, 1e-9);
   EXPECT_EQ(r.max_served_pid, 4u);
@@ -36,7 +36,7 @@ TEST(LoadSolver, ServedMassEqualsDemand) {
   const auto holder = core::insertion_target(tree, live);
   ASSERT_TRUE(holder.has_value());
   copies[holder->value()] = 1;
-  const Workload w = uniform_workload(live, 4400.0);
+  const Workload w = uniform_workload(util::BorrowedView(live), 4400.0);
   const LoadReport r = solve_load(tree, copies, live, w);
   const double served_total =
       std::accumulate(r.served.begin(), r.served.end(), 0.0);
@@ -49,7 +49,7 @@ TEST(LoadSolver, ReplicaHalvesRootLoadUnderEvenDistribution) {
   // head halves the root's served rate.
   const core::LookupTree tree(4, core::Pid{4});
   const util::StatusWord live = all_live(4);
-  const Workload w = uniform_workload(live, 1600.0);
+  const Workload w = uniform_workload(util::BorrowedView(live), 1600.0);
 
   CopyMap copies(16, 0);
   copies[4] = 1;
@@ -65,7 +65,7 @@ TEST(LoadSolver, ForwardedCountsPassThroughTraffic) {
   const util::StatusWord live = all_live(4);
   CopyMap copies(16, 0);
   copies[4] = 1;
-  const Workload w = uniform_workload(live, 1600.0);
+  const Workload w = uniform_workload(util::BorrowedView(live), 1600.0);
   const LoadReport r = solve_load(tree, copies, live, w);
   // P(5) (vid 1110) forwards its own 100/s plus its 7 offspring's 700/s.
   EXPECT_NEAR(r.forwarded[5], 800.0, 1e-9);
@@ -81,7 +81,7 @@ TEST(LoadSolver, MeanHopsMatchesHandComputation) {
   const util::StatusWord live = all_live(2);
   CopyMap copies(4, 0);
   copies[0] = 1;
-  const Workload w = uniform_workload(live, 400.0);
+  const Workload w = uniform_workload(util::BorrowedView(live), 400.0);
   const LoadReport r = solve_load(tree, copies, live, w);
   EXPECT_NEAR(r.mean_hops, 1.0, 1e-9);
 }
@@ -90,7 +90,7 @@ TEST(LoadSolver, NoCopiesEverythingFaults) {
   const core::LookupTree tree(4, core::Pid{4});
   const util::StatusWord live = all_live(4);
   const CopyMap copies(16, 0);
-  const Workload w = uniform_workload(live, 800.0);
+  const Workload w = uniform_workload(util::BorrowedView(live), 800.0);
   const LoadReport r = solve_load(tree, copies, live, w);
   EXPECT_NEAR(r.fault_rate, 800.0, 1e-9);
   EXPECT_EQ(r.max_served, 0.0);
@@ -102,7 +102,7 @@ TEST(LoadSolver, OverloadedListSortedByLoad) {
   CopyMap copies(16, 0);
   copies[4] = 1;
   copies[5] = 1;
-  const Workload w = uniform_workload(live, 1600.0);
+  const Workload w = uniform_workload(util::BorrowedView(live), 1600.0);
   const LoadReport r = solve_load(tree, copies, live, w);
   const std::vector<std::uint32_t> hot = r.overloaded(100.0);
   ASSERT_EQ(hot.size(), 2u);
@@ -120,7 +120,7 @@ TEST(LoadSolver, SubtreeViewAtBZeroMatchesTreeSolver) {
   const auto holder = core::insertion_target(tree, live);
   ASSERT_TRUE(holder.has_value());
   copies[holder->value()] = 1;
-  const Workload w = uniform_workload(live, 2200.0);
+  const Workload w = uniform_workload(util::BorrowedView(live), 2200.0);
 
   const LoadReport a = solve_load(tree, copies, live, w);
   const LoadReport b = solve_load(view, copies, live, w);
@@ -138,7 +138,7 @@ TEST(LoadSolver, FaultTolerantCopiesLocalizeLoad) {
   for (const core::Pid t : view.insertion_targets(live)) {
     copies[t.value()] = 1;
   }
-  const Workload w = uniform_workload(live, 1600.0);
+  const Workload w = uniform_workload(util::BorrowedView(live), 1600.0);
   const LoadReport r = solve_load(view, copies, live, w);
   // Four subtrees of 4 nodes each: each holder serves exactly 400/s.
   for (const core::Pid t : view.insertion_targets(live)) {

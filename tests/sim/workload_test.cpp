@@ -13,7 +13,7 @@ util::StatusWord live_n(int m, std::uint32_t n) {
 
 TEST(UniformWorkload, SplitsEvenly) {
   const util::StatusWord live = live_n(4, 16);
-  const Workload w = uniform_workload(live, 1600.0);
+  const Workload w = uniform_workload(util::BorrowedView(live), 1600.0);
   EXPECT_EQ(w.size(), 16u);
   for (double r : w.rate) EXPECT_DOUBLE_EQ(r, 100.0);
   EXPECT_NEAR(w.total(), 1600.0, 1e-9);
@@ -23,7 +23,7 @@ TEST(UniformWorkload, DeadNodesGetZero) {
   util::StatusWord live = live_n(4, 16);
   live.set_dead(3);
   live.set_dead(7);
-  const Workload w = uniform_workload(live, 1400.0);
+  const Workload w = uniform_workload(util::BorrowedView(live), 1400.0);
   EXPECT_EQ(w.rate[3], 0.0);
   EXPECT_EQ(w.rate[7], 0.0);
   EXPECT_DOUBLE_EQ(w.rate[0], 100.0);
@@ -32,14 +32,14 @@ TEST(UniformWorkload, DeadNodesGetZero) {
 
 TEST(UniformWorkload, EmptySystem) {
   const util::StatusWord live(4);
-  const Workload w = uniform_workload(live, 100.0);
+  const Workload w = uniform_workload(util::BorrowedView(live), 100.0);
   EXPECT_EQ(w.total(), 0.0);
 }
 
 TEST(LocalityWorkload, EightyTwentySplit) {
   const util::StatusWord live = live_n(10, 1000);
   util::Rng rng(1);
-  const Workload w = locality_workload(live, 10000.0, rng);
+  const Workload w = locality_workload(util::BorrowedView(live), 10000.0, rng);
   EXPECT_NEAR(w.total(), 10000.0, 1e-6);
   // 200 hot nodes at 40/s each, 800 cold at 2.5/s each.
   std::vector<double> rates;
@@ -58,11 +58,11 @@ TEST(LocalityWorkload, HotSetDependsOnSeed) {
   const util::StatusWord live = live_n(6, 64);
   util::Rng rng1(1);
   util::Rng rng2(2);
-  const Workload a = locality_workload(live, 640.0, rng1);
-  const Workload b = locality_workload(live, 640.0, rng2);
+  const Workload a = locality_workload(util::BorrowedView(live), 640.0, rng1);
+  const Workload b = locality_workload(util::BorrowedView(live), 640.0, rng2);
   EXPECT_NE(a.rate, b.rate);
   util::Rng rng1_again(1);
-  const Workload a_again = locality_workload(live, 640.0, rng1_again);
+  const Workload a_again = locality_workload(util::BorrowedView(live), 640.0, rng1_again);
   EXPECT_EQ(a.rate, a_again.rate);
 }
 
@@ -70,7 +70,7 @@ TEST(LocalityWorkload, DeadNodesGetZero) {
   util::StatusWord live = live_n(5, 32);
   for (std::uint32_t p = 20; p < 32; ++p) live.set_dead(p);
   util::Rng rng(3);
-  const Workload w = locality_workload(live, 2000.0, rng);
+  const Workload w = locality_workload(util::BorrowedView(live), 2000.0, rng);
   for (std::uint32_t p = 20; p < 32; ++p) EXPECT_EQ(w.rate[p], 0.0);
   EXPECT_NEAR(w.total(), 2000.0, 1e-9);
 }
@@ -79,7 +79,7 @@ TEST(LocalityWorkload, AtLeastOneHotNode) {
   const util::StatusWord live = live_n(3, 3);
   util::Rng rng(5);
   // 20% of 3 nodes rounds to 1 hot node.
-  const Workload w = locality_workload(live, 300.0, rng);
+  const Workload w = locality_workload(util::BorrowedView(live), 300.0, rng);
   const auto hottest = *std::max_element(w.rate.begin(), w.rate.end());
   EXPECT_NEAR(hottest, 240.0, 1e-9);  // 80% of the rate on one node
 }
@@ -87,7 +87,7 @@ TEST(LocalityWorkload, AtLeastOneHotNode) {
 TEST(LocalityWorkload, FullHotFractionDegeneratesToUniform) {
   const util::StatusWord live = live_n(4, 16);
   util::Rng rng(7);
-  const Workload w = locality_workload(live, 1600.0, rng, 1.0, 0.8);
+  const Workload w = locality_workload(util::BorrowedView(live), 1600.0, rng, 1.0, 0.8);
   for (std::uint32_t p = 0; p < 16; ++p) {
     EXPECT_NEAR(w.rate[p], 100.0, 1e-9);
   }

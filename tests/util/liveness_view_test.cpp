@@ -1,0 +1,79 @@
+// Unit tests for the LivenessView seam types themselves: the non-virtual
+// word() consult surface, OracleView's check-before-mutate copy-on-write
+// discipline (a redundant update must never clone a shared snapshot), and
+// BorrowedView's non-owning semantics.
+#include "lesslog/util/liveness_view.hpp"
+
+#include <gtest/gtest.h>
+
+#include "lesslog/util/bits.hpp"
+
+namespace lesslog::util {
+namespace {
+
+TEST(BorrowedView, ReflectsTheBorrowedWord) {
+  StatusWord word(4, 10);
+  const BorrowedView view{word};
+  EXPECT_EQ(view.width(), 4);
+  EXPECT_EQ(view.live_count(), 10u);
+  EXPECT_TRUE(view.is_live(3));
+  EXPECT_FALSE(view.is_live(12));
+  // Non-owning: mutations to the word are visible through the view.
+  word.set_dead(3);
+  EXPECT_FALSE(view.is_live(3));
+  EXPECT_EQ(&view.word(), &word);
+}
+
+TEST(OracleView, BelieveUpdatesMatchAnnouncementSemantics) {
+  OracleView view{CowStatus(StatusWord(3, 8))};
+  EXPECT_EQ(view.live_count(), 8u);
+  view.believe_dead(5);
+  EXPECT_FALSE(view.is_live(5));
+  EXPECT_EQ(view.live_count(), 7u);
+  view.believe_live(5);
+  EXPECT_TRUE(view.is_live(5));
+  EXPECT_EQ(view.live_count(), 8u);
+}
+
+TEST(OracleView, RedundantUpdateNeverClonesASharedSnapshot) {
+  OracleView view{CowStatus(StatusWord(3, 8))};
+  view.believe_dead(2);
+  // Share the snapshot, then apply updates the view already believes:
+  // check-before-mutate must leave the shared bits untouched (same
+  // backing word, no clone).
+  const CowStatus shared = view.snapshot();
+  const StatusWord* backing = &view.word();
+  view.believe_dead(2);   // already dead
+  view.believe_live(4);   // already live
+  EXPECT_EQ(&view.word(), backing);
+  EXPECT_EQ(&shared.read(), backing);
+  // A genuine update clones away from the shared snapshot instead of
+  // mutating it in place.
+  view.believe_dead(4);
+  EXPECT_NE(&view.word(), &shared.read());
+  EXPECT_TRUE(shared.read().is_live(4));
+  EXPECT_FALSE(view.is_live(4));
+}
+
+TEST(OracleView, ResetReplacesTheWholeBelief) {
+  OracleView view{CowStatus(StatusWord(3, 8))};
+  view.believe_dead(1);
+  StatusWord fresh(3, 8);
+  fresh.set_dead(6);
+  view.reset(CowStatus(std::move(fresh)));
+  EXPECT_TRUE(view.is_live(1));
+  EXPECT_FALSE(view.is_live(6));
+  EXPECT_EQ(view.live_count(), 7u);
+}
+
+TEST(LivenessView, PolymorphicConsultThroughTheBase) {
+  OracleView oracle{CowStatus(StatusWord(3, 8))};
+  oracle.believe_dead(3);
+  MutableLivenessView& mut = oracle;
+  const LivenessView& view = mut;
+  EXPECT_FALSE(view.is_live(3));
+  EXPECT_EQ(view.word().live_count(), 7u);
+}
+
+}  // namespace
+}  // namespace lesslog::util
