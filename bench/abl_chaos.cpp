@@ -14,12 +14,14 @@
 // --smoke is the ctest gate: a clean run must audit clean, a run with
 // deliberately broken crash recovery must NOT, and the broken run must
 // replay bit-identically from its JSON artifact alone.
+#include <algorithm>
 #include <chrono>
 
 #include "bench_common.hpp"
 
 #include "lesslog/chaos/driver.hpp"
 #include "lesslog/chaos/replay.hpp"
+#include "lesslog/util/stats.hpp"
 
 namespace {
 
@@ -48,13 +50,33 @@ struct Cell {
   double injected = 0.0;      ///< total injected faults, all kinds
   double repair = 0.0;        ///< kFilePush repair transfers
   double msgs = 0.0;
+  double p99_ms = 0.0;   ///< GET completion tail from client.get_latency
+  double p999_ms = 0.0;  ///< (octave-resolution histogram; 0 if nometrics)
 };
+
+/// Tail percentile (ms) of the run's client.get_latency histogram —
+/// octave resolution, but the same obs cells a deployment would scrape.
+/// 0 when metrics are compiled out (LESSLOG_NO_METRICS).
+double hist_pct_ms(const obs::Snapshot& snap, double pct) {
+  const obs::LatencyHistogram* h = snap.histogram("client.get_latency");
+  return h != nullptr ? 1000.0 * h->percentile(pct) : 0.0;
+}
+
+obs::Snapshot driver_snapshot(chaos::Driver& driver, double sim_time) {
+  if (driver.sharded() != nullptr) {
+    return driver.sharded()->metrics_snapshot(sim_time);
+  }
+  return driver.swarm().registry().snapshot(sim_time);
+}
 
 Cell run_cell(bool quick, double intensity, std::uint64_t seed,
               std::size_t shards) {
   chaos::Driver driver(base_config(quick, intensity, seed, shards));
   const chaos::Report r = driver.run();
+  const obs::Snapshot snap = driver_snapshot(driver, r.sim_time);
   Cell cell;
+  cell.p99_ms = hist_pct_ms(snap, 99.0);
+  cell.p999_ms = hist_pct_ms(snap, 99.9);
   cell.violations = static_cast<double>(r.violations.size());
   cell.fault_pct =
       r.workload_issued > 0
@@ -105,6 +127,146 @@ int run_sharded_smoke(const bench::BenchArgs& args) {
   return (ok && metrics_rc == 0) ? 0 : 1;
 }
 
+/// The reliability-smoke config: the full adaptive layer on (RTT-estimated
+/// timeouts, hedged GETs, suspicion routing, peer-side shedding) over a
+/// crash/churn-only schedule. Wire faults stay off so the layer's own
+/// retransmit/hedge/shed decisions are the only source of extra traffic,
+/// and swim mode pins the pre-materialized timeline so the same schedule
+/// replays identically at any shard count.
+chaos::ChaosConfig reliability_config(std::uint64_t seed,
+                                      std::size_t shards) {
+  chaos::ChaosConfig cfg = base_config(/*quick=*/true, 0.6, seed, shards);
+  cfg.bursts = false;
+  cfg.partitions = false;
+  cfg.corruption = false;
+  cfg.duplicates = false;
+  cfg.delay_spikes = false;
+  cfg.swim = true;
+  cfg.adaptive_timeouts = true;
+  cfg.hedge_percentile = 0.9;
+  cfg.suspicion_routing = true;
+  cfg.busy_budget = 4;
+  cfg.busy_refill = 100.0;
+  return cfg;
+}
+
+/// The reliability ctest gate (--reliability-smoke): one chaos intensity
+/// point with hedging and shedding enabled must (a) audit clean with the
+/// hedge/ledger reconciliation checks live, (b) actually exercise the
+/// layer (RTT samples taken, hedges launched, sheds issued and received),
+/// (c) rerun bit-identically including the whole reliability ledger,
+/// (d) complete the workload with the exact same issued/ok/faults ledger
+/// at S = 1 and S = 4 — the timing-driven cells (RTT samples, hedges,
+/// sheds) legitimately differ across shard counts because each shard
+/// seeds its own delivery-jitter stream, but every per-run identity
+/// still holds on both sides and request OUTCOMES must not depend on
+/// the shard layout — and (e) replay from its JSON artifact alone (the
+/// artifact round-trips the reliability knobs).
+int run_reliability_smoke(const bench::BenchArgs& args) {
+  const chaos::ChaosConfig cfg = reliability_config(/*seed=*/1, /*shards=*/1);
+  const chaos::Report first = chaos::Driver(cfg).run();
+  const proto::ReliabilityLedger& led = first.reliability;
+  const bool clean_ok = first.clean() && first.workload_issued > 0 &&
+                        first.workload_issued == first.workload_completed;
+  const bool engaged_ok = led.rtt_samples > 0 && led.hedges_launched > 0 &&
+                          led.busy_shed > 0 && led.busy_received > 0;
+
+  const chaos::Report second = chaos::Driver(cfg).run();
+  const bool repeat_ok = chaos::same_outcome(first, second);
+
+  const chaos::Report sharded =
+      chaos::Driver(reliability_config(/*seed=*/1, /*shards=*/4)).run();
+  const proto::ReliabilityLedger& sled = sharded.reliability;
+  const bool shard_ok = sharded.clean() && sled.issued == led.issued &&
+                        sled.ok == led.ok && sled.faults == led.faults &&
+                        sled.busy_shed > 0 && sled.hedges_launched > 0;
+
+  const std::string artifact = chaos::artifact_to_json(first);
+  const chaos::Report replayed = chaos::replay(artifact);
+  const bool replay_ok = chaos::same_outcome(first, replayed) &&
+                         artifact == chaos::artifact_to_json(replayed);
+
+  const bool ok =
+      clean_ok && engaged_ok && repeat_ok && shard_ok && replay_ok;
+  std::cout << "reliability smoke: clean_run="
+            << (clean_ok ? "clean" : "DIRTY") << " layer="
+            << (engaged_ok ? "engaged" : "IDLE") << " (rtt_samples="
+            << led.rtt_samples << " hedges=" << led.hedges_launched
+            << " shed=" << led.busy_shed << ")"
+            << " rerun=" << (repeat_ok ? "bit-identical" : "DIVERGED")
+            << " shards=" << (shard_ok ? "ledger-equal" : "DIVERGED")
+            << " replay=" << (replay_ok ? "bit-identical" : "DIVERGED")
+            << " -> " << (ok ? "PASS" : "FAIL") << "\n";
+  for (const chaos::Violation& v : first.violations) {
+    std::cout << "  violation (S=1, epoch " << v.epoch << "): " << v.check
+              << " — " << v.detail << "\n";
+  }
+  for (const chaos::Violation& v : sharded.violations) {
+    std::cout << "  violation (S=4, epoch " << v.epoch << "): " << v.check
+              << " — " << v.detail << "\n";
+  }
+  (void)args;
+  return ok ? 0 : 1;
+}
+
+/// --head-to-head: the A12 top-intensity cell, fixed-timeout baseline
+/// versus the adaptive reliability layer, same seed and schedule. Prints
+/// the EXPERIMENTS.md comparison row: exact (sorted-sample) GET latency
+/// percentiles, fault rate, message volume, and audit cleanliness. The
+/// claim under test: the layer cuts the p99 completion tail without
+/// dirtying a single audit.
+int run_head_to_head(const bench::BenchArgs& args) {
+  struct Side {
+    const char* name;
+    bool adaptive;
+    double p50_ms, p99_ms, p999_ms, fault_pct, msgs;
+    std::size_t violations;
+    std::int64_t hedges, rtt_samples;
+  };
+  Side sides[2] = {{"fixed", false, 0, 0, 0, 0, 0, 0, 0, 0},
+                   {"adaptive", true, 0, 0, 0, 0, 0, 0, 0, 0}};
+  for (Side& side : sides) {
+    chaos::ChaosConfig cfg =
+        base_config(args.quick, /*intensity=*/1.0, /*seed=*/1, /*shards=*/1);
+    if (side.adaptive) {
+      cfg.adaptive_timeouts = true;
+      cfg.hedge_percentile = 0.9;
+    }
+    chaos::Driver driver(cfg);
+    const chaos::Report r = driver.run();
+    std::vector<double> lat = driver.swarm().all_latencies();
+    std::sort(lat.begin(), lat.end());
+    side.p50_ms = 1000.0 * util::percentile_sorted(lat, 50.0);
+    side.p99_ms = 1000.0 * util::percentile_sorted(lat, 99.0);
+    side.p999_ms = 1000.0 * util::percentile_sorted(lat, 99.9);
+    side.fault_pct =
+        r.workload_issued > 0
+            ? 100.0 * static_cast<double>(r.workload_faults) /
+                  static_cast<double>(r.workload_issued)
+            : 0.0;
+    side.msgs = static_cast<double>(r.messages_sent);
+    side.violations = r.violations.size();
+    side.hedges = r.reliability.hedges_launched;
+    side.rtt_samples = r.reliability.rtt_samples;
+  }
+  std::cout << "== A12 head-to-head: fixed timeout vs adaptive reliability "
+               "layer (intensity 1.0, seed 1) ==\n";
+  for (const Side& side : sides) {
+    std::cout << side.name << ": p50=" << side.p50_ms
+              << "ms p99=" << side.p99_ms << "ms p999=" << side.p999_ms
+              << "ms faults=" << side.fault_pct
+              << "% msgs=" << side.msgs << " hedges=" << side.hedges
+              << " rtt_samples=" << side.rtt_samples << " audit="
+              << (side.violations == 0 ? "clean" : "DIRTY") << "\n";
+  }
+  const bool ok = sides[0].violations == 0 && sides[1].violations == 0 &&
+                  sides[1].p99_ms < sides[0].p99_ms;
+  std::cout << "adaptive p99 " << (ok ? "improves" : "DOES NOT improve")
+            << " on fixed with both audits clean -> "
+            << (ok ? "PASS" : "FAIL") << "\n";
+  return ok ? 0 : 1;
+}
+
 /// The ctest gate: healthy chaos audits clean, broken recovery is
 /// caught, and the broken run replays bit-identically from its artifact.
 int run_smoke(const bench::BenchArgs& args) {
@@ -148,7 +310,25 @@ int run_smoke(const bench::BenchArgs& args) {
 int main(int argc, char** argv) {
   using namespace lesslog;
   const auto t0 = std::chrono::steady_clock::now();
-  const bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
+  // Mode flags this bench owns; scanned off before the shared parser,
+  // which rejects flags it does not know.
+  bool reliability_smoke = false;
+  bool head_to_head = false;
+  std::vector<char*> rest = {argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--reliability-smoke") {
+      reliability_smoke = true;
+    } else if (arg == "--head-to-head") {
+      head_to_head = true;
+    } else {
+      rest.push_back(argv[i]);
+    }
+  }
+  const bench::BenchArgs args =
+      bench::BenchArgs::parse(static_cast<int>(rest.size()), rest.data());
+  if (reliability_smoke) return run_reliability_smoke(args);
+  if (head_to_head) return run_head_to_head(args);
   if (args.smoke) return run_smoke(args);
   const std::vector<double> intensities =
       args.quick ? std::vector<double>{0.0, 0.5, 1.0}
@@ -198,6 +378,8 @@ int main(int argc, char** argv) {
       sum.injected += cell.injected;
       sum.repair += cell.repair;
       sum.msgs += cell.msgs;
+      sum.p99_ms += cell.p99_ms;
+      sum.p999_ms += cell.p999_ms;
     }
     unterminated_total += sum.unterminated;
     violations.push_back(sum.violations);  // total, not mean: must be 0
@@ -211,7 +393,9 @@ int main(int argc, char** argv) {
          {"workload_fault_pct", fault_pct.back()},
          {"injected_faults", injected.back()},
          {"repair_pushes", repair.back()},
-         {"messages", sum.msgs / args.seeds}}});
+         {"messages", sum.msgs / args.seeds},
+         {"p99_ms", sum.p99_ms / args.seeds},
+         {"p999_ms", sum.p999_ms / args.seeds}}});
   }
   fig.add_series("audit violations", std::move(violations));
   fig.add_series("workload faults %", std::move(fault_pct));

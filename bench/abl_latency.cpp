@@ -27,10 +27,19 @@ using namespace lesslog;
 struct Cell {
   double p50 = 0.0;
   double p99 = 0.0;
+  double p999 = 0.0;
   double msgs_per_get = 0.0;
   double fault_pct = 0.0;
   obs::Snapshot snap;  ///< the cell swarm's final metric snapshot
 };
+
+/// Tail percentile (ms) from the cell's client.get_latency histogram —
+/// octave resolution, but derived from the same obs cells a deployment
+/// would scrape. 0 when metrics are compiled out (LESSLOG_NO_METRICS).
+double hist_pct_ms(const obs::Snapshot& snap, double pct) {
+  const obs::LatencyHistogram* h = snap.histogram("client.get_latency");
+  return h != nullptr ? 1000.0 * h->percentile(pct) : 0.0;
+}
 
 proto::Swarm::Config cell_config(int m, int b, double drop,
                                  std::uint64_t seed) {
@@ -82,6 +91,7 @@ Cell run_cell(int m, int b, double drop, int requests, std::uint64_t seed) {
   std::sort(lat.begin(), lat.end());
   cell.p50 = 1000.0 * util::percentile_sorted(lat, 50.0);
   cell.p99 = 1000.0 * util::percentile_sorted(lat, 99.0);
+  cell.p999 = 1000.0 * util::percentile_sorted(lat, 99.9);
   cell.msgs_per_get = static_cast<double>(swarm.network().messages_sent() -
                                           msgs_before) /
                       requests;
@@ -192,6 +202,9 @@ int main(int argc, char** argv) {
                 ",b=" + std::to_string(c == &b0 ? 0 : 2),
             {{"p50_ms", c->p50},
              {"p99_ms", c->p99},
+             {"p999_ms", c->p999},
+             {"p99_hist_ms", hist_pct_ms(c->snap, 99.0)},
+             {"p999_hist_ms", hist_pct_ms(c->snap, 99.9)},
              {"msgs_per_get", c->msgs_per_get},
              {"fault_pct", c->fault_pct}}});
       }

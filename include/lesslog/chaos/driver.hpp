@@ -46,6 +46,9 @@ struct Report {
   std::int64_t workload_faults = 0;  ///< completed with ok == false
   std::int64_t messages_sent = 0;
   std::int64_t repair_pushes = 0;  ///< kFilePush transfers (repair cost)
+  /// Final merged reliability ledger (includes the audit's probe GETs —
+  /// the audit checks its exact identities at every quiescent point).
+  proto::ReliabilityLedger reliability;
   double sim_time = 0.0;           ///< simulated seconds at the end
 
   // SWIM mode only (config.swim): detector accounting. swim_epochs has

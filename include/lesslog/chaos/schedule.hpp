@@ -81,6 +81,16 @@ struct ChaosConfig {
   /// measurements) are identical across shard counts.
   double net_jitter = 0.005;
 
+  /// --- Adaptive request-reliability layer, threaded into the swarm's
+  /// ClientConfig/PeerConfig (see those for semantics). All defaults off:
+  /// a run with the layer disabled is byte-identical to one built before
+  /// these knobs existed.
+  bool adaptive_timeouts = false;   ///< SRTT/RTTVAR GET timers + backoff
+  double hedge_percentile = 0.0;    ///< 0 = off; else [0.5, 1)
+  bool suspicion_routing = false;   ///< SWIM-suspicion-aware entry points
+  int busy_budget = 0;              ///< peer GET service budget; 0 = off
+  double busy_refill = 0.0;         ///< budget tokens per simulated second
+
   void validate() const;  ///< throws std::invalid_argument
 };
 

@@ -39,6 +39,7 @@
 // per-hop randomness (jitter = 0; see abl_membership).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -106,10 +107,37 @@ class SwimView final : public util::MutableLivenessView {
   void reset(util::CowStatus fresh) override {
     status_ = std::move(fresh);
     rebind(&status_.read());
+    suspects_.clear();  // a re-seeded belief starts with no doubts
   }
+
+  /// Soft doubt: the owning agent mirrors its member-table suspect
+  /// entries here (raise on suspect, clear on refute/confirm/reset), so
+  /// routing can skip doubted targets without reaching into the agent.
+  [[nodiscard]] bool is_suspected(std::uint32_t pid) const noexcept override {
+    return std::binary_search(suspects_.begin(), suspects_.end(), pid);
+  }
+
+  [[nodiscard]] const std::vector<std::uint32_t>* suspects()
+      const noexcept override {
+    return suspects_.empty() ? nullptr : &suspects_;
+  }
+
+  void set_suspected(std::uint32_t pid, bool suspected) {
+    const auto it =
+        std::lower_bound(suspects_.begin(), suspects_.end(), pid);
+    const bool present = it != suspects_.end() && *it == pid;
+    if (suspected && !present) {
+      suspects_.insert(it, pid);
+    } else if (!suspected && present) {
+      suspects_.erase(it);
+    }
+  }
+
+  void clear_suspects() { suspects_.clear(); }
 
  private:
   util::CowStatus status_;
+  std::vector<std::uint32_t> suspects_;  ///< ascending; typically tiny
 };
 
 class SwimRuntime;

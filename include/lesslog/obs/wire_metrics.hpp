@@ -15,11 +15,14 @@
 namespace lesslog::obs {
 
 struct WireMetrics {
-  /// Wire type tags are 1..13; slot 0 is unused so a MsgType indexes
+  /// Wire type tags are 1..14; slot 0 is unused so a MsgType indexes
   /// directly. Tags 1..10 predate the SWIM messages and keep their
   /// original registration (and therefore snapshot-merge) positions; the
-  /// SWIM slots 11..13 are registered at the very end of the catalog.
-  static constexpr std::size_t kTypeSlots = 14;
+  /// SWIM slots 11..13 were appended in the membership PR, and the kBusy
+  /// slot 14 after those — each generation of cells registers strictly
+  /// after every older one so historic snapshot prefixes stay aligned.
+  static constexpr std::size_t kTypeSlots = 15;
+  static constexpr std::size_t kSwimTypeSlots = 14;
   static constexpr std::size_t kLegacyTypeSlots = 11;
 
   explicit WireMetrics(Registry& registry);
@@ -93,6 +96,16 @@ struct WireMetrics {
   Counter* swim_refutations = nullptr;   ///< suspicions killed by alive(inc+1)
   Counter* swim_incarnation_bumps = nullptr;  ///< self-refutation bumps
   Counter* swim_gossip_bytes = nullptr;  ///< piggyback payload bytes carried
+
+  // Adaptive request-reliability accounting (appended last, after the
+  // SWIM cells and the kBusy msgs_in/out slots, so pre-reliability
+  // snapshot prefixes keep their positions). All zero with the layer off.
+  Counter* rtt_samples = nullptr;     ///< Karn-clean RTT samples absorbed
+  Counter* hedges = nullptr;          ///< hedge GET legs launched
+  Counter* hedge_wins = nullptr;      ///< requests completed by the hedge leg
+  Counter* hedge_cancels = nullptr;   ///< hedge legs resolved by the other leg
+  Counter* busy_received = nullptr;   ///< kBusy replies acted on by clients
+  Counter* busy_shed = nullptr;       ///< GETs refused over the service budget
 };
 
 }  // namespace lesslog::obs

@@ -5,6 +5,23 @@
 // reliability: a get that hears nothing within the timeout is retried up
 // to `max_retries` times; a *negative* reply triggers migration to the
 // next subtree identifier (Section 4) before counting a fault.
+//
+// On top of that fixed-timer core sits an opt-in adaptive layer (every
+// knob defaults off, leaving the wire schedule byte-identical):
+//
+//   * `adaptive` — retry timers from a Jacobson/Karn SRTT/RTTVAR estimator
+//     instead of the fixed timeout, with exponential backoff and
+//     deterministic per-(seed, request-id, leg) jitter on retries;
+//   * `hedge_percentile` — once the first leg is slower than that
+//     percentile of recent Karn-clean latencies, a correlation-id-guarded
+//     second GET races down the next replica subtree; first answer wins,
+//     the loser's reply is discarded without double-counting;
+//   * kBusy replies (peer-side load shedding) migrate the request to the
+//     next subtree after a capped exponential backoff instead of burning
+//     the full timeout;
+//   * `suspicion_routing` — entry-point selection consults the installed
+//     liveness view's failure-detector suspicion (membership::SwimView),
+//     skipping suspected-dead targets up front.
 #pragma once
 
 #include <cstdint>
@@ -12,6 +29,7 @@
 #include <vector>
 
 #include "lesslog/proto/peer.hpp"
+#include "lesslog/proto/rtt_estimator.hpp"
 #include "lesslog/util/seq_window.hpp"
 
 namespace lesslog::proto {
@@ -20,8 +38,22 @@ struct ClientConfig {
   double timeout = 0.25;  ///< seconds before a retry
   int max_retries = 2;    ///< per (attempt, subtree) leg
 
+  // --- Adaptive reliability layer. Every default below keeps the client
+  // byte-identical to the fixed-timer client: no adaptive timers, no
+  // hedging, no suspicion routing, zero extra RNG draws.
+  bool adaptive = false;  ///< SRTT/RTTVAR retry timers + backoff/jitter
+  double rto_floor = 0.03;  ///< lower clamp on any adaptive delay (s)
+  double rto_cap = 2.0;     ///< upper clamp; also the backoff ceiling (s)
+  double backoff_base = 2.0;   ///< per-retry delay multiplier (>= 1)
+  double retry_jitter = 0.1;   ///< +/- fraction on retry delays, in [0, 1)
+  double hedge_percentile = 0.0;  ///< 0 = no hedging; else in [0.5, 1)
+  double busy_backoff = 0.05;  ///< base migrate delay after a BUSY shed (s)
+  bool suspicion_routing = false;  ///< skip suspected-dead entry targets
+  std::uint64_t seed = 0;  ///< salts the deterministic retry jitter hash
+
   /// Throws std::invalid_argument on nonsense (timeout not strictly
-  /// positive, negative max_retries). Called by the Client constructor.
+  /// positive, negative max_retries, malformed adaptive-layer knobs).
+  /// Called by the Client constructor.
   void validate() const;
 };
 
@@ -32,6 +64,41 @@ struct GetResult {
   int hops = 0;
   int retries = 0;
   int migrations = 0;
+};
+
+/// Plain counters for the reliability layer, maintained unconditionally
+/// (unlike obs cells, which compile out under -DLESSLOG_NO_METRICS) so the
+/// chaos audit can reconcile them in every build flavor. At quiescence two
+/// exact identities hold per client: issued == ok + faults, and
+/// hedges_launched == hedge_won + hedge_cancelled — every hedge leg is
+/// resolved exactly once no matter how many replies the wire drops or
+/// duplicates.
+struct ReliabilityLedger {
+  std::int64_t issued = 0;
+  std::int64_t ok = 0;
+  std::int64_t faults = 0;
+  std::int64_t rtt_samples = 0;      ///< Karn-clean samples absorbed
+  std::int64_t hedges_launched = 0;  ///< second legs actually sent
+  std::int64_t hedge_won = 0;        ///< requests completed by the hedge leg
+  std::int64_t hedge_cancelled = 0;  ///< hedge legs resolved by the other leg
+  std::int64_t busy_received = 0;    ///< kBusy replies acted on
+  std::int64_t busy_shed = 0;        ///< GETs refused (peer side; filled by
+                                     ///< the swarm aggregate)
+
+  ReliabilityLedger& operator+=(const ReliabilityLedger& o) noexcept {
+    issued += o.issued;
+    ok += o.ok;
+    faults += o.faults;
+    rtt_samples += o.rtt_samples;
+    hedges_launched += o.hedges_launched;
+    hedge_won += o.hedge_won;
+    hedge_cancelled += o.hedge_cancelled;
+    busy_received += o.busy_received;
+    busy_shed += o.busy_shed;
+    return *this;
+  }
+  friend bool operator==(const ReliabilityLedger&,
+                         const ReliabilityLedger&) = default;
 };
 
 class Client {
@@ -66,6 +133,15 @@ class Client {
     return latencies_;
   }
 
+  /// This client's reliability counters (busy_shed left 0 — that side of
+  /// the ledger lives on the peers; the swarm aggregate merges both).
+  [[nodiscard]] ReliabilityLedger ledger() const noexcept;
+
+  /// The Jacobson/Karn estimator state (tests and diagnostics).
+  [[nodiscard]] const RttEstimator& estimator() const noexcept {
+    return estimator_;
+  }
+
  private:
   struct PendingGet {
     core::FileId file;
@@ -79,6 +155,13 @@ class Client {
     /// generation are stale and ignored (migration resets retries, so a
     /// retry counter alone cannot identify the current leg).
     int generation = 0;
+    int transmissions = 0;  ///< GETs actually sent (Karn: sample iff == 1)
+    bool hedged = false;         ///< a hedge leg was launched
+    bool hedge_resolved = false; ///< hedge answered (miss/shed) w/o winning
+    std::uint32_t hedge_attempt = 0;  ///< subtree offset the hedge probes
+    std::uint64_t hedge_id = 0;  ///< correlation id of the hedge leg
+    int busy_bounces = 0;  ///< kBusy sheds since the last subtree wrap
+    int busy_wraps = 0;    ///< completed wraps (capped at max_retries)
   };
   struct PendingInsert {
     core::FileId file;
@@ -91,15 +174,45 @@ class Client {
   void on_reply(const Message& m);
   void send_get(std::uint64_t id);
   void arm_get_timeout(std::uint64_t id, int generation);
+  void handle_get_timeout(std::uint64_t id, int generation);
   void send_insert(std::uint64_t id);
   /// Completes a pending get. `found` is the caller's already-resolved
   /// window slot for `id` (every caller has just looked it up — passing
-  /// it through avoids a second find on the reply hot path).
+  /// it through avoids a second find on the reply hot path). `via_hedge`
+  /// attributes the completion to the hedge leg for the ledger.
   void finish_get(std::uint64_t id, PendingGet* found, bool ok,
-                  std::uint64_t version, int hops);
-  /// Entry PID for the current subtree attempt: this node's counterpart in
-  /// the migrated subtree (nearest live proxy if the counterpart is dead).
-  [[nodiscard]] std::optional<core::Pid> entry_for(const PendingGet& g) const;
+                  std::uint64_t version, int hops, bool via_hedge);
+  /// Advances a pending get to the next replica subtree (after a
+  /// definitive miss, a kBusy shed, or an entry subtree with no live
+  /// node). Adopts or skips an outstanding hedge leg that already covers
+  /// the target subtree; finishes the request as a fault when the
+  /// identifiers are exhausted — unless the walk was shed somewhere, in
+  /// which case it wraps and revisits (a busy peer is loaded, not dead;
+  /// each wrap consumes the sheds seen so far and the wrap count is
+  /// capped, so termination is preserved). `delay > 0` defers the
+  /// re-send (the BUSY migrate-with-backoff path).
+  void migrate_get(std::uint64_t id, PendingGet* found, int hops,
+                   double delay, bool reset_retries);
+  /// Arms the one-shot hedge timer for a fresh request.
+  void arm_hedge(std::uint64_t id);
+  /// Sends the correlation-id-guarded second leg down the next subtree.
+  void launch_hedge(std::uint64_t id, PendingGet& g);
+  /// Entry PID for subtree attempt `attempt` of a get toward `target`:
+  /// this node's counterpart in that subtree (nearest live proxy if the
+  /// counterpart is dead), with failure-detector suspects masked out
+  /// first when suspicion routing is on.
+  [[nodiscard]] std::optional<core::Pid> entry_at(
+      core::Pid target, std::uint32_t attempt) const;
+  /// Backoff delay before re-routing a request a peer shed with kBusy.
+  [[nodiscard]] double busy_delay(const PendingGet& g) const noexcept;
+  /// Deterministic uniform [0,1) hash of (seed, request id, leg) — jitter
+  /// without consuming any shared RNG stream.
+  [[nodiscard]] double leg_jitter(std::uint64_t id,
+                                  int generation) const noexcept;
+  /// True when any knob wants RTT samples collected.
+  [[nodiscard]] bool reliability_active() const noexcept {
+    return cfg_.adaptive || cfg_.hedge_percentile > 0.0;
+  }
 
   Peer* home_;
   Network* network_;
@@ -111,9 +224,21 @@ class Client {
   // lookup is a mask + compare instead of a hash-map walk.
   util::SeqWindow<PendingGet> gets_;
   util::SeqWindow<PendingInsert> inserts_;
+  /// Hedge correlation id -> primary request id. A reply that misses
+  /// `gets_` but hits this table belongs to a hedge leg; one that misses
+  /// both is a late duplicate and is dropped — the guard that makes the
+  /// losing leg's reply a no-op.
+  util::SeqWindow<std::uint64_t> hedge_ids_;
   std::int64_t issued_ = 0;
   std::int64_t faults_ = 0;
   std::vector<double> latencies_;
+  RttEstimator estimator_;
+  // Reliability ledger cells (plain ints: audited in every build flavor).
+  std::int64_t rtt_samples_ = 0;
+  std::int64_t hedges_launched_ = 0;
+  std::int64_t hedge_won_ = 0;
+  std::int64_t hedge_cancelled_ = 0;
+  std::int64_t busy_received_ = 0;
 };
 
 }  // namespace lesslog::proto

@@ -33,7 +33,8 @@ enum class MsgType : std::uint8_t {
   // piggybacked gossip update packed into the file/version fields.
   kPing = 11,          ///< direct probe
   kPingAck = 12,       ///< probe answer (direct or relayed by a proxy)
-  kPingReq = 13        ///< indirect probe through a proxy (requester=origin)
+  kPingReq = 13,       ///< indirect probe through a proxy (requester=origin)
+  kBusy = 14           ///< peer over its service budget -> requester migrates
 };
 
 /// One protocol message. Fields unused by a given type are zero; `ok`
@@ -88,6 +89,7 @@ void encode_into(const Message& m, WireBuffer& out) noexcept;
     case MsgType::kPing: return "PING";
     case MsgType::kPingAck: return "PING_ACK";
     case MsgType::kPingReq: return "PING_REQ";
+    case MsgType::kBusy: return "BUSY";
   }
   return "???";
 }

@@ -34,6 +34,30 @@
 
 namespace lesslog::proto {
 
+struct PeerConfig {
+  // --- Reliable-push retransmit policy (Section 5 data motion). The
+  // defaults reproduce the historical fixed-timer constants byte for
+  // byte; push_backoff_base > 1 switches the retransmit timer to capped
+  // exponential backoff under the same policy the client's adaptive
+  // retries use.
+  double push_timeout = 0.3;  ///< seconds before a push retransmit
+  int push_max_retries = 5;   ///< retransmissions before dropping
+  double push_backoff_base = 1.0;  ///< 1 = fixed timer (lane fast path)
+  double push_backoff_cap = 2.0;   ///< upper clamp on a backed-off delay
+
+  // --- Service budget (graceful degradation). A peer over budget
+  // refuses further GET work with a kBusy reply instead of silently
+  // queueing into a timeout; requesters migrate with backoff. The budget
+  // is a deterministic token bucket refilled from simulated time — no
+  // RNG involved. 0 disables shedding entirely (the default).
+  int busy_budget = 0;       ///< bucket capacity in GETs (serve or forward)
+  double busy_refill = 0.0;  ///< tokens restored per simulated second
+
+  /// Throws std::invalid_argument on nonsense (non-positive timers, a
+  /// budget that can never refill). Called by the Peer constructor.
+  void validate() const;
+};
+
 class Peer {
  public:
   using ReplySink = std::function<void(const Message&)>;
@@ -42,14 +66,14 @@ class Peer {
   /// `initial_status` seeds the local liveness view (a joining node gets
   /// it from a neighbor, Section 5.1).
   Peer(core::Pid pid, int b, util::StatusWord initial_status,
-       Network& network);
+       Network& network, PeerConfig cfg = {});
 
   /// Same, seeding the liveness view from a copy-on-write handle. Swarm
   /// construction hands every peer one shared snapshot instead of 2^m
   /// distinct 2^m-bit copies; a peer's view silently diverges onto its own
   /// copy the first time a membership announcement mutates it.
   Peer(core::Pid pid, int b, util::CowStatus initial_status,
-       Network& network);
+       Network& network, PeerConfig cfg = {});
 
   [[nodiscard]] core::Pid pid() const noexcept { return pid_; }
   [[nodiscard]] int fault_bits() const noexcept { return b_; }
@@ -146,6 +170,10 @@ class Peer {
   [[nodiscard]] std::int64_t served() const noexcept { return served_; }
   /// Requests forwarded toward other peers.
   [[nodiscard]] std::int64_t forwarded() const noexcept { return forwarded_; }
+  /// GETs refused with kBusy over the service budget. Cumulative across
+  /// rejoins (a ledger cell, not a measurement-window counter).
+  [[nodiscard]] std::int64_t busy_shed() const noexcept { return busy_shed_; }
+  [[nodiscard]] const PeerConfig& config() const noexcept { return cfg_; }
 
   /// Measurement-window boundary for the closed-loop controller: zeroes
   /// the service counters and every copy's access count.
@@ -160,6 +188,12 @@ class Peer {
 
  private:
   void on_get(const Message& m);
+  /// Refills the service token bucket from simulated time and tries to
+  /// take one token; false = over budget, shed this GET.
+  [[nodiscard]] bool admit_get();
+  /// kBusy back to the requester: same addressing as reply_get, but a
+  /// distinct wire type so the client migrates instead of retrying here.
+  void reply_busy(const Message& request);
   void on_insert(const Message& m);
   void on_create_replica(const Message& m);
   void on_update(const Message& m);
@@ -198,6 +232,13 @@ class Peer {
   const obs::WireMetrics* metrics_ = nullptr;
   std::int64_t served_ = 0;
   std::int64_t forwarded_ = 0;
+  /// Service-budget bucket: the budget>0 check and (when enabled) the
+  /// token accounting run once per delivered GET, so the config sits in
+  /// the warm section next to the counters it guards.
+  PeerConfig cfg_;
+  double busy_tokens_ = 0.0;
+  double busy_last_refill_ = 0.0;
+  std::int64_t busy_shed_ = 0;
   core::FileStore store_;
   ReplySink reply_sink_;
   /// Replica placements this peer has made, per file. A peer cannot know

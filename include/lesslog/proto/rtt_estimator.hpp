@@ -1,0 +1,86 @@
+// Jacobson/Karn round-trip estimation for the client's adaptive
+// reliability layer.
+//
+// The classic TCP smoothing pair (RFC 6298 coefficients): the first sample
+// primes SRTT = rtt and RTTVAR = rtt/2; each later sample folds in as
+//
+//   RTTVAR <- 3/4 RTTVAR + 1/4 |SRTT - rtt|
+//   SRTT   <- 7/8 SRTT   + 1/8 rtt
+//
+// and the retransmission timeout is clamp(SRTT + 4 RTTVAR, floor, cap).
+// Karn's rule lives in the *caller*: only requests that completed on their
+// first transmission — no retry, no migration, no hedge leg — feed
+// add_sample(), so a reply can never be credited to the wrong leg.
+//
+// The estimator also keeps a small ring of the same Karn-clean samples so
+// the hedging policy can ask for an empirical latency percentile ("launch
+// the second leg once the first is slower than p95 of recent requests").
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <cstddef>
+
+namespace lesslog::proto {
+
+class RttEstimator {
+ public:
+  /// Recent-sample ring capacity for percentile queries.
+  static constexpr std::size_t kWindow = 64;
+
+  /// Absorbs one Karn-clean round-trip sample (seconds).
+  void add_sample(double rtt) noexcept {
+    if (!primed_) {
+      srtt_ = rtt;
+      rttvar_ = rtt / 2.0;
+      primed_ = true;
+    } else {
+      const double err = srtt_ - rtt;
+      rttvar_ += 0.25 * ((err < 0.0 ? -err : err) - rttvar_);
+      srtt_ += 0.125 * (rtt - srtt_);
+    }
+    ring_[next_] = rtt;
+    next_ = (next_ + 1) % kWindow;
+    if (count_ < kWindow) ++count_;
+  }
+
+  [[nodiscard]] bool primed() const noexcept { return primed_; }
+  [[nodiscard]] double srtt() const noexcept { return srtt_; }
+  [[nodiscard]] double rttvar() const noexcept { return rttvar_; }
+  /// Samples currently held in the percentile ring (saturates at kWindow).
+  [[nodiscard]] std::size_t window_size() const noexcept { return count_; }
+
+  /// The retransmission timeout: SRTT + 4 RTTVAR clamped to [floor, cap],
+  /// or `fallback` (unclamped) before the first sample arrives — an
+  /// unprimed estimator must reproduce the fixed-timer client exactly.
+  [[nodiscard]] double rto(double fallback, double floor,
+                           double cap) const noexcept {
+    if (!primed_) return fallback;
+    return std::clamp(srtt_ + 4.0 * rttvar_, floor, cap);
+  }
+
+  /// Empirical percentile (pct in [0,1)) of the recent-sample ring.
+  /// Precondition: window_size() > 0.
+  [[nodiscard]] double percentile(double pct) const noexcept {
+    assert(count_ > 0 && "percentile needs at least one sample");
+    std::array<double, kWindow> scratch;
+    std::copy_n(ring_.begin(), count_, scratch.begin());
+    std::size_t k = static_cast<std::size_t>(pct * static_cast<double>(count_));
+    if (k >= count_) k = count_ - 1;
+    std::nth_element(scratch.begin(),
+                     scratch.begin() + static_cast<std::ptrdiff_t>(k),
+                     scratch.begin() + static_cast<std::ptrdiff_t>(count_));
+    return scratch[k];
+  }
+
+ private:
+  std::array<double, kWindow> ring_{};
+  std::size_t count_ = 0;  ///< live samples in the ring
+  std::size_t next_ = 0;   ///< next ring slot to overwrite
+  double srtt_ = 0.0;
+  double rttvar_ = 0.0;
+  bool primed_ = false;
+};
+
+}  // namespace lesslog::proto

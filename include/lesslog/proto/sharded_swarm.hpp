@@ -65,6 +65,7 @@ class ShardedSwarm {
     ShardMap::Kind shard_map = ShardMap::Kind::kRange;
     NetworkConfig net;
     ClientConfig client;
+    PeerConfig peer;
     /// Geographic latency model applied to every shard's network (slots
     /// defaulted to 2^m when 0). Also feeds the pairwise lookahead
     /// floors.
@@ -189,6 +190,11 @@ class ShardedSwarm {
   /// Client stats across all peers, in PID order (shard-independent).
   [[nodiscard]] std::int64_t total_faults() const;
   [[nodiscard]] std::vector<double> all_latencies() const;
+
+  /// Merged reliability ledger: every client's counters plus every peer's
+  /// busy_shed (same surface as Swarm::reliability_ledger, summed over
+  /// shards).
+  [[nodiscard]] ReliabilityLedger reliability_ledger() const;
 
   /// Network counters summed over shards. Cross-shard datagrams are
   /// counted once: sent on the source shard, delivered (or lost) on the

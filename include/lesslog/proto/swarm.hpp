@@ -33,6 +33,7 @@ class Swarm {
     std::uint64_t seed = 1;
     NetworkConfig net;
     ClientConfig client;
+    PeerConfig peer;
   };
 
   explicit Swarm(Config cfg);
@@ -122,6 +123,11 @@ class Swarm {
   /// Aggregate client stats across all peers.
   [[nodiscard]] std::int64_t total_faults() const;
   [[nodiscard]] std::vector<double> all_latencies() const;
+
+  /// Merged reliability ledger: every client's counters plus every peer's
+  /// busy_shed. Plain ints, valid in every build flavor; the chaos audit
+  /// checks its exact identities at quiescence.
+  [[nodiscard]] ReliabilityLedger reliability_ledger() const;
 
   /// Network counter aggregates, named identically on ShardedSwarm (which
   /// sums them over shards) — the shared surface that lets the chaos

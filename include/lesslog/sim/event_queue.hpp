@@ -66,8 +66,13 @@ class EventQueue {
   /// distinct delay becomes an O(1) FIFO lane instead of a heap
   /// insertion; step() merges lanes and heap by the same strict
   /// (time, seq) key, so execution order is identical to schedule().
-  /// Every distinct delay value allocates a lane for the queue's
-  /// lifetime — callers must pass constants, not computed delays.
+  /// Every distinct delay value occupies a lane for the queue's
+  /// lifetime, and the table is capped at kMaxLanes: once full, an
+  /// unseen delay (a computed timeout reaching this entry point by
+  /// mistake) is admitted through the wheel/heap path with the identical
+  /// (time, seq) key — execution order is unchanged, only the O(1) lane
+  /// bypass is lost. Callers should still pass constants; adaptive
+  /// timers belong on schedule().
   void schedule_after_fixed(SimTime delay, EventFn fn);
 
   /// schedule_after_fixed() overload for raw callables; see schedule().
@@ -127,6 +132,17 @@ class EventQueue {
       }
       push_heap_entry(e);
     }
+  }
+
+  /// Fixed-delay lane table bound (see schedule_after_fixed): protocol
+  /// constants fit with room to spare; computed delays overflow into the
+  /// wheel/heap instead of growing the min scan's per-event lane walk.
+  static constexpr std::size_t kMaxLanes = 16;
+
+  /// Distinct fixed delays currently occupying lanes (admission
+  /// observability for tests; compares against kMaxLanes).
+  [[nodiscard]] std::size_t lane_table_size() const noexcept {
+    return lanes_.size();
   }
 
   [[nodiscard]] bool empty() const noexcept {

@@ -63,6 +63,27 @@ void Audit::check(AnySwarm& swarm,
                 " completed=" + std::to_string(completed));
   }
 
+  // 3b. Reliability-ledger reconciliation, exact at quiescence in every
+  // build flavor (plain ints, not obs cells): every GET the clients ever
+  // issued — workload, prior audit probes, hedge-capable or shed — was
+  // resolved exactly once, and every hedge leg launched was either won
+  // or cancelled, never both and never neither, no matter how many
+  // replies the wire dropped or duplicated. Read before the probe GETs
+  // below mutate the ledger.
+  const proto::ReliabilityLedger ledger = swarm.reliability_ledger();
+  if (ledger.issued != ledger.ok + ledger.faults) {
+    violate(out, epoch, "reliability_ledger",
+            "issued=" + std::to_string(ledger.issued) +
+                " != ok+faults=" + std::to_string(ledger.ok) + "+" +
+                std::to_string(ledger.faults));
+  }
+  if (ledger.hedges_launched != ledger.hedge_won + ledger.hedge_cancelled) {
+    violate(out, epoch, "hedge_reconciliation",
+            "hedges_launched=" + std::to_string(ledger.hedges_launched) +
+                " != won+cancelled=" + std::to_string(ledger.hedge_won) +
+                "+" + std::to_string(ledger.hedge_cancelled));
+  }
+
   // 4. Status convergence: live peers' local words vs ground truth.
   const util::StatusWord& truth = swarm.status();
   for (std::uint32_t p = 0; p < truth.capacity(); ++p) {

@@ -38,6 +38,12 @@ Driver::Driver(ChaosConfig cfg)
     // time — the last ingredient of shard-count invariance. It only ever
     // *adds* latency, so the pairwise lookahead floor stays valid.
     if (cfg_.swim) sc.net.link_stagger = 0.002;
+    sc.client.adaptive = cfg_.adaptive_timeouts;
+    sc.client.hedge_percentile = cfg_.hedge_percentile;
+    sc.client.suspicion_routing = cfg_.suspicion_routing;
+    sc.client.seed = cfg_.seed;  // inert unless the adaptive layer is on
+    sc.peer.busy_budget = cfg_.busy_budget;
+    sc.peer.busy_refill = cfg_.busy_refill;
     sharded_ = std::make_unique<proto::ShardedSwarm>(sc);
     tally_.resize(cfg_.shards);
     if (cfg_.swim) swim_setup();
@@ -52,6 +58,12 @@ Driver::Driver(ChaosConfig cfg)
   // rules, so the repair phase after each heal runs on a clean wire.
   sc.net.drop_probability = 0.0;
   sc.net.jitter = cfg_.net_jitter;
+  sc.client.adaptive = cfg_.adaptive_timeouts;
+  sc.client.hedge_percentile = cfg_.hedge_percentile;
+  sc.client.suspicion_routing = cfg_.suspicion_routing;
+  sc.client.seed = cfg_.seed;  // inert unless the adaptive layer is on
+  sc.peer.busy_budget = cfg_.busy_budget;
+  sc.peer.busy_refill = cfg_.busy_refill;
   swarm_ = std::make_unique<proto::Swarm>(sc);
 }
 
@@ -260,6 +272,7 @@ Report Driver::run_serial() {
   report.repair_pushes = static_cast<std::int64_t>(
       swarm_->metrics().repair_pushes->value());
 #endif
+  report.reliability = swarm_->reliability_ledger();
   report.sim_time = swarm_->engine().now();
   return report;
 }
@@ -625,6 +638,7 @@ Report Driver::run_sharded() {
         sw.metrics(s).repair_pushes->value());
   }
 #endif
+  report.reliability = sw.reliability_ledger();
   report.sim_time = swim_ ? sharded_->quiesce_time() : sharded_now();
   if (swim_) {
     report.swim = swim_->tally();

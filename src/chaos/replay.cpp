@@ -79,7 +79,12 @@ std::string artifact_to_json(const Report& report) {
      << ",\"swim_suspect_periods\":" << c.swim_suspect_periods
      << ",\"swim_gossip_repeats\":" << c.swim_gossip_repeats
      << ",\"swim_convergence_rounds\":" << c.swim_convergence_rounds
-     << ",\"net_jitter\":" << num(c.net_jitter) << "},";
+     << ",\"net_jitter\":" << num(c.net_jitter)
+     << ",\"adaptive_timeouts\":" << b(c.adaptive_timeouts)
+     << ",\"hedge_percentile\":" << num(c.hedge_percentile)
+     << ",\"suspicion_routing\":" << b(c.suspicion_routing)
+     << ",\"busy_budget\":" << c.busy_budget
+     << ",\"busy_refill\":" << num(c.busy_refill) << "},";
   os << "\"violations\":[";
   for (std::size_t i = 0; i < report.violations.size(); ++i) {
     const Violation& v = report.violations[i];
@@ -111,6 +116,12 @@ std::string artifact_to_json(const Report& report) {
      << ",\"workload_issued\":" << report.workload_issued
      << ",\"workload_completed\":" << report.workload_completed
      << ",\"workload_faults\":" << report.workload_faults
+     << ",\"rtt_samples\":" << report.reliability.rtt_samples
+     << ",\"hedges_launched\":" << report.reliability.hedges_launched
+     << ",\"hedge_won\":" << report.reliability.hedge_won
+     << ",\"hedge_cancelled\":" << report.reliability.hedge_cancelled
+     << ",\"busy_received\":" << report.reliability.busy_received
+     << ",\"busy_shed\":" << report.reliability.busy_shed
      << ",\"sim_time\":" << num(report.sim_time);
   if (c.swim) {
     os << ",\"swim\":{\"pings\":" << report.swim.pings
@@ -221,6 +232,23 @@ ChaosConfig config_from_artifact(const std::string& json) {
   if (const util::minijson::Value* v = cfg.find("net_jitter")) {
     out.net_jitter = v->number;
   }
+  // Reliability-layer keys are absent in pre-adaptive artifacts; those
+  // replay with the layer off (its byte-identical default).
+  if (const util::minijson::Value* v = cfg.find("adaptive_timeouts")) {
+    out.adaptive_timeouts = v->boolean;
+  }
+  if (const util::minijson::Value* v = cfg.find("hedge_percentile")) {
+    out.hedge_percentile = v->number;
+  }
+  if (const util::minijson::Value* v = cfg.find("suspicion_routing")) {
+    out.suspicion_routing = v->boolean;
+  }
+  if (const util::minijson::Value* v = cfg.find("busy_budget")) {
+    out.busy_budget = static_cast<int>(v->number);
+  }
+  if (const util::minijson::Value* v = cfg.find("busy_refill")) {
+    out.busy_refill = v->number;
+  }
   out.validate();
   return out;
 }
@@ -237,6 +265,10 @@ bool same_outcome(const Report& a, const Report& b) {
          a.workload_completed == b.workload_completed &&
          a.workload_faults == b.workload_faults &&
          a.messages_sent == b.messages_sent &&
+         // The reliability ledger (hedge and shed accounting included)
+         // must replay exactly; with the layer off every cell but
+         // issued/ok/faults is zero on both sides.
+         a.reliability == b.reliability &&
          // Oracle runs leave both at their zero defaults; SWIM runs must
          // reproduce the detector's whole ledger, not just the workload's.
          a.swim == b.swim && a.detection_latency == b.detection_latency;

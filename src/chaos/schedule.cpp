@@ -67,6 +67,24 @@ void ChaosConfig::validate() const {
     throw std::invalid_argument(
         "ChaosConfig: net_jitter must be non-negative");
   }
+  if (std::isnan(hedge_percentile) ||
+      (hedge_percentile != 0.0 &&
+       (hedge_percentile < 0.5 || hedge_percentile >= 1.0))) {
+    throw std::invalid_argument(
+        "ChaosConfig: hedge_percentile must be 0 (off) or in [0.5, 1)");
+  }
+  if (busy_budget < 0) {
+    throw std::invalid_argument(
+        "ChaosConfig: busy_budget must be non-negative");
+  }
+  if (std::isnan(busy_refill) || busy_refill < 0.0) {
+    throw std::invalid_argument(
+        "ChaosConfig: busy_refill must be non-negative");
+  }
+  if (busy_budget > 0 && busy_refill <= 0.0) {
+    throw std::invalid_argument(
+        "ChaosConfig: a positive busy_budget needs a positive busy_refill");
+  }
 }
 
 const char* op_kind_name(OpKind k) noexcept {

@@ -57,6 +57,7 @@ void SwimAgent::enable() {
   // life, including its confirmed death.
   ++self_incarnation_;
   members_.clear();
+  view_.clear_suspects();
   gossip_queue_.clear();
   dead_cursor_ = 0;
   enqueue_gossip(pid().value(), kAlive, self_incarnation_);
@@ -68,6 +69,7 @@ void SwimAgent::disable() {
   ticking_ = false;
   outstanding_ = false;
   members_.clear();
+  view_.clear_suspects();
   gossip_queue_.clear();
 }
 
@@ -278,6 +280,7 @@ void SwimAgent::start_suspect(std::uint32_t p) {
   if (mm.state != kAlive) return;  // already suspect or dead
   mm.state = kSuspect;
   mm.suspect_period = period_index_;
+  view_.set_suspected(p, true);
   ++tally_.suspects;
   if (runtime_->truth_live(p)) ++tally_.false_suspects;
   LESSLOG_METRICS(if (metrics_ != nullptr) metrics_->swim_suspects->inc());
@@ -286,6 +289,7 @@ void SwimAgent::start_suspect(std::uint32_t p) {
 
 void SwimAgent::confirm(std::uint32_t p, Member& mm) {
   mm.state = kDead;
+  view_.set_suspected(p, false);  // doubt resolved: the bitmap flips instead
   ++tally_.confirms;
   const bool false_confirm = runtime_->truth_live(p);
   if (false_confirm) ++tally_.false_confirms;
@@ -325,6 +329,7 @@ void SwimAgent::apply_gossip(std::uint32_t p, State state,
         const State was = mm.state;
         mm.state = kAlive;
         mm.incarnation = inc;
+        view_.set_suspected(p, false);
         if (was != kAlive) {
           ++tally_.refutations;
           LESSLOG_METRICS(
@@ -341,6 +346,7 @@ void SwimAgent::apply_gossip(std::uint32_t p, State state,
         const State was = mm.state;
         mm.state = kSuspect;
         mm.incarnation = inc;
+        view_.set_suspected(p, true);
         if (was == kAlive) mm.suspect_period = period_index_;
         enqueue_gossip(p, kSuspect, inc);
       }
@@ -351,6 +357,7 @@ void SwimAgent::apply_gossip(std::uint32_t p, State state,
       if (mm.state != kDead && inc >= mm.incarnation) {
         mm.state = kDead;
         mm.incarnation = inc;
+        view_.set_suspected(p, false);
         enqueue_gossip(p, kDead, inc);
         if (view_.is_live(p)) peer_->learn_dead(core::Pid{p});
       }
@@ -366,6 +373,7 @@ void SwimAgent::direct_evidence_alive(core::Pid sender) {
   Member& mm = member(sender.value());
   if (mm.state != kAlive) {
     mm.state = kAlive;
+    view_.set_suspected(sender.value(), false);
     ++mm.incarnation;
     ++tally_.refutations;
     LESSLOG_METRICS(

@@ -42,11 +42,11 @@ WireMetrics::WireMetrics(Registry& registry) {
   // SWIM additions — every new cell after every pre-existing one, so the
   // first N snapshot indices are unchanged and existing merge consumers
   // (per-shard registries, replay artifacts) keep their alignment.
-  for (std::size_t tag = kLegacyTypeSlots; tag < kTypeSlots; ++tag) {
+  for (std::size_t tag = kLegacyTypeSlots; tag < kSwimTypeSlots; ++tag) {
     const char* name = proto::type_name(static_cast<MsgType>(tag));
     msgs_in[tag] = &registry.counter(std::string("msgs_in.") + name);
   }
-  for (std::size_t tag = kLegacyTypeSlots; tag < kTypeSlots; ++tag) {
+  for (std::size_t tag = kLegacyTypeSlots; tag < kSwimTypeSlots; ++tag) {
     const char* name = proto::type_name(static_cast<MsgType>(tag));
     msgs_out[tag] = &registry.counter(std::string("msgs_out.") + name);
   }
@@ -55,6 +55,23 @@ WireMetrics::WireMetrics(Registry& registry) {
   swim_refutations = &registry.counter("swim.refutations");
   swim_incarnation_bumps = &registry.counter("swim.incarnation_bumps");
   swim_gossip_bytes = &registry.counter("swim.gossip_bytes");
+  // Adaptive-reliability additions — same append discipline as the SWIM
+  // block above: the kBusy wire slots and the hedge/busy/estimator cells
+  // register strictly after every older cell.
+  for (std::size_t tag = kSwimTypeSlots; tag < kTypeSlots; ++tag) {
+    const char* name = proto::type_name(static_cast<MsgType>(tag));
+    msgs_in[tag] = &registry.counter(std::string("msgs_in.") + name);
+  }
+  for (std::size_t tag = kSwimTypeSlots; tag < kTypeSlots; ++tag) {
+    const char* name = proto::type_name(static_cast<MsgType>(tag));
+    msgs_out[tag] = &registry.counter(std::string("msgs_out.") + name);
+  }
+  rtt_samples = &registry.counter("client.rtt_samples");
+  hedges = &registry.counter("client.hedges");
+  hedge_wins = &registry.counter("client.hedge_wins");
+  hedge_cancels = &registry.counter("client.hedge_cancels");
+  busy_received = &registry.counter("client.busy_received");
+  busy_shed = &registry.counter("peer.busy_shed");
 }
 
 }  // namespace lesslog::obs

@@ -61,7 +61,7 @@ std::uint32_t get_u32(const std::uint8_t* in) noexcept {
 
 bool valid_type(std::uint8_t tag) {
   return tag >= static_cast<std::uint8_t>(MsgType::kGetRequest) &&
-         tag <= static_cast<std::uint8_t>(MsgType::kPingReq);
+         tag <= static_cast<std::uint8_t>(MsgType::kBusy);
 }
 
 }  // namespace

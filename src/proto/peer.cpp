@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
+#include <stdexcept>
 
 #include "lesslog/core/children_list.hpp"
 #include "lesslog/core/replication.hpp"
@@ -9,23 +11,52 @@
 
 namespace lesslog::proto {
 
-namespace {
-// Reliable-push parameters: generous against the default 10-25 ms links.
-constexpr double kPushTimeout = 0.3;
-constexpr int kPushMaxRetries = 5;
-}  // namespace
+void PeerConfig::validate() const {
+  if (std::isnan(push_timeout) || push_timeout <= 0.0) {
+    throw std::invalid_argument(
+        "PeerConfig: push_timeout must be strictly positive");
+  }
+  if (push_max_retries < 0) {
+    throw std::invalid_argument(
+        "PeerConfig: push_max_retries must be non-negative");
+  }
+  if (std::isnan(push_backoff_base) || push_backoff_base < 1.0) {
+    throw std::invalid_argument(
+        "PeerConfig: push_backoff_base must be at least 1");
+  }
+  if (std::isnan(push_backoff_cap) || push_backoff_cap < push_timeout) {
+    throw std::invalid_argument(
+        "PeerConfig: push_backoff_cap must be at least push_timeout");
+  }
+  if (busy_budget < 0) {
+    throw std::invalid_argument(
+        "PeerConfig: busy_budget must be non-negative");
+  }
+  if (std::isnan(busy_refill) || busy_refill < 0.0) {
+    throw std::invalid_argument(
+        "PeerConfig: busy_refill must be non-negative");
+  }
+  if (busy_budget > 0 && busy_refill <= 0.0) {
+    throw std::invalid_argument(
+        "PeerConfig: a positive busy_budget needs a positive busy_refill "
+        "(a bucket that never refills sheds forever)");
+  }
+}
 
 Peer::Peer(core::Pid pid, int b, util::StatusWord initial_status,
-           Network& network)
-    : Peer(pid, b, util::CowStatus(std::move(initial_status)), network) {}
+           Network& network, PeerConfig cfg)
+    : Peer(pid, b, util::CowStatus(std::move(initial_status)), network,
+           cfg) {}
 
 Peer::Peer(core::Pid pid, int b, util::CowStatus initial_status,
-           Network& network)
+           Network& network, PeerConfig cfg)
     : pid_(pid), b_(b), view_(&oracle_),
-      oracle_(std::move(initial_status)), network_(&network),
+      oracle_(std::move(initial_status)), network_(&network), cfg_(cfg),
+      busy_tokens_(static_cast<double>(cfg.busy_budget)),
       // Stripe push ids per peer so concurrent pushes never collide.
       next_push_id_((std::uint64_t{0xF11EULL} << 48) |
                     (std::uint64_t{pid.value()} << 20)) {
+  cfg_.validate();
   assert(b_ >= 0 && b_ < status().width());
 }
 
@@ -46,6 +77,10 @@ void Peer::rejoin(util::CowStatus fresh_status) {
   pending_pushes_.clear();  // stale push timers see an empty map: no-ops
   served_ = 0;
   forwarded_ = 0;
+  // A rejoined node starts with a full service budget; busy_shed_ is a
+  // ledger cell and survives the rejoin.
+  busy_tokens_ = static_cast<double>(cfg_.busy_budget);
+  busy_last_refill_ = network_->engine().now();
   attach();
 }
 
@@ -62,6 +97,7 @@ void Peer::handle(const Message& m) {
     case MsgType::kReclaim: on_reclaim(m); return;
     case MsgType::kGetReply:
     case MsgType::kInsertAck:
+    case MsgType::kBusy:
       if (reply_sink_) reply_sink_(m);
       return;
     case MsgType::kPing:
@@ -97,7 +133,44 @@ std::optional<core::Pid> Peer::next_hop(core::Pid r) const {
   return std::nullopt;
 }
 
+bool Peer::admit_get() {
+  const double now = network_->engine().now();
+  const double budget = static_cast<double>(cfg_.busy_budget);
+  busy_tokens_ = std::min(
+      budget, busy_tokens_ + (now - busy_last_refill_) * cfg_.busy_refill);
+  busy_last_refill_ = now;
+  if (busy_tokens_ < 1.0) return false;
+  busy_tokens_ -= 1.0;
+  return true;
+}
+
+void Peer::reply_busy(const Message& request) {
+  Message reply;
+  reply.request_id = request.request_id;
+  reply.type = MsgType::kBusy;
+  reply.from = pid_;
+  reply.to = request.requester;
+  reply.requester = request.requester;
+  reply.subject = request.subject;
+  reply.file = request.file;
+  reply.hop_count = request.hop_count;
+  reply.ok = false;
+  if (request.requester == pid_) {
+    if (reply_sink_) reply_sink_(reply);
+    return;
+  }
+  network_->send(reply);
+}
+
 void Peer::on_get(const Message& m) {
+  if (cfg_.busy_budget > 0 && !admit_get()) {
+    // Over the service budget: refuse loudly instead of queueing into a
+    // requester-side timeout. The requester migrates with backoff.
+    ++busy_shed_;
+    LESSLOG_METRICS(if (metrics_ != nullptr) metrics_->busy_shed->inc());
+    reply_busy(m);
+    return;
+  }
   if (const std::optional<std::uint64_t> version = store_.serve(m.file)) {
     ++served_;
     LESSLOG_METRICS(if (metrics_ != nullptr) metrics_->served->inc());
@@ -309,12 +382,13 @@ void Peer::transmit_push(std::uint64_t id) {
   PendingPush* pending = pending_pushes_.find(id);
   if (pending == nullptr) return;
   network_->send(pending->msg);
+  const int retries = pending->retries;
   const int generation = ++pending->generation;
-  network_->engine().after_fixed(kPushTimeout, [this, id, generation] {
+  const auto expire = [this, id, generation] {
     PendingPush* entry = pending_pushes_.find(id);
     if (entry == nullptr) return;  // acked
     if (entry->generation != generation) return;  // stale timer
-    if (entry->retries >= kPushMaxRetries) {
+    if (entry->retries >= cfg_.push_max_retries) {
       // Out of budget: drop the transfer. The next membership event (or
       // the System-level bookkeeping in tests) re-detects the gap.
       pending_pushes_.erase(id);
@@ -324,7 +398,20 @@ void Peer::transmit_push(std::uint64_t id) {
     LESSLOG_METRICS(
         if (metrics_ != nullptr) metrics_->push_retries->inc());
     transmit_push(id);
-  });
+  };
+  if (cfg_.push_backoff_base <= 1.0) {
+    // Fixed retransmit timer (the default): the event queue's FIFO-lane
+    // fast path, byte-identical to the historical constant schedule.
+    network_->engine().after_fixed(cfg_.push_timeout, expire);
+    return;
+  }
+  // Same capped exponential backoff policy as the client's adaptive
+  // retries; a computed delay must take the wheel/heap, not a lane.
+  double delay = cfg_.push_timeout;
+  for (int i = 0; i < retries && delay < cfg_.push_backoff_cap; ++i) {
+    delay *= cfg_.push_backoff_base;
+  }
+  network_->engine().after(std::min(delay, cfg_.push_backoff_cap), expire);
 }
 
 void Peer::reset_window() noexcept {

@@ -167,8 +167,8 @@ ShardedSwarm::ShardedSwarm(Config cfg, Plan plan)
 
 void ShardedSwarm::make_peer(core::Pid p, util::CowStatus view) {
   Shard& sh = home(p);
-  peers_[p.value()] =
-      std::make_unique<Peer>(p, cfg_.b, std::move(view), sh.network);
+  peers_[p.value()] = std::make_unique<Peer>(p, cfg_.b, std::move(view),
+                                             sh.network, cfg_.peer);
   peers_[p.value()]->set_metrics(&sh.metrics);
   peers_[p.value()]->attach();
   clients_[p.value()] =
@@ -467,6 +467,17 @@ std::vector<double> ShardedSwarm::all_latencies() const {
     out.insert(out.end(), c->latencies().begin(), c->latencies().end());
   }
   return out;
+}
+
+ReliabilityLedger ShardedSwarm::reliability_ledger() const {
+  ReliabilityLedger total;
+  for (const auto& c : clients_) {
+    if (c) total += c->ledger();
+  }
+  for (const auto& p : peers_) {
+    if (p) total.busy_shed += p->busy_shed();
+  }
+  return total;
 }
 
 std::int64_t ShardedSwarm::messages_sent() const noexcept {

@@ -29,7 +29,8 @@ Swarm::Swarm(Config cfg)
   // truth mutation (or a peer's view diverging) copies-on-write once.
   for (std::uint32_t p = 0; p < cfg_.nodes; ++p) {
     peers_[p] = std::make_unique<Peer>(core::Pid{p}, cfg_.b,
-                                       status_.snapshot(), network_);
+                                       status_.snapshot(), network_,
+                                       cfg_.peer);
     peers_[p]->set_metrics(&metrics_);
     peers_[p]->attach();
     clients_[p] =
@@ -123,8 +124,8 @@ core::Pid Swarm::join(std::optional<core::Pid> requested) {
   if (peers_[p.value()]) {
     peers_[p.value()]->rejoin(status_.snapshot());
   } else {
-    peers_[p.value()] =
-        std::make_unique<Peer>(p, cfg_.b, status_.snapshot(), network_);
+    peers_[p.value()] = std::make_unique<Peer>(p, cfg_.b, status_.snapshot(),
+                                               network_, cfg_.peer);
     peers_[p.value()]->set_metrics(&metrics_);
     peers_[p.value()]->attach();
     clients_[p.value()] =
@@ -292,6 +293,17 @@ std::vector<double> Swarm::all_latencies() const {
     out.insert(out.end(), c->latencies().begin(), c->latencies().end());
   }
   return out;
+}
+
+ReliabilityLedger Swarm::reliability_ledger() const {
+  ReliabilityLedger total;
+  for (const auto& c : clients_) {
+    if (c) total += c->ledger();
+  }
+  for (const auto& p : peers_) {
+    if (p) total.busy_shed += p->busy_shed();
+  }
+  return total;
 }
 
 }  // namespace lesslog::proto

@@ -114,8 +114,6 @@ void EventQueue::schedule_after_fixed(SimTime delay, EventFn fn) {
 
 void EventQueue::push_lane_entry(SimTime delay, std::uint32_t slot) {
   assert(delay >= 0.0 && "cannot schedule into the past");
-  if (next_seq_ == std::numeric_limits<std::uint32_t>::max()) renumber();
-  const Entry e = make_entry(now_ + delay, next_seq_++, slot);
   Lane* lane = nullptr;
   for (Lane& candidate : lanes_) {
     if (candidate.delay == delay) {
@@ -124,9 +122,21 @@ void EventQueue::push_lane_entry(SimTime delay, std::uint32_t slot) {
     }
   }
   if (lane == nullptr) {
+    if (lanes_.size() >= kMaxLanes) {
+      // Lane table full: this delay is not one of the protocol constants
+      // the lanes exist for. Admit through the general wheel/heap path —
+      // same (time, seq) key, so the pop order is indistinguishable; only
+      // the O(1) lane bypass is lost for this entry.
+      push_entry(now_ + delay, slot);
+      return;
+    }
     lanes_.push_back(Lane{delay, {}, 0, 0});
     lane = &lanes_.back();
   }
+  // renumber() after the lane lookup: it drains entries in place without
+  // reshaping lanes_, so `lane` stays valid across the fold.
+  if (next_seq_ == std::numeric_limits<std::uint32_t>::max()) renumber();
+  const Entry e = make_entry(now_ + delay, next_seq_++, slot);
   // The FIFO invariant that makes the lane a valid priority queue: keys
   // enter in strictly increasing order (now() is monotone, x + delay is
   // monotone in x, and seq always grows).

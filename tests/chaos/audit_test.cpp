@@ -61,6 +61,28 @@ TEST(Audit, FaultsWereActuallyInjected) {
   EXPECT_FALSE(report.record.rules.empty());
 }
 
+TEST(Audit, HedgeLedgerReconcilesExactly) {
+  // A chaotic run with hedging live: every hedge leg must be resolved
+  // exactly once (won or cancelled — never both, never neither), no
+  // matter how many replies the wire drops, duplicates, or delays. The
+  // auditor checks the identity per epoch; this pins it on the final
+  // merged ledger too, and proves hedges actually fired.
+  ChaosConfig cfg = quick_config(3);
+  cfg.fault_intensity = 0.6;
+  cfg.adaptive_timeouts = true;
+  cfg.hedge_percentile = 0.9;
+  Report report = Driver(cfg).run();
+  EXPECT_TRUE(report.clean()) << report.violations.size() << " violations";
+  for (const Violation& v : report.violations) {
+    ADD_FAILURE() << "[" << v.epoch << "] " << v.check << ": " << v.detail;
+  }
+  const proto::ReliabilityLedger& led = report.reliability;
+  EXPECT_GT(led.hedges_launched, 0);
+  EXPECT_EQ(led.hedges_launched, led.hedge_won + led.hedge_cancelled);
+  EXPECT_GT(led.rtt_samples, 0);
+  EXPECT_EQ(led.issued, led.ok + led.faults);
+}
+
 TEST(Audit, RunsAreDeterministic) {
   const ChaosConfig cfg = quick_config(5);
   Report a = Driver(cfg).run();

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <stdexcept>
 
 namespace lesslog::chaos {
@@ -44,6 +45,58 @@ TEST(ChaosConfig, RejectsBadFields) {
     cfg.get_rate = -1.0;
     EXPECT_THROW(cfg.validate(), std::invalid_argument);
   }
+}
+
+TEST(ChaosConfig, RejectsBadReliabilityKnobs) {
+  constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+  {
+    ChaosConfig cfg;
+    cfg.hedge_percentile = 0.3;  // below the median: must be 0 or [0.5, 1)
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  }
+  {
+    ChaosConfig cfg;
+    cfg.hedge_percentile = 1.0;
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  }
+  {
+    ChaosConfig cfg;
+    cfg.hedge_percentile = kNan;
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  }
+  {
+    ChaosConfig cfg;
+    cfg.busy_budget = -1;
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  }
+  {
+    ChaosConfig cfg;
+    cfg.busy_refill = -1.0;
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  }
+  {
+    ChaosConfig cfg;
+    cfg.busy_refill = kNan;
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  }
+  {
+    ChaosConfig cfg;
+    cfg.busy_budget = 4;  // positive budget with no refill sheds forever
+    cfg.busy_refill = 0.0;
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  }
+}
+
+TEST(ChaosConfig, ReliabilityKnobsAcceptValidValues) {
+  ChaosConfig cfg;
+  cfg.adaptive_timeouts = true;
+  cfg.hedge_percentile = 0.9;
+  cfg.suspicion_routing = true;
+  cfg.busy_budget = 4;
+  cfg.busy_refill = 100.0;
+  EXPECT_NO_THROW(cfg.validate());
+  cfg.hedge_percentile = 0.0;  // hedging off is always legal
+  EXPECT_NO_THROW(cfg.validate());
 }
 
 TEST(Schedule, WindowsStayInsideTheEpoch) {

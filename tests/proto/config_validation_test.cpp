@@ -1,6 +1,7 @@
-// Construction-time validation of NetworkConfig and ClientConfig: every
-// rejected field gets its own test, plus proof that constructors call
-// validate() (a misconfigured network/client cannot be built).
+// Construction-time validation of NetworkConfig, ClientConfig, and
+// PeerConfig: every rejected field gets its own test, plus proof that
+// constructors call validate() (a misconfigured network/client/peer
+// cannot be built).
 #include <gtest/gtest.h>
 
 #include <limits>
@@ -104,6 +105,114 @@ TEST(ClientConfigValidation, ZeroRetriesIsValid) {
   EXPECT_NO_THROW(cfg.validate());
 }
 
+// -- ClientConfig: the adaptive reliability-layer knobs -------------------
+
+TEST(ClientConfigValidation, RejectsZeroRtoFloor) {
+  ClientConfig cfg;
+  cfg.rto_floor = 0.0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(ClientConfigValidation, RejectsNanRtoFloor) {
+  ClientConfig cfg;
+  cfg.rto_floor = kNan;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(ClientConfigValidation, RejectsRtoCapBelowFloor) {
+  ClientConfig cfg;
+  cfg.rto_floor = 0.5;
+  cfg.rto_cap = 0.4;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(ClientConfigValidation, RejectsNanRtoCap) {
+  ClientConfig cfg;
+  cfg.rto_cap = kNan;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(ClientConfigValidation, RtoCapEqualToFloorIsValid) {
+  ClientConfig cfg;
+  cfg.rto_floor = 0.5;
+  cfg.rto_cap = 0.5;
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(ClientConfigValidation, RejectsBackoffBaseBelowOne) {
+  ClientConfig cfg;
+  cfg.backoff_base = 0.5;  // delays would *shrink* per retry
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(ClientConfigValidation, RejectsNanBackoffBase) {
+  ClientConfig cfg;
+  cfg.backoff_base = kNan;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(ClientConfigValidation, BackoffBaseOfOneIsValid) {
+  ClientConfig cfg;
+  cfg.backoff_base = 1.0;  // fixed timer, the pre-layer behavior
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(ClientConfigValidation, RejectsNegativeRetryJitter) {
+  ClientConfig cfg;
+  cfg.retry_jitter = -0.1;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(ClientConfigValidation, RejectsRetryJitterAtOne) {
+  ClientConfig cfg;
+  cfg.retry_jitter = 1.0;  // a -100% draw would schedule a zero delay
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(ClientConfigValidation, RejectsNanRetryJitter) {
+  ClientConfig cfg;
+  cfg.retry_jitter = kNan;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(ClientConfigValidation, RejectsHedgePercentileBelowHalf) {
+  ClientConfig cfg;
+  cfg.hedge_percentile = 0.3;  // hedging below the median doubles load
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(ClientConfigValidation, RejectsHedgePercentileAtOne) {
+  ClientConfig cfg;
+  cfg.hedge_percentile = 1.0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(ClientConfigValidation, RejectsNanHedgePercentile) {
+  ClientConfig cfg;
+  cfg.hedge_percentile = kNan;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(ClientConfigValidation, HedgePercentileOffOrInRangeIsValid) {
+  for (const double p : {0.0, 0.5, 0.95, 0.999}) {
+    ClientConfig cfg;
+    cfg.hedge_percentile = p;
+    EXPECT_NO_THROW(cfg.validate()) << p;
+  }
+}
+
+TEST(ClientConfigValidation, RejectsZeroBusyBackoff) {
+  ClientConfig cfg;
+  cfg.busy_backoff = 0.0;  // would hot-loop against a shedding peer
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(ClientConfigValidation, RejectsNanBusyBackoff) {
+  ClientConfig cfg;
+  cfg.busy_backoff = kNan;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
 TEST(ClientConfigValidation, ConstructorRejectsBadConfig) {
   sim::Engine engine(1);
   Network net(engine, {});
@@ -111,6 +220,111 @@ TEST(ClientConfigValidation, ConstructorRejectsBadConfig) {
   ClientConfig cfg;
   cfg.timeout = -1.0;
   EXPECT_THROW(Client(peer, net, cfg), std::invalid_argument);
+}
+
+TEST(ClientConfigValidation, ConstructorRejectsBadAdaptiveKnobs) {
+  sim::Engine engine(1);
+  Network net(engine, {});
+  Peer peer(core::Pid{0}, 0, util::StatusWord(4, 1), net);
+  ClientConfig cfg;
+  cfg.adaptive = true;
+  cfg.rto_floor = -0.01;
+  EXPECT_THROW(Client(peer, net, cfg), std::invalid_argument);
+}
+
+// -- PeerConfig: push retransmission and the busy-shedding budget ---------
+
+TEST(PeerConfigValidation, DefaultsAreValid) {
+  EXPECT_NO_THROW(PeerConfig{}.validate());
+}
+
+TEST(PeerConfigValidation, RejectsZeroPushTimeout) {
+  PeerConfig cfg;
+  cfg.push_timeout = 0.0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(PeerConfigValidation, RejectsNanPushTimeout) {
+  PeerConfig cfg;
+  cfg.push_timeout = kNan;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(PeerConfigValidation, RejectsNegativePushMaxRetries) {
+  PeerConfig cfg;
+  cfg.push_max_retries = -1;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(PeerConfigValidation, RejectsPushBackoffBaseBelowOne) {
+  PeerConfig cfg;
+  cfg.push_backoff_base = 0.9;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(PeerConfigValidation, RejectsNanPushBackoffBase) {
+  PeerConfig cfg;
+  cfg.push_backoff_base = kNan;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(PeerConfigValidation, RejectsPushBackoffCapBelowTimeout) {
+  PeerConfig cfg;
+  cfg.push_timeout = 0.5;
+  cfg.push_backoff_cap = 0.4;  // cap below the very first delay
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(PeerConfigValidation, RejectsNanPushBackoffCap) {
+  PeerConfig cfg;
+  cfg.push_backoff_cap = kNan;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(PeerConfigValidation, RejectsNegativeBusyBudget) {
+  PeerConfig cfg;
+  cfg.busy_budget = -1;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(PeerConfigValidation, RejectsNegativeBusyRefill) {
+  PeerConfig cfg;
+  cfg.busy_refill = -1.0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(PeerConfigValidation, RejectsNanBusyRefill) {
+  PeerConfig cfg;
+  cfg.busy_refill = kNan;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(PeerConfigValidation, RejectsBudgetThatNeverRefills) {
+  PeerConfig cfg;
+  cfg.busy_budget = 4;
+  cfg.busy_refill = 0.0;  // a bucket that never refills sheds forever
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(PeerConfigValidation, BusyKnobsBoundaryValuesAreAccepted) {
+  PeerConfig off;  // both zero: shedding disabled, the default
+  off.busy_budget = 0;
+  off.busy_refill = 0.0;
+  EXPECT_NO_THROW(off.validate());
+  PeerConfig slow;  // tiny but positive refill is legal
+  slow.busy_budget = 1;
+  slow.busy_refill = 0.001;
+  EXPECT_NO_THROW(slow.validate());
+}
+
+TEST(PeerConfigValidation, ConstructorRejectsBadConfig) {
+  sim::Engine engine(1);
+  Network net(engine, {});
+  PeerConfig cfg;
+  cfg.busy_budget = 2;  // positive budget, zero refill
+  EXPECT_THROW(
+      Peer(core::Pid{0}, 0, util::StatusWord(4, 1), net, cfg),
+      std::invalid_argument);
 }
 
 // -- ShardedSwarm: the adaptive-lookahead schedulability rejection --------

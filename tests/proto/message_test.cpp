@@ -15,7 +15,7 @@ constexpr MsgType kAllTypes[] = {
     MsgType::kInsertAck,   MsgType::kCreateReplica, MsgType::kUpdatePush,
     MsgType::kStatusAnnounce, MsgType::kFilePush,   MsgType::kReclaim,
     MsgType::kFilePushAck, MsgType::kPing,          MsgType::kPingAck,
-    MsgType::kPingReq};
+    MsgType::kPingReq,     MsgType::kBusy};
 
 Message sample() {
   Message m;
@@ -168,7 +168,7 @@ TEST(WireProperty, EveryInvalidTypeTagRejected) {
   std::vector<std::uint8_t> bytes = wire_bytes(sample());
   for (int tag = 0; tag <= 255; ++tag) {
     bytes[8] = static_cast<std::uint8_t>(tag);
-    const bool valid = tag >= 1 && tag <= 13;
+    const bool valid = tag >= 1 && tag <= 14;
     EXPECT_EQ(decode(bytes).has_value(), valid) << "tag " << tag;
   }
 }

@@ -304,6 +304,84 @@ TEST(EventQueueRunBefore, DrainsEverySourceStrictlyBelowBound) {
   EXPECT_TRUE(q.empty());
 }
 
+// -- Lane-table admission (the kMaxLanes cap) ----------------------------
+//
+// schedule_after_fixed exists for a small set of protocol constants; a
+// caller leaking computed delays into it must not grow the lane table
+// (and with it the per-event min scan) without bound. Past kMaxLanes the
+// queue admits unseen delays through the wheel/heap with the same
+// (time, seq) key, so only the container changes — never the pop order.
+
+TEST(EventQueueAdmission, LaneTableStopsGrowingAtTheCap) {
+  EventQueue q;
+  int fired = 0;
+  const std::size_t kDistinct = EventQueue::kMaxLanes + 8;
+  for (std::size_t i = 0; i < kDistinct; ++i) {
+    q.schedule_after_fixed(0.1 + 0.001 * static_cast<double>(i),
+                           [&fired] { ++fired; });
+  }
+  EXPECT_EQ(q.lane_table_size(), EventQueue::kMaxLanes);
+  EXPECT_EQ(q.run_all(), static_cast<std::int64_t>(kDistinct));
+  EXPECT_EQ(fired, static_cast<int>(kDistinct));
+}
+
+TEST(EventQueueAdmission, OverflowDelaysKeepTheTotalOrder) {
+  // Interleave laned, overflowed, and schedule()d events with tying and
+  // distinct timestamps; the executed sequence must equal the (time,
+  // submission) sort regardless of which container held each entry.
+  EventQueue q;
+  std::vector<int> order;
+  int next = 0;
+  // Fill the lane table with distinct constants.
+  for (std::size_t i = 0; i < EventQueue::kMaxLanes; ++i) {
+    q.schedule_after_fixed(1.0 + 0.01 * static_cast<double>(i),
+                           [&order, id = next++] { order.push_back(id); });
+  }
+  // Overflow: three unseen delays, one tying an existing lane's time.
+  q.schedule_after_fixed(0.5,
+                         [&order, id = next++] { order.push_back(id); });
+  q.schedule_after_fixed(1.0,  // same expiry as the first lane, later seq
+                         [&order, id = next++] { order.push_back(id); });
+  q.schedule_after_fixed(2.0,
+                         [&order, id = next++] { order.push_back(id); });
+  EXPECT_EQ(q.lane_table_size(), EventQueue::kMaxLanes);
+  // A wheel-range event and a far-future heap event for good measure.
+  q.schedule(0.010, [&order, id = next++] { order.push_back(id); });
+  q.schedule(3.0, [&order, id = next++] { order.push_back(id); });
+  EXPECT_EQ(q.run_all(), static_cast<std::int64_t>(next));
+  // Expected: 0.010s wheel event, 0.5s overflow, the sixteen lanes in
+  // delay order (1.00..1.15) with the 1.0s overflow firing right after
+  // the 1.00 lane entry (same time, later submission), then 2.0s, 3.0s.
+  std::vector<int> expected;
+  expected.push_back(static_cast<int>(EventQueue::kMaxLanes) + 3);  // wheel
+  expected.push_back(static_cast<int>(EventQueue::kMaxLanes));      // 0.5
+  expected.push_back(0);                                            // 1.00
+  expected.push_back(static_cast<int>(EventQueue::kMaxLanes) + 1);  // tie
+  for (int i = 1; i < static_cast<int>(EventQueue::kMaxLanes); ++i) {
+    expected.push_back(i);
+  }
+  expected.push_back(static_cast<int>(EventQueue::kMaxLanes) + 2);  // 2.0
+  expected.push_back(static_cast<int>(EventQueue::kMaxLanes) + 4);  // 3.0
+  EXPECT_EQ(order, expected);
+}
+
+TEST(EventQueueAdmission, ReusedConstantStillLanesAfterOverflow) {
+  // A delay that already owns a lane keeps using it even when the table
+  // is full — the cap only rejects *new* lanes.
+  EventQueue q;
+  int fired = 0;
+  for (std::size_t i = 0; i < EventQueue::kMaxLanes + 4; ++i) {
+    q.schedule_after_fixed(0.1 + 0.001 * static_cast<double>(i),
+                           [&fired] { ++fired; });
+  }
+  const std::size_t lanes = q.lane_table_size();
+  q.schedule_after_fixed(0.1, [&fired] { ++fired; });  // lane 0 again
+  EXPECT_EQ(q.lane_table_size(), lanes);
+  EXPECT_EQ(q.run_all(),
+            static_cast<std::int64_t>(EventQueue::kMaxLanes + 5));
+  EXPECT_EQ(fired, static_cast<int>(EventQueue::kMaxLanes + 5));
+}
+
 TEST(EventQueueOrder, RunAllDrainsEverySource) {
   EventQueue q;
   int fired = 0;
