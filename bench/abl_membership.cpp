@@ -7,11 +7,11 @@
 // (files = 0), no GET workload (get_rate = 0), zero per-hop latency
 // jitter. The driver substitutes a deterministic per-link stagger for
 // the jitter, so delivery order is a pure function of the config and
-// the churn and partition cells reproduce bit-identically at any shard
-// count — those curves are exact, not sampled. The lossy plan's burst
-// rules draw from the per-network Gilbert chain (a stateful RNG stream
-// that follows traffic layout), so lossy cells are bit-identical per
-// shard count but not across shard counts.
+// every plan — churn, partition, AND lossy — reproduces bit-identically
+// at any shard count: the curves are exact, not sampled. (Lossy joined
+// the club when the Gilbert–Elliott chains moved to per-link-per-seed
+// RNG streams; each link's loss pattern is now a pure function of its
+// own datagram count, which shard layout never permutes.)
 //
 // --smoke is the membership_smoke ctest gate:
 //   * a churn+partition cell must audit clean, converge the detector in
@@ -19,6 +19,8 @@
 //   * the same cell rerun, and rerun at S = 4, must reproduce the whole
 //     detector ledger bit-identically (same_outcome covers the SWIM
 //     tallies and every latency sample);
+//   * a lossy cell must reproduce bit-identically across S ∈ {1, 2, 4}
+//     — the per-link chain scoping pin;
 //   * the oracle path (swim = false, same geometry) must stay clean and
 //     replay bit-identically from its JSON artifact — the pin that the
 //     LivenessView seam left ground-truth liveness untouched.
@@ -153,6 +155,19 @@ int run_smoke(const bench::BenchArgs& args) {
   const bool shard_ok =
       chaos::same_outcome(first, chaos::Driver(cfg4).run());
 
+  // Lossy pin: with the Gilbert–Elliott chains scoped per link per seed,
+  // the burst-loss plan must be bit-identical across S ∈ {1, 2, 4} too.
+  const Plan lossy{"lossy", false, false, true};
+  const chaos::Report lossy1 = chaos::Driver(
+      membership_config(/*quick=*/true, lossy, 0.8, 1, /*shards=*/1)).run();
+  const chaos::Report lossy2 = chaos::Driver(
+      membership_config(/*quick=*/true, lossy, 0.8, 1, /*shards=*/2)).run();
+  const chaos::Report lossy4 = chaos::Driver(
+      membership_config(/*quick=*/true, lossy, 0.8, 1, /*shards=*/4)).run();
+  const bool lossy_ok = lossy1.clean() &&
+                        chaos::same_outcome(lossy1, lossy2) &&
+                        chaos::same_outcome(lossy1, lossy4);
+
   // Oracle pin: same geometry with the detector off must audit clean and
   // replay bit-identically from its artifact — ground-truth liveness
   // behind the LivenessView seam is unchanged.
@@ -168,7 +183,7 @@ int run_smoke(const bench::BenchArgs& args) {
                          chaos::same_outcome(oracle, replayed) &&
                          artifact == chaos::artifact_to_json(replayed);
 
-  const bool ok = detect_ok && rerun_ok && shard_ok && oracle_ok;
+  const bool ok = detect_ok && rerun_ok && shard_ok && lossy_ok && oracle_ok;
   std::cout << "membership smoke: swim="
             << (detect_ok ? "converged(" +
                                 std::to_string(
@@ -177,6 +192,7 @@ int run_smoke(const bench::BenchArgs& args) {
                           : "FAILED")
             << " rerun=" << (rerun_ok ? "bit-identical" : "DIVERGED")
             << " shards=" << (shard_ok ? "bit-identical" : "DIVERGED")
+            << " lossy=" << (lossy_ok ? "bit-identical" : "DIVERGED")
             << " oracle=" << (oracle_ok ? "clean+replayed" : "BROKEN")
             << " -> " << (ok ? "PASS" : "FAIL") << "\n";
   const int metrics_rc = bench::emit_metrics(

@@ -27,12 +27,6 @@ class ChordRing {
   /// globally fresh membership LessLog assumes).
   explicit ChordRing(const util::LivenessView& view);
 
-  /// Legacy entry point over a bare status word.
-  [[deprecated(
-      "pass a util::LivenessView (wrap a plain StatusWord in "
-      "util::BorrowedView)")]]
-  explicit ChordRing(const util::StatusWord& live);
-
   [[nodiscard]] int width() const noexcept { return m_; }
   [[nodiscard]] std::uint32_t node_count() const noexcept {
     return static_cast<std::uint32_t>(nodes_.size());

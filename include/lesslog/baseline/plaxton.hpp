@@ -33,12 +33,6 @@ class PlaxtonMesh {
   explicit PlaxtonMesh(const util::LivenessView& view,
                        int bits_per_digit = 2);
 
-  /// Legacy entry point over a bare status word.
-  [[deprecated(
-      "pass a util::LivenessView (wrap a plain StatusWord in "
-      "util::BorrowedView)")]]
-  explicit PlaxtonMesh(const util::StatusWord& live, int bits_per_digit = 2);
-
   [[nodiscard]] int width() const noexcept { return m_; }
   [[nodiscard]] int digits() const noexcept { return digits_; }
   [[nodiscard]] int digit_base() const noexcept { return 1 << bits_; }

@@ -1,0 +1,40 @@
+// Capped exponential backoff for reconnect scheduling — the same clamp
+// shape as proto::RttEstimator's adaptive delays (floor, multiply, cap)
+// and the client's capped retry backoff, applied to connection attempts:
+// the first retry waits `base`, each subsequent one multiplies by
+// `factor`, and no wait exceeds `cap`. A successful connect resets the
+// ladder. Deterministic (no jitter): a transport serves one process, so
+// thundering-herd desynchronization is the host map's problem, not this
+// class's.
+#pragma once
+
+#include <algorithm>
+
+namespace lesslog::net {
+
+class Backoff {
+ public:
+  constexpr Backoff(double base, double factor, double cap) noexcept
+      : base_(base), factor_(factor), cap_(cap), current_(base) {}
+
+  /// The delay to wait before the next attempt; advances the ladder.
+  constexpr double next() noexcept {
+    const double delay = current_;
+    current_ = std::min(current_ * factor_, cap_);
+    return delay;
+  }
+
+  /// The delay next() would return, without advancing.
+  [[nodiscard]] constexpr double current() const noexcept { return current_; }
+
+  /// Back to the floor (called on a successful connect).
+  constexpr void reset() noexcept { current_ = base_; }
+
+ private:
+  double base_;
+  double factor_;
+  double cap_;
+  double current_;
+};
+
+}  // namespace lesslog::net

@@ -1,0 +1,86 @@
+// Byte-stream -> fixed-frame reassembly for the socket transport.
+//
+// TCP delivers a byte stream: one read() may return half a frame,
+// exactly one frame, or several frames plus a tail (short and coalesced
+// reads). Each connection owns a RingBuffer that reads scatter into (two
+// regions when the free space wraps) and a FrameReassembler that pops
+// aligned kWireSize-byte records back out. The reassembler never
+// interprets the bytes: every popped frame goes to proto::decode, whose
+// reject path is counted (the Network corrupted counter) — a garbage
+// stream degrades into counted drops, never an assert.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "lesslog/proto/message.hpp"
+
+namespace lesslog::net {
+
+/// Fixed-capacity byte ring. Capacity is rounded up to a power of two so
+/// index arithmetic is a mask, not a modulo. The writable free space is
+/// exposed as up to two contiguous spans sized for readv-style scatter
+/// input; pop() reassembles across the wrap.
+class RingBuffer {
+ public:
+  explicit RingBuffer(std::size_t capacity);
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return buf_.size(); }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] std::size_t free_space() const noexcept {
+    return buf_.size() - size_;
+  }
+
+  /// The writable free space as up to two contiguous regions (the second
+  /// is empty unless the free space wraps). Write into them in order,
+  /// then commit() the byte count actually produced.
+  [[nodiscard]] std::array<std::span<std::uint8_t>, 2> write_spans() noexcept;
+
+  /// Marks `n` bytes of the write_spans() regions as filled.
+  /// Precondition: n <= free_space() as of the matching write_spans().
+  void commit(std::size_t n) noexcept;
+
+  /// Copy-in convenience: appends as much of `bytes` as fits; returns
+  /// the accepted count (callers treat a short accept as backpressure).
+  std::size_t append(std::span<const std::uint8_t> bytes) noexcept;
+
+  /// Copies `n` bytes out into `dst` and consumes them; false (and no
+  /// consumption) when fewer than `n` bytes are buffered.
+  bool pop(std::uint8_t* dst, std::size_t n) noexcept;
+
+ private:
+  std::vector<std::uint8_t> buf_;  // power-of-two size
+  std::size_t head_ = 0;           // read index
+  std::size_t size_ = 0;           // bytes buffered
+};
+
+/// One connection's frame cursor: a ring plus the fixed-record pop. The
+/// stream has no framing header — the wire format is exactly
+/// proto::kWireSize bytes per datagram, so reassembly is alignment
+/// bookkeeping: bytes [43k, 43(k+1)) of the stream are frame k.
+class FrameReassembler {
+ public:
+  explicit FrameReassembler(std::size_t ring_capacity = std::size_t{1} << 14)
+      : ring_(ring_capacity) {}
+
+  [[nodiscard]] RingBuffer& ring() noexcept { return ring_; }
+  [[nodiscard]] const RingBuffer& ring() const noexcept { return ring_; }
+
+  /// Pops the next complete frame; false when fewer than kWireSize bytes
+  /// are buffered (the tail stays put until more bytes arrive).
+  bool next_frame(proto::WireBuffer& out) noexcept;
+
+  /// Complete frames popped so far.
+  [[nodiscard]] std::int64_t frames() const noexcept { return frames_; }
+  /// Bytes currently buffered (the partial tail between reads).
+  [[nodiscard]] std::size_t buffered() const noexcept { return ring_.size(); }
+
+ private:
+  RingBuffer ring_;
+  std::int64_t frames_ = 0;
+};
+
+}  // namespace lesslog::net

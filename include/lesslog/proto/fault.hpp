@@ -9,7 +9,9 @@
 //
 // Rule kinds (full semantics in docs/ROBUSTNESS.md):
 //   * kBurstLoss  — Gilbert–Elliott two-state loss chain, one chain per
-//     directed link (state advances per datagram on that link);
+//     directed link with its own RNG stream seeded from (plan seed, rule,
+//     activation generation, link), so a link's loss pattern is a pure
+//     function of its own datagram count — invariant to shard layout;
 //   * kDuplicate  — per-datagram duplication: a second copy travels with
 //     its own jitter/delay draw;
 //   * kDelaySpike — per-datagram extra one-way delay, inducing reordering
@@ -152,20 +154,42 @@ class FaultInjector {
   [[nodiscard]] bool in_group(const std::vector<std::uint32_t>& group,
                               std::uint32_t pid) const noexcept;
 
+  /// One directed link's Gilbert–Elliott chain: its own Rng stream plus
+  /// the current state (true = Bad; chains start Good). Giving every link
+  /// a private stream — seeded from (plan seed, rule, activation
+  /// generation, link key) alone — makes each chain a pure function of
+  /// the datagram count on that link, independent of how traffic on
+  /// *other* links interleaves. That is what keeps lossy runs
+  /// shard-count-invariant: shard layout permutes the global datagram
+  /// order but never a single link's order.
+  struct LinkChain {
+    util::Rng rng;
+    bool bad = false;
+  };
+
+  /// Deterministic seed for one link's chain. Folding in the rule's
+  /// activation generation makes a healed-and-reopened window start
+  /// fresh chains with fresh streams instead of replaying the previous
+  /// window's draws.
+  [[nodiscard]] std::uint64_t chain_seed(std::size_t rule_index,
+                                         std::uint64_t key) const noexcept;
+
   FaultPlan plan_;
   util::Rng rng_;
   std::vector<bool> active_;  ///< parallel to plan_.rules
   std::size_t active_count_ = 0;
   /// Gilbert–Elliott chain states: one map per rule (indexed like
   /// plan_.rules), keyed by the directed link (from << 30 | to; PIDs fit
-  /// kMaxIdBits = 30 bits). true = Bad; chains start Good lazily.
-  /// Deliberately still an unordered_map on the otherwise map-free
-  /// per-datagram path: it is only consulted while a burst-loss rule is
-  /// *active* (the chaos soak; the clean fast path never reaches the
-  /// injector), the key space is quadratic in the PID space so a flat
-  /// table is infeasible, and only links that carried traffic during a
-  /// burst ever materialize a chain.
-  std::vector<std::unordered_map<std::uint64_t, bool>> link_state_;
+  /// kMaxIdBits = 30 bits). Deliberately still an unordered_map on the
+  /// otherwise map-free per-datagram path: it is only consulted while a
+  /// burst-loss rule is *active* (the chaos soak; the clean fast path
+  /// never reaches the injector), the key space is quadratic in the PID
+  /// space so a flat table is infeasible, and only links that carried
+  /// traffic during a burst ever materialize a chain.
+  std::vector<std::unordered_map<std::uint64_t, LinkChain>> link_state_;
+  /// Per-rule activation generation (how many times the window opened);
+  /// part of every chain seed.
+  std::vector<std::uint32_t> generation_;
   FaultStats stats_;
 };
 

@@ -126,12 +126,6 @@ class Peer {
   /// rejoin.
   void rejoin(util::CowStatus fresh_status);
 
-  [[deprecated("pass a util::CowStatus handle; a by-value StatusWord "
-               "copies the whole bitmap")]]
-  void rejoin(util::StatusWord fresh_status) {
-    rejoin(util::CowStatus(std::move(fresh_status)));
-  }
-
   /// Sets where kGetReply / kInsertAck messages are surfaced (the
   /// colocated client).
   void set_reply_sink(ReplySink sink) { reply_sink_ = std::move(sink); }

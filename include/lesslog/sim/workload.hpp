@@ -36,27 +36,10 @@ struct Workload {
 [[nodiscard]] Workload uniform_workload(const util::LivenessView& view,
                                         double total_rate);
 
-/// Legacy entry point over a bare status word.
-[[deprecated(
-    "pass a util::LivenessView (wrap a plain StatusWord in "
-    "util::BorrowedView)")]]
-[[nodiscard]] Workload uniform_workload(const util::StatusWord& live,
-                                        double total_rate);
-
 /// Locality model: a random `hot_node_fraction` of the live nodes receives
 /// `hot_request_fraction` of the total rate (split evenly among them); the
 /// remaining nodes split the rest evenly. Paper defaults: 0.2 / 0.8.
 [[nodiscard]] Workload locality_workload(const util::LivenessView& view,
-                                         double total_rate,
-                                         util::Rng& rng,
-                                         double hot_node_fraction = 0.2,
-                                         double hot_request_fraction = 0.8);
-
-/// Legacy entry point over a bare status word.
-[[deprecated(
-    "pass a util::LivenessView (wrap a plain StatusWord in "
-    "util::BorrowedView)")]]
-[[nodiscard]] Workload locality_workload(const util::StatusWord& live,
                                          double total_rate,
                                          util::Rng& rng,
                                          double hot_node_fraction = 0.2,

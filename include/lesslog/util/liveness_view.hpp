@@ -21,7 +21,7 @@
 //     check-before-mutate semantics bit for bit.
 //   * BorrowedView     — a non-owning adapter over an existing
 //     `const StatusWord&` for callers that still hold a plain word
-//     (benches, tests, the deprecated StatusWord overloads).
+//     (benches, tests).
 //
 // The SWIM-driven implementation (membership::SwimView) lives in the
 // membership library; this header deliberately knows nothing about it.

@@ -24,18 +24,6 @@ ChordRing::ChordRing(const util::LivenessView& view)
   }
 }
 
-// The deprecated bridge delegates through a non-owning view; the
-// temporary only has to outlive the delegated constructor body.
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
-ChordRing::ChordRing(const util::StatusWord& live)
-    : ChordRing(util::BorrowedView(live)) {}
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic pop
-#endif
-
 std::uint32_t ChordRing::successor(std::uint32_t id) const {
   // nodes_ is sorted; the successor is the first element >= id, wrapping
   // to the smallest node.

@@ -14,17 +14,6 @@ PlaxtonMesh::PlaxtonMesh(const util::LivenessView& view, int bits_per_digit)
   assert(!nodes_.empty() && "prefix mesh needs at least one node");
 }
 
-// Deprecated bridge: wrap the word in a non-owning view and delegate.
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
-PlaxtonMesh::PlaxtonMesh(const util::StatusWord& live, int bits_per_digit)
-    : PlaxtonMesh(util::BorrowedView(live), bits_per_digit) {}
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic pop
-#endif
-
 std::uint32_t PlaxtonMesh::digit(std::uint32_t id, int pos) const {
   assert(pos >= 0 && pos < digits_);
   // Conceptually ids are padded to digits_*bits_ bits; pad bits are zero.

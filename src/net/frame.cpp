@@ -1,0 +1,57 @@
+#include "lesslog/net/frame.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cstring>
+
+namespace lesslog::net {
+
+RingBuffer::RingBuffer(std::size_t capacity)
+    : buf_(std::bit_ceil(std::max<std::size_t>(capacity, 64))) {}
+
+std::array<std::span<std::uint8_t>, 2> RingBuffer::write_spans() noexcept {
+  const std::size_t mask = buf_.size() - 1;
+  const std::size_t tail = (head_ + size_) & mask;
+  const std::size_t free = free_space();
+  // First region: from the tail to the end of the array (or the head,
+  // whichever is closer); second: the wrapped remainder at the front.
+  const std::size_t first = std::min(free, buf_.size() - tail);
+  return {std::span<std::uint8_t>(buf_.data() + tail, first),
+          std::span<std::uint8_t>(buf_.data(), free - first)};
+}
+
+void RingBuffer::commit(std::size_t n) noexcept {
+  assert(n <= free_space());
+  size_ += n;
+}
+
+std::size_t RingBuffer::append(std::span<const std::uint8_t> bytes) noexcept {
+  const auto spans = write_spans();
+  const std::size_t take0 = std::min(bytes.size(), spans[0].size());
+  std::memcpy(spans[0].data(), bytes.data(), take0);
+  const std::size_t take1 =
+      std::min(bytes.size() - take0, spans[1].size());
+  if (take1 > 0) std::memcpy(spans[1].data(), bytes.data() + take0, take1);
+  commit(take0 + take1);
+  return take0 + take1;
+}
+
+bool RingBuffer::pop(std::uint8_t* dst, std::size_t n) noexcept {
+  if (size_ < n) return false;
+  const std::size_t mask = buf_.size() - 1;
+  const std::size_t first = std::min(n, buf_.size() - head_);
+  std::memcpy(dst, buf_.data() + head_, first);
+  if (first < n) std::memcpy(dst + first, buf_.data(), n - first);
+  head_ = (head_ + n) & mask;
+  size_ -= n;
+  return true;
+}
+
+bool FrameReassembler::next_frame(proto::WireBuffer& out) noexcept {
+  if (!ring_.pop(out.data(), proto::kWireSize)) return false;
+  ++frames_;
+  return true;
+}
+
+}  // namespace lesslog::net

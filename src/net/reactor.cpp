@@ -1,0 +1,77 @@
+#include "lesslog/net/reactor.hpp"
+
+#include <sys/epoll.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <system_error>
+
+namespace lesslog::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+}  // namespace
+
+Reactor::Reactor() : epfd_(epoll_create1(EPOLL_CLOEXEC)) {
+  if (epfd_ < 0) throw_errno("epoll_create1");
+}
+
+Reactor::~Reactor() {
+  if (epfd_ >= 0) ::close(epfd_);
+}
+
+void Reactor::add(int fd, std::uint32_t events, Callback cb) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (epoll_ctl(epfd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    throw_errno("epoll_ctl(ADD)");
+  }
+  callbacks_[fd] = std::make_shared<Callback>(std::move(cb));
+}
+
+void Reactor::modify(int fd, std::uint32_t events) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (epoll_ctl(epfd_, EPOLL_CTL_MOD, fd, &ev) != 0) {
+    throw_errno("epoll_ctl(MOD)");
+  }
+}
+
+void Reactor::remove(int fd) {
+  const auto it = callbacks_.find(fd);
+  if (it == callbacks_.end()) return;
+  // The fd may already be closed (EBADF) — deregistration still counts.
+  (void)epoll_ctl(epfd_, EPOLL_CTL_DEL, fd, nullptr);
+  callbacks_.erase(it);
+}
+
+int Reactor::poll(int timeout_ms) {
+  std::array<epoll_event, 64> ready;
+  const int n = epoll_wait(epfd_, ready.data(),
+                           static_cast<int>(ready.size()), timeout_ms);
+  if (n < 0) {
+    if (errno == EINTR) return 0;
+    throw_errno("epoll_wait");
+  }
+  int dispatched = 0;
+  for (int i = 0; i < n; ++i) {
+    const int fd = ready[static_cast<std::size_t>(i)].data.fd;
+    // An earlier callback this round may have removed this fd — skip.
+    const auto it = callbacks_.find(fd);
+    if (it == callbacks_.end()) continue;
+    // Pin the callback: it stays alive even if the call removes the fd.
+    const std::shared_ptr<Callback> cb = it->second;
+    (*cb)(ready[static_cast<std::size_t>(i)].events);
+    ++dispatched;
+  }
+  return dispatched;
+}
+
+}  // namespace lesslog::net

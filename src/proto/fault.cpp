@@ -136,7 +136,8 @@ FaultInjector::FaultInjector(FaultPlan plan)
     : plan_(std::move(plan)),
       rng_(plan_.seed ^ 0xC4A05'F417ULL),
       active_(plan_.rules.size(), false),
-      link_state_(plan_.rules.size()) {
+      link_state_(plan_.rules.size()),
+      generation_(plan_.rules.size(), 0) {
   // Partition membership tests binary-search the group.
   for (FaultRule& r : plan_.rules) {
     if (r.kind == FaultKind::kPartition) {
@@ -150,6 +151,9 @@ void FaultInjector::activate(std::size_t rule_index) {
   if (!active_[rule_index]) {
     active_[rule_index] = true;
     ++active_count_;
+    // Each opening of the window is a new generation: chains seeded under
+    // it never replay a previous window's streams.
+    ++generation_[rule_index];
   }
 }
 
@@ -193,17 +197,43 @@ bool FaultInjector::duplicate() {
   return false;
 }
 
+std::uint64_t FaultInjector::chain_seed(std::size_t rule_index,
+                                        std::uint64_t key) const noexcept {
+  // A short splitmix walk folding in every scoping ingredient; each
+  // intermediate call avalanches the previous XOR before the next one.
+  std::uint64_t x = plan_.seed ^ 0xC4A05'F417ULL;
+  x ^= util::splitmix64(x) ^ (static_cast<std::uint64_t>(rule_index) + 1);
+  x ^= util::splitmix64(x) ^ generation_[rule_index];
+  x ^= util::splitmix64(x) ^ key;
+  return util::splitmix64(x);
+}
+
 bool FaultInjector::burst_drop(core::Pid from, core::Pid to) {
   bool lost = false;
   for (std::size_t i = 0; i < plan_.rules.size(); ++i) {
     if (!active_[i] || plan_.rules[i].kind != FaultKind::kBurstLoss) continue;
     const FaultRule& r = plan_.rules[i];
-    bool& bad = link_state_[i][link_key(from, to)];
+    const std::uint64_t key = link_key(from, to);
+    auto it = link_state_[i].find(key);
+    if (it == link_state_[i].end()) {
+      // First datagram on this link under this window: materialize the
+      // chain Good with its own deterministic stream. Loss and state
+      // advance draw from that stream only, so the chain depends solely
+      // on how many datagrams this link has carried — not on traffic
+      // elsewhere in the network (shard-count invariance).
+      it = link_state_[i]
+               .emplace(key, LinkChain{util::Rng(chain_seed(i, key)), false})
+               .first;
+    }
+    LinkChain& chain = it->second;
     // Loss is decided by the current state, then the chain advances — so
     // a chain that flips Good->Bad on this datagram starts losing at the
     // *next* datagram on the link (the classic Gilbert–Elliott step).
-    if (rng_.bernoulli(bad ? r.loss_bad : r.loss_good)) lost = true;
-    bad = rng_.bernoulli(bad ? 1.0 - r.p_bad_to_good : r.p_good_to_bad);
+    if (chain.rng.bernoulli(chain.bad ? r.loss_bad : r.loss_good)) {
+      lost = true;
+    }
+    chain.bad = chain.rng.bernoulli(chain.bad ? 1.0 - r.p_bad_to_good
+                                              : r.p_good_to_bad);
   }
   if (lost) ++stats_.burst_dropped;
   return lost;
@@ -214,7 +244,7 @@ bool FaultInjector::corrupt(WireBuffer& wire) {
     if (!active_[i] || plan_.rules[i].kind != FaultKind::kCorrupt) continue;
     if (!rng_.bernoulli(plan_.rules[i].probability)) continue;
     // Scramble one random byte, then force the type tag invalid (valid
-    // tags are 1..10) so the receiver's decode is guaranteed to reject:
+    // tags are 1..14) so the receiver's decode is guaranteed to reject:
     // a corrupted datagram must never be delivered as a valid message.
     wire[rng_.bounded(wire.size())] ^=
         static_cast<std::uint8_t>(1 + rng_.bounded(255));

@@ -58,25 +58,6 @@ Workload locality_workload(const util::LivenessView& view, double total_rate,
   return w;
 }
 
-// Deprecated bridges: wrap the bare word in a non-owning view.
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
-Workload uniform_workload(const util::StatusWord& live, double total_rate) {
-  return uniform_workload(util::BorrowedView(live), total_rate);
-}
-
-Workload locality_workload(const util::StatusWord& live, double total_rate,
-                           util::Rng& rng, double hot_node_fraction,
-                           double hot_request_fraction) {
-  return locality_workload(util::BorrowedView(live), total_rate, rng,
-                           hot_node_fraction, hot_request_fraction);
-}
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic pop
-#endif
-
 std::vector<double> zipf_weights(std::size_t n, double s) {
   assert(n > 0);
   std::vector<double> w(n);

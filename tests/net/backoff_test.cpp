@@ -1,0 +1,44 @@
+// Reconnect backoff: the clamp ladder (base, multiply, cap, reset) that
+// schedules connection retries — the same floor/multiply/cap shape as
+// the client's adaptive retry delays.
+#include "lesslog/net/backoff.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lesslog::net {
+namespace {
+
+TEST(Backoff, ClimbsTheLadderAndClampsAtTheCap) {
+  Backoff b(0.05, 2.0, 0.3);
+  EXPECT_DOUBLE_EQ(b.next(), 0.05);
+  EXPECT_DOUBLE_EQ(b.next(), 0.10);
+  EXPECT_DOUBLE_EQ(b.next(), 0.20);
+  EXPECT_DOUBLE_EQ(b.next(), 0.30);  // 0.4 clamped
+  EXPECT_DOUBLE_EQ(b.next(), 0.30);  // stays pinned
+  EXPECT_DOUBLE_EQ(b.current(), 0.30);
+}
+
+TEST(Backoff, CurrentPeeksWithoutAdvancing) {
+  Backoff b(0.1, 3.0, 10.0);
+  EXPECT_DOUBLE_EQ(b.current(), 0.1);
+  EXPECT_DOUBLE_EQ(b.current(), 0.1);
+  EXPECT_DOUBLE_EQ(b.next(), 0.1);
+  EXPECT_DOUBLE_EQ(b.current(), 0.3);
+}
+
+TEST(Backoff, ResetReturnsToTheFloor) {
+  Backoff b(0.05, 2.0, 2.0);
+  for (int i = 0; i < 10; ++i) (void)b.next();
+  EXPECT_DOUBLE_EQ(b.current(), 2.0);
+  b.reset();
+  EXPECT_DOUBLE_EQ(b.next(), 0.05);
+}
+
+TEST(Backoff, CapBelowBasePinsImmediately) {
+  Backoff b(0.5, 2.0, 0.2);
+  EXPECT_DOUBLE_EQ(b.next(), 0.5);  // first attempt uses the base as-is
+  EXPECT_DOUBLE_EQ(b.next(), 0.2);  // then the cap takes over
+}
+
+}  // namespace
+}  // namespace lesslog::net

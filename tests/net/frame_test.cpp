@@ -1,0 +1,178 @@
+// Byte-stream reassembly: every chunking of a frame stream must yield
+// the same frames — short reads, coalesced reads, and ring wrap-around
+// are the transport's daily weather, not edge cases.
+#include "lesslog/net/frame.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "lesslog/proto/message.hpp"
+#include "lesslog/util/rng.hpp"
+
+namespace lesslog::net {
+namespace {
+
+std::vector<std::uint8_t> frame_stream(int frames, util::Rng& rng) {
+  std::vector<std::uint8_t> bytes;
+  bytes.reserve(static_cast<std::size_t>(frames) * proto::kWireSize);
+  for (int i = 0; i < frames; ++i) {
+    proto::Message m;
+    m.type = static_cast<proto::MsgType>(1 + rng.bounded(14));
+    m.from = core::Pid{static_cast<std::uint32_t>(rng.bounded(64))};
+    m.to = core::Pid{static_cast<std::uint32_t>(rng.bounded(64))};
+    m.file = core::FileId{rng()};
+    m.request_id = rng();
+    m.version = rng();
+    m.hop_count = static_cast<std::uint8_t>(rng.bounded(100));
+    m.ok = rng.bounded(2) == 1;
+    proto::WireBuffer wire{};
+    proto::encode_into(m, wire);
+    bytes.insert(bytes.end(), wire.begin(), wire.end());
+  }
+  return bytes;
+}
+
+TEST(RingBuffer, RoundsCapacityUpToPowerOfTwo) {
+  EXPECT_EQ(RingBuffer(100).capacity(), 128u);
+  EXPECT_EQ(RingBuffer(128).capacity(), 128u);
+  EXPECT_EQ(RingBuffer(1).capacity(), 64u);  // floor guard
+}
+
+TEST(RingBuffer, AppendPopRoundTripsAcrossTheWrap) {
+  RingBuffer ring(64);  // capacity 64: wraps every ~1.5 frames
+  util::Rng rng(99);
+  // Drive enough traffic that head_ crosses the wrap many times.
+  std::vector<std::uint8_t> expect;
+  std::vector<std::uint8_t> got;
+  for (int round = 0; round < 500; ++round) {
+    const std::size_t n = 1 + rng.bounded(48);
+    std::vector<std::uint8_t> chunk(n);
+    for (auto& b : chunk) b = static_cast<std::uint8_t>(rng.bounded(256));
+    const std::size_t accepted = ring.append(chunk);
+    ASSERT_LE(accepted, n);
+    expect.insert(expect.end(), chunk.begin(),
+                  chunk.begin() + static_cast<std::ptrdiff_t>(accepted));
+    // Drain a random amount of whatever is buffered.
+    const std::size_t want = rng.bounded(ring.size() + 1);
+    std::vector<std::uint8_t> out(want);
+    if (want > 0) {
+      ASSERT_TRUE(ring.pop(out.data(), want));
+      got.insert(got.end(), out.begin(), out.end());
+    }
+  }
+  // Flush the tail.
+  std::vector<std::uint8_t> tail(ring.size());
+  if (!tail.empty()) {
+    ASSERT_TRUE(ring.pop(tail.data(), tail.size()));
+  }
+  got.insert(got.end(), tail.begin(), tail.end());
+  EXPECT_EQ(got, expect);
+}
+
+TEST(RingBuffer, PopRefusesWhenShort) {
+  RingBuffer ring(64);
+  const std::uint8_t bytes[3] = {1, 2, 3};
+  ASSERT_EQ(ring.append(bytes), 3u);
+  std::uint8_t out[4];
+  EXPECT_FALSE(ring.pop(out, 4));
+  EXPECT_EQ(ring.size(), 3u);  // a refused pop consumes nothing
+  EXPECT_TRUE(ring.pop(out, 3));
+}
+
+TEST(RingBuffer, WriteSpansCoverExactlyTheFreeSpace) {
+  RingBuffer ring(64);
+  util::Rng rng(7);
+  for (int round = 0; round < 200; ++round) {
+    auto spans = ring.write_spans();
+    ASSERT_EQ(spans[0].size() + spans[1].size(), ring.free_space());
+    // Fill a random prefix through the spans, as readv would.
+    const std::size_t n = rng.bounded(ring.free_space() + 1);
+    std::size_t left = n;
+    for (auto& s : spans) {
+      const std::size_t take = std::min(left, s.size());
+      for (std::size_t i = 0; i < take; ++i) {
+        s[i] = static_cast<std::uint8_t>(i);
+      }
+      left -= take;
+    }
+    ring.commit(n);
+    const std::size_t drain = rng.bounded(ring.size() + 1);
+    std::vector<std::uint8_t> out(drain);
+    if (drain > 0) {
+      ASSERT_TRUE(ring.pop(out.data(), drain));
+    }
+  }
+}
+
+// The tentpole property: feeding a stream of F frames in chunks of ANY
+// size (1..43 bytes) yields exactly F frames, byte-identical to the
+// stream, regardless of how reads split or coalesce frame boundaries.
+TEST(FrameReassembler, EveryChunkSizeYieldsIdenticalFrames) {
+  util::Rng rng(4242);
+  const int kFrames = 24;
+  const std::vector<std::uint8_t> stream = frame_stream(kFrames, rng);
+  for (std::size_t chunk = 1; chunk <= proto::kWireSize; ++chunk) {
+    FrameReassembler reasm(256);
+    std::vector<std::uint8_t> got;
+    std::size_t off = 0;
+    while (off < stream.size()) {
+      const std::size_t n = std::min(chunk, stream.size() - off);
+      ASSERT_EQ(reasm.ring().append({stream.data() + off, n}), n)
+          << "chunk=" << chunk;
+      off += n;
+      proto::WireBuffer frame{};
+      while (reasm.next_frame(frame)) {
+        got.insert(got.end(), frame.begin(), frame.end());
+      }
+    }
+    EXPECT_EQ(reasm.frames(), kFrames) << "chunk=" << chunk;
+    EXPECT_EQ(reasm.buffered(), 0u) << "chunk=" << chunk;
+    EXPECT_EQ(got, stream) << "chunk=" << chunk;
+  }
+}
+
+// Random chunk sizes (the realistic case: TCP hands back arbitrary
+// spans) across many trials, with a small ring forcing constant wrap.
+TEST(FrameReassembler, RandomChunkingIsLossless) {
+  util::Rng rng(1337);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int frames = 1 + static_cast<int>(rng.bounded(40));
+    const std::vector<std::uint8_t> stream = frame_stream(frames, rng);
+    FrameReassembler reasm(128);
+    std::vector<std::uint8_t> got;
+    std::size_t off = 0;
+    while (off < stream.size()) {
+      const std::size_t room = reasm.ring().free_space();
+      ASSERT_GT(room, 0u);
+      const std::size_t n =
+          std::min(1 + rng.bounded(room), stream.size() - off);
+      ASSERT_EQ(reasm.ring().append({stream.data() + off, n}), n);
+      off += n;
+      proto::WireBuffer frame{};
+      while (reasm.next_frame(frame)) {
+        got.insert(got.end(), frame.begin(), frame.end());
+      }
+    }
+    ASSERT_EQ(reasm.frames(), frames);
+    ASSERT_EQ(got, stream);
+  }
+}
+
+TEST(FrameReassembler, PartialTailWaitsForMoreBytes) {
+  util::Rng rng(5);
+  const std::vector<std::uint8_t> stream = frame_stream(1, rng);
+  FrameReassembler reasm(256);
+  proto::WireBuffer frame{};
+  ASSERT_EQ(reasm.ring().append({stream.data(), proto::kWireSize - 1}),
+            proto::kWireSize - 1);
+  EXPECT_FALSE(reasm.next_frame(frame));
+  EXPECT_EQ(reasm.buffered(), proto::kWireSize - 1);
+  ASSERT_EQ(reasm.ring().append({stream.data() + proto::kWireSize - 1, 1}),
+            1u);
+  ASSERT_TRUE(reasm.next_frame(frame));
+  EXPECT_TRUE(std::equal(frame.begin(), frame.end(), stream.begin()));
+}
+
+}  // namespace
+}  // namespace lesslog::net

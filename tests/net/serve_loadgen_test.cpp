@@ -1,0 +1,127 @@
+// End-to-end over real sockets, in one process: two ServeHosts covering
+// the PID space plus a LoadGen client, wired over loopback with
+// ephemeral ports. The unmodified proto::Peer/Client stack serves the
+// traffic; the gate is the transport_smoke contract — every insert
+// acked, every GET ok, zero decode drops.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "lesslog/net/loadgen.hpp"
+#include "lesslog/net/serve.hpp"
+
+namespace lesslog::net {
+namespace {
+
+HostMap ephemeral_map() {
+  HostMap map;
+  map.add(HostEntry{0, 31, "127.0.0.1", 0, false});
+  map.add(HostEntry{32, 62, "127.0.0.1", 0, false});
+  map.add(HostEntry{63, 63, "127.0.0.1", 0, true});
+  return map;
+}
+
+TEST(ServeLoadGen, LoopbackRoundTripServesEveryGet) {
+  ServeConfig sc0;
+  sc0.m = 6;
+  sc0.b = 2;
+  sc0.hosts = ephemeral_map();
+  sc0.self = 0;
+  ServeConfig sc1 = sc0;
+  sc1.self = 1;
+  LoadGenConfig lc;
+  lc.m = 6;
+  lc.b = 2;
+  lc.hosts = ephemeral_map();
+  lc.self = 2;
+  lc.files = 12;
+  lc.rate = 400.0;
+  lc.duration = 0.5;
+  lc.setup_timeout = 20.0;
+
+  ServeHost s0(std::move(sc0));
+  ServeHost s1(std::move(sc1));
+  LoadGen lg(std::move(lc));
+
+  // Port-0 flow: bind everyone, read the real ports, cross-patch, and
+  // only then let the retry ladders connect the full mesh.
+  s0.start();
+  s1.start();
+  lg.start();
+  const std::uint16_t ports[3] = {s0.transport().listen_port(),
+                                  s1.transport().listen_port(),
+                                  lg.transport().listen_port()};
+  for (std::size_t i = 0; i < 3; ++i) {
+    s0.transport().set_peer_port(i, ports[i]);
+    s1.transport().set_peer_port(i, ports[i]);
+    lg.transport().set_peer_port(i, ports[i]);
+  }
+
+  std::thread t0([&] { s0.run(); });
+  std::thread t1([&] { s1.run(); });
+  const LoadGenReport report = lg.run();
+  s0.stop();
+  s1.stop();
+  t0.join();
+  t1.join();
+
+  EXPECT_EQ(report.files_inserted, report.files_requested);
+  EXPECT_GT(report.gets_issued, 0);
+  EXPECT_EQ(report.gets_ok, report.gets_issued);
+  EXPECT_EQ(report.gets_failed, 0);
+  EXPECT_TRUE(report.all_ok());
+  EXPECT_EQ(report.latencies.size(),
+            static_cast<std::size_t>(report.gets_ok));
+  EXPECT_GT(report.p50(), 0.0);
+  EXPECT_LE(report.p50(), report.p99());
+
+  // Every socket byte decoded: zero counted decode drops anywhere.
+  EXPECT_EQ(s0.network().corrupted(), 0);
+  EXPECT_EQ(s1.network().corrupted(), 0);
+  EXPECT_EQ(lg.network().corrupted(), 0);
+  // Real traffic actually crossed the wire in both directions.
+  EXPECT_GT(s0.transport().stats().frames_in, 0);
+  EXPECT_GT(s1.transport().stats().frames_in, 0);
+  EXPECT_GT(lg.transport().stats().frames_in, 0);
+  EXPECT_EQ(s0.transport().stats().overflow_dropped, 0);
+  EXPECT_EQ(s1.transport().stats().overflow_dropped, 0);
+  EXPECT_EQ(lg.transport().stats().overflow_dropped, 0);
+}
+
+TEST(ServeConfigValidation, RejectsNonsense) {
+  ServeConfig cfg;
+  cfg.hosts = ephemeral_map();
+  cfg.self = 2;  // client entry: not servable
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.self = 9;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.self = 0;
+  cfg.m = 5;  // hi=63 exceeds 2^5
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.m = 6;
+  cfg.b = 6;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.b = 2;
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(LoadGenConfigValidation, RejectsNonsense) {
+  LoadGenConfig cfg;
+  cfg.hosts = ephemeral_map();
+  cfg.self = 0;  // serve entry: not a client
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.self = 2;
+  cfg.files = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.files = 8;
+  cfg.rate = 0.0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.rate = 100.0;
+  cfg.duration = -1.0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.duration = 1.0;
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+}  // namespace
+}  // namespace lesslog::net

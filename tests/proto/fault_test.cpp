@@ -170,6 +170,82 @@ TEST(FaultInjector, SameSeedSameDecisions) {
   EXPECT_EQ(a.stats(), b.stats());
 }
 
+// A link's Gilbert–Elliott chain must be a pure function of the datagram
+// count on that link: interleaving traffic from other links in between
+// must not change any link's loss sequence. (This is what makes lossy
+// runs shard-count-invariant — shard layout permutes the global datagram
+// order but never a single link's order.)
+TEST(FaultInjector, BurstChainsInvariantToCrossLinkInterleaving) {
+  FaultPlan plan;
+  plan.seed = 1234;
+  plan.rules.push_back(FaultRule::burst_loss(0.0, 1.0, 0.3, 0.3, 0.8, 0.1));
+
+  const std::vector<std::pair<std::uint32_t, std::uint32_t>> links = {
+      {0, 1}, {1, 0}, {2, 5}, {7, 3}};
+  const int kPerLink = 200;
+
+  // Injector A: strict round-robin across the links.
+  FaultInjector a(plan);
+  a.activate(0);
+  std::vector<std::vector<bool>> seq_a(links.size());
+  for (int i = 0; i < kPerLink; ++i) {
+    for (std::size_t l = 0; l < links.size(); ++l) {
+      seq_a[l].push_back(a.burst_drop(core::Pid{links[l].first},
+                                      core::Pid{links[l].second}));
+    }
+  }
+
+  // Injector B: one link at a time, all its datagrams back to back.
+  FaultInjector b(plan);
+  b.activate(0);
+  std::vector<std::vector<bool>> seq_b(links.size());
+  for (std::size_t l = 0; l < links.size(); ++l) {
+    for (int i = 0; i < kPerLink; ++i) {
+      seq_b[l].push_back(b.burst_drop(core::Pid{links[l].first},
+                                      core::Pid{links[l].second}));
+    }
+  }
+
+  EXPECT_EQ(seq_a, seq_b);
+  EXPECT_EQ(a.stats(), b.stats());
+}
+
+// A healed-and-reopened burst window is a fresh generation: chains start
+// Good again with fresh streams, not a replay of the first window.
+TEST(FaultInjector, ReopenedBurstWindowIsFreshGeneration) {
+  FaultPlan plan;
+  plan.seed = 77;
+  plan.rules.push_back(FaultRule::burst_loss(0.0, 1.0, 0.4, 0.2, 0.9, 0.05));
+  FaultInjector inj(plan);
+
+  const auto run_window = [&] {
+    std::vector<bool> seq;
+    inj.activate(0);
+    for (int i = 0; i < 300; ++i) {
+      seq.push_back(inj.burst_drop(core::Pid{4}, core::Pid{9}));
+    }
+    inj.deactivate(0);
+    return seq;
+  };
+  const std::vector<bool> first = run_window();
+  const std::vector<bool> second = run_window();
+  EXPECT_NE(first, second);
+
+  // And the whole two-window run replays bit-identically from the plan.
+  FaultInjector replay(plan);
+  const auto replay_window = [&] {
+    std::vector<bool> seq;
+    replay.activate(0);
+    for (int i = 0; i < 300; ++i) {
+      seq.push_back(replay.burst_drop(core::Pid{4}, core::Pid{9}));
+    }
+    replay.deactivate(0);
+    return seq;
+  };
+  EXPECT_EQ(replay_window(), first);
+  EXPECT_EQ(replay_window(), second);
+}
+
 // ---- Network integration -------------------------------------------------
 
 TEST(NetworkFaults, NoPlanMeansNoInjector) {

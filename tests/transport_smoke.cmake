@@ -1,0 +1,71 @@
+# transport_smoke: launch two `lesslog_cli serve` processes plus a
+# `lesslog_loadgen` on loopback — real sockets, three OS processes — and
+# gate the wire contract:
+#   * the loadgen exits 0 (every insert acked, every GET answered ok),
+#   * zero decode drops on every process (every socket byte decoded),
+#   * zero write-queue overflow drops (loopback never backpressures at
+#     this rate).
+# Invoked via `ctest -R transport_smoke`; works under the asan preset
+# unchanged (the binaries carry the sanitizer).
+if(NOT CLI OR NOT LOADGEN OR NOT WORK_DIR)
+  message(FATAL_ERROR "transport_smoke needs -DCLI, -DLOADGEN, -DWORK_DIR")
+endif()
+
+set(HOSTS "serve:0-31:127.0.0.1:46151;serve:32-62:127.0.0.1:46152;client:63:127.0.0.1:46153")
+set(S0 "${WORK_DIR}/transport_smoke_s0.txt")
+set(S1 "${WORK_DIR}/transport_smoke_s1.txt")
+set(LG "${WORK_DIR}/transport_smoke_lg.txt")
+file(REMOVE "${S0}" "${S1}" "${LG}")
+
+# The three COMMANDs of one execute_process run concurrently (they form
+# a stdout pipeline; none reads stdin). The serves self-exit via
+# --duration; the loadgen's built-in reconnect backoff absorbs any
+# startup ordering. Ordered so every process's stdout reader outlives
+# it (exit order: loadgen ~5s, serve0 at 10s, serve1 at 12s) — a final
+# stats line written into an exited reader would be a SIGPIPE death.
+execute_process(
+  COMMAND ${LOADGEN} --hosts "${HOSTS}" --self 2 --m 6 --b 2
+          --files 24 --rate 200 --duration 1.5 --stats-out ${LG}
+  COMMAND ${CLI} serve --hosts "${HOSTS}" --self 0 --m 6 --b 2
+          --duration 10 --stats-out ${S0}
+  COMMAND ${CLI} serve --hosts "${HOSTS}" --self 1 --m 6 --b 2
+          --duration 12 --stats-out ${S1}
+  RESULTS_VARIABLE codes
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err
+  TIMEOUT 60)
+
+list(GET codes 0 rc_lg)
+list(GET codes 1 rc_s0)
+list(GET codes 2 rc_s1)
+foreach(pair "serve0:${rc_s0}" "serve1:${rc_s1}" "loadgen:${rc_lg}")
+  string(REPLACE ":" ";" pair_list "${pair}")
+  list(GET pair_list 0 who)
+  list(GET pair_list 1 rc)
+  if(NOT rc STREQUAL "0")
+    message(FATAL_ERROR
+        "transport_smoke: ${who} exited ${rc}\nstdout:\n${out}\nstderr:\n${err}")
+  endif()
+endforeach()
+
+foreach(stats "${S0}" "${S1}" "${LG}")
+  if(NOT EXISTS "${stats}")
+    message(FATAL_ERROR "transport_smoke: missing stats file ${stats}")
+  endif()
+  file(READ "${stats}" content)
+  if(NOT content MATCHES "decode_drops=0 ")
+    message(FATAL_ERROR
+        "transport_smoke: decode drops in ${stats}:\n${content}")
+  endif()
+  if(NOT content MATCHES "overflow_dropped=0 ")
+    message(FATAL_ERROR
+        "transport_smoke: write-queue overflow in ${stats}:\n${content}")
+  endif()
+endforeach()
+
+file(READ "${LG}" lg_content)
+if(NOT lg_content MATCHES "gets_failed=0 ")
+  message(FATAL_ERROR "transport_smoke: failed GETs:\n${lg_content}")
+endif()
+
+message(STATUS "transport_smoke: all GETs ok, zero decode drops -> PASS")

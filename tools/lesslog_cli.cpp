@@ -17,6 +17,9 @@
 //                          [--epochs 5] [--epoch-length 30]
 //                          [--intensity 0.5] [--files 48] [--rate 20]
 //                          [--broken 1] [--artifact path] [--replay path]
+//   lesslog_cli serve      --hosts 'serve:0-31:127.0.0.1:4701;...' --self 0
+//                          [--m 6] [--b 2] [--seed 1] [--duration 0]
+//                          [--stats-out path]
 //
 // Every subcommand prints a human-readable report; `tree` renders the
 // paper's structures (children lists, routes, stand-ins) for any
@@ -25,7 +28,10 @@
 // dumps the full observability document (counters, gauges, latency
 // percentiles, time-series); `chaos` runs the deterministic
 // fault-injection driver (docs/ROBUSTNESS.md) and exits nonzero on any
-// invariant violation — `--replay` re-runs a captured artifact instead.
+// invariant violation — `--replay` re-runs a captured artifact instead;
+// `serve` runs one host-map entry's PID range as a real process over the
+// epoll socket transport (docs/TRANSPORT.md) — drive it with
+// lesslog_loadgen.
 #include <charconv>
 #include <fstream>
 #include <iostream>
@@ -38,6 +44,7 @@
 #include "lesslog/chaos/replay.hpp"
 #include "lesslog/core/snapshot.hpp"
 #include "lesslog/core/system.hpp"
+#include "lesslog/net/serve.hpp"
 #include "lesslog/obs/export.hpp"
 #include "lesslog/proto/swarm.hpp"
 #include "lesslog/sim/catalog.hpp"
@@ -467,9 +474,39 @@ int cmd_chaos(const Flags& flags) {
   return r.clean() ? 0 : 1;
 }
 
+int cmd_serve(const Flags& flags) {
+  net::ServeConfig cfg;
+  cfg.hosts = net::HostMap::parse(flags.get("hosts", std::string()));
+  cfg.self = static_cast<std::size_t>(flags.get("self", 0));
+  cfg.m = flags.get("m", 6);
+  cfg.b = flags.get("b", 2);
+  cfg.seed = static_cast<std::uint64_t>(flags.get("seed", 1));
+  cfg.duration = flags.get("duration", 0.0);
+
+  net::ServeHost host(std::move(cfg));
+  const net::HostEntry& self = host.config().hosts.entry(host.config().self);
+  std::cout << "serve: PIDs " << self.lo << "-" << self.hi << " on "
+            << self.host << ":" << self.port << ", m=" << host.config().m
+            << " b=" << host.config().b << ", "
+            << (host.config().duration > 0.0
+                    ? std::to_string(host.config().duration) + "s"
+                    : std::string("until killed"))
+            << "\n";
+  host.run();
+
+  host.write_stats(std::cout);
+  if (flags.has("stats-out")) {
+    const std::string path = flags.get("stats-out", std::string());
+    std::ofstream out(path);
+    if (!out) throw std::runtime_error("cannot write " + path);
+    host.write_stats(out);
+  }
+  return 0;
+}
+
 void usage() {
   std::cerr << "usage: lesslog_cli "
-               "<experiment|catalog|churn|tree|inspect|metrics|chaos> "
+               "<experiment|catalog|churn|tree|inspect|metrics|chaos|serve> "
                "[--flag value]...\n";
 }
 
@@ -490,6 +527,7 @@ int main(int argc, char** argv) {
     if (cmd == "inspect") return cmd_inspect(flags);
     if (cmd == "metrics") return cmd_metrics(flags);
     if (cmd == "chaos") return cmd_chaos(flags);
+    if (cmd == "serve") return cmd_serve(flags);
     usage();
     return 2;
   } catch (const std::exception& e) {
